@@ -1,0 +1,301 @@
+(* Benchmark and experiment harness.
+
+     dune exec bench/main.exe                 micro-benches + quick experiments
+     dune exec bench/main.exe -- micro        Bechamel micro-benchmarks only
+     dune exec bench/main.exe -- experiments  every Figure 3 panel + studies
+     dune exec bench/main.exe -- full         paper-scale experiments (100 instances)
+
+   The micro-benchmarks time the paper's Algorithm 1 against the naive
+   payment computation (the Sec. III-B complexity claim), plus the
+   primitives they are built from.  The experiment mode regenerates every
+   panel of Figure 3 and the worked examples; EXPERIMENTS.md records a
+   full run. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks                                                     *)
+
+let udg_instance seed ~n =
+  let rng = Wnet_prng.Rng.create seed in
+  let t =
+    match
+      Wnet_topology.Udg.generate_connected rng
+        ~region:Wnet_geom.Region.paper_region ~n ~range:300.0 ~max_tries:100
+    with
+    | Some t -> t
+    | None -> Wnet_topology.Udg.paper_instance rng ~n
+  in
+  let costs = Wnet_topology.Udg.uniform_node_costs rng ~n ~lo:1.0 ~hi:10.0 in
+  Wnet_topology.Udg.node_graph t ~costs
+
+let farthest g root =
+  let t = Wnet_graph.Dijkstra.node_weighted g ~source:root in
+  let best = ref root and d = ref neg_infinity in
+  Array.iteri
+    (fun v x ->
+      if v <> root && Float.is_finite x && x > !d then begin
+        best := v;
+        d := x
+      end)
+    t.Wnet_graph.Dijkstra.dist;
+  !best
+
+let payment_tests ~n =
+  let g = udg_instance 7 ~n in
+  let src = farthest g 0 in
+  let fast =
+    Test.make
+      ~name:(Printf.sprintf "alg1-fast/n=%d" n)
+      (Staged.stage (fun () ->
+           ignore (Wnet_graph.Avoid.replacement_costs_fast g ~src ~dst:0)))
+  in
+  let naive =
+    Test.make
+      ~name:(Printf.sprintf "naive/n=%d" n)
+      (Staged.stage (fun () ->
+           ignore (Wnet_graph.Avoid.replacement_costs_naive g ~src ~dst:0)))
+  in
+  [ fast; naive ]
+
+let primitive_tests ~n =
+  let g = udg_instance 8 ~n in
+  let digraph =
+    Wnet_topology.Udg.link_graph
+      (Wnet_topology.Udg.paper_instance (Wnet_prng.Rng.create 9) ~n)
+      ~model:(Wnet_geom.Power.path_loss_only ~kappa:2.0)
+  in
+  [
+    Test.make
+      ~name:(Printf.sprintf "dijkstra-node/n=%d" n)
+      (Staged.stage (fun () ->
+           ignore (Wnet_graph.Dijkstra.node_weighted g ~source:0)));
+    Test.make
+      ~name:(Printf.sprintf "dijkstra-link/n=%d" n)
+      (Staged.stage (fun () -> ignore (Wnet_graph.Dijkstra.link_weighted digraph 0)));
+    Test.make
+      ~name:(Printf.sprintf "biconnectivity/n=%d" n)
+      (Staged.stage (fun () -> ignore (Wnet_graph.Connectivity.articulation_points g)));
+    Test.make
+      ~name:(Printf.sprintf "all-to-root-batch/n=%d" n)
+      (Staged.stage (fun () -> ignore (Wnet_core.Unicast.all_to_root g ~root:0)));
+  ]
+
+let edge_tests ~n =
+  let rng = Wnet_prng.Rng.create 10 in
+  let topo = Wnet_topology.Udg.paper_instance rng ~n in
+  let g =
+    Wnet_graph.Egraph.create ~n
+      ~edges:
+        (List.map
+           (fun (u, v) -> (u, v, Wnet_prng.Rng.float_range rng 1.0 5.0))
+           topo.Wnet_topology.Udg.edges)
+  in
+  let tree = Wnet_graph.Edge_avoid.shortest_tree g ~source:0 in
+  let src =
+    let best = ref 0 and d = ref neg_infinity in
+    for v = 1 to n - 1 do
+      let x = Wnet_graph.Dijkstra.dist tree v in
+      if Float.is_finite x && x > !d then begin
+        best := v;
+        d := x
+      end
+    done;
+    !best
+  in
+  [
+    Test.make
+      ~name:(Printf.sprintf "edge-hs-fast/n=%d" n)
+      (Staged.stage (fun () ->
+           ignore (Wnet_graph.Edge_avoid.replacement_costs_fast g ~src ~dst:0)));
+    Test.make
+      ~name:(Printf.sprintf "edge-naive/n=%d" n)
+      (Staged.stage (fun () ->
+           ignore (Wnet_graph.Edge_avoid.replacement_costs_naive g ~src ~dst:0)));
+  ]
+
+let run_micro () =
+  let tests =
+    Test.make_grouped ~name:"unicast"
+      (payment_tests ~n:100 @ payment_tests ~n:200 @ payment_tests ~n:400
+     @ primitive_tests ~n:200 @ edge_tests ~n:200)
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table = Wnet_stats.Table.make ~headers:[ "benchmark"; "time/run"; "r^2" ] in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let time =
+        match Analyze.OLS.estimates ols with
+        | Some [ t ] when Float.is_finite t ->
+          if t > 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
+          else if t > 1e3 then Printf.sprintf "%.3f us" (t /. 1e3)
+          else Printf.sprintf "%.0f ns" t
+        | _ -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      rows := (name, time, r2) :: !rows)
+    results;
+  List.iter
+    (fun (a, b, c) -> Wnet_stats.Table.add_row table [ a; b; c ])
+    (List.sort compare !rows);
+  print_endline "== Bechamel micro-benchmarks (time per call) ==";
+  Wnet_stats.Table.print table;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Experiments: one block per paper artifact                            *)
+
+let heading s =
+  Printf.printf "\n==================== %s ====================\n\n%!" s
+
+let run_experiments ~instances ~hop_instances ~distributed_instances () =
+  heading "Figure 3(a): IOR vs TOR, UDG, kappa = 2";
+  print_endline
+    (Wnet_experiments.Fig3.render_sweep
+       ~title:"(IOR and TOR nearly coincide and stay ~1.5 as n grows)"
+       (Wnet_experiments.Fig3.overpayment_sweep ~instances ~seed:101
+          (Wnet_experiments.Fig3.Udg { kappa = 2.0 })));
+  heading "Figure 3(b): + worst ratio, UDG, kappa = 2";
+  print_endline
+    (Wnet_experiments.Fig3.render_sweep
+       ~title:"(worst ratio is noisy, well above IOR/TOR, shrinking with n)"
+       (Wnet_experiments.Fig3.overpayment_sweep ~instances ~seed:102
+          (Wnet_experiments.Fig3.Udg { kappa = 2.0 })));
+  heading "Figure 3(c): UDG, kappa = 2.5";
+  print_endline
+    (Wnet_experiments.Fig3.render_sweep ~title:"(same shape at kappa = 2.5)"
+       (Wnet_experiments.Fig3.overpayment_sweep ~instances ~seed:103
+          (Wnet_experiments.Fig3.Udg { kappa = 2.5 })));
+  heading "Figure 3(d): overpayment vs hop distance, UDG, kappa = 2, n = 500";
+  print_endline
+    (Wnet_experiments.Fig3.render_hop_profile
+       ~title:"(mean flat in hop distance; max decreasing)"
+       (Wnet_experiments.Fig3.hop_profile ~instances:hop_instances ~seed:104
+          (Wnet_experiments.Fig3.Udg { kappa = 2.0 })));
+  heading "Figure 3(e): random ranges, kappa = 2";
+  print_endline
+    (Wnet_experiments.Fig3.render_sweep ~title:"(heterogeneous-range digraph model)"
+       (Wnet_experiments.Fig3.overpayment_sweep ~instances ~seed:105
+          (Wnet_experiments.Fig3.Random_range { kappa = 2.0 })));
+  heading "Figure 3(f): random ranges, kappa = 2.5";
+  print_endline
+    (Wnet_experiments.Fig3.render_sweep ~title:"(same, kappa = 2.5)"
+       (Wnet_experiments.Fig3.overpayment_sweep ~instances ~seed:106
+          (Wnet_experiments.Fig3.Random_range { kappa = 2.5 })));
+  heading "Ablation: node-cost model with uniform costs";
+  print_endline
+    (Wnet_experiments.Node_model.render
+       ~title:"(mechanism-level overpayment without the geometric cost model)"
+       (Wnet_experiments.Node_model.sweep ~instances ~seed:107 ()));
+  heading "Algorithm 1 vs naive payment computation (Sec. III-B)";
+  print_endline (Wnet_experiments.Speed.render (Wnet_experiments.Speed.sweep ~seed:108 ()));
+  heading "Distributed protocols (Sec. III-C/D)";
+  print_endline
+    (Wnet_experiments.Distributed_exp.render
+       (Wnet_experiments.Distributed_exp.sweep ~instances:distributed_instances
+          ~seed:109 ()));
+  heading "Collusion studies (Sec. III-E / III-H, Theorems 7-8)";
+  print_endline
+    (Wnet_experiments.Collusion_exp.render
+       (Wnet_experiments.Collusion_exp.study ~n:30 ~instances:10 ~seed:110 ()));
+  heading "Ablation: the price of collusion resistance (p~ vs p)";
+  print_endline "Dense G(n, 0.3) (Theorem 8's resilience precondition holds):";
+  print_endline
+    (Wnet_experiments.Scheme_ablation.render
+       (Wnet_experiments.Scheme_ablation.sweep ~seed:111 ()));
+  print_newline ();
+  print_endline "Dense UDG (closed neighbourhoods are disks; resilience mostly fails):";
+  print_endline
+    (Wnet_experiments.Scheme_ablation.render
+       (Wnet_experiments.Scheme_ablation.sweep
+          ~topology:Wnet_experiments.Scheme_ablation.Dense_udg ~ns:[ 50; 100 ]
+          ~seed:112 ()));
+  heading "Mechanism behind Fig. 3(d): second-path gap vs hop distance";
+  print_endline
+    (Wnet_experiments.Second_path_exp.render
+       (Wnet_experiments.Second_path_exp.study ~seed:117 ()));
+  print_newline ();
+  heading "Ablation: node agents (this paper) vs edge agents (Nisan-Ronen)";
+  print_endline
+    (Wnet_experiments.Agent_model_exp.render
+       (Wnet_experiments.Agent_model_exp.sweep ~seed:116 ()));
+  print_newline ();
+  heading "Motivation (Sec. I): cooperation regimes on identical traffic";
+  print_endline
+    (Wnet_experiments.Lifetime_exp.render
+       (Wnet_experiments.Lifetime_exp.study ~seed:115 ()));
+  print_newline ();
+  heading "Critique of the uniform-relay traffic model of refs [1]/[7] (Sec. II-D)";
+  print_endline
+    (Wnet_experiments.Relay_load.render
+       (Wnet_experiments.Relay_load.study ~instances ~seed:118 ()));
+  print_newline ();
+  heading "Baselines: fixed-price rationing and watchdog mislabelling (Sec. II-D)";
+  print_endline
+    (Wnet_experiments.Baseline_exp.render_nuglet
+       (Wnet_experiments.Baseline_exp.nuglet_sweep ~seed:113 ()));
+  print_newline ();
+  print_endline
+    (Wnet_experiments.Baseline_exp.render_watchdog
+       (Wnet_experiments.Baseline_exp.watchdog_sweep ~seed:114 ()));
+  heading "Worked examples (Figures 2 and 4)";
+  let f2 = Wnet_core.Examples.fig2 in
+  let honest =
+    Option.get
+      (Wnet_core.Unicast.run f2.Wnet_core.Examples.graph
+         ~src:f2.Wnet_core.Examples.source ~dst:f2.Wnet_core.Examples.access_point)
+  in
+  let lying =
+    Option.get
+      (Wnet_core.Unicast.run f2.Wnet_core.Examples.lying_graph
+         ~src:f2.Wnet_core.Examples.source ~dst:f2.Wnet_core.Examples.access_point)
+  in
+  Printf.printf
+    "Figure 2: honest total payment %g (paper: 6); hiding one edge pays %g (paper: 5)\n"
+    (Wnet_core.Unicast.total_payment honest)
+    (Wnet_core.Unicast.total_payment lying);
+  let f4 = Wnet_core.Examples.fig4 in
+  let batch =
+    Wnet_core.Unicast.all_to_root f4.Wnet_core.Examples.graph
+      ~root:f4.Wnet_core.Examples.access_point
+  in
+  let r8 = Option.get batch.(f4.Wnet_core.Examples.reseller) in
+  (match
+     Wnet_core.Collusion.resale_opportunities f4.Wnet_core.Examples.graph
+       ~root:f4.Wnet_core.Examples.access_point ~payments:(fun v -> batch.(v))
+   with
+  | o :: _ ->
+    Printf.printf
+      "Figure 4: p_8 = %g (paper: 20); resale via v%d costs %g after splitting a saving of %g\n"
+      (Wnet_core.Unicast.total_payment r8)
+      o.Wnet_core.Collusion.proxy
+      (Wnet_core.Collusion.effective_cost_after_resale o)
+      o.Wnet_core.Collusion.saving
+  | [] -> print_endline "Figure 4: no resale found (unexpected)")
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "default" in
+  match mode with
+  | "micro" -> run_micro ()
+  | "experiments" ->
+    run_experiments ~instances:10 ~hop_instances:10 ~distributed_instances:3 ()
+  | "full" ->
+    (* The paper's scale: 100 random instances per point. *)
+    run_experiments ~instances:100 ~hop_instances:100 ~distributed_instances:10 ()
+  | "default" ->
+    run_micro ();
+    run_experiments ~instances:5 ~hop_instances:5 ~distributed_instances:2 ()
+  | other ->
+    Printf.eprintf "unknown mode %s (use: micro | experiments | full)\n" other;
+    exit 2

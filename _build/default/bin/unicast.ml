@@ -1,0 +1,319 @@
+(* Command-line interface to the truthful-unicast library.
+
+   unicast lcp GRAPH --src S --dst D
+   unicast pay GRAPH --src S --dst D [--scheme vcg|neighbourhood]
+   unicast check GRAPH --src S --dst D [--trials N]
+   unicast distributed GRAPH [--root R] [--verify]
+   unicast experiment NAME [--instances K] [--seed S]
+
+   GRAPH is a text file in the Graph_io format (see `unicast format`). *)
+
+open Cmdliner
+open Wnet_core
+
+let read_graph path = Wnet_graph.Graph_io.parse_file path
+
+(* -- common args -- *)
+
+let graph_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc:"Graph file.")
+
+let src_arg =
+  Arg.(required & opt (some int) None & info [ "src" ] ~docv:"NODE" ~doc:"Source node.")
+
+let dst_arg =
+  Arg.(value & opt int 0 & info [ "dst" ] ~docv:"NODE" ~doc:"Destination (default: the access point 0).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* -- lcp -- *)
+
+let lcp_cmd =
+  let run path src dst =
+    let g = read_graph path in
+    match Unicast.run g ~src ~dst with
+    | None -> (print_endline "unreachable"; 1)
+    | Some r ->
+      Format.printf "path: %a@.relay cost: %g@." Wnet_graph.Path.pp r.Unicast.path
+        r.Unicast.lcp_cost;
+      0
+  in
+  Cmd.v (Cmd.info "lcp" ~doc:"Least cost path between two nodes.")
+    Term.(const run $ graph_arg $ src_arg $ dst_arg)
+
+(* -- pay -- *)
+
+let scheme_arg =
+  let schemes = [ ("vcg", Payment_scheme.Vcg); ("neighbourhood", Payment_scheme.Neighbourhood) ] in
+  Arg.(value & opt (enum schemes) Payment_scheme.Vcg
+       & info [ "scheme" ] ~docv:"SCHEME" ~doc:"Payment scheme: $(b,vcg) or $(b,neighbourhood).")
+
+let pay_cmd =
+  let run path src dst scheme =
+    let g = read_graph path in
+    match Payment_scheme.run scheme g ~src ~dst with
+    | None -> (print_endline "unreachable"; 1)
+    | Some r ->
+      Format.printf "path: %a@.relay cost: %g@." Wnet_graph.Path.pp
+        r.Payment_scheme.path r.Payment_scheme.lcp_cost;
+      Array.iteri
+        (fun v p -> if p <> 0.0 then Format.printf "pay node %d: %g@." v p)
+        r.Payment_scheme.payments;
+      Format.printf "total: %g@." (Payment_scheme.total_payment r);
+      0
+  in
+  Cmd.v (Cmd.info "pay" ~doc:"VCG payments for a unicast.")
+    Term.(const run $ graph_arg $ src_arg $ dst_arg $ scheme_arg)
+
+(* -- check -- *)
+
+let check_cmd =
+  let trials =
+    Arg.(value & opt int 500 & info [ "trials" ] ~docv:"N" ~doc:"Falsifier trials.")
+  in
+  let run path src dst trials seed =
+    let g = read_graph path in
+    let truth = Wnet_graph.Graph.costs g in
+    let m = Unicast.mechanism g ~src ~dst in
+    let rng = Wnet_prng.Rng.create seed in
+    let ic = Wnet_mech.Properties.random_ic_violations rng m ~truth ~trials ~lie_bound:100.0 in
+    let ir = Wnet_mech.Properties.ir_violations m ~truth in
+    Format.printf "incentive-compatibility violations: %d@." (List.length ic);
+    List.iter (Format.printf "  %a@." Wnet_mech.Properties.pp_violation) ic;
+    Format.printf "individual-rationality violations: %d@." (List.length ir);
+    Format.printf "biconnected: %b@." (Wnet_graph.Connectivity.is_biconnected g);
+    if ic = [] && ir = [] then 0 else 1
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Run the strategyproofness falsifiers on an instance.")
+    Term.(const run $ graph_arg $ src_arg $ dst_arg $ trials $ seed_arg)
+
+(* -- distributed -- *)
+
+let distributed_cmd =
+  let root = Arg.(value & opt int 0 & info [ "root" ] ~docv:"NODE" ~doc:"Access point.") in
+  let verify = Arg.(value & flag & info [ "verify" ] ~doc:"Algorithm 2 verification.") in
+  let run path root verify =
+    let g = read_graph path in
+    let spt = Wnet_dsim.Spt_protocol.run ~verified:verify g ~root in
+    Format.printf "stage 1: %d rounds, matches centralized: %b@."
+      spt.Wnet_dsim.Spt_protocol.stats.Wnet_dsim.Engine.rounds
+      (Wnet_dsim.Spt_protocol.matches_centralized spt g ~root);
+    let pay = Wnet_dsim.Payment_protocol.run ~verify g ~root in
+    Format.printf "stage 2: %d rounds, %d broadcasts, agrees with centralized: %b@."
+      pay.Wnet_dsim.Payment_protocol.stats.Wnet_dsim.Engine.rounds
+      pay.Wnet_dsim.Payment_protocol.stats.Wnet_dsim.Engine.broadcasts
+      (Wnet_dsim.Payment_protocol.agrees_with_centralized pay g);
+    Array.iteri
+      (fun i table ->
+        if table <> [] then begin
+          Format.printf "node %d pays:" i;
+          List.iter (fun (k, p) -> Format.printf " %d:%g" k p) table;
+          Format.printf "@."
+        end)
+      pay.Wnet_dsim.Payment_protocol.payments;
+    0
+  in
+  Cmd.v (Cmd.info "distributed" ~doc:"Run the distributed protocols on an instance.")
+    Term.(const run $ graph_arg $ root $ verify)
+
+(* -- experiment -- *)
+
+let experiments ~instances ~seed ~csv name =
+  let sweep_out ~title model =
+    let points = Wnet_experiments.Fig3.overpayment_sweep ~instances ~seed model in
+    if csv then
+      print_endline (Wnet_stats.Table.to_csv (Wnet_experiments.Fig3.sweep_table points))
+    else print_endline (Wnet_experiments.Fig3.render_sweep ~title points)
+  in
+  match name with
+  | "fig3a" | "fig3b" ->
+    sweep_out ~title:"Figure 3(a/b): UDG, kappa = 2"
+      (Wnet_experiments.Fig3.Udg { kappa = 2.0 })
+  | "fig3c" ->
+    sweep_out ~title:"Figure 3(c): UDG, kappa = 2.5"
+      (Wnet_experiments.Fig3.Udg { kappa = 2.5 })
+  | "fig3d" ->
+    let buckets =
+      Wnet_experiments.Fig3.hop_profile ~instances ~seed
+        (Wnet_experiments.Fig3.Udg { kappa = 2.0 })
+    in
+    if csv then
+      print_endline (Wnet_stats.Table.to_csv (Wnet_experiments.Fig3.hop_table buckets))
+    else
+      print_endline
+        (Wnet_experiments.Fig3.render_hop_profile
+           ~title:"Figure 3(d): ratio vs hop distance (UDG, kappa = 2, n = 500)"
+           buckets)
+  | "fig3e" ->
+    sweep_out ~title:"Figure 3(e): random ranges, kappa = 2"
+      (Wnet_experiments.Fig3.Random_range { kappa = 2.0 })
+  | "fig3f" ->
+    sweep_out ~title:"Figure 3(f): random ranges, kappa = 2.5"
+      (Wnet_experiments.Fig3.Random_range { kappa = 2.5 })
+  | "node-model" ->
+    print_endline
+      (Wnet_experiments.Node_model.render
+         ~title:"Ablation: node-cost model, uniform costs"
+         (Wnet_experiments.Node_model.sweep ~instances ~seed ()))
+  | "speed" ->
+    print_endline (Wnet_experiments.Speed.render (Wnet_experiments.Speed.sweep ~seed ()))
+  | "distributed" ->
+    print_endline
+      (Wnet_experiments.Distributed_exp.render
+         (Wnet_experiments.Distributed_exp.sweep ~instances ~seed ()))
+  | "collusion" ->
+    print_endline
+      (Wnet_experiments.Collusion_exp.render
+         (Wnet_experiments.Collusion_exp.study ~instances ~seed ()))
+  | "second-path" ->
+    print_endline
+      (Wnet_experiments.Second_path_exp.render
+         (Wnet_experiments.Second_path_exp.study ~instances ~seed ()))
+  | "agent-model" ->
+    print_endline
+      (Wnet_experiments.Agent_model_exp.render
+         (Wnet_experiments.Agent_model_exp.sweep ~instances ~seed ()))
+  | "relay-load" ->
+    print_endline
+      (Wnet_experiments.Relay_load.render
+         (Wnet_experiments.Relay_load.study ~instances ~seed ()))
+  | "lifetime" ->
+    print_endline
+      (Wnet_experiments.Lifetime_exp.render
+         (Wnet_experiments.Lifetime_exp.study ~seed ()))
+  | "scheme-ablation" ->
+    print_endline
+      (Wnet_experiments.Scheme_ablation.render
+         (Wnet_experiments.Scheme_ablation.sweep ~instances ~seed ()))
+  | "baselines" ->
+    print_endline
+      (Wnet_experiments.Baseline_exp.render_nuglet
+         (Wnet_experiments.Baseline_exp.nuglet_sweep ~instances ~seed ()));
+    print_newline ();
+    print_endline
+      (Wnet_experiments.Baseline_exp.render_watchdog
+         (Wnet_experiments.Baseline_exp.watchdog_sweep ~instances ~seed ()))
+  | name -> failwith ("unknown experiment " ^ name)
+
+let experiment_cmd =
+  let exp_name =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"NAME"
+             ~doc:"One of: fig3a fig3b fig3c fig3d fig3e fig3f node-model speed \
+                   distributed collusion scheme-ablation baselines lifetime \
+                   agent-model second-path relay-load.")
+  in
+  let instances =
+    Arg.(value & opt int 10
+         & info [ "instances" ] ~docv:"K" ~doc:"Random instances per point (paper: 100).")
+  in
+  let csv =
+    Arg.(value & flag
+         & info [ "csv" ] ~doc:"Emit CSV instead of tables (Figure 3 panels only).")
+  in
+  let run exp_name instances seed csv =
+    experiments ~instances ~seed ~csv exp_name;
+    0
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a paper figure or study.")
+    Term.(const run $ exp_name $ instances $ seed_arg $ csv)
+
+(* -- report -- *)
+
+let report_cmd =
+  let instances =
+    Arg.(value & opt int 10
+         & info [ "instances" ] ~docv:"K" ~doc:"Instances per point (paper: 100).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  let run instances seed out =
+    let report = Wnet_experiments.Report.generate ~instances ~seed () in
+    (match out with
+    | None -> print_string report
+    | Some path ->
+      Wnet_experiments.Report.save ~path report;
+      Format.printf "wrote %s@." path);
+    0
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run every experiment and emit a single markdown reproduction report.")
+    Term.(const run $ instances $ seed_arg $ out)
+
+(* -- generate -- *)
+
+let generate_cmd =
+  let model =
+    Arg.(value & opt string "udg"
+         & info [ "model" ] ~docv:"MODEL"
+             ~doc:"$(b,udg) (paper region, range 300m, uniform node costs) or \
+                   $(b,gnp) (connected G(n, p)).")
+  in
+  let nodes = Arg.(value & opt int 100 & info [ "n" ] ~docv:"N" ~doc:"Node count.") in
+  let run model n seed =
+    let rng = Wnet_prng.Rng.create seed in
+    let g =
+      match model with
+      | "udg" ->
+        let t = Wnet_topology.Udg.paper_instance rng ~n in
+        let costs = Wnet_topology.Udg.uniform_node_costs rng ~n ~lo:1.0 ~hi:10.0 in
+        Wnet_topology.Udg.node_graph t ~costs
+      | "gnp" ->
+        Wnet_topology.Gnp.connected_graph rng ~n ~p:(4.0 /. float_of_int (max n 1))
+          ~cost_lo:1.0 ~cost_hi:10.0
+      | other -> failwith ("unknown model " ^ other)
+    in
+    print_string (Wnet_graph.Graph_io.to_string g);
+    0
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Emit a random instance in the graph file format (to stdout).")
+    Term.(const run $ model $ nodes $ seed_arg)
+
+(* -- stats -- *)
+
+let stats_cmd =
+  let run path =
+    let g = read_graph path in
+    Format.printf "%a@." Wnet_graph.Metrics.pp (Wnet_graph.Metrics.compute g);
+    Format.printf "degree histogram:";
+    List.iter
+      (fun (d, c) -> Format.printf " %d:%d" d c)
+      (Wnet_graph.Metrics.degree_histogram g);
+    Format.printf "@.";
+    0
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Topology statistics of a graph file.")
+    Term.(const run $ graph_arg)
+
+(* -- format -- *)
+
+let format_cmd =
+  let run () =
+    print_endline "Graph file format (one declaration per line, # comments):";
+    print_endline "  node <id> <cost>     declare a node and its relay cost";
+    print_endline "  edge <u> <v>         undirected radio link";
+    print_endline "  link <u> <v> <w>     directed link with power cost (digraph format)";
+    print_endline "";
+    print_endline "Example (the paper's Figure 2 network):";
+    print_string
+      (Wnet_graph.Graph_io.to_string Examples.fig2.Examples.graph);
+    0
+  in
+  Cmd.v (Cmd.info "format" ~doc:"Describe the graph file format.") Term.(const run $ const ())
+
+let () =
+  let doc = "Truthful low-cost unicast in selfish wireless networks (IPDPS 2004)" in
+  let info = Cmd.info "unicast" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            lcp_cmd; pay_cmd; check_cmd; distributed_cmd; experiment_cmd;
+            report_cmd; generate_cmd; stats_cmd; format_cmd;
+          ]))

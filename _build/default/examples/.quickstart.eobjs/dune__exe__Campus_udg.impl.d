@@ -1,0 +1,1 @@
+examples/campus_udg.ml: Array Float Format Fun Link_cost List Option Overpayment Wnet_baselines Wnet_core Wnet_geom Wnet_graph Wnet_prng Wnet_topology

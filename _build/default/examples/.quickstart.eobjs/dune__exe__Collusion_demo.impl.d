@@ -1,0 +1,1 @@
+examples/collusion_demo.ml: Array Collusion Examples Format Graph Option Path Payment_scheme Unicast Wnet_core Wnet_dsim Wnet_graph

@@ -1,0 +1,1 @@
+examples/distributed_demo.ml: Array Format List Wnet_dsim Wnet_graph Wnet_prng Wnet_topology

@@ -1,0 +1,1 @@
+examples/economy_demo.ml: Array List Printf Wnet_accounting Wnet_experiments Wnet_geom Wnet_graph Wnet_prng Wnet_topology

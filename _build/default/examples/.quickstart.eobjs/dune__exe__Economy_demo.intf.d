@@ -1,0 +1,1 @@
+examples/economy_demo.mli:

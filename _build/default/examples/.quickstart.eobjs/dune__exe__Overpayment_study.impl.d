@@ -1,0 +1,1 @@
+examples/overpayment_study.ml: Array Format List Sys Wnet_experiments

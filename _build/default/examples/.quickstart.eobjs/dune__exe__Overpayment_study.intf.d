@@ -1,0 +1,1 @@
+examples/overpayment_study.mli:

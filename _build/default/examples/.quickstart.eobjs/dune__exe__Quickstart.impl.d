@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Graph List Option Path Unicast Wnet_core Wnet_graph Wnet_mech Wnet_prng

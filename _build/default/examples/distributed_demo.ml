@@ -1,0 +1,87 @@
+(* Distributed protocols demo (Sec. III-C/D).
+
+   Run with:  dune exec examples/distributed_demo.exe
+
+   Builds a random biconnected network, runs the distributed SPT and
+   payment protocols, verifies they reproduce the centralized VCG
+   payments within n rounds, then lets nodes misbehave and shows
+   Algorithm 2 catching them. *)
+
+let () =
+  let rng = Wnet_prng.Rng.create 99 in
+  let n = 30 in
+  let g =
+    match
+      Wnet_topology.Gnp.biconnected_graph rng ~n ~p:0.15 ~cost_lo:1.0
+        ~cost_hi:10.0 ~max_tries:200
+    with
+    | Some g -> g
+    | None -> failwith "generation failed; try another seed"
+  in
+  Format.printf "Random biconnected network: n=%d, m=%d, access point v0.@.@." n
+    (Wnet_graph.Graph.m g);
+
+  (* Stage 1: distributed SPT. *)
+  let spt = Wnet_dsim.Spt_protocol.run g ~root:0 in
+  Format.printf "Stage 1 (distributed SPT): %d rounds, %d broadcasts, matches Dijkstra: %b@."
+    spt.Wnet_dsim.Spt_protocol.stats.Wnet_dsim.Engine.rounds
+    spt.Wnet_dsim.Spt_protocol.stats.Wnet_dsim.Engine.broadcasts
+    (Wnet_dsim.Spt_protocol.matches_centralized spt g ~root:0);
+
+  (* Stage 2: distributed payments. *)
+  let pay = Wnet_dsim.Payment_protocol.run g ~root:0 in
+  Format.printf
+    "Stage 2 (distributed payments): %d rounds (<= n = %d), agrees with centralized VCG: %b@.@."
+    pay.Wnet_dsim.Payment_protocol.stats.Wnet_dsim.Engine.rounds n
+    (Wnet_dsim.Payment_protocol.agrees_with_centralized pay g);
+
+  (* The same result with NO centralized step anywhere: declaration
+     flood -> distributed SPT -> payment relaxation seeded by the SPT's
+     own outputs. *)
+  let full = Wnet_dsim.Payment_protocol.run_full g ~root:0 in
+  Format.printf
+    "Full pipeline (declare + SPT + payments, all distributed): %d rounds total, \
+     agrees with centralized VCG: %b@.@."
+    full.Wnet_dsim.Payment_protocol.stats.Wnet_dsim.Engine.rounds
+    (Wnet_dsim.Payment_protocol.agrees_with_centralized full g);
+
+  (* Show one node's table. *)
+  let sample =
+    let rec find v = if pay.Wnet_dsim.Payment_protocol.payments.(v) <> [] then v else find (v + 1) in
+    find 1
+  in
+  Format.printf "node v%d's converged payment table:@." sample;
+  List.iter
+    (fun (k, p) -> Format.printf "  pays relay v%d: %.3f@." k p)
+    pay.Wnet_dsim.Payment_protocol.payments.(sample);
+  Format.printf "@.";
+
+  (* Misbehaviour 1: a relay inflates its advertised distance to dodge
+     relay duty.  Unverified: the SPT is corrupted.  Verified: fixed. *)
+  let liar = sample in
+  let behaviours v =
+    if v = liar then Wnet_dsim.Spt_protocol.Inflate_distance 1000.0
+    else Wnet_dsim.Spt_protocol.Honest
+  in
+  let bad = Wnet_dsim.Spt_protocol.run ~behaviours g ~root:0 in
+  let fixed = Wnet_dsim.Spt_protocol.run ~behaviours ~verified:true g ~root:0 in
+  Format.printf
+    "v%d inflates its distance by 1000: unverified SPT correct? %b; verified SPT correct? %b@."
+    liar
+    (Wnet_dsim.Spt_protocol.matches_centralized bad g ~root:0)
+    (Wnet_dsim.Spt_protocol.matches_centralized fixed g ~root:0);
+
+  (* Misbehaviour 2: a payer under-reports its computed payments.  The
+     stage-2 cross-check accuses it. *)
+  let adversaries v =
+    if v = sample then Wnet_dsim.Payment_protocol.Deflate_entries 0.5
+    else Wnet_dsim.Payment_protocol.Honest
+  in
+  let cheaty = Wnet_dsim.Payment_protocol.run ~adversaries ~verify:true g ~root:0 in
+  Format.printf "v%d halves its announced payments: accusations = [" sample;
+  List.iter
+    (fun (accuser, accused) -> Format.printf " v%d->v%d" accuser accused)
+    cheaty.Wnet_dsim.Payment_protocol.accusations;
+  Format.printf " ]@.";
+  Format.printf
+    "Every accusation names the cheater; honest runs produce none (see tests).@."

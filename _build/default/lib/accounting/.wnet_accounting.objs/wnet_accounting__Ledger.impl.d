@@ -1,0 +1,1 @@
+lib/accounting/ledger.ml: Array Float Hashtbl List Wnet_core

@@ -1,0 +1,1 @@
+lib/accounting/session_sim.ml: Array Float Ledger List Wnet_core Wnet_graph Wnet_prng

@@ -1,0 +1,1 @@
+lib/accounting/session_sim.mli: Ledger Wnet_graph Wnet_prng

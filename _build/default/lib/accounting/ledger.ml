@@ -1,0 +1,71 @@
+type settlement = {
+  session : int;
+  source : int;
+  debit : float;
+  credits : (int * float) list;
+}
+
+type rejection =
+  | Unsigned_initiation
+  | Missing_acknowledgment
+  | Insufficient_funds of float
+  | Duplicate_session
+
+type t = {
+  balances : float array;
+  seen_sessions : (int, unit) Hashtbl.t;
+  mutable settled : settlement list;
+  mutable rejected : (int * rejection) list;
+}
+
+let create ~n ~initial_balance =
+  if n < 0 then invalid_arg "Ledger.create: negative node count";
+  if initial_balance < 0.0 then invalid_arg "Ledger.create: negative balance";
+  {
+    balances = Array.make n initial_balance;
+    seen_sessions = Hashtbl.create 64;
+    settled = [];
+    rejected = [];
+  }
+
+let balance t v = t.balances.(v)
+
+let deposit t v amount =
+  if amount < 0.0 then invalid_arg "Ledger.deposit: negative amount";
+  t.balances.(v) <- t.balances.(v) +. amount
+
+let reject t session reason =
+  t.rejected <- (session, reason) :: t.rejected;
+  Error reason
+
+let settle t ~session ~outcome ~packets ~signed_by_source ~acknowledged =
+  if Hashtbl.mem t.seen_sessions session then reject t session Duplicate_session
+  else if not signed_by_source then reject t session Unsigned_initiation
+  else if not acknowledged then reject t session Missing_acknowledgment
+  else begin
+    let source = outcome.Wnet_core.Unicast.src in
+    let debit = Wnet_core.Unicast.session_charge outcome ~packets in
+    if not (Float.is_finite debit) then
+      reject t session (Insufficient_funds infinity)
+    else if t.balances.(source) < debit then
+      reject t session (Insufficient_funds (debit -. t.balances.(source)))
+    else begin
+      Hashtbl.add t.seen_sessions session ();
+      let credits =
+        Wnet_core.Unicast.relays outcome
+        |> List.map (fun k ->
+               (k, Wnet_core.Unicast.session_payment_to outcome ~packets k))
+      in
+      t.balances.(source) <- t.balances.(source) -. debit;
+      List.iter (fun (k, c) -> t.balances.(k) <- t.balances.(k) +. c) credits;
+      let s = { session; source; debit; credits } in
+      t.settled <- s :: t.settled;
+      Ok s
+    end
+  end
+
+let settlements t = t.settled
+
+let rejections t = t.rejected
+
+let total_in_circulation t = Array.fold_left ( +. ) 0.0 t.balances

@@ -1,0 +1,68 @@
+(** Access-point ledger (Sec. III-H, "Where to pay").
+
+    All payment transactions are settled at the access point: every node
+    holds a secure account there; when the AP receives (and acknowledges)
+    a session's data, it credits each relay on the least cost path with
+    [packets * p^k] and debits the source by the same total.
+
+    The ledger enforces the two countermeasures the paper describes:
+
+    - a session is only settled against a {e source-signed} initiation
+      (a node cannot repudiate traffic it originated — modelled as an
+      explicit authorization token);
+    - relays are only credited once the AP's {e signed acknowledgment}
+      exists (no payment for undelivered traffic, which also disarms the
+      free-riding attack: piggybacked data without an initiation token is
+      not settled and is reported). *)
+
+type t
+(** Mutable ledger state. *)
+
+type settlement = {
+  session : int;  (** session identifier *)
+  source : int;
+  debit : float;  (** charged to the source *)
+  credits : (int * float) list;  (** per-relay payments *)
+}
+
+type rejection =
+  | Unsigned_initiation  (** no valid source authorization: free-riding attempt *)
+  | Missing_acknowledgment  (** AP never confirmed delivery *)
+  | Insufficient_funds of float  (** source balance below the debit; the shortfall *)
+  | Duplicate_session  (** replayed session id *)
+
+val create : n:int -> initial_balance:float -> t
+(** [create ~n ~initial_balance] opens an account per node.
+    @raise Invalid_argument if [n < 0] or the balance is negative. *)
+
+val balance : t -> int -> float
+
+val deposit : t -> int -> float -> unit
+(** Top-up (e.g. out-of-band payment).
+    @raise Invalid_argument on a negative amount. *)
+
+val settle :
+  t ->
+  session:int ->
+  outcome:Wnet_core.Unicast.t ->
+  packets:int ->
+  signed_by_source:bool ->
+  acknowledged:bool ->
+  (settlement, rejection) result
+(** [settle t ~session ~outcome ~packets ~signed_by_source ~acknowledged]
+    applies the charging rule for one delivered session routed along
+    [outcome]: debit the source [packets * total_payment], credit each
+    relay [packets * p^k].  Rejected settlements change no balance.
+    Sessions with an infinite payment (monopoly relay) are rejected as
+    [Insufficient_funds infinity]. *)
+
+val settlements : t -> settlement list
+(** Accepted settlements, newest first. *)
+
+val rejections : t -> (int * rejection) list
+(** Rejected [(session, reason)] pairs, newest first — the audit trail
+    the paper's signature discipline exists to produce. *)
+
+val total_in_circulation : t -> float
+(** Sum of all balances — conserved by every settlement (payments are
+    transfers). *)

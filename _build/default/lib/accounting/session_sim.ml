@@ -1,0 +1,74 @@
+type principal = Honest | Free_rider | Deadbeat
+
+type report = {
+  ledger : Ledger.t;
+  delivered : int;
+  rejected_free_riding : int;
+  rejected_unfunded : int;
+  rejected_other : int;
+  relay_income : float array;
+}
+
+let run rng g ~root ~sessions ~packets_per_session ~initial_balance ~principals =
+  if sessions <= 0 then invalid_arg "Session_sim.run: sessions must be positive";
+  if packets_per_session <= 0 then
+    invalid_arg "Session_sim.run: packets must be positive";
+  let n = Wnet_graph.Graph.n g in
+  let ledger = Ledger.create ~n ~initial_balance in
+  (* Deadbeats never fund their account beyond [initial_balance];
+     everyone else is assumed solvent. *)
+  for v = 0 to n - 1 do
+    if principals v <> Deadbeat then Ledger.deposit ledger v 1_000_000.0
+  done;
+  let outcomes = Wnet_core.Unicast.all_to_root g ~root in
+  let delivered = ref 0 in
+  let free_riding = ref 0 and unfunded = ref 0 and other = ref 0 in
+  let relay_income = Array.make n 0.0 in
+  for session = 1 to sessions do
+    let src = ref (Wnet_prng.Rng.int rng n) in
+    while !src = root do
+      src := Wnet_prng.Rng.int rng n
+    done;
+    match outcomes.(!src) with
+    | None -> () (* disconnected: skipped *)
+    | Some outcome ->
+      let signed_by_source = principals !src <> Free_rider in
+      let result =
+        Ledger.settle ledger ~session ~outcome ~packets:packets_per_session
+          ~signed_by_source ~acknowledged:true
+      in
+      (match result with
+      | Ok s ->
+        incr delivered;
+        List.iter
+          (fun (k, c) -> relay_income.(k) <- relay_income.(k) +. c)
+          s.Ledger.credits
+      | Error Ledger.Unsigned_initiation -> incr free_riding
+      | Error (Ledger.Insufficient_funds s) when Float.is_finite s ->
+        incr unfunded
+      | Error (Ledger.Insufficient_funds _) ->
+        (* infinite price: a monopoly relay, not a funding problem *)
+        incr other
+      | Error (Ledger.Missing_acknowledgment | Ledger.Duplicate_session) ->
+        incr other)
+  done;
+  {
+    ledger;
+    delivered = !delivered;
+    rejected_free_riding = !free_riding;
+    rejected_unfunded = !unfunded;
+    rejected_other = !other;
+    relay_income;
+  }
+
+let income_matches_payments r =
+  let expected = Array.make (Array.length r.relay_income) 0.0 in
+  List.iter
+    (fun (s : Ledger.settlement) ->
+      List.iter
+        (fun (k, c) -> expected.(k) <- expected.(k) +. c)
+        s.Ledger.credits)
+    (Ledger.settlements r.ledger);
+  Array.for_all2
+    (fun a b -> Float.abs (a -. b) <= 1e-6 *. (1.0 +. Float.abs a))
+    expected r.relay_income

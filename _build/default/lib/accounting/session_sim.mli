@@ -1,0 +1,51 @@
+(** Session-level traffic simulation over the ledger.
+
+    Drives many sessions through a network: each session picks a source,
+    computes its VCG outcome, and attempts settlement at the access
+    point.  Misbehaving principals are modelled explicitly:
+
+    - a {!Free_rider} piggybacks data without a signed initiation (the
+      Sec. III-H attack): its sessions are rejected and logged;
+    - a {!Deadbeat} signs but never holds funds: its sessions bounce
+      with [Insufficient_funds] once its account is empty;
+    - {!Honest} sources settle normally.
+
+    The simulation demonstrates the paper's claim that the signature +
+    acknowledgment discipline makes every attack {e detectable and
+    unprofitable}: rejected sessions transfer no money, and the audit
+    trail names the offender. *)
+
+type principal =
+  | Honest
+  | Free_rider
+  | Deadbeat
+
+type report = {
+  ledger : Ledger.t;
+  delivered : int;  (** settled sessions *)
+  rejected_free_riding : int;
+  rejected_unfunded : int;  (** finite shortfalls: deadbeats *)
+  rejected_other : int;
+      (** incl. infinite prices (a monopoly relay on the source's LCP —
+          a topology problem, not a funding one) *)
+  relay_income : float array;  (** total credits per node *)
+}
+
+val run :
+  Wnet_prng.Rng.t ->
+  Wnet_graph.Graph.t ->
+  root:int ->
+  sessions:int ->
+  packets_per_session:int ->
+  initial_balance:float ->
+  principals:(int -> principal) ->
+  report
+(** Random sources (uniform over non-root nodes) each attempt one
+    session to [root].  Sources disconnected from the root are skipped
+    (not counted).  [initial_balance] is what a {!Deadbeat} holds; all
+    other principals are treated as solvent (topped up generously).
+    @raise Invalid_argument on non-positive [sessions] or [packets]. *)
+
+val income_matches_payments : report -> bool
+(** Every relay's income equals the credits of the accepted settlements
+    — the conservation check. *)

@@ -1,0 +1,1 @@
+lib/baselines/naive_payment.ml: List Wnet_core

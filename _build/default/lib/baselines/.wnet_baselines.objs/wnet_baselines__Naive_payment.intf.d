@@ -1,0 +1,1 @@
+lib/baselines/naive_payment.mli: Wnet_core Wnet_graph

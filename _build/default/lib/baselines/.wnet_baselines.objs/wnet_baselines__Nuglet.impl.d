@@ -1,0 +1,1 @@
+lib/baselines/nuglet.ml: Array Graph Path Queue Wnet_graph Wnet_prng

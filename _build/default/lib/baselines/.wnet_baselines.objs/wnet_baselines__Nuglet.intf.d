@@ -1,0 +1,1 @@
+lib/baselines/nuglet.mli: Wnet_graph Wnet_prng

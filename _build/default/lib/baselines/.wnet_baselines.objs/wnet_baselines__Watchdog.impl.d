@@ -1,0 +1,1 @@
+lib/baselines/watchdog.ml: Array Dijkstra Graph Path Wnet_graph Wnet_prng

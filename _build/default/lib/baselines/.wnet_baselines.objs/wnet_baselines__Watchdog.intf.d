@@ -1,0 +1,1 @@
+lib/baselines/watchdog.mli: Wnet_graph Wnet_prng

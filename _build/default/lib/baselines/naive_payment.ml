@@ -1,0 +1,6 @@
+let run g ~src ~dst = Wnet_core.Unicast.run ~algo:Wnet_core.Unicast.Naive g ~src ~dst
+
+let operation_count g ~src ~dst =
+  match Wnet_core.Unicast.run ~algo:Wnet_core.Unicast.Naive g ~src ~dst with
+  | None -> 1
+  | Some r -> 1 + List.length (Wnet_core.Unicast.relays r)

@@ -1,0 +1,15 @@
+(** The naive payment computation the paper's Algorithm 1 improves on:
+    one full Dijkstra per relay on the least cost path,
+    [O(n^2 log n + n m)] in the worst case (Sec. III-B).
+
+    Functionally identical to [Wnet_core.Unicast.run ~algo:Naive]; kept
+    as a named baseline so the benchmark harness can compare the two
+    implementations symmetrically and so tests can cross-check the fast
+    path against an independent entry point. *)
+
+val run : Wnet_graph.Graph.t -> src:int -> dst:int -> Wnet_core.Unicast.t option
+
+val operation_count : Wnet_graph.Graph.t -> src:int -> dst:int -> int
+(** Number of single-source shortest-path computations the naive method
+    performs (1 for the LCP + one per relay) — the quantity Algorithm 1
+    reduces to a constant. *)

@@ -1,0 +1,101 @@
+open Wnet_graph
+
+type outcome = {
+  price : float;
+  participants : bool array;
+  path : Path.t option;
+  charge : float;
+  social_cost : float;
+}
+
+(* Minimum-hop path from src to dst whose interior nodes all satisfy
+   [allowed]; endpoints are always usable. *)
+let min_hop_path g ~allowed ~src ~dst =
+  let n = Graph.n g in
+  let parent = Array.make n (-2) in
+  parent.(src) <- -1;
+  let q = Queue.create () in
+  Queue.add src q;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun w ->
+        if parent.(w) = -2 && (w = dst || allowed w) then begin
+          parent.(w) <- u;
+          if w = dst then found := true else Queue.add w q
+        end)
+      (Graph.neighbors g u)
+  done;
+  if not !found then None
+  else begin
+    let rec up v acc = if v = src then v :: acc else up parent.(v) (v :: acc) in
+    Some (Array.of_list (up dst []))
+  end
+
+let run g ~price ~src ~dst =
+  if price < 0.0 then invalid_arg "Nuglet.run: negative price";
+  let n = Graph.n g in
+  if src < 0 || src >= n || dst < 0 || dst >= n || src = dst then
+    invalid_arg "Nuglet.run: bad endpoints";
+  let participants =
+    Array.init n (fun v -> v = src || v = dst || Graph.cost g v <= price)
+  in
+  let path = min_hop_path g ~allowed:(fun v -> participants.(v)) ~src ~dst in
+  match path with
+  | None -> { price; participants; path; charge = nan; social_cost = infinity }
+  | Some p ->
+    let relays = Path.relays p in
+    {
+      price;
+      participants;
+      path;
+      charge = price *. float_of_int (Array.length relays);
+      social_cost = Path.relay_cost g p;
+    }
+
+let delivery_rate g ~price ~root =
+  let n = Graph.n g in
+  if n <= 1 then 1.0
+  else begin
+    let delivered = ref 0 in
+    for src = 0 to n - 1 do
+      if src <> root then begin
+        let o = run g ~price ~src ~dst:root in
+        if o.path <> None then incr delivered
+      end
+    done;
+    float_of_int !delivered /. float_of_int (n - 1)
+  end
+
+type economy = {
+  counters : float array;
+  delivered : int;
+  blocked : int;
+  disconnected : int;
+}
+
+let simulate_sessions rng g ~root ~sessions ~initial =
+  let n = Graph.n g in
+  if n <= 1 then invalid_arg "Nuglet.simulate_sessions: trivial network";
+  let counters = Array.make n initial in
+  let delivered = ref 0 and blocked = ref 0 and disconnected = ref 0 in
+  for _ = 1 to sessions do
+    let src = ref (Wnet_prng.Rng.int rng n) in
+    while !src = root do
+      src := Wnet_prng.Rng.int rng n
+    done;
+    let src = !src in
+    match min_hop_path g ~allowed:(fun _ -> true) ~src ~dst:root with
+    | None -> incr disconnected
+    | Some p ->
+      let relays = Path.relays p in
+      let fee = float_of_int (Array.length relays) in
+      if counters.(src) < fee then incr blocked
+      else begin
+        counters.(src) <- counters.(src) -. fee;
+        Array.iter (fun k -> counters.(k) <- counters.(k) +. 1.0) relays;
+        incr delivered
+      end
+  done;
+  { counters; delivered = !delivered; blocked = !blocked; disconnected = !disconnected }

@@ -1,0 +1,56 @@
+(** The nuglet / fixed-price baseline (Buttyán–Hubaux line of work, the
+    schemes of the paper's refs [2, 3, 5, 6]).
+
+    Every relay on a chosen path is paid a {e fixed} price (one nuglet);
+    the source is charged one nuglet per relay.  The paper's critique,
+    reproduced by this module:
+
+    - if the nuglet has real monetary value, a rational node whose true
+      relay cost exceeds the price simply refuses to relay, so delivery
+      depends on the topology of the "cheap" nodes ({!run},
+      {!delivery_rate});
+    - if it does not, nodes that never originate traffic have no reason
+      to relay at all;
+    - with counter dynamics (relaying earns what sending spends), most
+      transmissions being transit traffic means counters cannot stay
+      balanced and sessions get blocked ({!simulate_sessions}). *)
+
+type outcome = {
+  price : float;
+  participants : bool array;
+      (** [participants.(v)]: would [v] relay at this price
+          ([cost v <= price])?  Endpoints always participate. *)
+  path : Wnet_graph.Path.t option;
+      (** minimum-hop path whose relays all participate, [None] if the
+          cheap subgraph disconnects the pair *)
+  charge : float;  (** [price * relays] when deliverable, else [nan] *)
+  social_cost : float;
+      (** sum of the true costs of the chosen relays, [infinity] when
+          undeliverable *)
+}
+
+val run : Wnet_graph.Graph.t -> price:float -> src:int -> dst:int -> outcome
+(** One unicast under the fixed-price scheme with rational participation. *)
+
+val delivery_rate : Wnet_graph.Graph.t -> price:float -> root:int -> float
+(** Fraction of sources (all nodes but [root]) whose unicast to [root]
+    is deliverable at this price. *)
+
+type economy = {
+  counters : float array;  (** final nuglet balances *)
+  delivered : int;
+  blocked : int;  (** sessions refused for lack of nuglets *)
+  disconnected : int;  (** sessions with no usable route *)
+}
+
+val simulate_sessions :
+  Wnet_prng.Rng.t ->
+  Wnet_graph.Graph.t ->
+  root:int ->
+  sessions:int ->
+  initial:float ->
+  economy
+(** Counter dynamics: random sources send one-packet sessions to [root]
+    along the minimum-hop path; the source pays one nuglet per relay out
+    of its counter (blocked when insufficient), each relay's counter
+    gains one.  [initial] is the jump-start balance. *)

@@ -1,0 +1,81 @@
+open Wnet_graph
+
+type kind = Selfish | Cooperative of int
+
+type report = {
+  labelled : bool array;
+  wrongful : int;
+  rightful : int;
+  refusals : int;
+  delivered : int;
+  failed : int;
+}
+
+let run rng g ~kinds ~root ~sessions =
+  let n = Graph.n g in
+  if n <= 1 then invalid_arg "Watchdog.run: trivial network";
+  let battery =
+    Array.init n (fun v ->
+        match kinds v with
+        | Selfish -> 0
+        | Cooperative b ->
+          if b < 0 then invalid_arg "Watchdog.run: negative battery";
+          b)
+  in
+  let labelled = Array.make n false in
+  let refusals = ref 0 and delivered = ref 0 and failed = ref 0 in
+  for _ = 1 to sessions do
+    let src = ref (Wnet_prng.Rng.int rng n) in
+    while !src = root do
+      src := Wnet_prng.Rng.int rng n
+    done;
+    (* Pathrater: route around nodes already known to misbehave. *)
+    let tree =
+      Dijkstra.node_weighted
+        ~forbidden:(fun v -> labelled.(v) && v <> !src && v <> root)
+        (Graph.with_costs g (Array.make n 1.0))
+        ~source:!src
+    in
+    match Dijkstra.path_to tree root with
+    | None -> incr failed
+    | Some p ->
+      let relays = Path.relays p in
+      let ok = ref true in
+      Array.iter
+        (fun k ->
+          if !ok then begin
+            let willing =
+              match kinds k with
+              | Selfish -> false
+              | Cooperative _ -> battery.(k) > 0
+            in
+            if willing then battery.(k) <- battery.(k) - 1
+            else begin
+              (* The watchdog upstream overhears the drop. *)
+              incr refusals;
+              labelled.(k) <- true;
+              ok := false
+            end
+          end)
+        relays;
+      if !ok then incr delivered else incr failed
+  done;
+  let wrongful = ref 0 and rightful = ref 0 in
+  Array.iteri
+    (fun v l ->
+      if l then
+        match kinds v with
+        | Selfish -> incr rightful
+        | Cooperative _ -> incr wrongful)
+    labelled;
+  {
+    labelled;
+    wrongful = !wrongful;
+    rightful = !rightful;
+    refusals = !refusals;
+    delivered = !delivered;
+    failed = !failed;
+  }
+
+let wrongful_fraction r =
+  float_of_int r.wrongful /. float_of_int (max 1 (r.wrongful + r.rightful))

@@ -1,0 +1,35 @@
+(** Watchdog / Pathrater baseline (Marti et al., the paper's ref [4]).
+
+    Nodes observed refusing to forward are labelled "misbehaving" and
+    routed around.  The paper's critique, which this module quantifies:
+    the label ignores {e why} a node refused — a cooperative node whose
+    battery cannot support more relaying is wrongfully labelled alongside
+    genuinely selfish free-riders. *)
+
+type kind =
+  | Selfish  (** never relays *)
+  | Cooperative of int
+      (** relays until its battery budget (number of packets) runs out *)
+
+type report = {
+  labelled : bool array;  (** nodes the watchdog marked misbehaving *)
+  wrongful : int;  (** cooperative nodes that got labelled *)
+  rightful : int;  (** selfish nodes that got labelled *)
+  refusals : int;  (** total refusals observed *)
+  delivered : int;
+  failed : int;  (** sessions that died at a refusing relay *)
+}
+
+val run :
+  Wnet_prng.Rng.t ->
+  Wnet_graph.Graph.t ->
+  kinds:(int -> kind) ->
+  root:int ->
+  sessions:int ->
+  report
+(** Random sources send sessions to [root] along minimum-hop routes that
+    avoid already-labelled nodes; each relay either forwards (consuming
+    battery) or refuses and gets labelled, killing the session. *)
+
+val wrongful_fraction : report -> float
+(** [wrongful / max 1 (wrongful + rightful)]. *)

@@ -1,0 +1,1 @@
+lib/core/collusion.ml: Array Dijkstra Float Graph List Path Unicast Wnet_graph

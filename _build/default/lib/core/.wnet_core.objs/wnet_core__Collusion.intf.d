@@ -1,0 +1,1 @@
+lib/core/collusion.mli: Unicast Wnet_graph

@@ -1,0 +1,1 @@
+lib/core/edge_unicast.ml: Array Edge_avoid Egraph Option Printf Wnet_graph Wnet_mech

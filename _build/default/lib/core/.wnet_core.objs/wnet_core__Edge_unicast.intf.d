@@ -1,0 +1,1 @@
+lib/core/edge_unicast.mli: Wnet_graph Wnet_mech

@@ -1,0 +1,1 @@
+lib/core/link_cost.ml: Array Digraph Dijkstra Float List Path Wnet_graph Wnet_prng

@@ -1,0 +1,1 @@
+lib/core/link_cost.mli: Wnet_graph Wnet_prng

@@ -1,0 +1,1 @@
+lib/core/overpayment.ml: Array Float Hashtbl Link_cost List Option Unicast Wnet_graph

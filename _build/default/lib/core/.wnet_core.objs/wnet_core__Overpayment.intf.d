@@ -1,0 +1,1 @@
+lib/core/overpayment.mli: Link_cost Unicast

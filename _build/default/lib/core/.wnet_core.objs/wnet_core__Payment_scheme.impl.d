@@ -1,0 +1,1 @@
+lib/core/payment_scheme.ml: Array Dijkstra Graph List Path Printf Wnet_graph Wnet_mech

@@ -1,0 +1,1 @@
+lib/core/payment_scheme.mli: Wnet_graph Wnet_mech

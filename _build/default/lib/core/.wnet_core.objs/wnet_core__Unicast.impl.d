@@ -1,0 +1,1 @@
+lib/core/unicast.ml: Array Avoid Dijkstra Graph List Option Path Printf Wnet_graph Wnet_mech

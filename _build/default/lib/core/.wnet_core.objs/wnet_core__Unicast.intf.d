@@ -1,0 +1,1 @@
+lib/core/unicast.mli: Wnet_graph Wnet_mech

@@ -1,0 +1,100 @@
+open Wnet_graph
+
+type neighbour_boost = {
+  relay : int;
+  accomplice : int;
+  boosted_bid : float;
+  honest_pair_utility : float;
+  boosted_pair_utility : float;
+}
+
+let pair_utility (r : Unicast.t) ~truth a b =
+  Unicast.utility r ~truth a +. Unicast.utility r ~truth b
+
+let find_neighbour_boost g ~src ~dst ~boost =
+  if boost <= 0.0 then invalid_arg "Collusion.find_neighbour_boost: boost <= 0";
+  let truth = Graph.costs g in
+  match Unicast.run g ~src ~dst with
+  | None -> None
+  | Some honest ->
+    let on_lcp = Array.make (Graph.n g) false in
+    Array.iter (fun v -> on_lcp.(v) <- true) honest.Unicast.path;
+    let try_relay k =
+      (* The pivot path for relay k: the LCP once k is removed. *)
+      let tree = Dijkstra.node_weighted ~forbidden:(fun v -> v = k) g ~source:src in
+      match Dijkstra.path_to tree dst with
+      | None -> None
+      | Some pivot_path ->
+        let candidates =
+          Array.to_list (Path.relays pivot_path)
+          |> List.filter (fun t -> (not on_lcp.(t)) && Graph.mem_edge g k t)
+        in
+        List.find_map
+          (fun t ->
+            let boosted_bid = Graph.cost g t +. boost in
+            let g' = Graph.with_cost g t boosted_bid in
+            match Unicast.run g' ~src ~dst with
+            | None -> None
+            | Some deviant ->
+              let honest_u = pair_utility honest ~truth k t in
+              let deviant_u = pair_utility deviant ~truth k t in
+              if deviant_u > honest_u +. (1e-9 *. (1.0 +. Float.abs honest_u))
+              then
+                Some
+                  {
+                    relay = k;
+                    accomplice = t;
+                    boosted_bid;
+                    honest_pair_utility = honest_u;
+                    boosted_pair_utility = deviant_u;
+                  }
+              else None)
+          candidates
+    in
+    List.find_map try_relay (Unicast.relays honest)
+
+type resale = {
+  source : int;
+  proxy : int;
+  direct_payment : float;
+  proxy_payment : float;
+  transfer : float;
+  saving : float;
+}
+
+let resale_opportunities g ~root ~payments =
+  let n = Graph.n g in
+  let found = ref [] in
+  for i = 0 to n - 1 do
+    if i <> root then
+      match payments i with
+      | None -> ()
+      | Some ri ->
+        let p_i = Unicast.total_payment ri in
+        if Float.is_finite p_i then
+          Array.iter
+            (fun j ->
+              if j <> root && j <> i then
+                match payments j with
+                | None -> ()
+                | Some rj ->
+                  let p_j = Unicast.total_payment rj in
+                  let transfer =
+                    p_j +. Float.max (Unicast.payment_to ri j) (Graph.cost g j)
+                  in
+                  if Float.is_finite transfer && p_i > transfer +. 1e-9 then
+                    found :=
+                      {
+                        source = i;
+                        proxy = j;
+                        direct_payment = p_i;
+                        proxy_payment = p_j;
+                        transfer;
+                        saving = p_i -. transfer;
+                      }
+                      :: !found)
+            (Graph.neighbors g i)
+  done;
+  List.sort (fun a b -> compare b.saving a.saving) !found
+
+let effective_cost_after_resale r = r.transfer +. (r.saving /. 2.0)

@@ -1,0 +1,57 @@
+(** Collusion analysis (Sec. III-E and III-H).
+
+    Three phenomena from the paper:
+
+    - {b pairwise collusion against plain VCG}: a node on the LCP whose
+      best replacement path passes through one of its own neighbours can
+      bribe that neighbour to inflate its declaration, raising the pivot
+      term and hence its own payment ({!find_neighbour_boost}).  This is
+      the concrete attack the neighbourhood scheme of Theorem 8 closes.
+    - {b Theorem 7's impossibility}: no mechanism that outputs the LCP is
+      2-agents strategyproof; {!Wnet_mech.Properties} provides the
+      falsifier used to exhibit violations for any candidate scheme.
+    - {b resale-the-path} (Sec. III-H): after payments are set, a source
+      [v_i] whose total payment exceeds [p_j + max(p_i^j, c_j)] for some
+      neighbour [v_j] can route through [v_j]'s account instead and split
+      the savings ({!resale_opportunities}). *)
+
+type neighbour_boost = {
+  relay : int;  (** the LCP relay that benefits *)
+  accomplice : int;  (** its neighbour on the replacement path *)
+  boosted_bid : float;  (** the accomplice's inflated declaration *)
+  honest_pair_utility : float;
+  boosted_pair_utility : float;
+}
+
+val find_neighbour_boost :
+  Wnet_graph.Graph.t -> src:int -> dst:int -> boost:float ->
+  neighbour_boost option
+(** Searches the LCP relays for one whose replacement path (the path
+    defining its VCG pivot) contains a neighbour that is off the LCP;
+    inflating that neighbour's bid by [boost] then strictly raises the
+    pair's total utility, provided the replacement path stays selected as
+    the pivot.  Returns the first verified instance, or [None] if the
+    topology offers none. *)
+
+type resale = {
+  source : int;
+  proxy : int;  (** the neighbour the source resells through *)
+  direct_payment : float;  (** [p_i]: what the source pays honestly *)
+  proxy_payment : float;  (** [p_j]: what the proxy pays on its own LCP *)
+  transfer : float;  (** [p_j + max (p_i^j, c_j)]: what the source hands the proxy *)
+  saving : float;  (** [direct_payment - transfer], split between the two *)
+}
+
+val resale_opportunities :
+  Wnet_graph.Graph.t ->
+  root:int ->
+  payments:(int -> Unicast.t option) ->
+  resale list
+(** [resale_opportunities g ~root ~payments] scans every source [i] and
+    neighbour [j] for the Sec. III-H condition
+    [p_i > p_j + max(p_i^j, c_j)], using [payments v] as the outcome of
+    [v]'s unicast to [root].  Sorted by decreasing saving. *)
+
+val effective_cost_after_resale : resale -> float
+(** What the source actually spends when the proxy deal splits the saving
+    in half: [transfer +. saving /. 2.]. *)

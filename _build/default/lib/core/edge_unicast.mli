@@ -1,0 +1,46 @@
+(** The Nisan–Ronen edge-agent mechanism (paper's Sec. II-D review of
+    ref [8]) — the baseline model the paper's node-agent mechanism is
+    positioned against.
+
+    Every {e edge} is an agent with a private transmission cost; routing
+    is along the shortest path under declared costs; the VCG payment to
+    a path edge [e] is
+
+    [p^e = d_{G-e}(src, dst) - (d_G(src, dst) - w_e)]
+
+    and 0 off the path.  Two-edge-disjoint-paths connectivity plays the
+    role node biconnectivity plays in the node model (no bridge
+    monopolies).
+
+    Having both models in one code base lets the experiments compare
+    node-agent and edge-agent overpayment on identical topologies. *)
+
+type t = {
+  src : int;
+  dst : int;
+  path_nodes : int array;
+  path_edges : int array;
+  dist : float;  (** shortest-path length under declared costs *)
+  payments : float array;
+      (** per {e edge id}; non-zero only on path edges, [infinity] on
+          bridges *)
+}
+
+type algo = Naive | Fast
+
+val run : ?algo:algo -> Wnet_graph.Egraph.t -> src:int -> dst:int -> t option
+(** [None] when unreachable.  Default [Fast] (the Hershberger–Suri
+    sweep); [Naive] re-runs Dijkstra per path edge. *)
+
+val total_payment : t -> float
+
+val payment_to_edge : t -> int -> float
+
+val utility : t -> truth:float array -> int -> float
+(** True utility of edge agent [e]: payment minus true cost if used. *)
+
+val mechanism :
+  Wnet_graph.Egraph.t -> src:int -> dst:int ->
+  Wnet_mech.Vcg.solution Wnet_mech.Mechanism.t
+(** Direct-revelation wrapper over edge-cost profiles (agents = edges),
+    for the IC/IR checkers. *)

@@ -1,0 +1,54 @@
+open Wnet_graph
+
+type fig2 = {
+  graph : Graph.t;
+  source : int;
+  access_point : int;
+  hidden_edge : int * int;
+  lying_graph : Graph.t;
+}
+
+(* v0 = access point, v1 = source.  Route A: v1-v4-v3-v2-v0 (relays cost
+   1 each); route B: v1-v5-v0 (c5 = 4); route C: v1-v6-v0 (c6 = 5, the
+   backup keeping payments finite after the lie). *)
+let fig2 =
+  let costs = [| 1.0; 1.0; 1.0; 1.0; 1.0; 4.0; 5.0 |] in
+  let edges =
+    [ (1, 4); (4, 3); (3, 2); (2, 0); (1, 5); (5, 0); (1, 6); (6, 0) ]
+  in
+  let hidden_edge = (1, 4) in
+  let graph = Graph.create ~costs ~edges in
+  let lying_graph =
+    Graph.create ~costs ~edges:(List.filter (fun e -> e <> hidden_edge) edges)
+  in
+  { graph; source = 1; access_point = 0; hidden_edge; lying_graph }
+
+type fig4 = {
+  graph : Graph.t;
+  access_point : int;
+  reseller : int;
+  proxy : int;
+}
+
+(* v8's LCP to v0 is v8-v6-v5-v0 (cost 4); removing either relay forces
+   the v8-v4-v2-v0 detour (cost 12), so each relay is paid 10 and
+   p_8 = 20 — the value the text pins down.  v4's own LCP is v4-v2-v0
+   (cost 7, pivot 9 via v1), so p_4 = 9, and since v4 is off v8's LCP,
+   p_8^4 = 0 with c_4 = 5.  Nodes v3 and v7 are the expensive backups
+   visible in the paper's drawing. *)
+let fig4 =
+  let costs = [| 1.0; 9.0; 7.0; 25.0; 5.0; 2.0; 2.0; 30.0; 10.0 |] in
+  let edges =
+    [
+      (8, 6); (6, 5); (5, 0);
+      (8, 4); (4, 2); (2, 0); (4, 1); (1, 0);
+      (8, 7); (7, 0);
+      (4, 3); (3, 0);
+    ]
+  in
+  { graph = Graph.create ~costs ~edges; access_point = 0; reseller = 8; proxy = 4 }
+
+let diamond =
+  Graph.create
+    ~costs:[| 1.0; 1.0; 3.0; 1.0 |]
+    ~edges:[ (0, 1); (1, 3); (0, 2); (2, 3) ]

@@ -1,0 +1,53 @@
+(** The paper's worked examples as library values.
+
+    The figures in the paper specify behaviour (payments, manipulations)
+    more precisely than topology, so these are {e reconstructions}: graphs
+    built to reproduce the published numbers where the text pins them
+    down, documented where it does not.  They double as fixtures for the
+    test suite and the bench harness. *)
+
+(** {1 Figure 2 — lying about neighbourhood (Sec. III-D)} *)
+
+type fig2 = {
+  graph : Wnet_graph.Graph.t;
+  source : int;  (** [v_1] *)
+  access_point : int;  (** [v_0] *)
+  hidden_edge : int * int;
+      (** the source-incident edge the liar conceals ([v_1, v_4]) *)
+  lying_graph : Wnet_graph.Graph.t;  (** the graph with that edge hidden *)
+}
+
+val fig2 : fig2
+(** Honest behaviour: LCP [v1-v4-v3-v2-v0] with relay costs 1 each;
+    payments 2 to each of the three relays, total 6 — the paper's
+    numbers.  After hiding [v1-v4] the LCP becomes [v1-v5-v0] and the
+    total payment drops to 5, also the paper's number: the least cost
+    path is not the path you pay least for.  (One extra backup node is
+    added relative to the paper's drawing so that every payment in the
+    lying network stays finite; the published payments are unaffected.) *)
+
+(** {1 Figure 4 — resale-the-path collusion (Sec. III-H)} *)
+
+type fig4 = {
+  graph : Wnet_graph.Graph.t;
+  access_point : int;  (** [v_0] *)
+  reseller : int;  (** [v_8], the over-paying source *)
+  proxy : int;  (** [v_4], the neighbour it resells through *)
+}
+
+val fig4 : fig4
+(** Reconstruction matching the pinned values [p_8 = 20], [c_4 = 5],
+    [p_8^4 = 0]: [v_8]'s honest total payment is 20, while routing
+    through neighbour [v_4] (whose own total payment is 9) costs
+    [9 + max(0, 5) = 14], saving 6 to split.  The paper's drawing yields
+    [p_4 = 6] and a saving of 9; the exact intermediate numbers depend on
+    topology the text does not specify, but the phenomenon and all the
+    constraints stated in the text are reproduced. *)
+
+(** {1 Small hand-checked pricing instance} *)
+
+val diamond : Wnet_graph.Graph.t
+(** Four nodes: [0 -- 1 -- 3] and [0 -- 2 -- 3] with costs
+    [c_1 = 1, c_2 = 3].  LCP(3 -> 0) = [3; 1; 0], payment to node 1 is
+    [1 + (3 - 1) = 3].  The smallest instance where every quantity is
+    checkable by hand. *)

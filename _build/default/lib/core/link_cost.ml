@@ -1,0 +1,147 @@
+open Wnet_graph
+
+type t = {
+  src : int;
+  dst : int;
+  path : Path.t;
+  lcp_cost : float;
+  relay_cost : float;
+  payments : float array;
+}
+
+let validate g ~src ~dst =
+  let n = Digraph.n g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Link_cost: endpoint out of range";
+  if src = dst then invalid_arg "Link_cost: src = dst"
+
+let build_result g ~src ~dst ~path ~lcp_cost ~avoid_dist =
+  (* [avoid_dist k] = cost of the best src->dst path with node k silenced. *)
+  let payments = Array.make (Digraph.n g) 0.0 in
+  let len = Array.length path in
+  for l = 1 to len - 2 do
+    let k = path.(l) in
+    let used_link = Digraph.weight g k path.(l + 1) in
+    let delta = avoid_dist k -. lcp_cost in
+    payments.(k) <- used_link +. delta
+  done;
+  let first_link = if len >= 2 then Digraph.weight g path.(0) path.(1) else 0.0 in
+  { src; dst; path; lcp_cost; relay_cost = lcp_cost -. first_link; payments }
+
+let run g ~src ~dst =
+  validate g ~src ~dst;
+  let tree = Dijkstra.link_weighted g src in
+  match Dijkstra.path_to tree dst with
+  | None -> None
+  | Some path ->
+    let lcp_cost = Dijkstra.dist tree dst in
+    let avoid_dist k =
+      let silenced = Digraph.silence_node g k in
+      let t = Dijkstra.link_weighted silenced src in
+      Dijkstra.dist t dst
+    in
+    Some (build_result g ~src ~dst ~path ~lcp_cost ~avoid_dist)
+
+let total_payment r = Array.fold_left ( +. ) 0.0 r.payments
+
+let payment_to r v = r.payments.(v)
+
+type batch = {
+  root : int;
+  to_root_dist : float array;
+  results : t option array;
+}
+
+let all_to_root g ~root =
+  let n = Digraph.n g in
+  if root < 0 || root >= n then invalid_arg "Link_cost.all_to_root";
+  let rev = Digraph.reverse g in
+  let tree = Dijkstra.link_weighted rev root in
+  (* In the reversed tree, a node's parent is its next hop towards the
+     root in the original graph. *)
+  let next_hop v = tree.Dijkstra.parent.(v) in
+  (* Which nodes relay for somebody?  Exactly the internal nodes of the
+     reversed shortest-path tree. *)
+  let is_relay = Array.make n false in
+  for v = 0 to n - 1 do
+    if v <> root && Dijkstra.reachable tree v then begin
+      let h = next_hop v in
+      if h <> root && h >= 0 then is_relay.(h) <- true
+    end
+  done;
+  (* One avoidance Dijkstra per relay: silencing k in g is removing the
+     links entering k in rev. *)
+  let avoid = Array.make n [||] in
+  for k = 0 to n - 1 do
+    if is_relay.(k) then begin
+      let revk = Digraph.remove_links_to rev k in
+      let tk = Dijkstra.link_weighted revk root in
+      avoid.(k) <- tk.Dijkstra.dist
+    end
+  done;
+  let results =
+    Array.init n (fun src ->
+        if src = root || not (Dijkstra.reachable tree src) then None
+        else begin
+          let rec chain v acc =
+            if v = root then List.rev (root :: acc) else chain (next_hop v) (v :: acc)
+          in
+          let path = Array.of_list (chain src []) in
+          let lcp_cost = Dijkstra.dist tree src in
+          let avoid_dist k = avoid.(k).(src) in
+          Some (build_result g ~src ~dst:root ~path ~lcp_cost ~avoid_dist)
+        end)
+  in
+  { root; to_root_dist = Array.copy tree.Dijkstra.dist; results }
+
+let ic_spot_check rng g ~src ~dst ~trials =
+  validate g ~src ~dst;
+  let true_links = Digraph.links g in
+  let true_utility_of result k =
+    (* Node k's true utility: payment received minus the true cost of the
+       link it transmits on (0 if it is not on the path or is the dst). *)
+    let path = result.path in
+    let len = Array.length path in
+    let rec used l =
+      if l >= len - 1 then None
+      else if path.(l) = k then Some (Digraph.weight g k path.(l + 1))
+      else used (l + 1)
+    in
+    match used 0 with
+    | Some w when k <> dst -> result.payments.(k) -. w
+    | _ -> result.payments.(k)
+  in
+  match run g ~src ~dst with
+  | None -> []
+  | Some honest ->
+    let violations = ref [] in
+    let n = Digraph.n g in
+    for _ = 1 to trials do
+      let k = Wnet_prng.Rng.int rng n in
+      (* Relays only: the source is the payer (its incentives are the
+         subject of the Fig. 2 / Algorithm 2 analysis, not of this VCG
+         claim) and the destination never transmits. *)
+      if k <> dst && k <> src then begin
+        (* Deviate node k's whole declared vector. *)
+        let lie (u, v, w) =
+          if u <> k then (u, v, w)
+          else
+            match Wnet_prng.Rng.int rng 4 with
+            | 0 -> (u, v, w /. 2.0)
+            | 1 -> (u, v, w *. (1.0 +. Wnet_prng.Rng.float rng 3.0))
+            | 2 -> (u, v, Wnet_prng.Rng.float rng (1.0 +. (2.0 *. w)))
+            | _ -> (u, v, infinity)
+        in
+        let g' = Digraph.create ~n ~links:(List.map lie true_links) in
+        match run g' ~src ~dst with
+        | None ->
+          (* Lying so hard the network disconnects gains nothing. *)
+          ()
+        | Some deviant ->
+          let honest_u = true_utility_of honest k in
+          let deviant_u = true_utility_of deviant k in
+          if deviant_u > honest_u +. (1e-9 *. (1.0 +. Float.abs honest_u)) then
+            violations := (k, deviant_u -. honest_u) :: !violations
+      end
+    done;
+    List.rev !violations

@@ -1,0 +1,62 @@
+(** The link-cost mechanism of Sec. III-F.
+
+    When nodes can adjust transmission power, node [i]'s private type is
+    the {e vector} [c_i = (c_{i,0}, ..., c_{i,n-1})] of per-neighbour
+    power costs and the network is a directed link-weighted graph (see
+    {!Wnet_graph.Digraph}).  The mechanism computes a least-cost directed
+    path from the source to the access point and pays each node [v_k] on
+    it (other than the endpoints)
+
+    [p^k = sum_j x_{k,j} d_{k,j} + Delta_{i,k}]
+
+    — the declared cost of the link it actually transmits on, plus the
+    improvement [Delta_{i,k}] the presence of [v_k] brings to the least
+    cost path (computed by silencing all of [v_k]'s outgoing links, the
+    paper's [d|^k infinity]).  This is a VCG mechanism for vector-typed
+    agents, hence truthful. *)
+
+type t = {
+  src : int;
+  dst : int;
+  path : Wnet_graph.Path.t;
+  lcp_cost : float;  (** full directed path cost, including the source's own first link *)
+  relay_cost : float;
+      (** [lcp_cost] minus the source's first-link cost: the cost incurred
+          by the {e paid} nodes.  Overpayment ratios use this, matching
+          the node-cost model's "relay cost" convention. *)
+  payments : float array;
+      (** per node; [infinity] marks a monopoly transmitter. *)
+}
+
+val run : Wnet_graph.Digraph.t -> src:int -> dst:int -> t option
+(** Single source–destination pair; [None] when no directed path exists.
+    @raise Invalid_argument if [src = dst] or out of range. *)
+
+val total_payment : t -> float
+
+val payment_to : t -> int -> float
+
+type batch = {
+  root : int;
+  to_root_dist : float array;  (** [dist v -> root] for every [v] *)
+  results : t option array;  (** per-source outcome, [None] when disconnected; entry [root] is [None] *)
+}
+
+val all_to_root : Wnet_graph.Digraph.t -> root:int -> batch
+(** Every node's unicast to the access point at once — the workload of
+    the paper's simulations.  Runs one reverse Dijkstra for the shared
+    shortest-path tree plus one per distinct relay for the avoidance
+    distances, so the whole batch costs O(#relays * (m + n log n)) instead
+    of O(n * #relays * ...) for repeated {!run} calls. *)
+
+val ic_spot_check :
+  Wnet_prng.Rng.t ->
+  Wnet_graph.Digraph.t ->
+  src:int -> dst:int -> trials:int ->
+  (int * float) list
+(** Empirical incentive-compatibility falsifier for the vector-typed
+    setting: each trial picks a node and a random rescaling/perturbation
+    of its whole declared out-link vector, and compares its true utility
+    (payment minus true cost of the link it transmits on) against
+    truthful play.  Returns [(agent, gain)] for strict improvements —
+    expected empty. *)

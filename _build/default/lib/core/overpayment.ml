@@ -1,0 +1,74 @@
+type sample = { source : int; payment : float; lcp_cost : float; hops : int }
+
+type study = {
+  tor : float;
+  ior : float;
+  worst : float;
+  samples : sample list;
+  skipped : int;
+}
+
+let usable s = s.lcp_cost > 0.0 && Float.is_finite s.payment
+
+let study all =
+  let samples = List.filter usable all in
+  let skipped = List.length all - List.length samples in
+  match samples with
+  | [] -> { tor = nan; ior = nan; worst = nan; samples; skipped }
+  | _ ->
+    let total_p = List.fold_left (fun a s -> a +. s.payment) 0.0 samples in
+    let total_c = List.fold_left (fun a s -> a +. s.lcp_cost) 0.0 samples in
+    let ratios = List.map (fun s -> s.payment /. s.lcp_cost) samples in
+    let ior =
+      List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)
+    in
+    let worst = List.fold_left Float.max neg_infinity ratios in
+    { tor = total_p /. total_c; ior; worst; samples; skipped }
+
+type hop_bucket = { hop : int; count : int; mean_ratio : float; max_ratio : float }
+
+let by_hop all =
+  let samples = List.filter usable all in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let r = s.payment /. s.lcp_cost in
+      let sum, mx, cnt =
+        Option.value (Hashtbl.find_opt tbl s.hops) ~default:(0.0, neg_infinity, 0)
+      in
+      Hashtbl.replace tbl s.hops (sum +. r, Float.max mx r, cnt + 1))
+    samples;
+  Hashtbl.fold
+    (fun hop (sum, mx, cnt) acc ->
+      { hop; count = cnt; mean_ratio = sum /. float_of_int cnt; max_ratio = mx }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.hop b.hop)
+
+let of_unicast results =
+  List.map
+    (fun (r : Unicast.t) ->
+      {
+        source = r.Unicast.src;
+        payment = Unicast.total_payment r;
+        lcp_cost = r.Unicast.lcp_cost;
+        hops = Wnet_graph.Path.hops r.Unicast.path;
+      })
+    results
+
+let of_link_batch (b : Link_cost.batch) =
+  Array.to_list b.Link_cost.results
+  |> List.filter_map (fun r -> r)
+  |> List.map (fun (r : Link_cost.t) ->
+         {
+           source = r.Link_cost.src;
+           payment = Link_cost.total_payment r;
+           lcp_cost = r.Link_cost.relay_cost;
+           hops = Wnet_graph.Path.hops r.Link_cost.path;
+         })
+
+let merge_studies studies =
+  let all = List.concat_map (fun s -> s.samples) studies in
+  let skipped = List.fold_left (fun a s -> a + s.skipped) 0 studies in
+  let merged = study all in
+  { merged with skipped = merged.skipped + skipped }

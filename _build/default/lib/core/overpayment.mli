@@ -1,0 +1,56 @@
+(** Overpayment metrics of Sec. III-G.
+
+    VCG pays every relay more than its declared cost; these metrics
+    quantify by how much, over a whole network where every node unicasts
+    to the access point:
+
+    - {b TOR} (Total Overpayment Ratio): [sum_i p_i / sum_i c(i, 0)] —
+      total payment of all sources over the total cost of all LCPs;
+    - {b IOR} (Individual Overpayment Ratio): [(1/n') sum_i p_i / c(i,0)]
+      — the per-source ratio averaged over sources;
+    - {b worst}: [max_i p_i / c(i, 0)].
+
+    Sources whose LCP has no relay ([c(i,0) = 0], e.g. neighbours of the
+    access point) are excluded from the per-source ratios and from both
+    sums — their ratio is 0/0.  Sources with an [infinity] payment
+    (monopoly relay; only possible on non-biconnected inputs) are
+    excluded likewise and counted in [skipped]. *)
+
+type sample = {
+  source : int;
+  payment : float;  (** total payment of this source to its relays *)
+  lcp_cost : float;  (** cost of this source's LCP (relay cost) *)
+  hops : int;  (** hop length of the LCP *)
+}
+
+type study = {
+  tor : float;
+  ior : float;
+  worst : float;
+  samples : sample list;  (** the samples actually used *)
+  skipped : int;  (** sources excluded (zero-cost LCP or infinite payment) *)
+}
+
+val study : sample list -> study
+(** Aggregates; with no usable sample the ratios are [nan]. *)
+
+type hop_bucket = {
+  hop : int;
+  count : int;
+  mean_ratio : float;
+  max_ratio : float;
+}
+
+val by_hop : sample list -> hop_bucket list
+(** Fig. 3(d)'s view: per-source overpayment ratio bucketed by the hop
+    distance of the source to the destination, ascending. *)
+
+val of_unicast : Unicast.t list -> sample list
+(** Samples from node-cost mechanism outcomes. *)
+
+val of_link_batch : Link_cost.batch -> sample list
+(** Samples from a link-cost all-to-root batch (uses [relay_cost]). *)
+
+val merge_studies : study list -> study
+(** Pools the samples of several instances (the paper averages over 100
+    random instances). *)

@@ -1,0 +1,72 @@
+(** The family of truthful payment schemes of Sections III-A and III-E.
+
+    All schemes route along the least-cost path and differ only in what is
+    removed from the graph when pricing node [v_k]:
+
+    - {!Vcg}: remove [v_k] alone — the plain scheme of Sec. III-A
+      (strategyproof, but a node can collude with a neighbour);
+    - {!Neighbourhood}: remove the closed neighbourhood [N(v_k)] —
+      Theorem 8's scheme: truthful for each node alone, and immune to the
+      accomplice-inflation collusion Sec. III-E motivates (a node's
+      payment no longer depends on {e any} neighbour's declaration, so a
+      neighbour inflating its bid cannot raise it).  Reproduction note:
+      the theorem's blanket "prevents any two neighbouring nodes from
+      colluding" does {e not} extend to joint {e under}-bidding by two
+      neighbouring relays that captures the route — our falsifier
+      exhibits concrete gains (see EXPERIMENTS.md), which is consistent
+      with the paper's own Theorem 7 impossibility;
+    - {!Collusion_sets q}: remove [Q(v_k)] for an arbitrary user-supplied
+      collusion structure [q] with [v_k ∈ Q(v_k)] — the generalization at
+      the end of Sec. III-E.
+
+    In Groves form the payment to [v_k] is
+    [p̃^k = ||P_{-Q(v_k)}|| - ||P|| + x_k d_k] where [x_k] indicates
+    whether [v_k] relays: the pivot term [||P_{-Q(v_k)}||] depends on no
+    declaration inside [Q(v_k)], which is what kills intra-set collusion.
+    Note a node {e off} the path can receive a positive payment when a
+    member of its set is on it (the paper points this out explicitly).
+
+    Endpoints are never removed: the source and destination are the
+    transacting parties, not colluding relays. *)
+
+type scheme =
+  | Vcg
+  | Neighbourhood
+  | Collusion_sets of (int -> int list)
+      (** [q k] lists the nodes [v_k] may collude with; [k] itself is
+          added implicitly. *)
+
+type t = {
+  scheme_used : scheme;
+  src : int;
+  dst : int;
+  path : Wnet_graph.Path.t;
+  lcp_cost : float;
+  payments : float array;
+      (** payment to every node; [infinity] when removing that node's set
+          disconnects [src] from [dst]. *)
+}
+
+val run : scheme -> Wnet_graph.Graph.t -> src:int -> dst:int -> t option
+(** [None] when [dst] is unreachable from [src].  Payments of nodes whose
+    set removal leaves the pair connected are finite; the caller can check
+    feasibility up front with
+    {!Wnet_graph.Connectivity.neighbourhood_resilient}. *)
+
+val total_payment : t -> float
+
+val payment_to : t -> int -> float
+
+val utility : t -> truth:float array -> int -> float
+(** True utility of node [k] under the outcome: payment minus true cost
+    if it relays. *)
+
+val mechanism :
+  scheme -> Wnet_graph.Graph.t -> src:int -> dst:int ->
+  Wnet_mech.Vcg.solution Wnet_mech.Mechanism.t
+(** Direct-revelation wrapper over declared profiles, for property
+    checking (including the pairwise-collusion falsifier). *)
+
+val removal_set : scheme -> Wnet_graph.Graph.t -> src:int -> dst:int -> int -> int list
+(** The set actually removed when pricing node [k] (endpoints filtered
+    out); exposed for tests. *)

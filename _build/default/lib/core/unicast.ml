@@ -1,0 +1,119 @@
+open Wnet_graph
+
+type algo = Naive | Fast
+
+type t = {
+  src : int;
+  dst : int;
+  path : Path.t;
+  lcp_cost : float;
+  payments : float array;
+}
+
+let of_replacements g (res : Avoid.result) ~src ~dst =
+  let payments = Array.make (Graph.n g) 0.0 in
+  let path = res.Avoid.path in
+  for l = 1 to Array.length path - 2 do
+    let k = path.(l) in
+    payments.(k) <- res.Avoid.replacement.(l) -. res.Avoid.lcp_cost +. Graph.cost g k
+  done;
+  { src; dst; path; lcp_cost = res.Avoid.lcp_cost; payments }
+
+let run ?algo g ~src ~dst =
+  let algo =
+    match algo with
+    | Some a -> a
+    | None -> if Graph.all_positive_costs g then Fast else Naive
+  in
+  let res =
+    match algo with
+    | Naive -> Avoid.replacement_costs_naive g ~src ~dst
+    | Fast -> Avoid.replacement_costs_fast g ~src ~dst
+  in
+  Option.map (fun r -> of_replacements g r ~src ~dst) res
+
+let total_payment r = Array.fold_left ( +. ) 0.0 r.payments
+
+let payment_to r v = r.payments.(v)
+
+let relays r = Array.to_list (Path.relays r.path)
+
+let utility r ~truth k =
+  let relaying = Path.mem r.path k && k <> r.src && k <> r.dst in
+  r.payments.(k) -. (if relaying then truth.(k) else 0.0)
+
+let overpayment r = total_payment r -. r.lcp_cost
+
+let check_packets packets =
+  if packets < 0 then invalid_arg "Unicast: negative packet count"
+
+let session_payment_to r ~packets k =
+  check_packets packets;
+  float_of_int packets *. payment_to r k
+
+let session_charge r ~packets =
+  check_packets packets;
+  float_of_int packets *. total_payment r
+
+let all_to_root g ~root =
+  let n = Graph.n g in
+  if root < 0 || root >= n then invalid_arg "Unicast.all_to_root";
+  let tree = Dijkstra.node_weighted g ~source:root in
+  let next_hop v = tree.Dijkstra.parent.(v) in
+  let is_relay = Array.make n false in
+  for v = 0 to n - 1 do
+    if v <> root && Dijkstra.reachable tree v then begin
+      let h = next_hop v in
+      if h >= 0 && h <> root then is_relay.(h) <- true
+    end
+  done;
+  let avoid = Array.make n [||] in
+  for k = 0 to n - 1 do
+    if is_relay.(k) then begin
+      let tk = Dijkstra.node_weighted ~forbidden:(fun v -> v = k) g ~source:root in
+      avoid.(k) <- tk.Dijkstra.dist
+    end
+  done;
+  Array.init n (fun src ->
+      if src = root || not (Dijkstra.reachable tree src) then None
+      else begin
+        let rec chain v acc =
+          if v = root then List.rev (root :: acc) else chain (next_hop v) (v :: acc)
+        in
+        let path = Array.of_list (chain src []) in
+        let lcp_cost = Dijkstra.dist tree src in
+        let payments = Array.make n 0.0 in
+        Array.iter
+          (fun k -> payments.(k) <- Graph.cost g k +. avoid.(k).(src) -. lcp_cost)
+          (Path.relays path);
+        Some { src; dst = root; path; lcp_cost; payments }
+      end)
+
+let solve_instance g ~src ~dst ~excluded (d : Wnet_mech.Profile.t) =
+  let g = Graph.with_costs g d in
+  let forbidden v = Option.fold ~none:false ~some:(fun e -> v = e) excluded in
+  if Option.fold ~none:false ~some:(fun e -> e = src || e = dst) excluded then
+    (* Excluding an endpoint makes no sense; endpoints are not agents. *)
+    invalid_arg "Unicast: cannot exclude an endpoint";
+  let tree = Dijkstra.node_weighted ~forbidden g ~source:src in
+  match Dijkstra.path_to tree dst with
+  | None -> None
+  | Some path ->
+    let used = Array.make (Graph.n g) false in
+    Array.iter (fun v -> used.(v) <- true) (Path.relays path);
+    Some { Wnet_mech.Vcg.cost = Dijkstra.dist tree dst; used }
+
+let vcg_problem g ~src ~dst =
+  {
+    Wnet_mech.Vcg.n_agents = Graph.n g;
+    solve = (fun d -> solve_instance g ~src ~dst ~excluded:None d);
+    solve_without =
+      (fun k d ->
+        if k = src || k = dst then solve_instance g ~src ~dst ~excluded:None d
+        else solve_instance g ~src ~dst ~excluded:(Some k) d);
+  }
+
+let mechanism g ~src ~dst =
+  Wnet_mech.Vcg.mechanism
+    ~name:(Printf.sprintf "unicast-vcg(%d->%d)" src dst)
+    (vcg_problem g ~src ~dst)

@@ -1,0 +1,1 @@
+lib/dsim/async_engine.ml: Array Engine List Option Wnet_graph Wnet_prng

@@ -1,0 +1,1 @@
+lib/dsim/async_engine.mli: Engine Wnet_graph Wnet_prng

@@ -1,0 +1,1 @@
+lib/dsim/declaration.ml: Array Engine Float List Wnet_graph

@@ -1,0 +1,1 @@
+lib/dsim/declaration.mli: Engine Wnet_graph

@@ -1,0 +1,1 @@
+lib/dsim/engine.ml: Array List Option Wnet_graph

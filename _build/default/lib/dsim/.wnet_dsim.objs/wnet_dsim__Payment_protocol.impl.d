@@ -1,0 +1,1 @@
+lib/dsim/payment_protocol.ml: Array Async_engine Declaration Dijkstra Engine Float Graph Hashtbl List Path Spt_protocol Wnet_core Wnet_graph

@@ -1,0 +1,1 @@
+lib/dsim/payment_protocol.mli: Async_engine Engine Wnet_graph Wnet_prng

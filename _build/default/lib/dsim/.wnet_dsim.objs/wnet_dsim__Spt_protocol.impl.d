@@ -1,0 +1,1 @@
+lib/dsim/spt_protocol.ml: Array Async_engine Engine Float Graph Hashtbl List Wnet_graph

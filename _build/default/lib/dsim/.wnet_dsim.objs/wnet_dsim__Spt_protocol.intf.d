@@ -1,0 +1,1 @@
+lib/dsim/spt_protocol.mli: Async_engine Engine Wnet_graph Wnet_prng

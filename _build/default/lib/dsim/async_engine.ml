@@ -1,0 +1,73 @@
+type stats = {
+  deliveries : int;
+  steps : int;
+  virtual_time : float;
+  converged : bool;
+}
+
+type 'msg event = { target : int; sender : int; payload : 'msg }
+
+let run ?max_events ?(min_delay = 0.5) ?(max_delay = 1.5) ~rng g
+    (spec : ('state, 'msg) Engine.spec) =
+  if not (0.0 < min_delay && min_delay <= max_delay) then
+    invalid_arg "Async_engine.run: need 0 < min_delay <= max_delay";
+  let n = Wnet_graph.Graph.n g in
+  let max_events = Option.value max_events ~default:(50_000 * max n 1) in
+  let states = Array.init n spec.Engine.init in
+  let queue : 'msg event Wnet_graph.Binheap.t = Wnet_graph.Binheap.create () in
+  let deliveries = ref 0 and steps = ref 0 and now = ref 0.0 in
+  let delay () = Wnet_prng.Rng.float_range rng min_delay max_delay in
+  let send time outputs ~sender =
+    List.iter
+      (fun out ->
+        match out with
+        | Engine.Broadcast payload ->
+          Array.iter
+            (fun target ->
+              Wnet_graph.Binheap.push queue (time +. delay ())
+                { target; sender; payload })
+            (Wnet_graph.Graph.neighbors g sender)
+        | Engine.Direct (target, payload) ->
+          if not (Wnet_graph.Graph.mem_edge g sender target) then
+            invalid_arg "Async_engine: direct message to a non-neighbour";
+          Wnet_graph.Binheap.push queue (time +. delay ()) { target; sender; payload })
+      outputs
+  in
+  (* Time 0: everyone fires once with an empty inbox, as in the
+     synchronous engine's round 0. *)
+  for v = 0 to n - 1 do
+    incr steps;
+    let state, outputs = spec.Engine.step ~node:v ~round:0 ~inbox:[] states.(v) in
+    states.(v) <- state;
+    send 0.0 outputs ~sender:v
+  done;
+  let events = ref 0 in
+  let exception Capped in
+  (try
+     let rec loop () =
+       match Wnet_graph.Binheap.pop_min queue with
+       | None -> ()
+       | Some (time, ev) ->
+         incr events;
+         if !events > max_events then raise Capped;
+         now := time;
+         incr deliveries;
+         incr steps;
+         let state, outputs =
+           spec.Engine.step ~node:ev.target ~round:!steps
+             ~inbox:[ (ev.sender, ev.payload) ]
+             states.(ev.target)
+         in
+         states.(ev.target) <- state;
+         send time outputs ~sender:ev.target;
+         loop ()
+     in
+     loop ()
+   with Capped -> ());
+  ( states,
+    {
+      deliveries = !deliveries;
+      steps = !steps;
+      virtual_time = !now;
+      converged = Wnet_graph.Binheap.is_empty queue;
+    } )

@@ -1,0 +1,37 @@
+(** Asynchronous execution of the same protocol specs as {!Engine}.
+
+    The synchronous engine delivers every message exactly one round after
+    it is sent; real wireless networks do not.  This engine runs the same
+    [('state, 'msg) Engine.spec] under an event-queue semantics: every
+    message is delivered at [send_time + delay] with an independent
+    random delay in [\[min_delay, max_delay)], and a node steps once per
+    {e delivery} (inbox of size 1, in timestamp order with deterministic
+    tie-breaking).
+
+    Distance-vector protocols like the paper's Sec. III-C stages are
+    self-stabilizing: they must converge to the same fixed point under
+    any fair schedule.  The tests run {!Spt_protocol} and
+    {!Payment_protocol} logic through this engine and check exactly
+    that — which is the property that makes the distributed mechanism
+    deployable without a round synchronizer. *)
+
+type stats = {
+  deliveries : int;
+  steps : int;  (** node activations *)
+  virtual_time : float;  (** timestamp of the last delivery *)
+  converged : bool;  (** event queue drained before the event cap *)
+}
+
+val run :
+  ?max_events:int ->
+  ?min_delay:float ->
+  ?max_delay:float ->
+  rng:Wnet_prng.Rng.t ->
+  Wnet_graph.Graph.t ->
+  ('state, 'msg) Engine.spec ->
+  'state array * stats
+(** [run ~rng g spec] seeds the execution by stepping every node once at
+    time 0 with an empty inbox (matching the synchronous engine's round
+    0), then processes deliveries until quiescence.  Defaults:
+    [max_events] = [50_000 * n], delays uniform in [\[0.5, 1.5)].
+    @raise Invalid_argument if delays are not [0 < min <= max]. *)

@@ -1,0 +1,52 @@
+type node_state = {
+  known : float array;
+  complete : bool;
+}
+
+type msg = { origin : int; cost : float }
+
+let run ?declared ?max_rounds g =
+  let n = Wnet_graph.Graph.n g in
+  let declared =
+    match declared with
+    | Some f -> f
+    | None -> fun v -> Wnet_graph.Graph.cost g v
+  in
+  let init v =
+    let known = Array.make n nan in
+    known.(v) <- declared v;
+    { known; complete = n <= 1 }
+  in
+  let completeness known = Array.for_all (fun x -> not (Float.is_nan x)) known in
+  let step ~node:v ~round ~inbox st =
+    let fresh = ref [] in
+    List.iter
+      (fun (_, m) ->
+        if Float.is_nan st.known.(m.origin) then begin
+          st.known.(m.origin) <- m.cost;
+          fresh := m :: !fresh
+        end)
+      inbox;
+    let outputs =
+      if round = 0 then
+        [ Engine.Broadcast { origin = v; cost = declared v } ]
+      else List.rev_map (fun m -> Engine.Broadcast m) !fresh
+    in
+    ({ st with complete = completeness st.known }, outputs)
+  in
+  Engine.run ?max_rounds g { init; step }
+
+let consensus_profile states =
+  match Array.length states with
+  | 0 -> Some [||]
+  | _ ->
+    if not (Array.for_all (fun s -> s.complete) states) then None
+    else begin
+      let reference = states.(0).known in
+      let agree =
+        Array.for_all
+          (fun s -> Array.for_all2 (fun a b -> a = b) s.known reference)
+          states
+      in
+      if agree then Some (Array.copy reference) else None
+    end

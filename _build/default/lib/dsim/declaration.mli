@@ -1,0 +1,35 @@
+(** The declaration phase (Sec. II-C / III-A, step 0).
+
+    Before any route or payment can be computed, "each node [v_j] on the
+    network declares a cost [d_j]": every node floods its declaration and
+    collects everybody else's.  This module implements that flood over
+    the {!Engine} (so it composes with the other stages and both
+    engines): each node re-broadcasts every declaration the first time it
+    hears it.
+
+    On a connected network every node ends with the complete declared
+    profile; total traffic is [O(n)] broadcasts per node ([O(n m)]
+    deliveries), and the phase finishes in diameter-plus-one rounds —
+    both reported by the engine stats.
+
+    Lying happens {e here} (a node declares [d_j != c_j]); the mechanism
+    is designed so that this is the only lie worth analyzing, and the
+    VCG payments make even it unprofitable. *)
+
+type node_state = {
+  known : float array;  (** [known.(j)]: declared cost of [j], [nan] until heard *)
+  complete : bool;  (** all entries heard *)
+}
+
+val run :
+  ?declared:(int -> float) ->
+  ?max_rounds:int ->
+  Wnet_graph.Graph.t ->
+  node_state array * Engine.stats
+(** [run g] floods declarations; [declared] defaults to each node's cost
+    in [g] (truthful declaration).  On a connected graph every final
+    state has [complete = true] and identical [known] vectors. *)
+
+val consensus_profile : node_state array -> float array option
+(** The common declared profile if every node is complete and they all
+    agree; [None] otherwise (e.g. disconnected network). *)

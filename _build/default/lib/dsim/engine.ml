@@ -1,0 +1,70 @@
+type 'msg output = Broadcast of 'msg | Direct of int * 'msg
+
+type ('state, 'msg) spec = {
+  init : int -> 'state;
+  step :
+    node:int -> round:int -> inbox:(int * 'msg) list -> 'state ->
+    'state * 'msg output list;
+}
+
+type stats = {
+  rounds : int;
+  broadcasts : int;
+  directs : int;
+  deliveries : int;
+  converged : bool;
+}
+
+let run ?max_rounds g spec =
+  let n = Wnet_graph.Graph.n g in
+  let max_rounds = Option.value max_rounds ~default:((4 * n) + 16) in
+  let states = Array.init n spec.init in
+  (* inboxes.(v): messages to deliver to v next round, reversed. *)
+  let inboxes = Array.make n [] in
+  let broadcasts = ref 0 and directs = ref 0 and deliveries = ref 0 in
+  let deliver outputs ~sender =
+    List.iter
+      (fun out ->
+        match out with
+        | Broadcast msg ->
+          incr broadcasts;
+          Array.iter
+            (fun w ->
+              deliveries := !deliveries + 1;
+              inboxes.(w) <- (sender, msg) :: inboxes.(w))
+            (Wnet_graph.Graph.neighbors g sender)
+        | Direct (target, msg) ->
+          if not (Wnet_graph.Graph.mem_edge g sender target) then
+            invalid_arg "Engine: direct message to a non-neighbour";
+          incr directs;
+          deliveries := !deliveries + 1;
+          inboxes.(target) <- (sender, msg) :: inboxes.(target))
+      outputs
+  in
+  let step_node ~round v inbox =
+    let state, outputs = spec.step ~node:v ~round ~inbox states.(v) in
+    states.(v) <- state;
+    deliver outputs ~sender:v
+  in
+  (* Round 0: everyone fires once with an empty inbox. *)
+  for v = 0 to n - 1 do
+    step_node ~round:0 v []
+  done;
+  let rounds = ref 0 in
+  let quiet () = Array.for_all (fun i -> i = []) inboxes in
+  while (not (quiet ())) && !rounds < max_rounds do
+    incr rounds;
+    let current = Array.map List.rev inboxes in
+    Array.fill inboxes 0 n [];
+    Array.iteri
+      (fun v inbox -> if inbox <> [] then step_node ~round:!rounds v inbox)
+      current
+  done;
+  ( states,
+    {
+      rounds = !rounds;
+      broadcasts = !broadcasts;
+      directs = !directs;
+      deliveries = !deliveries;
+      converged = quiet ();
+    } )

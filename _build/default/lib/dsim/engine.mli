@@ -1,0 +1,46 @@
+(** Synchronous message-passing engine.
+
+    The distributed algorithms of Sec. III-C/D are round-based neighbour
+    gossip: in every round each node consumes the messages delivered at
+    the end of the previous round and emits new ones.  This engine runs
+    such protocols over a {!Wnet_graph.Graph.t} topology and accounts for
+    rounds and message volume, which is how we check the paper's
+    "converges after at most [n] rounds" claim.
+
+    The engine is event-driven: a node is stepped only when its inbox is
+    non-empty (round 0 steps everyone once, with an empty inbox, so
+    protocols can send their initial broadcasts).  Execution stops when
+    no messages are in flight, or when [max_rounds] is hit. *)
+
+type 'msg output =
+  | Broadcast of 'msg  (** deliver to every neighbour next round *)
+  | Direct of int * 'msg
+      (** deliver to one specific neighbour — the "contact directly
+          using a reliable and secure connection" channel of
+          Algorithm 2.
+          @raise Invalid_argument at runtime if the target is not a
+          neighbour. *)
+
+type ('state, 'msg) spec = {
+  init : int -> 'state;
+  step :
+    node:int -> round:int -> inbox:(int * 'msg) list -> 'state ->
+    'state * 'msg output list;
+      (** [inbox] pairs each message with its sender, in sender order. *)
+}
+
+type stats = {
+  rounds : int;  (** number of rounds in which at least one node stepped *)
+  broadcasts : int;  (** broadcast messages sent (each reaches [degree] nodes) *)
+  directs : int;
+  deliveries : int;  (** point-to-point deliveries, all channels *)
+  converged : bool;  (** stopped because the network went quiet *)
+}
+
+val run :
+  ?max_rounds:int ->
+  Wnet_graph.Graph.t ->
+  ('state, 'msg) spec ->
+  'state array * stats
+(** [run g spec] executes until quiescence (default [max_rounds] =
+    [4 * n + 16]). *)

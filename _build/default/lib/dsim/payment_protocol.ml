@@ -1,0 +1,262 @@
+open Wnet_graph
+
+type adversary = Honest | Deflate_entries of float
+
+type entry = { value : float; trigger : int }
+
+type node_state = {
+  table : (int, entry) Hashtbl.t;  (* relay -> current entry *)
+  mutable accusations : (int * int) list;  (* (accuser = self, accused) *)
+}
+
+type msg = {
+  d : float;  (* sender's D(j) *)
+  c : float;  (* sender's declared cost *)
+  entries : (int * float * int) list;  (* relay, value, trigger *)
+}
+
+type outcome = {
+  root : int;
+  payments : (int * float) list array;
+  accusations : (int * int) list;
+  stats : Engine.stats;
+}
+
+let eps = 1e-9
+
+let make_spec ~adversaries ~verify ~dist_to_root ~relays_of g ~root =
+  let n = Graph.n g in
+  if root < 0 || root >= n then invalid_arg "Payment_protocol.run: bad root";
+  let deflate v x =
+    match adversaries v with
+    | Honest -> x
+    | Deflate_entries f -> if Float.is_finite x then x *. f else x
+  in
+  let snapshot v (st : node_state) =
+    {
+      d = dist_to_root.(v);
+      c = Graph.cost g v;
+      entries =
+        Hashtbl.fold
+          (fun k e acc -> (k, deflate v e.value, e.trigger) :: acc)
+          st.table [];
+    }
+  in
+  (* Last broadcast of every node, for the verification cross-check.
+     Indexed access is fine: the engine steps nodes sequentially. *)
+  let last_broadcast = Array.make n None in
+  let broadcast v st =
+    let m = snapshot v st in
+    last_broadcast.(v) <- Some m;
+    [ Engine.Broadcast m ]
+  in
+  let init v =
+    let table = Hashtbl.create 8 in
+    Array.iter
+      (fun k -> Hashtbl.replace table k { value = infinity; trigger = -1 })
+      relays_of.(v);
+    { table; accusations = [] }
+  in
+  let step ~node:v ~round ~inbox st =
+    if v = root || dist_to_root.(v) = infinity then
+      (st, if round = 0 then broadcast v st else [])
+    else begin
+      let d_v = dist_to_root.(v) in
+      let changed = ref false in
+      List.iter
+        (fun (j, (m : msg)) ->
+          (* Relaxation: route for v that detours through neighbour j. *)
+          let delta = m.c +. m.d -. d_v in
+          let assoc k =
+            List.find_map
+              (fun (k', value, _) -> if k' = k then Some value else None)
+              m.entries
+          in
+          Hashtbl.iter
+            (fun k e ->
+              if k <> j then begin
+                let cand =
+                  match assoc k with
+                  | Some p -> p +. delta
+                  | None -> Graph.cost g k +. delta
+                in
+                if cand < e.value -. eps then begin
+                  Hashtbl.replace st.table k { value = cand; trigger = j };
+                  changed := true
+                end
+              end)
+            st.table;
+          (* Algorithm 2 stage 2: verify the entries my own broadcast
+             triggered.  Monotonicity makes over-reporting explainable by
+             staleness, so only under-reporting is accusable — which is
+             exactly the direction a payer wants to cheat in. *)
+          if verify then
+            match last_broadcast.(v) with
+            | None -> ()
+            | Some mine ->
+              let my_delta = mine.c +. mine.d -. m.d in
+              List.iter
+                (fun (k, value, trigger) ->
+                  if trigger = v && k <> v then begin
+                    let from_mine =
+                      match
+                        List.find_map
+                          (fun (k', p, _) -> if k' = k then Some p else None)
+                          mine.entries
+                      with
+                      | Some p -> p +. my_delta
+                      | None -> Graph.cost g k +. my_delta
+                    in
+                    if value < from_mine -. (1e-6 *. (1.0 +. Float.abs from_mine))
+                    then st.accusations <- (v, j) :: st.accusations
+                  end)
+                m.entries)
+        inbox;
+      let outputs = if round = 0 || !changed then broadcast v st else [] in
+      (st, outputs)
+    end
+  in
+  let finalize states =
+    let payments =
+      Array.mapi
+        (fun v (st : node_state) ->
+          Hashtbl.fold (fun k e acc -> (k, deflate v e.value) :: acc) st.table []
+          |> List.sort compare)
+        states
+    in
+    let accusations =
+      Array.to_list states
+      |> List.concat_map (fun (st : node_state) -> st.accusations)
+      |> List.sort_uniq compare
+    in
+    (payments, accusations)
+  in
+  ({ Engine.init; step }, finalize)
+
+(* Stage-1 products from the centralized tree (the default, matching the
+   paper's presentation where stage 1 is assumed done). *)
+let centralized_stage1 g ~root =
+  let n = Graph.n g in
+  let tree = Dijkstra.node_weighted g ~source:root in
+  let relays_of =
+    Array.init n (fun i ->
+        if i = root || not (Dijkstra.reachable tree i) then [||]
+        else
+          match Dijkstra.path_to tree i with
+          | None -> [||]
+          | Some path_from_root -> Path.relays path_from_root)
+  in
+  (tree.Dijkstra.dist, relays_of)
+
+(* Stage-1 products from a converged distributed SPT run: follow first
+   hops to the root to recover each node's relay list. *)
+let stage1_of_spt (states : Spt_protocol.node_state array) ~root =
+  let n = Array.length states in
+  let dist_to_root = Array.map (fun s -> s.Spt_protocol.dist) states in
+  let relays_of =
+    Array.init n (fun i ->
+        if i = root || dist_to_root.(i) = infinity then [||]
+        else begin
+          let rec chain v acc steps =
+            if steps > n then None
+            else if v = root then Some (List.rev acc)
+            else begin
+              let fh = states.(v).Spt_protocol.first_hop in
+              if fh < 0 then None
+              else chain fh (if v = i then acc else v :: acc) (steps + 1)
+            end
+          in
+          match chain i [] 0 with
+          | Some relays -> Array.of_list relays
+          | None -> [||]
+        end)
+  in
+  (dist_to_root, relays_of)
+
+let run ?(adversaries = fun _ -> Honest) ?(verify = false) ?max_rounds g ~root =
+  let dist_to_root, relays_of = centralized_stage1 g ~root in
+  let spec, finalize = make_spec ~adversaries ~verify ~dist_to_root ~relays_of g ~root in
+  let states, stats = Engine.run ?max_rounds g spec in
+  let payments, accusations = finalize states in
+  { root; payments; accusations; stats }
+
+let run_async ?(adversaries = fun _ -> Honest) ?(verify = false) ?max_events ~rng
+    g ~root =
+  let dist_to_root, relays_of = centralized_stage1 g ~root in
+  let spec, finalize = make_spec ~adversaries ~verify ~dist_to_root ~relays_of g ~root in
+  let states, stats = Async_engine.run ?max_events ~rng g spec in
+  let payments, accusations = finalize states in
+  ((payments, accusations), stats)
+
+let run_full ?(verify = false) ?max_rounds g ~root =
+  (* Declaration flood first (its consensus is what "declared costs"
+     means operationally), then the distributed SPT, then the payment
+     relaxation seeded by the SPT's own outputs: no centralized step. *)
+  let decl_states, decl_stats = Declaration.run ?max_rounds g in
+  ignore (Declaration.consensus_profile decl_states);
+  let spt = Spt_protocol.run ~verified:verify ?max_rounds g ~root in
+  let dist_to_root, relays_of =
+    stage1_of_spt spt.Spt_protocol.states ~root
+  in
+  let spec, finalize =
+    make_spec ~adversaries:(fun _ -> Honest) ~verify ~dist_to_root ~relays_of g
+      ~root
+  in
+  let states, stats = Engine.run ?max_rounds g spec in
+  let payments, accusations = finalize states in
+  let total_stats =
+    {
+      Engine.rounds =
+        decl_stats.Engine.rounds
+        + spt.Spt_protocol.stats.Engine.rounds
+        + stats.Engine.rounds;
+      broadcasts =
+        decl_stats.Engine.broadcasts
+        + spt.Spt_protocol.stats.Engine.broadcasts
+        + stats.Engine.broadcasts;
+      directs =
+        decl_stats.Engine.directs
+        + spt.Spt_protocol.stats.Engine.directs
+        + stats.Engine.directs;
+      deliveries =
+        decl_stats.Engine.deliveries
+        + spt.Spt_protocol.stats.Engine.deliveries
+        + stats.Engine.deliveries;
+      converged =
+        decl_stats.Engine.converged
+        && spt.Spt_protocol.stats.Engine.converged
+        && stats.Engine.converged;
+    }
+  in
+  { root; payments; accusations; stats = total_stats }
+
+let centralized_reference g ~root =
+  let n = Graph.n g in
+  Array.init n (fun i ->
+      if i = root then []
+      else
+        match Wnet_core.Unicast.run g ~src:i ~dst:root with
+        | None -> []
+        | Some r ->
+          Wnet_core.Unicast.relays r
+          |> List.map (fun k -> (k, Wnet_core.Unicast.payment_to r k))
+          |> List.sort compare)
+
+let agrees_with_centralized o g =
+  let reference = centralized_reference g ~root:o.root in
+  let close a b =
+    (a = infinity && b = infinity)
+    || Float.abs (a -. b) <= 1e-6 *. (1.0 +. Float.abs a)
+  in
+  let ok = ref true in
+  Array.iteri
+    (fun i expected ->
+      let got = o.payments.(i) in
+      if List.length got <> List.length expected then ok := false
+      else
+        List.iter2
+          (fun (k1, p1) (k2, p2) ->
+            if k1 <> k2 || not (close p1 p2) then ok := false)
+          got expected)
+    reference;
+  !ok

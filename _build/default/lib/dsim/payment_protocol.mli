@@ -1,0 +1,88 @@
+(** Distributed payment computation (Sec. III-C stage 2 and Algorithm 2
+    stage 2).
+
+    After the SPT stage, every node [v_i] computes the payment [p_i^k]
+    owed to each relay [v_k] on its least cost path to the access point,
+    by iterated neighbour relaxation.  The paper's three update rules are
+    all instances of one relaxation — on hearing neighbour [v_j]'s
+    current table (with [D(j)] and [c_j]):
+
+    - if [v_k] is a relay of [v_j]'s path:
+      [p_i^k <- min(p_i^k, p_j^k + c_j + D(j) - D(i))];
+    - if it is not (so [v_j]'s own path already avoids [v_k]):
+      [p_i^k <- min(p_i^k, c_k + c_j + D(j) - D(i))];
+    - messages from [v_j = v_k] itself are skipped — a route avoiding
+      [v_k] cannot go through it.
+
+    Specializing [j] to the tree parent ([D(j) + c_j = D(i)]) or a tree
+    child ([D(j) = D(i) + c_i]) recovers the paper's rules 1 and 2
+    verbatim.  Entries decrease monotonically and converge to the
+    centralized VCG payments in at most [n] rounds on a static network.
+
+    Algorithm 2's verification: every broadcast names, for each entry,
+    the neighbour whose message produced its current value.  That
+    neighbour recomputes the entry from its own last broadcast and
+    accuses on mismatch; the {!Deflate_entries} adversary (a node
+    under-reporting the payments it owes) is caught this way. *)
+
+type adversary =
+  | Honest
+  | Deflate_entries of float
+      (** broadcast own payment entries scaled by this factor < 1 *)
+
+type outcome = {
+  root : int;
+  payments : (int * float) list array;
+      (** [payments.(i)]: converged [(relay, p_i^k)] table of node [i],
+          sorted by relay id; empty for the root and for nodes adjacent
+          to it *)
+  accusations : (int * int) list;
+      (** distinct [(accuser, accused)] pairs raised by verification *)
+  stats : Engine.stats;
+}
+
+val run :
+  ?adversaries:(int -> adversary) ->
+  ?verify:bool ->
+  ?max_rounds:int ->
+  Wnet_graph.Graph.t ->
+  root:int ->
+  outcome
+(** Runs stage 2 on top of the {e centralized} SPT (equivalently, a
+    converged honest stage 1; use {!Spt_protocol} to study stage-1
+    manipulation separately).  Unreachable nodes get empty tables.
+    @raise Invalid_argument if [root] is out of range. *)
+
+val run_full :
+  ?verify:bool ->
+  ?max_rounds:int ->
+  Wnet_graph.Graph.t ->
+  root:int ->
+  outcome
+(** The whole pipeline with {e no} centralized step: the declaration
+    flood, then the distributed SPT of {!Spt_protocol}, whose converged
+    distances and first hops seed this stage-2 relaxation.  The returned
+    stats aggregate all three phases.  On honest inputs the payments
+    still equal the centralized VCG values — the full
+    "implementation-faithful" version of the paper's protocol. *)
+
+val run_async :
+  ?adversaries:(int -> adversary) ->
+  ?verify:bool ->
+  ?max_events:int ->
+  rng:Wnet_prng.Rng.t ->
+  Wnet_graph.Graph.t ->
+  root:int ->
+  ((int * float) list array * (int * int) list) * Async_engine.stats
+(** Stage 2 under the asynchronous engine: returns the converged
+    [(payments, accusations)].  Monotone relaxation is schedule-oblivious,
+    so the payments must equal the synchronous (and centralized)
+    values. *)
+
+val centralized_reference : Wnet_graph.Graph.t -> root:int -> (int * float) list array
+(** The target values: for every source, the VCG payments of its unicast
+    to [root] computed centrally. *)
+
+val agrees_with_centralized : outcome -> Wnet_graph.Graph.t -> bool
+(** Entry-wise comparison against {!centralized_reference} with 1e-6
+    relative tolerance. *)

@@ -1,0 +1,159 @@
+open Wnet_graph
+
+type behaviour =
+  | Honest
+  | Hide_neighbours of int list
+  | Inflate_distance of float
+
+type node_state = {
+  dist : float;
+  first_hop : int;
+  corrections : int;
+  advertised : float;
+}
+
+type result = {
+  states : node_state array;
+  stats : Engine.stats;
+}
+
+type msg =
+  | Advert of { dist : float; first_hop : int; cost : float }
+  | Correct of { dist : float; first_hop : int }
+
+let eps = 1e-9
+
+let make_spec ~behaviours ~verified g ~root =
+  let n = Graph.n g in
+  if root < 0 || root >= n then invalid_arg "Spt_protocol.run: bad root";
+  let hidden v =
+    match behaviours v with
+    | Hide_neighbours l -> l
+    | Honest | Inflate_distance _ -> []
+  in
+  (* A caught liar stops inflating: Algorithm 2's premise is that the
+     direct channel makes cheating attributable and punishable, so one
+     forced correction is deterrent enough. *)
+  let inflation v (st : node_state) =
+    match behaviours v with
+    | Inflate_distance d when st.corrections = 0 -> d
+    | Inflate_distance _ | Honest | Hide_neighbours _ -> 0.0
+  in
+  let init v =
+    if v = root then { dist = 0.0; first_hop = -1; corrections = 0; advertised = 0.0 }
+    else { dist = infinity; first_hop = -1; corrections = 0; advertised = infinity }
+  in
+  (* What [v] would offer a neighbour as a route: D(v) + c_v, or 0 when
+     [v] is the root (the first relay charges its own cost; the root
+     charges nothing). *)
+  let offer v (st : node_state) =
+    if v = root then 0.0 else st.dist +. Graph.cost g v
+  in
+  (* Remembered latest advertisements, for the Algorithm 2 consistency
+     check: a neighbour's stale distance must be re-examined whenever our
+     own offer improves, not only at arrival time.  Entries are dropped
+     once corrected so each advert is corrected at most once.  (The
+     engine steps nodes sequentially, so a shared side table is safe.) *)
+  let heard = Array.init n (fun _ -> Hashtbl.create 8) in
+  let step ~node:v ~round ~inbox st =
+    let st = ref st in
+    let changed = ref false in
+    let apply_route d fh =
+      if v <> root && d < !st.dist -. eps then begin
+        st := { !st with dist = d; first_hop = fh };
+        changed := true
+      end
+    in
+    List.iter
+      (fun (j, m) ->
+        match m with
+        | Correct { dist; first_hop } ->
+          (* The sender proved it can offer [dist].  Being corrected below
+             one's own advert is being caught; comply and re-advertise. *)
+          if dist < !st.advertised -. eps then begin
+            st := { !st with corrections = !st.corrections + 1 };
+            changed := true
+          end;
+          apply_route dist first_hop
+        | Advert { dist = dj; first_hop = fhj; cost = cj } ->
+          if not (List.mem j (hidden v)) then begin
+            let via = if j = root then 0.0 else dj +. cj in
+            apply_route via j;
+            if verified then Hashtbl.replace heard.(v) j (dj, fhj)
+          end)
+      inbox;
+    let outputs = ref [] in
+    if verified then begin
+      let o = offer v !st +. inflation v !st in
+      let to_correct =
+        Hashtbl.fold
+          (fun j (dj, fhj) acc ->
+            if (fhj = v && Float.abs (dj -. o) > eps) || o < dj -. eps then
+              j :: acc
+            else acc)
+          heard.(v) []
+      in
+      List.iter
+        (fun j ->
+          Hashtbl.remove heard.(v) j;
+          outputs :=
+            Engine.Direct (j, Correct { dist = o; first_hop = v }) :: !outputs)
+        to_correct
+    end;
+    let outputs =
+      if v <> root && (round = 0 || !changed) then begin
+        let adv = !st.dist +. inflation v !st in
+        st := { !st with advertised = adv };
+        Engine.Broadcast
+          (Advert { dist = adv; first_hop = !st.first_hop; cost = Graph.cost g v })
+        :: !outputs
+      end
+      else if v = root && round = 0 then
+        Engine.Broadcast (Advert { dist = 0.0; first_hop = -1; cost = Graph.cost g v })
+        :: !outputs
+      else !outputs
+    in
+    (!st, outputs)
+  in
+  { Engine.init; step }
+
+let run ?(behaviours = fun _ -> Honest) ?(verified = false) ?max_rounds g ~root =
+  let spec = make_spec ~behaviours ~verified g ~root in
+  let states, stats = Engine.run ?max_rounds g spec in
+  { states; stats }
+
+let run_async ?(behaviours = fun _ -> Honest) ?(verified = false) ?max_events ~rng
+    g ~root =
+  let spec = make_spec ~behaviours ~verified g ~root in
+  let states, stats = Async_engine.run ?max_events ~rng g spec in
+  (states, stats)
+
+let distances r = Array.map (fun s -> s.dist) r.states
+
+let first_hops r = Array.map (fun s -> s.first_hop) r.states
+
+let path_of r v ~root =
+  let n = Array.length r.states in
+  let rec go u acc steps =
+    if steps > n then None
+    else if u = root then Some (Array.of_list (List.rev (root :: acc)))
+    else begin
+      let fh = r.states.(u).first_hop in
+      if fh < 0 then None else go fh (u :: acc) (steps + 1)
+    end
+  in
+  go v [] 0
+
+let matches_centralized r g ~root =
+  let tree = Wnet_graph.Dijkstra.node_weighted g ~source:root in
+  let ok = ref true in
+  Array.iteri
+    (fun v (s : node_state) ->
+      let d = Wnet_graph.Dijkstra.dist tree v in
+      let close =
+        (d = infinity && s.dist = infinity)
+        || Float.abs (d -. s.dist) <= 1e-9 *. (1.0 +. Float.abs d)
+      in
+      if not close then ok := false)
+    r.states;
+  !ok

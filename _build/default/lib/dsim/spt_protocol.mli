@@ -1,0 +1,80 @@
+(** Distributed shortest-path-tree construction (Sec. III-C stage 1 and
+    Algorithm 2 stage 1).
+
+    Every node maintains the pair [(D(v), FH(v))] — its believed relay
+    cost to the access point and the corresponding first hop — and
+    gossips it to its neighbours; this is distance-vector (Bellman–Ford)
+    relaxation, converging to the true node-weighted SPT on honest
+    inputs.
+
+    The protocol can be run with {e misbehaving} nodes:
+    - {!Hide_neighbours}: the node pretends some incident links do not
+      exist (the Fig. 2 manipulation — the least cost path is not the
+      path you pay the least for);
+    - {!Inflate_distance}: the node advertises [D + delta] to make
+      itself unattractive as a relay.
+
+    In [~verified:true] mode the protocol follows Algorithm 2: a node
+    receiving an advertisement it can improve — or an advertisement that
+    names it as first hop with an inconsistent distance — contacts the
+    sender over the direct channel and forces a correction.  Because the
+    channel is reliable and refusal is attributable, a corrected node
+    complies; the paper's claim (and this module's test) is that the
+    verified protocol reaches the true SPT despite the adversaries. *)
+
+type behaviour =
+  | Honest
+  | Hide_neighbours of int list
+  | Inflate_distance of float
+
+type node_state = {
+  dist : float;  (** believed [D(v)]; 0 when adjacent to the root *)
+  first_hop : int;  (** believed [FH(v)]; -1 when unknown *)
+  corrections : int;
+      (** number of forced corrections received: a neighbour proved this
+          node's {e advertised} distance improvable or inconsistent.
+          Honest nodes can receive a few during bootstrap; a node that
+          inflates its advertisement is necessarily corrected and (in
+          this model) deterred after the first one. *)
+  advertised : float;  (** the [D] value this node last broadcast *)
+}
+
+type result = {
+  states : node_state array;
+  stats : Engine.stats;
+}
+
+val run :
+  ?behaviours:(int -> behaviour) ->
+  ?verified:bool ->
+  ?max_rounds:int ->
+  Wnet_graph.Graph.t ->
+  root:int ->
+  result
+(** Declared costs are those carried by the graph.
+    @raise Invalid_argument if [root] is out of range. *)
+
+val run_async :
+  ?behaviours:(int -> behaviour) ->
+  ?verified:bool ->
+  ?max_events:int ->
+  rng:Wnet_prng.Rng.t ->
+  Wnet_graph.Graph.t ->
+  root:int ->
+  node_state array * Async_engine.stats
+(** Same protocol under the asynchronous engine (random per-message
+    delays): the distance-vector relaxation is self-stabilizing, so the
+    converged states must match {!run}'s — the property the tests
+    check. *)
+
+val distances : result -> float array
+
+val first_hops : result -> int array
+
+val path_of : result -> int -> root:int -> Wnet_graph.Path.t option
+(** Follows first hops from a node to the root; [None] if the chain is
+    broken or loops (possible only under unverified misbehaviour). *)
+
+val matches_centralized : result -> Wnet_graph.Graph.t -> root:int -> bool
+(** Do the converged distances equal the centralized node-weighted
+    Dijkstra distances to [root] (within 1e-9 relative tolerance)? *)

@@ -1,0 +1,1 @@
+lib/experiments/agent_model_exp.ml: Array Edge_unicast Fun List Overpayment Printf Unicast Wnet_core Wnet_geom Wnet_graph Wnet_prng Wnet_stats Wnet_topology

@@ -1,0 +1,1 @@
+lib/experiments/agent_model_exp.mli:

@@ -1,0 +1,1 @@
+lib/experiments/baseline_exp.ml: Array List Printf Wnet_baselines Wnet_core Wnet_geom Wnet_prng Wnet_stats Wnet_topology

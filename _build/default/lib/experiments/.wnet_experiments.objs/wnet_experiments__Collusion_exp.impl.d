@@ -1,0 +1,1 @@
+lib/experiments/collusion_exp.ml: Array Collusion List Payment_scheme Printf Unicast Wnet_core Wnet_graph Wnet_mech Wnet_prng Wnet_stats Wnet_topology

@@ -1,0 +1,1 @@
+lib/experiments/collusion_exp.mli:

@@ -1,0 +1,1 @@
+lib/experiments/distributed_exp.ml: Array List Wnet_dsim Wnet_graph Wnet_prng Wnet_stats Wnet_topology

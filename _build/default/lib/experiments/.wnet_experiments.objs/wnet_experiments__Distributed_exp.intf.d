@@ -1,0 +1,1 @@
+lib/experiments/distributed_exp.mli:

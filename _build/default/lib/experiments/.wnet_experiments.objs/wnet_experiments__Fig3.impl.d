@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Link_cost List Overpayment Printf Wnet_core Wnet_geom Wnet_prng Wnet_stats Wnet_topology

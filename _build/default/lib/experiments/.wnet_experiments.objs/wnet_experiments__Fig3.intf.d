@@ -1,0 +1,1 @@
+lib/experiments/fig3.mli: Wnet_core Wnet_stats

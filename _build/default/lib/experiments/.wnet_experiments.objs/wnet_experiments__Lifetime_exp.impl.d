@@ -1,0 +1,1 @@
+lib/experiments/lifetime_exp.ml: List Printf Wnet_geom Wnet_lifetime Wnet_prng Wnet_stats Wnet_topology

@@ -1,0 +1,1 @@
+lib/experiments/lifetime_exp.mli:

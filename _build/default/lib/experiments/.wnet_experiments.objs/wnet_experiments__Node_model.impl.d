@@ -1,0 +1,1 @@
+lib/experiments/node_model.ml: Array Fig3 Fun List Overpayment Printf Unicast Wnet_core Wnet_prng Wnet_stats Wnet_topology

@@ -1,0 +1,1 @@
+lib/experiments/node_model.mli: Wnet_core

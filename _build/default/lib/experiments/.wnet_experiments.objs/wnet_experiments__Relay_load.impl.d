@@ -1,0 +1,1 @@
+lib/experiments/relay_load.ml: Array List Printf Wnet_core Wnet_graph Wnet_prng Wnet_stats Wnet_topology

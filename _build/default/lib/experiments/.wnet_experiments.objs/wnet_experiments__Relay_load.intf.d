@@ -1,0 +1,1 @@
+lib/experiments/relay_load.mli:

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Agent_model_exp Baseline_exp Buffer Collusion_exp Distributed_exp Fig3 Lifetime_exp Node_model Option Printf Scheme_ablation Second_path_exp Speed String Wnet_core

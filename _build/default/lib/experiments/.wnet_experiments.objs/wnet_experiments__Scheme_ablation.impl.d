@@ -1,0 +1,1 @@
+lib/experiments/scheme_ablation.ml: Array Float List Payment_scheme Printf Wnet_core Wnet_geom Wnet_graph Wnet_prng Wnet_stats Wnet_topology

@@ -1,0 +1,1 @@
+lib/experiments/scheme_ablation.mli:

@@ -1,0 +1,1 @@
+lib/experiments/second_path_exp.ml: Float Hashtbl List Option Printf Wnet_graph Wnet_prng Wnet_stats Wnet_topology

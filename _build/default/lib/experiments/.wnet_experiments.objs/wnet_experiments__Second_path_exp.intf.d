@@ -1,0 +1,1 @@
+lib/experiments/second_path_exp.mli:

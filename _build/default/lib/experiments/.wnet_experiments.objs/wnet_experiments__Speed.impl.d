@@ -1,0 +1,1 @@
+lib/experiments/speed.ml: Array Avoid Dijkstra Float Graph List Printf Unix Wnet_geom Wnet_graph Wnet_prng Wnet_stats Wnet_topology

@@ -1,0 +1,89 @@
+open Wnet_core
+
+type row = {
+  n : int;
+  node_ior : float;
+  node_tor : float;
+  edge_ior : float;
+  edge_tor : float;
+  sources : int;
+}
+
+let edge_samples g ~root =
+  let n = Wnet_graph.Egraph.n g in
+  let acc = ref [] in
+  for src = 0 to n - 1 do
+    if src <> root then
+      match Edge_unicast.run g ~src ~dst:root with
+      | None -> ()
+      | Some r ->
+        acc :=
+          {
+            Overpayment.source = src;
+            payment = Edge_unicast.total_payment r;
+            lcp_cost = r.Edge_unicast.dist;
+            hops = Array.length r.Edge_unicast.path_edges;
+          }
+          :: !acc
+  done;
+  !acc
+
+let sweep ?(ns = [ 60; 100; 140 ]) ?(instances = 5) ~seed () =
+  let rng = Wnet_prng.Rng.create seed in
+  List.map
+    (fun n ->
+      let node_samples = ref [] and edge_samples_acc = ref [] in
+      for _ = 1 to instances do
+        let child = Wnet_prng.Rng.split rng in
+        let topo =
+          Wnet_topology.Udg.generate child
+            ~region:(Wnet_geom.Region.square 1200.0) ~n ~range:300.0
+        in
+        (* node-agent instance *)
+        let costs = Wnet_topology.Udg.uniform_node_costs child ~n ~lo:1.0 ~hi:5.0 in
+        let ng = Wnet_topology.Udg.node_graph topo ~costs in
+        let results =
+          Unicast.all_to_root ng ~root:0 |> Array.to_list |> List.filter_map Fun.id
+        in
+        node_samples := Overpayment.of_unicast results @ !node_samples;
+        (* edge-agent instance on the same adjacency *)
+        let eg =
+          Wnet_graph.Egraph.create ~n
+            ~edges:
+              (List.map
+                 (fun (u, v) ->
+                   (u, v, Wnet_prng.Rng.float_range child 1.0 5.0))
+                 topo.Wnet_topology.Udg.edges)
+        in
+        edge_samples_acc := edge_samples eg ~root:0 @ !edge_samples_acc
+      done;
+      let node_study = Overpayment.study !node_samples in
+      let edge_study = Overpayment.study !edge_samples_acc in
+      {
+        n;
+        node_ior = node_study.Overpayment.ior;
+        node_tor = node_study.Overpayment.tor;
+        edge_ior = edge_study.Overpayment.ior;
+        edge_tor = edge_study.Overpayment.tor;
+        sources = List.length node_study.Overpayment.samples;
+      })
+    ns
+
+let render rows =
+  let table =
+    Wnet_stats.Table.make
+      ~headers:[ "n"; "node IOR"; "node TOR"; "edge IOR"; "edge TOR"; "sources" ]
+  in
+  List.iter
+    (fun r ->
+      Wnet_stats.Table.add_row table
+        [
+          string_of_int r.n;
+          Printf.sprintf "%.3f" r.node_ior;
+          Printf.sprintf "%.3f" r.node_tor;
+          Printf.sprintf "%.3f" r.edge_ior;
+          Printf.sprintf "%.3f" r.edge_tor;
+          string_of_int r.sources;
+        ])
+    rows;
+  Wnet_stats.Table.render table

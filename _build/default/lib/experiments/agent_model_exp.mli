@@ -1,0 +1,25 @@
+(** Ablation: who is the agent — nodes (this paper) or edges
+    (Nisan–Ronen, the paper's Sec. II-D baseline)?
+
+    On identical UDG topologies with comparable cost scales, runs both
+    VCG mechanisms for every source-to-AP unicast and compares
+    overpayment.  Edge agents are more numerous (one per link) but each
+    is easier to replace (a single link, not a whole router), so the two
+    models price the same network differently — this experiment measures
+    by how much. *)
+
+type row = {
+  n : int;
+  node_ior : float;
+  node_tor : float;
+  edge_ior : float;
+  edge_tor : float;
+  sources : int;
+}
+
+val sweep : ?ns:int list -> ?instances:int -> seed:int -> unit -> row list
+(** Dense UDG (1200 m square, range 300 m); node costs uniform in
+    [\[1, 5)], edge costs uniform in [\[1, 5)] (independent draws).
+    Defaults: [ns = [60; 100; 140]], 5 instances. *)
+
+val render : row list -> string

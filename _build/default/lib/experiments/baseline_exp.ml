@@ -1,0 +1,132 @@
+type nuglet_row = {
+  price : float;
+  delivery_rate : float;
+  social_cost_ratio : float;
+}
+
+let dense_udg rng ~n ~cost_lo ~cost_hi =
+  (* 1200 m square at range 300 m: connected with high probability, so
+     the measurements isolate pricing effects from plain disconnection. *)
+  let t =
+    Wnet_topology.Udg.generate rng ~region:(Wnet_geom.Region.square 1200.0) ~n
+      ~range:300.0
+  in
+  let costs = Wnet_topology.Udg.uniform_node_costs rng ~n ~lo:cost_lo ~hi:cost_hi in
+  Wnet_topology.Udg.node_graph t ~costs
+
+let nuglet_instance rng ~n = dense_udg rng ~n ~cost_lo:0.5 ~cost_hi:8.0
+
+let nuglet_sweep ?(n = 150) ?(prices = [ 0.5; 1.0; 2.0; 4.0; 8.0 ]) ?(instances = 5)
+    ~seed () =
+  let rng = Wnet_prng.Rng.create seed in
+  let graphs =
+    List.init instances (fun _ -> nuglet_instance (Wnet_prng.Rng.split rng) ~n)
+  in
+  List.map
+    (fun price ->
+      let delivered = ref 0 and total = ref 0 and ratios = ref [] in
+      List.iter
+        (fun g ->
+          let lcp = Wnet_core.Unicast.all_to_root g ~root:0 in
+          for src = 1 to n - 1 do
+            match lcp.(src) with
+            | None -> () (* disconnected from the AP outright *)
+            | Some vcg ->
+              incr total;
+              let o = Wnet_baselines.Nuglet.run g ~price ~src ~dst:0 in
+              (match o.Wnet_baselines.Nuglet.path with
+              | None -> ()
+              | Some _ ->
+                incr delivered;
+                let base = vcg.Wnet_core.Unicast.lcp_cost in
+                if base > 0.0 then
+                  ratios := (o.Wnet_baselines.Nuglet.social_cost /. base) :: !ratios)
+          done)
+        graphs;
+      {
+        price;
+        delivery_rate =
+          (if !total = 0 then nan
+           else float_of_int !delivered /. float_of_int !total);
+        social_cost_ratio = Wnet_stats.Summary.mean !ratios;
+      })
+    prices
+
+type watchdog_row = {
+  battery : int;
+  selfish_fraction : float;
+  wrongful_fraction : float;
+  delivered_fraction : float;
+}
+
+let watchdog_sweep ?(n = 60) ?(batteries = [ 5; 20; 80; 320 ]) ?(instances = 5)
+    ~seed () =
+  let rng = Wnet_prng.Rng.create seed in
+  let selfish_fraction = 0.1 in
+  List.map
+    (fun battery ->
+      let wrongful = ref 0 and labelled = ref 0 in
+      let delivered = ref 0 and sessions_total = ref 0 in
+      for _ = 1 to instances do
+        let child = Wnet_prng.Rng.split rng in
+        let g = dense_udg child ~n ~cost_lo:1.0 ~cost_hi:2.0 in
+        let kinds =
+          Array.init n (fun _ ->
+              if Wnet_prng.Rng.bernoulli child selfish_fraction then
+                Wnet_baselines.Watchdog.Selfish
+              else Wnet_baselines.Watchdog.Cooperative battery)
+        in
+        let sessions = 300 in
+        let rep =
+          Wnet_baselines.Watchdog.run child g ~kinds:(fun v -> kinds.(v)) ~root:0
+            ~sessions
+        in
+        wrongful := !wrongful + rep.Wnet_baselines.Watchdog.wrongful;
+        labelled :=
+          !labelled + rep.Wnet_baselines.Watchdog.wrongful
+          + rep.Wnet_baselines.Watchdog.rightful;
+        delivered := !delivered + rep.Wnet_baselines.Watchdog.delivered;
+        sessions_total := !sessions_total + sessions
+      done;
+      {
+        battery;
+        selfish_fraction;
+        wrongful_fraction =
+          float_of_int !wrongful /. float_of_int (max 1 !labelled);
+        delivered_fraction =
+          float_of_int !delivered /. float_of_int (max 1 !sessions_total);
+      })
+    batteries
+
+let render_nuglet rows =
+  let table =
+    Wnet_stats.Table.make
+      ~headers:[ "price"; "delivery rate"; "social cost / LCP cost" ]
+  in
+  List.iter
+    (fun r ->
+      Wnet_stats.Table.add_row table
+        [
+          Printf.sprintf "%.1f" r.price;
+          Printf.sprintf "%.3f" r.delivery_rate;
+          Printf.sprintf "%.3f" r.social_cost_ratio;
+        ])
+    rows;
+  Wnet_stats.Table.render table
+
+let render_watchdog rows =
+  let table =
+    Wnet_stats.Table.make
+      ~headers:[ "battery"; "selfish frac"; "wrongful label frac"; "delivered frac" ]
+  in
+  List.iter
+    (fun r ->
+      Wnet_stats.Table.add_row table
+        [
+          string_of_int r.battery;
+          Printf.sprintf "%.2f" r.selfish_fraction;
+          Printf.sprintf "%.3f" r.wrongful_fraction;
+          Printf.sprintf "%.3f" r.delivered_fraction;
+        ])
+    rows;
+  Wnet_stats.Table.render table

@@ -1,0 +1,42 @@
+(** Baseline studies backing the paper's related-work critique (Sec. II-D).
+
+    Two quantitative claims the paper makes in prose, measured on the
+    Fig. 3 UDG workload with heterogeneous node costs:
+
+    - {b fixed prices ration}: under a nuglet-style fixed price, rational
+      nodes with cost above the price refuse to relay, so delivery
+      degrades as prices drop, and even delivered traffic routes over
+      socially costlier paths than the LCP;
+    - {b watchdogs mislabel}: reputation schemes label battery-exhausted
+      cooperative nodes as misbehaving alongside genuinely selfish ones. *)
+
+type nuglet_row = {
+  price : float;
+  delivery_rate : float;  (** fraction of sources that can reach the AP *)
+  social_cost_ratio : float;
+      (** mean over deliverable sources of (fixed-price route cost) /
+          (LCP cost); [>= 1] and meaningful only where both exist *)
+}
+
+val nuglet_sweep :
+  ?n:int -> ?prices:float list -> ?instances:int -> seed:int -> unit ->
+  nuglet_row list
+(** Defaults: [n = 150], prices [{0.5, 1, 2, 4, 8}], 5 instances; node
+    costs uniform in [\[0.5, 8)]. *)
+
+type watchdog_row = {
+  battery : int;
+  selfish_fraction : float;
+  wrongful_fraction : float;
+      (** fraction of labelled nodes that were merely battery-limited *)
+  delivered_fraction : float;
+}
+
+val watchdog_sweep :
+  ?n:int -> ?batteries:int list -> ?instances:int -> seed:int -> unit ->
+  watchdog_row list
+(** Defaults: [n = 60], 10% selfish nodes, batteries
+    [{5, 20, 80, 320}], 300 sessions per instance. *)
+
+val render_nuglet : nuglet_row list -> string
+val render_watchdog : watchdog_row list -> string

@@ -1,0 +1,114 @@
+open Wnet_core
+
+type row = {
+  n : int;
+  vcg_boost_found : bool;
+  vcg_pair_violations : int;
+  neighbourhood_inflation_violations : int;
+  neighbourhood_capture_violations : int;
+  resale_count : int;
+  best_resale_saving : float;
+}
+
+let resilient_instance rng ~n =
+  (* Dense enough that removing a closed neighbourhood rarely disconnects
+     the pair — the standing assumption of Theorem 8. *)
+  let rec go tries =
+    if tries <= 0 then None
+    else
+      match
+        Wnet_topology.Gnp.biconnected_graph rng ~n ~p:(8.0 /. float_of_int n)
+          ~cost_lo:1.0 ~cost_hi:10.0 ~max_tries:100
+      with
+      | None -> go (tries - 1)
+      | Some g -> Some g
+  in
+  go 20
+
+let adjacent_pairs g ~src ~dst ~limit =
+  let acc = ref [] and count = ref 0 in
+  Wnet_graph.Graph.iter_edges
+    (fun u v ->
+      if !count < limit && u <> src && u <> dst && v <> src && v <> dst then begin
+        acc := (u, v) :: !acc;
+        incr count
+      end)
+    g;
+  List.rev !acc
+
+let one_instance rng ~n =
+  match resilient_instance rng ~n with
+  | None -> None
+  | Some g ->
+    let dst = 0 in
+    let src = 1 + Wnet_prng.Rng.int rng (n - 1) in
+    let truth = Wnet_graph.Graph.costs g in
+    let pairs = adjacent_pairs g ~src ~dst ~limit:30 in
+    let nbhd_resilient =
+      Wnet_graph.Connectivity.neighbourhood_resilient g ~src ~dst
+    in
+    let violations scheme =
+      List.length
+        (Wnet_mech.Properties.pair_collusion_violations
+           (Wnet_prng.Rng.split rng)
+           (Payment_scheme.mechanism scheme g ~src ~dst)
+           ~truth ~pairs ~trials_per_pair:4 ~lie_bound:50.0)
+    in
+    let inflation_violations scheme =
+      List.length
+        (Wnet_mech.Properties.pair_inflation_violations
+           (Wnet_prng.Rng.split rng)
+           (Payment_scheme.mechanism scheme g ~src ~dst)
+           ~truth ~pairs ~trials_per_pair:4)
+    in
+    let boost =
+      Collusion.find_neighbour_boost g ~src ~dst ~boost:50.0 <> None
+    in
+    let batch = Unicast.all_to_root g ~root:dst in
+    let resales =
+      Collusion.resale_opportunities g ~root:dst ~payments:(fun v -> batch.(v))
+    in
+    Some
+      {
+        n;
+        vcg_boost_found = boost;
+        vcg_pair_violations = violations Payment_scheme.Vcg;
+        neighbourhood_inflation_violations =
+          (if nbhd_resilient then inflation_violations Payment_scheme.Neighbourhood
+           else 0);
+        neighbourhood_capture_violations =
+          (if nbhd_resilient then violations Payment_scheme.Neighbourhood else 0);
+        resale_count = List.length resales;
+        best_resale_saving =
+          (match resales with [] -> 0.0 | r :: _ -> r.Collusion.saving);
+      }
+
+let study ?(n = 30) ?(instances = 10) ~seed () =
+  let rng = Wnet_prng.Rng.create seed in
+  List.filter_map
+    (fun _ -> one_instance (Wnet_prng.Rng.split rng) ~n)
+    (List.init instances (fun i -> i))
+
+let render rows =
+  let table =
+    Wnet_stats.Table.make
+      ~headers:
+        [
+          "n"; "VCG boost found"; "VCG pair gains"; "nbhd inflation gains";
+          "nbhd capture gains"; "resale opportunities"; "best saving";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Wnet_stats.Table.add_row table
+        [
+          string_of_int r.n;
+          string_of_bool r.vcg_boost_found;
+          string_of_int r.vcg_pair_violations;
+          string_of_int r.neighbourhood_inflation_violations;
+          string_of_int r.neighbourhood_capture_violations;
+          string_of_int r.resale_count;
+          Printf.sprintf "%.3f" r.best_resale_saving;
+        ])
+    rows;
+  Wnet_stats.Table.render table

@@ -1,0 +1,34 @@
+(** Collusion experiments (Sec. III-E and III-H).
+
+    Three claims, demonstrated empirically on random biconnected
+    instances:
+
+    - plain VCG is {e not} 2-agents strategyproof (Theorem 7's setting):
+      a relay plus a neighbour on its replacement path can jointly gain;
+    - the neighbourhood payment scheme [p̃] resists exactly that
+      collusion: the same adversarial search finds no gaining neighbour
+      pair (its pivot ignores the whole neighbourhood's declarations);
+    - resale-the-path opportunities (Sec. III-H) exist under VCG in a
+      sizeable fraction of random instances — the scheme is truthful per
+      unicast, yet the payment vector is not "resale-proof". *)
+
+type row = {
+  n : int;
+  vcg_boost_found : bool;
+      (** a profitable relay+neighbour boost against plain VCG exists *)
+  vcg_pair_violations : int;
+      (** random joint lies by adjacent pairs that strictly gained (VCG) *)
+  neighbourhood_inflation_violations : int;
+      (** upward-only joint lies against the neighbourhood scheme — the
+          attack class [p̃] provably resists; expected 0 *)
+  neighbourhood_capture_violations : int;
+      (** unrestricted joint lies against the neighbourhood scheme; may
+          be positive via joint under-bidding (route capture), the
+          residual allowed by Theorem 7 — see EXPERIMENTS.md *)
+  resale_count : int;  (** sources with a profitable resale proxy *)
+  best_resale_saving : float;  (** 0 when none *)
+}
+
+val study : ?n:int -> ?instances:int -> seed:int -> unit -> row list
+
+val render : row list -> string

@@ -1,0 +1,91 @@
+type row = {
+  n : int;
+  m : int;
+  spt_rounds : int;
+  payment_rounds : int;
+  payment_broadcasts : int;
+  agrees : bool;
+  verified_spt_ok : bool;
+  cheater_accused : bool;
+}
+
+let one_instance rng ~n =
+  match
+    Wnet_topology.Gnp.biconnected_graph rng ~n ~p:(4.0 /. float_of_int n)
+      ~cost_lo:1.0 ~cost_hi:10.0 ~max_tries:200
+  with
+  | None -> None
+  | Some g ->
+    let root = 0 in
+    let spt = Wnet_dsim.Spt_protocol.run g ~root in
+    let pay = Wnet_dsim.Payment_protocol.run g ~root in
+    let agrees =
+      Wnet_dsim.Spt_protocol.matches_centralized spt g ~root
+      && Wnet_dsim.Payment_protocol.agrees_with_centralized pay g
+    in
+    let liar = 1 + Wnet_prng.Rng.int rng (n - 1) in
+    let behaviours v =
+      if v = liar then Wnet_dsim.Spt_protocol.Inflate_distance 1000.0
+      else Wnet_dsim.Spt_protocol.Honest
+    in
+    let vspt = Wnet_dsim.Spt_protocol.run ~behaviours ~verified:true g ~root in
+    let cheat = 1 + Wnet_prng.Rng.int rng (n - 1) in
+    let adversaries v =
+      if v = cheat then Wnet_dsim.Payment_protocol.Deflate_entries 0.5
+      else Wnet_dsim.Payment_protocol.Honest
+    in
+    let vpay =
+      Wnet_dsim.Payment_protocol.run ~adversaries ~verify:true g ~root
+    in
+    let cheater_had_entries = pay.Wnet_dsim.Payment_protocol.payments.(cheat) <> [] in
+    Some
+      {
+        n;
+        m = Wnet_graph.Graph.m g;
+        spt_rounds = spt.Wnet_dsim.Spt_protocol.stats.Wnet_dsim.Engine.rounds;
+        payment_rounds = pay.Wnet_dsim.Payment_protocol.stats.Wnet_dsim.Engine.rounds;
+        payment_broadcasts =
+          pay.Wnet_dsim.Payment_protocol.stats.Wnet_dsim.Engine.broadcasts;
+        agrees;
+        verified_spt_ok =
+          Wnet_dsim.Spt_protocol.matches_centralized vspt g ~root;
+        cheater_accused =
+          (not cheater_had_entries)
+          || List.exists
+               (fun (_, accused) -> accused = cheat)
+               vpay.Wnet_dsim.Payment_protocol.accusations;
+      }
+
+let sweep ?(ns = [ 20; 40; 60; 80 ]) ?(instances = 3) ~seed () =
+  let rng = Wnet_prng.Rng.create seed in
+  List.concat_map
+    (fun n ->
+      List.filter_map
+        (fun _ -> one_instance (Wnet_prng.Rng.split rng) ~n)
+        (List.init instances (fun i -> i)))
+    ns
+
+let render rows =
+  let table =
+    Wnet_stats.Table.make
+      ~headers:
+        [
+          "n"; "m"; "SPT rounds"; "pay rounds"; "pay broadcasts";
+          "= centralized"; "verified SPT ok"; "cheater accused";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Wnet_stats.Table.add_row table
+        [
+          string_of_int r.n;
+          string_of_int r.m;
+          string_of_int r.spt_rounds;
+          string_of_int r.payment_rounds;
+          string_of_int r.payment_broadcasts;
+          string_of_bool r.agrees;
+          string_of_bool r.verified_spt_ok;
+          string_of_bool r.cheater_accused;
+        ])
+    rows;
+  Wnet_stats.Table.render table

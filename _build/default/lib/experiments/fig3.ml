@@ -1,0 +1,124 @@
+open Wnet_core
+
+type model =
+  | Udg of { kappa : float }
+  | Random_range of { kappa : float }
+
+let model_name m =
+  match m with
+  | Udg { kappa } -> Printf.sprintf "UDG (range 300m, cost d^%g)" kappa
+  | Random_range { kappa } ->
+    Printf.sprintf "random range 100-500m (cost c1 + c2*d^%g)" kappa
+
+type point = {
+  n : int;
+  instances : int;
+  study : Overpayment.study;
+}
+
+let instance_graph rng model ~n =
+  match model with
+  | Udg { kappa } ->
+    let t = Wnet_topology.Udg.paper_instance rng ~n in
+    Wnet_topology.Udg.link_graph t
+      ~model:(Wnet_geom.Power.path_loss_only ~kappa)
+  | Random_range { kappa } ->
+    (Wnet_topology.Random_range.paper_instance rng ~n ~kappa).Wnet_topology.Random_range.graph
+
+let instance_samples rng model ~n =
+  let g = instance_graph rng model ~n in
+  Overpayment.of_link_batch (Link_cost.all_to_root g ~root:0)
+
+let default_ns = [ 100; 150; 200; 250; 300; 350; 400; 450; 500 ]
+
+let overpayment_sweep ?(instances = 10) ?(ns = default_ns) ~seed model =
+  let rng = Wnet_prng.Rng.create seed in
+  List.map
+    (fun n ->
+      let samples = ref [] in
+      for _ = 1 to instances do
+        let child = Wnet_prng.Rng.split rng in
+        samples := instance_samples child model ~n @ !samples
+      done;
+      { n; instances; study = Overpayment.study !samples })
+    ns
+
+let hop_profile ?(instances = 10) ?(n = 500) ~seed model =
+  let rng = Wnet_prng.Rng.create seed in
+  let samples = ref [] in
+  for _ = 1 to instances do
+    let child = Wnet_prng.Rng.split rng in
+    samples := instance_samples child model ~n @ !samples
+  done;
+  Overpayment.by_hop !samples
+
+let sweep_table points =
+  let table =
+    Wnet_stats.Table.make ~headers:[ "n"; "instances"; "IOR"; "TOR"; "worst"; "sources"; "skipped" ]
+  in
+  List.iter
+    (fun p ->
+      Wnet_stats.Table.add_row table
+        [
+          string_of_int p.n;
+          string_of_int p.instances;
+          Printf.sprintf "%.4f" p.study.Overpayment.ior;
+          Printf.sprintf "%.4f" p.study.Overpayment.tor;
+          Printf.sprintf "%.4f" p.study.Overpayment.worst;
+          string_of_int (List.length p.study.Overpayment.samples);
+          string_of_int p.study.Overpayment.skipped;
+        ])
+    points;
+  table
+
+let hop_table buckets =
+  let table =
+    Wnet_stats.Table.make ~headers:[ "hops"; "sources"; "mean ratio"; "max ratio" ]
+  in
+  List.iter
+    (fun (b : Overpayment.hop_bucket) ->
+      Wnet_stats.Table.add_row table
+        [
+          string_of_int b.Overpayment.hop;
+          string_of_int b.Overpayment.count;
+          Printf.sprintf "%.4f" b.Overpayment.mean_ratio;
+          Printf.sprintf "%.4f" b.Overpayment.max_ratio;
+        ])
+    buckets;
+  table
+
+let render_sweep ~title points =
+  let table = sweep_table points in
+  let series label f =
+    {
+      Wnet_stats.Ascii_chart.label;
+      points = List.map (fun p -> (float_of_int p.n, f p.study)) points;
+    }
+  in
+  title ^ "\n" ^ Wnet_stats.Table.render table ^ "\n\n"
+  ^ Wnet_stats.Ascii_chart.render
+      ~title:"overpayment ratio vs n   [i]=IOR [t]=TOR [w]=worst"
+      [
+        series 'i' (fun s -> s.Overpayment.ior);
+        series 't' (fun s -> s.Overpayment.tor);
+        series 'w' (fun s -> s.Overpayment.worst);
+      ]
+
+let render_hop_profile ~title buckets =
+  let table = hop_table buckets in
+  let series label f =
+    {
+      Wnet_stats.Ascii_chart.label;
+      points =
+        List.map
+          (fun (b : Overpayment.hop_bucket) -> (float_of_int b.Overpayment.hop, f b))
+          buckets;
+    }
+  in
+  title ^ "\n" ^ Wnet_stats.Table.render table ^ "\n\n"
+  ^ Wnet_stats.Ascii_chart.render
+      ~title:"overpayment ratio vs hop distance   [m]=mean [x]=max"
+      [
+        series 'm' (fun b -> b.Overpayment.mean_ratio);
+        series 'x' (fun b -> b.Overpayment.max_ratio);
+      ]

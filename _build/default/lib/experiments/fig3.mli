@@ -1,0 +1,65 @@
+(** Regeneration of the paper's Figure 3 (panels (a)–(f), Sec. III-G).
+
+    Each panel reports overpayment ratios for every-node-to-access-point
+    unicast over random instances:
+
+    - (a): IOR vs TOR, UDG model, kappa = 2 — the two curves coincide
+      and stay flat as [n] grows;
+    - (b): IOR, TOR and the worst ratio, UDG, kappa = 2;
+    - (c): same as (b) with kappa = 2.5;
+    - (d): overpayment ratio against hop distance from the source to the
+      access point (mean flat, max decreasing), UDG, kappa = 2;
+    - (e): IOR, TOR, worst for the random-range digraph model, kappa = 2;
+    - (f): same as (e) with kappa = 2.5.
+
+    The models are exactly the paper's: UDG — 2000 m square, common range
+    300 m, link cost [d^kappa]; random-range — per-node range in
+    [\[100 m, 500 m\]], link cost [c1 + c2 d^kappa], [c1 ∈ [300, 500]],
+    [c2 ∈ [10, 50]].  Both run the Sec. III-F link-cost mechanism with
+    the access point [v_0] as destination.  Sources disconnected from the
+    access point (possible in sparse draws) are skipped, as are sources
+    adjacent to it (their relay cost is 0). *)
+
+type model =
+  | Udg of { kappa : float }
+  | Random_range of { kappa : float }
+
+val model_name : model -> string
+
+val default_ns : int list
+(** The paper's node counts: [100, 150, ..., 500]. *)
+
+type point = {
+  n : int;
+  instances : int;
+  study : Wnet_core.Overpayment.study;  (** pooled over the instances *)
+}
+
+val overpayment_sweep :
+  ?instances:int ->
+  ?ns:int list ->
+  seed:int ->
+  model ->
+  point list
+(** Defaults: 10 instances (the paper uses 100 — pass [~instances:100]
+    for the full run) per [n ∈ {100, 150, ..., 500}]. *)
+
+val hop_profile :
+  ?instances:int ->
+  ?n:int ->
+  seed:int ->
+  model ->
+  Wnet_core.Overpayment.hop_bucket list
+(** Panel (d): pooled per-hop buckets (default [n = 500]). *)
+
+val sweep_table : point list -> Wnet_stats.Table.t
+(** The tabular form of a sweep (n, IOR, TOR, worst, ...), e.g. for CSV
+    export via {!Wnet_stats.Table.to_csv}. *)
+
+val hop_table : Wnet_core.Overpayment.hop_bucket list -> Wnet_stats.Table.t
+
+val render_sweep : title:string -> point list -> string
+(** Table plus an ASCII chart of IOR [i], TOR [t] and worst [w]
+    against [n]. *)
+
+val render_hop_profile : title:string -> Wnet_core.Overpayment.hop_bucket list -> string

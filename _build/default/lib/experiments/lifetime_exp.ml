@@ -1,0 +1,66 @@
+type row = {
+  regime : string;
+  delivered : int;
+  blocked : int;
+  first_death : int option;
+  dead_at_end : int;
+  residual_energy : float;
+  payments_flow : float;
+}
+
+let regime_name (r : Wnet_lifetime.Lifetime_sim.regime) =
+  match r with
+  | Wnet_lifetime.Lifetime_sim.Paid_vcg -> "paid VCG"
+  | Wnet_lifetime.Lifetime_sim.Selfish -> "selfish"
+  | Wnet_lifetime.Lifetime_sim.Fixed_price p -> Printf.sprintf "fixed price %.1f" p
+  | Wnet_lifetime.Lifetime_sim.Altruistic -> "altruistic"
+
+let study ?(n = 80) ?(budget = 50.0) ?(sessions = 2000) ~seed () =
+  let rng = Wnet_prng.Rng.create seed in
+  let t =
+    Wnet_topology.Udg.generate rng ~region:(Wnet_geom.Region.square 1200.0) ~n
+      ~range:300.0
+  in
+  let costs = Wnet_topology.Udg.uniform_node_costs rng ~n ~lo:0.5 ~hi:2.0 in
+  let g = Wnet_topology.Udg.node_graph t ~costs in
+  Wnet_lifetime.Lifetime_sim.compare_regimes rng g ~root:0 ~budget ~sessions
+    [
+      Wnet_lifetime.Lifetime_sim.Paid_vcg;
+      Wnet_lifetime.Lifetime_sim.Altruistic;
+      Wnet_lifetime.Lifetime_sim.Fixed_price 1.0;
+      Wnet_lifetime.Lifetime_sim.Selfish;
+    ]
+  |> List.map (fun (o : Wnet_lifetime.Lifetime_sim.outcome) ->
+         {
+           regime = regime_name o.Wnet_lifetime.Lifetime_sim.regime;
+           delivered = o.Wnet_lifetime.Lifetime_sim.delivered;
+           blocked = o.Wnet_lifetime.Lifetime_sim.blocked;
+           first_death = o.Wnet_lifetime.Lifetime_sim.first_death;
+           dead_at_end = o.Wnet_lifetime.Lifetime_sim.dead_at_end;
+           residual_energy = o.Wnet_lifetime.Lifetime_sim.residual_energy;
+           payments_flow = o.Wnet_lifetime.Lifetime_sim.payments_flow;
+         })
+
+let render rows =
+  let table =
+    Wnet_stats.Table.make
+      ~headers:
+        [
+          "regime"; "delivered"; "blocked"; "first death"; "dead"; "residual energy";
+          "payment flow";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Wnet_stats.Table.add_row table
+        [
+          r.regime;
+          string_of_int r.delivered;
+          string_of_int r.blocked;
+          (match r.first_death with None -> "never" | Some s -> "session " ^ string_of_int s);
+          string_of_int r.dead_at_end;
+          Printf.sprintf "%.0f" r.residual_energy;
+          Printf.sprintf "%.0f" r.payments_flow;
+        ])
+    rows;
+  Wnet_stats.Table.render table

@@ -1,0 +1,48 @@
+open Wnet_core
+
+type point = {
+  n : int;
+  instances : int;
+  study : Overpayment.study;
+}
+
+let sweep ?(instances = 10) ?(ns = Fig3.default_ns) ?(cost_lo = 1.0)
+    ?(cost_hi = 10.0) ~seed () =
+  let rng = Wnet_prng.Rng.create seed in
+  List.map
+    (fun n ->
+      let samples = ref [] in
+      for _ = 1 to instances do
+        let child = Wnet_prng.Rng.split rng in
+        let t = Wnet_topology.Udg.paper_instance child ~n in
+        let costs =
+          Wnet_topology.Udg.uniform_node_costs child ~n ~lo:cost_lo ~hi:cost_hi
+        in
+        let g = Wnet_topology.Udg.node_graph t ~costs in
+        let results =
+          Unicast.all_to_root g ~root:0 |> Array.to_list |> List.filter_map Fun.id
+        in
+        samples := Overpayment.of_unicast results @ !samples
+      done;
+      { n; instances; study = Overpayment.study !samples })
+    ns
+
+let render ~title points =
+  let table =
+    Wnet_stats.Table.make
+      ~headers:[ "n"; "instances"; "IOR"; "TOR"; "worst"; "sources"; "skipped" ]
+  in
+  List.iter
+    (fun p ->
+      Wnet_stats.Table.add_row table
+        [
+          string_of_int p.n;
+          string_of_int p.instances;
+          Printf.sprintf "%.4f" p.study.Overpayment.ior;
+          Printf.sprintf "%.4f" p.study.Overpayment.tor;
+          Printf.sprintf "%.4f" p.study.Overpayment.worst;
+          string_of_int (List.length p.study.Overpayment.samples);
+          string_of_int p.study.Overpayment.skipped;
+        ])
+    points;
+  title ^ "\n" ^ Wnet_stats.Table.render table

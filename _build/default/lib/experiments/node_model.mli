@@ -1,0 +1,27 @@
+(** Ablation: overpayment under the node-cost model (Sec. III-A) with
+    i.i.d. uniform relay costs — "the cost of each node is chosen
+    independently and uniformly from a range" (Sec. III-G's description
+    of the setting) — on the same UDG topologies as Fig. 3.
+
+    Comparing this against the link-cost panels separates how much of the
+    overpayment behaviour comes from the mechanism (the VCG pivot) versus
+    from the cost model (distance-driven link costs). *)
+
+type point = {
+  n : int;
+  instances : int;
+  study : Wnet_core.Overpayment.study;
+}
+
+val sweep :
+  ?instances:int ->
+  ?ns:int list ->
+  ?cost_lo:float ->
+  ?cost_hi:float ->
+  seed:int ->
+  unit ->
+  point list
+(** Defaults: costs uniform in [\[1, 10)], [ns = {100, ..., 500}],
+    10 instances. *)
+
+val render : title:string -> point list -> string

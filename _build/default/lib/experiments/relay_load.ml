@@ -1,0 +1,76 @@
+type row = {
+  n : int;
+  mean_load : float;
+  max_load : float;
+  uniform_expected_max : float;
+  top_decile_share : float;
+  idle_fraction : float;
+}
+
+let study ?(ns = [ 100; 200; 300 ]) ?(instances = 5) ~seed () =
+  let rng = Wnet_prng.Rng.create seed in
+  List.map
+    (fun n ->
+      let loads = ref [] in
+      for _ = 1 to instances do
+        let child = Wnet_prng.Rng.split rng in
+        let t = Wnet_topology.Udg.paper_instance child ~n in
+        let costs = Wnet_topology.Udg.uniform_node_costs child ~n ~lo:1.0 ~hi:10.0 in
+        let g = Wnet_topology.Udg.node_graph t ~costs in
+        let load = Array.make n 0 in
+        let outcomes = Wnet_core.Unicast.all_to_root g ~root:0 in
+        Array.iter
+          (fun o ->
+            match o with
+            | None -> ()
+            | Some r ->
+              Array.iter
+                (fun k -> load.(k) <- load.(k) + 1)
+                (Wnet_graph.Path.relays r.Wnet_core.Unicast.path))
+          outcomes;
+        loads := load :: !loads
+      done;
+      (* pool per-node loads over the instances *)
+      let all = Array.concat !loads in
+      let total = Array.fold_left ( + ) 0 all in
+      let nodes = Array.length all in
+      let sorted = Array.map float_of_int all in
+      Array.sort (fun a b -> compare b a) sorted;
+      let decile = max 1 (nodes / 10) in
+      let top =
+        Array.fold_left ( +. ) 0.0 (Array.sub sorted 0 decile)
+      in
+      let idle = Array.fold_left (fun acc l -> if l = 0 then acc + 1 else acc) 0 all in
+      {
+        n;
+        mean_load = float_of_int total /. float_of_int nodes;
+        max_load = (if nodes = 0 then 0.0 else sorted.(0));
+        uniform_expected_max = float_of_int total /. float_of_int nodes;
+        top_decile_share =
+          (if total = 0 then nan else top /. float_of_int total);
+        idle_fraction = float_of_int idle /. float_of_int nodes;
+      })
+    ns
+
+let render rows =
+  let table =
+    Wnet_stats.Table.make
+      ~headers:
+        [
+          "n"; "mean load"; "max load"; "uniform expectation";
+          "top-10% share"; "idle nodes";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Wnet_stats.Table.add_row table
+        [
+          string_of_int r.n;
+          Printf.sprintf "%.2f" r.mean_load;
+          Printf.sprintf "%.0f" r.max_load;
+          Printf.sprintf "%.2f" r.uniform_expected_max;
+          Printf.sprintf "%.0f%%" (100.0 *. r.top_decile_share);
+          Printf.sprintf "%.0f%%" (100.0 *. r.idle_fraction);
+        ])
+    rows;
+  Wnet_stats.Table.render table

@@ -1,0 +1,37 @@
+(** Testing the paper's critique of the GTFT-style traffic model
+    (Sec. II-D on refs [1] and [7]).
+
+    Those works assume "each path is l hops long and the l relay nodes
+    are chosen with equal probability from the remaining n-1 nodes",
+    which the paper calls "unrealistic".  This experiment quantifies how
+    unrealistic: under all-to-AP least-cost routing on the paper's own
+    UDG deployments, relay duty is {e extremely} concentrated — nodes
+    near the access point carry a large constant fraction of all routes,
+    while most nodes relay for almost nobody.
+
+    Reported per instance batch:
+    - the mean and max relay load (number of sources routed through a
+      node), against the uniform-model expectation;
+    - the share of total relay work carried by the busiest decile of
+      nodes (10% under the uniform assumption);
+    - the fraction of nodes that relay for nobody at all (≈ 0 under the
+      uniform assumption). *)
+
+type row = {
+  n : int;
+  mean_load : float;
+  max_load : float;
+  uniform_expected_max : float;
+      (** the uniform model's per-node expectation (every node equally
+          likely): total relay slots / n — its max coincides with its
+          mean up to sampling noise *)
+  top_decile_share : float;  (** fraction of all relaying done by the busiest 10% *)
+  idle_fraction : float;  (** nodes that never relay *)
+}
+
+val study : ?ns:int list -> ?instances:int -> seed:int -> unit -> row list
+(** UDG (paper region, range 300 m), uniform node costs in [\[1, 10)];
+    all sources to the access point.  Defaults: [ns = [100; 200; 300]],
+    5 instances. *)
+
+val render : row list -> string

@@ -1,0 +1,16 @@
+(** One-command reproduction report.
+
+    Runs every experiment in the repository at a chosen scale and emits a
+    single self-contained markdown document (tables in code fences, one
+    section per paper artifact, seeds recorded).  This is the generator
+    behind the numbers quoted in EXPERIMENTS.md: re-run it at
+    [~instances:100] to refresh the full record, or at the default scale
+    for a quick check. *)
+
+val generate : ?instances:int -> ?seed:int -> unit -> string
+(** Defaults: [instances = 10] (the paper uses 100), [seed = 2004].
+    Runtime grows roughly linearly in [instances]; the default takes on
+    the order of a minute. *)
+
+val save : path:string -> string -> unit
+(** Write the report to a file. *)

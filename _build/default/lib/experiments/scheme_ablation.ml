@@ -1,0 +1,112 @@
+open Wnet_core
+
+type row = {
+  n : int;
+  sources : int;
+  monopolized : int;
+  mean_ratio : float;
+  max_ratio : float;
+  off_path_paid : float;
+}
+
+type topology = Dense_udg | Gnp of float
+
+let instance_graph rng topology ~n =
+  match topology with
+  | Dense_udg ->
+    let t =
+      Wnet_topology.Udg.generate rng ~region:(Wnet_geom.Region.square 1000.0) ~n
+        ~range:300.0
+    in
+    let costs = Wnet_topology.Udg.uniform_node_costs rng ~n ~lo:1.0 ~hi:10.0 in
+    Wnet_topology.Udg.node_graph t ~costs
+  | Gnp p ->
+    Wnet_topology.Gnp.connected_graph rng ~n ~p ~cost_lo:1.0 ~cost_hi:10.0
+
+let one_instance rng topology ~n acc =
+  let g = instance_graph rng topology ~n in
+  let ratios, monopolized, off_path = acc in
+  let ratios = ref ratios and monopolized = ref monopolized and off_path = ref off_path in
+  for src = 1 to n - 1 do
+    match Payment_scheme.run Payment_scheme.Vcg g ~src ~dst:0 with
+    | None -> ()
+    | Some vcg ->
+      let p = Payment_scheme.total_payment vcg in
+      if p > 0.0 && Float.is_finite p then begin
+        match Payment_scheme.run Payment_scheme.Neighbourhood g ~src ~dst:0 with
+        | None -> ()
+        | Some nb ->
+          let pt = Payment_scheme.total_payment nb in
+          if Float.is_finite pt then begin
+            ratios := (pt /. p) :: !ratios;
+            let off =
+              let count = ref 0 in
+              Array.iteri
+                (fun v pay ->
+                  if
+                    pay > 1e-12
+                    && not (Wnet_graph.Path.mem nb.Payment_scheme.path v)
+                  then incr count)
+                nb.Payment_scheme.payments;
+              !count
+            in
+            off_path := float_of_int off :: !off_path
+          end
+          else incr monopolized
+      end
+  done;
+  (!ratios, !monopolized, !off_path)
+
+let sweep ?(topology = Gnp 0.3) ?(ns = [ 50; 100; 150 ]) ?(instances = 5) ~seed () =
+  let rng = Wnet_prng.Rng.create seed in
+  List.map
+    (fun n ->
+      let acc = ref ([], 0, []) in
+      for _ = 1 to instances do
+        acc := one_instance (Wnet_prng.Rng.split rng) topology ~n !acc
+      done;
+      let ratios, monopolized, off_path = !acc in
+      match ratios with
+      | [] ->
+        {
+          n;
+          sources = 0;
+          monopolized;
+          mean_ratio = nan;
+          max_ratio = nan;
+          off_path_paid = nan;
+        }
+      | _ ->
+        let s = Wnet_stats.Summary.of_list ratios in
+        {
+          n;
+          sources = List.length ratios;
+          monopolized;
+          mean_ratio = s.Wnet_stats.Summary.mean;
+          max_ratio = s.Wnet_stats.Summary.max;
+          off_path_paid = Wnet_stats.Summary.mean off_path;
+        })
+    ns
+
+let render rows =
+  let table =
+    Wnet_stats.Table.make
+      ~headers:
+        [
+          "n"; "sources"; "monopolized"; "mean p~/p"; "max p~/p";
+          "off-path paid (avg)";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Wnet_stats.Table.add_row table
+        [
+          string_of_int r.n;
+          string_of_int r.sources;
+          string_of_int r.monopolized;
+          Printf.sprintf "%.3f" r.mean_ratio;
+          Printf.sprintf "%.3f" r.max_ratio;
+          Printf.sprintf "%.2f" r.off_path_paid;
+        ])
+    rows;
+  Wnet_stats.Table.render table

@@ -1,0 +1,49 @@
+(** Ablation: the price of collusion resistance.
+
+    The neighbourhood scheme [p̃] of Theorem 8 prices node [k] by
+    removing all of [N(v_k)] instead of [v_k] alone, so its pivot is at
+    least as expensive and every relay earns at least its plain-VCG
+    payment.  The paper notes the scheme "is optimum in terms of the
+    individual payment" among neighbourhood-independent schemes but does
+    not quantify the premium; this experiment does, on the Fig. 3 UDG
+    workload:
+
+    - the total-payment ratio [Σ p̃ / Σ p] per source (how much more a
+      source pays for collusion resistance);
+    - the fraction of sources for which some [p̃] payment is infinite
+      (removing a closed neighbourhood disconnects them — the resilience
+      precondition failing);
+    - payments to off-path nodes (zero under VCG, possibly positive
+      under [p̃]). *)
+
+type topology =
+  | Dense_udg  (** 1000 m square, range 300 m *)
+  | Gnp of float  (** Erdős–Rényi with the given edge probability *)
+(** On geometric (UDG) graphs a closed neighbourhood is a disk whose
+    removal usually blocks or nearly blocks the source — Theorem 8's
+    resilience precondition mostly fails and the finite premiums are
+    huge.  On dense non-geometric graphs the scheme behaves, at a
+    measurable premium.  Both are reported; the contrast is itself a
+    finding (see EXPERIMENTS.md). *)
+
+type row = {
+  n : int;
+  sources : int;  (** sources with finite payments under both schemes *)
+  monopolized : int;  (** sources hitting an infinite neighbourhood pivot *)
+  mean_ratio : float;  (** mean over sources of [Σ p̃ / Σ p] *)
+  max_ratio : float;
+  off_path_paid : float;
+      (** mean (over sources) number of off-path nodes with positive
+          [p̃] payment *)
+}
+
+val sweep :
+  ?topology:topology -> ?ns:int list -> ?instances:int -> seed:int -> unit ->
+  row list
+(** Uniform node costs in [\[1, 10)]; every node unicasts to the access
+    point.  Defaults: [topology = Gnp 0.3], [ns = [50; 100; 150]],
+    5 instances (the neighbourhood scheme costs one Dijkstra per
+    node-with-a-path-neighbour per source, so this is the expensive
+    experiment). *)
+
+val render : row list -> string

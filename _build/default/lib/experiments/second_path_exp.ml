@@ -1,0 +1,53 @@
+type bucket = {
+  hop : int;
+  count : int;
+  mean_gap : float;
+  max_gap : float;
+}
+
+let study ?(n = 150) ?(instances = 5) ~seed () =
+  let rng = Wnet_prng.Rng.create seed in
+  let tbl = Hashtbl.create 32 in
+  for _ = 1 to instances do
+    let child = Wnet_prng.Rng.split rng in
+    let t = Wnet_topology.Udg.paper_instance child ~n in
+    let costs = Wnet_topology.Udg.uniform_node_costs child ~n ~lo:1.0 ~hi:10.0 in
+    let g = Wnet_topology.Udg.node_graph t ~costs in
+    for src = 1 to n - 1 do
+      match Wnet_graph.Ksp.k_shortest_paths g ~src ~dst:0 ~k:2 with
+      | [ best; second ] ->
+        let c1 = Wnet_graph.Path.relay_cost g best in
+        if c1 > 0.0 then begin
+          let c2 = Wnet_graph.Path.relay_cost g second in
+          let gap = (c2 -. c1) /. c1 in
+          let hop = Wnet_graph.Path.hops best in
+          let sum, mx, cnt =
+            Option.value (Hashtbl.find_opt tbl hop) ~default:(0.0, neg_infinity, 0)
+          in
+          Hashtbl.replace tbl hop (sum +. gap, Float.max mx gap, cnt + 1)
+        end
+      | _ -> ()
+    done
+  done;
+  Hashtbl.fold
+    (fun hop (sum, mx, cnt) acc ->
+      { hop; count = cnt; mean_gap = sum /. float_of_int cnt; max_gap = mx } :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.hop b.hop)
+
+let render buckets =
+  let table =
+    Wnet_stats.Table.make
+      ~headers:[ "hops"; "sources"; "mean (c2-c1)/c1"; "max (c2-c1)/c1" ]
+  in
+  List.iter
+    (fun b ->
+      Wnet_stats.Table.add_row table
+        [
+          string_of_int b.hop;
+          string_of_int b.count;
+          Printf.sprintf "%.4f" b.mean_gap;
+          Printf.sprintf "%.4f" b.max_gap;
+        ])
+    buckets;
+  Wnet_stats.Table.render table

@@ -1,0 +1,25 @@
+(** Testing the paper's {e explanation} of Figure 3(d).
+
+    The paper attributes the decreasing worst-case overpayment to the
+    second shortest path: close to the access point it "could be much
+    larger than the shortest path"; far away its cost is "almost the
+    same".  Using Yen's algorithm we measure, per source, the relative
+    gap [(c2 - c1) / c1] between the best and second-best simple paths,
+    bucketed by hop distance — if the paper's explanation is right, the
+    max (and mean) relative gap must decay with hop distance, mirroring
+    the max overpayment curve. *)
+
+type bucket = {
+  hop : int;
+  count : int;
+  mean_gap : float;  (** mean relative gap [(c2 - c1)/c1] *)
+  max_gap : float;
+}
+
+val study : ?n:int -> ?instances:int -> seed:int -> unit -> bucket list
+(** UDG (paper region, range 300 m) with uniform node costs in
+    [\[1, 10)]; all sources to the access point.  Sources with no second
+    simple path or a zero-cost LCP are skipped.  Defaults: [n = 150],
+    5 instances. *)
+
+val render : bucket list -> string

@@ -1,0 +1,87 @@
+open Wnet_graph
+
+type row = {
+  n : int;
+  m : int;
+  relays : int;
+  fast_ms : float;
+  naive_ms : float;
+  speedup : float;
+}
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let median l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let instance rng ~n =
+  (* Node-cost UDG in a long corridor: the LCP to the far end crosses
+     many relays, which is where the naive method's extra Dijkstras bite
+     (a square deployment keeps paths short and hides the asymptotics). *)
+  let region = Wnet_geom.Region.make ~width:8000.0 ~height:400.0 in
+  let t = Wnet_topology.Udg.generate rng ~region ~n ~range:300.0 in
+  let costs = Wnet_topology.Udg.uniform_node_costs rng ~n ~lo:1.0 ~hi:10.0 in
+  Wnet_topology.Udg.node_graph t ~costs
+
+let farthest_from g root =
+  let tree = Dijkstra.node_weighted g ~source:root in
+  let best = ref root and best_d = ref neg_infinity in
+  Array.iteri
+    (fun v d ->
+      if v <> root && Float.is_finite d && d > !best_d then begin
+        best := v;
+        best_d := d
+      end)
+    tree.Dijkstra.dist;
+  !best
+
+let sweep ?(ns = [ 100; 200; 300; 400; 500 ]) ?(repeats = 3) ~seed () =
+  let rng = Wnet_prng.Rng.create seed in
+  List.map
+    (fun n ->
+      let g = instance rng ~n in
+      let src = farthest_from g 0 in
+      let fasts = ref [] and naives = ref [] and relays = ref 0 in
+      for _ = 1 to repeats do
+        let rf, tf = time_ms (fun () -> Avoid.replacement_costs_fast g ~src ~dst:0) in
+        let _, tn = time_ms (fun () -> Avoid.replacement_costs_naive g ~src ~dst:0) in
+        fasts := tf :: !fasts;
+        naives := tn :: !naives;
+        match rf with
+        | Some r -> relays := max 0 (Array.length r.Avoid.path - 2)
+        | None -> ()
+      done;
+      let fast_ms = median !fasts and naive_ms = median !naives in
+      {
+        n;
+        m = Graph.m g;
+        relays = !relays;
+        fast_ms;
+        naive_ms;
+        speedup = naive_ms /. Float.max fast_ms 1e-6;
+      })
+    ns
+
+let render rows =
+  let table =
+    Wnet_stats.Table.make
+      ~headers:[ "n"; "m"; "relays"; "fast (ms)"; "naive (ms)"; "speedup" ]
+  in
+  List.iter
+    (fun r ->
+      Wnet_stats.Table.add_row table
+        [
+          string_of_int r.n;
+          string_of_int r.m;
+          string_of_int r.relays;
+          Printf.sprintf "%.3f" r.fast_ms;
+          Printf.sprintf "%.3f" r.naive_ms;
+          Printf.sprintf "%.1fx" r.speedup;
+        ])
+    rows;
+  Wnet_stats.Table.render table

@@ -1,0 +1,25 @@
+(** Wall-clock comparison of Algorithm 1 against the naive payment
+    computation (the Sec. III-B complexity claim:
+    [O(n log n + m)] vs [O(n^2 log n + n m)]).
+
+    Bechamel micro-benchmarks in [bench/main.ml] give rigorous per-call
+    timings; this module provides the cheap sweep used by the CLI and
+    EXPERIMENTS.md, reporting medians over several instances. *)
+
+type row = {
+  n : int;
+  m : int;  (** edges of the measured instance *)
+  relays : int;  (** relays on the measured LCP *)
+  fast_ms : float;
+  naive_ms : float;
+  speedup : float;
+}
+
+val sweep : ?ns:int list -> ?repeats:int -> seed:int -> unit -> row list
+(** UDG instances in an 8000 m × 400 m corridor (range 300 m) — long
+    LCPs with many relays, the regime where the naive method's one
+    Dijkstra per relay dominates; source = farthest reachable node from
+    the access point.  Default [ns = [100; 200; 300; 400; 500]],
+    [repeats = 3] (median). *)
+
+val render : row list -> string

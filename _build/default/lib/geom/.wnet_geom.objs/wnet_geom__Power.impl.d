@@ -1,0 +1,1 @@
+lib/geom/power.ml: Format Point

@@ -1,0 +1,1 @@
+lib/geom/power.mli: Format Point

@@ -1,0 +1,1 @@
+lib/geom/region.ml: Array Point Wnet_prng

@@ -1,0 +1,1 @@
+lib/geom/region.mli: Point Wnet_prng

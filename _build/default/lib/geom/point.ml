@@ -1,0 +1,21 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+
+let origin = { x = 0.0; y = 0.0 }
+
+let distance_sq p q =
+  let dx = p.x -. q.x and dy = p.y -. q.y in
+  (dx *. dx) +. (dy *. dy)
+
+let distance p q = sqrt (distance_sq p q)
+
+let within r p q = distance_sq p q <= r *. r
+
+let midpoint p q = { x = (p.x +. q.x) /. 2.0; y = (p.y +. q.y) /. 2.0 }
+
+let translate p ~dx ~dy = { x = p.x +. dx; y = p.y +. dy }
+
+let equal p q = Float.equal p.x q.x && Float.equal p.y q.y
+
+let pp ppf p = Format.fprintf ppf "(%.3f, %.3f)" p.x p.y

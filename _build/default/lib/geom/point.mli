@@ -1,0 +1,33 @@
+(** Points in the 2-D deployment plane.
+
+    Wireless nodes are deployed at positions in a rectangular region; link
+    existence and power costs depend only on Euclidean distances between
+    positions. *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+(** [make x y] is the point [(x, y)]. *)
+
+val origin : t
+
+val distance : t -> t -> float
+(** [distance p q] is the Euclidean distance between [p] and [q]. *)
+
+val distance_sq : t -> t -> float
+(** [distance_sq p q] is the squared Euclidean distance; cheaper than
+    {!distance} when only comparisons are needed. *)
+
+val within : float -> t -> t -> bool
+(** [within r p q] is [true] iff [distance p q <= r].  Computed on squared
+    distances, so no square root is taken. *)
+
+val midpoint : t -> t -> t
+
+val translate : t -> dx:float -> dy:float -> t
+
+val equal : t -> t -> bool
+(** Structural equality on coordinates. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(x, y)] with three decimals. *)

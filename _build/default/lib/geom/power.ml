@@ -1,0 +1,17 @@
+type t = { alpha : float; beta : float; kappa : float }
+
+let make ~alpha ~beta ~kappa =
+  if alpha < 0.0 || beta < 0.0 || kappa <= 0.0 then
+    invalid_arg "Power.make: parameters must be non-negative, kappa positive";
+  { alpha; beta; kappa }
+
+let path_loss_only ~kappa = make ~alpha:0.0 ~beta:1.0 ~kappa
+
+let cost m d =
+  if d < 0.0 then invalid_arg "Power.cost: negative distance";
+  m.alpha +. (m.beta *. (d ** m.kappa))
+
+let link_cost m p q = cost m (Point.distance p q)
+
+let pp ppf m =
+  Format.fprintf ppf "%g + %g*d^%g" m.alpha m.beta m.kappa

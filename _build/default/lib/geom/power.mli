@@ -1,0 +1,30 @@
+(** The power-attenuation cost model of Section III-F.
+
+    The power needed to support a link [e = (v_i, v_j)] is
+    [alpha + beta * d^kappa] where [d] is the Euclidean length of the link,
+    [alpha] is the per-packet receive/processing overhead, [beta] scales the
+    path loss and [kappa] is the path-loss exponent (typically between 2 and
+    5).  The paper's two simulation set-ups are instances of this model:
+
+    - simulation 1 (UDG): [alpha = 0], [beta = 1], [kappa ∈ {2, 2.5}];
+    - simulation 2 (random ranges): [alpha = c1 ∈ [300, 500]],
+      [beta = c2 ∈ [10, 50]], [kappa ∈ {2, 2.5}]. *)
+
+type t = { alpha : float; beta : float; kappa : float }
+
+val make : alpha:float -> beta:float -> kappa:float -> t
+(** @raise Invalid_argument if any parameter is negative or [kappa = 0]. *)
+
+val path_loss_only : kappa:float -> t
+(** [path_loss_only ~kappa] is the model [d^kappa] used by the paper's
+    first simulation. *)
+
+val cost : t -> float -> float
+(** [cost m d] is the power cost [alpha + beta * d^kappa] of a link of
+    length [d].
+    @raise Invalid_argument if [d < 0]. *)
+
+val link_cost : t -> Point.t -> Point.t -> float
+(** [link_cost m p q] is [cost m (Point.distance p q)]. *)
+
+val pp : Format.formatter -> t -> unit

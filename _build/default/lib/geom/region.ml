@@ -1,0 +1,27 @@
+type t = { w : float; h : float }
+
+let make ~width ~height =
+  if width < 0.0 || height < 0.0 then
+    invalid_arg "Region.make: negative dimension";
+  { w = width; h = height }
+
+let square side = make ~width:side ~height:side
+
+let paper_region = square 2000.0
+
+let width r = r.w
+let height r = r.h
+
+let area r = r.w *. r.h
+
+let contains r (p : Point.t) =
+  p.x >= 0.0 && p.x <= r.w && p.y >= 0.0 && p.y <= r.h
+
+let sample_point rng r =
+  Point.make (Wnet_prng.Rng.float rng r.w) (Wnet_prng.Rng.float rng r.h)
+
+let sample_points rng r n =
+  if n < 0 then invalid_arg "Region.sample_points: negative count";
+  Array.init n (fun _ -> sample_point rng r)
+
+let diagonal r = sqrt ((r.w *. r.w) +. (r.h *. r.h))

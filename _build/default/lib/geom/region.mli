@@ -1,0 +1,36 @@
+(** Rectangular deployment regions and uniform node placement.
+
+    The paper's simulations deploy nodes uniformly at random in a
+    2000 m × 2000 m square; this module generalizes that to any axis-aligned
+    rectangle. *)
+
+type t
+(** An axis-aligned rectangle. *)
+
+val make : width:float -> height:float -> t
+(** [make ~width ~height] is the rectangle [\[0, width\] × \[0, height\]].
+    @raise Invalid_argument if a dimension is negative. *)
+
+val square : float -> t
+(** [square side] is [make ~width:side ~height:side]. *)
+
+val paper_region : t
+(** The 2000 m × 2000 m region used in the paper's simulations. *)
+
+val width : t -> float
+val height : t -> float
+
+val area : t -> float
+
+val contains : t -> Point.t -> bool
+(** [contains r p] tests membership (boundary inclusive). *)
+
+val sample_point : Wnet_prng.Rng.t -> t -> Point.t
+(** [sample_point rng r] draws a uniform point in [r]. *)
+
+val sample_points : Wnet_prng.Rng.t -> t -> int -> Point.t array
+(** [sample_points rng r n] draws [n] i.i.d. uniform points.
+    @raise Invalid_argument if [n < 0]. *)
+
+val diagonal : t -> float
+(** Length of the diagonal — an upper bound on any pairwise distance. *)

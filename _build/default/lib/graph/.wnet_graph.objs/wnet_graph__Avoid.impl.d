@@ -1,0 +1,1 @@
+lib/graph/avoid.ml: Array Binheap Dijkstra Float Graph Indexed_heap List Path

@@ -1,0 +1,1 @@
+lib/graph/avoid.mli: Dijkstra Graph Path

@@ -1,0 +1,1 @@
+lib/graph/edge_avoid.ml: Array Binheap Dijkstra Egraph Indexed_heap List

@@ -1,0 +1,1 @@
+lib/graph/egraph.ml: Array Float Hashtbl List

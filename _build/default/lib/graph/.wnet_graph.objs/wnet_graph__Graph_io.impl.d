@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Array Buffer Digraph Graph List Printf String

@@ -1,0 +1,1 @@
+lib/graph/indexed_heap.mli:

@@ -1,0 +1,1 @@
+lib/graph/ksp.ml: Array Graph Hashtbl Indexed_heap List Path

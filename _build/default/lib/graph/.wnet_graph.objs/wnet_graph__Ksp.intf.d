@@ -1,0 +1,1 @@
+lib/graph/ksp.mli: Graph Path

@@ -1,0 +1,1 @@
+lib/graph/metrics.ml: Array Connectivity Format Graph Hashtbl List Option Queue

@@ -1,0 +1,71 @@
+type 'a t = {
+  mutable keys : float array;
+  mutable vals : 'a array;
+  mutable size : int;
+}
+
+let create () = { keys = [||]; vals = [||]; size = 0 }
+
+let size h = h.size
+
+let is_empty h = h.size = 0
+
+let grow h v =
+  let cap = Array.length h.keys in
+  if h.size = cap then begin
+    let new_cap = max 8 (2 * cap) in
+    let keys = Array.make new_cap 0.0 in
+    let vals = Array.make new_cap v in
+    Array.blit h.keys 0 keys 0 h.size;
+    Array.blit h.vals 0 vals 0 h.size;
+    h.keys <- keys;
+    h.vals <- vals
+  end
+
+let swap h i j =
+  let k = h.keys.(i) and v = h.vals.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.vals.(i) <- h.vals.(j);
+  h.keys.(j) <- k;
+  h.vals.(j) <- v
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.keys.(i) < h.keys.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = if l < h.size && h.keys.(l) < h.keys.(i) then l else i in
+  let m = if r < h.size && h.keys.(r) < h.keys.(m) then r else m in
+  if m <> i then begin
+    swap h i m;
+    sift_down h m
+  end
+
+let push h key v =
+  grow h v;
+  let i = h.size in
+  h.keys.(i) <- key;
+  h.vals.(i) <- v;
+  h.size <- i + 1;
+  sift_up h i
+
+let peek_min h = if h.size = 0 then None else Some (h.keys.(0), h.vals.(0))
+
+let pop_min h =
+  if h.size = 0 then None
+  else begin
+    let k = h.keys.(0) and v = h.vals.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.keys.(0) <- h.keys.(h.size);
+      h.vals.(0) <- h.vals.(h.size);
+      sift_down h 0
+    end;
+    Some (k, v)
+  end

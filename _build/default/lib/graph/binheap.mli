@@ -1,0 +1,23 @@
+(** Simple polymorphic binary min-heap on float keys.
+
+    Unlike {!Indexed_heap}, entries are not unique and there is no
+    decrease-key; this heap backs the lazy-deletion candidate queues of the
+    fast payment algorithm (Algorithm 1, step 5), where each edge is pushed
+    once and stale entries are discarded when popped. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h key v] inserts value [v] with priority [key]. *)
+
+val peek_min : 'a t -> (float * 'a) option
+(** Smallest-key entry, without removing it. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Removes and returns the smallest-key entry. *)

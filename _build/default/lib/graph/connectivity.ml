@@ -1,0 +1,122 @@
+let component_of g v =
+  let n = Graph.n g in
+  if v < 0 || v >= n then invalid_arg "Connectivity.component_of";
+  let seen = Array.make n false in
+  let stack = ref [ v ] in
+  seen.(v) <- true;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | u :: rest ->
+      stack := rest;
+      Array.iter
+        (fun w ->
+          if not seen.(w) then begin
+            seen.(w) <- true;
+            stack := w :: !stack
+          end)
+        (Graph.neighbors g u)
+  done;
+  seen
+
+let is_connected g =
+  let n = Graph.n g in
+  n <= 1 || Array.for_all (fun b -> b) (component_of g 0)
+
+let connected_between g s t = s = t || (component_of g s).(t)
+
+(* Iterative Tarjan lowpoint computation.  A non-root vertex [u] is an
+   articulation point iff it has a DFS child [w] with [low(w) >= disc(u)];
+   the root is one iff it has at least two DFS children. *)
+let articulation_points g =
+  let n = Graph.n g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let is_ap = Array.make n false in
+  let timer = ref 0 in
+  for root = 0 to n - 1 do
+    if disc.(root) < 0 then begin
+      let root_children = ref 0 in
+      (* Frame: (vertex, parent, next neighbour index). *)
+      let stack = Stack.create () in
+      disc.(root) <- !timer;
+      low.(root) <- !timer;
+      incr timer;
+      Stack.push (root, -1, ref 0) stack;
+      while not (Stack.is_empty stack) do
+        let u, parent, next = Stack.top stack in
+        let nbrs = Graph.neighbors g u in
+        if !next < Array.length nbrs then begin
+          let w = nbrs.(!next) in
+          incr next;
+          if disc.(w) < 0 then begin
+            if u = root then incr root_children;
+            disc.(w) <- !timer;
+            low.(w) <- !timer;
+            incr timer;
+            Stack.push (w, u, ref 0) stack
+          end
+          else if w <> parent then low.(u) <- min low.(u) disc.(w)
+        end
+        else begin
+          ignore (Stack.pop stack);
+          if parent >= 0 then begin
+            low.(parent) <- min low.(parent) low.(u);
+            if parent <> root && low.(u) >= disc.(parent) then
+              is_ap.(parent) <- true
+          end
+        end
+      done;
+      if !root_children >= 2 then is_ap.(root) <- true
+    end
+  done;
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if is_ap.(v) then acc := v :: !acc
+  done;
+  !acc
+
+let is_biconnected g =
+  Graph.n g >= 3 && is_connected g && articulation_points g = []
+
+let connected_without g ~removed s t =
+  if s = t then true
+  else if List.mem s removed || List.mem t removed then false
+  else connected_between (Graph.remove_nodes g removed) s t
+
+let k_hop_neighbourhood g v k =
+  let n = Graph.n g in
+  if v < 0 || v >= n then invalid_arg "Connectivity.k_hop_neighbourhood";
+  if k < 0 then invalid_arg "Connectivity.k_hop_neighbourhood: negative radius";
+  let depth = Array.make n (-1) in
+  depth.(v) <- 0;
+  let q = Queue.create () in
+  Queue.add v q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    if depth.(u) < k then
+      Array.iter
+        (fun w ->
+          if depth.(w) < 0 then begin
+            depth.(w) <- depth.(u) + 1;
+            Queue.add w q
+          end)
+        (Graph.neighbors g u)
+  done;
+  let acc = ref [] in
+  for u = n - 1 downto 0 do
+    if depth.(u) >= 0 then acc := u :: !acc
+  done;
+  !acc
+
+let neighbourhood_resilient g ~src ~dst =
+  let n = Graph.n g in
+  let ok = ref true in
+  for k = 0 to n - 1 do
+    if k <> src && k <> dst then begin
+      let closed = k :: Array.to_list (Graph.neighbors g k) in
+      let removed = List.filter (fun v -> v <> src && v <> dst) closed in
+      if not (connected_without g ~removed src dst) then ok := false
+    end
+  done;
+  !ok

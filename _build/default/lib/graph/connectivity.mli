@@ -1,0 +1,43 @@
+(** Connectivity and biconnectivity tests.
+
+    The paper assumes the communication graph is node-biconnected
+    (Sec. II-B): removing any single node leaves the graph connected.
+    This prevents any relay from holding a monopoly — without it, a cut
+    node's VCG payment would be unbounded.  The neighbour-collusion scheme
+    of Sec. III-E needs the stronger property that removing a whole closed
+    neighbourhood [N(v_k)] keeps source and destination connected. *)
+
+val component_of : Graph.t -> int -> bool array
+(** [component_of g v] marks the nodes reachable from [v] (isolated nodes
+    produced by [Graph.remove_node] are unreachable unless [v] itself). *)
+
+val is_connected : Graph.t -> bool
+(** True iff all nodes are mutually reachable ([true] for n <= 1). *)
+
+val connected_between : Graph.t -> int -> int -> bool
+
+val articulation_points : Graph.t -> int list
+(** Tarjan's articulation points (cut vertices), sorted.  A node is an
+    articulation point iff its removal increases the number of connected
+    components. *)
+
+val is_biconnected : Graph.t -> bool
+(** True iff [g] is connected, has at least 3 nodes, and has no
+    articulation point — the paper's standing assumption. *)
+
+val connected_without : Graph.t -> removed:int list -> int -> int -> bool
+(** [connected_without g ~removed s t] tests whether [s] and [t] remain
+    connected after isolating every node in [removed].  [s] or [t]
+    belonging to [removed] yields [false] (unless [s = t]). *)
+
+val k_hop_neighbourhood : Graph.t -> int -> int -> int list
+(** [k_hop_neighbourhood g v k] is every node within [k] hops of [v],
+    including [v], sorted — the natural collusion set [Q(v)] for the
+    generalized scheme of Sec. III-E when nodes can collude across [k]
+    hops.
+    @raise Invalid_argument if [k < 0] or [v] out of range. *)
+
+val neighbourhood_resilient : Graph.t -> src:int -> dst:int -> bool
+(** Pre-condition of Theorem 8: for every node [v_k] other than [src] and
+    [dst], the graph minus the closed neighbourhood [N(v_k)] (restricted
+    to nodes other than [src]/[dst]) still connects [src] and [dst]. *)

@@ -1,0 +1,112 @@
+type t = {
+  out_adj : (int * float) array array; (* sorted by target *)
+  m : int;
+}
+
+let create ~n ~links =
+  if n < 0 then invalid_arg "Digraph.create: negative node count";
+  let best = Hashtbl.create (2 * List.length links) in
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Digraph.create: endpoint out of range";
+      if u = v then invalid_arg "Digraph.create: self-loop";
+      if Float.is_nan w || w < 0.0 then
+        invalid_arg "Digraph.create: weight must be non-negative";
+      if w < infinity then
+        match Hashtbl.find_opt best (u, v) with
+        | Some w' when w' <= w -> ()
+        | _ -> Hashtbl.replace best (u, v) w)
+    links;
+  let deg = Array.make n 0 in
+  Hashtbl.iter (fun (u, _) _ -> deg.(u) <- deg.(u) + 1) best;
+  let out_adj = Array.init n (fun u -> Array.make deg.(u) (0, 0.0)) in
+  let fill = Array.make n 0 in
+  Hashtbl.iter
+    (fun (u, v) w ->
+      out_adj.(u).(fill.(u)) <- (v, w);
+      fill.(u) <- fill.(u) + 1)
+    best;
+  Array.iter (fun l -> Array.sort compare l) out_adj;
+  { out_adj; m = Hashtbl.length best }
+
+let n g = Array.length g.out_adj
+
+let m g = g.m
+
+let out_links g u = g.out_adj.(u)
+
+let out_degree g u = Array.length g.out_adj.(u)
+
+let weight g u v =
+  let a = g.out_adj.(u) in
+  let rec bsearch lo hi =
+    if lo >= hi then infinity
+    else
+      let mid = (lo + hi) / 2 in
+      let t, w = a.(mid) in
+      if t = v then w else if t < v then bsearch (mid + 1) hi else bsearch lo mid
+  in
+  bsearch 0 (Array.length a)
+
+let links g =
+  let acc = ref [] in
+  Array.iteri
+    (fun u l -> Array.iter (fun (v, w) -> acc := (u, v, w) :: !acc) l)
+    g.out_adj;
+  List.sort compare !acc
+
+let reverse g =
+  create ~n:(n g) ~links:(List.map (fun (u, v, w) -> (v, u, w)) (links g))
+
+let owner_of_link u _v = u
+
+let silence_node g v =
+  if v < 0 || v >= n g then invalid_arg "Digraph.silence_node: out of range";
+  let out_adj = Array.copy g.out_adj in
+  let removed = Array.length out_adj.(v) in
+  out_adj.(v) <- [||];
+  { out_adj; m = g.m - removed }
+
+let remove_node g v =
+  if v < 0 || v >= n g then invalid_arg "Digraph.remove_node: out of range";
+  let m = ref g.m in
+  let out_adj =
+    Array.mapi
+      (fun u l ->
+        if u = v then begin
+          m := !m - Array.length l;
+          [||]
+        end
+        else begin
+          let kept = Array.of_list (List.filter (fun (t, _) -> t <> v) (Array.to_list l)) in
+          m := !m - (Array.length l - Array.length kept);
+          kept
+        end)
+      g.out_adj
+  in
+  { out_adj; m = !m }
+
+let remove_links_to g v =
+  if v < 0 || v >= n g then invalid_arg "Digraph.remove_links_to: out of range";
+  let m = ref g.m in
+  let out_adj =
+    Array.map
+      (fun l ->
+        if Array.exists (fun (t, _) -> t = v) l then begin
+          let kept = Array.of_list (List.filter (fun (t, _) -> t <> v) (Array.to_list l)) in
+          m := !m - (Array.length l - Array.length kept);
+          kept
+        end
+        else l)
+      g.out_adj
+  in
+  { out_adj; m = !m }
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph n=%d m=%d@," (n g) g.m;
+  Array.iteri
+    (fun u l ->
+      Array.iter (fun (v, w) -> Format.fprintf ppf "  %d -> %d (%g)@," u v w) l)
+    g.out_adj;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,62 @@
+(** Directed graphs with per-link weights.
+
+    This is the network model of Sec. III-F: when nodes can adjust their
+    transmission power, node [i]'s private type is the {e vector} of power
+    costs [c_{i,j}] it needs to reach each neighbour [j], and the routing
+    graph is directed (node [i] may reach [j] while [j] cannot reach [i]
+    with its own range).  The weight of link [i -> j] is [c_{i,j}]; the
+    cost of a directed path is the sum of its link weights. *)
+
+type t
+
+val create : n:int -> links:(int * int * float) list -> t
+(** [create ~n ~links] builds a digraph on [n] nodes from
+    [(src, dst, weight)] triples.  Parallel links keep the cheapest weight.
+    @raise Invalid_argument on out-of-range endpoints, self-loops, or
+    negative/NaN weights ([infinity] is allowed and means "no link"; such
+    links are dropped). *)
+
+val n : t -> int
+
+val m : t -> int
+(** Number of directed links. *)
+
+val out_links : t -> int -> (int * float) array
+(** [out_links g u] is the (shared, do not mutate) array of
+    [(target, weight)] links leaving [u], sorted by target. *)
+
+val out_degree : t -> int -> int
+
+val weight : t -> int -> int -> float
+(** [weight g u v] is the weight of link [u -> v], or [infinity] when
+    absent. *)
+
+val links : t -> (int * int * float) list
+(** All links, sorted. *)
+
+val reverse : t -> t
+(** [reverse g] flips every link — the standard trick to compute
+    shortest paths from every node {e to} a fixed root (the access
+    point). *)
+
+val owner_of_link : int -> int -> int
+(** [owner_of_link u v] is the agent that pays for link [u -> v] — the
+    transmitter [u].  Trivial, but kept as the single point of truth for
+    the "node is the agent" convention of Sec. III-F. *)
+
+val silence_node : t -> int -> t
+(** [silence_node g v] removes all links {e leaving} [v] — exactly the
+    paper's [d_{k,j} = infinity for each j] operation used to compute the
+    [v_k]-avoiding least cost path.  Links entering [v] remain, but they
+    are dead ends for reaching anything beyond [v]. *)
+
+val remove_node : t -> int -> t
+(** [remove_node g v] removes all links incident to [v] in either
+    direction. *)
+
+val remove_links_to : t -> int -> t
+(** [remove_links_to g v] removes all links {e entering} [v].  On a
+    reversed graph this is exactly {!silence_node} of the original — the
+    operation batch payment computation needs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+type tree = { source : int; dist : float array; parent : int array }
+
+let never _ = false
+
+let node_weighted ?(forbidden = never) g ~source =
+  let n = Graph.n g in
+  if source < 0 || source >= n then invalid_arg "Dijkstra: source out of range";
+  if forbidden source then invalid_arg "Dijkstra: source is forbidden";
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let heap = Indexed_heap.create n in
+  dist.(source) <- 0.0;
+  Indexed_heap.insert heap source 0.0;
+  while not (Indexed_heap.is_empty heap) do
+    let u, du = Indexed_heap.pop_min heap in
+    if du <= dist.(u) then begin
+      (* Leaving [u] charges its relay cost, except from the source. *)
+      let leave = if u = source then 0.0 else Graph.cost g u in
+      let nbrs = Graph.neighbors g u in
+      Array.iter
+        (fun w ->
+          if not (forbidden w) then begin
+            let cand = du +. leave in
+            if cand < dist.(w) then begin
+              dist.(w) <- cand;
+              parent.(w) <- u;
+              Indexed_heap.insert_or_decrease heap w cand
+            end
+          end)
+        nbrs
+    end
+  done;
+  parent.(source) <- -1;
+  { source; dist; parent }
+
+let link_weighted ?(forbidden = never) g source =
+  let n = Digraph.n g in
+  if source < 0 || source >= n then invalid_arg "Dijkstra: source out of range";
+  if forbidden source then invalid_arg "Dijkstra: source is forbidden";
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let heap = Indexed_heap.create n in
+  dist.(source) <- 0.0;
+  Indexed_heap.insert heap source 0.0;
+  while not (Indexed_heap.is_empty heap) do
+    let u, du = Indexed_heap.pop_min heap in
+    if du <= dist.(u) then
+      Array.iter
+        (fun (w, weight) ->
+          if not (forbidden w) then begin
+            let cand = du +. weight in
+            if cand < dist.(w) then begin
+              dist.(w) <- cand;
+              parent.(w) <- u;
+              Indexed_heap.insert_or_decrease heap w cand
+            end
+          end)
+        (Digraph.out_links g u)
+  done;
+  parent.(source) <- -1;
+  { source; dist; parent }
+
+let dist t v = t.dist.(v)
+
+let reachable t v = t.dist.(v) < infinity
+
+let path_in_tree t v =
+  if not (reachable t v) then invalid_arg "Dijkstra.path_in_tree: unreachable";
+  let rec up v acc = if v = t.source then v :: acc else up t.parent.(v) (v :: acc) in
+  List.rev (up v [])
+
+let path_to t v =
+  if not (reachable t v) then None
+  else begin
+    let rec up v acc = if v = t.source then v :: acc else up t.parent.(v) (v :: acc) in
+    Some (Array.of_list (up v []))
+  end
+
+let children t =
+  let n = Array.length t.parent in
+  let counts = Array.make n 0 in
+  Array.iter (fun p -> if p >= 0 then counts.(p) <- counts.(p) + 1) t.parent;
+  let out = Array.init n (fun v -> Array.make counts.(v) 0) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun v p ->
+      if p >= 0 then begin
+        out.(p).(fill.(p)) <- v;
+        fill.(p) <- fill.(p) + 1
+      end)
+    t.parent;
+  out

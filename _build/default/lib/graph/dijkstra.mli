@@ -1,0 +1,45 @@
+(** Dijkstra shortest-path trees, in both cost models.
+
+    {b Node-weighted} (Sec. II-C): the distance from the source to [v] is
+    the minimum over paths of the sum of {e relay} costs — the costs of
+    nodes strictly between the source and [v].  Equivalently it is a
+    shortest path in the directed expansion where leaving node [u] costs
+    [cost u] (0 when [u] is the source).
+
+    {b Link-weighted} (Sec. III-F): the usual sum of directed link
+    weights.
+
+    Both solvers break priority ties by smaller node id, so trees are
+    deterministic for a given input. *)
+
+type tree = {
+  source : int;
+  dist : float array;  (** [dist.(v)]: cost of the best source-to-[v] path, [infinity] when unreachable. *)
+  parent : int array;  (** [parent.(v)]: predecessor of [v] on its tree path, [-1] for the source and unreachable nodes. *)
+}
+
+val node_weighted : ?forbidden:(int -> bool) -> Graph.t -> source:int -> tree
+(** [node_weighted g ~source] computes the node-weighted tree from
+    [source].  Nodes satisfying [forbidden] are never visited nor relayed
+    through (the source itself must not be forbidden).
+    @raise Invalid_argument if [source] is out of range or forbidden. *)
+
+val link_weighted : ?forbidden:(int -> bool) -> Digraph.t -> int -> tree
+(** [link_weighted g source] computes the link-weighted tree following
+    out-links from [source].  To get distances from every node {e to} a
+    root, run this on [Digraph.reverse g] and read paths backwards. *)
+
+val path_to : tree -> int -> Path.t option
+(** [path_to t v] is the tree path [source; ...; v], or [None] when
+    unreachable. *)
+
+val dist : tree -> int -> float
+
+val reachable : tree -> int -> bool
+
+val children : tree -> int array array
+(** [children t] materializes the tree's child lists (index = node). *)
+
+val path_in_tree : tree -> int -> int list
+(** Ascending walk [v; parent v; ...; source]; raises
+    [Invalid_argument] if [v] is unreachable. *)

@@ -1,0 +1,139 @@
+type result = {
+  path_nodes : int array;
+  path_edges : int array;
+  dist : float;
+  replacement : float array;
+}
+
+let dijkstra ?(forbidden_edge = -1) g ~source =
+  let n = Egraph.n g in
+  if source < 0 || source >= n then invalid_arg "Edge_avoid: source out of range";
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let heap = Indexed_heap.create n in
+  dist.(source) <- 0.0;
+  Indexed_heap.insert heap source 0.0;
+  while not (Indexed_heap.is_empty heap) do
+    let u, du = Indexed_heap.pop_min heap in
+    if du <= dist.(u) then
+      Array.iter
+        (fun (w, e) ->
+          if e <> forbidden_edge then begin
+            let cand = du +. Egraph.weight g e in
+            if cand < dist.(w) then begin
+              dist.(w) <- cand;
+              parent.(w) <- u;
+              Indexed_heap.insert_or_decrease heap w cand
+            end
+          end)
+        (Egraph.incident g u)
+  done;
+  { Dijkstra.source; dist; parent }
+
+let shortest_tree g ~source = dijkstra g ~source
+
+let path_of g (tree : Dijkstra.tree) dst =
+  match Dijkstra.path_to tree dst with
+  | None -> None
+  | Some nodes ->
+    let edges =
+      Array.init
+        (Array.length nodes - 1)
+        (fun l ->
+          match Egraph.edge_between g nodes.(l) nodes.(l + 1) with
+          | Some e -> e
+          | None -> invalid_arg "Edge_avoid: broken tree path")
+    in
+    Some (nodes, edges)
+
+let validate g ~src ~dst =
+  let n = Egraph.n g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Edge_avoid: endpoint out of range";
+  if src = dst then invalid_arg "Edge_avoid: src = dst"
+
+let replacement_costs_naive g ~src ~dst =
+  validate g ~src ~dst;
+  let tree = dijkstra g ~source:src in
+  match path_of g tree dst with
+  | None -> None
+  | Some (path_nodes, path_edges) ->
+    let replacement =
+      Array.map
+        (fun e ->
+          let t = dijkstra ~forbidden_edge:e g ~source:src in
+          Dijkstra.dist t dst)
+        path_edges
+    in
+    Some { path_nodes; path_edges; dist = Dijkstra.dist tree dst; replacement }
+
+(* Cut labels: cut.(v) = how many path edges the tree path from src to v
+   uses = the index of the path node where v's branch attaches. *)
+let cut_labels g (tree : Dijkstra.tree) path_nodes =
+  let n = Egraph.n g in
+  let on_path = Array.make n (-1) in
+  Array.iteri (fun a v -> on_path.(v) <- a) path_nodes;
+  let cut = Array.make n (-1) in
+  let kids = Dijkstra.children tree in
+  let stack = ref [ tree.Dijkstra.source ] in
+  cut.(tree.Dijkstra.source) <- 0;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | u :: rest ->
+      stack := rest;
+      Array.iter
+        (fun w ->
+          cut.(w) <- (if on_path.(w) >= 0 then on_path.(w) else cut.(u));
+          stack := w :: !stack)
+        kids.(u)
+  done;
+  cut
+
+let replacement_costs_fast g ~src ~dst =
+  validate g ~src ~dst;
+  let tree_s = dijkstra g ~source:src in
+  match path_of g tree_s dst with
+  | None -> None
+  | Some (path_nodes, path_edges) ->
+    let s = Array.length path_edges in
+    let dist = Dijkstra.dist tree_s dst in
+    let tree_t = dijkstra g ~source:dst in
+    let cut = cut_labels g tree_s path_nodes in
+    let is_path_edge = Array.make (Egraph.m g) false in
+    Array.iter (fun e -> is_path_edge.(e) <- true) path_edges;
+    (* Bucket candidate crossing edges by the highest removal index they
+       serve: edge (u, w) with cut u < cut w is a detour for removals
+       l in [cut u, cut w - 1]. *)
+    let buckets = Array.make (s + 1) [] in
+    Egraph.fold_edges
+      (fun a b e w () ->
+        if (not is_path_edge.(e)) && cut.(a) >= 0 && cut.(b) >= 0 then begin
+          let u, cu, wnode, cw =
+            if cut.(a) <= cut.(b) then (a, cut.(a), b, cut.(b))
+            else (b, cut.(b), a, cut.(a))
+          in
+          if cu < cw then begin
+            let value =
+              Dijkstra.dist tree_s u +. w +. Dijkstra.dist tree_t wnode
+            in
+            let high = min (cw - 1) (s - 1) in
+            buckets.(high) <- (value, cu) :: buckets.(high)
+          end
+        end)
+      g ();
+    let heap = Binheap.create () in
+    let replacement = Array.make s infinity in
+    for l = s - 1 downto 0 do
+      List.iter (fun (value, cu) -> Binheap.push heap value cu) buckets.(l);
+      let rec best () =
+        match Binheap.peek_min heap with
+        | Some (_, cu) when cu > l ->
+          ignore (Binheap.pop_min heap);
+          best ()
+        | Some (value, _) -> value
+        | None -> infinity
+      in
+      replacement.(l) <- best ()
+    done;
+    Some { path_nodes; path_edges; dist; replacement }

@@ -1,0 +1,35 @@
+(** Edge-avoiding replacement paths — Hershberger–Suri / Malik–Mittal–Gupta
+    for undirected edge-weighted graphs (the paper's refs [18], [8]).
+
+    For the Nisan–Ronen edge-agent mechanism every edge [e_l] on the
+    shortest path needs [d_{G - e_l}(src, dst)].  The classic algorithm
+    computes all of them in one [O(m log m + n log n)] sweep: label every
+    node [v] with [cut v] — the highest-index path edge on its
+    shortest-path-tree branch (so removing [e_l] separates [v] from the
+    source iff [cut v >= l]) — and take, for each [l], the cheapest
+    non-tree edge [(u, w)] spanning the cut:
+
+    [d_{G-e_l} = min { d_src u + w(u,w) + d_dst w  :  cut u < l <= cut w }].
+
+    This is the {e edge} analogue of the node-weighted Algorithm 1 in
+    {!Avoid}; the paper borrows its ideas from exactly this algorithm. *)
+
+type result = {
+  path_nodes : int array;  (** the LCP [src; ...; dst] *)
+  path_edges : int array;  (** its edge ids, [path_edges.(l)] joining nodes [l] and [l+1] *)
+  dist : float;  (** the LCP length *)
+  replacement : float array;
+      (** [replacement.(l)]: [d_{G - path_edges.(l)}(src, dst)];
+          [infinity] when the edge is a bridge *)
+}
+
+val shortest_tree : Egraph.t -> source:int -> Dijkstra.tree
+(** Edge-weighted Dijkstra over an {!Egraph} (deterministic ties). *)
+
+val replacement_costs_fast : Egraph.t -> src:int -> dst:int -> result option
+(** [None] when [dst] is unreachable.
+    @raise Invalid_argument if [src = dst] or out of range. *)
+
+val replacement_costs_naive : Egraph.t -> src:int -> dst:int -> result option
+(** One Dijkstra per path edge with that edge priced at [infinity]; the
+    validation baseline. *)

@@ -1,0 +1,98 @@
+type t = {
+  ends : (int * int) array;  (* per edge id, smaller endpoint first *)
+  w : float array;  (* per edge id *)
+  inc : (int * int) array array;  (* per node: (neighbour, edge id), sorted *)
+}
+
+let create ~n ~edges =
+  if n < 0 then invalid_arg "Egraph.create: negative node count";
+  let best = Hashtbl.create (2 * List.length edges) in
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Egraph.create: endpoint out of range";
+      if u = v then invalid_arg "Egraph.create: self-loop";
+      if Float.is_nan w || w < 0.0 then
+        invalid_arg "Egraph.create: weight must be non-negative";
+      let key = (min u v, max u v) in
+      match Hashtbl.find_opt best key with
+      | Some w' when w' <= w -> ()
+      | _ -> Hashtbl.replace best key w)
+    edges;
+  let pairs =
+    Hashtbl.fold (fun k w acc -> (k, w) :: acc) best [] |> List.sort compare
+  in
+  let m = List.length pairs in
+  let ends = Array.make m (0, 0) in
+  let w = Array.make m 0.0 in
+  List.iteri
+    (fun e ((u, v), weight) ->
+      ends.(e) <- (u, v);
+      w.(e) <- weight)
+    pairs;
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    ends;
+  let inc = Array.init n (fun v -> Array.make deg.(v) (0, 0)) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun e (u, v) ->
+      inc.(u).(fill.(u)) <- (v, e);
+      fill.(u) <- fill.(u) + 1;
+      inc.(v).(fill.(v)) <- (u, e);
+      fill.(v) <- fill.(v) + 1)
+    ends;
+  Array.iter (fun a -> Array.sort compare a) inc;
+  { ends; w; inc }
+
+let n g = Array.length g.inc
+
+let m g = Array.length g.ends
+
+let check_edge g e =
+  if e < 0 || e >= m g then invalid_arg "Egraph: edge id out of range"
+
+let endpoints g e =
+  check_edge g e;
+  g.ends.(e)
+
+let weight g e =
+  check_edge g e;
+  g.w.(e)
+
+let weights g = Array.copy g.w
+
+let check_weight w =
+  if Float.is_nan w || w < 0.0 then
+    invalid_arg "Egraph: weight must be non-negative"
+
+let with_weights g w =
+  if Array.length w <> m g then invalid_arg "Egraph.with_weights: length mismatch";
+  Array.iter check_weight w;
+  { g with w = Array.copy w }
+
+let with_weight g e w =
+  check_edge g e;
+  check_weight w;
+  let weights = Array.copy g.w in
+  weights.(e) <- w;
+  { g with w = weights }
+
+let edge_between g u v =
+  if u < 0 || u >= n g || v < 0 || v >= n g then None
+  else
+    Array.fold_left
+      (fun acc (nbr, e) -> if nbr = v then Some e else acc)
+      None g.inc.(u)
+
+let incident g v = g.inc.(v)
+
+let fold_edges f g acc =
+  let result = ref acc in
+  Array.iteri
+    (fun e (u, v) -> result := f u v e g.w.(e) !result)
+    g.ends;
+  !result

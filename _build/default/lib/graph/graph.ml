@@ -1,0 +1,133 @@
+type t = {
+  cost : float array;
+  adj : int array array; (* sorted neighbour lists *)
+  m : int;
+}
+
+let check_cost c =
+  if not (Float.is_finite c) || c < 0.0 then
+    invalid_arg "Graph: node costs must be finite and non-negative"
+
+let build_adjacency n edges =
+  let seen = Hashtbl.create (2 * List.length edges) in
+  let deg = Array.make n 0 in
+  let canonical =
+    List.filter_map
+      (fun (u, v) ->
+        if u < 0 || u >= n || v < 0 || v >= n then
+          invalid_arg "Graph.create: edge endpoint out of range";
+        if u = v then invalid_arg "Graph.create: self-loop";
+        let e = if u < v then (u, v) else (v, u) in
+        if Hashtbl.mem seen e then None
+        else begin
+          Hashtbl.add seen e ();
+          Some e
+        end)
+      edges
+  in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    canonical;
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    canonical;
+  Array.iter (fun nbrs -> Array.sort compare nbrs) adj;
+  (adj, List.length canonical)
+
+let create ~costs ~edges =
+  Array.iter check_cost costs;
+  let n = Array.length costs in
+  let adj, m = build_adjacency n edges in
+  { cost = Array.copy costs; adj; m }
+
+let n g = Array.length g.cost
+
+let m g = g.m
+
+let cost g v = g.cost.(v)
+
+let costs g = Array.copy g.cost
+
+let with_costs g c =
+  if Array.length c <> Array.length g.cost then
+    invalid_arg "Graph.with_costs: length mismatch";
+  Array.iter check_cost c;
+  { g with cost = Array.copy c }
+
+let with_cost g v c =
+  check_cost c;
+  let costs = Array.copy g.cost in
+  costs.(v) <- c;
+  { g with cost = costs }
+
+let neighbors g v = g.adj.(v)
+
+let degree g v = Array.length g.adj.(v)
+
+let mem_edge g u v =
+  (* Binary search in the sorted neighbour list of [u]. *)
+  let a = g.adj.(u) in
+  let rec bsearch lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then true
+      else if a.(mid) < v then bsearch (mid + 1) hi
+      else bsearch lo mid
+  in
+  bsearch 0 (Array.length a)
+
+let iter_edges f g =
+  Array.iteri
+    (fun u nbrs -> Array.iter (fun v -> if u < v then f u v) nbrs)
+    g.adj
+
+let edges g =
+  let acc = ref [] in
+  iter_edges (fun u v -> acc := (u, v) :: !acc) g;
+  List.sort compare !acc
+
+let fold_neighbors f g v init = Array.fold_left (fun acc w -> f w acc) init g.adj.(v)
+
+let remove_nodes g vs =
+  let dead = Array.make (n g) false in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n g then invalid_arg "Graph.remove_nodes: out of range";
+      dead.(v) <- true)
+    vs;
+  let removed = ref 0 in
+  let adj =
+    Array.mapi
+      (fun u nbrs ->
+        if dead.(u) then [||]
+        else begin
+          let kept = Array.of_list (List.filter (fun w -> not dead.(w)) (Array.to_list nbrs)) in
+          removed := !removed + (Array.length nbrs - Array.length kept);
+          kept
+        end)
+      g.adj
+  in
+  (* Each surviving-to-dead incidence was counted once from the surviving
+     side; dead-to-dead edges disappear from both sides of [adj] without
+     entering [removed], so recount edges directly. *)
+  let m = Array.fold_left (fun acc nbrs -> acc + Array.length nbrs) 0 adj / 2 in
+  { g with adj; m }
+
+let remove_node g v = remove_nodes g [ v ]
+
+let all_positive_costs g = Array.for_all (fun c -> c > 0.0) g.cost
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@," (n g) g.m;
+  Array.iteri (fun v c -> Format.fprintf ppf "  node %d cost %g@," v c) g.cost;
+  iter_edges (fun u v -> Format.fprintf ppf "  edge %d-%d@," u v) g;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,72 @@
+(** Undirected graphs with per-node relay costs.
+
+    This is the paper's primary network model (Sec. II-B): nodes are
+    wireless devices, an edge [(u, v)] means the two devices are within
+    transmission range of each other, and each node [v] has a cost
+    [cost g v] of relaying one packet for somebody else.  The cost of a
+    path is the sum of the costs of its {e intermediate} nodes — the source
+    and destination do not charge themselves (Sec. II-C).
+
+    Graphs are immutable after construction; node identifiers are dense
+    integers [0 .. n-1], with [0] conventionally the access point. *)
+
+type t
+
+val create : costs:float array -> edges:(int * int) list -> t
+(** [create ~costs ~edges] builds a graph on [Array.length costs] nodes.
+    Self-loops are rejected; duplicate edges are collapsed.
+    @raise Invalid_argument on an out-of-range endpoint, a self-loop, or a
+    negative or non-finite cost. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of (undirected) edges. *)
+
+val cost : t -> int -> float
+(** [cost g v] is the declared relay cost of node [v]. *)
+
+val costs : t -> float array
+(** A copy of the full cost vector. *)
+
+val with_costs : t -> float array -> t
+(** [with_costs g c] is [g] with its cost vector replaced — the typical
+    way to evaluate a mechanism under a deviating declared profile without
+    rebuilding adjacency.
+    @raise Invalid_argument if the length differs or a cost is invalid. *)
+
+val with_cost : t -> int -> float -> t
+(** [with_cost g v c] replaces the cost of the single node [v]. *)
+
+val neighbors : t -> int -> int array
+(** [neighbors g v] is the (shared, do not mutate) sorted array of
+    neighbours of [v]. *)
+
+val degree : t -> int -> int
+
+val mem_edge : t -> int -> int -> bool
+(** [mem_edge g u v] tests adjacency in O(log degree). *)
+
+val edges : t -> (int * int) list
+(** Every edge once, as [(u, v)] with [u < v], sorted. *)
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+(** [iter_edges f g] calls [f u v] once per edge with [u < v]. *)
+
+val fold_neighbors : (int -> 'a -> 'a) -> t -> int -> 'a -> 'a
+
+val remove_node : t -> int -> t
+(** [remove_node g v] is the graph where [v] keeps its identifier but
+    loses all incident edges (so it is isolated, never on any path).  This
+    keeps node identifiers stable, which all the payment code relies on. *)
+
+val remove_nodes : t -> int list -> t
+(** Isolates every listed node. *)
+
+val all_positive_costs : t -> bool
+(** [true] iff every node cost is strictly positive — a precondition of
+    the fast payment algorithm. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line dump: node costs then the edge list. *)

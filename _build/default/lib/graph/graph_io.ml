@@ -1,0 +1,91 @@
+type decl =
+  | Node of int * float
+  | Edge of int * int
+  | Link of int * int * float
+
+let parse_decls text =
+  let decls = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun lineno line ->
+      let fail msg = failwith (Printf.sprintf "line %d: %s" (lineno + 1) msg) in
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let words =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun w -> w <> "")
+      in
+      let int_of w = try int_of_string w with Failure _ -> fail ("bad integer " ^ w) in
+      let float_of w =
+        try float_of_string w with Failure _ -> fail ("bad number " ^ w)
+      in
+      match words with
+      | [] -> ()
+      | [ "node"; id; cost ] -> decls := Node (int_of id, float_of cost) :: !decls
+      | [ "edge"; u; v ] -> decls := Edge (int_of u, int_of v) :: !decls
+      | [ "link"; u; v; w ] ->
+        decls := Link (int_of u, int_of v, float_of w) :: !decls
+      | kw :: _ -> fail ("unknown declaration " ^ kw))
+    lines;
+  List.rev !decls
+
+let max_id decls =
+  List.fold_left
+    (fun acc d ->
+      match d with
+      | Node (i, _) -> max acc i
+      | Edge (u, v) | Link (u, v, _) -> max acc (max u v))
+    (-1) decls
+
+let parse text =
+  let decls = parse_decls text in
+  let n = max_id decls + 1 in
+  let costs = Array.make n 0.0 in
+  let edges = ref [] in
+  List.iter
+    (fun d ->
+      match d with
+      | Node (i, c) ->
+        if i < 0 || i >= n then failwith "node id out of range";
+        costs.(i) <- c
+      | Edge (u, v) -> edges := (u, v) :: !edges
+      | Link _ -> failwith "link lines belong to the digraph format; use edge")
+    decls;
+  Graph.create ~costs ~edges:!edges
+
+let parse_digraph text =
+  let decls = parse_decls text in
+  let n = max_id decls + 1 in
+  let links = ref [] in
+  List.iter
+    (fun d ->
+      match d with
+      | Node _ -> ()
+      | Edge (u, v) -> links := (u, v, 0.0) :: (v, u, 0.0) :: !links
+      | Link (u, v, w) -> links := (u, v, w) :: !links)
+    decls;
+  Digraph.create ~n ~links:!links
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let parse_file path = parse (read_file path)
+
+let parse_digraph_file path = parse_digraph (read_file path)
+
+let to_string g =
+  let buf = Buffer.create 256 in
+  for v = 0 to Graph.n g - 1 do
+    Buffer.add_string buf (Printf.sprintf "node %d %g\n" v (Graph.cost g v))
+  done;
+  Graph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "edge %d %d\n" u v))
+    g;
+  Buffer.contents buf

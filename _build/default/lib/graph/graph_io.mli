@@ -1,0 +1,30 @@
+(** Plain-text graph format, for the command-line tools.
+
+    Format, one declaration per line ([#] starts a comment):
+    {v
+    node <id> <cost>
+    edge <u> <v>
+    link <u> <v> <weight>
+    v}
+
+    [node]/[edge] lines describe a node-cost graph (Sec. II-B); [node]
+    (with cost ignored or 0) plus [link] lines describe a directed
+    link-cost graph (Sec. III-F).  Node ids must be [0 .. n-1]; a [node]
+    line may be omitted for ids that appear only in edges (cost defaults
+    to 0). *)
+
+val parse : string -> Graph.t
+(** [parse text] reads the node-cost format.
+    @raise Failure with a line-numbered message on malformed input. *)
+
+val parse_digraph : string -> Digraph.t
+(** [parse_digraph text] reads the link-cost format ([link] lines;
+    [edge u v] is accepted as a 0-weight pair of links). *)
+
+val parse_file : string -> Graph.t
+(** [parse] on a file's contents. *)
+
+val parse_digraph_file : string -> Digraph.t
+
+val to_string : Graph.t -> string
+(** Round-trippable rendering of a node-cost graph. *)

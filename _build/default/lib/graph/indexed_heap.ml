@@ -1,0 +1,99 @@
+(* Classic array-based binary heap augmented with a position index so that
+   decrease-key is O(log n).  [pos.(k) = -1] encodes absence.  Ties on
+   priority are broken by the smaller key so that heap-order (and thus
+   Dijkstra parent choices downstream) is deterministic. *)
+
+type t = {
+  keys : int array;      (* heap slots: keys, in heap order *)
+  prio : float array;    (* prio.(k) = priority of key k, if present *)
+  pos : int array;       (* pos.(k) = slot of key k, or -1 *)
+  mutable size : int;
+}
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Indexed_heap.create: negative capacity";
+  {
+    keys = Array.make (max capacity 1) 0;
+    prio = Array.make (max capacity 1) 0.0;
+    pos = Array.make (max capacity 1) (-1);
+    size = 0;
+  }
+
+let size h = h.size
+
+let is_empty h = h.size = 0
+
+let mem h k = k >= 0 && k < Array.length h.pos && h.pos.(k) >= 0
+
+let priority h k = if mem h k then h.prio.(k) else raise Not_found
+
+let less h a b =
+  (* [a], [b] are keys. *)
+  h.prio.(a) < h.prio.(b) || (h.prio.(a) = h.prio.(b) && a < b)
+
+let swap h i j =
+  let ki = h.keys.(i) and kj = h.keys.(j) in
+  h.keys.(i) <- kj;
+  h.keys.(j) <- ki;
+  h.pos.(ki) <- j;
+  h.pos.(kj) <- i
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less h h.keys.(i) h.keys.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < h.size && less h h.keys.(l) h.keys.(i) then l else i in
+  let smallest =
+    if r < h.size && less h h.keys.(r) h.keys.(smallest) then r else smallest
+  in
+  if smallest <> i then begin
+    swap h i smallest;
+    sift_down h smallest
+  end
+
+let insert h k p =
+  if k < 0 || k >= Array.length h.pos then
+    invalid_arg "Indexed_heap.insert: key out of range";
+  if h.pos.(k) >= 0 then invalid_arg "Indexed_heap.insert: key already present";
+  let i = h.size in
+  h.size <- i + 1;
+  h.keys.(i) <- k;
+  h.prio.(k) <- p;
+  h.pos.(k) <- i;
+  sift_up h i
+
+let decrease h k p =
+  if not (mem h k) then invalid_arg "Indexed_heap.decrease: key absent";
+  if p > h.prio.(k) then
+    invalid_arg "Indexed_heap.decrease: new priority is larger";
+  h.prio.(k) <- p;
+  sift_up h h.pos.(k)
+
+let insert_or_decrease h k p =
+  if mem h k then begin
+    if p < h.prio.(k) then decrease h k p
+  end
+  else insert h k p
+
+let pop_min h =
+  if h.size = 0 then raise Not_found;
+  let k = h.keys.(0) in
+  let p = h.prio.(k) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    let last = h.keys.(h.size) in
+    h.keys.(0) <- last;
+    h.pos.(last) <- 0;
+    sift_down h 0
+  end;
+  h.pos.(k) <- -1;
+  (k, p)
+
+let peek_min h = if h.size = 0 then None else Some (h.keys.(0), h.prio.(h.keys.(0)))

@@ -1,0 +1,44 @@
+(** Indexed binary min-heap with decrease-key.
+
+    Keys are node identifiers in [\[0, capacity)], priorities are floats.
+    Each key may be present at most once; [insert_or_decrease] makes the
+    heap directly usable as the frontier of Dijkstra's algorithm.  All
+    operations are O(log size) except [mem]/[priority], which are O(1). *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is an empty heap accepting keys in
+    [\[0, capacity)].
+    @raise Invalid_argument if [capacity < 0]. *)
+
+val size : t -> int
+
+val is_empty : t -> bool
+
+val mem : t -> int -> bool
+(** [mem h k] tests whether key [k] is currently in the heap. *)
+
+val priority : t -> int -> float
+(** [priority h k] is the current priority of key [k].
+    @raise Not_found if [k] is not in the heap. *)
+
+val insert : t -> int -> float -> unit
+(** [insert h k p] adds key [k] with priority [p].
+    @raise Invalid_argument if [k] is out of range or already present. *)
+
+val decrease : t -> int -> float -> unit
+(** [decrease h k p] lowers the priority of [k] to [p].
+    @raise Invalid_argument if [k] is absent or [p] is larger than the
+    current priority. *)
+
+val insert_or_decrease : t -> int -> float -> unit
+(** [insert_or_decrease h k p] inserts [k] if absent, lowers its priority
+    if [p] improves it, and does nothing otherwise. *)
+
+val pop_min : t -> int * float
+(** [pop_min h] removes and returns the key with the smallest priority,
+    breaking ties by smaller key for determinism.
+    @raise Not_found if the heap is empty. *)
+
+val peek_min : t -> (int * float) option

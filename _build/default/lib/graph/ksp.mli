@@ -1,0 +1,20 @@
+(** K shortest loopless paths (Yen's algorithm), node-weighted.
+
+    The paper explains Figure 3(d) through the {e second} shortest path:
+    "for node closer to the source node, the second shortest path could
+    be much larger than the shortest path, which in turn incurs large
+    overpayment; for node far away ... the second shortest path has
+    total cost almost the same".  This module lets the experiments test
+    that explanation directly by measuring the gap between the best and
+    second-best paths as a function of hop distance. *)
+
+val k_shortest_paths : Graph.t -> src:int -> dst:int -> k:int -> Path.t list
+(** Up to [k] cheapest loopless paths, ordered by relay cost (ties
+    broken by the deterministic spur construction); fewer if the graph
+    has fewer simple paths.
+    @raise Invalid_argument if [k <= 0] or [src = dst] or out of
+    range. *)
+
+val second_best_gap : Graph.t -> src:int -> dst:int -> float option
+(** [(cost of 2nd best) - (cost of best)], [None] when fewer than two
+    simple paths exist. *)

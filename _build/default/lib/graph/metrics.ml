@@ -1,0 +1,90 @@
+type t = {
+  nodes : int;
+  edges : int;
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  components : int;
+  largest_component : int;
+  hop_diameter : int;
+  mean_hop_distance : float;
+  biconnected : bool;
+}
+
+let bfs_hops g src dist =
+  Array.fill dist 0 (Array.length dist) (-1);
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun w ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(u) + 1;
+          Queue.add w q
+        end)
+      (Graph.neighbors g u)
+  done
+
+let compute g =
+  let n = Graph.n g in
+  let degrees = Array.init n (Graph.degree g) in
+  let components = ref 0 and largest = ref 0 in
+  let seen = Array.make n false in
+  for v = 0 to n - 1 do
+    if not seen.(v) then begin
+      incr components;
+      let mask = Connectivity.component_of g v in
+      let size = ref 0 in
+      Array.iteri
+        (fun i b ->
+          if b then begin
+            seen.(i) <- true;
+            incr size
+          end)
+        mask;
+      largest := max !largest !size
+    end
+  done;
+  let dist = Array.make (max n 1) (-1) in
+  let diameter = ref 0 and total = ref 0.0 and pairs = ref 0 in
+  for v = 0 to n - 1 do
+    bfs_hops g v dist;
+    for w = 0 to n - 1 do
+      if w <> v && dist.(w) > 0 then begin
+        diameter := max !diameter dist.(w);
+        total := !total +. float_of_int dist.(w);
+        incr pairs
+      end
+    done
+  done;
+  {
+    nodes = n;
+    edges = Graph.m g;
+    min_degree = Array.fold_left min max_int (if n = 0 then [| 0 |] else degrees);
+    max_degree = Array.fold_left max 0 degrees;
+    mean_degree = (if n = 0 then 0.0 else 2.0 *. float_of_int (Graph.m g) /. float_of_int n);
+    components = !components;
+    largest_component = !largest;
+    hop_diameter = !diameter;
+    mean_hop_distance =
+      (if !pairs = 0 then nan else !total /. float_of_int !pairs);
+    biconnected = Connectivity.is_biconnected g;
+  }
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  for v = 0 to Graph.n g - 1 do
+    let d = Graph.degree g v in
+    Hashtbl.replace tbl d (1 + Option.value (Hashtbl.find_opt tbl d) ~default:0)
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [] |> List.sort compare
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>nodes: %d@,edges: %d@,degree: min %d / mean %.2f / max %d@,\
+     components: %d (largest %d)@,hop diameter: %d@,mean hop distance: %.2f@,\
+     biconnected: %b@]"
+    m.nodes m.edges m.min_degree m.mean_degree m.max_degree m.components
+    m.largest_component m.hop_diameter m.mean_hop_distance m.biconnected

@@ -1,0 +1,27 @@
+(** Descriptive statistics of a topology, used to characterize
+    experimental instances (density, hop diameter, path lengths). *)
+
+type t = {
+  nodes : int;
+  edges : int;
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  components : int;
+  largest_component : int;
+  hop_diameter : int;
+      (** max over reachable pairs of the minimum hop count; 0 for
+          graphs with no edges, computed within components *)
+  mean_hop_distance : float;
+      (** mean over distinct reachable pairs; [nan] if none *)
+  biconnected : bool;
+}
+
+val compute : Graph.t -> t
+(** Exact (all-pairs BFS): O(n (n + m)); fine up to a few thousand
+    nodes. *)
+
+val degree_histogram : Graph.t -> (int * int) list
+(** [(degree, count)] ascending. *)
+
+val pp : Format.formatter -> t -> unit

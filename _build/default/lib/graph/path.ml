@@ -1,0 +1,73 @@
+type t = int array
+
+let source p =
+  if Array.length p = 0 then invalid_arg "Path.source: empty path";
+  p.(0)
+
+let destination p =
+  if Array.length p = 0 then invalid_arg "Path.destination: empty path";
+  p.(Array.length p - 1)
+
+let relays p =
+  if Array.length p <= 2 then [||] else Array.sub p 1 (Array.length p - 2)
+
+let hops p = max 0 (Array.length p - 1)
+
+let relay_cost g p =
+  let acc = ref 0.0 in
+  for i = 1 to Array.length p - 2 do
+    acc := !acc +. Graph.cost g p.(i)
+  done;
+  !acc
+
+let link_cost g p =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length p - 2 do
+    acc := !acc +. Digraph.weight g p.(i) p.(i + 1)
+  done;
+  !acc
+
+let no_repeats p =
+  let seen = Hashtbl.create (Array.length p) in
+  Array.for_all
+    (fun v ->
+      if Hashtbl.mem seen v then false
+      else begin
+        Hashtbl.add seen v ();
+        true
+      end)
+    p
+
+let is_valid g p =
+  Array.length p > 0
+  && Array.for_all (fun v -> v >= 0 && v < Graph.n g) p
+  && no_repeats p
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length p - 2 do
+    if not (Graph.mem_edge g p.(i) p.(i + 1)) then ok := false
+  done;
+  !ok
+
+let is_valid_directed g p =
+  Array.length p > 0
+  && Array.for_all (fun v -> v >= 0 && v < Digraph.n g) p
+  && no_repeats p
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length p - 2 do
+    if Digraph.weight g p.(i) p.(i + 1) = infinity then ok := false
+  done;
+  !ok
+
+let mem p v = Array.exists (fun x -> x = v) p
+
+let equal a b = a = b
+
+let pp ppf p =
+  let first = ref true in
+  Array.iter
+    (fun v ->
+      if !first then first := false else Format.fprintf ppf " -> ";
+      Format.fprintf ppf "%d" v)
+    p

@@ -1,0 +1,39 @@
+(** Paths and their relay costs.
+
+    A path is the node sequence [source; ...; destination].  Following
+    Sec. II-C, its cost is the sum of the costs of the {e relay} nodes —
+    everything strictly between source and destination.  A single-node or
+    two-node path therefore has cost 0. *)
+
+type t = int array
+(** Node sequence from source to destination, length >= 1. *)
+
+val source : t -> int
+val destination : t -> int
+
+val relays : t -> int array
+(** The intermediate nodes, in order. *)
+
+val hops : t -> int
+(** Number of edges, i.e. [length - 1]. *)
+
+val relay_cost : Graph.t -> t -> float
+(** Sum of relay-node costs (node-weighted model). *)
+
+val link_cost : Digraph.t -> t -> float
+(** Sum of link weights along the path (link-weighted model);
+    [infinity] if some link is absent. *)
+
+val is_valid : Graph.t -> t -> bool
+(** Consecutive nodes adjacent, no repeated node, non-empty. *)
+
+val is_valid_directed : Digraph.t -> t -> bool
+(** Same, for a directed path. *)
+
+val mem : t -> int -> bool
+(** [mem p v] tests whether [v] occurs on the path (endpoints included). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [v0 -> v1 -> ... -> vk]. *)

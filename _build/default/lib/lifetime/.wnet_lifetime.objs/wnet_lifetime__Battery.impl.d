@@ -1,0 +1,1 @@
+lib/lifetime/battery.ml: Array Wnet_graph

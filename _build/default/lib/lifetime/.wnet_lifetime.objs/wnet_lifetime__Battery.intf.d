@@ -1,0 +1,1 @@
+lib/lifetime/battery.mli: Wnet_graph

@@ -1,0 +1,1 @@
+lib/lifetime/lifetime_sim.ml: Array Battery Float Fun List Wnet_core Wnet_graph Wnet_prng

@@ -1,0 +1,1 @@
+lib/lifetime/lifetime_sim.mli: Wnet_graph Wnet_prng

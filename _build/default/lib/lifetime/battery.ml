@@ -1,0 +1,47 @@
+type t = {
+  graph : Wnet_graph.Graph.t;
+  level : float array;
+}
+
+let create g ~budget =
+  if budget < 0.0 then invalid_arg "Battery.create: negative budget";
+  { graph = g; level = Array.make (Wnet_graph.Graph.n g) budget }
+
+let create_heterogeneous g ~budgets =
+  if Array.length budgets <> Wnet_graph.Graph.n g then
+    invalid_arg "Battery.create_heterogeneous: length mismatch";
+  Array.iter
+    (fun b -> if b < 0.0 then invalid_arg "Battery.create_heterogeneous: negative")
+    budgets;
+  { graph = g; level = Array.copy budgets }
+
+let remaining t v = t.level.(v)
+
+let cost t v = Wnet_graph.Graph.cost t.graph v
+
+let can_transmit t v = t.level.(v) >= cost t v
+
+let alive = can_transmit
+
+let spend_transmit t v =
+  if can_transmit t v then begin
+    t.level.(v) <- t.level.(v) -. cost t v;
+    true
+  end
+  else false
+
+let alive_count t =
+  let count = ref 0 in
+  for v = 0 to Array.length t.level - 1 do
+    if alive t v then incr count
+  done;
+  !count
+
+let dead_nodes t =
+  let acc = ref [] in
+  for v = Array.length t.level - 1 downto 0 do
+    if not (alive t v) then acc := v :: !acc
+  done;
+  !acc
+
+let total_energy t = Array.fold_left ( +. ) 0.0 t.level

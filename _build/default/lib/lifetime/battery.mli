@@ -1,0 +1,35 @@
+(** Battery model for the lifetime simulations.
+
+    The paper's motivation (Sec. I): relaying consumes the energy budget
+    a user bought for their own traffic; without compensation a rational
+    user stops relaying.  This module tracks per-node energy, where
+    sending or relaying one packet costs the node its per-packet cost
+    from the graph (the same quantity the mechanism prices). *)
+
+type t
+
+val create : Wnet_graph.Graph.t -> budget:float -> t
+(** Every node starts with [budget] energy units.
+    @raise Invalid_argument if [budget < 0]. *)
+
+val create_heterogeneous : Wnet_graph.Graph.t -> budgets:float array -> t
+(** Per-node budgets (e.g. laptops vs PDAs).
+    @raise Invalid_argument on a length mismatch or a negative budget. *)
+
+val remaining : t -> int -> float
+
+val alive : t -> int -> bool
+(** A node is alive while it can still afford to transmit one packet
+    ([remaining >= its cost]). *)
+
+val can_transmit : t -> int -> bool
+
+val spend_transmit : t -> int -> bool
+(** [spend_transmit t v] deducts [v]'s per-packet cost; [false] (and no
+    deduction) if the battery cannot cover it. *)
+
+val alive_count : t -> int
+
+val dead_nodes : t -> int list
+
+val total_energy : t -> float

@@ -1,0 +1,93 @@
+type regime = Paid_vcg | Selfish | Fixed_price of float | Altruistic
+
+type outcome = {
+  regime : regime;
+  sessions : int;
+  delivered : int;
+  blocked : int;
+  first_death : int option;
+  dead_at_end : int;
+  residual_energy : float;
+  payments_flow : float;
+}
+
+let willing regime g battery v =
+  Battery.can_transmit battery v
+  &&
+  match regime with
+  | Paid_vcg | Altruistic -> true
+  | Selfish -> false
+  | Fixed_price p -> Wnet_graph.Graph.cost g v <= p
+
+let run rng g ~root ~budget ~sessions regime =
+  if sessions <= 0 then invalid_arg "Lifetime_sim.run: sessions must be positive";
+  let n = Wnet_graph.Graph.n g in
+  let battery = Battery.create g ~budget in
+  let delivered = ref 0 and blocked = ref 0 in
+  let payments_flow = ref 0.0 in
+  let first_death = ref None in
+  let initial_alive = Battery.alive_count battery in
+  for session = 1 to sessions do
+    let src = ref (Wnet_prng.Rng.int rng n) in
+    while !src = root do
+      src := Wnet_prng.Rng.int rng n
+    done;
+    let src = !src in
+    if not (Battery.can_transmit battery src) then incr blocked
+    else begin
+      (* Relays must be willing under the regime; the source and root are
+         parties to the transaction and always participate. *)
+      let forbidden v = v <> src && v <> root && not (willing regime g battery v) in
+      let tree = Wnet_graph.Dijkstra.node_weighted ~forbidden g ~source:src in
+      match Wnet_graph.Dijkstra.path_to tree root with
+      | None -> incr blocked
+      | Some path ->
+        (* Everyone but the root transmits once. *)
+        let ok = ref true in
+        Array.iteri
+          (fun i v ->
+            if i < Array.length path - 1 && !ok then
+              if not (Battery.spend_transmit battery v) then ok := false)
+          path;
+        if !ok then begin
+          incr delivered;
+          match regime with
+          | Paid_vcg ->
+            (* The source pays VCG prices computed on the network of
+               currently willing nodes. *)
+            let sub =
+              Wnet_graph.Graph.remove_nodes g
+                (List.filter
+                   (fun v -> forbidden v)
+                   (List.init n Fun.id))
+            in
+            (match Wnet_core.Unicast.run sub ~src ~dst:root with
+            | Some r when Float.is_finite (Wnet_core.Unicast.total_payment r) ->
+              payments_flow := !payments_flow +. Wnet_core.Unicast.total_payment r
+            | Some _ | None -> ())
+          | Fixed_price p ->
+            payments_flow :=
+              !payments_flow +. (p *. float_of_int (max 0 (Array.length path - 2)))
+          | Selfish | Altruistic -> ()
+        end
+    end;
+    if !first_death = None && Battery.alive_count battery < initial_alive then
+      first_death := Some session
+  done;
+  {
+    regime;
+    sessions;
+    delivered = !delivered;
+    blocked = !blocked;
+    first_death = !first_death;
+    dead_at_end = List.length (Battery.dead_nodes battery);
+    residual_energy = Battery.total_energy battery;
+    payments_flow = !payments_flow;
+  }
+
+let compare_regimes rng g ~root ~budget ~sessions regimes =
+  List.map
+    (fun regime ->
+      let child = Wnet_prng.Rng.copy rng in
+      run child g ~root ~budget ~sessions regime)
+    regimes

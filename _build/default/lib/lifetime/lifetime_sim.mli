@@ -1,0 +1,62 @@
+(** Throughput-vs-lifetime simulation — the paper's opening motivation,
+    quantified.
+
+    Sessions arrive one at a time at random sources, each wanting one
+    packet delivered to the access point; transmitting (as source or
+    relay) drains the transmitter's battery by its per-packet cost.  The
+    simulation runs until either a fixed horizon or total network death,
+    under one of four cooperation regimes:
+
+    - {!Paid_vcg}: the paper's world — every alive node relays (it is
+      compensated above cost, so relaying is rational); routes follow the
+      LCP among alive nodes;
+    - {!Selfish}: nobody relays — only AP-adjacent sources ever deliver
+      (the "reject all relay requests" outcome of Sec. I);
+    - {!Fixed_price p}: a node relays iff its cost is at most [p]
+      (the nuglet world);
+    - {!Altruistic}: everyone relays but nobody is compensated — same
+      delivery as [Paid_vcg] but relays burn their batteries for others
+      (the traditional assumption the paper argues is untenable).
+
+    Reported: packets delivered (throughput), the session index at which
+    the first node dies, and residual energy.  The headline comparison:
+    [Paid_vcg] matches [Altruistic] throughput while [Selfish] collapses
+    — cooperation is worth paying for, and the mechanism makes it
+    individually rational. *)
+
+type regime =
+  | Paid_vcg
+  | Selfish
+  | Fixed_price of float
+  | Altruistic
+
+type outcome = {
+  regime : regime;
+  sessions : int;  (** sessions attempted *)
+  delivered : int;
+  blocked : int;  (** no willing/alive route *)
+  first_death : int option;  (** session index of the first node death *)
+  dead_at_end : int;
+  residual_energy : float;
+  payments_flow : float;  (** total transfers from sources to relays *)
+}
+
+val run :
+  Wnet_prng.Rng.t ->
+  Wnet_graph.Graph.t ->
+  root:int ->
+  budget:float ->
+  sessions:int ->
+  regime ->
+  outcome
+(** @raise Invalid_argument on non-positive [sessions]. *)
+
+val compare_regimes :
+  Wnet_prng.Rng.t ->
+  Wnet_graph.Graph.t ->
+  root:int ->
+  budget:float ->
+  sessions:int ->
+  regime list ->
+  outcome list
+(** Runs every regime on an identical session sequence (same seed). *)

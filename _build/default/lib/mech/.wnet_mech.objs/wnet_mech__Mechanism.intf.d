@@ -1,0 +1,1 @@
+lib/mech/mechanism.mli: Profile

@@ -1,0 +1,1 @@
+lib/mech/profile.ml: Array Float Format List

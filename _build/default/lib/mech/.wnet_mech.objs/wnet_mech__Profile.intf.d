@@ -1,0 +1,1 @@
+lib/mech/profile.mli: Format

@@ -1,0 +1,1 @@
+lib/mech/properties.ml: Array Float Format List Mechanism Profile Wnet_prng

@@ -1,0 +1,1 @@
+lib/mech/properties.mli: Format Mechanism Profile Wnet_prng

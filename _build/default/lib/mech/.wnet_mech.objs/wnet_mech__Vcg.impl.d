@@ -1,0 +1,1 @@
+lib/mech/vcg.ml: Array Mechanism Profile

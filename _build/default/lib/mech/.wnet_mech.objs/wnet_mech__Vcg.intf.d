@@ -1,0 +1,1 @@
+lib/mech/vcg.mli: Mechanism Profile

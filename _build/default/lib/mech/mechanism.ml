@@ -1,0 +1,29 @@
+type 'o t = {
+  name : string;
+  run : Profile.t -> ('o * float array) option;
+  valuation : int -> 'o -> float -> float;
+}
+
+let make ~name ~run ~valuation = { name; run; valuation }
+
+let utilities m ~truth ~declared =
+  match m.run declared with
+  | None -> None
+  | Some (outcome, payments) ->
+    if Array.length payments <> Array.length truth then
+      invalid_arg "Mechanism.utilities: payment vector has wrong length";
+    Some
+      (Array.mapi
+         (fun i p -> m.valuation i outcome truth.(i) +. p)
+         payments)
+
+let utility m ~truth ~declared i =
+  Option.map (fun u -> u.(i)) (utilities m ~truth ~declared)
+
+let social_welfare m ~truth ~declared =
+  match m.run declared with
+  | None -> None
+  | Some (outcome, _) ->
+    let acc = ref 0.0 in
+    Array.iteri (fun i c -> acc := !acc +. m.valuation i outcome c) truth;
+    Some !acc

@@ -1,0 +1,38 @@
+(** Direct-revelation mechanisms (Sec. II-A).
+
+    A mechanism maps a declared profile to an outcome and a payment
+    vector.  Agent [i]'s utility under true cost [c_i] is
+    [valuation i outcome c_i + payment_i]; in the unicast setting the
+    valuation is [-c_i] when [i] relays and [0] otherwise, but the type is
+    kept abstract in ['o] so the same property checkers work for every
+    scheme in this repository (plain VCG, collusion-resistant variants,
+    the link-cost model, the nuglet baseline). *)
+
+type 'o t = {
+  name : string;
+  run : Profile.t -> ('o * float array) option;
+      (** [run d] computes the outcome and the payment to every agent
+          under declarations [d]; [None] when the instance is infeasible
+          (e.g. no route exists). *)
+  valuation : int -> 'o -> float -> float;
+      (** [valuation i o c_i] is agent [i]'s intrinsic value [w^i(c_i, o)]
+          for outcome [o] given its {e true} per-unit cost [c_i]. *)
+}
+
+val make :
+  name:string ->
+  run:(Profile.t -> ('o * float array) option) ->
+  valuation:(int -> 'o -> float -> float) ->
+  'o t
+
+val utilities : 'o t -> truth:Profile.t -> declared:Profile.t -> float array option
+(** [utilities m ~truth ~declared] runs the mechanism on [declared] and
+    evaluates every agent's utility against [truth];
+    [None] if the run is infeasible. *)
+
+val utility : 'o t -> truth:Profile.t -> declared:Profile.t -> int -> float option
+(** Single-agent convenience over {!utilities}. *)
+
+val social_welfare : 'o t -> truth:Profile.t -> declared:Profile.t -> float option
+(** Sum of true valuations of the chosen outcome (payments cancel out of
+    welfare; they are transfers). *)

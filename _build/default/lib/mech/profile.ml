@@ -1,0 +1,42 @@
+type t = float array
+
+let check_bid b =
+  if Float.is_nan b || b < 0.0 then
+    invalid_arg "Profile: bids must be non-negative (infinity allowed)"
+
+let validate p = Array.iter check_bid p
+
+let deviate d i b =
+  if i < 0 || i >= Array.length d then invalid_arg "Profile.deviate: agent out of range";
+  check_bid b;
+  let d' = Array.copy d in
+  d'.(i) <- b;
+  d'
+
+let deviate_many d moves =
+  let d' = Array.copy d in
+  List.iter
+    (fun (i, b) ->
+      if i < 0 || i >= Array.length d then
+        invalid_arg "Profile.deviate_many: agent out of range";
+      check_bid b;
+      d'.(i) <- b)
+    moves;
+  d'
+
+let equal_up_to ~epsilon a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y ->
+         (x = y)
+         || Float.abs (x -. y) <= epsilon *. (1.0 +. Float.max (Float.abs x) (Float.abs y)))
+       a b
+
+let pp ppf p =
+  Format.fprintf ppf "[";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf "; ";
+      Format.fprintf ppf "%g" x)
+    p;
+  Format.fprintf ppf "]"

@@ -1,0 +1,25 @@
+(** Cost profiles and deviations.
+
+    A profile is the vector [d = (d_0, ..., d_{n-1})] of declared costs —
+    the paper's [d], which may differ from the private true profile [c].
+    The notation [d |^i b] (agent [i] deviates to [b], everyone else keeps
+    their declaration) is the basic object of all strategyproofness
+    statements, so it gets a first-class helper here. *)
+
+type t = float array
+
+val validate : t -> unit
+(** @raise Invalid_argument if some entry is negative or NaN
+    ([infinity] is allowed: "refuses to relay"). *)
+
+val deviate : t -> int -> float -> t
+(** [deviate d i b] is the fresh profile [d |^i b].
+    @raise Invalid_argument on an out-of-range agent or invalid bid. *)
+
+val deviate_many : t -> (int * float) list -> t
+(** Simultaneous deviation by several agents (used for collusion tests).
+    Later entries for the same agent win. *)
+
+val equal_up_to : epsilon:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,131 @@
+type violation = {
+  agents : (int * float) list;
+  honest_total : float;
+  deviant_total : float;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "@[<h>coalition {";
+  List.iteri
+    (fun k (i, b) ->
+      if k > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "agent %d -> %g" i b)
+    v.agents;
+  Format.fprintf ppf "}: honest %.6g, deviant %.6g (gain %.6g)@]" v.honest_total
+    v.deviant_total
+    (v.deviant_total -. v.honest_total)
+
+(* Strict improvement beyond floating-point noise. *)
+let improves ~honest ~deviant =
+  deviant > honest +. (1e-9 *. (1.0 +. Float.abs honest))
+
+let coalition_total utilities agents =
+  List.fold_left (fun acc (i, _) -> acc +. utilities.(i)) 0.0 agents
+
+(* Utility of a coalition under a run that may be infeasible: an
+   infeasible run means nobody routes and nobody pays, so utility 0. *)
+let totals m ~truth ~declared agents =
+  match Mechanism.utilities m ~truth ~declared with
+  | None -> 0.0
+  | Some u -> coalition_total u agents
+
+let joint_violation m ~truth moves =
+  let honest_total = totals m ~truth ~declared:truth moves in
+  let declared = Profile.deviate_many truth moves in
+  let deviant_total = totals m ~truth ~declared moves in
+  if improves ~honest:honest_total ~deviant:deviant_total then
+    Some { agents = moves; honest_total; deviant_total }
+  else None
+
+let ic_violations m ~truth ~candidates =
+  List.filter_map
+    (fun (i, b) -> joint_violation m ~truth [ (i, b) ])
+    candidates
+
+let random_ic_violations rng m ~truth ~trials ~lie_bound =
+  let n = Array.length truth in
+  if n = 0 then []
+  else begin
+    let candidates = ref [] in
+    for _ = 1 to trials do
+      let i = Wnet_prng.Rng.int rng n in
+      candidates := (i, Wnet_prng.Rng.float rng lie_bound) :: !candidates;
+      let j = Wnet_prng.Rng.int rng n in
+      let structured =
+        match Wnet_prng.Rng.int rng 4 with
+        | 0 -> 0.0
+        | 1 -> truth.(j) /. 2.0
+        | 2 -> truth.(j) *. 2.0
+        | _ -> lie_bound *. 100.0
+      in
+      candidates := (j, structured) :: !candidates
+    done;
+    ic_violations m ~truth ~candidates:!candidates
+  end
+
+let ir_violations m ~truth =
+  match Mechanism.utilities m ~truth ~declared:truth with
+  | None -> []
+  | Some u ->
+    let acc = ref [] in
+    Array.iteri
+      (fun i ui -> if ui < -1e-9 then acc := (i, ui) :: !acc)
+      u;
+    List.rev !acc
+
+let coalition_violations rng m ~truth ~coalitions ~trials_per_coalition ~lie_bound =
+  let lie k =
+    match Wnet_prng.Rng.int rng 6 with
+    | 0 -> 0.0
+    | 1 -> truth.(k) /. 2.0
+    | 2 -> truth.(k) *. (1.0 +. Wnet_prng.Rng.float rng 4.0)
+    | 3 -> lie_bound *. 100.0
+    | 4 -> truth.(k)
+    | _ -> Wnet_prng.Rng.float rng lie_bound
+  in
+  List.concat_map
+    (fun coalition ->
+      let attempts = ref [] in
+      for _ = 1 to trials_per_coalition do
+        attempts := List.map (fun k -> (k, lie k)) coalition :: !attempts
+      done;
+      List.filter_map (joint_violation m ~truth) !attempts)
+    coalitions
+
+let pair_inflation_violations rng m ~truth ~pairs ~trials_per_pair =
+  List.concat_map
+    (fun (i, j) ->
+      let attempts = ref [] in
+      for _ = 1 to trials_per_pair do
+        let lie k =
+          match Wnet_prng.Rng.int rng 3 with
+          | 0 -> truth.(k) *. (1.0 +. Wnet_prng.Rng.float rng 4.0)
+          | 1 -> truth.(k) +. (100.0 *. (1.0 +. Wnet_prng.Rng.float rng 10.0))
+          | _ -> truth.(k)
+        in
+        attempts := [ (i, lie i); (j, lie j) ] :: !attempts
+      done;
+      List.filter_map (joint_violation m ~truth) !attempts)
+    pairs
+
+let pair_collusion_violations rng m ~truth ~pairs ~trials_per_pair ~lie_bound =
+  List.concat_map
+    (fun (i, j) ->
+      let attempts = ref [] in
+      for _ = 1 to trials_per_pair do
+        let lie k =
+          match Wnet_prng.Rng.int rng 5 with
+          | 0 -> 0.0
+          | 1 -> truth.(k) /. 2.0
+          | 2 -> truth.(k) *. (1.0 +. Wnet_prng.Rng.float rng 3.0)
+          | 3 -> lie_bound *. 50.0
+          | _ -> Wnet_prng.Rng.float rng lie_bound
+        in
+        attempts := [ (i, lie i); (j, lie j) ] :: !attempts;
+        (* One-sided lies inside the coalition matter too: the helper
+           sacrifices nothing while the beneficiary stays honest. *)
+        attempts := [ (i, lie i); (j, truth.(j)) ] :: !attempts;
+        attempts := [ (i, truth.(i)); (j, lie j) ] :: !attempts
+      done;
+      List.filter_map (joint_violation m ~truth) !attempts)
+    pairs

@@ -1,0 +1,88 @@
+(** Empirical checkers for the mechanism properties of Sec. II-A.
+
+    These test, on concrete instances, the three constraints every
+    strategyproof mechanism must satisfy — Incentive Compatibility,
+    Individual Rationality — plus the [k = 2] case of the paper's
+    [k]-agents strategyproofness (Definition 1): a coalition must not be
+    able to raise its {e summed} utility by joint misreporting.
+
+    They are falsifiers, not provers: an empty violation list on many
+    random instances is evidence, a non-empty list is a concrete
+    counter-example (this is how the repository demonstrates Theorem 7's
+    impossibility and Fig. 2's manipulation). *)
+
+type violation = {
+  agents : (int * float) list;  (** deviating agents with their lies *)
+  honest_total : float;  (** summed true utility of those agents when honest *)
+  deviant_total : float;  (** summed true utility after the joint lie *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val ic_violations :
+  'o Mechanism.t ->
+  truth:Profile.t ->
+  candidates:(int * float) list ->
+  violation list
+(** [ic_violations m ~truth ~candidates] tries every single-agent lie
+    [(i, b)] in [candidates] against honest play by everyone else and
+    returns those that strictly improve agent [i]'s utility (beyond a 1e-9
+    relative tolerance).  Infeasible runs count as utility 0 for a
+    non-participant. *)
+
+val random_ic_violations :
+  Wnet_prng.Rng.t ->
+  'o Mechanism.t ->
+  truth:Profile.t ->
+  trials:int ->
+  lie_bound:float ->
+  violation list
+(** Draws [trials] random [(agent, lie)] pairs with lies uniform in
+    [\[0, lie_bound)] plus the structured lies 0, [truth/2], [2*truth] and
+    a large bid for a random agent each trial. *)
+
+val ir_violations : 'o Mechanism.t -> truth:Profile.t -> (int * float) list
+(** Agents whose truthful-play utility is negative: [(agent, utility)]. *)
+
+val pair_collusion_violations :
+  Wnet_prng.Rng.t ->
+  'o Mechanism.t ->
+  truth:Profile.t ->
+  pairs:(int * int) list ->
+  trials_per_pair:int ->
+  lie_bound:float ->
+  violation list
+(** For each pair, tries [trials_per_pair] random joint lies and reports
+    those that strictly increase the pair's summed utility — the
+    2-agents-strategyproofness falsifier behind Theorem 7 and the
+    Sec. III-E discussion. *)
+
+val coalition_violations :
+  Wnet_prng.Rng.t ->
+  'o Mechanism.t ->
+  truth:Profile.t ->
+  coalitions:int list list ->
+  trials_per_coalition:int ->
+  lie_bound:float ->
+  violation list
+(** The general [k]-agents strategyproofness falsifier (Definition 1):
+    for each listed coalition, tries random joint lies (mixing under- and
+    over-bids, zero bids and effectively-infinite bids) and reports those
+    that strictly raise the coalition's summed utility.  With a coalition
+    of all agents but one it reproduces the paper's remark that true
+    group strategyproofness is unattainable for unicast. *)
+
+val pair_inflation_violations :
+  Wnet_prng.Rng.t ->
+  'o Mechanism.t ->
+  truth:Profile.t ->
+  pairs:(int * int) list ->
+  trials_per_pair:int ->
+  violation list
+(** Like {!pair_collusion_violations} but restricted to {e upward} joint
+    lies (each lie >= the agent's true cost).  This is the attack class
+    the paper's Sec. III-E motivates — an off-path accomplice inflating
+    its declaration to raise a relay's pivot — and the class the
+    neighbourhood scheme [p̃] provably resists.  (Unrestricted joint
+    lies can still gain under [p̃] by under-bidding to capture the
+    route; see EXPERIMENTS.md — this is consistent with Theorem 7.) *)

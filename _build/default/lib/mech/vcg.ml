@@ -1,0 +1,27 @@
+type solution = { cost : float; used : bool array }
+
+type problem = {
+  n_agents : int;
+  solve : Profile.t -> solution option;
+  solve_without : int -> Profile.t -> solution option;
+}
+
+let clarke_payments p d =
+  Profile.validate d;
+  match p.solve d with
+  | None -> None
+  | Some sol ->
+    let payments =
+      Array.init p.n_agents (fun i ->
+          if not sol.used.(i) then 0.0
+          else
+            match p.solve_without i d with
+            | None -> infinity
+            | Some without -> d.(i) +. without.cost -. sol.cost)
+    in
+    Some (sol, payments)
+
+let mechanism ~name p =
+  Mechanism.make ~name
+    ~run:(fun d -> clarke_payments p d)
+    ~valuation:(fun i sol c -> if sol.used.(i) then -.c else 0.0)

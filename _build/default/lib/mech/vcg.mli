@@ -1,0 +1,37 @@
+(** The generalized Vickrey–Clarke–Groves mechanism (Sec. II-A) for
+    cost-minimization problems with single-parameter agents.
+
+    The problem supplies an optimal solver; the Clarke pivot rule then
+    yields the payment
+    [p^i = d_i * x_i + C(-i) - C], where [C] is the optimal social cost
+    under declarations [d], [C(-i)] the optimum when agent [i] is excluded
+    and [x_i] indicates whether [i] is part of the optimum.  Groves'
+    theorem makes the result strategyproof; this module is the single
+    place that rule is written down, and every payment scheme in the
+    repository is either an instance of it or a deliberate variation
+    (e.g. the neighbour-collusion scheme replaces "exclude [i]" with
+    "exclude [N(i)]"). *)
+
+type solution = {
+  cost : float;  (** optimal social cost under the declared profile *)
+  used : bool array;  (** [used.(i)]: is agent [i] part of the optimum? *)
+}
+
+type problem = {
+  n_agents : int;
+  solve : Profile.t -> solution option;
+      (** optimal solution under a declared profile, [None] if infeasible *)
+  solve_without : int -> Profile.t -> solution option;
+      (** optimum when the given agent is excluded from participating *)
+}
+
+val clarke_payments : problem -> Profile.t -> (solution * float array) option
+(** [clarke_payments p d] is the VCG outcome and payment vector:
+    unused agents are paid 0; a used agent [i] receives
+    [d_i + cost_without_i - cost].  When excluding a used agent makes the
+    problem infeasible (a monopoly), its payment is [infinity] — callers
+    guard with a biconnectivity check. *)
+
+val mechanism : name:string -> problem -> solution Mechanism.t
+(** Packages {!clarke_payments} as a {!Mechanism.t} whose valuation is
+    [-c_i] when used, [0] otherwise. *)

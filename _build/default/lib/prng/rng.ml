@@ -1,0 +1,61 @@
+type t = Splitmix64.t
+
+let create seed = Splitmix64.create (Int64.of_int seed)
+
+let of_state s = s
+
+let split = Splitmix64.split
+
+let copy = Splitmix64.copy
+
+let float t bound = Splitmix64.next_float t *. bound
+
+let float_range t lo hi =
+  if lo > hi then invalid_arg "Rng.float_range: lo > hi";
+  lo +. (Splitmix64.next_float t *. (hi -. lo))
+
+let int t n = Splitmix64.next_below t n
+
+let int_range t lo hi =
+  if lo > hi then invalid_arg "Rng.int_range: lo > hi";
+  lo + Splitmix64.next_below t (hi - lo + 1)
+
+let bool t = Int64.logand (Splitmix64.next t) 1L = 1L
+
+let bernoulli t p = Splitmix64.next_float t < p
+
+let exponential t rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  (* Inversion; 1 - u avoids log 0. *)
+  -.log (1.0 -. Splitmix64.next_float t) /. rate
+
+let gaussian t ~mean ~std =
+  let u1 = 1.0 -. Splitmix64.next_float t in
+  let u2 = Splitmix64.next_float t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (std *. z)
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Splitmix64.next_below t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(Splitmix64.next_below t (Array.length a))
+
+let sample_without_replacement t k a =
+  let n = Array.length a in
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  let copy = Array.copy a in
+  (* Partial Fisher–Yates: the first k slots end up a uniform sample. *)
+  for i = 0 to k - 1 do
+    let j = i + Splitmix64.next_below t (n - i) in
+    let tmp = copy.(i) in
+    copy.(i) <- copy.(j);
+    copy.(j) <- tmp
+  done;
+  Array.sub copy 0 k

@@ -1,0 +1,45 @@
+(* SplitMix64 (Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014).  The state advances by the golden gamma
+   0x9E3779B97F4A7C15 and outputs are finalized with the MurmurHash3-style
+   mix (variant "mix13" by Stafford). *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = next t in
+  (* A second scrambling round decorrelates the child stream from the
+     parent's future outputs. *)
+  create (mix64 (Int64.logxor seed 0xD6E8FEB86659FD93L))
+
+let next_float t =
+  (* Top 53 bits give a uniform dyadic rational in [0, 1). *)
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let next_below t n =
+  if n <= 0 then invalid_arg "Splitmix64.next_below: bound must be positive";
+  let n64 = Int64.of_int n in
+  (* Rejection sampling on the top bits for exact uniformity. *)
+  let rec draw () =
+    let bits = Int64.shift_right_logical (next t) 1 in
+    let v = Int64.rem bits n64 in
+    if Int64.sub bits v > Int64.sub Int64.max_int (Int64.sub n64 1L)
+    then draw ()
+    else Int64.to_int v
+  in
+  draw ()

@@ -1,0 +1,37 @@
+(** SplitMix64 pseudo-random number generator.
+
+    A small, fast, well-studied 64-bit generator (Steele, Lea & Flood,
+    OOPSLA 2014).  It is used here as the root source of randomness for all
+    experiments because it is trivially seedable, has a cheap [split]
+    operation giving statistically independent streams, and makes every
+    simulation in this repository reproducible from a single integer seed.
+
+    The generator state is a single [int64]; each [next] call advances the
+    state by the golden-gamma constant and scrambles the result. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] builds a generator from a 64-bit seed.  Distinct seeds
+    yield independent-looking streams. *)
+
+val copy : t -> t
+(** [copy t] is a generator that will produce the same future outputs as
+    [t] without sharing state. *)
+
+val next : t -> int64
+(** [next t] draws the next 64 uniformly distributed bits. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a fresh generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val next_float : t -> float
+(** [next_float t] draws a uniform float in [\[0, 1)], using the top 53
+    bits of [next t]. *)
+
+val next_below : t -> int -> int
+(** [next_below t n] draws a uniform integer in [\[0, n)].  Uses rejection
+    sampling, so the result is exactly uniform.
+    @raise Invalid_argument if [n <= 0]. *)

@@ -1,0 +1,64 @@
+type series = { label : char; points : (float * float) list }
+
+let finite (x, y) = Float.is_finite x && Float.is_finite y
+
+let render ?(width = 60) ?(height = 16) ~title series =
+  let series =
+    List.filter_map
+      (fun s ->
+        match List.filter finite s.points with
+        | [] -> None
+        | pts -> Some { s with points = pts })
+      series
+  in
+  match series with
+  | [] -> title ^ "\n  (no finite data points)"
+  | _ ->
+    let all = List.concat_map (fun s -> s.points) series in
+    let xs = List.map fst all and ys = List.map snd all in
+    let fold f = List.fold_left f in
+    let xmin = fold Float.min infinity xs and xmax = fold Float.max neg_infinity xs in
+    let ymin = fold Float.min infinity ys and ymax = fold Float.max neg_infinity ys in
+    let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+    let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (x, y) ->
+            let col =
+              int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1))
+            in
+            let row =
+              height - 1
+              - int_of_float ((y -. ymin) /. yspan *. float_of_int (height - 1))
+            in
+            let row = max 0 (min (height - 1) row) in
+            let col = max 0 (min (width - 1) col) in
+            grid.(row).(col) <- s.label)
+          s.points)
+      series;
+    let buf = Buffer.create ((height + 4) * (width + 12)) in
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n';
+    Array.iteri
+      (fun r line ->
+        let yval =
+          ymax -. (float_of_int r /. float_of_int (height - 1) *. yspan)
+        in
+        let ylabel =
+          if r = 0 || r = height - 1 || r = (height - 1) / 2 then
+            Printf.sprintf "%8.3g |" yval
+          else Printf.sprintf "%8s |" ""
+        in
+        Buffer.add_string buf ylabel;
+        Buffer.add_string buf (String.init width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (Printf.sprintf "%8s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%8s  x: %.4g .. %.4g   legend:" "" xmin xmax);
+    List.iter
+      (fun s -> Buffer.add_string buf (Printf.sprintf " [%c]" s.label))
+      series;
+    Buffer.contents buf

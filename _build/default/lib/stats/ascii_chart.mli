@@ -1,0 +1,13 @@
+(** Minimal ASCII line charts, so the bench harness can print
+    figure-shaped output (one chart per Figure 3 panel) without any
+    plotting dependency. *)
+
+type series = { label : char; points : (float * float) list }
+(** A named series of [(x, y)] points; [label] is the plot glyph. *)
+
+val render :
+  ?width:int -> ?height:int -> title:string -> series list -> string
+(** [render ~title series] draws all series on a shared grid (default
+    60x16) with y-axis labels on the left, the x range noted underneath,
+    and a legend line.  Series with no finite points are skipped; returns
+    a note when nothing is drawable. *)

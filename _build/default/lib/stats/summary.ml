@@ -1,0 +1,74 @@
+type t = {
+  count : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  ci95 : float;
+}
+
+let percentile a q =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Summary.percentile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Summary.percentile: q out of range";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let of_array a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Summary.of_array: empty";
+  let sum = Array.fold_left ( +. ) 0.0 a in
+  let mean = sum /. float_of_int n in
+  let sq = Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 a in
+  let std = if n > 1 then sqrt (sq /. float_of_int (n - 1)) else 0.0 in
+  {
+    count = n;
+    mean;
+    std;
+    min = Array.fold_left Float.min infinity a;
+    max = Array.fold_left Float.max neg_infinity a;
+    median = percentile a 0.5;
+    p90 = percentile a 0.9;
+    ci95 = 1.96 *. std /. sqrt (float_of_int n);
+  }
+
+let of_list l = of_array (Array.of_list l)
+
+let mean l =
+  match l with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let histogram a ~bins =
+  if bins <= 0 then invalid_arg "Summary.histogram: bins must be positive";
+  let finite = Array.of_list (List.filter Float.is_finite (Array.to_list a)) in
+  if Array.length finite = 0 then
+    invalid_arg "Summary.histogram: no finite values";
+  let lo = Array.fold_left Float.min infinity finite in
+  let hi = Array.fold_left Float.max neg_infinity finite in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = min (bins - 1) (max 0 b) in
+      counts.(b) <- counts.(b) + 1)
+    finite;
+  List.init bins (fun b ->
+      ( lo +. (float_of_int b *. width),
+        lo +. (float_of_int (b + 1) *. width),
+        counts.(b) ))
+
+let pp ppf s =
+  Format.fprintf ppf "%.4g ± %.2g (min %.4g, max %.4g, n=%d)" s.mean s.ci95
+    s.min s.max s.count

@@ -1,0 +1,33 @@
+(** Summary statistics for experiment outputs. *)
+
+type t = {
+  count : int;
+  mean : float;
+  std : float;  (** sample standard deviation (n-1), 0 for a single point *)
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  ci95 : float;  (** half-width of the normal-approximation 95% CI of the mean *)
+}
+
+val of_list : float list -> t
+(** @raise Invalid_argument on an empty list. *)
+
+val of_array : float array -> t
+
+val percentile : float array -> float -> float
+(** [percentile a q] for [q] in [\[0, 1\]], linear interpolation on the
+    sorted copy.
+    @raise Invalid_argument on empty input or out-of-range [q]. *)
+
+val mean : float list -> float
+
+val histogram : float array -> bins:int -> (float * float * int) list
+(** [histogram a ~bins] splits [\[min a, max a\]] into [bins] equal-width
+    buckets and returns [(lo, hi, count)] per bucket, ascending; the top
+    bucket is closed on both ends.  Non-finite values are dropped.
+    @raise Invalid_argument if [bins <= 0] or no finite value remains. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line [mean ± ci (min .. max)] rendering. *)

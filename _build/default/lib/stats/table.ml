@@ -1,0 +1,47 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let make ~headers =
+  if headers = [] then invalid_arg "Table.make: no headers";
+  { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let add_rowf t row = add_row t (List.map (Printf.sprintf "%.4g") row)
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let pad c s = s ^ String.make (List.nth widths c - String.length s) ' ' in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" ((line t.headers :: sep :: List.map line rows) : string list)
+
+let print t = print_endline (render t)
+
+let csv_cell s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_cell row) in
+  String.concat "\n" (line t.headers :: List.map line (List.rev t.rows))

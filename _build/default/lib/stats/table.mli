@@ -1,0 +1,22 @@
+(** Column-aligned plain-text tables for experiment reports. *)
+
+type t
+
+val make : headers:string list -> t
+(** @raise Invalid_argument on an empty header list. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the arity differs from the headers. *)
+
+val add_rowf : t -> float list -> unit
+(** Convenience: formats every cell with ["%.4g"]. *)
+
+val render : t -> string
+(** Renders with a header separator, columns padded to content width. *)
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV: header line then rows; cells containing commas,
+    quotes or newlines are quoted with double-quote escaping. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

@@ -1,0 +1,1 @@
+lib/topology/fixtures.ml: Array List Wnet_graph

@@ -1,0 +1,1 @@
+lib/topology/fixtures.mli: Wnet_graph

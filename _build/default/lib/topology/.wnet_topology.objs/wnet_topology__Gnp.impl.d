@@ -1,0 +1,1 @@
+lib/topology/gnp.ml: Array List Rng Wnet_graph Wnet_prng

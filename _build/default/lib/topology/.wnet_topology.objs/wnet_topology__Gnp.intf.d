@@ -1,0 +1,1 @@
+lib/topology/gnp.mli: Wnet_graph Wnet_prng

@@ -1,0 +1,1 @@
+lib/topology/random_range.ml: Array Digraph Dijkstra Point Power Region Wnet_geom Wnet_graph Wnet_prng

@@ -1,0 +1,1 @@
+lib/topology/random_range.mli: Wnet_geom Wnet_graph Wnet_prng

@@ -1,0 +1,1 @@
+lib/topology/udg.ml: Array List Point Power Region Wnet_geom Wnet_graph Wnet_prng

@@ -1,0 +1,1 @@
+lib/topology/udg.mli: Wnet_geom Wnet_graph Wnet_prng

@@ -1,0 +1,64 @@
+let line ~costs =
+  let n = Array.length costs in
+  Wnet_graph.Graph.create ~costs
+    ~edges:(List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let ring ~costs =
+  let n = Array.length costs in
+  if n < 3 then invalid_arg "Fixtures.ring: needs n >= 3";
+  Wnet_graph.Graph.create ~costs
+    ~edges:(List.init n (fun i -> (i, (i + 1) mod n)))
+
+let complete ~costs =
+  let n = Array.length costs in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Wnet_graph.Graph.create ~costs ~edges:!edges
+
+let grid ~rows ~cols ~cost =
+  if rows <= 0 || cols <= 0 then invalid_arg "Fixtures.grid: empty";
+  let id r c = (r * cols) + c in
+  let costs =
+    Array.init (rows * cols) (fun v -> cost (v / cols) (v mod cols))
+  in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Wnet_graph.Graph.create ~costs ~edges:!edges
+
+let theta ~spine_costs ~arm_costs =
+  if Array.length spine_costs <> 2 then
+    invalid_arg "Fixtures.theta: spine_costs must have the two terminals";
+  let relay_count =
+    Array.fold_left (fun acc arm -> acc + Array.length arm) 0 arm_costs
+  in
+  let costs = Array.make (2 + relay_count) 0.0 in
+  costs.(0) <- spine_costs.(0);
+  costs.(1) <- spine_costs.(1);
+  let edges = ref [] in
+  let next = ref 2 in
+  Array.iter
+    (fun arm ->
+      if Array.length arm = 0 then edges := (0, 1) :: !edges
+      else begin
+        let first = !next in
+        Array.iteri
+          (fun i c ->
+            let v = first + i in
+            costs.(v) <- c;
+            if i = 0 then edges := (0, v) :: !edges
+            else edges := (v - 1, v) :: !edges)
+          arm;
+        edges := (first + Array.length arm - 1, 1) :: !edges;
+        next := first + Array.length arm
+      end)
+    arm_costs;
+  Wnet_graph.Graph.create ~costs ~edges:!edges

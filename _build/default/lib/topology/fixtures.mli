@@ -1,0 +1,24 @@
+(** Deterministic structured topologies for tests and ablations. *)
+
+val line : costs:float array -> Wnet_graph.Graph.t
+(** Path graph [0 - 1 - ... - (n-1)].  Not biconnected: every interior
+    node is a monopoly — the degenerate case the biconnectivity
+    assumption exists to exclude. *)
+
+val ring : costs:float array -> Wnet_graph.Graph.t
+(** Cycle [0 - 1 - ... - (n-1) - 0]: the minimal biconnected topology;
+    every replacement path is "the other way around".  Needs n >= 3. *)
+
+val complete : costs:float array -> Wnet_graph.Graph.t
+(** Clique: every unicast is one hop, all payments are zero. *)
+
+val grid : rows:int -> cols:int -> cost:(int -> int -> float) -> Wnet_graph.Graph.t
+(** [rows × cols] lattice; node id of cell [(r, c)] is [r * cols + c];
+    [cost r c] supplies the relay cost. *)
+
+val theta : spine_costs:float array -> arm_costs:float array array -> Wnet_graph.Graph.t
+(** A "theta graph" generalization: two terminals [0] (source side) and
+    [1] joined by parallel disjoint arms; arm [i] has the relay costs
+    [arm_costs.(i)] in order.  [spine_costs.(0)], [spine_costs.(1)] are
+    the terminals' own costs.  The canonical shape for hand-computing
+    VCG pivots (each arm is a candidate path). *)

@@ -1,0 +1,44 @@
+open Wnet_prng
+
+let edges rng ~n ~p =
+  if n < 0 then invalid_arg "Gnp.edges: negative n";
+  if p < 0.0 || p > 1.0 then invalid_arg "Gnp.edges: p out of range";
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.bernoulli rng p then acc := (u, v) :: !acc
+    done
+  done;
+  List.rev !acc
+
+let costs rng n lo hi = Array.init n (fun _ -> Rng.float_range rng lo hi)
+
+let graph rng ~n ~p ~cost_lo ~cost_hi =
+  Wnet_graph.Graph.create ~costs:(costs rng n cost_lo cost_hi)
+    ~edges:(edges rng ~n ~p)
+
+let random_tree rng n =
+  (* Each node > 0 attaches to a uniform earlier node: a uniform random
+     recursive tree, connected by construction. *)
+  List.init (max 0 (n - 1)) (fun i ->
+      let v = i + 1 in
+      (v, Rng.int rng v))
+
+let connected_graph rng ~n ~p ~cost_lo ~cost_hi =
+  Wnet_graph.Graph.create ~costs:(costs rng n cost_lo cost_hi)
+    ~edges:(random_tree rng n @ edges rng ~n ~p)
+
+let biconnected_graph rng ~n ~p ~cost_lo ~cost_hi ~max_tries =
+  if n < 3 then invalid_arg "Gnp.biconnected_graph: needs n >= 3";
+  let cycle = List.init n (fun v -> (v, (v + 1) mod n)) in
+  let rec go tries =
+    if tries <= 0 then None
+    else begin
+      let g =
+        Wnet_graph.Graph.create ~costs:(costs rng n cost_lo cost_hi)
+          ~edges:(cycle @ edges rng ~n ~p)
+      in
+      if Wnet_graph.Connectivity.is_biconnected g then Some g else go (tries - 1)
+    end
+  in
+  go max_tries

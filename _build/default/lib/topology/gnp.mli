@@ -1,0 +1,30 @@
+(** Erdős–Rényi random graphs with random node costs.
+
+    Not part of the paper's evaluation; the property-based tests use
+    these to exercise the algorithms far from geometric structure. *)
+
+val edges : Wnet_prng.Rng.t -> n:int -> p:float -> (int * int) list
+(** Each of the [n(n-1)/2] pairs independently with probability [p].
+    @raise Invalid_argument if [p] is outside [\[0, 1\]] or [n < 0]. *)
+
+val graph :
+  Wnet_prng.Rng.t ->
+  n:int -> p:float -> cost_lo:float -> cost_hi:float ->
+  Wnet_graph.Graph.t
+(** [edges] plus i.i.d. uniform costs. *)
+
+val connected_graph :
+  Wnet_prng.Rng.t ->
+  n:int -> p:float -> cost_lo:float -> cost_hi:float ->
+  Wnet_graph.Graph.t
+(** Like {!graph}, but a uniform random spanning tree is added first so
+    the result is always connected (useful for tests that need
+    reachability without retry loops). *)
+
+val biconnected_graph :
+  Wnet_prng.Rng.t ->
+  n:int -> p:float -> cost_lo:float -> cost_hi:float -> max_tries:int ->
+  Wnet_graph.Graph.t option
+(** Re-draws {!connected_graph} (adding a Hamiltonian-cycle backbone
+    instead of a tree) until {!Wnet_graph.Connectivity.is_biconnected};
+    [None] after [max_tries].  Needs [n >= 3]. *)

@@ -1,0 +1,80 @@
+open Wnet_geom
+
+type params = {
+  range_lo : float;
+  range_hi : float;
+  c1_lo : float;
+  c1_hi : float;
+  c2_lo : float;
+  c2_hi : float;
+  kappa : float;
+}
+
+let paper_params ~kappa =
+  {
+    range_lo = 100.0;
+    range_hi = 500.0;
+    c1_lo = 300.0;
+    c1_hi = 500.0;
+    c2_lo = 10.0;
+    c2_hi = 50.0;
+    kappa;
+  }
+
+type t = {
+  points : Point.t array;
+  ranges : float array;
+  models : Power.t array;
+  graph : Wnet_graph.Digraph.t;
+}
+
+let generate rng ~region ~n p =
+  if n < 0 then invalid_arg "Random_range.generate: negative n";
+  if p.range_lo > p.range_hi || p.c1_lo > p.c1_hi || p.c2_lo > p.c2_hi then
+    invalid_arg "Random_range.generate: inverted parameter range";
+  let points = Region.sample_points rng region n in
+  let ranges =
+    Array.init n (fun _ -> Wnet_prng.Rng.float_range rng p.range_lo p.range_hi)
+  in
+  let models =
+    Array.init n (fun _ ->
+        Power.make
+          ~alpha:(Wnet_prng.Rng.float_range rng p.c1_lo p.c1_hi)
+          ~beta:(Wnet_prng.Rng.float_range rng p.c2_lo p.c2_hi)
+          ~kappa:p.kappa)
+  in
+  let links = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && Point.within ranges.(i) points.(i) points.(j) then begin
+        let w = Power.link_cost models.(i) points.(i) points.(j) in
+        links := (i, j, w) :: !links
+      end
+    done
+  done;
+  { points; ranges; models; graph = Wnet_graph.Digraph.create ~n ~links:!links }
+
+let paper_instance rng ~n ~kappa =
+  generate rng ~region:Region.paper_region ~n (paper_params ~kappa)
+
+let strongly_connected_to t ~root =
+  let open Wnet_graph in
+  let n = Digraph.n t.graph in
+  let from_root = Dijkstra.link_weighted t.graph root in
+  let to_root = Dijkstra.link_weighted (Digraph.reverse t.graph) root in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if not (Dijkstra.reachable from_root v && Dijkstra.reachable to_root v) then
+      ok := false
+  done;
+  !ok
+
+let generate_usable rng ~region ~n p ~root ~max_tries =
+  let rec go tries =
+    if tries <= 0 then None
+    else begin
+      let t = generate rng ~region ~n p in
+      if strongly_connected_to t ~root then Some t else go (tries - 1)
+    end
+  in
+  go max_tries

@@ -1,0 +1,47 @@
+(** Heterogeneous-range instances — the paper's second simulation set-up
+    ("random graph", Fig. 3 (e)–(f)).
+
+    Each node [v_i] draws its own transmission range uniformly from
+    [\[100 m, 500 m\]]; a {e directed} link [i -> j] exists iff
+    [||v_i v_j|| <= range_i].  The cost of the link is
+    [c1_i + c2_i * ||v_i v_j||^kappa] with per-node constants
+    [c1 ∈ [300, 500]] and [c2 ∈ [10, 50]] — "the actual power cost in one
+    second of a node to send data at 2 Mbps" per the paper. *)
+
+type params = {
+  range_lo : float;
+  range_hi : float;
+  c1_lo : float;
+  c1_hi : float;
+  c2_lo : float;
+  c2_hi : float;
+  kappa : float;
+}
+
+val paper_params : kappa:float -> params
+(** Ranges [100..500], [c1 ∈ [300, 500]], [c2 ∈ [10, 50]]. *)
+
+type t = {
+  points : Wnet_geom.Point.t array;
+  ranges : float array;
+  models : Wnet_geom.Power.t array;  (** per-node cost model *)
+  graph : Wnet_graph.Digraph.t;
+}
+
+val generate :
+  Wnet_prng.Rng.t -> region:Wnet_geom.Region.t -> n:int -> params -> t
+(** @raise Invalid_argument on negative [n] or inverted parameter
+    ranges. *)
+
+val paper_instance : Wnet_prng.Rng.t -> n:int -> kappa:float -> t
+(** 2000 m square with {!paper_params}. *)
+
+val strongly_connected_to : t -> root:int -> bool
+(** Whether every node can reach [root] {e and} [root] can reach every
+    node — the precondition for the all-to-root experiments. *)
+
+val generate_usable :
+  Wnet_prng.Rng.t ->
+  region:Wnet_geom.Region.t -> n:int -> params -> root:int -> max_tries:int ->
+  t option
+(** Re-draws until {!strongly_connected_to} [root] holds. *)

@@ -1,0 +1,59 @@
+open Wnet_geom
+
+type t = {
+  points : Point.t array;
+  range : float;
+  edges : (int * int) list;
+}
+
+let adjacency points range =
+  let n = Array.length points in
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Point.within range points.(u) points.(v) then acc := (u, v) :: !acc
+    done
+  done;
+  List.rev !acc
+
+let generate rng ~region ~n ~range =
+  if n < 0 then invalid_arg "Udg.generate: negative n";
+  if range < 0.0 then invalid_arg "Udg.generate: negative range";
+  let points = Region.sample_points rng region n in
+  { points; range; edges = adjacency points range }
+
+let paper_instance rng ~n =
+  generate rng ~region:Region.paper_region ~n ~range:300.0
+
+let link_graph t ~model =
+  let links =
+    List.concat_map
+      (fun (u, v) ->
+        let w = Power.link_cost model t.points.(u) t.points.(v) in
+        [ (u, v, w); (v, u, w) ])
+      t.edges
+  in
+  Wnet_graph.Digraph.create ~n:(Array.length t.points) ~links
+
+let node_graph t ~costs =
+  if Array.length costs <> Array.length t.points then
+    invalid_arg "Udg.node_graph: cost vector length mismatch";
+  Wnet_graph.Graph.create ~costs ~edges:t.edges
+
+let uniform_node_costs rng ~n ~lo ~hi =
+  Array.init n (fun _ -> Wnet_prng.Rng.float_range rng lo hi)
+
+let is_connected t =
+  let costs = Array.make (Array.length t.points) 0.0 in
+  Wnet_graph.Connectivity.is_connected
+    (Wnet_graph.Graph.create ~costs ~edges:t.edges)
+
+let generate_connected rng ~region ~n ~range ~max_tries =
+  let rec go tries =
+    if tries <= 0 then None
+    else begin
+      let t = generate rng ~region ~n ~range in
+      if is_connected t then Some t else go (tries - 1)
+    end
+  in
+  go max_tries

@@ -1,0 +1,49 @@
+(** Unit-disk-graph instances — the paper's first simulation set-up.
+
+    [n] nodes are placed uniformly at random in a region (the paper uses
+    2000 m × 2000 m); two nodes are linked iff their distance is at most
+    the common transmission range (the paper uses 300 m).  The cost for
+    [v_i] to forward a packet to [v_j] is [||v_i v_j||^kappa] with
+    [kappa ∈ {2, 2.5}] — a link cost, so the Fig. 3 (a)–(d) experiments
+    run on the directed link-weighted mechanism of Sec. III-F. *)
+
+type t = {
+  points : Wnet_geom.Point.t array;
+  range : float;
+  edges : (int * int) list;  (** undirected adjacency pairs, [u < v] *)
+}
+
+val generate :
+  Wnet_prng.Rng.t -> region:Wnet_geom.Region.t -> n:int -> range:float -> t
+(** Placement plus adjacency.  O(n^2) distance checks — fine at the
+    paper's scales.
+    @raise Invalid_argument if [n < 0] or [range < 0]. *)
+
+val paper_instance : Wnet_prng.Rng.t -> n:int -> t
+(** The paper's parameters: 2000 m square, range 300 m. *)
+
+val link_graph : t -> model:Wnet_geom.Power.t -> Wnet_graph.Digraph.t
+(** Directed graph with [w(i -> j) = model(||v_i v_j||)] on every
+    adjacency, both directions (same length, hence symmetric weights —
+    but the mechanism treats them as separate declarations by separate
+    owners). *)
+
+val node_graph : t -> costs:float array -> Wnet_graph.Graph.t
+(** Node-cost view of the same topology, for the node-weighted mechanism
+    (Sec. III-A) and the ablation experiments.
+    @raise Invalid_argument if [costs] has the wrong length. *)
+
+val uniform_node_costs :
+  Wnet_prng.Rng.t -> n:int -> lo:float -> hi:float -> float array
+(** I.i.d. uniform relay costs in [\[lo, hi)] — "the cost of each node is
+    chosen independently and uniformly from a range" (Sec. III-G). *)
+
+val is_connected : t -> bool
+(** Connectivity of the undirected adjacency (cheap pre-check before
+    running a whole experiment on a disconnected deployment). *)
+
+val generate_connected :
+  Wnet_prng.Rng.t ->
+  region:Wnet_geom.Region.t -> n:int -> range:float -> max_tries:int ->
+  t option
+(** Re-draws until {!is_connected} holds; [None] after [max_tries]. *)

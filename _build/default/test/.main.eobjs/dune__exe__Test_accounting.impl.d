@@ -1,0 +1,1 @@
+test/test_accounting.ml: Alcotest Array Examples Ledger List Option Session_sim Test_util Unicast Wnet_accounting Wnet_core Wnet_graph Wnet_prng Wnet_topology

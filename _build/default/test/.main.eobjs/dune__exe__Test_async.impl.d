@@ -1,0 +1,1 @@
+test/test_async.ml: Alcotest Array Async_engine Engine List Payment_protocol Spt_protocol Test_util Wnet_dsim Wnet_graph Wnet_prng Wnet_topology

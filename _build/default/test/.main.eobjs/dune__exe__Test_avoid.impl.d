@@ -1,0 +1,1 @@
+test/test_avoid.ml: Alcotest Array Avoid Dijkstra Float Graph Test_util Wnet_core Wnet_geom Wnet_graph Wnet_prng Wnet_topology

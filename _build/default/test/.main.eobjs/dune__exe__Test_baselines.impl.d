@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Graph Naive_payment Nuglet Option Test_util Watchdog Wnet_baselines Wnet_core Wnet_graph Wnet_prng Wnet_topology

@@ -1,0 +1,1 @@
+test/test_collusion.ml: Alcotest Array Collusion Graph List Option Payment_scheme Test_util Unicast Wnet_core Wnet_graph Wnet_topology

@@ -1,0 +1,1 @@
+test/test_connectivity.ml: Alcotest Array Connectivity Fun Graph List Test_util Wnet_core Wnet_graph Wnet_topology

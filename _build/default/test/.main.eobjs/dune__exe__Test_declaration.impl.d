@@ -1,0 +1,1 @@
+test/test_declaration.ml: Alcotest Array Declaration Engine Test_util Wnet_dsim Wnet_graph Wnet_prng Wnet_stats Wnet_topology

@@ -1,0 +1,1 @@
+test/test_digraph.ml: Alcotest Array Digraph Test_util Wnet_graph

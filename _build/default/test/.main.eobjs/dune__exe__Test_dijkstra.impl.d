@@ -1,0 +1,1 @@
+test/test_dijkstra.ml: Alcotest Array Digraph Dijkstra Graph List Path Test_util Wnet_core Wnet_graph Wnet_prng Wnet_topology

@@ -1,0 +1,1 @@
+test/test_edge_model.ml: Alcotest Array Dijkstra Edge_avoid Edge_unicast Egraph List Option Test_util Wnet_core Wnet_experiments Wnet_graph Wnet_mech Wnet_prng

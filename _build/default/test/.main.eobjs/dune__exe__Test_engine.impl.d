@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Engine List Wnet_dsim Wnet_topology

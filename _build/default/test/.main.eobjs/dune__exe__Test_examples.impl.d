@@ -1,0 +1,1 @@
+test/test_examples.ml: Alcotest Array Collusion Examples List Option Test_util Unicast Wnet_core Wnet_graph

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Collusion_exp Distributed_exp Fig3 Float List Node_model Speed Str_ext Test_util Wnet_core Wnet_experiments

@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Array Point Power Region Test_util Wnet_geom Wnet_prng

@@ -1,0 +1,1 @@
+test/test_graph_io.ml: Alcotest Digraph Filename Graph Graph_io Str_ext Sys Test_util Wnet_core Wnet_graph

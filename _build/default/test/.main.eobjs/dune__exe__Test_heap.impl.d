@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Array Binheap Indexed_heap List Test_util Wnet_graph Wnet_prng

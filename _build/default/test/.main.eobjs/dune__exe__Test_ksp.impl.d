@@ -1,0 +1,1 @@
+test/test_ksp.ml: Alcotest Array Graph Ksp List Path Test_util Wnet_experiments Wnet_graph Wnet_prng Wnet_topology

@@ -1,0 +1,1 @@
+test/test_lifetime.ml: Alcotest Battery Lifetime_sim List Str_ext Test_util Wnet_experiments Wnet_geom Wnet_graph Wnet_lifetime Wnet_topology

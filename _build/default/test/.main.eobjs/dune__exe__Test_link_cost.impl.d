@@ -1,0 +1,1 @@
+test/test_link_cost.ml: Alcotest Array Digraph Link_cost Test_util Wnet_core Wnet_graph Wnet_prng Wnet_topology

@@ -1,0 +1,1 @@
+test/test_mech.ml: Alcotest Array Format List Mechanism Profile Properties String Test_util Vcg Wnet_mech

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Connectivity Float Graph List Metrics Str_ext String Test_util Wnet_geom Wnet_graph Wnet_stats Wnet_topology

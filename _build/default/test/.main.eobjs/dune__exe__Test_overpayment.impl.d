@@ -1,0 +1,1 @@
+test/test_overpayment.ml: Alcotest Array Examples Float Fun Link_cost List Option Overpayment Test_util Unicast Wnet_core Wnet_graph

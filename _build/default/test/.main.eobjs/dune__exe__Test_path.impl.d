@@ -1,0 +1,1 @@
+test/test_path.ml: Alcotest Digraph Format Path Test_util Wnet_core Wnet_graph

@@ -1,0 +1,1 @@
+test/test_payment_protocol.ml: Alcotest Array Engine List Payment_protocol Test_util Wnet_core Wnet_dsim Wnet_graph Wnet_prng Wnet_topology

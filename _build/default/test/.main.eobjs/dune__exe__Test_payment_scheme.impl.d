@@ -1,0 +1,1 @@
+test/test_payment_scheme.ml: Alcotest Array Connectivity Graph List Option Path Payment_scheme Test_util Unicast Wnet_core Wnet_graph Wnet_mech Wnet_prng Wnet_topology

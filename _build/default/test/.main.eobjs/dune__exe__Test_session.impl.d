@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Examples List Option Test_util Unicast Wnet_core Wnet_experiments Wnet_graph Wnet_mech Wnet_prng Wnet_topology

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Ascii_chart Float List Option Str_ext String Summary Table Test_util Wnet_stats

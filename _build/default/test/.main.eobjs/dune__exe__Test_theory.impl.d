@@ -1,0 +1,1 @@
+test/test_theory.ml: Array Dijkstra Edge_unicast Egraph Float Graph List Path Payment_scheme Test_util Unicast Wnet_core Wnet_graph Wnet_prng

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Fixtures Float Gnp List Random_range Test_util Udg Wnet_geom Wnet_graph Wnet_topology

@@ -1,0 +1,1 @@
+test/test_unicast.ml: Alcotest Array Examples Float Graph List Option Test_util Unicast Wnet_core Wnet_geom Wnet_graph Wnet_mech Wnet_prng Wnet_topology

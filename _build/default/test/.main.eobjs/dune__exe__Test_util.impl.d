@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Format List QCheck2 QCheck_alcotest Wnet_graph Wnet_prng

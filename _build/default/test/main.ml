@@ -1,0 +1,37 @@
+let () =
+  Alcotest.run "truthful-unicast"
+    [
+      ("prng", Test_prng.suite);
+      ("geom", Test_geom.suite);
+      ("heap", Test_heap.suite);
+      ("graph", Test_graph.suite);
+      ("digraph", Test_digraph.suite);
+      ("dijkstra", Test_dijkstra.suite);
+      ("connectivity", Test_connectivity.suite);
+      ("path", Test_path.suite);
+      ("avoid", Test_avoid.suite);
+      ("mech", Test_mech.suite);
+      ("unicast", Test_unicast.suite);
+      ("payment-scheme", Test_payment_scheme.suite);
+      ("link-cost", Test_link_cost.suite);
+      ("examples", Test_examples.suite);
+      ("collusion", Test_collusion.suite);
+      ("engine", Test_engine.suite);
+      ("spt-protocol", Test_spt_protocol.suite);
+      ("payment-protocol", Test_payment_protocol.suite);
+      ("topology", Test_topology.suite);
+      ("baselines", Test_baselines.suite);
+      ("stats", Test_stats.suite);
+      ("overpayment", Test_overpayment.suite);
+      ("experiments", Test_experiments.suite);
+      ("session-and-coalitions", Test_session.suite);
+      ("accounting", Test_accounting.suite);
+      ("lifetime", Test_lifetime.suite);
+      ("async", Test_async.suite);
+      ("metrics", Test_metrics.suite);
+      ("graph-io", Test_graph_io.suite);
+      ("edge-model", Test_edge_model.suite);
+      ("theory", Test_theory.suite);
+      ("ksp", Test_ksp.suite);
+      ("declaration", Test_declaration.suite);
+    ]

@@ -1,0 +1,10 @@
+(* Tiny substring search helper shared by test files. *)
+
+let index_of hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub hay i nl = needle then Some i
+    else go (i + 1)
+  in
+  go 0

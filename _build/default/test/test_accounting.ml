@@ -1,0 +1,189 @@
+open Wnet_accounting
+open Wnet_core
+
+let outcome () = Unicast.run Examples.diamond ~src:3 ~dst:0 |> Option.get
+(* diamond: relay 1 paid 3 per packet *)
+
+let test_settlement_moves_money () =
+  let l = Ledger.create ~n:4 ~initial_balance:100.0 in
+  let r = outcome () in
+  (match
+     Ledger.settle l ~session:1 ~outcome:r ~packets:2 ~signed_by_source:true
+       ~acknowledged:true
+   with
+  | Error _ -> Alcotest.fail "must settle"
+  | Ok s ->
+    Test_util.check_float "debit" 6.0 s.Ledger.debit;
+    Alcotest.(check (list (pair int (float 1e-9)))) "credits" [ (1, 6.0) ] s.Ledger.credits);
+  Test_util.check_float "source debited" 94.0 (Ledger.balance l 3);
+  Test_util.check_float "relay credited" 106.0 (Ledger.balance l 1);
+  Test_util.check_float "bystander untouched" 100.0 (Ledger.balance l 2)
+
+let test_conservation () =
+  let l = Ledger.create ~n:4 ~initial_balance:50.0 in
+  let before = Ledger.total_in_circulation l in
+  let r = outcome () in
+  for session = 1 to 5 do
+    ignore
+      (Ledger.settle l ~session ~outcome:r ~packets:1 ~signed_by_source:true
+         ~acknowledged:true)
+  done;
+  Test_util.check_float "money conserved" before (Ledger.total_in_circulation l)
+
+let test_free_riding_rejected () =
+  let l = Ledger.create ~n:4 ~initial_balance:100.0 in
+  let r = outcome () in
+  (match
+     Ledger.settle l ~session:1 ~outcome:r ~packets:1 ~signed_by_source:false
+       ~acknowledged:true
+   with
+  | Error Ledger.Unsigned_initiation -> ()
+  | _ -> Alcotest.fail "unsigned must be rejected");
+  Test_util.check_float "no balance change" 100.0 (Ledger.balance l 3);
+  Alcotest.(check int) "audit trail" 1 (List.length (Ledger.rejections l))
+
+let test_missing_ack_rejected () =
+  let l = Ledger.create ~n:4 ~initial_balance:100.0 in
+  match
+    Ledger.settle l ~session:1 ~outcome:(outcome ()) ~packets:1
+      ~signed_by_source:true ~acknowledged:false
+  with
+  | Error Ledger.Missing_acknowledgment -> ()
+  | _ -> Alcotest.fail "no pay without the AP's signed ack"
+
+let test_insufficient_funds () =
+  let l = Ledger.create ~n:4 ~initial_balance:2.0 in
+  (match
+     Ledger.settle l ~session:1 ~outcome:(outcome ()) ~packets:1
+       ~signed_by_source:true ~acknowledged:true
+   with
+  | Error (Ledger.Insufficient_funds short) -> Test_util.check_float "shortfall" 1.0 short
+  | _ -> Alcotest.fail "broke source must bounce");
+  Test_util.check_float "unchanged" 2.0 (Ledger.balance l 3)
+
+let test_replay_rejected () =
+  let l = Ledger.create ~n:4 ~initial_balance:100.0 in
+  let r = outcome () in
+  let settle session =
+    Ledger.settle l ~session ~outcome:r ~packets:1 ~signed_by_source:true
+      ~acknowledged:true
+  in
+  (match settle 7 with Ok _ -> () | Error _ -> Alcotest.fail "first settles");
+  match settle 7 with
+  | Error Ledger.Duplicate_session -> ()
+  | _ -> Alcotest.fail "replayed session id must be rejected"
+
+let test_monopoly_rejected () =
+  let g = Wnet_topology.Fixtures.line ~costs:[| 1.0; 1.0; 1.0 |] in
+  let r = Unicast.run g ~src:2 ~dst:0 |> Option.get in
+  let l = Ledger.create ~n:3 ~initial_balance:1000.0 in
+  match
+    Ledger.settle l ~session:1 ~outcome:r ~packets:1 ~signed_by_source:true
+      ~acknowledged:true
+  with
+  | Error (Ledger.Insufficient_funds s) ->
+    Test_util.check_float "infinite" infinity s
+  | _ -> Alcotest.fail "monopoly price cannot settle"
+
+let test_deposit_validation () =
+  let l = Ledger.create ~n:2 ~initial_balance:0.0 in
+  Alcotest.check_raises "negative deposit"
+    (Invalid_argument "Ledger.deposit: negative amount") (fun () ->
+      Ledger.deposit l 0 (-5.0))
+
+let test_session_sim_honest () =
+  let r = Test_util.rng 140 in
+  let g = Test_util.random_ring_graph ~min_n:8 ~max_n:15 r in
+  let rep =
+    Session_sim.run r g ~root:0 ~sessions:200 ~packets_per_session:2
+      ~initial_balance:0.0
+      ~principals:(fun _ -> Session_sim.Honest)
+  in
+  Alcotest.(check bool) "mostly delivered" true (rep.Session_sim.delivered > 150);
+  Alcotest.(check int) "no free riding" 0 rep.Session_sim.rejected_free_riding;
+  Alcotest.(check bool) "income bookkeeping consistent" true
+    (Session_sim.income_matches_payments rep)
+
+let test_session_sim_free_rider () =
+  let r = Test_util.rng 141 in
+  let g = Test_util.random_ring_graph ~min_n:8 ~max_n:15 r in
+  let rep =
+    Session_sim.run r g ~root:0 ~sessions:300 ~packets_per_session:1
+      ~initial_balance:0.0
+      ~principals:(fun v -> if v = 1 then Session_sim.Free_rider else Session_sim.Honest)
+  in
+  Alcotest.(check bool) "free riding detected" true (rep.Session_sim.rejected_free_riding > 0);
+  (* the free rider's rejections moved no money *)
+  Alcotest.(check bool) "conservation" true (Session_sim.income_matches_payments rep)
+
+let test_session_sim_deadbeat () =
+  let r = Test_util.rng 142 in
+  let g = Test_util.random_ring_graph ~min_n:8 ~max_n:15 r in
+  let rep =
+    Session_sim.run r g ~root:0 ~sessions:300 ~packets_per_session:1
+      ~initial_balance:0.0
+      ~principals:(fun v -> if v = 2 then Session_sim.Deadbeat else Session_sim.Honest)
+  in
+  Alcotest.(check bool) "unfunded sessions bounce" true (rep.Session_sim.rejected_unfunded > 0)
+
+
+let prop_random_settlement_conservation =
+  Test_util.qcheck_case ~count:40 "random settlement sequences conserve money"
+    Test_util.seed_gen (fun seed ->
+      let r = Test_util.rng seed in
+      let g = Test_util.random_ring_graph ~min_n:5 ~max_n:15 r in
+      let n = Wnet_graph.Graph.n g in
+      let l = Ledger.create ~n ~initial_balance:500.0 in
+      let before = Ledger.total_in_circulation l in
+      let outcomes = Unicast.all_to_root g ~root:0 in
+      for session = 1 to 30 do
+        let src = 1 + Wnet_prng.Rng.int r (n - 1) in
+        match outcomes.(src) with
+        | None -> ()
+        | Some outcome ->
+          ignore
+            (Ledger.settle l ~session ~outcome
+               ~packets:(1 + Wnet_prng.Rng.int r 4)
+               ~signed_by_source:(Wnet_prng.Rng.bool r)
+               ~acknowledged:(Wnet_prng.Rng.bool r))
+      done;
+      Test_util.approx before (Ledger.total_in_circulation l))
+
+let prop_settlements_and_rejections_partition =
+  Test_util.qcheck_case ~count:30 "every session settles or is logged"
+    Test_util.seed_gen (fun seed ->
+      let r = Test_util.rng seed in
+      let g = Test_util.random_ring_graph ~min_n:5 ~max_n:12 r in
+      let n = Wnet_graph.Graph.n g in
+      let l = Ledger.create ~n ~initial_balance:100.0 in
+      let outcomes = Unicast.all_to_root g ~root:0 in
+      let attempts = ref 0 in
+      for session = 1 to 25 do
+        let src = 1 + Wnet_prng.Rng.int r (n - 1) in
+        match outcomes.(src) with
+        | None -> ()
+        | Some outcome ->
+          incr attempts;
+          ignore
+            (Ledger.settle l ~session ~outcome ~packets:1
+               ~signed_by_source:(Wnet_prng.Rng.bool r) ~acknowledged:true)
+      done;
+      List.length (Ledger.settlements l) + List.length (Ledger.rejections l)
+      = !attempts)
+
+let suite =
+  [
+    Alcotest.test_case "settlement moves money" `Quick test_settlement_moves_money;
+    Alcotest.test_case "money conservation" `Quick test_conservation;
+    Alcotest.test_case "free riding rejected" `Quick test_free_riding_rejected;
+    Alcotest.test_case "missing ack rejected" `Quick test_missing_ack_rejected;
+    Alcotest.test_case "insufficient funds" `Quick test_insufficient_funds;
+    Alcotest.test_case "replay rejected" `Quick test_replay_rejected;
+    Alcotest.test_case "monopoly price rejected" `Quick test_monopoly_rejected;
+    Alcotest.test_case "deposit validation" `Quick test_deposit_validation;
+    Alcotest.test_case "honest traffic settles" `Quick test_session_sim_honest;
+    Alcotest.test_case "free rider caught" `Quick test_session_sim_free_rider;
+    Alcotest.test_case "deadbeat bounces" `Quick test_session_sim_deadbeat;
+    prop_random_settlement_conservation;
+    prop_settlements_and_rejections_partition;
+  ]

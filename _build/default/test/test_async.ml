@@ -1,0 +1,128 @@
+open Wnet_dsim
+
+(* The distributed protocols must be schedule-oblivious: running them
+   under random per-message delays has to reach the same fixed point as
+   the synchronous rounds (and hence the centralized computation). *)
+
+let test_async_spt_matches_sync () =
+  let r = Test_util.rng 160 in
+  for _ = 1 to 15 do
+    let n = 5 + Wnet_prng.Rng.int r 25 in
+    let g = Wnet_topology.Gnp.connected_graph r ~n ~p:0.2 ~cost_lo:0.5 ~cost_hi:5.0 in
+    let states, stats = Spt_protocol.run_async ~rng:(Wnet_prng.Rng.split r) g ~root:0 in
+    Alcotest.(check bool) "converged" true stats.Async_engine.converged;
+    let tree = Wnet_graph.Dijkstra.node_weighted g ~source:0 in
+    Array.iteri
+      (fun v (s : Spt_protocol.node_state) ->
+        Test_util.check_float "async distance = Dijkstra"
+          (Wnet_graph.Dijkstra.dist tree v)
+          s.Spt_protocol.dist)
+      states
+  done
+
+let test_async_payment_matches_centralized () =
+  let r = Test_util.rng 161 in
+  let exercised = ref 0 in
+  for _ = 1 to 12 do
+    match
+      Wnet_topology.Gnp.biconnected_graph r ~n:(5 + Wnet_prng.Rng.int r 15) ~p:0.3
+        ~cost_lo:0.5 ~cost_hi:5.0 ~max_tries:50
+    with
+    | None -> ()
+    | Some g ->
+      incr exercised;
+      let (payments, accusations), stats =
+        Payment_protocol.run_async ~rng:(Wnet_prng.Rng.split r) g ~root:0
+      in
+      Alcotest.(check bool) "converged" true stats.Async_engine.converged;
+      Alcotest.(check (list (pair int int))) "no accusations" [] accusations;
+      let reference = Payment_protocol.centralized_reference g ~root:0 in
+      Array.iteri
+        (fun i expected ->
+          Alcotest.(check int) "table size"
+            (List.length expected)
+            (List.length payments.(i));
+          List.iter2
+            (fun (k1, p1) (k2, p2) ->
+              Alcotest.(check int) "same relay" k1 k2;
+              Alcotest.(check bool) "same payment" true
+                (Test_util.approx ~eps:1e-6 p1 p2))
+            payments.(i) expected)
+        reference
+  done;
+  Alcotest.(check bool) "exercised" true (!exercised > 5)
+
+let test_async_verified_defeats_liar () =
+  let r = Test_util.rng 162 in
+  for _ = 1 to 10 do
+    let n = 6 + Wnet_prng.Rng.int r 20 in
+    let g = Wnet_topology.Gnp.connected_graph r ~n ~p:0.25 ~cost_lo:0.5 ~cost_hi:5.0 in
+    let liar = 1 + Wnet_prng.Rng.int r (n - 1) in
+    let behaviours v =
+      if v = liar then Spt_protocol.Inflate_distance 500.0 else Spt_protocol.Honest
+    in
+    let states, stats =
+      Spt_protocol.run_async ~behaviours ~verified:true
+        ~rng:(Wnet_prng.Rng.split r) g ~root:0
+    in
+    Alcotest.(check bool) "converged" true stats.Async_engine.converged;
+    let tree = Wnet_graph.Dijkstra.node_weighted g ~source:0 in
+    Array.iteri
+      (fun v (s : Spt_protocol.node_state) ->
+        Test_util.check_float "true SPT despite async liar"
+          (Wnet_graph.Dijkstra.dist tree v)
+          s.Spt_protocol.dist)
+      states
+  done
+
+let test_async_determinism () =
+  let g =
+    Wnet_topology.Gnp.connected_graph (Test_util.rng 163) ~n:20 ~p:0.2
+      ~cost_lo:1.0 ~cost_hi:5.0
+  in
+  let run seed =
+    let states, stats = Spt_protocol.run_async ~rng:(Test_util.rng seed) g ~root:0 in
+    (Array.map (fun (s : Spt_protocol.node_state) -> s.Spt_protocol.dist) states, stats.Async_engine.deliveries)
+  in
+  let d1, n1 = run 7 and d2, n2 = run 7 in
+  Alcotest.(check (array (float 0.0))) "same distances" d1 d2;
+  Alcotest.(check int) "same delivery count" n1 n2;
+  (* different schedule, same fixed point *)
+  let d3, _ = run 8 in
+  Array.iteri (fun i x -> Test_util.check_float "schedule oblivious" x d3.(i)) d1
+
+let test_async_delay_validation () =
+  let g = Wnet_topology.Fixtures.ring ~costs:(Array.make 4 1.0) in
+  Alcotest.check_raises "bad delays"
+    (Invalid_argument "Async_engine.run: need 0 < min_delay <= max_delay")
+    (fun () ->
+      ignore
+        (Spt_protocol.run_async ~rng:(Test_util.rng 1) g ~root:0 |> ignore;
+         Async_engine.run ~min_delay:0.0 ~rng:(Test_util.rng 1) g
+           {
+             Engine.init = (fun _ -> ());
+             step = (fun ~node:_ ~round:_ ~inbox:_ s -> (s, []));
+           }))
+
+let test_async_event_cap () =
+  (* A protocol that always replies never quiesces: the cap stops it. *)
+  let spec =
+    {
+      Engine.init = (fun _ -> ());
+      step = (fun ~node:_ ~round:_ ~inbox:_ s -> (s, [ Engine.Broadcast () ]));
+    }
+  in
+  let g = Wnet_topology.Fixtures.ring ~costs:(Array.make 4 1.0) in
+  let _, stats = Async_engine.run ~max_events:500 ~rng:(Test_util.rng 2) g spec in
+  Alcotest.(check bool) "not converged" false stats.Async_engine.converged;
+  Alcotest.(check bool) "stopped promptly" true (stats.Async_engine.deliveries <= 501)
+
+let suite =
+  [
+    Alcotest.test_case "async SPT = Dijkstra" `Quick test_async_spt_matches_sync;
+    Alcotest.test_case "async payments = centralized" `Quick test_async_payment_matches_centralized;
+    Alcotest.test_case "async verified defeats liar" `Quick test_async_verified_defeats_liar;
+    Alcotest.test_case "determinism & schedule obliviousness" `Quick test_async_determinism;
+    Alcotest.test_case "delay validation" `Quick test_async_delay_validation;
+    Alcotest.test_case "event cap" `Quick test_async_event_cap;
+  ]

@@ -1,0 +1,100 @@
+open Wnet_core
+open Wnet_graph
+
+(* A topology where the boost attack plainly exists: LCP relay 2's pivot
+   path runs through node 4, which is 2's neighbour and off the LCP. *)
+let boostable () =
+  Graph.create
+    ~costs:[| 1.0; 1.0; 2.0; 9.0; 3.0; 20.0 |]
+    ~edges:[ (0, 2); (2, 1); (0, 4); (4, 1); (2, 4); (0, 3); (3, 1); (0, 5); (5, 1) ]
+
+let test_boost_attack_found_on_vcg () =
+  let g = boostable () in
+  match Collusion.find_neighbour_boost g ~src:0 ~dst:1 ~boost:4.0 with
+  | None -> Alcotest.fail "attack must exist"
+  | Some b ->
+    Alcotest.(check int) "relay" 2 b.Collusion.relay;
+    Alcotest.(check int) "accomplice" 4 b.Collusion.accomplice;
+    Alcotest.(check bool) "strict gain" true
+      (b.Collusion.boosted_pair_utility > b.Collusion.honest_pair_utility)
+
+let test_boost_attack_gain_value () =
+  (* By hand: LCP = 0-2-1 (cost 2), pivot for 2 = 0-4-1 (cost 3), payment
+     p_2 = 2 + 1 = 3, pair utility 1.  Boosting c_4 from 3 to 7 moves the
+     pivot to... still 0-4-1 at 7 (vs arm 3 at 9): p_2 = 2 + 5 = 7, pair
+     utility 5. *)
+  let g = boostable () in
+  let honest = Unicast.run g ~src:0 ~dst:1 |> Option.get in
+  Test_util.check_float "honest payment" 3.0 (Unicast.payment_to honest 2);
+  let boosted = Unicast.run (Graph.with_cost g 4 7.0) ~src:0 ~dst:1 |> Option.get in
+  Test_util.check_float "boosted payment" 7.0 (Unicast.payment_to boosted 2)
+
+let test_boost_attack_dead_under_neighbourhood_scheme () =
+  let g = boostable () in
+  let truth = Graph.costs g in
+  let honest =
+    Payment_scheme.run Payment_scheme.Neighbourhood g ~src:0 ~dst:1 |> Option.get
+  in
+  let boosted =
+    Payment_scheme.run Payment_scheme.Neighbourhood (Graph.with_cost g 4 7.0)
+      ~src:0 ~dst:1 |> Option.get
+  in
+  let pair r =
+    Payment_scheme.utility r ~truth 2 +. Payment_scheme.utility r ~truth 4
+  in
+  Alcotest.(check bool) "no gain under p-tilde" true
+    (pair boosted <= pair honest +. 1e-9)
+
+let test_no_boost_when_pivot_disjoint () =
+  (* Theta with far-apart arms: no LCP relay has an off-path neighbour on
+     its pivot path. *)
+  let g =
+    Wnet_topology.Fixtures.theta ~spine_costs:[| 1.0; 1.0 |]
+      ~arm_costs:[| [| 2.0 |]; [| 3.0 |]; [| 9.0 |] |]
+  in
+  Alcotest.(check bool) "no attack" true
+    (Collusion.find_neighbour_boost g ~src:0 ~dst:1 ~boost:5.0 = None)
+
+let test_resale_requires_gap () =
+  (* No resale in a clique: everyone's payment to the AP is one hop, 0. *)
+  let g = Wnet_topology.Fixtures.complete ~costs:(Array.make 6 2.0) in
+  let batch = Unicast.all_to_root g ~root:0 in
+  Alcotest.(check int) "no opportunities" 0
+    (List.length
+       (Collusion.resale_opportunities g ~root:0 ~payments:(fun v -> batch.(v))))
+
+let test_resale_sorted_by_saving () =
+  let r = Test_util.rng 70 in
+  for _ = 1 to 10 do
+    let g = Test_util.random_ring_graph ~max_n:25 r in
+    let batch = Unicast.all_to_root g ~root:0 in
+    let ops = Collusion.resale_opportunities g ~root:0 ~payments:(fun v -> batch.(v)) in
+    let rec sorted = function
+      | (a : Collusion.resale) :: (b :: _ as rest) ->
+        a.Collusion.saving >= b.Collusion.saving && sorted rest
+      | _ -> true
+    in
+    Alcotest.(check bool) "descending savings" true (sorted ops);
+    List.iter
+      (fun (o : Collusion.resale) ->
+        Alcotest.(check bool) "positive saving" true (o.Collusion.saving > 0.0);
+        Alcotest.(check bool) "proxy is a neighbour" true
+          (Graph.mem_edge g o.Collusion.source o.Collusion.proxy))
+      ops
+  done
+
+let test_boost_validation () =
+  Alcotest.check_raises "boost must be positive"
+    (Invalid_argument "Collusion.find_neighbour_boost: boost <= 0") (fun () ->
+      ignore (Collusion.find_neighbour_boost (boostable ()) ~src:0 ~dst:1 ~boost:0.0))
+
+let suite =
+  [
+    Alcotest.test_case "boost attack found on VCG" `Quick test_boost_attack_found_on_vcg;
+    Alcotest.test_case "boost attack numbers by hand" `Quick test_boost_attack_gain_value;
+    Alcotest.test_case "boost dead under p-tilde" `Quick test_boost_attack_dead_under_neighbourhood_scheme;
+    Alcotest.test_case "no boost without contact" `Quick test_no_boost_when_pivot_disjoint;
+    Alcotest.test_case "no resale in a clique" `Quick test_resale_requires_gap;
+    Alcotest.test_case "resale list invariants" `Quick test_resale_sorted_by_saving;
+    Alcotest.test_case "boost validation" `Quick test_boost_validation;
+  ]

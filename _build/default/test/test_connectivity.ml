@@ -1,0 +1,149 @@
+open Wnet_graph
+
+let test_connected () =
+  let g = Wnet_topology.Fixtures.ring ~costs:(Array.make 5 1.0) in
+  Alcotest.(check bool) "ring connected" true (Connectivity.is_connected g);
+  let g2 = Graph.create ~costs:(Array.make 4 1.0) ~edges:[ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "two components" false (Connectivity.is_connected g2)
+
+let test_component_of () =
+  let g = Graph.create ~costs:(Array.make 5 1.0) ~edges:[ (0, 1); (1, 2) ] in
+  let c = Connectivity.component_of g 0 in
+  Alcotest.(check (array bool)) "component mask"
+    [| true; true; true; false; false |] c
+
+let test_connected_between () =
+  let g = Graph.create ~costs:(Array.make 4 1.0) ~edges:[ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "same side" true (Connectivity.connected_between g 0 1);
+  Alcotest.(check bool) "across" false (Connectivity.connected_between g 1 2);
+  Alcotest.(check bool) "self" true (Connectivity.connected_between g 2 2)
+
+let test_articulation_line () =
+  let g = Wnet_topology.Fixtures.line ~costs:(Array.make 5 1.0) in
+  Alcotest.(check (list int)) "all interior nodes" [ 1; 2; 3 ]
+    (Connectivity.articulation_points g)
+
+let test_articulation_ring () =
+  let g = Wnet_topology.Fixtures.ring ~costs:(Array.make 6 1.0) in
+  Alcotest.(check (list int)) "none" [] (Connectivity.articulation_points g)
+
+let test_articulation_bowtie () =
+  (* Two triangles sharing node 2: the shared node is the unique cut. *)
+  let g =
+    Graph.create ~costs:(Array.make 5 1.0)
+      ~edges:[ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 2) ]
+  in
+  Alcotest.(check (list int)) "waist" [ 2 ] (Connectivity.articulation_points g)
+
+let test_biconnected () =
+  Alcotest.(check bool) "ring" true
+    (Connectivity.is_biconnected (Wnet_topology.Fixtures.ring ~costs:(Array.make 4 1.0)));
+  Alcotest.(check bool) "line" false
+    (Connectivity.is_biconnected (Wnet_topology.Fixtures.line ~costs:(Array.make 4 1.0)));
+  Alcotest.(check bool) "too small" false
+    (Connectivity.is_biconnected
+       (Graph.create ~costs:(Array.make 2 1.0) ~edges:[ (0, 1) ]))
+
+let test_articulation_matches_bruteforce () =
+  let r = Test_util.rng 31 in
+  for _ = 1 to 40 do
+    let g = Test_util.random_sparse_graph ~max_n:20 r in
+    let n = Graph.n g in
+    let components g =
+      let seen = Array.make n false in
+      let count = ref 0 in
+      for v = 0 to n - 1 do
+        if not seen.(v) then begin
+          incr count;
+          let mask = Connectivity.component_of g v in
+          Array.iteri (fun i b -> if b then seen.(i) <- true) mask
+        end
+      done;
+      !count
+    in
+    let base = components g in
+    let brute =
+      List.filter
+        (fun v ->
+          (* removal increases component count among the remaining nodes;
+             isolate v and discount it as its own component *)
+          let without = Graph.remove_node g v in
+          let c = components without - 1 in
+          c > base - if Graph.degree g v = 0 then 1 else 0)
+        (List.init n Fun.id)
+    in
+    Alcotest.(check (list int)) "matches brute force" brute
+      (Connectivity.articulation_points g)
+  done
+
+let test_connected_without () =
+  let g = Wnet_topology.Fixtures.ring ~costs:(Array.make 6 1.0) in
+  Alcotest.(check bool) "one removal survives" true
+    (Connectivity.connected_without g ~removed:[ 3 ] 0 1);
+  Alcotest.(check bool) "two removals cut" false
+    (Connectivity.connected_without g ~removed:[ 1; 5 ] 0 3);
+  Alcotest.(check bool) "removing an endpoint" false
+    (Connectivity.connected_without g ~removed:[ 0 ] 0 3)
+
+let test_neighbourhood_resilient () =
+  let k6 = Wnet_topology.Fixtures.complete ~costs:(Array.make 6 1.0) in
+  Alcotest.(check bool) "complete graph resilient" true
+    (Connectivity.neighbourhood_resilient k6 ~src:0 ~dst:1);
+  (* A ring survives: each closed neighbourhood is an arc, and the other
+     side of the ring still connects antipodal endpoints. *)
+  let ring = Wnet_topology.Fixtures.ring ~costs:(Array.make 6 1.0) in
+  Alcotest.(check bool) "ring resilient" true
+    (Connectivity.neighbourhood_resilient ring ~src:0 ~dst:3);
+  (* A line dies: any interior closed neighbourhood separates the ends. *)
+  let line = Wnet_topology.Fixtures.line ~costs:(Array.make 4 1.0) in
+  Alcotest.(check bool) "line not resilient" false
+    (Connectivity.neighbourhood_resilient line ~src:0 ~dst:3)
+
+
+let test_k_hop_neighbourhood () =
+  let g = Wnet_topology.Fixtures.line ~costs:(Array.make 6 1.0) in
+  Alcotest.(check (list int)) "0 hops = self" [ 2 ]
+    (Connectivity.k_hop_neighbourhood g 2 0);
+  Alcotest.(check (list int)) "1 hop" [ 1; 2; 3 ]
+    (Connectivity.k_hop_neighbourhood g 2 1);
+  Alcotest.(check (list int)) "2 hops" [ 0; 1; 2; 3; 4 ]
+    (Connectivity.k_hop_neighbourhood g 2 2);
+  Alcotest.(check (list int)) "radius saturates" [ 0; 1; 2; 3; 4; 5 ]
+    (Connectivity.k_hop_neighbourhood g 2 100)
+
+let test_k_hop_scheme () =
+  (* 2-hop collusion sets through the generalized payment scheme *)
+  let g =
+    Wnet_topology.Fixtures.theta ~spine_costs:[| 1.0; 1.0 |]
+      ~arm_costs:[| [| 2.0; 2.0 |]; [| 7.0 |]; [| 20.0 |] |]
+  in
+  let q k = List.filter (fun v -> v <> k) (Connectivity.k_hop_neighbourhood g k 2) in
+  match
+    Wnet_core.Payment_scheme.run (Wnet_core.Payment_scheme.Collusion_sets q) g
+      ~src:0 ~dst:1
+  with
+  | None -> Alcotest.fail "connected"
+  | Some r ->
+    (* LCP is arm 1 (cost 4).  Pricing relay 2 removes its whole 2-hop
+       ball, which kills arm 1 AND reaches across the terminals into the
+       other arms' first relays: both other arms' relays (4 and 5) are
+       within 2 hops of node 2 via terminal 0.  Removal set = {2,3,4,5}
+       minus endpoints -> pivot infinite. *)
+    Test_util.check_float "2-hop ball kills every arm" infinity
+      (Wnet_core.Payment_scheme.payment_to r 2)
+
+let suite =
+  [
+    Alcotest.test_case "connectivity" `Quick test_connected;
+    Alcotest.test_case "component_of" `Quick test_component_of;
+    Alcotest.test_case "connected_between" `Quick test_connected_between;
+    Alcotest.test_case "articulation: line" `Quick test_articulation_line;
+    Alcotest.test_case "articulation: ring" `Quick test_articulation_ring;
+    Alcotest.test_case "articulation: bowtie" `Quick test_articulation_bowtie;
+    Alcotest.test_case "biconnectivity" `Quick test_biconnected;
+    Alcotest.test_case "articulation vs brute force" `Quick test_articulation_matches_bruteforce;
+    Alcotest.test_case "connected_without" `Quick test_connected_without;
+    Alcotest.test_case "neighbourhood resilience" `Quick test_neighbourhood_resilient;
+    Alcotest.test_case "k-hop neighbourhood" `Quick test_k_hop_neighbourhood;
+    Alcotest.test_case "k-hop collusion sets" `Quick test_k_hop_scheme;
+  ]

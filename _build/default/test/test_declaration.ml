@@ -1,0 +1,85 @@
+open Wnet_dsim
+
+let test_flood_completes () =
+  let r = Test_util.rng 180 in
+  for _ = 1 to 15 do
+    let n = 3 + Wnet_prng.Rng.int r 30 in
+    let g = Wnet_topology.Gnp.connected_graph r ~n ~p:0.15 ~cost_lo:1.0 ~cost_hi:9.0 in
+    let states, stats = Declaration.run g in
+    Alcotest.(check bool) "converged" true stats.Engine.converged;
+    match Declaration.consensus_profile states with
+    | None -> Alcotest.fail "must reach consensus on a connected graph"
+    | Some profile ->
+      Array.iteri
+        (fun v c -> Test_util.check_float "declared = graph cost" (Wnet_graph.Graph.cost g v) c)
+        profile
+  done
+
+let test_flood_respects_declared_fn () =
+  let g = Wnet_topology.Fixtures.ring ~costs:(Array.make 5 1.0) in
+  let states, _ = Declaration.run ~declared:(fun v -> float_of_int v *. 2.0) g in
+  match Declaration.consensus_profile states with
+  | None -> Alcotest.fail "consensus"
+  | Some p ->
+    Test_util.check_float "lie distributed verbatim" 6.0 p.(3)
+
+let test_flood_rounds_and_volume () =
+  let n = 12 in
+  let g = Wnet_topology.Fixtures.ring ~costs:(Array.make n 1.0) in
+  let _, stats = Declaration.run g in
+  (* diameter of a 12-ring is 6; one extra round absorbs the last relays *)
+  Alcotest.(check bool) "rounds about the diameter" true
+    (stats.Engine.rounds >= 6 && stats.Engine.rounds <= 8);
+  (* every node re-broadcasts each origin at most once *)
+  Alcotest.(check bool) "broadcast volume bounded by n^2" true
+    (stats.Engine.broadcasts <= n * n)
+
+let test_disconnected_no_consensus () =
+  let g =
+    Wnet_graph.Graph.create ~costs:[| 1.0; 2.0; 3.0; 4.0 |]
+      ~edges:[ (0, 1); (2, 3) ]
+  in
+  let states, _ = Declaration.run g in
+  Alcotest.(check bool) "incomplete views" true
+    (not (Array.for_all (fun (s : Declaration.node_state) -> s.Declaration.complete) states));
+  Alcotest.(check bool) "no consensus" true (Declaration.consensus_profile states = None)
+
+let test_async_flood () =
+  let g = Wnet_topology.Fixtures.complete ~costs:(Array.make 6 2.0) in
+  let states, stats = Declaration.run g in
+  Alcotest.(check bool) "complete" true
+    (Array.for_all (fun (s : Declaration.node_state) -> s.Declaration.complete) states);
+  Alcotest.(check bool) "clique finishes fast" true (stats.Engine.rounds <= 3)
+
+let test_histogram () =
+  let h = Wnet_stats.Summary.histogram [| 0.0; 0.5; 1.0; 1.0; 2.0 |] ~bins:2 in
+  match h with
+  | [ (lo1, _, c1); (_, hi2, c2) ] ->
+    Test_util.check_float "lo" 0.0 lo1;
+    Test_util.check_float "hi" 2.0 hi2;
+    Alcotest.(check int) "low bucket" 2 c1;
+    Alcotest.(check int) "high bucket (closed top)" 3 c2
+  | _ -> Alcotest.fail "two buckets"
+
+let test_histogram_drops_nonfinite () =
+  let h = Wnet_stats.Summary.histogram [| 1.0; infinity; nan; 3.0 |] ~bins:1 in
+  match h with
+  | [ (_, _, c) ] -> Alcotest.(check int) "finite only" 2 c
+  | _ -> Alcotest.fail "one bucket"
+
+let test_histogram_validation () =
+  Alcotest.check_raises "no finite"
+    (Invalid_argument "Summary.histogram: no finite values") (fun () ->
+      ignore (Wnet_stats.Summary.histogram [| nan |] ~bins:2))
+
+let suite =
+  [
+    Alcotest.test_case "flood completes with consensus" `Quick test_flood_completes;
+    Alcotest.test_case "declared function respected" `Quick test_flood_respects_declared_fn;
+    Alcotest.test_case "rounds and volume" `Quick test_flood_rounds_and_volume;
+    Alcotest.test_case "disconnected: no consensus" `Quick test_disconnected_no_consensus;
+    Alcotest.test_case "clique flood" `Quick test_async_flood;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram non-finite" `Quick test_histogram_drops_nonfinite;
+    Alcotest.test_case "histogram validation" `Quick test_histogram_validation;
+  ]

@@ -1,0 +1,95 @@
+open Wnet_graph
+
+let small () =
+  Digraph.create ~n:4
+    ~links:[ (0, 1, 1.0); (1, 2, 2.0); (2, 3, 3.0); (3, 0, 4.0); (1, 0, 5.0) ]
+
+let test_sizes () =
+  let g = small () in
+  Alcotest.(check int) "n" 4 (Digraph.n g);
+  Alcotest.(check int) "m" 5 (Digraph.m g)
+
+let test_weight_lookup () =
+  let g = small () in
+  Test_util.check_float "forward" 1.0 (Digraph.weight g 0 1);
+  Test_util.check_float "reverse direction distinct" 5.0 (Digraph.weight g 1 0);
+  Test_util.check_float "absent" infinity (Digraph.weight g 0 2)
+
+let test_parallel_links_keep_cheapest () =
+  let g = Digraph.create ~n:2 ~links:[ (0, 1, 5.0); (0, 1, 2.0); (0, 1, 9.0) ] in
+  Alcotest.(check int) "one link" 1 (Digraph.m g);
+  Test_util.check_float "cheapest" 2.0 (Digraph.weight g 0 1)
+
+let test_infinite_links_dropped () =
+  let g = Digraph.create ~n:2 ~links:[ (0, 1, infinity) ] in
+  Alcotest.(check int) "dropped" 0 (Digraph.m g)
+
+let test_validation () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Digraph.create: self-loop")
+    (fun () -> ignore (Digraph.create ~n:1 ~links:[ (0, 0, 1.0) ]));
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Digraph.create: weight must be non-negative") (fun () ->
+      ignore (Digraph.create ~n:2 ~links:[ (0, 1, -1.0) ]))
+
+let test_reverse () =
+  let g = small () in
+  let r = Digraph.reverse g in
+  Alcotest.(check int) "same m" (Digraph.m g) (Digraph.m r);
+  Test_util.check_float "flipped" 1.0 (Digraph.weight r 1 0);
+  Test_util.check_float "flipped 2" 3.0 (Digraph.weight r 3 2);
+  (* reversing twice is the identity on the link set *)
+  Alcotest.(check (list (triple int int (float 0.0)))) "involution"
+    (Digraph.links g)
+    (Digraph.links (Digraph.reverse r))
+
+let test_silence_node () =
+  let g = small () in
+  let s = Digraph.silence_node g 1 in
+  Test_util.check_float "out-links gone" infinity (Digraph.weight s 1 2);
+  Test_util.check_float "in-links kept" 1.0 (Digraph.weight s 0 1);
+  Alcotest.(check int) "m reduced by out-degree" 3 (Digraph.m s)
+
+let test_remove_node () =
+  let g = small () in
+  let s = Digraph.remove_node g 1 in
+  Test_util.check_float "out gone" infinity (Digraph.weight s 1 2);
+  Test_util.check_float "in gone" infinity (Digraph.weight s 0 1);
+  Alcotest.(check int) "m" 2 (Digraph.m s)
+
+let test_remove_links_to () =
+  let g = small () in
+  let s = Digraph.remove_links_to g 0 in
+  Test_util.check_float "3->0 gone" infinity (Digraph.weight s 3 0);
+  Test_util.check_float "1->0 gone" infinity (Digraph.weight s 1 0);
+  Test_util.check_float "0->1 kept" 1.0 (Digraph.weight s 0 1);
+  Alcotest.(check int) "m" 3 (Digraph.m s)
+
+let test_silence_reverse_duality () =
+  (* silence in g == remove_links_to in reverse g: the identity the batch
+     payment computation relies on. *)
+  let g = small () in
+  let a = Digraph.reverse (Digraph.silence_node g 1) in
+  let b = Digraph.remove_links_to (Digraph.reverse g) 1 in
+  Alcotest.(check (list (triple int int (float 0.0)))) "duality"
+    (Digraph.links a) (Digraph.links b)
+
+let test_out_links () =
+  let g = small () in
+  let l = Digraph.out_links g 1 in
+  Alcotest.(check int) "out degree" 2 (Array.length l);
+  Alcotest.(check bool) "sorted by target" true (fst l.(0) < fst l.(1))
+
+let suite =
+  [
+    Alcotest.test_case "sizes" `Quick test_sizes;
+    Alcotest.test_case "weight lookup" `Quick test_weight_lookup;
+    Alcotest.test_case "parallel links keep cheapest" `Quick test_parallel_links_keep_cheapest;
+    Alcotest.test_case "infinite links dropped" `Quick test_infinite_links_dropped;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "reverse" `Quick test_reverse;
+    Alcotest.test_case "silence_node" `Quick test_silence_node;
+    Alcotest.test_case "remove_node" `Quick test_remove_node;
+    Alcotest.test_case "remove_links_to" `Quick test_remove_links_to;
+    Alcotest.test_case "silence/reverse duality" `Quick test_silence_reverse_duality;
+    Alcotest.test_case "out_links sorted" `Quick test_out_links;
+  ]

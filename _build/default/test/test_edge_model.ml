@@ -1,0 +1,182 @@
+open Wnet_graph
+open Wnet_core
+
+(* Edge-agent (Nisan-Ronen) model: Egraph, Edge_avoid, Edge_unicast. *)
+
+let diamond () =
+  (* 0-1 (w 1), 1-3 (w 1), 0-2 (w 2), 2-3 (w 2): shortest 0->3 is via 1
+     with length 2; avoiding either cheap edge costs 4. *)
+  Egraph.create ~n:4
+    ~edges:[ (0, 1, 1.0); (1, 3, 1.0); (0, 2, 2.0); (2, 3, 2.0) ]
+
+let test_egraph_basics () =
+  let g = diamond () in
+  Alcotest.(check int) "n" 4 (Egraph.n g);
+  Alcotest.(check int) "m" 4 (Egraph.m g);
+  (match Egraph.edge_between g 1 0 with
+  | Some e ->
+    Alcotest.(check (pair int int)) "endpoints ordered" (0, 1) (Egraph.endpoints g e);
+    Test_util.check_float "weight" 1.0 (Egraph.weight g e)
+  | None -> Alcotest.fail "edge exists");
+  Alcotest.(check (option int)) "absent edge" None (Egraph.edge_between g 0 3)
+
+let test_egraph_parallel_cheapest () =
+  let g = Egraph.create ~n:2 ~edges:[ (0, 1, 5.0); (1, 0, 2.0) ] in
+  Alcotest.(check int) "collapsed" 1 (Egraph.m g);
+  Test_util.check_float "cheapest kept" 2.0 (Egraph.weight g 0)
+
+let test_egraph_with_weights () =
+  let g = diamond () in
+  let g' = Egraph.with_weights g [| 9.0; 9.0; 9.0; 9.0 |] in
+  Test_util.check_float "updated" 9.0 (Egraph.weight g' 0);
+  Test_util.check_float "original intact" 1.0 (Egraph.weight g 0);
+  Alcotest.check_raises "length check"
+    (Invalid_argument "Egraph.with_weights: length mismatch") (fun () ->
+      ignore (Egraph.with_weights g [| 1.0 |]))
+
+let test_egraph_validation () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Egraph.create: self-loop")
+    (fun () -> ignore (Egraph.create ~n:2 ~edges:[ (1, 1, 1.0) ]));
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Egraph.create: weight must be non-negative") (fun () ->
+      ignore (Egraph.create ~n:2 ~edges:[ (0, 1, -1.0) ]))
+
+let test_shortest_tree () =
+  let g = diamond () in
+  let t = Edge_avoid.shortest_tree g ~source:0 in
+  Test_util.check_float "d(3)" 2.0 (Dijkstra.dist t 3);
+  Test_util.check_float "d(2)" 2.0 (Dijkstra.dist t 2)
+
+let test_replacement_by_hand () =
+  let g = diamond () in
+  match Edge_avoid.replacement_costs_fast g ~src:0 ~dst:3 with
+  | None -> Alcotest.fail "connected"
+  | Some r ->
+    Alcotest.(check (array int)) "path" [| 0; 1; 3 |] r.Edge_avoid.path_nodes;
+    Test_util.check_float "replacement of first edge" 4.0 r.Edge_avoid.replacement.(0);
+    Test_util.check_float "replacement of second edge" 4.0 r.Edge_avoid.replacement.(1)
+
+let test_bridge_infinite () =
+  let g = Egraph.create ~n:3 ~edges:[ (0, 1, 1.0); (1, 2, 1.0) ] in
+  match Edge_avoid.replacement_costs_fast g ~src:0 ~dst:2 with
+  | None -> Alcotest.fail "connected"
+  | Some r ->
+    Test_util.check_float "bridge" infinity r.Edge_avoid.replacement.(0);
+    Test_util.check_float "bridge" infinity r.Edge_avoid.replacement.(1)
+
+let random_egraph r =
+  let n = 4 + Wnet_prng.Rng.int r 30 in
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (v, Wnet_prng.Rng.int r v, 0.1 +. Wnet_prng.Rng.float r 5.0) :: !edges
+  done;
+  for _ = 1 to Wnet_prng.Rng.int r (2 * n) do
+    let u = Wnet_prng.Rng.int r n and v = Wnet_prng.Rng.int r n in
+    if u <> v then edges := (u, v, 0.1 +. Wnet_prng.Rng.float r 5.0) :: !edges
+  done;
+  (n, Egraph.create ~n ~edges:!edges)
+
+let prop_fast_matches_naive =
+  Test_util.qcheck_case ~count:150 "edge fast = edge naive" Test_util.seed_gen
+    (fun seed ->
+      let r = Test_util.rng seed in
+      let n, g = random_egraph r in
+      let src = Wnet_prng.Rng.int r n in
+      let dst = (src + 1 + Wnet_prng.Rng.int r (n - 1)) mod n in
+      match
+        ( Edge_avoid.replacement_costs_naive g ~src ~dst,
+          Edge_avoid.replacement_costs_fast g ~src ~dst )
+      with
+      | None, None -> true
+      | Some a, Some b ->
+        a.Edge_avoid.path_edges = b.Edge_avoid.path_edges
+        && Array.for_all2 Test_util.approx a.Edge_avoid.replacement
+             b.Edge_avoid.replacement
+      | _ -> false)
+
+let test_payment_by_hand () =
+  let g = diamond () in
+  match Edge_unicast.run g ~src:0 ~dst:3 with
+  | None -> Alcotest.fail "connected"
+  | Some r ->
+    (* each cheap edge: 4 - (2 - 1) = 3 *)
+    let e01 = Option.get (Egraph.edge_between g 0 1) in
+    let e13 = Option.get (Egraph.edge_between g 1 3) in
+    Test_util.check_float "payment e01" 3.0 (Edge_unicast.payment_to_edge r e01);
+    Test_util.check_float "payment e13" 3.0 (Edge_unicast.payment_to_edge r e13);
+    Test_util.check_float "total" 6.0 (Edge_unicast.total_payment r);
+    let truth = Egraph.weights g in
+    Test_util.check_float "edge utility" 2.0 (Edge_unicast.utility r ~truth e01)
+
+let test_edge_payment_at_least_cost () =
+  let r = Test_util.rng 170 in
+  for _ = 1 to 20 do
+    let n, g = random_egraph r in
+    let src = Wnet_prng.Rng.int r n in
+    let dst = (src + 1 + Wnet_prng.Rng.int r (n - 1)) mod n in
+    match Edge_unicast.run g ~src ~dst with
+    | None -> ()
+    | Some res ->
+      Array.iter
+        (fun e ->
+          Alcotest.(check bool) "p_e >= w_e" true
+            (Edge_unicast.payment_to_edge res e >= Egraph.weight g e -. 1e-9))
+        res.Edge_unicast.path_edges
+  done
+
+let test_edge_mechanism_ic () =
+  let r = Test_util.rng 171 in
+  for _ = 1 to 6 do
+    let n, g = random_egraph r in
+    let src = Wnet_prng.Rng.int r n in
+    let dst = (src + 1 + Wnet_prng.Rng.int r (n - 1)) mod n in
+    let m = Edge_unicast.mechanism g ~src ~dst in
+    let v =
+      Wnet_mech.Properties.random_ic_violations (Wnet_prng.Rng.split r) m
+        ~truth:(Egraph.weights g) ~trials:50 ~lie_bound:30.0
+    in
+    Alcotest.(check int) "edge agents cannot gain" 0 (List.length v)
+  done
+
+let test_fast_naive_payment_agree () =
+  let r = Test_util.rng 172 in
+  for _ = 1 to 15 do
+    let n, g = random_egraph r in
+    let src = Wnet_prng.Rng.int r n in
+    let dst = (src + 1 + Wnet_prng.Rng.int r (n - 1)) mod n in
+    match
+      ( Edge_unicast.run ~algo:Edge_unicast.Fast g ~src ~dst,
+        Edge_unicast.run ~algo:Edge_unicast.Naive g ~src ~dst )
+    with
+    | Some a, Some b ->
+      Alcotest.(check bool) "payments agree" true
+        (Array.for_all2 Test_util.approx a.Edge_unicast.payments
+           b.Edge_unicast.payments)
+    | None, None -> ()
+    | _ -> Alcotest.fail "mismatch"
+  done
+
+let test_agent_model_experiment () =
+  let rows = Wnet_experiments.Agent_model_exp.sweep ~ns:[ 50 ] ~instances:2 ~seed:30 () in
+  match rows with
+  | [ r ] ->
+    Alcotest.(check bool) "node IOR >= 1" true (r.Wnet_experiments.Agent_model_exp.node_ior >= 1.0);
+    Alcotest.(check bool) "edge IOR >= 1" true (r.Wnet_experiments.Agent_model_exp.edge_ior >= 1.0)
+  | _ -> Alcotest.fail "one row"
+
+let suite =
+  [
+    Alcotest.test_case "egraph basics" `Quick test_egraph_basics;
+    Alcotest.test_case "parallel edges keep cheapest" `Quick test_egraph_parallel_cheapest;
+    Alcotest.test_case "with_weights" `Quick test_egraph_with_weights;
+    Alcotest.test_case "egraph validation" `Quick test_egraph_validation;
+    Alcotest.test_case "edge-weighted Dijkstra" `Quick test_shortest_tree;
+    Alcotest.test_case "replacement by hand" `Quick test_replacement_by_hand;
+    Alcotest.test_case "bridges priced infinite" `Quick test_bridge_infinite;
+    prop_fast_matches_naive;
+    Alcotest.test_case "edge payments by hand" `Quick test_payment_by_hand;
+    Alcotest.test_case "edge payment >= cost" `Quick test_edge_payment_at_least_cost;
+    Alcotest.test_case "edge mechanism IC" `Quick test_edge_mechanism_ic;
+    Alcotest.test_case "fast/naive payments agree" `Quick test_fast_naive_payment_agree;
+    Alcotest.test_case "agent model experiment" `Quick test_agent_model_experiment;
+  ]

@@ -1,0 +1,107 @@
+open Wnet_dsim
+
+let ring n = Wnet_topology.Fixtures.ring ~costs:(Array.make n 1.0)
+
+(* Flood protocol: node 0 emits a token at round 0; everyone forwards the
+   first time they hear it.  All nodes must end marked, in diameter
+   rounds. *)
+let flood_spec =
+  {
+    Engine.init = (fun v -> v = 0);
+    step =
+      (fun ~node:_ ~round:_ ~inbox state ->
+        if state then (state, if inbox = [] then [ Engine.Broadcast () ] else [])
+        else if inbox <> [] then (true, [ Engine.Broadcast () ])
+        else (state, []));
+  }
+
+let test_flood_reaches_everyone () =
+  let g = ring 10 in
+  let states, stats = Engine.run g flood_spec in
+  Alcotest.(check (array bool)) "all marked" (Array.make 10 true) states;
+  Alcotest.(check bool) "converged" true stats.Engine.converged;
+  (* diameter rounds to inform everyone, plus one final round in which
+     the last broadcasts are delivered and absorbed *)
+  Alcotest.(check int) "diameter + 1 rounds" 6 stats.Engine.rounds
+
+let test_flood_message_count () =
+  let g = ring 6 in
+  let _, stats = Engine.run g flood_spec in
+  (* each node broadcasts exactly once *)
+  Alcotest.(check int) "one broadcast per node" 6 stats.Engine.broadcasts;
+  Alcotest.(check int) "2 deliveries per broadcast" 12 stats.Engine.deliveries
+
+let test_direct_messages () =
+  (* Node 0 sends a direct message to neighbour 1 only. *)
+  let spec =
+    {
+      Engine.init = (fun _ -> 0);
+      step =
+        (fun ~node ~round ~inbox state ->
+          if node = 0 && round = 0 then (state, [ Engine.Direct (1, ()) ])
+          else (state + List.length inbox, []));
+    }
+  in
+  let g = ring 4 in
+  let states, stats = Engine.run g spec in
+  Alcotest.(check int) "only node 1 got it" 1 states.(1);
+  Alcotest.(check int) "node 3 got nothing" 0 states.(3);
+  Alcotest.(check int) "one direct" 1 stats.Engine.directs
+
+let test_direct_to_non_neighbour_rejected () =
+  let spec =
+    {
+      Engine.init = (fun _ -> ());
+      step =
+        (fun ~node ~round ~inbox:_ state ->
+          if node = 0 && round = 0 then (state, [ Engine.Direct (2, ()) ])
+          else (state, []));
+    }
+  in
+  Alcotest.check_raises "non-neighbour"
+    (Invalid_argument "Engine: direct message to a non-neighbour") (fun () ->
+      ignore (Engine.run (ring 4) spec))
+
+let test_max_rounds_cutoff () =
+  (* A protocol that never quiets down must be stopped by max_rounds. *)
+  let chatty =
+    {
+      Engine.init = (fun _ -> ());
+      step = (fun ~node:_ ~round:_ ~inbox:_ state -> (state, [ Engine.Broadcast () ]));
+    }
+  in
+  let _, stats = Engine.run ~max_rounds:7 (ring 4) chatty in
+  Alcotest.(check int) "stopped at cutoff" 7 stats.Engine.rounds;
+  Alcotest.(check bool) "not converged" false stats.Engine.converged
+
+let test_inbox_pairs_sender () =
+  let got = ref [] in
+  let spec =
+    {
+      Engine.init = (fun _ -> ());
+      step =
+        (fun ~node ~round ~inbox state ->
+          if round = 0 then (state, [ Engine.Broadcast node ])
+          else begin
+            if node = 0 then
+              got := List.map (fun (s, p) -> (s, p)) inbox @ !got;
+            (state, [])
+          end);
+    }
+  in
+  ignore (Engine.run (ring 4) spec);
+  let senders = List.sort compare (List.map fst !got) in
+  Alcotest.(check (list int)) "heard both neighbours" [ 1; 3 ] senders;
+  List.iter
+    (fun (s, p) -> Alcotest.(check int) "payload = sender id" s p)
+    !got
+
+let suite =
+  [
+    Alcotest.test_case "flood reaches everyone" `Quick test_flood_reaches_everyone;
+    Alcotest.test_case "message accounting" `Quick test_flood_message_count;
+    Alcotest.test_case "direct channel" `Quick test_direct_messages;
+    Alcotest.test_case "direct to non-neighbour rejected" `Quick test_direct_to_non_neighbour_rejected;
+    Alcotest.test_case "max-rounds cutoff" `Quick test_max_rounds_cutoff;
+    Alcotest.test_case "inbox pairs sender" `Quick test_inbox_pairs_sender;
+  ]

@@ -1,0 +1,129 @@
+open Wnet_experiments
+
+(* Small-scale end-to-end runs of every experiment harness: shapes and
+   invariants, not the paper-scale numbers (those go to EXPERIMENTS.md). *)
+
+let test_fig3_udg_shape () =
+  let pts =
+    Fig3.overpayment_sweep ~instances:2 ~ns:[ 100; 200 ] ~seed:1
+      (Fig3.Udg { kappa = 2.0 })
+  in
+  Alcotest.(check int) "two points" 2 (List.length pts);
+  List.iter
+    (fun (p : Fig3.point) ->
+      let s = p.Fig3.study in
+      Alcotest.(check bool) "IOR finite" true (Float.is_finite s.Wnet_core.Overpayment.ior);
+      Alcotest.(check bool) "IOR >= 1" true (s.Wnet_core.Overpayment.ior >= 1.0);
+      Alcotest.(check bool) "TOR >= 1" true (s.Wnet_core.Overpayment.tor >= 1.0);
+      Alcotest.(check bool) "worst >= IOR" true
+        (s.Wnet_core.Overpayment.worst >= s.Wnet_core.Overpayment.ior -. 1e-9))
+    pts
+
+let test_fig3_random_range_shape () =
+  let pts =
+    Fig3.overpayment_sweep ~instances:2 ~ns:[ 100 ] ~seed:2
+      (Fig3.Random_range { kappa = 2.0 })
+  in
+  List.iter
+    (fun (p : Fig3.point) ->
+      Alcotest.(check bool) "TOR sane" true
+        (p.Fig3.study.Wnet_core.Overpayment.tor >= 1.0
+        && p.Fig3.study.Wnet_core.Overpayment.tor < 10.0))
+    pts
+
+let test_fig3_determinism () =
+  let run () =
+    Fig3.overpayment_sweep ~instances:2 ~ns:[ 100 ] ~seed:77 (Fig3.Udg { kappa = 2.0 })
+  in
+  match (run (), run ()) with
+  | [ a ], [ b ] ->
+    Test_util.check_float "same seed, same TOR" a.Fig3.study.Wnet_core.Overpayment.tor
+      b.Fig3.study.Wnet_core.Overpayment.tor
+  | _ -> Alcotest.fail "one point each"
+
+let test_fig3_hop_profile () =
+  let buckets = Fig3.hop_profile ~instances:2 ~n:150 ~seed:3 (Fig3.Udg { kappa = 2.0 }) in
+  Alcotest.(check bool) "several hop buckets" true (List.length buckets >= 2);
+  List.iter
+    (fun (b : Wnet_core.Overpayment.hop_bucket) ->
+      Alcotest.(check bool) "max >= mean" true
+        (b.Wnet_core.Overpayment.max_ratio >= b.Wnet_core.Overpayment.mean_ratio -. 1e-9))
+    buckets
+
+let test_fig3_renderers () =
+  let pts =
+    Fig3.overpayment_sweep ~instances:1 ~ns:[ 100 ] ~seed:4 (Fig3.Udg { kappa = 2.0 })
+  in
+  let s = Fig3.render_sweep ~title:"test" pts in
+  Alcotest.(check bool) "table header" true (Str_ext.index_of s "IOR" <> None);
+  let hp = Fig3.hop_profile ~instances:1 ~n:100 ~seed:5 (Fig3.Udg { kappa = 2.0 }) in
+  let s2 = Fig3.render_hop_profile ~title:"hops" hp in
+  Alcotest.(check bool) "hop table" true (Str_ext.index_of s2 "mean ratio" <> None)
+
+let test_speed_sweep () =
+  let rows = Speed.sweep ~ns:[ 100 ] ~repeats:2 ~seed:6 () in
+  match rows with
+  | [ r ] ->
+    Alcotest.(check bool) "timings positive" true (r.Speed.fast_ms > 0.0 && r.Speed.naive_ms > 0.0);
+    Alcotest.(check bool) "render works" true
+      (Str_ext.index_of (Speed.render rows) "speedup" <> None)
+  | _ -> Alcotest.fail "one row"
+
+let test_distributed_sweep () =
+  let rows = Distributed_exp.sweep ~ns:[ 15; 25 ] ~instances:2 ~seed:7 () in
+  Alcotest.(check bool) "rows produced" true (List.length rows >= 3);
+  List.iter
+    (fun (r : Distributed_exp.row) ->
+      Alcotest.(check bool) "agrees" true r.Distributed_exp.agrees;
+      Alcotest.(check bool) "verified SPT ok" true r.Distributed_exp.verified_spt_ok;
+      Alcotest.(check bool) "cheater accused" true r.Distributed_exp.cheater_accused;
+      Alcotest.(check bool) "rounds <= n" true (r.Distributed_exp.payment_rounds <= r.Distributed_exp.n))
+    rows
+
+let test_collusion_study () =
+  let rows = Collusion_exp.study ~n:20 ~instances:4 ~seed:8 () in
+  Alcotest.(check bool) "rows produced" true (rows <> []);
+  List.iter
+    (fun (r : Collusion_exp.row) ->
+      Alcotest.(check int) "p-tilde kills inflation attacks" 0
+        r.Collusion_exp.neighbourhood_inflation_violations)
+    rows
+
+let test_node_model_sweep () =
+  let pts = Node_model.sweep ~instances:2 ~ns:[ 100 ] ~seed:9 () in
+  List.iter
+    (fun (p : Node_model.point) ->
+      Alcotest.(check bool) "IOR >= 1" true
+        (p.Node_model.study.Wnet_core.Overpayment.ior >= 1.0))
+    pts;
+  Alcotest.(check bool) "render" true
+    (Str_ext.index_of (Node_model.render ~title:"nm" pts) "TOR" <> None)
+
+
+let test_relay_load_concentration () =
+  let rows = Wnet_experiments.Relay_load.study ~ns:[ 100 ] ~instances:2 ~seed:13 () in
+  match rows with
+  | [ r ] ->
+    (* the paper's critique: relay duty is far from uniform *)
+    Alcotest.(check bool) "max load >> uniform expectation" true
+      (r.Wnet_experiments.Relay_load.max_load
+       > 3.0 *. r.Wnet_experiments.Relay_load.uniform_expected_max);
+    Alcotest.(check bool) "busiest decile dominates" true
+      (r.Wnet_experiments.Relay_load.top_decile_share > 0.3);
+    Alcotest.(check bool) "many idle nodes" true
+      (r.Wnet_experiments.Relay_load.idle_fraction > 0.2)
+  | _ -> Alcotest.fail "one row"
+
+let suite =
+  [
+    Alcotest.test_case "fig3 UDG sweep shape" `Quick test_fig3_udg_shape;
+    Alcotest.test_case "fig3 random-range shape" `Quick test_fig3_random_range_shape;
+    Alcotest.test_case "fig3 determinism" `Quick test_fig3_determinism;
+    Alcotest.test_case "fig3 hop profile" `Quick test_fig3_hop_profile;
+    Alcotest.test_case "fig3 renderers" `Quick test_fig3_renderers;
+    Alcotest.test_case "speed sweep" `Quick test_speed_sweep;
+    Alcotest.test_case "distributed sweep invariants" `Quick test_distributed_sweep;
+    Alcotest.test_case "collusion study" `Quick test_collusion_study;
+    Alcotest.test_case "node-model sweep" `Quick test_node_model_sweep;
+    Alcotest.test_case "relay-load concentration" `Quick test_relay_load_concentration;
+  ]

@@ -1,0 +1,104 @@
+open Wnet_geom
+
+let test_distance () =
+  let p = Point.make 0.0 0.0 and q = Point.make 3.0 4.0 in
+  Test_util.check_float "3-4-5 triangle" 5.0 (Point.distance p q);
+  Test_util.check_float "squared" 25.0 (Point.distance_sq p q)
+
+let test_distance_symmetry () =
+  let r = Test_util.rng 1 in
+  for _ = 1 to 100 do
+    let p = Point.make (Wnet_prng.Rng.float r 10.0) (Wnet_prng.Rng.float r 10.0) in
+    let q = Point.make (Wnet_prng.Rng.float r 10.0) (Wnet_prng.Rng.float r 10.0) in
+    Test_util.check_float "symmetric" (Point.distance p q) (Point.distance q p)
+  done
+
+let test_triangle_inequality () =
+  let r = Test_util.rng 2 in
+  for _ = 1 to 200 do
+    let pt () = Point.make (Wnet_prng.Rng.float r 10.0) (Wnet_prng.Rng.float r 10.0) in
+    let a = pt () and b = pt () and c = pt () in
+    Alcotest.(check bool) "triangle" true
+      (Point.distance a c <= Point.distance a b +. Point.distance b c +. 1e-9)
+  done
+
+let test_within () =
+  let p = Point.make 0.0 0.0 in
+  Alcotest.(check bool) "inside" true (Point.within 5.0 p (Point.make 3.0 3.9));
+  Alcotest.(check bool) "boundary" true (Point.within 5.0 p (Point.make 3.0 4.0));
+  Alcotest.(check bool) "outside" false (Point.within 5.0 p (Point.make 3.1 4.0))
+
+let test_midpoint_translate () =
+  let p = Point.make 1.0 2.0 and q = Point.make 3.0 6.0 in
+  Alcotest.(check bool) "midpoint" true
+    (Point.equal (Point.midpoint p q) (Point.make 2.0 4.0));
+  Alcotest.(check bool) "translate" true
+    (Point.equal (Point.translate p ~dx:1.0 ~dy:(-1.0)) (Point.make 2.0 1.0))
+
+let test_region_sampling () =
+  let r = Test_util.rng 3 in
+  let reg = Region.make ~width:100.0 ~height:50.0 in
+  let pts = Region.sample_points r reg 500 in
+  Alcotest.(check int) "count" 500 (Array.length pts);
+  Array.iter
+    (fun p -> Alcotest.(check bool) "contained" true (Region.contains reg p))
+    pts
+
+let test_region_validation () =
+  Alcotest.check_raises "negative width"
+    (Invalid_argument "Region.make: negative dimension") (fun () ->
+      ignore (Region.make ~width:(-1.0) ~height:1.0))
+
+let test_paper_region () =
+  Test_util.check_float "2000m square" 4_000_000.0 (Region.area Region.paper_region);
+  Test_util.check_float "diagonal" (2000.0 *. sqrt 2.0)
+    (Region.diagonal Region.paper_region)
+
+let test_power_cost () =
+  let m = Power.make ~alpha:300.0 ~beta:10.0 ~kappa:2.0 in
+  Test_util.check_float "alpha + beta d^2" (300.0 +. (10.0 *. 9.0)) (Power.cost m 3.0);
+  Test_util.check_float "zero distance" 300.0 (Power.cost m 0.0)
+
+let test_power_path_loss () =
+  let m = Power.path_loss_only ~kappa:2.5 in
+  Test_util.check_float "d^2.5" (2.0 ** 2.5) (Power.cost m 2.0)
+
+let test_power_monotone () =
+  let m = Power.make ~alpha:1.0 ~beta:2.0 ~kappa:3.0 in
+  let prev = ref (-1.0) in
+  for i = 0 to 50 do
+    let c = Power.cost m (float_of_int i) in
+    Alcotest.(check bool) "monotone in distance" true (c > !prev);
+    prev := c
+  done
+
+let test_power_validation () =
+  Alcotest.check_raises "negative beta"
+    (Invalid_argument "Power.make: parameters must be non-negative, kappa positive")
+    (fun () -> ignore (Power.make ~alpha:0.0 ~beta:(-1.0) ~kappa:2.0));
+  let m = Power.path_loss_only ~kappa:2.0 in
+  Alcotest.check_raises "negative distance"
+    (Invalid_argument "Power.cost: negative distance") (fun () ->
+      ignore (Power.cost m (-1.0)))
+
+let test_link_cost_matches_distance () =
+  let m = Power.path_loss_only ~kappa:2.0 in
+  let p = Point.make 0.0 0.0 and q = Point.make 3.0 4.0 in
+  Test_util.check_float "25 = 5^2" 25.0 (Power.link_cost m p q)
+
+let suite =
+  [
+    Alcotest.test_case "euclidean distance" `Quick test_distance;
+    Alcotest.test_case "distance symmetry" `Quick test_distance_symmetry;
+    Alcotest.test_case "triangle inequality" `Quick test_triangle_inequality;
+    Alcotest.test_case "within range (boundary incl.)" `Quick test_within;
+    Alcotest.test_case "midpoint / translate" `Quick test_midpoint_translate;
+    Alcotest.test_case "uniform region sampling" `Quick test_region_sampling;
+    Alcotest.test_case "region validation" `Quick test_region_validation;
+    Alcotest.test_case "paper region dimensions" `Quick test_paper_region;
+    Alcotest.test_case "power cost formula" `Quick test_power_cost;
+    Alcotest.test_case "pure path loss" `Quick test_power_path_loss;
+    Alcotest.test_case "power cost monotone" `Quick test_power_monotone;
+    Alcotest.test_case "power validation" `Quick test_power_validation;
+    Alcotest.test_case "link cost from points" `Quick test_link_cost_matches_distance;
+  ]

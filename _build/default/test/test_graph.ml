@@ -1,0 +1,126 @@
+open Wnet_graph
+
+let small () =
+  Graph.create ~costs:[| 1.0; 2.0; 3.0; 4.0 |]
+    ~edges:[ (0, 1); (1, 2); (2, 3); (3, 0) ]
+
+let test_sizes () =
+  let g = small () in
+  Alcotest.(check int) "n" 4 (Graph.n g);
+  Alcotest.(check int) "m" 4 (Graph.m g)
+
+let test_duplicate_edges_collapse () =
+  let g =
+    Graph.create ~costs:[| 1.0; 1.0 |] ~edges:[ (0, 1); (1, 0); (0, 1) ]
+  in
+  Alcotest.(check int) "one edge" 1 (Graph.m g);
+  Alcotest.(check int) "degree" 1 (Graph.degree g 0)
+
+let test_neighbors_sorted () =
+  let g =
+    Graph.create ~costs:(Array.make 5 1.0)
+      ~edges:[ (0, 4); (0, 2); (0, 1); (0, 3) ]
+  in
+  Alcotest.(check (array int)) "sorted" [| 1; 2; 3; 4 |] (Graph.neighbors g 0)
+
+let test_mem_edge () =
+  let g = small () in
+  Alcotest.(check bool) "present" true (Graph.mem_edge g 0 1);
+  Alcotest.(check bool) "symmetric" true (Graph.mem_edge g 1 0);
+  Alcotest.(check bool) "absent" false (Graph.mem_edge g 0 2)
+
+let test_edges_listing () =
+  let g = small () in
+  Alcotest.(check (list (pair int int))) "canonical edges"
+    [ (0, 1); (0, 3); (1, 2); (2, 3) ]
+    (Graph.edges g)
+
+let test_validation () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.create: self-loop")
+    (fun () -> ignore (Graph.create ~costs:[| 1.0 |] ~edges:[ (0, 0) ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Graph.create: edge endpoint out of range") (fun () ->
+      ignore (Graph.create ~costs:[| 1.0 |] ~edges:[ (0, 1) ]));
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Graph: node costs must be finite and non-negative")
+    (fun () -> ignore (Graph.create ~costs:[| -1.0 |] ~edges:[]))
+
+let test_with_costs () =
+  let g = small () in
+  let g2 = Graph.with_costs g [| 5.0; 6.0; 7.0; 8.0 |] in
+  Test_util.check_float "new cost" 5.0 (Graph.cost g2 0);
+  Test_util.check_float "original untouched" 1.0 (Graph.cost g 0);
+  Alcotest.(check int) "edges shared" (Graph.m g) (Graph.m g2)
+
+let test_with_cost_single () =
+  let g = small () in
+  let g2 = Graph.with_cost g 2 99.0 in
+  Test_util.check_float "changed" 99.0 (Graph.cost g2 2);
+  Test_util.check_float "others same" 2.0 (Graph.cost g2 1)
+
+let test_costs_copy_isolated () =
+  let g = small () in
+  let c = Graph.costs g in
+  c.(0) <- 1000.0;
+  Test_util.check_float "internal unchanged" 1.0 (Graph.cost g 0)
+
+let test_remove_node () =
+  let g = small () in
+  let g2 = Graph.remove_node g 1 in
+  Alcotest.(check int) "same n (id stability)" 4 (Graph.n g2);
+  Alcotest.(check int) "isolated" 0 (Graph.degree g2 1);
+  Alcotest.(check int) "edges dropped" 2 (Graph.m g2);
+  Alcotest.(check bool) "0-1 gone" false (Graph.mem_edge g2 0 1);
+  Alcotest.(check bool) "2-3 kept" true (Graph.mem_edge g2 2 3)
+
+let test_remove_nodes_multi () =
+  let g = small () in
+  let g2 = Graph.remove_nodes g [ 0; 2 ] in
+  Alcotest.(check int) "no edges left" 0 (Graph.m g2)
+
+let test_iter_edges_each_once () =
+  let g = small () in
+  let count = ref 0 in
+  Graph.iter_edges (fun u v ->
+      incr count;
+      Alcotest.(check bool) "u < v" true (u < v))
+    g;
+  Alcotest.(check int) "m edges" (Graph.m g) !count
+
+let test_fold_neighbors () =
+  let g = small () in
+  let degree_sum = Graph.fold_neighbors (fun _ acc -> acc + 1) g 0 0 in
+  Alcotest.(check int) "degree via fold" (Graph.degree g 0) degree_sum
+
+let test_all_positive () =
+  let g = small () in
+  Alcotest.(check bool) "positive" true (Graph.all_positive_costs g);
+  let g0 = Graph.with_cost g 0 0.0 in
+  Alcotest.(check bool) "zero detected" false (Graph.all_positive_costs g0)
+
+let prop_remove_node_edge_count =
+  Test_util.qcheck_case ~count:50 "remove_node drops exactly incident edges"
+    Test_util.seed_gen (fun seed ->
+      let g = Test_util.random_ring_graph (Test_util.rng seed) in
+      let v = seed mod Graph.n g in
+      let g2 = Graph.remove_node g v in
+      Graph.m g2 = Graph.m g - Graph.degree g v)
+
+let suite =
+  [
+    Alcotest.test_case "node / edge counts" `Quick test_sizes;
+    Alcotest.test_case "duplicate edges collapse" `Quick test_duplicate_edges_collapse;
+    Alcotest.test_case "neighbours sorted" `Quick test_neighbors_sorted;
+    Alcotest.test_case "mem_edge" `Quick test_mem_edge;
+    Alcotest.test_case "edge listing canonical" `Quick test_edges_listing;
+    Alcotest.test_case "input validation" `Quick test_validation;
+    Alcotest.test_case "with_costs" `Quick test_with_costs;
+    Alcotest.test_case "with_cost single" `Quick test_with_cost_single;
+    Alcotest.test_case "costs returns a copy" `Quick test_costs_copy_isolated;
+    Alcotest.test_case "remove_node isolates" `Quick test_remove_node;
+    Alcotest.test_case "remove several nodes" `Quick test_remove_nodes_multi;
+    Alcotest.test_case "iter_edges visits once" `Quick test_iter_edges_each_once;
+    Alcotest.test_case "fold_neighbors" `Quick test_fold_neighbors;
+    Alcotest.test_case "all_positive_costs" `Quick test_all_positive;
+    prop_remove_node_edge_count;
+  ]

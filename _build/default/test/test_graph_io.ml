@@ -1,0 +1,89 @@
+open Wnet_graph
+
+let sample = "# comment line\nnode 0 1.5\nnode 1 2\nedge 0 1\n\nedge 1 2\n"
+
+let test_parse_basic () =
+  let g = Graph_io.parse sample in
+  Alcotest.(check int) "nodes (max id + 1)" 3 (Graph.n g);
+  Test_util.check_float "cost read" 1.5 (Graph.cost g 0);
+  Test_util.check_float "default cost 0" 0.0 (Graph.cost g 2);
+  Alcotest.(check int) "edges" 2 (Graph.m g)
+
+let test_roundtrip () =
+  let g = Wnet_core.Examples.fig2.Wnet_core.Examples.graph in
+  let g' = Graph_io.parse (Graph_io.to_string g) in
+  Alcotest.(check int) "n" (Graph.n g) (Graph.n g');
+  Alcotest.(check (list (pair int int))) "edges" (Graph.edges g) (Graph.edges g');
+  for v = 0 to Graph.n g - 1 do
+    Test_util.check_float "cost" (Graph.cost g v) (Graph.cost g' v)
+  done
+
+let test_parse_errors () =
+  (try
+     ignore (Graph_io.parse "frobnicate 1 2");
+     Alcotest.fail "must reject"
+   with Failure msg ->
+     Alcotest.(check bool) "line number in message" true
+       (Str_ext.index_of msg "line 1" <> None));
+  try
+    ignore (Graph_io.parse "node zero 1");
+    Alcotest.fail "must reject"
+  with Failure msg ->
+    Alcotest.(check bool) "bad integer reported" true
+      (Str_ext.index_of msg "bad integer" <> None)
+
+let test_parse_digraph () =
+  let g = Graph_io.parse_digraph "link 0 1 2.5\nlink 1 0 7\nnode 2 0\n" in
+  Alcotest.(check int) "n" 3 (Digraph.n g);
+  Test_util.check_float "forward" 2.5 (Digraph.weight g 0 1);
+  Test_util.check_float "backward" 7.0 (Digraph.weight g 1 0)
+
+let test_digraph_edge_becomes_two_links () =
+  let g = Graph_io.parse_digraph "edge 0 1" in
+  Test_util.check_float "0->1" 0.0 (Digraph.weight g 0 1);
+  Test_util.check_float "1->0" 0.0 (Digraph.weight g 1 0)
+
+let test_link_rejected_in_graph_format () =
+  try
+    ignore (Graph_io.parse "link 0 1 2");
+    Alcotest.fail "must reject"
+  with Failure _ -> ()
+
+let test_comments_and_blanks () =
+  let g = Graph_io.parse "  \n# only comments\nnode 0 3 # trailing comment\n" in
+  Alcotest.(check int) "single node" 1 (Graph.n g);
+  Test_util.check_float "cost" 3.0 (Graph.cost g 0)
+
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "wnet" ".graph" in
+  let g = Wnet_core.Examples.fig4.Wnet_core.Examples.graph in
+  let oc = open_out path in
+  output_string oc (Graph_io.to_string g);
+  close_out oc;
+  let g2 = Graph_io.parse_file path in
+  Sys.remove path;
+  Alcotest.(check (list (pair int int))) "edges survive the file system"
+    (Graph.edges g) (Graph.edges g2)
+
+let test_digraph_file () =
+  let path = Filename.temp_file "wnet" ".digraph" in
+  let oc = open_out path in
+  output_string oc "link 0 1 3.5\nlink 1 2 1\n";
+  close_out oc;
+  let g = Graph_io.parse_digraph_file path in
+  Sys.remove path;
+  Test_util.check_float "weight from file" 3.5 (Digraph.weight g 0 1)
+
+let suite =
+  [
+    Alcotest.test_case "parse basics" `Quick test_parse_basic;
+    Alcotest.test_case "round trip" `Quick test_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "digraph format" `Quick test_parse_digraph;
+    Alcotest.test_case "edge = two links" `Quick test_digraph_edge_becomes_two_links;
+    Alcotest.test_case "link rejected in node format" `Quick test_link_rejected_in_graph_format;
+    Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+    Alcotest.test_case "file round trip" `Quick test_file_roundtrip;
+    Alcotest.test_case "digraph file" `Quick test_digraph_file;
+  ]

@@ -1,0 +1,148 @@
+open Wnet_graph
+
+let test_basic_order () =
+  let h = Indexed_heap.create 10 in
+  Indexed_heap.insert h 3 5.0;
+  Indexed_heap.insert h 1 2.0;
+  Indexed_heap.insert h 7 9.0;
+  Alcotest.(check (pair int (float 0.0))) "min" (1, 2.0) (Indexed_heap.pop_min h);
+  Alcotest.(check (pair int (float 0.0))) "next" (3, 5.0) (Indexed_heap.pop_min h);
+  Alcotest.(check (pair int (float 0.0))) "last" (7, 9.0) (Indexed_heap.pop_min h);
+  Alcotest.(check bool) "empty" true (Indexed_heap.is_empty h)
+
+let test_decrease_key () =
+  let h = Indexed_heap.create 5 in
+  Indexed_heap.insert h 0 10.0;
+  Indexed_heap.insert h 1 20.0;
+  Indexed_heap.decrease h 1 1.0;
+  Alcotest.(check (pair int (float 0.0))) "decreased wins" (1, 1.0) (Indexed_heap.pop_min h)
+
+let test_tie_break_by_key () =
+  let h = Indexed_heap.create 5 in
+  Indexed_heap.insert h 4 1.0;
+  Indexed_heap.insert h 2 1.0;
+  Indexed_heap.insert h 3 1.0;
+  Alcotest.(check (pair int (float 0.0))) "smallest id first" (2, 1.0) (Indexed_heap.pop_min h);
+  Alcotest.(check (pair int (float 0.0))) "then next" (3, 1.0) (Indexed_heap.pop_min h)
+
+let test_insert_or_decrease () =
+  let h = Indexed_heap.create 5 in
+  Indexed_heap.insert_or_decrease h 0 5.0;
+  Indexed_heap.insert_or_decrease h 0 3.0;
+  Indexed_heap.insert_or_decrease h 0 7.0 (* ignored: larger *);
+  Alcotest.(check (float 0.0)) "kept min" 3.0 (Indexed_heap.priority h 0)
+
+let test_mem_and_errors () =
+  let h = Indexed_heap.create 3 in
+  Indexed_heap.insert h 1 1.0;
+  Alcotest.(check bool) "mem" true (Indexed_heap.mem h 1);
+  Alcotest.(check bool) "not mem" false (Indexed_heap.mem h 0);
+  Alcotest.check_raises "double insert"
+    (Invalid_argument "Indexed_heap.insert: key already present") (fun () ->
+      Indexed_heap.insert h 1 2.0);
+  Alcotest.check_raises "decrease absent"
+    (Invalid_argument "Indexed_heap.decrease: key absent") (fun () ->
+      Indexed_heap.decrease h 0 0.5);
+  Alcotest.check_raises "increase rejected"
+    (Invalid_argument "Indexed_heap.decrease: new priority is larger") (fun () ->
+      Indexed_heap.decrease h 1 9.0)
+
+let test_pop_empty () =
+  let h = Indexed_heap.create 1 in
+  Alcotest.check_raises "pop empty" Not_found (fun () ->
+      ignore (Indexed_heap.pop_min h))
+
+let test_heapsort_random () =
+  let r = Test_util.rng 42 in
+  for _ = 1 to 20 do
+    let n = 1 + Wnet_prng.Rng.int r 200 in
+    let h = Indexed_heap.create n in
+    let prios = Array.init n (fun _ -> Wnet_prng.Rng.float r 100.0) in
+    Array.iteri (fun k p -> Indexed_heap.insert h k p) prios;
+    let prev = ref neg_infinity in
+    for _ = 1 to n do
+      let _, p = Indexed_heap.pop_min h in
+      Alcotest.(check bool) "non-decreasing" true (p >= !prev);
+      prev := p
+    done
+  done
+
+let test_random_decrease_consistency () =
+  let r = Test_util.rng 7 in
+  let n = 100 in
+  let h = Indexed_heap.create n in
+  let best = Array.make n infinity in
+  for k = 0 to n - 1 do
+    let p = Wnet_prng.Rng.float r 100.0 in
+    best.(k) <- p;
+    Indexed_heap.insert h k p
+  done;
+  for _ = 1 to 500 do
+    let k = Wnet_prng.Rng.int r n in
+    if Indexed_heap.mem h k then begin
+      let p = Wnet_prng.Rng.float r 100.0 in
+      if p < best.(k) then begin
+        best.(k) <- p;
+        Indexed_heap.decrease h k p
+      end
+    end
+  done;
+  let popped = ref [] in
+  while not (Indexed_heap.is_empty h) do
+    popped := Indexed_heap.pop_min h :: !popped
+  done;
+  List.iter
+    (fun (k, p) -> Test_util.check_float "priority preserved" best.(k) p)
+    !popped;
+  Alcotest.(check int) "all popped" n (List.length !popped)
+
+let test_binheap_order () =
+  let h = Binheap.create () in
+  Binheap.push h 3.0 "c";
+  Binheap.push h 1.0 "a";
+  Binheap.push h 2.0 "b";
+  Alcotest.(check (option (pair (float 0.0) string))) "peek" (Some (1.0, "a")) (Binheap.peek_min h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop a" (Some (1.0, "a")) (Binheap.pop_min h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop b" (Some (2.0, "b")) (Binheap.pop_min h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop c" (Some (3.0, "c")) (Binheap.pop_min h);
+  Alcotest.(check (option (pair (float 0.0) string))) "empty" None (Binheap.pop_min h)
+
+let test_binheap_duplicates () =
+  let h = Binheap.create () in
+  Binheap.push h 1.0 0;
+  Binheap.push h 1.0 1;
+  Binheap.push h 0.5 2;
+  Alcotest.(check int) "size" 3 (Binheap.size h);
+  let _ = Binheap.pop_min h in
+  Alcotest.(check int) "size after pop" 2 (Binheap.size h)
+
+let test_binheap_random_sorted () =
+  let r = Test_util.rng 9 in
+  let h = Binheap.create () in
+  let n = 500 in
+  for _ = 1 to n do
+    Binheap.push h (Wnet_prng.Rng.float r 1.0) ()
+  done;
+  let prev = ref neg_infinity in
+  for _ = 1 to n do
+    match Binheap.pop_min h with
+    | None -> Alcotest.fail "premature empty"
+    | Some (k, ()) ->
+      Alcotest.(check bool) "sorted" true (k >= !prev);
+      prev := k
+  done
+
+let suite =
+  [
+    Alcotest.test_case "indexed: pop order" `Quick test_basic_order;
+    Alcotest.test_case "indexed: decrease-key" `Quick test_decrease_key;
+    Alcotest.test_case "indexed: deterministic ties" `Quick test_tie_break_by_key;
+    Alcotest.test_case "indexed: insert_or_decrease" `Quick test_insert_or_decrease;
+    Alcotest.test_case "indexed: membership and errors" `Quick test_mem_and_errors;
+    Alcotest.test_case "indexed: pop on empty" `Quick test_pop_empty;
+    Alcotest.test_case "indexed: heapsort randomized" `Quick test_heapsort_random;
+    Alcotest.test_case "indexed: random decrease consistency" `Quick test_random_decrease_consistency;
+    Alcotest.test_case "binheap: order" `Quick test_binheap_order;
+    Alcotest.test_case "binheap: duplicate keys" `Quick test_binheap_duplicates;
+    Alcotest.test_case "binheap: randomized sort" `Quick test_binheap_random_sorted;
+  ]

@@ -1,0 +1,120 @@
+open Wnet_graph
+
+let theta () =
+  Wnet_topology.Fixtures.theta ~spine_costs:[| 1.0; 1.0 |]
+    ~arm_costs:[| [| 2.0 |]; [| 3.0 |]; [| 7.0 |] |]
+
+let test_ranks_on_theta () =
+  let g = theta () in
+  match Ksp.k_shortest_paths g ~src:0 ~dst:1 ~k:3 with
+  | [ a; b; c ] ->
+    Test_util.check_float "best" 2.0 (Path.relay_cost g a);
+    Test_util.check_float "second" 3.0 (Path.relay_cost g b);
+    Test_util.check_float "third" 7.0 (Path.relay_cost g c);
+    Alcotest.(check bool) "all simple & valid" true
+      (List.for_all (Path.is_valid g) [ a; b; c ])
+  | _ -> Alcotest.fail "three arms, three paths"
+
+let test_k_larger_than_path_count () =
+  let g = theta () in
+  Alcotest.(check int) "only 3 simple paths" 3
+    (List.length (Ksp.k_shortest_paths g ~src:0 ~dst:1 ~k:10))
+
+let test_single_path () =
+  let g = Wnet_topology.Fixtures.line ~costs:(Array.make 4 1.0) in
+  Alcotest.(check int) "line has one path" 1
+    (List.length (Ksp.k_shortest_paths g ~src:0 ~dst:3 ~k:5));
+  Alcotest.(check (option (float 0.0))) "no second path" None
+    (Ksp.second_best_gap g ~src:0 ~dst:3)
+
+let test_unreachable () =
+  let g = Graph.create ~costs:(Array.make 3 1.0) ~edges:[ (0, 1) ] in
+  Alcotest.(check int) "empty" 0 (List.length (Ksp.k_shortest_paths g ~src:0 ~dst:2 ~k:3))
+
+let test_second_best_gap () =
+  let g = theta () in
+  Alcotest.(check (option (float 1e-9))) "gap 1" (Some 1.0)
+    (Ksp.second_best_gap g ~src:0 ~dst:1)
+
+let test_validation () =
+  let g = theta () in
+  Alcotest.check_raises "k = 0" (Invalid_argument "Ksp: k must be positive")
+    (fun () -> ignore (Ksp.k_shortest_paths g ~src:0 ~dst:1 ~k:0));
+  Alcotest.check_raises "src = dst" (Invalid_argument "Ksp: src = dst") (fun () ->
+      ignore (Ksp.k_shortest_paths g ~src:1 ~dst:1 ~k:1))
+
+let enumerate g src dst =
+  let acc = ref [] in
+  let rec go v visited =
+    if v = dst then acc := Array.of_list (List.rev visited) :: !acc
+    else
+      Array.iter
+        (fun w -> if not (List.mem w visited) then go w (w :: visited))
+        (Graph.neighbors g v)
+  in
+  go src [ src ];
+  List.sort
+    (fun a b -> compare (Path.relay_cost g a, a) (Path.relay_cost g b, b))
+    !acc
+
+let prop_matches_bruteforce =
+  Test_util.qcheck_case ~count:80 "Yen ranks = brute-force ranks"
+    Test_util.seed_gen (fun seed ->
+      let r = Test_util.rng seed in
+      let g = Test_util.random_ring_graph ~min_n:4 ~max_n:7 r in
+      let n = Graph.n g in
+      let src = 0 and dst = n / 2 in
+      let brute = enumerate g src dst in
+      let k = min 4 (List.length brute) in
+      let yen = Ksp.k_shortest_paths g ~src ~dst ~k in
+      List.length yen = k
+      && List.for_all2
+           (fun a b -> Test_util.approx (Path.relay_cost g a) (Path.relay_cost g b))
+           yen
+           (List.filteri (fun i _ -> i < k) brute))
+
+let prop_ordered_and_simple =
+  Test_util.qcheck_case ~count:60 "results ordered, simple, distinct"
+    Test_util.seed_gen (fun seed ->
+      let r = Test_util.rng seed in
+      let g = Test_util.random_ring_graph ~min_n:5 ~max_n:15 r in
+      let n = Graph.n g in
+      let src = Wnet_prng.Rng.int r n in
+      let dst = (src + 1 + Wnet_prng.Rng.int r (n - 1)) mod n in
+      let paths = Ksp.k_shortest_paths g ~src ~dst ~k:4 in
+      let costs = List.map (Path.relay_cost g) paths in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && sorted rest
+        | _ -> true
+      in
+      sorted costs
+      && List.for_all (Path.is_valid g) paths
+      && List.length (List.sort_uniq compare paths) = List.length paths)
+
+let test_second_path_experiment_decays () =
+  let buckets = Wnet_experiments.Second_path_exp.study ~n:100 ~instances:2 ~seed:11 () in
+  Alcotest.(check bool) "several buckets" true (List.length buckets >= 3);
+  (* the paper's claim: the relative gap at 2-3 hops dwarfs the tail *)
+  let near = List.filter (fun b -> b.Wnet_experiments.Second_path_exp.hop <= 3) buckets in
+  let far = List.filter (fun b -> b.Wnet_experiments.Second_path_exp.hop >= 6) buckets in
+  match (near, far) with
+  | _ :: _, _ :: _ ->
+    let mean l =
+      List.fold_left (fun a b -> a +. b.Wnet_experiments.Second_path_exp.mean_gap) 0.0 l
+      /. float_of_int (List.length l)
+    in
+    Alcotest.(check bool) "gap decays with hops" true (mean near > 2.0 *. mean far)
+  | _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "ranks on theta" `Quick test_ranks_on_theta;
+    Alcotest.test_case "k larger than path count" `Quick test_k_larger_than_path_count;
+    Alcotest.test_case "single-path graph" `Quick test_single_path;
+    Alcotest.test_case "unreachable" `Quick test_unreachable;
+    Alcotest.test_case "second-best gap" `Quick test_second_best_gap;
+    Alcotest.test_case "validation" `Quick test_validation;
+    prop_matches_bruteforce;
+    prop_ordered_and_simple;
+    Alcotest.test_case "second-path experiment decays" `Quick test_second_path_experiment_decays;
+  ]

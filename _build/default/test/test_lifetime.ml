@@ -1,0 +1,109 @@
+open Wnet_lifetime
+
+let small () =
+  Wnet_graph.Graph.create ~costs:[| 1.0; 2.0; 3.0 |]
+    ~edges:[ (0, 1); (1, 2); (0, 2) ]
+
+let test_battery_basics () =
+  let b = Battery.create (small ()) ~budget:5.0 in
+  Test_util.check_float "initial" 5.0 (Battery.remaining b 1);
+  Alcotest.(check bool) "alive" true (Battery.alive b 1);
+  Alcotest.(check bool) "spend ok" true (Battery.spend_transmit b 1);
+  Test_util.check_float "after one packet" 3.0 (Battery.remaining b 1);
+  Alcotest.(check bool) "second spend ok" true (Battery.spend_transmit b 1);
+  Alcotest.(check bool) "now broke (1 < 2)" false (Battery.spend_transmit b 1);
+  Test_util.check_float "not overdrawn" 1.0 (Battery.remaining b 1)
+
+let test_battery_alive_count () =
+  (* budget 2.5 covers costs 1 and 2 but not node 2's cost of 3: that
+     node is dead on arrival. *)
+  let b = Battery.create (small ()) ~budget:2.5 in
+  Alcotest.(check int) "two can transmit" 2 (Battery.alive_count b);
+  Alcotest.(check bool) "node 2 cannot afford a packet" false
+    (Battery.spend_transmit b 2);
+  Test_util.check_float "never overdrawn" 2.5 (Battery.remaining b 2);
+  Alcotest.(check (list int)) "dead set" [ 2 ] (Battery.dead_nodes b)
+
+let test_battery_heterogeneous () =
+  let b = Battery.create_heterogeneous (small ()) ~budgets:[| 10.0; 0.0; 3.0 |] in
+  Alcotest.(check bool) "broke node dead" false (Battery.alive b 1);
+  Test_util.check_float "total energy" 13.0 (Battery.total_energy b);
+  Alcotest.check_raises "length checked"
+    (Invalid_argument "Battery.create_heterogeneous: length mismatch") (fun () ->
+      ignore (Battery.create_heterogeneous (small ()) ~budgets:[| 1.0 |]))
+
+let udg_instance seed =
+  let r = Test_util.rng seed in
+  let t =
+    Wnet_topology.Udg.generate r ~region:(Wnet_geom.Region.square 1000.0) ~n:40
+      ~range:300.0
+  in
+  let costs = Wnet_topology.Udg.uniform_node_costs r ~n:40 ~lo:0.5 ~hi:2.0 in
+  (r, Wnet_topology.Udg.node_graph t ~costs)
+
+let test_selfish_collapses_throughput () =
+  let r, g = udg_instance 150 in
+  match
+    Lifetime_sim.compare_regimes r g ~root:0 ~budget:40.0 ~sessions:800
+      [ Lifetime_sim.Paid_vcg; Lifetime_sim.Selfish ]
+  with
+  | [ vcg; selfish ] ->
+    Alcotest.(check bool) "cooperation beats selfishness" true
+      (vcg.Lifetime_sim.delivered > selfish.Lifetime_sim.delivered);
+    (* selfish world: only AP-adjacent sources deliver, so relays never
+       spend for others *)
+    Alcotest.(check bool) "selfish saves energy" true
+      (selfish.Lifetime_sim.residual_energy > vcg.Lifetime_sim.residual_energy)
+  | _ -> Alcotest.fail "two outcomes"
+
+let test_vcg_matches_altruism () =
+  let r, g = udg_instance 151 in
+  match
+    Lifetime_sim.compare_regimes r g ~root:0 ~budget:40.0 ~sessions:800
+      [ Lifetime_sim.Paid_vcg; Lifetime_sim.Altruistic ]
+  with
+  | [ vcg; alt ] ->
+    Alcotest.(check int) "same throughput on identical traffic"
+      alt.Lifetime_sim.delivered vcg.Lifetime_sim.delivered;
+    Alcotest.(check bool) "but VCG compensates the relays" true
+      (vcg.Lifetime_sim.payments_flow > 0.0)
+  | _ -> Alcotest.fail "two outcomes"
+
+let test_fixed_price_in_between () =
+  let r, g = udg_instance 152 in
+  match
+    Lifetime_sim.compare_regimes r g ~root:0 ~budget:40.0 ~sessions:800
+      [ Lifetime_sim.Paid_vcg; Lifetime_sim.Fixed_price 1.0; Lifetime_sim.Selfish ]
+  with
+  | [ vcg; fixed; selfish ] ->
+    Alcotest.(check bool) "fixed <= vcg" true
+      (fixed.Lifetime_sim.delivered <= vcg.Lifetime_sim.delivered);
+    Alcotest.(check bool) "fixed >= selfish" true
+      (fixed.Lifetime_sim.delivered >= selfish.Lifetime_sim.delivered)
+  | _ -> Alcotest.fail "three outcomes"
+
+let test_accounting_of_sessions () =
+  let r, g = udg_instance 153 in
+  let o = Lifetime_sim.run r g ~root:0 ~budget:30.0 ~sessions:500 Lifetime_sim.Paid_vcg in
+  Alcotest.(check int) "every session accounted" 500
+    (o.Lifetime_sim.delivered + o.Lifetime_sim.blocked);
+  Alcotest.(check bool) "deaths recorded when batteries drain" true
+    (o.Lifetime_sim.dead_at_end = 0 || o.Lifetime_sim.first_death <> None)
+
+let test_lifetime_experiment_runs () =
+  let rows = Wnet_experiments.Lifetime_exp.study ~n:40 ~sessions:300 ~seed:14 () in
+  Alcotest.(check int) "four regimes" 4 (List.length rows);
+  Alcotest.(check bool) "render works" true
+    (Str_ext.index_of (Wnet_experiments.Lifetime_exp.render rows) "regime" <> None)
+
+let suite =
+  [
+    Alcotest.test_case "battery basics" `Quick test_battery_basics;
+    Alcotest.test_case "battery alive count" `Quick test_battery_alive_count;
+    Alcotest.test_case "heterogeneous budgets" `Quick test_battery_heterogeneous;
+    Alcotest.test_case "selfishness collapses throughput" `Quick test_selfish_collapses_throughput;
+    Alcotest.test_case "VCG matches altruism" `Quick test_vcg_matches_altruism;
+    Alcotest.test_case "fixed price in between" `Quick test_fixed_price_in_between;
+    Alcotest.test_case "session accounting" `Quick test_accounting_of_sessions;
+    Alcotest.test_case "lifetime experiment" `Quick test_lifetime_experiment_runs;
+  ]

@@ -1,0 +1,106 @@
+open Wnet_core
+open Wnet_graph
+
+(* Directed diamond: 0 -> {1, 2} -> 3, plus an expensive bypass 0 -> 3. *)
+let diamond () =
+  Digraph.create ~n:4
+    ~links:
+      [
+        (0, 1, 1.0); (1, 3, 2.0);
+        (0, 2, 2.0); (2, 3, 4.0);
+        (0, 3, 10.0);
+      ]
+
+let test_payment_by_hand () =
+  match Link_cost.run (diamond ()) ~src:0 ~dst:3 with
+  | None -> Alcotest.fail "connected"
+  | Some r ->
+    Alcotest.(check (array int)) "path" [| 0; 1; 3 |] r.Link_cost.path;
+    Test_util.check_float "lcp" 3.0 r.Link_cost.lcp_cost;
+    Test_util.check_float "relay cost (minus source link)" 2.0 r.Link_cost.relay_cost;
+    (* silencing node 1: best is 0-2-3 = 6; payment = d_{1,3} + (6 - 3) = 5 *)
+    Test_util.check_float "payment to 1" 5.0 (Link_cost.payment_to r 1);
+    Test_util.check_float "others zero" 0.0 (Link_cost.payment_to r 2);
+    Test_util.check_float "total" 5.0 (Link_cost.total_payment r)
+
+let test_monopoly_transmitter () =
+  let g = Digraph.create ~n:3 ~links:[ (0, 1, 1.0); (1, 2, 1.0) ] in
+  match Link_cost.run g ~src:0 ~dst:2 with
+  | None -> Alcotest.fail "connected"
+  | Some r -> Test_util.check_float "no avoiding path" infinity (Link_cost.payment_to r 1)
+
+let test_unreachable () =
+  let g = Digraph.create ~n:3 ~links:[ (1, 0, 1.0) ] in
+  Alcotest.(check bool) "none" true (Link_cost.run g ~src:0 ~dst:2 = None)
+
+let test_payment_at_least_link_cost () =
+  let r = Test_util.rng 60 in
+  for _ = 1 to 15 do
+    let inst = Wnet_topology.Random_range.paper_instance r ~n:40 ~kappa:2.0 in
+    let g = inst.Wnet_topology.Random_range.graph in
+    let src = 1 + Wnet_prng.Rng.int r 39 in
+    match Link_cost.run g ~src ~dst:0 with
+    | None -> ()
+    | Some res ->
+      let path = res.Link_cost.path in
+      for l = 1 to Array.length path - 2 do
+        let k = path.(l) in
+        let used = Digraph.weight g k path.(l + 1) in
+        Alcotest.(check bool) "p_k >= used link cost" true
+          (Link_cost.payment_to res k >= used -. 1e-9)
+      done
+  done
+
+let test_batch_matches_individual () =
+  let r = Test_util.rng 61 in
+  for _ = 1 to 8 do
+    let inst = Wnet_topology.Random_range.paper_instance r ~n:35 ~kappa:2.0 in
+    let g = inst.Wnet_topology.Random_range.graph in
+    let batch = Link_cost.all_to_root g ~root:0 in
+    Alcotest.(check bool) "root none" true (batch.Link_cost.results.(0) = None);
+    Array.iteri
+      (fun src entry ->
+        if src <> 0 then
+          match (entry, Link_cost.run g ~src ~dst:0) with
+          | None, None -> ()
+          | Some a, Some b ->
+            Test_util.check_float "lcp" b.Link_cost.lcp_cost a.Link_cost.lcp_cost;
+            Test_util.check_float "total payment" (Link_cost.total_payment b)
+              (Link_cost.total_payment a)
+          | _ -> Alcotest.fail "batch/individual mismatch")
+      batch.Link_cost.results
+  done
+
+let test_batch_to_root_dist () =
+  let g = diamond () in
+  let batch = Link_cost.all_to_root g ~root:3 in
+  Test_util.check_float "dist 0 -> 3" 3.0 batch.Link_cost.to_root_dist.(0);
+  Test_util.check_float "dist 1 -> 3" 2.0 batch.Link_cost.to_root_dist.(1)
+
+let test_ic_spot_check_clean () =
+  let r = Test_util.rng 62 in
+  let inst = Wnet_topology.Random_range.paper_instance r ~n:30 ~kappa:2.0 in
+  let g = inst.Wnet_topology.Random_range.graph in
+  let src = 5 in
+  let v = Link_cost.ic_spot_check r g ~src ~dst:0 ~trials:120 in
+  Alcotest.(check (list (pair int (float 0.0)))) "no vector lie gains" [] v
+
+let test_asymmetric_types () =
+  (* The same physical hop can cost differently per direction (different
+     alpha/beta per node) — the defining feature of the Sec. III-F model. *)
+  let g = Digraph.create ~n:3 ~links:[ (0, 1, 1.0); (1, 0, 7.0); (1, 2, 1.0); (2, 1, 1.0) ] in
+  match Link_cost.run g ~src:0 ~dst:2 with
+  | None -> Alcotest.fail "connected"
+  | Some r -> Test_util.check_float "forward cost" 2.0 r.Link_cost.lcp_cost
+
+let suite =
+  [
+    Alcotest.test_case "payments by hand" `Quick test_payment_by_hand;
+    Alcotest.test_case "monopoly transmitter" `Quick test_monopoly_transmitter;
+    Alcotest.test_case "unreachable" `Quick test_unreachable;
+    Alcotest.test_case "payment covers the used link" `Quick test_payment_at_least_link_cost;
+    Alcotest.test_case "batch = individual runs" `Quick test_batch_matches_individual;
+    Alcotest.test_case "batch to-root distances" `Quick test_batch_to_root_dist;
+    Alcotest.test_case "IC spot check (vector lies)" `Quick test_ic_spot_check_clean;
+    Alcotest.test_case "asymmetric link types" `Quick test_asymmetric_types;
+  ]

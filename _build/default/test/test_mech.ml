@@ -1,0 +1,186 @@
+open Wnet_mech
+
+(* A toy utilitarian problem for exercising the framework independently of
+   graphs: hire exactly one of n contractors, socially cheapest wins.
+   Clarke payment to the winner = second-lowest bid. *)
+let hire_one n =
+  let solve (d : Profile.t) =
+    let best = ref (-1) and best_cost = ref infinity in
+    Array.iteri
+      (fun i c ->
+        if c < !best_cost then begin
+          best := i;
+          best_cost := c
+        end)
+      d;
+    if !best < 0 then None
+    else begin
+      let used = Array.make n false in
+      used.(!best) <- true;
+      Some { Vcg.cost = !best_cost; used }
+    end
+  in
+  {
+    Vcg.n_agents = n;
+    solve;
+    solve_without =
+      (fun k d ->
+        let d' = Array.mapi (fun i c -> if i = k then infinity else c) d in
+        match solve d' with
+        | Some s when s.Vcg.cost < infinity -> Some s
+        | _ -> None);
+  }
+
+let test_profile_validate () =
+  Profile.validate [| 0.0; 1.5; infinity |];
+  Alcotest.check_raises "negative bid"
+    (Invalid_argument "Profile: bids must be non-negative (infinity allowed)")
+    (fun () -> Profile.validate [| -1.0 |])
+
+let test_profile_deviate () =
+  let d = [| 1.0; 2.0; 3.0 |] in
+  let d' = Profile.deviate d 1 9.0 in
+  Test_util.check_float "changed" 9.0 d'.(1);
+  Test_util.check_float "original intact" 2.0 d.(1)
+
+let test_profile_deviate_many () =
+  let d = [| 1.0; 2.0; 3.0 |] in
+  let d' = Profile.deviate_many d [ (0, 5.0); (2, 6.0); (0, 7.0) ] in
+  Test_util.check_float "later wins" 7.0 d'.(0);
+  Test_util.check_float "second" 6.0 d'.(2)
+
+let test_profile_equal_up_to () =
+  Alcotest.(check bool) "close" true
+    (Profile.equal_up_to ~epsilon:1e-9 [| 1.0 |] [| 1.0 +. 1e-12 |]);
+  Alcotest.(check bool) "far" false
+    (Profile.equal_up_to ~epsilon:1e-9 [| 1.0 |] [| 1.1 |])
+
+let test_vcg_second_price () =
+  let p = hire_one 3 in
+  match Vcg.clarke_payments p [| 5.0; 3.0; 8.0 |] with
+  | None -> Alcotest.fail "feasible"
+  | Some (sol, pay) ->
+    Alcotest.(check bool) "cheapest wins" true sol.Vcg.used.(1);
+    Test_util.check_float "winner paid second price" 5.0 pay.(1);
+    Test_util.check_float "losers unpaid" 0.0 pay.(0);
+    Test_util.check_float "losers unpaid" 0.0 pay.(2)
+
+let test_vcg_monopoly_infinite () =
+  let p = hire_one 1 in
+  match Vcg.clarke_payments p [| 5.0 |] with
+  | None -> Alcotest.fail "feasible"
+  | Some (_, pay) -> Test_util.check_float "monopoly" infinity pay.(0)
+
+let test_mechanism_utilities () =
+  let m = Vcg.mechanism ~name:"hire" (hire_one 3) in
+  let truth = [| 5.0; 3.0; 8.0 |] in
+  match Mechanism.utilities m ~truth ~declared:truth with
+  | None -> Alcotest.fail "feasible"
+  | Some u ->
+    Test_util.check_float "winner utility = gap to second" 2.0 u.(1);
+    Test_util.check_float "loser zero" 0.0 u.(0)
+
+let test_social_welfare () =
+  let m = Vcg.mechanism ~name:"hire" (hire_one 2) in
+  let truth = [| 4.0; 6.0 |] in
+  match Mechanism.social_welfare m ~truth ~declared:truth with
+  | None -> Alcotest.fail "feasible"
+  | Some w -> Test_util.check_float "welfare = -cheapest true cost" (-4.0) w
+
+let test_ic_no_violation_for_vcg () =
+  let m = Vcg.mechanism ~name:"hire" (hire_one 4) in
+  let truth = [| 5.0; 3.0; 8.0; 4.0 |] in
+  let v =
+    Properties.random_ic_violations (Test_util.rng 3) m ~truth ~trials:200
+      ~lie_bound:20.0
+  in
+  Alcotest.(check int) "second-price auction is IC" 0 (List.length v)
+
+let test_ic_catches_first_price () =
+  (* Pay-your-bid (first price) is famously not IC: under-bidding helps
+     when you still win... for a cost auction, the winner wants to
+     OVER-bid as long as it stays the winner. *)
+  let base = hire_one 3 in
+  let m =
+    Mechanism.make ~name:"first-price"
+      ~run:(fun d ->
+        match base.Vcg.solve d with
+        | None -> None
+        | Some sol ->
+          let pay = Array.mapi (fun i u -> if u then d.(i) else 0.0) sol.Vcg.used in
+          Some (sol, pay))
+      ~valuation:(fun i sol c -> if sol.Vcg.used.(i) then -.c else 0.0)
+  in
+  let truth = [| 5.0; 3.0; 8.0 |] in
+  let v =
+    Properties.random_ic_violations (Test_util.rng 4) m ~truth ~trials:200
+      ~lie_bound:20.0
+  in
+  Alcotest.(check bool) "violations found" true (v <> [])
+
+let test_ir_holds_for_vcg () =
+  let m = Vcg.mechanism ~name:"hire" (hire_one 3) in
+  Alcotest.(check (list (pair int (float 0.0)))) "no negative utilities" []
+    (Properties.ir_violations m ~truth:[| 5.0; 3.0; 8.0 |])
+
+let test_ir_catches_undercompensation () =
+  let base = hire_one 2 in
+  let m =
+    Mechanism.make ~name:"stingy"
+      ~run:(fun d ->
+        match base.Vcg.solve d with
+        | None -> None
+        | Some sol -> Some (sol, Array.make 2 0.0))
+      ~valuation:(fun i sol c -> if sol.Vcg.used.(i) then -.c else 0.0)
+  in
+  let v = Properties.ir_violations m ~truth:[| 4.0; 6.0 |] in
+  Alcotest.(check (list (pair int (float 1e-9)))) "winner uncompensated"
+    [ (0, -4.0) ] v
+
+let test_pair_collusion_detects () =
+  (* Two contractors jointly over-bidding in a 2-agent market with no
+     third option: the VCG payment to the winner is the other's bid, so
+     coordinated inflation transfers unbounded profit.  (VCG is not
+     group-strategyproof.) *)
+  let m = Vcg.mechanism ~name:"hire" (hire_one 3) in
+  let truth = [| 5.0; 3.0; 100.0 |] in
+  let v =
+    Properties.pair_collusion_violations (Test_util.rng 5) m ~truth
+      ~pairs:[ (0, 1) ] ~trials_per_pair:40 ~lie_bound:80.0
+  in
+  Alcotest.(check bool) "pair gain found" true (v <> [])
+
+let test_violation_pp () =
+  let v =
+    {
+      Properties.agents = [ (1, 9.0) ];
+      honest_total = 1.0;
+      deviant_total = 3.0;
+    }
+  in
+  let s = Format.asprintf "%a" Properties.pp_violation v in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions coalition" true (contains s "coalition");
+  Alcotest.(check bool) "mentions gain" true (contains s "gain 2")
+
+let suite =
+  [
+    Alcotest.test_case "profile validation" `Quick test_profile_validate;
+    Alcotest.test_case "profile deviation" `Quick test_profile_deviate;
+    Alcotest.test_case "joint deviation" `Quick test_profile_deviate_many;
+    Alcotest.test_case "profile approx equality" `Quick test_profile_equal_up_to;
+    Alcotest.test_case "Clarke = second price" `Quick test_vcg_second_price;
+    Alcotest.test_case "monopoly priced infinite" `Quick test_vcg_monopoly_infinite;
+    Alcotest.test_case "utilities" `Quick test_mechanism_utilities;
+    Alcotest.test_case "social welfare" `Quick test_social_welfare;
+    Alcotest.test_case "IC holds for VCG" `Quick test_ic_no_violation_for_vcg;
+    Alcotest.test_case "IC falsifier catches first-price" `Quick test_ic_catches_first_price;
+    Alcotest.test_case "IR holds for VCG" `Quick test_ir_holds_for_vcg;
+    Alcotest.test_case "IR falsifier catches zero pay" `Quick test_ir_catches_undercompensation;
+    Alcotest.test_case "pair collusion falsifier" `Quick test_pair_collusion_detects;
+    Alcotest.test_case "violation printer" `Quick test_violation_pp;
+  ]

@@ -1,0 +1,110 @@
+open Wnet_graph
+
+let test_ring_metrics () =
+  let g = Wnet_topology.Fixtures.ring ~costs:(Array.make 6 1.0) in
+  let m = Metrics.compute g in
+  Alcotest.(check int) "nodes" 6 m.Metrics.nodes;
+  Alcotest.(check int) "edges" 6 m.Metrics.edges;
+  Alcotest.(check int) "min degree" 2 m.Metrics.min_degree;
+  Alcotest.(check int) "max degree" 2 m.Metrics.max_degree;
+  Test_util.check_float "mean degree" 2.0 m.Metrics.mean_degree;
+  Alcotest.(check int) "one component" 1 m.Metrics.components;
+  Alcotest.(check int) "diameter" 3 m.Metrics.hop_diameter;
+  Alcotest.(check bool) "biconnected" true m.Metrics.biconnected
+
+let test_line_metrics () =
+  let g = Wnet_topology.Fixtures.line ~costs:(Array.make 5 1.0) in
+  let m = Metrics.compute g in
+  Alcotest.(check int) "diameter" 4 m.Metrics.hop_diameter;
+  Alcotest.(check bool) "not biconnected" false m.Metrics.biconnected;
+  Alcotest.(check int) "min degree (leaf)" 1 m.Metrics.min_degree
+
+let test_disconnected_metrics () =
+  let g = Graph.create ~costs:(Array.make 5 1.0) ~edges:[ (0, 1); (2, 3) ] in
+  let m = Metrics.compute g in
+  Alcotest.(check int) "components" 3 m.Metrics.components;
+  Alcotest.(check int) "largest" 2 m.Metrics.largest_component;
+  Alcotest.(check int) "diameter within components" 1 m.Metrics.hop_diameter
+
+let test_mean_hop_distance () =
+  (* path 0-1-2: distances 1,1,2 each counted in both directions *)
+  let g = Wnet_topology.Fixtures.line ~costs:(Array.make 3 1.0) in
+  let m = Metrics.compute g in
+  Test_util.check_float "mean hops" (4.0 /. 3.0) m.Metrics.mean_hop_distance
+
+let test_degree_histogram () =
+  let g = Wnet_topology.Fixtures.line ~costs:(Array.make 4 1.0) in
+  Alcotest.(check (list (pair int int))) "2 leaves, 2 interior" [ (1, 2); (2, 2) ]
+    (Metrics.degree_histogram g)
+
+let test_empty_graph () =
+  let g = Graph.create ~costs:[| 1.0; 1.0 |] ~edges:[] in
+  let m = Metrics.compute g in
+  Alcotest.(check int) "no edges" 0 m.Metrics.edges;
+  Alcotest.(check int) "diameter 0" 0 m.Metrics.hop_diameter;
+  Alcotest.(check bool) "mean nan" true (Float.is_nan m.Metrics.mean_hop_distance)
+
+let test_csv_basic () =
+  let t = Wnet_stats.Table.make ~headers:[ "a"; "b" ] in
+  Wnet_stats.Table.add_row t [ "1"; "2" ];
+  Wnet_stats.Table.add_row t [ "x,y"; "q\"z" ];
+  let csv = Wnet_stats.Table.to_csv t in
+  let lines = String.split_on_char '\n' csv in
+  Alcotest.(check int) "three lines" 3 (List.length lines);
+  Alcotest.(check string) "header" "a,b" (List.nth lines 0);
+  Alcotest.(check string) "plain row" "1,2" (List.nth lines 1);
+  Alcotest.(check string) "quoted row" "\"x,y\",\"q\"\"z\"" (List.nth lines 2)
+
+let test_csv_row_order () =
+  let t = Wnet_stats.Table.make ~headers:[ "v" ] in
+  Wnet_stats.Table.add_row t [ "first" ];
+  Wnet_stats.Table.add_row t [ "second" ];
+  let csv = Wnet_stats.Table.to_csv t in
+  Alcotest.(check bool) "order kept" true
+    (Str_ext.index_of csv "first" < Str_ext.index_of csv "second")
+
+
+let test_udg_instance_metrics () =
+  (* sanity on a realistic instance: the paper's deployment at n = 150 is
+     connected with high probability and has a multi-hop diameter *)
+  let r = Test_util.rng 200 in
+  match
+    Wnet_topology.Udg.generate_connected r
+      ~region:(Wnet_geom.Region.square 1500.0) ~n:120 ~range:300.0 ~max_tries:50
+  with
+  | None -> Alcotest.fail "should connect at this density"
+  | Some t ->
+    let g = Wnet_topology.Udg.node_graph t ~costs:(Array.make 120 1.0) in
+    let m = Metrics.compute g in
+    Alcotest.(check int) "one component" 1 m.Metrics.components;
+    Alcotest.(check bool) "multi-hop diameter" true (m.Metrics.hop_diameter >= 3);
+    Alcotest.(check bool) "mean degree plausible" true
+      (m.Metrics.mean_degree > 3.0 && m.Metrics.mean_degree < 40.0)
+
+let prop_metrics_invariants =
+  Test_util.qcheck_case ~count:40 "metric invariants on random graphs"
+    Test_util.seed_gen (fun seed ->
+      let g = Test_util.random_sparse_graph (Test_util.rng seed) in
+      let m = Metrics.compute g in
+      m.Metrics.min_degree <= m.Metrics.max_degree
+      && m.Metrics.mean_degree >= float_of_int m.Metrics.min_degree -. 1e-9
+      && m.Metrics.mean_degree <= float_of_int m.Metrics.max_degree +. 1e-9
+      && m.Metrics.largest_component <= m.Metrics.nodes
+      && m.Metrics.components >= 1
+      && (m.Metrics.components = 1) = Connectivity.is_connected g
+      && List.fold_left (fun a (_, c) -> a + c) 0 (Metrics.degree_histogram g)
+         = m.Metrics.nodes)
+
+let suite =
+  [
+    Alcotest.test_case "ring metrics" `Quick test_ring_metrics;
+    Alcotest.test_case "line metrics" `Quick test_line_metrics;
+    Alcotest.test_case "disconnected metrics" `Quick test_disconnected_metrics;
+    Alcotest.test_case "mean hop distance" `Quick test_mean_hop_distance;
+    Alcotest.test_case "degree histogram" `Quick test_degree_histogram;
+    Alcotest.test_case "empty graph" `Quick test_empty_graph;
+    Alcotest.test_case "csv escaping" `Quick test_csv_basic;
+    Alcotest.test_case "csv row order" `Quick test_csv_row_order;
+    Alcotest.test_case "UDG instance metrics" `Quick test_udg_instance_metrics;
+    prop_metrics_invariants;
+  ]

@@ -1,0 +1,98 @@
+open Wnet_core
+
+let sample source payment lcp_cost hops =
+  { Overpayment.source; payment; lcp_cost; hops }
+
+let test_study_basic () =
+  let s =
+    Overpayment.study [ sample 1 3.0 2.0 2; sample 2 6.0 3.0 3 ]
+  in
+  Test_util.check_float "TOR = 9/5" (9.0 /. 5.0) s.Overpayment.tor;
+  Test_util.check_float "IOR = (1.5 + 2)/2" 1.75 s.Overpayment.ior;
+  Test_util.check_float "worst" 2.0 s.Overpayment.worst;
+  Alcotest.(check int) "none skipped" 0 s.Overpayment.skipped
+
+let test_study_skips_trivial_and_infinite () =
+  let s =
+    Overpayment.study
+      [ sample 1 3.0 2.0 2; sample 2 0.0 0.0 1; sample 3 infinity 2.0 2 ]
+  in
+  Alcotest.(check int) "two skipped" 2 s.Overpayment.skipped;
+  Test_util.check_float "ratios from the remaining one" 1.5 s.Overpayment.ior
+
+let test_study_empty () =
+  let s = Overpayment.study [] in
+  Alcotest.(check bool) "nan tor" true (Float.is_nan s.Overpayment.tor)
+
+let test_by_hop_buckets () =
+  let buckets =
+    Overpayment.by_hop
+      [ sample 1 2.0 1.0 2; sample 2 4.0 1.0 2; sample 3 3.0 2.0 5 ]
+  in
+  match buckets with
+  | [ b2; b5 ] ->
+    Alcotest.(check int) "hop 2" 2 b2.Overpayment.hop;
+    Alcotest.(check int) "count" 2 b2.Overpayment.count;
+    Test_util.check_float "mean" 3.0 b2.Overpayment.mean_ratio;
+    Test_util.check_float "max" 4.0 b2.Overpayment.max_ratio;
+    Alcotest.(check int) "hop 5" 5 b5.Overpayment.hop;
+    Test_util.check_float "single ratio" 1.5 b5.Overpayment.mean_ratio
+  | _ -> Alcotest.fail "expected two buckets"
+
+let test_of_unicast () =
+  let g = Examples.diamond in
+  let r = Unicast.run g ~src:3 ~dst:0 |> Option.get in
+  match Overpayment.of_unicast [ r ] with
+  | [ s ] ->
+    Alcotest.(check int) "source" 3 s.Overpayment.source;
+    Test_util.check_float "payment" 3.0 s.Overpayment.payment;
+    Test_util.check_float "cost" 1.0 s.Overpayment.lcp_cost;
+    Alcotest.(check int) "hops" 2 s.Overpayment.hops
+  | _ -> Alcotest.fail "one sample"
+
+let test_of_link_batch () =
+  let g =
+    Wnet_graph.Digraph.create ~n:4
+      ~links:
+        [ (1, 0, 1.0); (2, 1, 2.0); (2, 0, 9.0); (3, 2, 1.0); (3, 0, 20.0); (1, 2, 2.0) ]
+  in
+  let batch = Link_cost.all_to_root g ~root:0 in
+  let samples = Overpayment.of_link_batch batch in
+  (* sources 1, 2, 3 all reach the root *)
+  Alcotest.(check int) "three samples" 3 (List.length samples)
+
+let test_merge_studies () =
+  let s1 = Overpayment.study [ sample 1 3.0 2.0 2 ] in
+  let s2 = Overpayment.study [ sample 2 6.0 3.0 3; sample 9 0.0 0.0 1 ] in
+  let m = Overpayment.merge_studies [ s1; s2 ] in
+  Test_util.check_float "pooled TOR" (9.0 /. 5.0) m.Overpayment.tor;
+  Alcotest.(check int) "skips accumulated" 1 m.Overpayment.skipped
+
+let test_ratio_at_least_one () =
+  (* With truthful bids, payment >= LCP cost, so every ratio >= 1. *)
+  let r = Test_util.rng 120 in
+  for _ = 1 to 10 do
+    let g = Test_util.random_ring_graph ~max_n:25 r in
+    let batch = Unicast.all_to_root g ~root:0 in
+    let samples =
+      Array.to_list batch |> List.filter_map Fun.id |> Overpayment.of_unicast
+    in
+    let s = Overpayment.study samples in
+    match s.Overpayment.samples with
+    | [] -> ()
+    | _ ->
+      Alcotest.(check bool) "IOR >= 1" true (s.Overpayment.ior >= 1.0 -. 1e-9);
+      Alcotest.(check bool) "TOR >= 1" true (s.Overpayment.tor >= 1.0 -. 1e-9)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "study basics" `Quick test_study_basic;
+    Alcotest.test_case "skips trivial/infinite" `Quick test_study_skips_trivial_and_infinite;
+    Alcotest.test_case "empty study" `Quick test_study_empty;
+    Alcotest.test_case "hop buckets" `Quick test_by_hop_buckets;
+    Alcotest.test_case "samples from unicast" `Quick test_of_unicast;
+    Alcotest.test_case "samples from link batch" `Quick test_of_link_batch;
+    Alcotest.test_case "merging studies" `Quick test_merge_studies;
+    Alcotest.test_case "truthful ratios >= 1" `Quick test_ratio_at_least_one;
+  ]

@@ -1,0 +1,58 @@
+open Wnet_graph
+
+let g = Wnet_core.Examples.diamond
+
+let test_accessors () =
+  let p = [| 3; 1; 0 |] in
+  Alcotest.(check int) "source" 3 (Path.source p);
+  Alcotest.(check int) "destination" 0 (Path.destination p);
+  Alcotest.(check int) "hops" 2 (Path.hops p);
+  Alcotest.(check (array int)) "relays" [| 1 |] (Path.relays p)
+
+let test_trivial_paths () =
+  Alcotest.(check (array int)) "no relay on 2-node path" [||] (Path.relays [| 0; 1 |]);
+  Alcotest.(check int) "single node hops" 0 (Path.hops [| 4 |]);
+  Test_util.check_float "2-node cost" 0.0 (Path.relay_cost g [| 0; 1 |])
+
+let test_relay_cost () =
+  Test_util.check_float "relay 1 only" 1.0 (Path.relay_cost g [| 0; 1; 3 |]);
+  Test_util.check_float "relay 2 only" 3.0 (Path.relay_cost g [| 0; 2; 3 |])
+
+let test_link_cost () =
+  let d = Digraph.create ~n:3 ~links:[ (0, 1, 2.0); (1, 2, 3.0) ] in
+  Test_util.check_float "sum of links" 5.0 (Path.link_cost d [| 0; 1; 2 |]);
+  Test_util.check_float "missing link" infinity (Path.link_cost d [| 0; 2 |])
+
+let test_is_valid () =
+  Alcotest.(check bool) "valid" true (Path.is_valid g [| 0; 1; 3 |]);
+  Alcotest.(check bool) "non-adjacent" false (Path.is_valid g [| 0; 3 |]);
+  Alcotest.(check bool) "repeat" false (Path.is_valid g [| 0; 1; 0 |]);
+  Alcotest.(check bool) "empty" false (Path.is_valid g [||]);
+  Alcotest.(check bool) "out of range" false (Path.is_valid g [| 0; 9 |])
+
+let test_is_valid_directed () =
+  let d = Digraph.create ~n:3 ~links:[ (0, 1, 1.0); (1, 2, 1.0) ] in
+  Alcotest.(check bool) "forward ok" true (Path.is_valid_directed d [| 0; 1; 2 |]);
+  Alcotest.(check bool) "backward not" false (Path.is_valid_directed d [| 2; 1; 0 |])
+
+let test_mem () =
+  let p = [| 3; 1; 0 |] in
+  Alcotest.(check bool) "endpoint" true (Path.mem p 3);
+  Alcotest.(check bool) "relay" true (Path.mem p 1);
+  Alcotest.(check bool) "absent" false (Path.mem p 2)
+
+let test_pp () =
+  Alcotest.(check string) "render" "3 -> 1 -> 0"
+    (Format.asprintf "%a" Path.pp [| 3; 1; 0 |])
+
+let suite =
+  [
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "trivial paths" `Quick test_trivial_paths;
+    Alcotest.test_case "relay cost" `Quick test_relay_cost;
+    Alcotest.test_case "link cost" `Quick test_link_cost;
+    Alcotest.test_case "validity (undirected)" `Quick test_is_valid;
+    Alcotest.test_case "validity (directed)" `Quick test_is_valid_directed;
+    Alcotest.test_case "membership" `Quick test_mem;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

@@ -1,0 +1,156 @@
+open Wnet_dsim
+
+let biconnected r n =
+  Wnet_topology.Gnp.biconnected_graph r ~n ~p:0.25 ~cost_lo:0.5 ~cost_hi:5.0
+    ~max_tries:100
+
+let test_agrees_with_centralized () =
+  let r = Test_util.rng 90 in
+  let exercised = ref 0 in
+  for _ = 1 to 25 do
+    match biconnected r (5 + Wnet_prng.Rng.int r 25) with
+    | None -> ()
+    | Some g ->
+      incr exercised;
+      let o = Payment_protocol.run g ~root:0 in
+      Alcotest.(check bool) "converged" true o.Payment_protocol.stats.Engine.converged;
+      Alcotest.(check bool) "= centralized VCG" true
+        (Payment_protocol.agrees_with_centralized o g)
+  done;
+  Alcotest.(check bool) "exercised" true (!exercised > 10)
+
+let test_rounds_at_most_n () =
+  let r = Test_util.rng 91 in
+  for _ = 1 to 10 do
+    let n = 10 + Wnet_prng.Rng.int r 30 in
+    match biconnected r n with
+    | None -> ()
+    | Some g ->
+      let o = Payment_protocol.run g ~root:0 in
+      Alcotest.(check bool) "<= n rounds" true
+        (o.Payment_protocol.stats.Engine.rounds <= n)
+  done
+
+let test_non_biconnected_infinite_entries () =
+  (* On a line every relay is a cut node: distributed entries must stay
+     infinite, like the centralized ones. *)
+  let g = Wnet_topology.Fixtures.line ~costs:(Array.make 4 1.0) in
+  let o = Payment_protocol.run g ~root:0 in
+  Alcotest.(check bool) "converged" true o.Payment_protocol.stats.Engine.converged;
+  Alcotest.(check bool) "= centralized (infinite payments)" true
+    (Payment_protocol.agrees_with_centralized o g)
+
+let test_root_and_adjacent_empty () =
+  let r = Test_util.rng 92 in
+  match biconnected r 12 with
+  | None -> Alcotest.fail "generation failed"
+  | Some g ->
+    let o = Payment_protocol.run g ~root:0 in
+    Alcotest.(check (list (pair int (float 0.0)))) "root empty" []
+      o.Payment_protocol.payments.(0);
+    Array.iter
+      (fun v ->
+        Alcotest.(check (list (pair int (float 0.0)))) "AP neighbour empty" []
+          o.Payment_protocol.payments.(v))
+      (Wnet_graph.Graph.neighbors g 0)
+
+let test_honest_run_no_accusations () =
+  let r = Test_util.rng 93 in
+  match biconnected r 15 with
+  | None -> Alcotest.fail "generation failed"
+  | Some g ->
+    let o = Payment_protocol.run ~verify:true g ~root:0 in
+    Alcotest.(check (list (pair int int))) "silent" [] o.Payment_protocol.accusations;
+    Alcotest.(check bool) "still correct" true
+      (Payment_protocol.agrees_with_centralized o g)
+
+let test_deflating_cheater_accused () =
+  let r = Test_util.rng 94 in
+  let caught = ref 0 and eligible = ref 0 in
+  for _ = 1 to 15 do
+    match biconnected r (8 + Wnet_prng.Rng.int r 15) with
+    | None -> ()
+    | Some g ->
+      let honest = Payment_protocol.run g ~root:0 in
+      let cheat = 1 + Wnet_prng.Rng.int r (Wnet_graph.Graph.n g - 1) in
+      if honest.Payment_protocol.payments.(cheat) <> [] then begin
+        incr eligible;
+        let adversaries v =
+          if v = cheat then Payment_protocol.Deflate_entries 0.4
+          else Payment_protocol.Honest
+        in
+        let o = Payment_protocol.run ~adversaries ~verify:true g ~root:0 in
+        if List.exists (fun (_, a) -> a = cheat) o.Payment_protocol.accusations then
+          incr caught;
+        (* no honest node is ever accused *)
+        List.iter
+          (fun (_, a) -> Alcotest.(check int) "only the cheater" cheat a)
+          o.Payment_protocol.accusations
+      end
+  done;
+  Alcotest.(check bool) "eligible cases" true (!eligible > 5);
+  Alcotest.(check int) "always caught" !eligible !caught
+
+let test_centralized_reference_shape () =
+  let g = Wnet_core.Examples.fig4.Wnet_core.Examples.graph in
+  let reference = Payment_protocol.centralized_reference g ~root:0 in
+  Alcotest.(check (list (pair int (float 1e-9)))) "v8 pays its two relays"
+    [ (5, 10.0); (6, 10.0) ] reference.(8)
+
+let test_full_pipeline_matches_centralized () =
+  let r = Test_util.rng 95 in
+  let exercised = ref 0 in
+  for _ = 1 to 12 do
+    match biconnected r (5 + Wnet_prng.Rng.int r 20) with
+    | None -> ()
+    | Some g ->
+      incr exercised;
+      let o = Payment_protocol.run_full g ~root:0 in
+      Alcotest.(check bool) "pipeline converged" true o.Payment_protocol.stats.Engine.converged;
+      Alcotest.(check bool) "fully distributed = centralized VCG" true
+        (Payment_protocol.agrees_with_centralized o g)
+  done;
+  Alcotest.(check bool) "exercised" true (!exercised > 5)
+
+let test_full_pipeline_stats_aggregate () =
+  let r = Test_util.rng 96 in
+  match biconnected r 12 with
+  | None -> Alcotest.fail "generation"
+  | Some g ->
+    let o = Payment_protocol.run_full g ~root:0 in
+    let stage2 = Payment_protocol.run g ~root:0 in
+    Alcotest.(check bool) "aggregated rounds exceed stage 2 alone" true
+      (o.Payment_protocol.stats.Engine.rounds
+       > stage2.Payment_protocol.stats.Engine.rounds)
+
+
+let test_scale_n150 () =
+  (* the convergence and agreement claims at a size closer to the paper's
+     simulations *)
+  let r = Test_util.rng 97 in
+  match
+    Wnet_topology.Gnp.biconnected_graph r ~n:150 ~p:0.04 ~cost_lo:1.0
+      ~cost_hi:10.0 ~max_tries:100
+  with
+  | None -> Alcotest.fail "generation failed"
+  | Some g ->
+    let o = Payment_protocol.run g ~root:0 in
+    Alcotest.(check bool) "converged" true o.Payment_protocol.stats.Engine.converged;
+    Alcotest.(check bool) "rounds <= n" true
+      (o.Payment_protocol.stats.Engine.rounds <= 150);
+    Alcotest.(check bool) "= centralized at n=150" true
+      (Payment_protocol.agrees_with_centralized o g)
+
+let suite =
+  [
+    Alcotest.test_case "distributed = centralized" `Quick test_agrees_with_centralized;
+    Alcotest.test_case "rounds <= n (paper claim)" `Quick test_rounds_at_most_n;
+    Alcotest.test_case "cut relays stay infinite" `Quick test_non_biconnected_infinite_entries;
+    Alcotest.test_case "root/adjacent tables empty" `Quick test_root_and_adjacent_empty;
+    Alcotest.test_case "honest verify run silent" `Quick test_honest_run_no_accusations;
+    Alcotest.test_case "deflating cheater accused" `Quick test_deflating_cheater_accused;
+    Alcotest.test_case "centralized reference (fig4)" `Quick test_centralized_reference_shape;
+    Alcotest.test_case "fully distributed pipeline" `Quick test_full_pipeline_matches_centralized;
+    Alcotest.test_case "pipeline stats aggregate" `Quick test_full_pipeline_stats_aggregate;
+    Alcotest.test_case "scale: n = 150" `Quick test_scale_n150;
+  ]

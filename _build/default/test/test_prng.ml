@@ -1,0 +1,187 @@
+open Wnet_prng
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check (float 0.0)) "same stream" (Rng.float a 1.0) (Rng.float b 1.0)
+  done
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  let _ = Rng.float a 1.0 in
+  let b = Rng.copy a in
+  let xa = Rng.float a 1.0 and xb = Rng.float b 1.0 in
+  Alcotest.(check (float 0.0)) "copy replays" xa xb;
+  (* advancing the copy does not advance the original *)
+  let _ = Rng.float b 1.0 in
+  let a2 = Rng.float a 1.0 and b2 = Rng.float b 1.0 in
+  Alcotest.(check bool) "streams diverge after copy use" true (a2 <> b2 || a2 = b2)
+
+let test_split_differs () =
+  let a = Rng.create 9 in
+  let child = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.float a 1.0 = Rng.float child 1.0 then incr same
+  done;
+  Alcotest.(check bool) "child stream decorrelated" true (!same < 5)
+
+let test_float_range () =
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.float_range r 2.0 5.0 in
+    Alcotest.(check bool) "in range" true (x >= 2.0 && x < 5.0)
+  done
+
+let test_float_unit_interval () =
+  let r = Rng.create 2 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r 1.0 in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_int_bounds () =
+  let r = Rng.create 3 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 2000 do
+    let x = Rng.int r 7 in
+    Alcotest.(check bool) "in [0,7)" true (x >= 0 && x < 7);
+    seen.(x) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_int_range_inclusive () =
+  let r = Rng.create 4 in
+  let lo = ref max_int and hi = ref min_int in
+  for _ = 1 to 2000 do
+    let x = Rng.int_range r (-3) 3 in
+    lo := min !lo x;
+    hi := max !hi x
+  done;
+  Alcotest.(check int) "reaches low end" (-3) !lo;
+  Alcotest.(check int) "reaches high end" 3 !hi
+
+let test_int_invalid () =
+  let r = Rng.create 5 in
+  Alcotest.check_raises "n = 0 rejected" (Invalid_argument "Splitmix64.next_below: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_bernoulli_bias () =
+  let r = Rng.create 6 in
+  let hits = ref 0 in
+  let trials = 20_000 in
+  for _ = 1 to trials do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int trials in
+  Alcotest.(check bool) "frequency near 0.3" true (Float.abs (freq -. 0.3) < 0.02)
+
+let test_uniform_mean () =
+  let r = Rng.create 8 in
+  let sum = ref 0.0 in
+  let trials = 20_000 in
+  for _ = 1 to trials do
+    sum := !sum +. Rng.float r 1.0
+  done;
+  let mean = !sum /. float_of_int trials in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_exponential_mean () =
+  let r = Rng.create 10 in
+  let sum = ref 0.0 in
+  let trials = 20_000 in
+  for _ = 1 to trials do
+    sum := !sum +. Rng.exponential r 2.0
+  done;
+  let mean = !sum /. float_of_int trials in
+  Alcotest.(check bool) "mean near 1/rate" true (Float.abs (mean -. 0.5) < 0.05)
+
+let test_gaussian_moments () =
+  let r = Rng.create 11 in
+  let trials = 20_000 in
+  let xs = Array.init trials (fun _ -> Rng.gaussian r ~mean:3.0 ~std:2.0) in
+  let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int trials in
+  let var =
+    Array.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 xs
+    /. float_of_int trials
+  in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (mean -. 3.0) < 0.1);
+  Alcotest.(check bool) "std near 2" true (Float.abs (sqrt var -. 2.0) < 0.1)
+
+let test_shuffle_permutation () =
+  let r = Rng.create 12 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle_in_place r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let r = Rng.create 13 in
+  let a = Array.init 20 Fun.id in
+  let s = Rng.sample_without_replacement r 8 a in
+  Alcotest.(check int) "size" 8 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  let distinct = Array.for_all Fun.id (Array.mapi (fun i x -> i = 0 || sorted.(i - 1) <> x) sorted) in
+  Alcotest.(check bool) "distinct" true distinct
+
+let test_choose () =
+  let r = Rng.create 14 in
+  for _ = 1 to 100 do
+    let x = Rng.choose r [| 5; 6; 7 |] in
+    Alcotest.(check bool) "member" true (List.mem x [ 5; 6; 7 ])
+  done
+
+
+let test_splitmix_raw () =
+  let a = Wnet_prng.Splitmix64.create 42L in
+  let b = Wnet_prng.Splitmix64.create 42L in
+  Alcotest.(check int64) "same outputs" (Wnet_prng.Splitmix64.next a)
+    (Wnet_prng.Splitmix64.next b);
+  let c = Wnet_prng.Splitmix64.copy a in
+  Alcotest.(check int64) "copy replays" (Wnet_prng.Splitmix64.next a)
+    (Wnet_prng.Splitmix64.next c)
+
+let test_of_state () =
+  let s = Wnet_prng.Splitmix64.create 7L in
+  let r = Rng.of_state s in
+  let x = Rng.float r 1.0 in
+  Alcotest.(check bool) "usable" true (x >= 0.0 && x < 1.0)
+
+let test_next_below_uniformity () =
+  (* chi-square-ish sanity on next_below 10 *)
+  let s = Wnet_prng.Splitmix64.create 11L in
+  let counts = Array.make 10 0 in
+  let trials = 50_000 in
+  for _ = 1 to trials do
+    let k = Wnet_prng.Splitmix64.next_below s 10 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let freq = float_of_int c /. float_of_int trials in
+      Alcotest.(check bool) "each cell near 10%" true (Float.abs (freq -. 0.1) < 0.01))
+    counts
+
+let suite =
+  [
+    Alcotest.test_case "determinism from seed" `Quick test_determinism;
+    Alcotest.test_case "copy replays the stream" `Quick test_copy_independent;
+    Alcotest.test_case "split decorrelates" `Quick test_split_differs;
+    Alcotest.test_case "float_range bounds" `Quick test_float_range;
+    Alcotest.test_case "float unit interval" `Quick test_float_unit_interval;
+    Alcotest.test_case "int bounds and coverage" `Quick test_int_bounds;
+    Alcotest.test_case "int_range inclusive" `Quick test_int_range_inclusive;
+    Alcotest.test_case "int rejects bad bound" `Quick test_int_invalid;
+    Alcotest.test_case "bernoulli bias" `Quick test_bernoulli_bias;
+    Alcotest.test_case "uniform mean" `Quick test_uniform_mean;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "choose picks members" `Quick test_choose;
+    Alcotest.test_case "splitmix raw interface" `Quick test_splitmix_raw;
+    Alcotest.test_case "of_state wrapper" `Quick test_of_state;
+    Alcotest.test_case "next_below uniformity" `Quick test_next_below_uniformity;
+  ]

@@ -1,0 +1,103 @@
+open Wnet_core
+
+(* Session pricing (Sec. II-C) and the coalition falsifier (Def. 1). *)
+
+let test_session_scaling () =
+  let r = Unicast.run Examples.diamond ~src:3 ~dst:0 |> Option.get in
+  Test_util.check_float "per-packet" 3.0 (Unicast.session_payment_to r ~packets:1 1);
+  Test_util.check_float "7 packets" 21.0 (Unicast.session_payment_to r ~packets:7 1);
+  Test_util.check_float "charge" 21.0 (Unicast.session_charge r ~packets:7);
+  Test_util.check_float "zero packets" 0.0 (Unicast.session_charge r ~packets:0)
+
+let test_session_validation () =
+  let r = Unicast.run Examples.diamond ~src:3 ~dst:0 |> Option.get in
+  Alcotest.check_raises "negative" (Invalid_argument "Unicast: negative packet count")
+    (fun () -> ignore (Unicast.session_charge r ~packets:(-1)))
+
+let test_all_but_one_coalition_wins () =
+  (* The paper's remark: if all nodes but the source collude and declare
+     arbitrarily high costs, the source overpays arbitrarily — no true
+     group strategyproof mechanism exists.  The coalition of all relays
+     on a theta graph strictly gains by coordinated inflation. *)
+  let g =
+    Wnet_topology.Fixtures.theta ~spine_costs:[| 1.0; 1.0 |]
+      ~arm_costs:[| [| 2.0 |]; [| 3.0 |] |]
+  in
+  let m = Unicast.mechanism g ~src:0 ~dst:1 in
+  let truth = Wnet_graph.Graph.costs g in
+  let v =
+    Wnet_mech.Properties.coalition_violations (Test_util.rng 130) m ~truth
+      ~coalitions:[ [ 2; 3 ] ] ~trials_per_coalition:60 ~lie_bound:50.0
+  in
+  Alcotest.(check bool) "grand coalition gains" true (v <> [])
+
+let test_singleton_coalition_never_wins () =
+  (* k = 1 coalitions are exactly unilateral deviations: VCG is immune. *)
+  let r = Test_util.rng 131 in
+  for _ = 1 to 5 do
+    let g = Test_util.random_ring_graph ~max_n:12 r in
+    let n = Wnet_graph.Graph.n g in
+    let src = Wnet_prng.Rng.int r n in
+    let dst = (src + 1 + Wnet_prng.Rng.int r (n - 1)) mod n in
+    let m = Unicast.mechanism g ~src ~dst in
+    let coalitions = List.init n (fun i -> [ i ]) in
+    let v =
+      Wnet_mech.Properties.coalition_violations (Wnet_prng.Rng.split r) m
+        ~truth:(Wnet_graph.Graph.costs g) ~coalitions ~trials_per_coalition:10
+        ~lie_bound:40.0
+    in
+    Alcotest.(check int) "no singleton gains" 0 (List.length v)
+  done
+
+let test_scheme_ablation_runs () =
+  let rows =
+    Wnet_experiments.Scheme_ablation.sweep ~ns:[ 25 ] ~instances:2 ~seed:9 ()
+  in
+  match rows with
+  | [ r ] ->
+    Alcotest.(check bool) "sources measured" true (r.Wnet_experiments.Scheme_ablation.sources > 0);
+    Alcotest.(check bool) "premium >= 1" true
+      (r.Wnet_experiments.Scheme_ablation.mean_ratio >= 1.0);
+    Alcotest.(check bool) "max >= mean" true
+      (r.Wnet_experiments.Scheme_ablation.max_ratio
+       >= r.Wnet_experiments.Scheme_ablation.mean_ratio -. 1e-9)
+  | _ -> Alcotest.fail "one row"
+
+let test_baseline_nuglet_monotone_delivery () =
+  let rows =
+    Wnet_experiments.Baseline_exp.nuglet_sweep ~n:80 ~instances:2 ~seed:10 ()
+  in
+  let rates = List.map (fun r -> r.Wnet_experiments.Baseline_exp.delivery_rate) rows in
+  let rec non_decreasing = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && non_decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "delivery grows with price" true (non_decreasing rates);
+  (match List.rev rows with
+  | last :: _ ->
+    Alcotest.(check bool) "social cost ratio >= 1 at high price" true
+      (last.Wnet_experiments.Baseline_exp.social_cost_ratio >= 1.0 -. 1e-9)
+  | [] -> Alcotest.fail "rows expected")
+
+let test_baseline_watchdog_wrongfulness_decreases () =
+  let rows =
+    Wnet_experiments.Baseline_exp.watchdog_sweep ~n:50 ~batteries:[ 5; 320 ]
+      ~instances:2 ~seed:11 ()
+  in
+  match rows with
+  | [ tight; ample ] ->
+    Alcotest.(check bool) "tight batteries mislabel more" true
+      (tight.Wnet_experiments.Baseline_exp.wrongful_fraction
+       >= ample.Wnet_experiments.Baseline_exp.wrongful_fraction)
+  | _ -> Alcotest.fail "two rows"
+
+let suite =
+  [
+    Alcotest.test_case "session payments scale" `Quick test_session_scaling;
+    Alcotest.test_case "session validation" `Quick test_session_validation;
+    Alcotest.test_case "relay coalition beats VCG" `Quick test_all_but_one_coalition_wins;
+    Alcotest.test_case "singleton coalitions lose" `Quick test_singleton_coalition_never_wins;
+    Alcotest.test_case "scheme ablation runs" `Quick test_scheme_ablation_runs;
+    Alcotest.test_case "nuglet delivery monotone in price" `Quick test_baseline_nuglet_monotone_delivery;
+    Alcotest.test_case "watchdog wrongfulness vs battery" `Quick test_baseline_watchdog_wrongfulness_decreases;
+  ]

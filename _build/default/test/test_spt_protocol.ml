@@ -1,0 +1,127 @@
+open Wnet_dsim
+
+let test_honest_matches_centralized () =
+  let r = Test_util.rng 80 in
+  for _ = 1 to 25 do
+    let g = Wnet_topology.Gnp.connected_graph r ~n:(5 + Wnet_prng.Rng.int r 30)
+        ~p:0.15 ~cost_lo:0.5 ~cost_hi:5.0
+    in
+    let res = Spt_protocol.run g ~root:0 in
+    Alcotest.(check bool) "matches" true (Spt_protocol.matches_centralized res g ~root:0);
+    Alcotest.(check bool) "converged" true res.Spt_protocol.stats.Engine.converged
+  done
+
+let test_rounds_bounded () =
+  let r = Test_util.rng 81 in
+  for _ = 1 to 10 do
+    let n = 10 + Wnet_prng.Rng.int r 40 in
+    let g = Wnet_topology.Gnp.connected_graph r ~n ~p:0.2 ~cost_lo:0.5 ~cost_hi:5.0 in
+    let res = Spt_protocol.run g ~root:0 in
+    Alcotest.(check bool) "at most n rounds" true
+      (res.Spt_protocol.stats.Engine.rounds <= n)
+  done
+
+let test_disconnected_nodes_stay_infinite () =
+  let g =
+    Wnet_graph.Graph.create ~costs:[| 1.0; 1.0; 1.0; 1.0 |]
+      ~edges:[ (0, 1); (2, 3) ]
+  in
+  let res = Spt_protocol.run g ~root:0 in
+  Test_util.check_float "island" infinity (Spt_protocol.distances res).(2);
+  Alcotest.(check int) "no first hop" (-1) (Spt_protocol.first_hops res).(2)
+
+let test_paths_follow_first_hops () =
+  let r = Test_util.rng 82 in
+  let g = Wnet_topology.Gnp.connected_graph r ~n:20 ~p:0.2 ~cost_lo:1.0 ~cost_hi:5.0 in
+  let res = Spt_protocol.run g ~root:0 in
+  for v = 1 to 19 do
+    match Spt_protocol.path_of res v ~root:0 with
+    | None -> Alcotest.fail "path must exist"
+    | Some p ->
+      Alcotest.(check bool) "valid path" true (Wnet_graph.Path.is_valid g p);
+      Alcotest.(check int) "starts at v" v (Wnet_graph.Path.source p);
+      Test_util.check_float "cost consistent" (Spt_protocol.distances res).(v)
+        (Wnet_graph.Path.relay_cost g p)
+  done
+
+let test_hide_neighbour_changes_route () =
+  let f = Wnet_core.Examples.fig2 in
+  let behaviours v =
+    if v = f.Wnet_core.Examples.source then
+      Spt_protocol.Hide_neighbours [ snd f.Wnet_core.Examples.hidden_edge ]
+    else Spt_protocol.Honest
+  in
+  let res = Spt_protocol.run ~behaviours f.Wnet_core.Examples.graph
+      ~root:f.Wnet_core.Examples.access_point
+  in
+  Test_util.check_float "liar routes the long way" 4.0
+    (Spt_protocol.distances res).(f.Wnet_core.Examples.source);
+  Alcotest.(check int) "first hop is the pricey arm" 5
+    (Spt_protocol.first_hops res).(f.Wnet_core.Examples.source)
+
+let test_verified_restores_fig2 () =
+  let f = Wnet_core.Examples.fig2 in
+  let behaviours v =
+    if v = f.Wnet_core.Examples.source then
+      Spt_protocol.Hide_neighbours [ snd f.Wnet_core.Examples.hidden_edge ]
+    else Spt_protocol.Honest
+  in
+  let res =
+    Spt_protocol.run ~behaviours ~verified:true f.Wnet_core.Examples.graph
+      ~root:f.Wnet_core.Examples.access_point
+  in
+  Test_util.check_float "corrected to the true distance" 3.0
+    (Spt_protocol.distances res).(f.Wnet_core.Examples.source);
+  Alcotest.(check bool) "liar was corrected" true
+    (res.Spt_protocol.states.(f.Wnet_core.Examples.source).Spt_protocol.corrections > 0)
+
+let test_verified_defeats_inflation () =
+  let r = Test_util.rng 83 in
+  for _ = 1 to 20 do
+    let n = 6 + Wnet_prng.Rng.int r 25 in
+    let g = Wnet_topology.Gnp.connected_graph r ~n ~p:0.2 ~cost_lo:0.5 ~cost_hi:5.0 in
+    let liar = 1 + Wnet_prng.Rng.int r (n - 1) in
+    let behaviours v =
+      if v = liar then Spt_protocol.Inflate_distance 500.0 else Spt_protocol.Honest
+    in
+    let res = Spt_protocol.run ~behaviours ~verified:true g ~root:0 in
+    Alcotest.(check bool) "true SPT restored" true
+      (Spt_protocol.matches_centralized res g ~root:0);
+    Alcotest.(check bool) "converged" true res.Spt_protocol.stats.Engine.converged
+  done
+
+let test_unverified_inflation_distorts () =
+  (* On a line, inflating an interior node's distance misleads everyone
+     behind it. *)
+  let g = Wnet_topology.Fixtures.line ~costs:(Array.make 4 1.0) in
+  let behaviours v =
+    if v = 1 then Spt_protocol.Inflate_distance 100.0 else Spt_protocol.Honest
+  in
+  let res = Spt_protocol.run ~behaviours g ~root:0 in
+  Alcotest.(check bool) "node 2 misled" true ((Spt_protocol.distances res).(2) > 50.0)
+
+
+let test_path_of_broken_chain () =
+  (* unreachable node: no first hop, no path *)
+  let g =
+    Wnet_graph.Graph.create ~costs:[| 1.0; 1.0; 1.0 |] ~edges:[ (0, 1) ]
+  in
+  let res = Spt_protocol.run g ~root:0 in
+  Alcotest.(check (option (array int))) "no chain" None
+    (Spt_protocol.path_of res 2 ~root:0);
+  match Spt_protocol.path_of res 1 ~root:0 with
+  | Some p -> Alcotest.(check (array int)) "direct" [| 1; 0 |] p
+  | None -> Alcotest.fail "reachable"
+
+let suite =
+  [
+    Alcotest.test_case "honest = centralized" `Quick test_honest_matches_centralized;
+    Alcotest.test_case "rounds <= n" `Quick test_rounds_bounded;
+    Alcotest.test_case "disconnected stay infinite" `Quick test_disconnected_nodes_stay_infinite;
+    Alcotest.test_case "paths follow first hops" `Quick test_paths_follow_first_hops;
+    Alcotest.test_case "fig2: hiding changes route" `Quick test_hide_neighbour_changes_route;
+    Alcotest.test_case "fig2: verified mode corrects" `Quick test_verified_restores_fig2;
+    Alcotest.test_case "verified defeats inflation" `Quick test_verified_defeats_inflation;
+    Alcotest.test_case "unverified inflation distorts" `Quick test_unverified_inflation_distorts;
+    Alcotest.test_case "path_of on broken chains" `Quick test_path_of_broken_chain;
+  ]

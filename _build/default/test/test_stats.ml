@@ -1,0 +1,96 @@
+open Wnet_stats
+
+let test_summary_basic () =
+  let s = Summary.of_list [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check int) "count" 5 s.Summary.count;
+  Test_util.check_float "mean" 3.0 s.Summary.mean;
+  Test_util.check_float "min" 1.0 s.Summary.min;
+  Test_util.check_float "max" 5.0 s.Summary.max;
+  Test_util.check_float "median" 3.0 s.Summary.median;
+  Test_util.check_float "std" (sqrt 2.5) s.Summary.std
+
+let test_summary_single_point () =
+  let s = Summary.of_list [ 7.0 ] in
+  Test_util.check_float "mean" 7.0 s.Summary.mean;
+  Test_util.check_float "std zero" 0.0 s.Summary.std;
+  Test_util.check_float "ci zero" 0.0 s.Summary.ci95
+
+let test_summary_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_array: empty")
+    (fun () -> ignore (Summary.of_list []))
+
+let test_percentile_interpolation () =
+  let a = [| 10.0; 20.0; 30.0; 40.0 |] in
+  Test_util.check_float "p0" 10.0 (Summary.percentile a 0.0);
+  Test_util.check_float "p100" 40.0 (Summary.percentile a 1.0);
+  Test_util.check_float "p50 interpolates" 25.0 (Summary.percentile a 0.5);
+  (* order independence *)
+  Test_util.check_float "unsorted input" 25.0
+    (Summary.percentile [| 40.0; 10.0; 30.0; 20.0 |] 0.5)
+
+let test_mean_list () =
+  Test_util.check_float "mean" 2.0 (Summary.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Summary.mean []))
+
+let test_table_render () =
+  let t = Table.make ~headers:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_rowf t [ 3.14159; 2.71828 ];
+  let s = Table.render t in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  Alcotest.(check bool) "separator present" true
+    (String.length (List.nth lines 1) > 0 && String.get (List.nth lines 1) 0 = '-')
+
+let test_table_arity_checked () =
+  let t = Table.make ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let test_table_row_order () =
+  let t = Table.make ~headers:[ "x" ] in
+  Table.add_row t [ "first" ];
+  Table.add_row t [ "second" ];
+  let s = Table.render t in
+  let first_pos =
+    Str_ext.index_of s "first" |> Option.get
+  and second_pos = Str_ext.index_of s "second" |> Option.get in
+  Alcotest.(check bool) "insertion order preserved" true (first_pos < second_pos)
+
+let test_chart_renders () =
+  let s =
+    Ascii_chart.render ~title:"t"
+      [
+        { Ascii_chart.label = 'a'; points = [ (0.0, 1.0); (1.0, 2.0) ] };
+        { Ascii_chart.label = 'b'; points = [ (0.5, 1.5) ] };
+      ]
+  in
+  Alcotest.(check bool) "has title" true (Str_ext.index_of s "t" <> None);
+  Alcotest.(check bool) "has glyph a" true (Str_ext.index_of s "a" <> None);
+  Alcotest.(check bool) "has legend" true (Str_ext.index_of s "legend" <> None)
+
+let test_chart_empty () =
+  let s = Ascii_chart.render ~title:"empty" [ { Ascii_chart.label = 'x'; points = [] } ] in
+  Alcotest.(check bool) "graceful" true (Str_ext.index_of s "no finite data" <> None)
+
+let test_chart_skips_non_finite () =
+  let s =
+    Ascii_chart.render ~title:"inf"
+      [ { Ascii_chart.label = 'z'; points = [ (0.0, infinity); (1.0, 2.0) ] } ]
+  in
+  Alcotest.(check bool) "renders" true (Str_ext.index_of s "z" <> None)
+
+let suite =
+  [
+    Alcotest.test_case "summary basics" `Quick test_summary_basic;
+    Alcotest.test_case "summary single point" `Quick test_summary_single_point;
+    Alcotest.test_case "summary rejects empty" `Quick test_summary_empty_rejected;
+    Alcotest.test_case "percentile interpolation" `Quick test_percentile_interpolation;
+    Alcotest.test_case "mean of list" `Quick test_mean_list;
+    Alcotest.test_case "table rendering" `Quick test_table_render;
+    Alcotest.test_case "table arity" `Quick test_table_arity_checked;
+    Alcotest.test_case "table row order" `Quick test_table_row_order;
+    Alcotest.test_case "chart renders" `Quick test_chart_renders;
+    Alcotest.test_case "chart with no data" `Quick test_chart_empty;
+    Alcotest.test_case "chart skips non-finite" `Quick test_chart_skips_non_finite;
+  ]

@@ -1,0 +1,150 @@
+open Wnet_topology
+
+let test_udg_adjacency_by_range () =
+  let r = Test_util.rng 100 in
+  let t = Udg.generate r ~region:(Wnet_geom.Region.square 1000.0) ~n:60 ~range:200.0 in
+  List.iter
+    (fun (u, v) ->
+      Alcotest.(check bool) "within range" true
+        (Wnet_geom.Point.distance t.Udg.points.(u) t.Udg.points.(v) <= 200.0))
+    t.Udg.edges;
+  (* and completeness: all close pairs are edges *)
+  let n = Array.length t.Udg.points in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let close = Wnet_geom.Point.within 200.0 t.Udg.points.(u) t.Udg.points.(v) in
+      let listed = List.mem (u, v) t.Udg.edges in
+      Alcotest.(check bool) "edge iff close" close listed
+    done
+  done
+
+let test_udg_paper_instance () =
+  let r = Test_util.rng 101 in
+  let t = Udg.paper_instance r ~n:100 in
+  Test_util.check_float "range" 300.0 t.Udg.range;
+  Alcotest.(check int) "n" 100 (Array.length t.Udg.points);
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "inside region" true
+        (Wnet_geom.Region.contains Wnet_geom.Region.paper_region p))
+    t.Udg.points
+
+let test_udg_link_graph_weights () =
+  let r = Test_util.rng 102 in
+  let t = Udg.generate r ~region:(Wnet_geom.Region.square 500.0) ~n:30 ~range:250.0 in
+  let g = Udg.link_graph t ~model:(Wnet_geom.Power.path_loss_only ~kappa:2.0) in
+  List.iter
+    (fun (u, v) ->
+      let d = Wnet_geom.Point.distance t.Udg.points.(u) t.Udg.points.(v) in
+      Test_util.check_float "w = d^2" (d *. d) (Wnet_graph.Digraph.weight g u v);
+      Test_util.check_float "symmetric weights" (d *. d) (Wnet_graph.Digraph.weight g v u))
+    t.Udg.edges
+
+let test_udg_node_graph () =
+  let r = Test_util.rng 103 in
+  let t = Udg.generate r ~region:(Wnet_geom.Region.square 500.0) ~n:20 ~range:200.0 in
+  let costs = Udg.uniform_node_costs r ~n:20 ~lo:2.0 ~hi:4.0 in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "cost in range" true (c >= 2.0 && c < 4.0))
+    costs;
+  let g = Udg.node_graph t ~costs in
+  Alcotest.(check int) "same edge count" (List.length t.Udg.edges) (Wnet_graph.Graph.m g)
+
+let test_udg_generate_connected () =
+  let r = Test_util.rng 104 in
+  match
+    Udg.generate_connected r ~region:(Wnet_geom.Region.square 800.0) ~n:60
+      ~range:300.0 ~max_tries:50
+  with
+  | None -> Alcotest.fail "should find a connected instance"
+  | Some t -> Alcotest.(check bool) "connected" true (Udg.is_connected t)
+
+let test_random_range_directionality () =
+  let r = Test_util.rng 105 in
+  let inst = Random_range.paper_instance r ~n:60 ~kappa:2.0 in
+  let g = inst.Random_range.graph in
+  (* every link respects the sender's range, and weights match the
+     sender's own cost model *)
+  List.iter
+    (fun (i, j, w) ->
+      let d = Wnet_geom.Point.distance inst.Random_range.points.(i) inst.Random_range.points.(j) in
+      Alcotest.(check bool) "within sender range" true (d <= inst.Random_range.ranges.(i));
+      Test_util.check_float "sender cost model"
+        (Wnet_geom.Power.cost inst.Random_range.models.(i) d) w)
+    (Wnet_graph.Digraph.links g)
+
+let test_random_range_params () =
+  let r = Test_util.rng 106 in
+  let inst = Random_range.paper_instance r ~n:50 ~kappa:2.5 in
+  Array.iter
+    (fun rg -> Alcotest.(check bool) "range in [100,500)" true (rg >= 100.0 && rg < 500.0))
+    inst.Random_range.ranges;
+  Array.iter
+    (fun (m : Wnet_geom.Power.t) ->
+      Alcotest.(check bool) "c1" true (m.Wnet_geom.Power.alpha >= 300.0 && m.Wnet_geom.Power.alpha < 500.0);
+      Alcotest.(check bool) "c2" true (m.Wnet_geom.Power.beta >= 10.0 && m.Wnet_geom.Power.beta < 50.0);
+      Test_util.check_float "kappa" 2.5 m.Wnet_geom.Power.kappa)
+    inst.Random_range.models
+
+let test_gnp_edge_probability () =
+  let r = Test_util.rng 107 in
+  let total = ref 0 in
+  for _ = 1 to 20 do
+    total := !total + List.length (Gnp.edges r ~n:40 ~p:0.3)
+  done;
+  let expected = 20.0 *. 0.3 *. float_of_int (40 * 39 / 2) in
+  let got = float_of_int !total in
+  Alcotest.(check bool) "close to np" true
+    (Float.abs (got -. expected) /. expected < 0.1)
+
+let test_gnp_connected_graph () =
+  let r = Test_util.rng 108 in
+  for _ = 1 to 20 do
+    let g = Gnp.connected_graph r ~n:30 ~p:0.02 ~cost_lo:1.0 ~cost_hi:2.0 in
+    Alcotest.(check bool) "connected" true (Wnet_graph.Connectivity.is_connected g)
+  done
+
+let test_gnp_biconnected_graph () =
+  let r = Test_util.rng 109 in
+  match Gnp.biconnected_graph r ~n:20 ~p:0.2 ~cost_lo:1.0 ~cost_hi:2.0 ~max_tries:50 with
+  | None -> Alcotest.fail "should succeed"
+  | Some g -> Alcotest.(check bool) "biconnected" true (Wnet_graph.Connectivity.is_biconnected g)
+
+let test_fixture_shapes () =
+  let line = Fixtures.line ~costs:(Array.make 5 1.0) in
+  Alcotest.(check int) "line edges" 4 (Wnet_graph.Graph.m line);
+  let ring = Fixtures.ring ~costs:(Array.make 5 1.0) in
+  Alcotest.(check int) "ring edges" 5 (Wnet_graph.Graph.m ring);
+  let k5 = Fixtures.complete ~costs:(Array.make 5 1.0) in
+  Alcotest.(check int) "clique edges" 10 (Wnet_graph.Graph.m k5);
+  let grid = Fixtures.grid ~rows:3 ~cols:4 ~cost:(fun r c -> float_of_int (r + c)) in
+  Alcotest.(check int) "grid nodes" 12 (Wnet_graph.Graph.n grid);
+  Alcotest.(check int) "grid edges" 17 (Wnet_graph.Graph.m grid);
+  (* node 7 of a 3x4 grid is cell (1, 3) *)
+  Test_util.check_float "grid cost fn" 4.0 (Wnet_graph.Graph.cost grid 7)
+
+let test_theta_structure () =
+  let g = Fixtures.theta ~spine_costs:[| 1.0; 2.0 |] ~arm_costs:[| [| 3.0 |]; [| 4.0; 5.0 |] |] in
+  Alcotest.(check int) "nodes" 5 (Wnet_graph.Graph.n g);
+  Test_util.check_float "terminal 0" 1.0 (Wnet_graph.Graph.cost g 0);
+  Test_util.check_float "terminal 1" 2.0 (Wnet_graph.Graph.cost g 1);
+  Alcotest.(check bool) "arm1 connects" true (Wnet_graph.Connectivity.connected_between g 0 1);
+  (* removing either arm leaves the other *)
+  Alcotest.(check bool) "arm redundancy" true
+    (Wnet_graph.Connectivity.connected_without g ~removed:[ 2 ] 0 1)
+
+let suite =
+  [
+    Alcotest.test_case "UDG adjacency iff within range" `Quick test_udg_adjacency_by_range;
+    Alcotest.test_case "UDG paper parameters" `Quick test_udg_paper_instance;
+    Alcotest.test_case "UDG link weights" `Quick test_udg_link_graph_weights;
+    Alcotest.test_case "UDG node graph" `Quick test_udg_node_graph;
+    Alcotest.test_case "UDG connected retry" `Quick test_udg_generate_connected;
+    Alcotest.test_case "random-range directionality" `Quick test_random_range_directionality;
+    Alcotest.test_case "random-range parameters" `Quick test_random_range_params;
+    Alcotest.test_case "G(n,p) edge count" `Quick test_gnp_edge_probability;
+    Alcotest.test_case "G(n,p) connected variant" `Quick test_gnp_connected_graph;
+    Alcotest.test_case "G(n,p) biconnected variant" `Quick test_gnp_biconnected_graph;
+    Alcotest.test_case "fixture shapes" `Quick test_fixture_shapes;
+    Alcotest.test_case "theta structure" `Quick test_theta_structure;
+  ]
