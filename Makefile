@@ -1,0 +1,23 @@
+.PHONY: all test bench experiments full clean
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+# Times the batch payment engine (sequential vs WNET_DOMAINS-sized domain
+# pool, graph-copy vs zero-copy avoidance) plus the Bechamel micro-benches,
+# and leaves the machine-readable trajectory in
+# bench/results/BENCH_latest.json (+ a timestamped copy).
+bench:
+	dune exec bench/main.exe -- micro --json
+
+experiments:
+	dune exec bench/main.exe -- experiments
+
+full:
+	dune exec bench/main.exe -- full
+
+clean:
+	dune clean

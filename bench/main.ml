@@ -2,14 +2,20 @@
 
      dune exec bench/main.exe                 micro-benches + quick experiments
      dune exec bench/main.exe -- micro        Bechamel micro-benchmarks only
+     dune exec bench/main.exe -- micro --json micro + batch engine, JSON telemetry
+     dune exec bench/main.exe -- batch        batch payment engine: seq vs parallel
      dune exec bench/main.exe -- experiments  every Figure 3 panel + studies
      dune exec bench/main.exe -- full         paper-scale experiments (100 instances)
 
    The micro-benchmarks time the paper's Algorithm 1 against the naive
    payment computation (the Sec. III-B complexity claim), plus the
-   primitives they are built from.  The experiment mode regenerates every
-   panel of Figure 3 and the worked examples; EXPERIMENTS.md records a
-   full run. *)
+   primitives they are built from.  The batch suite times the all-to-root
+   payment engines — sequential vs Wnet_par domain pool, graph-copy vs
+   zero-copy avoidance — at n in {100, 200, 400, 800}.  With [--json]
+   (what [make bench] runs) results land in bench/results/BENCH_latest.json
+   plus a timestamped copy, the machine-readable perf trajectory.  The
+   experiment mode regenerates every panel of Figure 3 and the worked
+   examples; EXPERIMENTS.md records a full run. *)
 
 open Bechamel
 open Toolkit
@@ -131,27 +137,252 @@ let run_micro () =
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols ->
-      let time =
+      let time_ns =
         match Analyze.OLS.estimates ols with
-        | Some [ t ] when Float.is_finite t ->
+        | Some [ t ] when Float.is_finite t -> Some t
+        | _ -> None
+      in
+      let time =
+        match time_ns with
+        | Some t ->
           if t > 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
           else if t > 1e3 then Printf.sprintf "%.3f us" (t /. 1e3)
           else Printf.sprintf "%.0f ns" t
-        | _ -> "n/a"
+        | None -> "n/a"
       in
-      let r2 =
-        match Analyze.OLS.r_square ols with
-        | Some r -> Printf.sprintf "%.4f" r
-        | None -> "-"
+      let r2 = Analyze.OLS.r_square ols in
+      let r2_s =
+        match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-"
       in
-      rows := (name, time, r2) :: !rows)
+      rows := ((name, time, r2_s), (name, time_ns, r2)) :: !rows)
     results;
+  let rows = List.sort compare !rows in
   List.iter
-    (fun (a, b, c) -> Wnet_stats.Table.add_row table [ a; b; c ])
-    (List.sort compare !rows);
+    (fun ((a, b, c), _) -> Wnet_stats.Table.add_row table [ a; b; c ])
+    rows;
   print_endline "== Bechamel micro-benchmarks (time per call) ==";
   Wnet_stats.Table.print table;
+  print_newline ();
+  List.map snd rows
+
+(* ------------------------------------------------------------------ *)
+(* Batch payment engine: sequential vs domain-parallel, JSON telemetry  *)
+
+let batch_ns = [ 100; 200; 400; 800 ]
+
+let digraph_instance seed ~n =
+  Wnet_topology.Udg.link_graph
+    (Wnet_topology.Udg.paper_instance (Wnet_prng.Rng.create seed) ~n)
+    ~model:(Wnet_geom.Power.path_loss_only ~kappa:2.0)
+
+type batch_sample = {
+  bench : string;
+  bn : int;
+  domains : int;
+  time_s : float;  (* best observed wall-clock of one batch *)
+  runs : int;
+}
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  ignore (Sys.opaque_identity (f ()));
+  Unix.gettimeofday () -. t0
+
+(* Best-of-k timing: warm up once, then repeat until the budget is spent
+   (at least [min_reps] times) and keep the minimum — the usual estimator
+   for wall-clock benchmarks on a noisy machine. *)
+let time_best ?(budget = 0.6) ?(min_reps = 3) ?(max_reps = 40) f =
+  ignore (Sys.opaque_identity (f ()));
+  let best = ref infinity and total = ref 0.0 and reps = ref 0 in
+  while !reps < min_reps || (!total < budget && !reps < max_reps) do
+    let t = time_once f in
+    if t < !best then best := t;
+    total := !total +. t;
+    incr reps
+  done;
+  (!best, !reps)
+
+let run_batch () =
+  let pool_domains = max 4 (Wnet_par.default_domains ()) in
+  Wnet_par.with_pool ~domains:pool_domains (fun pool ->
+      let samples = ref [] in
+      let record bench bn domains (time_s, runs) =
+        samples := { bench; bn; domains; time_s; runs } :: !samples
+      in
+      List.iter
+        (fun n ->
+          let gn = udg_instance 7 ~n in
+          let dg = digraph_instance 9 ~n in
+          record "unicast-batch/seq" n 1
+            (time_best (fun () -> Wnet_core.Unicast.all_to_root gn ~root:0));
+          record "unicast-batch/par" n pool_domains
+            (time_best (fun () ->
+                 Wnet_core.Unicast.all_to_root ~pool gn ~root:0));
+          record "linkcost-batch/copy/seq" n 1
+            (time_best (fun () ->
+                 Wnet_core.Link_cost.all_to_root
+                   ~strategy:Wnet_core.Link_cost.Copy_graph dg ~root:0));
+          record "linkcost-batch/zerocopy/seq" n 1
+            (time_best (fun () ->
+                 Wnet_core.Link_cost.all_to_root
+                   ~strategy:Wnet_core.Link_cost.Zero_copy dg ~root:0));
+          record "linkcost-batch/zerocopy/par" n pool_domains
+            (time_best (fun () ->
+                 Wnet_core.Link_cost.all_to_root ~pool dg ~root:0)))
+        batch_ns;
+      (pool_domains, List.rev !samples))
+
+let print_batch (pool_domains, samples) =
+  Printf.printf
+    "== Batch payment engine (best wall-clock per batch; pool = %d domains, \
+     %d core(s) online) ==\n"
+    pool_domains
+    (Domain.recommended_domain_count ());
+  let table =
+    Wnet_stats.Table.make ~headers:[ "benchmark"; "n"; "domains"; "time"; "runs" ]
+  in
+  List.iter
+    (fun s ->
+      Wnet_stats.Table.add_row table
+        [
+          s.bench;
+          string_of_int s.bn;
+          string_of_int s.domains;
+          (if s.time_s >= 1.0 then Printf.sprintf "%.3f s" s.time_s
+           else Printf.sprintf "%.3f ms" (s.time_s *. 1e3));
+          string_of_int s.runs;
+        ])
+    samples;
+  Wnet_stats.Table.print table;
+  let find bench n =
+    List.find_opt (fun s -> s.bench = bench && s.bn = n) samples
+  in
+  print_newline ();
+  List.iter
+    (fun n ->
+      match
+        ( find "unicast-batch/seq" n,
+          find "unicast-batch/par" n,
+          find "linkcost-batch/copy/seq" n,
+          find "linkcost-batch/zerocopy/seq" n,
+          find "linkcost-batch/zerocopy/par" n )
+      with
+      | Some us, Some up, Some lc, Some lz, Some lp ->
+        Printf.printf
+          "n=%4d  unicast par/seq speedup %.2fx | link-cost zero-copy/copy \
+           %.2fx (seq) | par vs copy baseline %.2fx\n"
+          n (us.time_s /. up.time_s) (lc.time_s /. lz.time_s)
+          (lc.time_s /. lp.time_s)
+      | _ -> ())
+    batch_ns;
   print_newline ()
+
+(* Hand-rolled JSON writer — names and numbers only, nothing to escape
+   beyond the basics. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.9g" x else "null"
+
+let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
+
+let write_json ~micro (pool_domains, samples) =
+  let now = Unix.gmtime (Unix.time ()) in
+  let stamp =
+    Printf.sprintf "%04d%02d%02dT%02d%02d%02dZ" (now.Unix.tm_year + 1900)
+      (now.Unix.tm_mon + 1) now.Unix.tm_mday now.Unix.tm_hour now.Unix.tm_min
+      now.Unix.tm_sec
+  in
+  let iso =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (now.Unix.tm_year + 1900)
+      (now.Unix.tm_mon + 1) now.Unix.tm_mday now.Unix.tm_hour now.Unix.tm_min
+      now.Unix.tm_sec
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"wnet-bench/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"generated_at\": \"%s\",\n" iso);
+  Buffer.add_string b
+    (Printf.sprintf "  \"ocaml\": \"%s\",\n" (json_escape Sys.ocaml_version));
+  Buffer.add_string b
+    (Printf.sprintf "  \"cores_online\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string b (Printf.sprintf "  \"pool_domains\": %d,\n" pool_domains);
+  Buffer.add_string b "  \"batch\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"bench\": \"%s\", \"n\": %d, \"domains\": %d, \"time_s\": \
+            %s, \"runs\": %d}%s\n"
+           (json_escape s.bench) s.bn s.domains (json_float s.time_s) s.runs
+           (if i = List.length samples - 1 then "" else ",")))
+    samples;
+  Buffer.add_string b "  ],\n";
+  let find bench n =
+    List.find_opt (fun s -> s.bench = bench && s.bn = n) samples
+  in
+  Buffer.add_string b "  \"speedups\": [\n";
+  let speedup_rows =
+    List.filter_map
+      (fun n ->
+        match
+          ( find "unicast-batch/seq" n,
+            find "unicast-batch/par" n,
+            find "linkcost-batch/copy/seq" n,
+            find "linkcost-batch/zerocopy/seq" n,
+            find "linkcost-batch/zerocopy/par" n )
+        with
+        | Some us, Some up, Some lc, Some lz, Some lp ->
+          Some
+            (Printf.sprintf
+               "    {\"n\": %d, \"unicast_par_vs_seq\": %s, \
+                \"linkcost_zerocopy_vs_copy_seq\": %s, \
+                \"linkcost_par_vs_copy_seq\": %s}"
+               n
+               (json_float (us.time_s /. up.time_s))
+               (json_float (lc.time_s /. lz.time_s))
+               (json_float (lc.time_s /. lp.time_s)))
+        | _ -> None)
+      batch_ns
+  in
+  Buffer.add_string b (String.concat ",\n" speedup_rows);
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"micro\": [\n";
+  let micro_rows =
+    List.map
+      (fun (name, time_ns, r2) ->
+        Printf.sprintf
+          "    {\"name\": \"%s\", \"time_ns\": %s, \"r_square\": %s}"
+          (json_escape name)
+          (match time_ns with Some t -> json_float t | None -> "null")
+          (match r2 with Some r -> json_float r | None -> "null"))
+      micro
+  in
+  Buffer.add_string b (String.concat ",\n" micro_rows);
+  Buffer.add_string b "\n  ]\n}\n";
+  ensure_dir "bench";
+  ensure_dir "bench/results";
+  let write path =
+    let oc = open_out path in
+    Buffer.output_buffer oc b;
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  in
+  write "bench/results/BENCH_latest.json";
+  write (Printf.sprintf "bench/results/BENCH_%s.json" stamp)
 
 (* ------------------------------------------------------------------ *)
 (* Experiments: one block per paper artifact                            *)
@@ -285,17 +516,34 @@ let run_experiments ~instances ~hop_instances ~distributed_instances () =
   | [] -> print_endline "Figure 4: no resale found (unexpected)")
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "default" in
+  let args = Array.to_list Sys.argv |> List.tl in
+  let json = List.mem "--json" args in
+  let mode =
+    match List.filter (fun a -> a <> "--json") args with
+    | [] -> "default"
+    | m :: _ -> m
+  in
   match mode with
-  | "micro" -> run_micro ()
+  | "micro" ->
+    let micro = run_micro () in
+    if json then begin
+      let batch = run_batch () in
+      print_batch batch;
+      write_json ~micro batch
+    end
+  | "batch" ->
+    let batch = run_batch () in
+    print_batch batch;
+    if json then write_json ~micro:[] batch
   | "experiments" ->
     run_experiments ~instances:10 ~hop_instances:10 ~distributed_instances:3 ()
   | "full" ->
     (* The paper's scale: 100 random instances per point. *)
     run_experiments ~instances:100 ~hop_instances:100 ~distributed_instances:10 ()
   | "default" ->
-    run_micro ();
+    ignore (run_micro ());
     run_experiments ~instances:5 ~hop_instances:5 ~distributed_instances:2 ()
   | other ->
-    Printf.eprintf "unknown mode %s (use: micro | experiments | full)\n" other;
+    Printf.eprintf "unknown mode %s (use: micro | batch | experiments | full)\n"
+      other;
     exit 2

@@ -2,11 +2,15 @@
 
    unicast lcp GRAPH --src S --dst D
    unicast pay GRAPH --src S --dst D [--scheme vcg|neighbourhood]
+   unicast batch GRAPH [--root R] [--domains K]
    unicast check GRAPH --src S --dst D [--trials N]
    unicast distributed GRAPH [--root R] [--verify]
-   unicast experiment NAME [--instances K] [--seed S]
+   unicast experiment NAME [--instances K] [--seed S] [--domains K]
 
-   GRAPH is a text file in the Graph_io format (see `unicast format`). *)
+   GRAPH is a text file in the Graph_io format (see `unicast format`).
+   Batch payments and the Figure 3 sweeps run on a Wnet_par domain pool
+   sized by --domains (default: WNET_DOMAINS, else the core count);
+   results are identical for every pool size. *)
 
 open Cmdliner
 open Wnet_core
@@ -66,6 +70,54 @@ let pay_cmd =
   Cmd.v (Cmd.info "pay" ~doc:"VCG payments for a unicast.")
     Term.(const run $ graph_arg $ src_arg $ dst_arg $ scheme_arg)
 
+(* -- batch -- *)
+
+let domains_arg =
+  Arg.(value & opt (some int) None
+       & info [ "domains" ] ~docv:"K"
+           ~doc:"Domain pool size (default: $(b,WNET_DOMAINS), else the \
+                 recommended core count).  Results are identical for every \
+                 value.")
+
+let batch_cmd =
+  let root =
+    Arg.(value & opt int 0 & info [ "root" ] ~docv:"NODE" ~doc:"Access point.")
+  in
+  let run path root domains =
+    let g = read_graph path in
+    Wnet_par.with_pool ?domains (fun pool ->
+        let batch = Unicast.all_to_root ~pool g ~root in
+        let served = ref 0 and unbounded = ref 0 and charged = ref 0.0 in
+        Array.iteri
+          (fun src outcome ->
+            match outcome with
+            | None -> ()
+            | Some r ->
+              incr served;
+              let p = Unicast.total_payment r in
+              if p < infinity then charged := !charged +. p
+              else incr unbounded;
+              Format.printf "src %d: path %a, charge %g@." src
+                Wnet_graph.Path.pp r.Unicast.path p)
+          batch;
+        Format.printf "served %d/%d sources on %d domain(s), total charges %g@."
+          !served
+          (Wnet_graph.Graph.n g - 1)
+          (Wnet_par.size pool) !charged;
+        if !unbounded > 0 then
+          (* A cut-vertex relay has no replacement path: VCG payment is
+             unbounded unless the graph is biconnected (Sec. III-G). *)
+          Format.printf
+            "%d source(s) with unbounded charge (cut-vertex relay) excluded \
+             from the total@."
+            !unbounded);
+    0
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"All-to-access-point payments in one parallel batch.")
+    Term.(const run $ graph_arg $ root $ domains_arg)
+
 (* -- check -- *)
 
 let check_cmd =
@@ -119,9 +171,11 @@ let distributed_cmd =
 
 (* -- experiment -- *)
 
-let experiments ~instances ~seed ~csv name =
+let experiments ~instances ~seed ~csv ~pool name =
   let sweep_out ~title model =
-    let points = Wnet_experiments.Fig3.overpayment_sweep ~instances ~seed model in
+    let points =
+      Wnet_experiments.Fig3.overpayment_sweep ~instances ~pool ~seed model
+    in
     if csv then
       print_endline (Wnet_stats.Table.to_csv (Wnet_experiments.Fig3.sweep_table points))
     else print_endline (Wnet_experiments.Fig3.render_sweep ~title points)
@@ -135,7 +189,7 @@ let experiments ~instances ~seed ~csv name =
       (Wnet_experiments.Fig3.Udg { kappa = 2.5 })
   | "fig3d" ->
     let buckets =
-      Wnet_experiments.Fig3.hop_profile ~instances ~seed
+      Wnet_experiments.Fig3.hop_profile ~instances ~pool ~seed
         (Wnet_experiments.Fig3.Udg { kappa = 2.0 })
     in
     if csv then
@@ -155,7 +209,7 @@ let experiments ~instances ~seed ~csv name =
     print_endline
       (Wnet_experiments.Node_model.render
          ~title:"Ablation: node-cost model, uniform costs"
-         (Wnet_experiments.Node_model.sweep ~instances ~seed ()))
+         (Wnet_experiments.Node_model.sweep ~instances ~pool ~seed ()))
   | "speed" ->
     print_endline (Wnet_experiments.Speed.render (Wnet_experiments.Speed.sweep ~seed ()))
   | "distributed" ->
@@ -212,12 +266,13 @@ let experiment_cmd =
     Arg.(value & flag
          & info [ "csv" ] ~doc:"Emit CSV instead of tables (Figure 3 panels only).")
   in
-  let run exp_name instances seed csv =
-    experiments ~instances ~seed ~csv exp_name;
+  let run exp_name instances seed csv domains =
+    Wnet_par.with_pool ?domains (fun pool ->
+        experiments ~instances ~seed ~csv ~pool exp_name);
     0
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a paper figure or study.")
-    Term.(const run $ exp_name $ instances $ seed_arg $ csv)
+    Term.(const run $ exp_name $ instances $ seed_arg $ csv $ domains_arg)
 
 (* -- report -- *)
 
@@ -314,6 +369,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            lcp_cmd; pay_cmd; check_cmd; distributed_cmd; experiment_cmd;
+            lcp_cmd; pay_cmd; batch_cmd; check_cmd; distributed_cmd; experiment_cmd;
             report_cmd; generate_cmd; stats_cmd; format_cmd;
           ]))

@@ -52,7 +52,16 @@ type batch = {
   results : t option array;
 }
 
-let all_to_root g ~root =
+type strategy = Copy_graph | Zero_copy
+
+let relay_array is_relay =
+  let l = ref [] in
+  for k = Array.length is_relay - 1 downto 0 do
+    if is_relay.(k) then l := k :: !l
+  done;
+  Array.of_list !l
+
+let all_to_root ?(strategy = Zero_copy) ?(pool = Wnet_par.sequential) g ~root =
   let n = Digraph.n g in
   if root < 0 || root >= n then invalid_arg "Link_cost.all_to_root";
   let rev = Digraph.reverse g in
@@ -69,16 +78,31 @@ let all_to_root g ~root =
       if h <> root && h >= 0 then is_relay.(h) <- true
     end
   done;
-  (* One avoidance Dijkstra per relay: silencing k in g is removing the
-     links entering k in rev. *)
+  (* One avoidance Dijkstra per relay, fanned out over the pool.
+     Silencing k in g removes the links entering k in rev, which makes k
+     unreachable from the root — so forbidding node k during the search
+     visits exactly the same graph without materializing a copy.  Both
+     strategies produce identical distances; [Copy_graph] keeps the
+     original clone-per-relay implementation around as the reference. *)
+  let relays = relay_array is_relay in
+  let dists =
+    match strategy with
+    | Copy_graph ->
+      Wnet_par.map_array pool
+        (fun k ->
+          let revk = Digraph.remove_links_to rev k in
+          (Dijkstra.link_weighted revk root).Dijkstra.dist)
+        relays
+    | Zero_copy ->
+      Wnet_par.map_array_with pool
+        ~init:(fun () -> Dijkstra.make_scratch n)
+        (fun scratch k ->
+          Dijkstra.link_weighted_dist scratch ~forbidden:(fun v -> v = k) rev
+            root)
+        relays
+  in
   let avoid = Array.make n [||] in
-  for k = 0 to n - 1 do
-    if is_relay.(k) then begin
-      let revk = Digraph.remove_links_to rev k in
-      let tk = Dijkstra.link_weighted revk root in
-      avoid.(k) <- tk.Dijkstra.dist
-    end
-  done;
+  Array.iteri (fun i k -> avoid.(k) <- dists.(i)) relays;
   let results =
     Array.init n (fun src ->
         if src = root || not (Dijkstra.reachable tree src) then None

@@ -55,7 +55,14 @@ let session_charge r ~packets =
   check_packets packets;
   float_of_int packets *. total_payment r
 
-let all_to_root g ~root =
+let relay_array is_relay =
+  let l = ref [] in
+  for k = Array.length is_relay - 1 downto 0 do
+    if is_relay.(k) then l := k :: !l
+  done;
+  Array.of_list !l
+
+let all_to_root ?(pool = Wnet_par.sequential) g ~root =
   let n = Graph.n g in
   if root < 0 || root >= n then invalid_arg "Unicast.all_to_root";
   let tree = Dijkstra.node_weighted g ~source:root in
@@ -67,13 +74,21 @@ let all_to_root g ~root =
       if h >= 0 && h <> root then is_relay.(h) <- true
     end
   done;
+  (* One avoidance Dijkstra per relay, fanned out over the pool.  Each
+     participant reuses one scratch for its whole chunk; results are
+     merged positionally, so any pool size yields the sequential answer
+     bit for bit. *)
+  let relays = relay_array is_relay in
+  let dists =
+    Wnet_par.map_array_with pool
+      ~init:(fun () -> Dijkstra.make_scratch n)
+      (fun scratch k ->
+        Dijkstra.node_weighted_dist scratch ~forbidden:(fun v -> v = k) g
+          ~source:root)
+      relays
+  in
   let avoid = Array.make n [||] in
-  for k = 0 to n - 1 do
-    if is_relay.(k) then begin
-      let tk = Dijkstra.node_weighted ~forbidden:(fun v -> v = k) g ~source:root in
-      avoid.(k) <- tk.Dijkstra.dist
-    end
-  done;
+  Array.iteri (fun i k -> avoid.(k) <- dists.(i)) relays;
   Array.init n (fun src ->
       if src = root || not (Dijkstra.reachable tree src) then None
       else begin

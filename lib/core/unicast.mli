@@ -57,12 +57,17 @@ val session_payment_to : t -> packets:int -> int -> float
 val session_charge : t -> packets:int -> float
 (** Total session charge to the source, [packets * total_payment]. *)
 
-val all_to_root : Wnet_graph.Graph.t -> root:int -> t option array
+val all_to_root :
+  ?pool:Wnet_par.t -> Wnet_graph.Graph.t -> root:int -> t option array
 (** Every node's unicast to the access point in one pass: one Dijkstra
     from [root] for the shared tree plus one per distinct relay for the
     avoidance distances (node-weighted distances are symmetric, so
     from-root trees serve to-root queries).  [results.(root)] is [None],
-    as are unreachable sources. *)
+    as are unreachable sources.
+
+    The per-relay avoidance Dijkstras are independent; [?pool] (default
+    {!Wnet_par.sequential}) fans them out over domains with positional
+    merging, so the result is bit-identical for every pool size. *)
 
 val vcg_problem : Wnet_graph.Graph.t -> src:int -> dst:int -> Wnet_mech.Vcg.problem
 (** The unicast instance phrased as a generic VCG problem (agent [k]

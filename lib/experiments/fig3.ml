@@ -31,26 +31,37 @@ let instance_samples rng model ~n =
 
 let default_ns = [ 100; 150; 200; 250; 300; 350; 400; 450; 500 ]
 
-let overpayment_sweep ?(instances = 10) ?(ns = default_ns) ~seed model =
+(* Instances are independent given their RNG streams, so a sweep
+   pre-splits the [instances] children in order (instance code never
+   touches the parent stream) and fans the instance bodies out over the
+   pool.  Positional merging then rebuilds exactly the sample order of
+   the historical sequential loop — later instances first — so pooled
+   statistics are bit-identical for every pool size. *)
+let pooled_instances pool rng ~instances body =
+  let children = Array.init instances (fun _ -> Wnet_prng.Rng.split rng) in
+  let per_instance = Wnet_par.map_array pool body children in
+  Array.fold_left (fun acc samples -> samples @ acc) [] per_instance
+
+let overpayment_sweep ?(instances = 10) ?(ns = default_ns)
+    ?(pool = Wnet_par.sequential) ~seed model =
   let rng = Wnet_prng.Rng.create seed in
   List.map
     (fun n ->
-      let samples = ref [] in
-      for _ = 1 to instances do
-        let child = Wnet_prng.Rng.split rng in
-        samples := instance_samples child model ~n @ !samples
-      done;
-      { n; instances; study = Overpayment.study !samples })
+      let samples =
+        pooled_instances pool rng ~instances (fun child ->
+            instance_samples child model ~n)
+      in
+      { n; instances; study = Overpayment.study samples })
     ns
 
-let hop_profile ?(instances = 10) ?(n = 500) ~seed model =
+let hop_profile ?(instances = 10) ?(n = 500) ?(pool = Wnet_par.sequential)
+    ~seed model =
   let rng = Wnet_prng.Rng.create seed in
-  let samples = ref [] in
-  for _ = 1 to instances do
-    let child = Wnet_prng.Rng.split rng in
-    samples := instance_samples child model ~n @ !samples
-  done;
-  Overpayment.by_hop !samples
+  let samples =
+    pooled_instances pool rng ~instances (fun child ->
+        instance_samples child model ~n)
+  in
+  Overpayment.by_hop samples
 
 let sweep_table points =
   let table =

@@ -29,6 +29,16 @@ val model_name : model -> string
 val default_ns : int list
 (** The paper's node counts: [100, 150, ..., 500]. *)
 
+val pooled_instances :
+  Wnet_par.t -> Wnet_prng.Rng.t -> instances:int ->
+  (Wnet_prng.Rng.t -> 'a list) -> 'a list
+(** [pooled_instances pool rng ~instances body] pre-splits [instances]
+    child streams off [rng] in order, runs [body child] for each on the
+    pool, and concatenates the per-instance lists in the historical
+    accumulation order (later instances first).  [body] must draw only
+    from its child.  The shared instance-loop skeleton of the sweeps
+    here and in {!Node_model}; bit-identical for every pool size. *)
+
 type point = {
   n : int;
   instances : int;
@@ -38,19 +48,27 @@ type point = {
 val overpayment_sweep :
   ?instances:int ->
   ?ns:int list ->
+  ?pool:Wnet_par.t ->
   seed:int ->
   model ->
   point list
 (** Defaults: 10 instances (the paper uses 100 — pass [~instances:100]
-    for the full run) per [n ∈ {100, 150, ..., 500}]. *)
+    for the full run) per [n ∈ {100, 150, ..., 500}].
+
+    [?pool] runs the random instances on a {!Wnet_par} domain pool.  The
+    per-instance RNG children are pre-split in order and results merged
+    positionally, so every pool size produces the sequential sweep bit
+    for bit. *)
 
 val hop_profile :
   ?instances:int ->
   ?n:int ->
+  ?pool:Wnet_par.t ->
   seed:int ->
   model ->
   Wnet_core.Overpayment.hop_bucket list
-(** Panel (d): pooled per-hop buckets (default [n = 500]). *)
+(** Panel (d): pooled per-hop buckets (default [n = 500]).  [?pool] as
+    in {!overpayment_sweep}. *)
 
 val sweep_table : point list -> Wnet_stats.Table.t
 (** The tabular form of a sweep (n, IOR, TOR, worst, ...), e.g. for CSV

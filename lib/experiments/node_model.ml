@@ -7,24 +7,25 @@ type point = {
 }
 
 let sweep ?(instances = 10) ?(ns = Fig3.default_ns) ?(cost_lo = 1.0)
-    ?(cost_hi = 10.0) ~seed () =
+    ?(cost_hi = 10.0) ?(pool = Wnet_par.sequential) ~seed () =
   let rng = Wnet_prng.Rng.create seed in
   List.map
     (fun n ->
-      let samples = ref [] in
-      for _ = 1 to instances do
-        let child = Wnet_prng.Rng.split rng in
-        let t = Wnet_topology.Udg.paper_instance child ~n in
-        let costs =
-          Wnet_topology.Udg.uniform_node_costs child ~n ~lo:cost_lo ~hi:cost_hi
-        in
-        let g = Wnet_topology.Udg.node_graph t ~costs in
-        let results =
-          Unicast.all_to_root g ~root:0 |> Array.to_list |> List.filter_map Fun.id
-        in
-        samples := Overpayment.of_unicast results @ !samples
-      done;
-      { n; instances; study = Overpayment.study !samples })
+      let samples =
+        Fig3.pooled_instances pool rng ~instances (fun child ->
+            let t = Wnet_topology.Udg.paper_instance child ~n in
+            let costs =
+              Wnet_topology.Udg.uniform_node_costs child ~n ~lo:cost_lo
+                ~hi:cost_hi
+            in
+            let g = Wnet_topology.Udg.node_graph t ~costs in
+            let results =
+              Unicast.all_to_root g ~root:0
+              |> Array.to_list |> List.filter_map Fun.id
+            in
+            Overpayment.of_unicast results)
+      in
+      { n; instances; study = Overpayment.study samples })
     ns
 
 let render ~title points =

@@ -18,10 +18,12 @@ val sweep :
   ?ns:int list ->
   ?cost_lo:float ->
   ?cost_hi:float ->
+  ?pool:Wnet_par.t ->
   seed:int ->
   unit ->
   point list
 (** Defaults: costs uniform in [\[1, 10)], [ns = {100, ..., 500}],
-    10 instances. *)
+    10 instances.  [?pool] as in {!Fig3.overpayment_sweep}:
+    bit-identical results for every pool size. *)
 
 val render : title:string -> point list -> string

@@ -60,6 +60,120 @@ let link_weighted ?(forbidden = never) g source =
   parent.(source) <- -1;
   { source; dist; parent }
 
+(* ------------------------------------------------------------------ *)
+(* Reusable workspace.
+
+   Batch payment computation runs one avoidance Dijkstra per relay and
+   only keeps the distance array of each run.  A scratch owns the dist
+   array and the heap across runs, maintaining the invariant that every
+   [sdist] entry is [infinity] between runs: a run logs each node it
+   touches and the next run resets exactly those entries, so the hot
+   relaxation loop reads and writes a single plain array (no epoch
+   indirection) while repeated runs neither reallocate nor re-fill
+   n-sized buffers.  The [*_dist] runs below also skip parent
+   bookkeeping entirely — avoidance runs never walk paths.
+
+   A scratch is single-owner state: one concurrent run per scratch (each
+   pool participant gets its own via [Wnet_par.map_array_with]). *)
+
+type scratch = {
+  cap : int;
+  sdist : float array;  (* all [infinity] outside a run *)
+  touched : int array;  (* nodes whose [sdist] entry is currently finite *)
+  mutable n_touched : int;
+  sheap : Indexed_heap.t;
+}
+
+let make_scratch cap =
+  if cap < 0 then invalid_arg "Dijkstra.make_scratch: negative capacity";
+  {
+    cap;
+    sdist = Array.make (max cap 1) infinity;
+    touched = Array.make (max cap 1) 0;
+    n_touched = 0;
+    sheap = Indexed_heap.create cap;
+  }
+
+let scratch_capacity s = s.cap
+
+let begin_run s n =
+  if n > s.cap then invalid_arg "Dijkstra: graph exceeds scratch capacity";
+  (* A completed run leaves the heap empty; one aborted by an exception
+     may not, so drain defensively. *)
+  while not (Indexed_heap.is_empty s.sheap) do
+    ignore (Indexed_heap.pop_min s.sheap)
+  done;
+  for i = 0 to s.n_touched - 1 do
+    s.sdist.(s.touched.(i)) <- infinity
+  done;
+  s.n_touched <- 0
+
+let node_weighted_dist scratch ?(forbidden = never) g ~source =
+  let n = Graph.n g in
+  if source < 0 || source >= n then invalid_arg "Dijkstra: source out of range";
+  if forbidden source then invalid_arg "Dijkstra: source is forbidden";
+  begin_run scratch n;
+  let heap = scratch.sheap in
+  let dist = scratch.sdist in
+  dist.(source) <- 0.0;
+  scratch.touched.(scratch.n_touched) <- source;
+  scratch.n_touched <- scratch.n_touched + 1;
+  Indexed_heap.insert heap source 0.0;
+  while not (Indexed_heap.is_empty heap) do
+    let u, du = Indexed_heap.pop_min heap in
+    if du <= dist.(u) then begin
+      let leave = if u = source then 0.0 else Graph.cost g u in
+      Array.iter
+        (fun w ->
+          if not (forbidden w) then begin
+            let cand = du +. leave in
+            let dw = dist.(w) in
+            if cand < dw then begin
+              if dw = infinity then begin
+                scratch.touched.(scratch.n_touched) <- w;
+                scratch.n_touched <- scratch.n_touched + 1
+              end;
+              dist.(w) <- cand;
+              Indexed_heap.insert_or_decrease heap w cand
+            end
+          end)
+        (Graph.neighbors g u)
+    end
+  done;
+  Array.sub dist 0 n
+
+let link_weighted_dist scratch ?(forbidden = never) g source =
+  let n = Digraph.n g in
+  if source < 0 || source >= n then invalid_arg "Dijkstra: source out of range";
+  if forbidden source then invalid_arg "Dijkstra: source is forbidden";
+  begin_run scratch n;
+  let heap = scratch.sheap in
+  let dist = scratch.sdist in
+  dist.(source) <- 0.0;
+  scratch.touched.(scratch.n_touched) <- source;
+  scratch.n_touched <- scratch.n_touched + 1;
+  Indexed_heap.insert heap source 0.0;
+  while not (Indexed_heap.is_empty heap) do
+    let u, du = Indexed_heap.pop_min heap in
+    if du <= dist.(u) then
+      Array.iter
+        (fun (w, weight) ->
+          if not (forbidden w) then begin
+            let cand = du +. weight in
+            let dw = dist.(w) in
+            if cand < dw then begin
+              if dw = infinity then begin
+                scratch.touched.(scratch.n_touched) <- w;
+                scratch.n_touched <- scratch.n_touched + 1
+              end;
+              dist.(w) <- cand;
+              Indexed_heap.insert_or_decrease heap w cand
+            end
+          end)
+        (Digraph.out_links g u)
+  done;
+  Array.sub dist 0 n
+
 let dist t v = t.dist.(v)
 
 let reachable t v = t.dist.(v) < infinity

@@ -29,6 +29,34 @@ val link_weighted : ?forbidden:(int -> bool) -> Digraph.t -> int -> tree
     out-links from [source].  To get distances from every node {e to} a
     root, run this on [Digraph.reverse g] and read paths backwards. *)
 
+type scratch
+(** A reusable single-owner workspace (dist array, heap, touched-node
+    log) for distance-only runs.  Each run logs the nodes it reaches and
+    the next run resets exactly those entries, so repeated runs — the
+    per-relay avoidance Dijkstras of batch payment computation —
+    allocate nothing but their result array and never re-fill n-sized
+    buffers.  Never share one scratch between concurrent runs; give each
+    {!Wnet_par} participant its own. *)
+
+val make_scratch : int -> scratch
+(** [make_scratch cap] accepts graphs of at most [cap] nodes. *)
+
+val scratch_capacity : scratch -> int
+
+val node_weighted_dist :
+  scratch -> ?forbidden:(int -> bool) -> Graph.t -> source:int -> float array
+(** [node_weighted_dist scratch g ~source] is
+    [(node_weighted g ~source).dist] — bit-identical — computed through
+    [scratch] with no parent bookkeeping.  The returned array is fresh;
+    the scratch may be reused immediately.
+    @raise Invalid_argument if the graph exceeds the scratch capacity,
+    or as {!node_weighted}. *)
+
+val link_weighted_dist :
+  scratch -> ?forbidden:(int -> bool) -> Digraph.t -> int -> float array
+(** [link_weighted_dist scratch g source] is
+    [(link_weighted g source).dist], likewise. *)
+
 val path_to : tree -> int -> Path.t option
 (** [path_to t v] is the tree path [source; ...; v], or [None] when
     unreachable. *)

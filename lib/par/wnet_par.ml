@@ -1,0 +1,207 @@
+(* A fixed-size domain pool with static chunking.
+
+   Work distribution is deliberately dumb: a job is a function of the
+   participant slot, each slot processes one contiguous chunk, and the
+   caller is participant 0.  No work stealing, no task queue — the
+   workloads here (one avoidance Dijkstra per relay, one mechanism run
+   per instance) are uniform enough that static chunks keep every domain
+   busy, and the fixed assignment is what makes results reproducible
+   regardless of scheduling.
+
+   Synchronisation is a single mutex plus two condition variables: the
+   generation counter tells workers a new job is posted; the pending
+   counter tells the caller every worker chunk has finished.  The first
+   exception raised by any chunk is stored and re-raised in the caller
+   once the job has fully drained (workers never die on a job failure). *)
+
+type t = {
+  size : int;
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable generation : int;
+  mutable job : (int -> unit) option;
+  mutable pending : int;
+  mutable failure : exn option;
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let size t = t.size
+
+let default_domains () =
+  match Sys.getenv_opt "WNET_DOMAINS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some k when k >= 1 -> min k 128
+     | _ -> invalid_arg "WNET_DOMAINS must be a positive integer")
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+let make ~size =
+  {
+    size;
+    lock = Mutex.create ();
+    work_ready = Condition.create ();
+    work_done = Condition.create ();
+    generation = 0;
+    job = None;
+    pending = 0;
+    failure = None;
+    stop = false;
+    domains = [||];
+  }
+
+let sequential = make ~size:1
+
+let record_failure pool e =
+  Mutex.lock pool.lock;
+  if pool.failure = None then pool.failure <- Some e;
+  Mutex.unlock pool.lock
+
+let worker pool slot =
+  let seen = ref 0 in
+  Mutex.lock pool.lock;
+  let rec loop () =
+    if pool.stop then Mutex.unlock pool.lock
+    else if pool.generation = !seen then begin
+      Condition.wait pool.work_ready pool.lock;
+      loop ()
+    end
+    else begin
+      seen := pool.generation;
+      let job = pool.job in
+      Mutex.unlock pool.lock;
+      (match job with
+      | None -> ()
+      | Some f -> ( try f slot with e -> record_failure pool e));
+      Mutex.lock pool.lock;
+      pool.pending <- pool.pending - 1;
+      if pool.pending = 0 then Condition.broadcast pool.work_done;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?domains () =
+  let size =
+    match domains with
+    | None -> default_domains ()
+    | Some k when k >= 1 -> k
+    | Some _ -> invalid_arg "Wnet_par.create: domains must be >= 1"
+  in
+  let pool = make ~size in
+  if size > 1 then
+    pool.domains <-
+      Array.init (size - 1) (fun i ->
+          Domain.spawn (fun () -> worker pool (i + 1)));
+  pool
+
+let shutdown pool =
+  if Array.length pool.domains > 0 then begin
+    Mutex.lock pool.lock;
+    pool.stop <- true;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.lock;
+    Array.iter Domain.join pool.domains;
+    pool.domains <- [||]
+  end
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Runs [f slot] on every participant and waits for all of them.  The
+   caller takes slot 0 so a size-1 pool is a plain call. *)
+let run_job pool f =
+  if pool.size = 1 then f 0
+  else begin
+    if pool.stop then invalid_arg "Wnet_par: pool is shut down";
+    Mutex.lock pool.lock;
+    pool.job <- Some f;
+    pool.failure <- None;
+    pool.pending <- pool.size - 1;
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.lock;
+    (try f 0 with e -> record_failure pool e);
+    Mutex.lock pool.lock;
+    while pool.pending > 0 do
+      Condition.wait pool.work_done pool.lock
+    done;
+    pool.job <- None;
+    let failure = pool.failure in
+    pool.failure <- None;
+    Mutex.unlock pool.lock;
+    match failure with Some e -> raise e | None -> ()
+  end
+
+(* Chunk [i] of [parts] over [lo, hi): contiguous, sizes differing by at
+   most one, earlier chunks taking the remainder. *)
+let chunk ~lo ~hi parts i =
+  let len = hi - lo in
+  let base = len / parts and rem = len mod parts in
+  let start = lo + (i * base) + min i rem in
+  let stop = start + base + if i < rem then 1 else 0 in
+  (start, stop)
+
+let parallel_for pool ~lo ~hi body =
+  if hi > lo then
+    if pool.size = 1 then
+      for i = lo to hi - 1 do
+        body i
+      done
+    else
+      run_job pool (fun slot ->
+          let start, stop = chunk ~lo ~hi pool.size slot in
+          for i = start to stop - 1 do
+            body i
+          done)
+
+let map_array_with pool ~init f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    (* Element 0 seeds the result array (avoiding any unsafe
+       uninitialised cells); the caller's chunk reuses its state. *)
+    let s0 = init () in
+    let res = Array.make n (f s0 a.(0)) in
+    if n > 1 then
+      if pool.size = 1 then
+        for i = 1 to n - 1 do
+          res.(i) <- f s0 a.(i)
+        done
+      else
+        run_job pool (fun slot ->
+            let lo, hi = chunk ~lo:1 ~hi:n pool.size slot in
+            if lo < hi then begin
+              let s = if slot = 0 then s0 else init () in
+              for i = lo to hi - 1 do
+                res.(i) <- f s a.(i)
+              done
+            end);
+    res
+  end
+
+let map_array pool f a =
+  map_array_with pool ~init:(fun () -> ()) (fun () x -> f x) a
+
+let map_reduce pool ~map ~combine ~init a =
+  let n = Array.length a in
+  if n = 0 then init
+  else if pool.size = 1 then
+    Array.fold_left (fun acc x -> combine acc (map x)) init a
+  else begin
+    let partial = Array.make pool.size None in
+    run_job pool (fun slot ->
+        let lo, hi = chunk ~lo:0 ~hi:n pool.size slot in
+        if lo < hi then begin
+          let acc = ref (map a.(lo)) in
+          for i = lo + 1 to hi - 1 do
+            acc := combine !acc (map a.(i))
+          done;
+          partial.(slot) <- Some !acc
+        end);
+    Array.fold_left
+      (fun acc o -> match o with None -> acc | Some x -> combine acc x)
+      init partial
+  end

@@ -1,0 +1,83 @@
+(** A fixed-size domain pool for deterministic data parallelism.
+
+    The batch payment engine fans the per-relay avoidance Dijkstras and
+    the per-instance experiment loops out over OCaml 5 domains.  The pool
+    here is deliberately minimal: a fixed set of worker domains, static
+    chunking (no work stealing), and {e positional} result merging, so
+    that every combinator returns exactly what its sequential fallback
+    would — float for float, bit for bit — as long as the per-element
+    function is itself deterministic.  Determinism is the contract the
+    mechanism experiments rely on (a sweep must reproduce from its seed
+    regardless of how many domains ran it).
+
+    Built on [Domain], [Mutex] and [Condition] from the standard library
+    only; no external dependencies.
+
+    A pool of size 1 spawns no domains and runs everything inline in the
+    caller, so sequential code pays nothing for the abstraction.
+
+    Pools are {e single-owner}: only one job may be in flight at a time,
+    and jobs must not themselves submit jobs to the same pool.  Nested
+    parallelism should use distinct pools (or, simpler, a sequential
+    inner pool). *)
+
+type t
+(** A pool of [size t] participants: the calling domain plus
+    [size t - 1] worker domains. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] starts a pool with [domains] total participants
+    ([domains - 1] spawned worker domains).  Defaults to
+    {!default_domains}.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val default_domains : unit -> int
+(** Pool sizing policy: the [WNET_DOMAINS] environment variable when set
+    (clamped to [\[1, 128\]]), otherwise
+    [Domain.recommended_domain_count ()].
+    @raise Invalid_argument if [WNET_DOMAINS] is set but not a positive
+    integer. *)
+
+val size : t -> int
+
+val sequential : t
+(** A shared size-1 pool: every combinator degrades to its inline
+    sequential loop.  The default for all [?pool] arguments downstream. *)
+
+val shutdown : t -> unit
+(** Stops and joins the worker domains.  Idempotent; the pool must not
+    be used afterwards.  [sequential] pools have nothing to stop. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)
+
+val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi body] runs [body i] for every
+    [i ∈ \[lo, hi)], split into [size pool] contiguous chunks, one per
+    participant.  Iterations must be independent (they may write to
+    disjoint locations of shared arrays).  If any [body] raises, one of
+    the exceptions is re-raised in the caller after all chunks finish. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f a] is [Array.map f a], computed in parallel.
+    Results are written positionally, so the output is identical for
+    every pool size when [f] is deterministic. *)
+
+val map_array_with :
+  t -> init:(unit -> 's) -> ('s -> 'a -> 'b) -> 'a array -> 'b array
+(** [map_array_with pool ~init f a] is {!map_array} with a per-chunk
+    state created by [init] — the hook for reusable scratch workspaces
+    (e.g. {!Wnet_graph.Dijkstra.make_scratch}): each participant
+    allocates one state and threads it through its whole chunk.  [f]'s
+    {e result} must not depend on the state's prior contents, or
+    determinism across pool sizes is lost. *)
+
+val map_reduce :
+  t -> map:('a -> 'b) -> combine:('b -> 'b -> 'b) -> init:'b -> 'a array -> 'b
+(** [map_reduce pool ~map ~combine ~init a] folds [combine] over
+    [map a.(i)] — each chunk is folded left-to-right, then the chunk
+    results are folded in chunk order.  This equals the sequential
+    [Array.fold_left] for every pool size when [combine] is associative;
+    for floating-point sums it is deterministic for a {e fixed} pool
+    size but may differ across pool sizes by rounding. *)

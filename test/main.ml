@@ -33,5 +33,6 @@ let () =
       ("edge-model", Test_edge_model.suite);
       ("theory", Test_theory.suite);
       ("ksp", Test_ksp.suite);
+      ("par", Test_par.suite);
       ("declaration", Test_declaration.suite);
     ]

@@ -1,0 +1,278 @@
+(* The determinism contract of the domain-parallel batch payment engine:
+   whatever the pool size, every combinator and every batch mechanism
+   must return the sequential answer bit for bit. *)
+
+open Wnet_core
+module Par = Wnet_par
+module Rng = Wnet_prng.Rng
+
+let exact =
+  Alcotest.testable
+    (fun ppf x -> Format.fprintf ppf "%h" x)
+    (fun a b -> Float.equal a b || (Float.is_nan a && Float.is_nan b))
+
+let check_exact = Alcotest.check exact
+
+(* ---------------- pool combinators ---------------- *)
+
+let test_map_array_pool_sizes () =
+  let a = Array.init 237 (fun i -> i) in
+  let f x = (sqrt (float_of_int (x + 1)) *. 3.7) +. (1.0 /. float_of_int (x + 2)) in
+  let expect = Array.map f a in
+  List.iter
+    (fun domains ->
+      Par.with_pool ~domains (fun pool ->
+          let got = Par.map_array pool f a in
+          Alcotest.(check bool)
+            (Printf.sprintf "map_array identical at pool size %d" domains)
+            true (got = expect)))
+    [ 1; 2; 4 ]
+
+let test_parallel_for_covers_all () =
+  List.iter
+    (fun domains ->
+      Par.with_pool ~domains (fun pool ->
+          let hits = Array.make 101 0 in
+          Par.parallel_for pool ~lo:0 ~hi:101 (fun i -> hits.(i) <- hits.(i) + 1);
+          Alcotest.(check bool)
+            (Printf.sprintf "each index once at pool size %d" domains)
+            true
+            (Array.for_all (fun c -> c = 1) hits)))
+    [ 1; 2; 4 ]
+
+let test_map_reduce_associative () =
+  let a = Array.init 500 (fun i -> i + 1) in
+  let expect = Array.fold_left ( + ) 0 a in
+  List.iter
+    (fun domains ->
+      Par.with_pool ~domains (fun pool ->
+          Alcotest.(check int)
+            (Printf.sprintf "sum at pool size %d" domains)
+            expect
+            (Par.map_reduce pool ~map:Fun.id ~combine:( + ) ~init:0 a)))
+    [ 1; 2; 4 ]
+
+let test_map_array_with_states () =
+  (* One state per chunk, threaded through the whole chunk: with 3
+     participants over 90 elements, at most 3 distinct states exist and
+     results do not depend on them. *)
+  Par.with_pool ~domains:3 (fun pool ->
+      let made = Atomic.make 0 in
+      let got =
+        Par.map_array_with pool
+          ~init:(fun () ->
+            Atomic.incr made;
+            ref 0)
+          (fun counter x ->
+            incr counter;
+            x * 2)
+          (Array.init 90 Fun.id)
+      in
+      Alcotest.(check bool) "results" true
+        (got = Array.init 90 (fun i -> 2 * i));
+      Alcotest.(check bool) "at most one state per participant" true
+        (Atomic.get made <= 3))
+
+exception Boom
+
+let test_exception_propagates () =
+  Par.with_pool ~domains:4 (fun pool ->
+      Alcotest.check_raises "raised in caller" Boom (fun () ->
+          ignore
+            (Par.map_array pool
+               (fun x -> if x = 77 then raise Boom else x)
+               (Array.init 100 Fun.id)));
+      (* The pool survives a failed job. *)
+      Alcotest.(check bool) "pool usable after failure" true
+        (Par.map_array pool (fun x -> x + 1) [| 1; 2; 3 |] = [| 2; 3; 4 |]))
+
+(* ---------------- batch payment engines ---------------- *)
+
+let udg_node_graph seed ~n =
+  let rng = Rng.create seed in
+  let t = Wnet_topology.Udg.paper_instance rng ~n in
+  let costs = Wnet_topology.Udg.uniform_node_costs rng ~n ~lo:1.0 ~hi:10.0 in
+  Wnet_topology.Udg.node_graph t ~costs
+
+let unicast_batch_equal (a : Unicast.t option array) b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y ->
+         match (x, y) with
+         | None, None -> true
+         | Some (x : Unicast.t), Some (y : Unicast.t) ->
+           x.Unicast.src = y.Unicast.src
+           && x.Unicast.dst = y.Unicast.dst
+           && x.Unicast.path = y.Unicast.path
+           && Float.equal x.Unicast.lcp_cost y.Unicast.lcp_cost
+           && Array.for_all2 Float.equal x.Unicast.payments y.Unicast.payments
+         | _ -> false)
+       a b
+
+let test_unicast_batch_parallel_identical () =
+  List.iter
+    (fun seed ->
+      let g = udg_node_graph seed ~n:120 in
+      let seq = Unicast.all_to_root g ~root:0 in
+      List.iter
+        (fun domains ->
+          Par.with_pool ~domains (fun pool ->
+              let par = Unicast.all_to_root ~pool g ~root:0 in
+              Alcotest.(check bool)
+                (Printf.sprintf "seed %d pool %d bit-identical" seed domains)
+                true (unicast_batch_equal seq par)))
+        [ 2; 4 ])
+    [ 3; 19 ]
+
+let test_unicast_batch_matches_per_source () =
+  (* The batch engine (parallel, scratch-reusing) against the per-source
+     Algorithm 1 run: same mechanism computed by a different algorithm,
+     so payments agree to float tolerance per node. *)
+  let g = udg_node_graph 11 ~n:90 in
+  Par.with_pool ~domains:4 (fun pool ->
+      let batch = Unicast.all_to_root ~pool g ~root:0 in
+      Array.iteri
+        (fun src entry ->
+          if src <> 0 then
+            match (entry, Unicast.run ~algo:Unicast.Fast g ~src ~dst:0) with
+            | None, None -> ()
+            | Some a, Some b ->
+              Test_util.check_float "lcp cost" b.Unicast.lcp_cost
+                a.Unicast.lcp_cost;
+              Array.iteri
+                (fun v pb ->
+                  Test_util.check_float
+                    (Printf.sprintf "payment src=%d node=%d" src v)
+                    pb a.Unicast.payments.(v))
+                b.Unicast.payments
+            | _ -> Alcotest.fail "batch/per-source reachability mismatch")
+        batch)
+
+let link_batch_equal (a : Link_cost.batch) (b : Link_cost.batch) =
+  a.Link_cost.root = b.Link_cost.root
+  && Array.for_all2 Float.equal a.Link_cost.to_root_dist b.Link_cost.to_root_dist
+  && Array.for_all2
+       (fun x y ->
+         match (x, y) with
+         | None, None -> true
+         | Some (x : Link_cost.t), Some (y : Link_cost.t) ->
+           x.Link_cost.path = y.Link_cost.path
+           && Float.equal x.Link_cost.lcp_cost y.Link_cost.lcp_cost
+           && Float.equal x.Link_cost.relay_cost y.Link_cost.relay_cost
+           && Array.for_all2 Float.equal x.Link_cost.payments
+                y.Link_cost.payments
+         | _ -> false)
+       a.Link_cost.results b.Link_cost.results
+
+let test_link_cost_zero_copy_equals_copy () =
+  let r = Test_util.rng 47 in
+  for _ = 1 to 6 do
+    let inst = Wnet_topology.Random_range.paper_instance r ~n:60 ~kappa:2.0 in
+    let g = inst.Wnet_topology.Random_range.graph in
+    let copy = Link_cost.all_to_root ~strategy:Link_cost.Copy_graph g ~root:0 in
+    let zero = Link_cost.all_to_root ~strategy:Link_cost.Zero_copy g ~root:0 in
+    Alcotest.(check bool) "zero-copy bit-identical to graph-copy" true
+      (link_batch_equal copy zero)
+  done
+
+let test_link_cost_parallel_identical () =
+  let r = Test_util.rng 53 in
+  let inst = Wnet_topology.Random_range.paper_instance r ~n:80 ~kappa:2.0 in
+  let g = inst.Wnet_topology.Random_range.graph in
+  let seq = Link_cost.all_to_root g ~root:0 in
+  List.iter
+    (fun domains ->
+      Par.with_pool ~domains (fun pool ->
+          let par = Link_cost.all_to_root ~pool g ~root:0 in
+          Alcotest.(check bool)
+            (Printf.sprintf "pool %d bit-identical" domains)
+            true (link_batch_equal seq par)))
+    [ 2; 4 ]
+
+(* ---------------- experiment sweeps ---------------- *)
+
+let studies_equal (a : Overpayment.study) (b : Overpayment.study) =
+  Float.equal a.Overpayment.tor b.Overpayment.tor
+  && Float.equal a.Overpayment.ior b.Overpayment.ior
+  && Float.equal a.Overpayment.worst b.Overpayment.worst
+  && a.Overpayment.skipped = b.Overpayment.skipped
+  && a.Overpayment.samples = b.Overpayment.samples
+
+let test_fig3_row_parallel_identical () =
+  let model = Wnet_experiments.Fig3.Udg { kappa = 2.0 } in
+  let sweep ?pool () =
+    Wnet_experiments.Fig3.overpayment_sweep ~instances:4 ~ns:[ 100 ] ?pool
+      ~seed:42 model
+  in
+  let seq = sweep () in
+  Par.with_pool ~domains:3 (fun pool ->
+      let par = sweep ~pool () in
+      match (seq, par) with
+      | [ s ], [ p ] ->
+        Alcotest.(check int) "same n" s.Wnet_experiments.Fig3.n
+          p.Wnet_experiments.Fig3.n;
+        Alcotest.(check bool) "sweep row bit-identical" true
+          (studies_equal s.Wnet_experiments.Fig3.study
+             p.Wnet_experiments.Fig3.study);
+        (* Also pin a value so the row is not trivially empty. *)
+        Alcotest.(check bool) "row has samples" true
+          (s.Wnet_experiments.Fig3.study.Overpayment.samples <> [])
+      | _ -> Alcotest.fail "expected exactly one sweep row")
+
+let test_hop_profile_parallel_identical () =
+  let model = Wnet_experiments.Fig3.Udg { kappa = 2.0 } in
+  let seq =
+    Wnet_experiments.Fig3.hop_profile ~instances:3 ~n:120 ~seed:7 model
+  in
+  Par.with_pool ~domains:3 (fun pool ->
+      let par =
+        Wnet_experiments.Fig3.hop_profile ~instances:3 ~n:120 ~pool ~seed:7
+          model
+      in
+      Alcotest.(check bool) "hop profile bit-identical" true (seq = par))
+
+(* ---------------- dijkstra scratch ---------------- *)
+
+let test_scratch_reuse_matches_fresh () =
+  let r = Test_util.rng 91 in
+  let scratch = Wnet_graph.Dijkstra.make_scratch 40 in
+  for _ = 1 to 10 do
+    let g = Test_util.random_ring_graph ~max_n:40 r in
+    let n = Wnet_graph.Graph.n g in
+    let fresh = Wnet_graph.Dijkstra.node_weighted g ~source:0 in
+    let reused = Wnet_graph.Dijkstra.node_weighted_dist scratch g ~source:0 in
+    for v = 0 to n - 1 do
+      check_exact
+        (Printf.sprintf "dist %d" v)
+        fresh.Wnet_graph.Dijkstra.dist.(v)
+        reused.(v)
+    done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "map_array pool sizes 1/2/4" `Quick
+      test_map_array_pool_sizes;
+    Alcotest.test_case "parallel_for covers range" `Quick
+      test_parallel_for_covers_all;
+    Alcotest.test_case "map_reduce associative" `Quick
+      test_map_reduce_associative;
+    Alcotest.test_case "map_array_with per-chunk state" `Quick
+      test_map_array_with_states;
+    Alcotest.test_case "exceptions propagate, pool survives" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "unicast batch: parallel = sequential (bits)" `Quick
+      test_unicast_batch_parallel_identical;
+    Alcotest.test_case "unicast batch vs per-source Fast" `Quick
+      test_unicast_batch_matches_per_source;
+    Alcotest.test_case "link-cost: zero-copy = graph-copy (bits)" `Quick
+      test_link_cost_zero_copy_equals_copy;
+    Alcotest.test_case "link-cost batch: parallel = sequential (bits)" `Quick
+      test_link_cost_parallel_identical;
+    Alcotest.test_case "fig3 sweep row: parallel = sequential (bits)" `Quick
+      test_fig3_row_parallel_identical;
+    Alcotest.test_case "fig3 hop profile: parallel = sequential (bits)" `Quick
+      test_hop_profile_parallel_identical;
+    Alcotest.test_case "dijkstra scratch reuse = fresh run" `Quick
+      test_scratch_reuse_matches_fresh;
+  ]
