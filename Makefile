@@ -1,4 +1,4 @@
-.PHONY: all test bench experiments full clean
+.PHONY: all test bench check experiments full clean
 
 all:
 	dune build @all
@@ -7,11 +7,17 @@ test:
 	dune runtest
 
 # Times the batch payment engine (sequential vs WNET_DOMAINS-sized domain
-# pool, graph-copy vs zero-copy avoidance) plus the Bechamel micro-benches,
+# pool, graph-copy vs zero-copy avoidance), the incremental session
+# engine against from-scratch batches, plus the Bechamel micro-benches,
 # and leaves the machine-readable trajectory in
-# bench/results/BENCH_latest.json (+ a timestamped copy).
+# bench/results/BENCH_latest.json (+ a timestamped copy).  The gate
+# compares the fresh headline (batch + session) wall-clocks against the
+# previous BENCH_latest.json and fails on any >20% slowdown.
 bench:
-	dune exec bench/main.exe -- micro --json
+	dune exec bench/main.exe -- micro --json --gate
+
+# The whole bar: build, tier-1 tests, then the gated benchmark run.
+check: all test bench
 
 experiments:
 	dune exec bench/main.exe -- experiments

@@ -2,8 +2,9 @@
 
      dune exec bench/main.exe                 micro-benches + quick experiments
      dune exec bench/main.exe -- micro        Bechamel micro-benchmarks only
-     dune exec bench/main.exe -- micro --json micro + batch engine, JSON telemetry
+     dune exec bench/main.exe -- micro --json micro + batch + session, JSON telemetry
      dune exec bench/main.exe -- batch        batch payment engine: seq vs parallel
+     dune exec bench/main.exe -- session      incremental session vs full batch
      dune exec bench/main.exe -- experiments  every Figure 3 panel + studies
      dune exec bench/main.exe -- full         paper-scale experiments (100 instances)
 
@@ -11,9 +12,13 @@
    payment computation (the Sec. III-B complexity claim), plus the
    primitives they are built from.  The batch suite times the all-to-root
    payment engines — sequential vs Wnet_par domain pool, graph-copy vs
-   zero-copy avoidance — at n in {100, 200, 400, 800}.  With [--json]
-   (what [make bench] runs) results land in bench/results/BENCH_latest.json
-   plus a timestamped copy, the machine-readable perf trajectory.  The
+   zero-copy avoidance — at n in {100, 200, 400, 800}.  The session suite
+   times single-edit incremental recomputes against from-scratch batches
+   at the same sizes.  With [--json] (what [make bench] runs) results
+   land in bench/results/BENCH_latest.json plus a timestamped copy, the
+   machine-readable perf trajectory; with [--gate] the run first stashes
+   the previous BENCH_latest.json and fails if any headline (batch or
+   session) metric slowed down by more than 20%.  The
    experiment mode regenerates every panel of Figure 3 and the worked
    examples; EXPERIMENTS.md records a full run. *)
 
@@ -277,6 +282,187 @@ let print_batch (pool_domains, samples) =
     batch_ns;
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* Incremental session engine vs from-scratch batch                     *)
+
+(* Single-edit workloads on the link-cost session: how much of a batch
+   does one topology delta actually cost once the engine reuses every
+   avoidance Dijkstra the edit provably cannot touch?
+
+   - cost-change: drift on the slackest unused link — the common case; no
+     root-side shortest path moves, so only the shared tree reruns;
+   - cost-change-critical: drift on a link the longest served path
+     forwards on — the adversarial case; the nodes behind it change
+     distance in nearly every avoidance search, so caching cannot help
+     and the recompute degrades towards a full batch (kept for honesty);
+   - leave-rejoin: a non-relay node leaves and rejoins — typical churn;
+     two single-edit recomputes per call.
+
+   All runs sequential: the comparison is algorithmic, not a core
+   count. *)
+
+let session_targets dg =
+  let open Wnet_graph in
+  let n = Digraph.n dg in
+  let rev = Digraph.reverse dg in
+  let tree = Dijkstra.link_weighted rev 0 in
+  let dist v = tree.Dijkstra.dist.(v) in
+  let parent v = tree.Dijkstra.parent.(v) in
+  let is_relay = Array.make n false in
+  for v = 1 to n - 1 do
+    if Dijkstra.reachable tree v then begin
+      let h = parent v in
+      if h > 0 then is_relay.(h) <- true
+    end
+  done;
+  (* adversarial target: the link the farthest source's first relay
+     forwards on *)
+  let far = ref (-1) and fd = ref neg_infinity in
+  for v = 1 to n - 1 do
+    let x = dist v in
+    if Float.is_finite x && x > !fd then begin
+      far := v;
+      fd := x
+    end
+  done;
+  let critical =
+    if !far < 0 then None
+    else
+      let h = parent !far in
+      if h <= 0 then None else Some (h, parent h)
+  in
+  (* typical target: the unused link with the largest relative slack *)
+  let slack = ref None in
+  List.iter
+    (fun (a, b, w) ->
+      let da = dist a and db = dist b in
+      if w > 0.0 && Float.is_finite da && Float.is_finite db && parent a <> b
+      then begin
+        let s = (db +. w -. da) /. w in
+        match !slack with
+        | Some (s0, _) when s0 >= s -> ()
+        | _ -> slack := Some (s, (a, b))
+      end)
+    (Digraph.links dg);
+  let slack_link =
+    match !slack with Some (s, l) when s > 0.1 -> Some l | _ -> None
+  in
+  (* churn target: a served non-relay with the fewest incident links *)
+  let leaf = ref None in
+  for v = 1 to n - 1 do
+    if Dijkstra.reachable tree v && not is_relay.(v) then begin
+      let deg =
+        Array.length (Digraph.out_links dg v)
+        + Array.length (Digraph.out_links rev v)
+      in
+      match !leaf with
+      | Some (d0, _) when d0 <= deg -> ()
+      | _ -> leaf := Some (deg, v)
+    end
+  done;
+  match (slack_link, critical, !leaf) with
+  | Some sl, Some c, Some (_, leaf) -> Some (sl, c, leaf)
+  | _ -> None
+
+let run_session () =
+  let module S = Wnet_session.Link_session in
+  (* The incremental workloads are small (ms); heap garbage left by the
+     batch + Bechamel suites otherwise charges them a major-GC tax that
+     the standalone [session] mode never pays. *)
+  Gc.compact ();
+  let samples = ref [] in
+  let record bench bn (time_s, runs) =
+    samples := { bench; bn; domains = 1; time_s; runs } :: !samples
+  in
+  List.iter
+    (fun n ->
+      let dg = digraph_instance 9 ~n in
+      match session_targets dg with
+      | None -> ()
+      | Some ((su, sv), (cu, cv), leaf) ->
+        record "session/full-batch/seq" n
+          (time_best (fun () ->
+               Wnet_core.Link_cost.all_to_root
+                 ~strategy:Wnet_core.Link_cost.Zero_copy dg ~root:0));
+        let s = S.create dg ~root:0 in
+        ignore (S.payments s);
+        (* alternate between two weights so every repetition is a real
+           edit *)
+        let toggle u v =
+          let w0 = S.cost s u v in
+          let w1 = w0 *. 1.05 in
+          fun () ->
+            let w = if Float.equal (S.cost s u v) w0 then w1 else w0 in
+            S.set_cost s u v w;
+            S.payments s
+        in
+        record "session/cost-change/seq" n (time_best (toggle su sv));
+        record "session/cost-change-critical/seq" n (time_best (toggle cu cv));
+        (* churn round-trip: leave, payments; rejoin with the old links,
+           payments — two single-edit recomputes per call *)
+        let snap = S.snapshot s in
+        let out_links = Array.to_list (Wnet_graph.Digraph.out_links snap leaf) in
+        let in_links =
+          Array.to_list
+            (Wnet_graph.Digraph.out_links (Wnet_graph.Digraph.reverse snap) leaf)
+        in
+        record "session/leave-rejoin/seq" n
+          (time_best (fun () ->
+               S.remove_node s leaf;
+               ignore (S.payments s);
+               S.rejoin_node s leaf ~out:out_links ~inn:in_links;
+               S.payments s)))
+    batch_ns;
+  List.rev !samples
+
+let session_speedups samples =
+  let find bench n =
+    List.find_opt (fun s -> s.bench = bench && s.bn = n) samples
+  in
+  List.filter_map
+    (fun n ->
+      match
+        ( find "session/full-batch/seq" n,
+          find "session/cost-change/seq" n,
+          find "session/leave-rejoin/seq" n )
+      with
+      | Some batch, Some cc, Some lr ->
+        (* the leave-rejoin sample holds two edit+recompute cycles *)
+        Some
+          ( n,
+            batch.time_s /. cc.time_s,
+            2.0 *. batch.time_s /. lr.time_s )
+      | _ -> None)
+    batch_ns
+
+let print_session samples =
+  print_endline
+    "== Incremental session vs from-scratch batch (single edit + payments, \
+     sequential) ==";
+  let table =
+    Wnet_stats.Table.make ~headers:[ "workload"; "n"; "time"; "runs" ]
+  in
+  List.iter
+    (fun s ->
+      Wnet_stats.Table.add_row table
+        [
+          s.bench;
+          string_of_int s.bn;
+          (if s.time_s >= 1.0 then Printf.sprintf "%.3f s" s.time_s
+           else Printf.sprintf "%.3f ms" (s.time_s *. 1e3));
+          string_of_int s.runs;
+        ])
+    samples;
+  Wnet_stats.Table.print table;
+  print_newline ();
+  List.iter
+    (fun (n, cc, lr) ->
+      Printf.printf
+        "n=%4d  incremental vs batch: cost change %.2fx | leave/rejoin %.2fx\n"
+        n cc lr)
+    (session_speedups samples);
+  print_newline ()
+
 (* Hand-rolled JSON writer — names and numbers only, nothing to escape
    beyond the basics. *)
 let json_escape s =
@@ -298,7 +484,7 @@ let json_float x =
 
 let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
 
-let write_json ~micro (pool_domains, samples) =
+let write_json ~micro ~session (pool_domains, samples) =
   let now = Unix.gmtime (Unix.time ()) in
   let stamp =
     Printf.sprintf "%04d%02d%02dT%02d%02d%02dZ" (now.Unix.tm_year + 1900)
@@ -312,7 +498,7 @@ let write_json ~micro (pool_domains, samples) =
   in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"wnet-bench/1\",\n";
+  Buffer.add_string b "  \"schema\": \"wnet-bench/2\",\n";
   Buffer.add_string b (Printf.sprintf "  \"generated_at\": \"%s\",\n" iso);
   Buffer.add_string b
     (Printf.sprintf "  \"ocaml\": \"%s\",\n" (json_escape Sys.ocaml_version));
@@ -360,6 +546,29 @@ let write_json ~micro (pool_domains, samples) =
   in
   Buffer.add_string b (String.concat ",\n" speedup_rows);
   Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"session\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"bench\": \"%s\", \"n\": %d, \"domains\": %d, \"time_s\": \
+            %s, \"runs\": %d}%s\n"
+           (json_escape s.bench) s.bn s.domains (json_float s.time_s) s.runs
+           (if i = List.length session - 1 then "" else ",")))
+    session;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"session_speedups\": [\n";
+  let session_rows =
+    List.map
+      (fun (n, cc, lr) ->
+        Printf.sprintf
+          "    {\"n\": %d, \"cost_change_vs_batch\": %s, \
+           \"leave_vs_batch\": %s}"
+          n (json_float cc) (json_float lr))
+      (session_speedups session)
+  in
+  Buffer.add_string b (String.concat ",\n" session_rows);
+  Buffer.add_string b "\n  ],\n";
   Buffer.add_string b "  \"micro\": [\n";
   let micro_rows =
     List.map
@@ -383,6 +592,84 @@ let write_json ~micro (pool_domains, samples) =
   in
   write "bench/results/BENCH_latest.json";
   write (Printf.sprintf "bench/results/BENCH_%s.json" stamp)
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate                                                      *)
+
+(* Reads the headline wall-clock rows — the "batch" and "session"
+   sections, whose objects this writer emits one per line — out of a
+   previous BENCH_latest.json.  The Bechamel micro numbers are excluded:
+   they are the noisiest and not what the gate protects. *)
+let read_headline_rows path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rows = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         let line =
+           if String.length line > 0 && line.[String.length line - 1] = ',' then
+             String.sub line 0 (String.length line - 1)
+           else line
+         in
+         try
+           Scanf.sscanf line
+             "{\"bench\": %S, \"n\": %d, \"domains\": %d, \"time_s\": %f, \
+              \"runs\": %d}" (fun bench n d t _runs ->
+               rows := ((bench, n, d), t) :: !rows)
+         with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+       done
+     with End_of_file -> close_in ic);
+    Some !rows
+
+let gate_tolerance = 1.20
+
+(* Compares the freshly measured rows against the previous run and fails
+   (exit 1) when any headline metric slowed down by more than 20%.  Rows
+   without a counterpart (renamed benches, first run, schema changes)
+   pass silently. *)
+let run_gate ~previous (_, batch_samples) session_samples =
+  match previous with
+  | None ->
+    print_endline "bench gate: no previous BENCH_latest.json, baseline run"
+  | Some old_rows ->
+    let current =
+      List.map
+        (fun s -> ((s.bench, s.bn, s.domains), s.time_s))
+        (batch_samples @ session_samples)
+    in
+    let regressions =
+      List.filter_map
+        (fun (key, t_new) ->
+          match List.assoc_opt key old_rows with
+          | Some t_old when t_old > 0.0 && t_new > t_old *. gate_tolerance ->
+            Some (key, t_old, t_new)
+          | _ -> None)
+        current
+    in
+    let compared =
+      List.length
+        (List.filter (fun (key, _) -> List.assoc_opt key old_rows <> None)
+           current)
+    in
+    (match regressions with
+    | [] ->
+      Printf.printf
+        "bench gate: ok, %d headline metric(s) within %.0f%% of the previous \
+         run\n"
+        compared
+        ((gate_tolerance -. 1.0) *. 100.0)
+    | _ ->
+      Printf.printf "bench gate: FAIL, %d regression(s) worse than %.0f%%:\n"
+        (List.length regressions)
+        ((gate_tolerance -. 1.0) *. 100.0);
+      List.iter
+        (fun ((bench, n, d), t_old, t_new) ->
+          Printf.printf "  %s n=%d domains=%d: %.3f ms -> %.3f ms (%.2fx)\n"
+            bench n d (t_old *. 1e3) (t_new *. 1e3) (t_new /. t_old))
+        regressions;
+      exit 1)
 
 (* ------------------------------------------------------------------ *)
 (* Experiments: one block per paper artifact                            *)
@@ -518,23 +805,36 @@ let run_experiments ~instances ~hop_instances ~distributed_instances () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let json = List.mem "--json" args in
+  let gate = List.mem "--gate" args in
   let mode =
-    match List.filter (fun a -> a <> "--json") args with
+    match List.filter (fun a -> a <> "--json" && a <> "--gate") args with
     | [] -> "default"
     | m :: _ -> m
   in
-  match mode with
-  | "micro" ->
+  let json_run () =
+    let previous =
+      if gate then read_headline_rows "bench/results/BENCH_latest.json"
+      else None
+    in
+    (* Wall-clock suites first, Bechamel last: its thousands of forced
+       major collections bank so much GC pacing credit that the major
+       collector all but stops for the next ~600 MB of allocation,
+       inflating any timing taken afterwards by up to 10x. *)
+    let batch = run_batch () in
+    print_batch batch;
+    let session = run_session () in
+    print_session session;
     let micro = run_micro () in
-    if json then begin
-      let batch = run_batch () in
-      print_batch batch;
-      write_json ~micro batch
-    end
+    write_json ~micro ~session batch;
+    if gate then run_gate ~previous batch session
+  in
+  match mode with
+  | "micro" -> if json then json_run () else ignore (run_micro ())
   | "batch" ->
     let batch = run_batch () in
     print_batch batch;
-    if json then write_json ~micro:[] batch
+    if json then write_json ~micro:[] ~session:[] batch
+  | "session" -> print_session (run_session ())
   | "experiments" ->
     run_experiments ~instances:10 ~hop_instances:10 ~distributed_instances:3 ()
   | "full" ->
@@ -544,6 +844,7 @@ let () =
     ignore (run_micro ());
     run_experiments ~instances:5 ~hop_instances:5 ~distributed_instances:2 ()
   | other ->
-    Printf.eprintf "unknown mode %s (use: micro | batch | experiments | full)\n"
+    Printf.eprintf
+      "unknown mode %s (use: micro | batch | session | experiments | full)\n"
       other;
     exit 2

@@ -6,6 +6,7 @@
    unicast check GRAPH --src S --dst D [--trials N]
    unicast distributed GRAPH [--root R] [--verify]
    unicast experiment NAME [--instances K] [--seed S] [--domains K]
+   unicast serve GRAPH [--root R] [--model node|link] [--domains K]
 
    GRAPH is a text file in the Graph_io format (see `unicast format`).
    Batch payments and the Figure 3 sweeps run on a Wnet_par domain pool
@@ -219,11 +220,11 @@ let experiments ~instances ~seed ~csv ~pool name =
   | "collusion" ->
     print_endline
       (Wnet_experiments.Collusion_exp.render
-         (Wnet_experiments.Collusion_exp.study ~instances ~seed ()))
+         (Wnet_experiments.Collusion_exp.study ~instances ~pool ~seed ()))
   | "second-path" ->
     print_endline
       (Wnet_experiments.Second_path_exp.render
-         (Wnet_experiments.Second_path_exp.study ~instances ~seed ()))
+         (Wnet_experiments.Second_path_exp.study ~instances ~pool ~seed ()))
   | "agent-model" ->
     print_endline
       (Wnet_experiments.Agent_model_exp.render
@@ -235,7 +236,7 @@ let experiments ~instances ~seed ~csv ~pool name =
   | "lifetime" ->
     print_endline
       (Wnet_experiments.Lifetime_exp.render
-         (Wnet_experiments.Lifetime_exp.study ~seed ()))
+         (Wnet_experiments.Lifetime_exp.study ~pool ~seed ()))
   | "scheme-ablation" ->
     print_endline
       (Wnet_experiments.Scheme_ablation.render
@@ -243,11 +244,11 @@ let experiments ~instances ~seed ~csv ~pool name =
   | "baselines" ->
     print_endline
       (Wnet_experiments.Baseline_exp.render_nuglet
-         (Wnet_experiments.Baseline_exp.nuglet_sweep ~instances ~seed ()));
+         (Wnet_experiments.Baseline_exp.nuglet_sweep ~instances ~pool ~seed ()));
     print_newline ();
     print_endline
       (Wnet_experiments.Baseline_exp.render_watchdog
-         (Wnet_experiments.Baseline_exp.watchdog_sweep ~instances ~seed ()))
+         (Wnet_experiments.Baseline_exp.watchdog_sweep ~instances ~pool ~seed ()))
   | name -> failwith ("unknown experiment " ^ name)
 
 let experiment_cmd =
@@ -346,6 +347,159 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Topology statistics of a graph file.")
     Term.(const run $ graph_arg)
 
+(* -- serve -- *)
+
+(* Line-oriented session protocol over stdin/stdout.  One incremental
+   payment session stays alive across commands, so an access point can
+   absorb cost drift and churn without re-running full batches: each
+   `pay` reuses every avoidance Dijkstra the edits since the previous
+   `pay` could not have touched. *)
+
+let serve_loop handle =
+  let rec loop () =
+    match In_channel.input_line In_channel.stdin with
+    | None -> ()
+    | Some line ->
+      let words =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun s -> s <> "")
+      in
+      (match words with
+      | [] -> loop ()
+      | [ "quit" ] | [ "exit" ] -> ()
+      | w ->
+        (try handle w with
+        | Failure m | Invalid_argument m -> Format.printf "err %s@." m);
+        loop ())
+  in
+  loop ()
+
+let serve_pay_summary ~served ~unbounded ~charged =
+  Format.printf "ok served=%d unbounded=%d total=%g@." served unbounded charged
+
+let serve_node ~pool ~root g =
+  let module S = Wnet_session.Node_session in
+  let s = S.create ~pool g ~root in
+  Format.printf "ready model=node n=%d root=%d domains=%d@." (S.n s) root
+    (Wnet_par.size pool);
+  serve_loop (fun words ->
+      match words with
+      | [ "cost"; k; c ] ->
+        S.set_cost s (int_of_string k) (float_of_string c);
+        Format.printf "ok version=%d@." (S.version s)
+      | [ "leave"; k ] ->
+        S.remove_node s (int_of_string k);
+        Format.printf "ok version=%d@." (S.version s)
+      | [ "pay" ] ->
+        let results = S.payments s in
+        let served = ref 0 and unbounded = ref 0 and charged = ref 0.0 in
+        Array.iteri
+          (fun src outcome ->
+            match outcome with
+            | None -> ()
+            | Some (o : S.outcome) ->
+              incr served;
+              let p = Array.fold_left ( +. ) 0.0 o.S.payments in
+              if p < infinity then charged := !charged +. p else incr unbounded;
+              Format.printf "src %d: path %a, charge %g@." src
+                Wnet_graph.Path.pp o.S.path p)
+          results;
+        serve_pay_summary ~served:!served ~unbounded:!unbounded ~charged:!charged
+      | [ "stats" ] ->
+        let st = S.stats s in
+        Format.printf "ok edits=%d spt_runs=%d avoid_runs=%d avoid_reused=%d@."
+          st.S.edits st.S.spt_runs st.S.avoid_runs st.S.avoid_reused
+      | w -> Format.printf "err unknown command: %s@." (String.concat " " w))
+
+let serve_link ~pool ~root g =
+  let module S = Wnet_session.Link_session in
+  let s = S.create ~pool g ~root in
+  let parse_link tok =
+    match String.split_on_char ':' tok with
+    | [ v; w ] -> (int_of_string v, float_of_string w)
+    | _ -> failwith ("bad link " ^ tok ^ " (want node:weight)")
+  in
+  Format.printf "ready model=link n=%d root=%d domains=%d@." (S.n s) root
+    (Wnet_par.size pool);
+  serve_loop (fun words ->
+      match words with
+      | [ "cost"; u; v; w ] ->
+        S.set_cost s (int_of_string u) (int_of_string v) (float_of_string w);
+        Format.printf "ok version=%d@." (S.version s)
+      | "join" :: rest ->
+        (* join v:w ... -- u:w ...   (out-links, then in-links) *)
+        let rec split acc = function
+          | [] -> (List.rev acc, [])
+          | "--" :: tl -> (List.rev acc, tl)
+          | hd :: tl -> split (hd :: acc) tl
+        in
+        let out, inn = split [] rest in
+        let id =
+          S.add_node s ~out:(List.map parse_link out)
+            ~inn:(List.map parse_link inn)
+        in
+        Format.printf "ok node=%d version=%d@." id (S.version s)
+      | "rejoin" :: k :: rest ->
+        (* rejoin K v:w ... -- u:w ...   (a node [leave]d earlier returns) *)
+        let rec split acc = function
+          | [] -> (List.rev acc, [])
+          | "--" :: tl -> (List.rev acc, tl)
+          | hd :: tl -> split (hd :: acc) tl
+        in
+        let out, inn = split [] rest in
+        S.rejoin_node s (int_of_string k) ~out:(List.map parse_link out)
+          ~inn:(List.map parse_link inn);
+        Format.printf "ok version=%d@." (S.version s)
+      | [ "leave"; k ] ->
+        S.remove_node s (int_of_string k);
+        Format.printf "ok version=%d@." (S.version s)
+      | [ "pay" ] ->
+        let batch = S.payments s in
+        let served = ref 0 and unbounded = ref 0 and charged = ref 0.0 in
+        Array.iteri
+          (fun src outcome ->
+            match outcome with
+            | None -> ()
+            | Some (o : S.outcome) ->
+              incr served;
+              let p = Array.fold_left ( +. ) 0.0 o.S.payments in
+              if p < infinity then charged := !charged +. p else incr unbounded;
+              Format.printf "src %d: path %a, charge %g@." src
+                Wnet_graph.Path.pp o.S.path p)
+          batch.S.results;
+        serve_pay_summary ~served:!served ~unbounded:!unbounded ~charged:!charged
+      | [ "stats" ] ->
+        let st = S.stats s in
+        Format.printf "ok edits=%d spt_runs=%d avoid_runs=%d avoid_reused=%d@."
+          st.S.edits st.S.spt_runs st.S.avoid_runs st.S.avoid_reused
+      | w -> Format.printf "err unknown command: %s@." (String.concat " " w))
+
+let serve_cmd =
+  let root =
+    Arg.(value & opt int 0 & info [ "root" ] ~docv:"NODE" ~doc:"Access point.")
+  in
+  let model =
+    Arg.(value & opt string "node"
+         & info [ "model" ] ~docv:"MODEL"
+             ~doc:"$(b,node) (Sec. II node costs: cost k c / leave k / pay) or \
+                   $(b,link) (Sec. III-F directed link costs: cost u v w / \
+                   join v:w .. -- u:w .. / leave k / pay).")
+  in
+  let run path root model domains =
+    Wnet_par.with_pool ?domains (fun pool ->
+        match model with
+        | "node" -> serve_node ~pool ~root (read_graph path)
+        | "link" ->
+          serve_link ~pool ~root (Wnet_graph.Graph_io.parse_digraph_file path)
+        | other -> failwith ("unknown model " ^ other));
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Incremental payment session over stdin/stdout: apply cost \
+             changes and churn, re-collect payments without full batches.")
+    Term.(const run $ graph_arg $ root $ model $ domains_arg)
+
 (* -- format -- *)
 
 let format_cmd =
@@ -370,5 +524,5 @@ let () =
        (Cmd.group info
           [
             lcp_cmd; pay_cmd; batch_cmd; check_cmd; distributed_cmd; experiment_cmd;
-            report_cmd; generate_cmd; stats_cmd; format_cmd;
+            report_cmd; generate_cmd; stats_cmd; format_cmd; serve_cmd;
           ]))

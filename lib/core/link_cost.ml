@@ -64,59 +64,74 @@ let relay_array is_relay =
 let all_to_root ?(strategy = Zero_copy) ?(pool = Wnet_par.sequential) g ~root =
   let n = Digraph.n g in
   if root < 0 || root >= n then invalid_arg "Link_cost.all_to_root";
-  let rev = Digraph.reverse g in
-  let tree = Dijkstra.link_weighted rev root in
-  (* In the reversed tree, a node's parent is its next hop towards the
-     root in the original graph. *)
-  let next_hop v = tree.Dijkstra.parent.(v) in
-  (* Which nodes relay for somebody?  Exactly the internal nodes of the
-     reversed shortest-path tree. *)
-  let is_relay = Array.make n false in
-  for v = 0 to n - 1 do
-    if v <> root && Dijkstra.reachable tree v then begin
-      let h = next_hop v in
-      if h <> root && h >= 0 then is_relay.(h) <- true
-    end
-  done;
-  (* One avoidance Dijkstra per relay, fanned out over the pool.
-     Silencing k in g removes the links entering k in rev, which makes k
-     unreachable from the root — so forbidding node k during the search
-     visits exactly the same graph without materializing a copy.  Both
-     strategies produce identical distances; [Copy_graph] keeps the
-     original clone-per-relay implementation around as the reference. *)
-  let relays = relay_array is_relay in
-  let dists =
-    match strategy with
-    | Copy_graph ->
+  match strategy with
+  | Zero_copy ->
+    (* A one-shot session: same shared reversed tree, same forbidden-node
+       avoidance Dijkstras over per-domain scratches, same assembly —
+       delegated to the incremental engine, opened on a borrowed graph
+       (no edits ever happen, so borrowing is safe). *)
+    let module S = Wnet_session.Link_session in
+    let s = S.create ~pool ~copy:false g ~root in
+    let b = S.payments s in
+    {
+      root = b.S.root;
+      to_root_dist = b.S.to_root_dist;
+      results =
+        Array.map
+          (Option.map (fun (o : S.outcome) ->
+               {
+                 src = o.S.src;
+                 dst = root;
+                 path = o.S.path;
+                 lcp_cost = o.S.lcp_cost;
+                 relay_cost = o.S.relay_cost;
+                 payments = o.S.payments;
+               }))
+          b.S.results;
+    }
+  | Copy_graph ->
+    (* Reference implementation: clone the reversed graph per relay.
+       Produces distances identical to the session path; kept as the
+       from-scratch oracle the equivalence suites check against. *)
+    let rev = Digraph.reverse g in
+    let tree = Dijkstra.link_weighted rev root in
+    (* In the reversed tree, a node's parent is its next hop towards the
+       root in the original graph. *)
+    let next_hop v = tree.Dijkstra.parent.(v) in
+    (* Which nodes relay for somebody?  Exactly the internal nodes of the
+       reversed shortest-path tree. *)
+    let is_relay = Array.make n false in
+    for v = 0 to n - 1 do
+      if v <> root && Dijkstra.reachable tree v then begin
+        let h = next_hop v in
+        if h <> root && h >= 0 then is_relay.(h) <- true
+      end
+    done;
+    let relays = relay_array is_relay in
+    let dists =
       Wnet_par.map_array pool
         (fun k ->
           let revk = Digraph.remove_links_to rev k in
           (Dijkstra.link_weighted revk root).Dijkstra.dist)
         relays
-    | Zero_copy ->
-      Wnet_par.map_array_with pool
-        ~init:(fun () -> Dijkstra.make_scratch n)
-        (fun scratch k ->
-          Dijkstra.link_weighted_dist scratch ~forbidden:(fun v -> v = k) rev
-            root)
-        relays
-  in
-  let avoid = Array.make n [||] in
-  Array.iteri (fun i k -> avoid.(k) <- dists.(i)) relays;
-  let results =
-    Array.init n (fun src ->
-        if src = root || not (Dijkstra.reachable tree src) then None
-        else begin
-          let rec chain v acc =
-            if v = root then List.rev (root :: acc) else chain (next_hop v) (v :: acc)
-          in
-          let path = Array.of_list (chain src []) in
-          let lcp_cost = Dijkstra.dist tree src in
-          let avoid_dist k = avoid.(k).(src) in
-          Some (build_result g ~src ~dst:root ~path ~lcp_cost ~avoid_dist)
-        end)
-  in
-  { root; to_root_dist = Array.copy tree.Dijkstra.dist; results }
+    in
+    let avoid = Array.make n [||] in
+    Array.iteri (fun i k -> avoid.(k) <- dists.(i)) relays;
+    let results =
+      Array.init n (fun src ->
+          if src = root || not (Dijkstra.reachable tree src) then None
+          else begin
+            let rec chain v acc =
+              if v = root then List.rev (root :: acc)
+              else chain (next_hop v) (v :: acc)
+            in
+            let path = Array.of_list (chain src []) in
+            let lcp_cost = Dijkstra.dist tree src in
+            let avoid_dist k = avoid.(k).(src) in
+            Some (build_result g ~src ~dst:root ~path ~lcp_cost ~avoid_dist)
+          end)
+    in
+    { root; to_root_dist = Array.copy tree.Dijkstra.dist; results }
 
 let ic_spot_check rng g ~src ~dst ~trials =
   validate g ~src ~dst;

@@ -55,54 +55,25 @@ let session_charge r ~packets =
   check_packets packets;
   float_of_int packets *. total_payment r
 
-let relay_array is_relay =
-  let l = ref [] in
-  for k = Array.length is_relay - 1 downto 0 do
-    if is_relay.(k) then l := k :: !l
-  done;
-  Array.of_list !l
-
 let all_to_root ?(pool = Wnet_par.sequential) g ~root =
   let n = Graph.n g in
   if root < 0 || root >= n then invalid_arg "Unicast.all_to_root";
-  let tree = Dijkstra.node_weighted g ~source:root in
-  let next_hop v = tree.Dijkstra.parent.(v) in
-  let is_relay = Array.make n false in
-  for v = 0 to n - 1 do
-    if v <> root && Dijkstra.reachable tree v then begin
-      let h = next_hop v in
-      if h >= 0 && h <> root then is_relay.(h) <- true
-    end
-  done;
-  (* One avoidance Dijkstra per relay, fanned out over the pool.  Each
-     participant reuses one scratch for its whole chunk; results are
-     merged positionally, so any pool size yields the sequential answer
-     bit for bit. *)
-  let relays = relay_array is_relay in
-  let dists =
-    Wnet_par.map_array_with pool
-      ~init:(fun () -> Dijkstra.make_scratch n)
-      (fun scratch k ->
-        Dijkstra.node_weighted_dist scratch ~forbidden:(fun v -> v = k) g
-          ~source:root)
-      relays
-  in
-  let avoid = Array.make n [||] in
-  Array.iteri (fun i k -> avoid.(k) <- dists.(i)) relays;
-  Array.init n (fun src ->
-      if src = root || not (Dijkstra.reachable tree src) then None
-      else begin
-        let rec chain v acc =
-          if v = root then List.rev (root :: acc) else chain (next_hop v) (v :: acc)
-        in
-        let path = Array.of_list (chain src []) in
-        let lcp_cost = Dijkstra.dist tree src in
-        let payments = Array.make n 0.0 in
-        Array.iter
-          (fun k -> payments.(k) <- Graph.cost g k +. avoid.(k).(src) -. lcp_cost)
-          (Path.relays path);
-        Some { src; dst = root; path; lcp_cost; payments }
-      end)
+  (* A one-shot session: the shared from-root tree, one avoidance
+     Dijkstra per relay over per-domain scratches, positional merge —
+     delegated to the incremental engine ([Graph.t] is immutable, so
+     sharing is free). *)
+  let module S = Wnet_session.Node_session in
+  let s = S.create ~pool g ~root in
+  Array.map
+    (Option.map (fun (o : S.outcome) ->
+         {
+           src = o.S.src;
+           dst = root;
+           path = o.S.path;
+           lcp_cost = o.S.lcp_cost;
+           payments = o.S.payments;
+         }))
+    (S.payments s)
 
 let solve_instance g ~src ~dst ~excluded (d : Wnet_mech.Profile.t) =
   let g = Graph.with_costs g d in

@@ -17,12 +17,15 @@ let dense_udg rng ~n ~cost_lo ~cost_hi =
 let nuglet_instance rng ~n = dense_udg rng ~n ~cost_lo:0.5 ~cost_hi:8.0
 
 let nuglet_sweep ?(n = 150) ?(prices = [ 0.5; 1.0; 2.0; 4.0; 8.0 ]) ?(instances = 5)
-    ~seed () =
+    ?(pool = Wnet_par.sequential) ~seed () =
   let rng = Wnet_prng.Rng.create seed in
   let graphs =
     List.init instances (fun _ -> nuglet_instance (Wnet_prng.Rng.split rng) ~n)
   in
-  List.map
+  (* Price points are deterministic given the pre-built graphs (no RNG in
+     the measurement loop), so they fan out over the pool and merge
+     positionally — identical rows for every pool size. *)
+  Wnet_par.map_array pool
     (fun price ->
       let delivered = ref 0 and total = ref 0 and ratios = ref [] in
       List.iter
@@ -50,7 +53,8 @@ let nuglet_sweep ?(n = 150) ?(prices = [ 0.5; 1.0; 2.0; 4.0; 8.0 ]) ?(instances 
            else float_of_int !delivered /. float_of_int !total);
         social_cost_ratio = Wnet_stats.Summary.mean !ratios;
       })
-    prices
+    (Array.of_list prices)
+  |> Array.to_list
 
 type watchdog_row = {
   battery : int;
@@ -60,15 +64,25 @@ type watchdog_row = {
 }
 
 let watchdog_sweep ?(n = 60) ?(batteries = [ 5; 20; 80; 320 ]) ?(instances = 5)
-    ~seed () =
+    ?(pool = Wnet_par.sequential) ~seed () =
   let rng = Wnet_prng.Rng.create seed in
   let selfish_fraction = 0.1 in
-  List.map
-    (fun battery ->
+  (* The historical loop split one child per (battery, instance) in
+     nested order; pre-split them all in that order, then fan battery
+     points out over the pool — identical rows for every pool size. *)
+  let children =
+    Array.of_list
+      (List.map
+         (fun battery ->
+           (battery, Array.init instances (fun _ -> Wnet_prng.Rng.split rng)))
+         batteries)
+  in
+  Wnet_par.map_array pool
+    (fun (battery, kids) ->
       let wrongful = ref 0 and labelled = ref 0 in
       let delivered = ref 0 and sessions_total = ref 0 in
-      for _ = 1 to instances do
-        let child = Wnet_prng.Rng.split rng in
+      for i = 0 to instances - 1 do
+        let child = kids.(i) in
         let g = dense_udg child ~n ~cost_lo:1.0 ~cost_hi:2.0 in
         let kinds =
           Array.init n (fun _ ->
@@ -96,7 +110,8 @@ let watchdog_sweep ?(n = 60) ?(batteries = [ 5; 20; 80; 320 ]) ?(instances = 5)
         delivered_fraction =
           float_of_int !delivered /. float_of_int (max 1 !sessions_total);
       })
-    batteries
+    children
+  |> Array.to_list
 
 let render_nuglet rows =
   let table =

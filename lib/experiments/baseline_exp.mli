@@ -19,8 +19,8 @@ type nuglet_row = {
 }
 
 val nuglet_sweep :
-  ?n:int -> ?prices:float list -> ?instances:int -> seed:int -> unit ->
-  nuglet_row list
+  ?n:int -> ?prices:float list -> ?instances:int -> ?pool:Wnet_par.t ->
+  seed:int -> unit -> nuglet_row list
 (** Defaults: [n = 150], prices [{0.5, 1, 2, 4, 8}], 5 instances; node
     costs uniform in [\[0.5, 8)]. *)
 
@@ -33,8 +33,8 @@ type watchdog_row = {
 }
 
 val watchdog_sweep :
-  ?n:int -> ?batteries:int list -> ?instances:int -> seed:int -> unit ->
-  watchdog_row list
+  ?n:int -> ?batteries:int list -> ?instances:int -> ?pool:Wnet_par.t ->
+  seed:int -> unit -> watchdog_row list
 (** Defaults: [n = 60], 10% selfish nodes, batteries
     [{5, 20, 80, 320}], 300 sessions per instance. *)
 

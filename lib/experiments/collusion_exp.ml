@@ -83,11 +83,15 @@ let one_instance rng ~n =
           (match resales with [] -> 0.0 | r :: _ -> r.Collusion.saving);
       }
 
-let study ?(n = 30) ?(instances = 10) ~seed () =
+let study ?(n = 30) ?(instances = 10) ?(pool = Wnet_par.sequential) ~seed () =
   let rng = Wnet_prng.Rng.create seed in
-  List.filter_map
-    (fun _ -> one_instance (Wnet_prng.Rng.split rng) ~n)
-    (List.init instances (fun i -> i))
+  (* Instances are independent given their RNG streams: pre-split the
+     children in the historical order, fan the bodies out over the pool,
+     merge positionally — identical rows for every pool size. *)
+  let children = Array.init instances (fun _ -> Wnet_prng.Rng.split rng) in
+  Wnet_par.map_array pool (fun child -> one_instance child ~n) children
+  |> Array.to_list
+  |> List.filter_map Fun.id
 
 let render rows =
   let table =

@@ -29,6 +29,9 @@ type row = {
   best_resale_saving : float;  (** 0 when none *)
 }
 
-val study : ?n:int -> ?instances:int -> seed:int -> unit -> row list
+val study :
+  ?n:int -> ?instances:int -> ?pool:Wnet_par.t -> seed:int -> unit -> row list
+(** Instances fan out over [?pool] (default sequential); rows are
+    identical for every pool size. *)
 
 val render : row list -> string

@@ -15,7 +15,8 @@ let regime_name (r : Wnet_lifetime.Lifetime_sim.regime) =
   | Wnet_lifetime.Lifetime_sim.Fixed_price p -> Printf.sprintf "fixed price %.1f" p
   | Wnet_lifetime.Lifetime_sim.Altruistic -> "altruistic"
 
-let study ?(n = 80) ?(budget = 50.0) ?(sessions = 2000) ~seed () =
+let study ?(n = 80) ?(budget = 50.0) ?(sessions = 2000)
+    ?(pool = Wnet_par.sequential) ~seed () =
   let rng = Wnet_prng.Rng.create seed in
   let t =
     Wnet_topology.Udg.generate rng ~region:(Wnet_geom.Region.square 1200.0) ~n
@@ -23,13 +24,26 @@ let study ?(n = 80) ?(budget = 50.0) ?(sessions = 2000) ~seed () =
   in
   let costs = Wnet_topology.Udg.uniform_node_costs rng ~n ~lo:0.5 ~hi:2.0 in
   let g = Wnet_topology.Udg.node_graph t ~costs in
-  Wnet_lifetime.Lifetime_sim.compare_regimes rng g ~root:0 ~budget ~sessions
-    [
+  (* Each regime replays identical traffic from a copy of the same RNG
+     state ([compare_regimes]'s contract), so the four simulations are
+     independent: pre-copy the streams, fan the regimes out over the
+     pool, merge positionally — same outcomes for every pool size. *)
+  let regimes =
+    [|
       Wnet_lifetime.Lifetime_sim.Paid_vcg;
       Wnet_lifetime.Lifetime_sim.Altruistic;
       Wnet_lifetime.Lifetime_sim.Fixed_price 1.0;
       Wnet_lifetime.Lifetime_sim.Selfish;
-    ]
+    |]
+  in
+  let children =
+    Array.map (fun r -> (r, Wnet_prng.Rng.copy rng)) regimes
+  in
+  Wnet_par.map_array pool
+    (fun (regime, child) ->
+      Wnet_lifetime.Lifetime_sim.run child g ~root:0 ~budget ~sessions regime)
+    children
+  |> Array.to_list
   |> List.map (fun (o : Wnet_lifetime.Lifetime_sim.outcome) ->
          {
            regime = regime_name o.Wnet_lifetime.Lifetime_sim.regime;

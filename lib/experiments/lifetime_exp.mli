@@ -18,7 +18,8 @@ type row = {
 }
 
 val study :
-  ?n:int -> ?budget:float -> ?sessions:int -> seed:int -> unit -> row list
+  ?n:int -> ?budget:float -> ?sessions:int -> ?pool:Wnet_par.t -> seed:int ->
+  unit -> row list
 (** Defaults: dense UDG with [n = 80] nodes (1200 m square, range
     300 m), costs uniform in [\[0.5, 2)], [budget = 50], 2000 sessions. *)
 

@@ -16,7 +16,9 @@ type bucket = {
   max_gap : float;
 }
 
-val study : ?n:int -> ?instances:int -> seed:int -> unit -> bucket list
+val study :
+  ?n:int -> ?instances:int -> ?pool:Wnet_par.t -> seed:int -> unit ->
+  bucket list
 (** UDG (paper region, range 300 m) with uniform node costs in
     [\[1, 10)]; all sources to the access point.  Sources with no second
     simple path or a zero-cost LCP are skipped.  Defaults: [n = 150],

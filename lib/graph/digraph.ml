@@ -1,6 +1,7 @@
 type t = {
-  out_adj : (int * float) array array; (* sorted by target *)
-  m : int;
+  mutable out_adj : (int * float) array array; (* sorted by target *)
+  mutable m : int;
+  mutable version : int;
 }
 
 let create ~n ~links =
@@ -28,7 +29,7 @@ let create ~n ~links =
       fill.(u) <- fill.(u) + 1)
     best;
   Array.iter (fun l -> Array.sort compare l) out_adj;
-  { out_adj; m = Hashtbl.length best }
+  { out_adj; m = Hashtbl.length best; version = 0 }
 
 let n g = Array.length g.out_adj
 
@@ -66,7 +67,7 @@ let silence_node g v =
   let out_adj = Array.copy g.out_adj in
   let removed = Array.length out_adj.(v) in
   out_adj.(v) <- [||];
-  { out_adj; m = g.m - removed }
+  { out_adj; m = g.m - removed; version = 0 }
 
 let remove_node g v =
   if v < 0 || v >= n g then invalid_arg "Digraph.remove_node: out of range";
@@ -85,7 +86,7 @@ let remove_node g v =
         end)
       g.out_adj
   in
-  { out_adj; m = !m }
+  { out_adj; m = !m; version = 0 }
 
 let remove_links_to g v =
   if v < 0 || v >= n g then invalid_arg "Digraph.remove_links_to: out of range";
@@ -101,7 +102,84 @@ let remove_links_to g v =
         else l)
       g.out_adj
   in
-  { out_adj; m = !m }
+  { out_adj; m = !m; version = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* In-place mutation.
+
+   The session engine owns a long-lived digraph and applies topology
+   deltas to it directly instead of rebuilding O(n + m) state per edit.
+   Every mutation bumps the version stamp, which downstream caches use
+   to assert they were built against the graph they are consulted on.
+   The immutable operations above are unaffected: they still return
+   fresh graphs (at version 0, a new history). *)
+
+let version g = g.version
+
+let copy g =
+  { out_adj = Array.map Array.copy g.out_adj; m = g.m; version = 0 }
+
+let set_weight g u v w =
+  let nn = n g in
+  if u < 0 || u >= nn || v < 0 || v >= nn then
+    invalid_arg "Digraph.set_weight: endpoint out of range";
+  if u = v then invalid_arg "Digraph.set_weight: self-loop";
+  if Float.is_nan w || w < 0.0 then
+    invalid_arg "Digraph.set_weight: weight must be non-negative";
+  let a = g.out_adj.(u) in
+  let len = Array.length a in
+  let rec bsearch lo hi = (* position of v, or insertion point *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if fst a.(mid) < v then bsearch (mid + 1) hi else bsearch lo mid
+  in
+  let i = bsearch 0 len in
+  let present = i < len && fst a.(i) = v in
+  (if present then begin
+     if w = infinity then begin
+       (* delete *)
+       let b = Array.make (len - 1) (0, 0.0) in
+       Array.blit a 0 b 0 i;
+       Array.blit a (i + 1) b i (len - 1 - i);
+       g.out_adj.(u) <- b;
+       g.m <- g.m - 1
+     end
+     else a.(i) <- (v, w)
+   end
+   else if w < infinity then begin
+     (* insert *)
+     let b = Array.make (len + 1) (v, w) in
+     Array.blit a 0 b 0 i;
+     Array.blit a i b (i + 1) (len - i);
+     g.out_adj.(u) <- b;
+     g.m <- g.m + 1
+   end);
+  g.version <- g.version + 1
+
+let add_node g =
+  let id = n g in
+  let out_adj = Array.make (id + 1) [||] in
+  Array.blit g.out_adj 0 out_adj 0 id;
+  g.out_adj <- out_adj;
+  g.version <- g.version + 1;
+  id
+
+let detach_node g v =
+  if v < 0 || v >= n g then invalid_arg "Digraph.detach_node: out of range";
+  g.m <- g.m - Array.length g.out_adj.(v);
+  g.out_adj.(v) <- [||];
+  Array.iteri
+    (fun u l ->
+      if u <> v && Array.exists (fun (t, _) -> t = v) l then begin
+        let kept =
+          Array.of_list (List.filter (fun (t, _) -> t <> v) (Array.to_list l))
+        in
+        g.m <- g.m - (Array.length l - Array.length kept);
+        g.out_adj.(u) <- kept
+      end)
+    g.out_adj;
+  g.version <- g.version + 1
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>digraph n=%d m=%d@," (n g) g.m;

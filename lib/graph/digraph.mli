@@ -59,4 +59,40 @@ val remove_links_to : t -> int -> t
     reversed graph this is exactly {!silence_node} of the original — the
     operation batch payment computation needs. *)
 
+(** {1 In-place mutation}
+
+    The session engine ({!Wnet_session}) owns a long-lived digraph and
+    applies topology deltas directly instead of rebuilding O(n + m)
+    state per edit.  Every mutation bumps a {e version stamp}; caches
+    derived from the graph record the version they were built at and
+    refuse to serve a graph that has moved on.  The immutable operations
+    above are unaffected (they return fresh graphs with a new
+    history). *)
+
+val version : t -> int
+(** [version g] counts the in-place mutations applied to [g] since its
+    construction.  Two observations of the same version denote an
+    identical graph. *)
+
+val copy : t -> t
+(** [copy g] is a deep copy (at version 0): mutating either graph never
+    affects the other.  How a session takes ownership of its topology. *)
+
+val set_weight : t -> int -> int -> float -> unit
+(** [set_weight g u v w] sets the weight of link [u -> v] in place:
+    updates it when present, inserts it when absent, and {e removes} it
+    when [w = infinity] (the paper's "declare the link unusable").
+    @raise Invalid_argument on out-of-range endpoints, a self-loop, or
+    a negative/NaN weight. *)
+
+val add_node : t -> int
+(** [add_node g] grows [g] by one isolated node and returns its (dense)
+    identifier [n g - 1].  Wire it up with {!set_weight}. *)
+
+val detach_node : t -> int -> unit
+(** [detach_node g v] removes every link incident to [v], in either
+    direction, in place.  The identifier [v] remains valid (and
+    isolated), keeping node ids stable — the convention all payment
+    code relies on. *)
+
 val pp : Format.formatter -> t -> unit

@@ -185,6 +185,36 @@ let map_array_with pool ~init f a =
 let map_array pool f a =
   map_array_with pool ~init:(fun () -> ()) (fun () x -> f x) a
 
+(* Like [map_array_with], but the per-participant states outlive the
+   call: participant [slot] always works through [states.(slot)].  This
+   is what lets a payment session keep one Dijkstra scratch per domain
+   alive across requests instead of reallocating per batch.  Element 0
+   is computed by the caller (slot 0) before the job is posted, so each
+   state is still touched by exactly one domain at a time. *)
+let map_array_pooled pool ~states f a =
+  if Array.length states < pool.size then
+    invalid_arg "Wnet_par.map_array_pooled: need one state per participant";
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let res = Array.make n (f states.(0) a.(0)) in
+    if n > 1 then
+      if pool.size = 1 then
+        for i = 1 to n - 1 do
+          res.(i) <- f states.(0) a.(i)
+        done
+      else
+        run_job pool (fun slot ->
+            let lo, hi = chunk ~lo:1 ~hi:n pool.size slot in
+            if lo < hi then begin
+              let s = states.(slot) in
+              for i = lo to hi - 1 do
+                res.(i) <- f s a.(i)
+              done
+            end);
+    res
+  end
+
 let map_reduce pool ~map ~combine ~init a =
   let n = Array.length a in
   if n = 0 then init

@@ -73,6 +73,19 @@ val map_array_with :
     {e result} must not depend on the state's prior contents, or
     determinism across pool sizes is lost. *)
 
+val map_array_pooled :
+  t -> states:'s array -> ('s -> 'a -> 'b) -> 'a array -> 'b array
+(** [map_array_pooled pool ~states f a] is {!map_array_with} with
+    {e caller-owned} states: participant [slot] threads [states.(slot)]
+    through its chunk.  Unlike [map_array_with]'s [init], the states
+    survive the call, so a long-running session can keep one scratch
+    workspace per domain alive across requests.  [f]'s result must not
+    depend on a state's prior contents (same contract as
+    {!map_array_with}); each state is used by at most one domain at a
+    time.
+    @raise Invalid_argument when fewer states than participants are
+    supplied. *)
+
 val map_reduce :
   t -> map:('a -> 'b) -> combine:('b -> 'b -> 'b) -> init:'b -> 'a array -> 'b
 (** [map_reduce pool ~map ~combine ~init a] folds [combine] over

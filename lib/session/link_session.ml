@@ -1,0 +1,339 @@
+open Wnet_graph
+
+type outcome = {
+  src : int;
+  path : Path.t;
+  lcp_cost : float;
+  relay_cost : float;
+  payments : float array;
+}
+
+type batch = {
+  root : int;
+  to_root_dist : float array;
+  results : outcome option array;
+}
+
+type stats = {
+  edits : int;
+  spt_runs : int;
+  avoid_runs : int;
+  avoid_reused : int;
+}
+
+type t = {
+  root : int;
+  pool : Wnet_par.t;
+  g : Digraph.t;  (* forward topology, mutated in place *)
+  rev : Digraph.t;  (* reversed mirror, kept in lockstep *)
+  mutable tree : Dijkstra.tree option;  (* shared SPT over [rev], from root *)
+  mutable tree_version : int;
+  mutable avoid : float array option array;
+      (* avoid.(k): root-side distances over [rev] with k forbidden, exact
+         for the *current* graph — every edit either proves an entry
+         unaffected (and patches it) or drops it. *)
+  mutable scratches : Dijkstra.scratch array;  (* one per pool participant *)
+  mutable unbounded : int list;
+  mutable last : (int * batch) option;  (* memoized batch, keyed by version *)
+  mutable edits : int;
+  mutable spt_runs : int;
+  mutable avoid_runs : int;
+  mutable avoid_reused : int;
+}
+
+let create ?(pool = Wnet_par.sequential) ?(copy = true) g ~root =
+  let n = Digraph.n g in
+  if root < 0 || root >= n then invalid_arg "Link_session.create: root out of range";
+  let g = if copy then Digraph.copy g else g in
+  {
+    root;
+    pool;
+    g;
+    rev = Digraph.reverse g;
+    tree = None;
+    tree_version = -1;
+    avoid = Array.make n None;
+    scratches =
+      Array.init (Wnet_par.size pool) (fun _ -> Dijkstra.make_scratch n);
+    unbounded = [];
+    last = None;
+    edits = 0;
+    spt_runs = 0;
+    avoid_runs = 0;
+    avoid_reused = 0;
+  }
+
+let n t = Digraph.n t.g
+let root t = t.root
+let cost t u v = Digraph.weight t.g u v
+let version t = Digraph.version t.g
+let snapshot t = Digraph.copy t.g
+let stats t =
+  { edits = t.edits; spt_runs = t.spt_runs; avoid_runs = t.avoid_runs;
+    avoid_reused = t.avoid_reused }
+let unbounded_relays t = t.unbounded
+
+(* ------------------------------------------------------------------ *)
+(* Selective invalidation.
+
+   Every cached array [d = avoid.(j)] is the distance-from-root array of
+   a Dijkstra over [rev] with [j] forbidden.  An edit keeps it exactly
+   valid when the edited links provably cannot lie on any root-side
+   shortest path of that search:
+
+   - for a rev-link [v -> u] whose weight drops to [w1], no distance
+     changes iff the new relaxation does not improve [u]:
+     [d.(u) <= d.(v) +. w1];
+   - for one whose weight rises from [w0], no distance changes iff the
+     link was strictly slack: [d.(u) < d.(v) +. w0] (a tie might have
+     been realised through the link, so ties invalidate);
+   - links incident to the forbidden node [j], or leaving an unreachable
+     tail ([d.(v) = infinity]), are invisible to the search.
+
+   The comparisons mirror the float arithmetic of the relaxation itself
+   ([d.(v) +. w]), so "unchanged" means bit-for-bit: the qcheck suite
+   holds these tests to [Float.equal] against a from-scratch oracle. *)
+
+let mark_edit t =
+  t.edits <- t.edits + 1;
+  t.last <- None
+
+(* The rev-link [v -> u] changed from [w0] to [w1]; does [d] survive? *)
+let link_edit_keeps d ~v ~u ~w0 ~w1 =
+  let dv = d.(v) in
+  dv = infinity
+  || (if w1 < w0 then d.(u) <= dv +. w1 else d.(u) < dv +. w0)
+
+let set_cost t u v w =
+  let w0 = Digraph.weight t.g u v in
+  if not (Float.equal w0 w) then begin
+    Digraph.set_weight t.g u v w;
+    Digraph.set_weight t.rev v u w;
+    mark_edit t;
+    (* The forward link u -> v is the rev-link v -> u. *)
+    Array.iteri
+      (fun j entry ->
+        match entry with
+        | Some d when j <> u && j <> v ->
+          if not (link_edit_keeps d ~v ~u ~w0 ~w1:w) then t.avoid.(j) <- None
+        | _ -> ())
+      t.avoid
+  end
+
+let remove_node t k =
+  let nn = n t in
+  if k < 0 || k >= nn then invalid_arg "Link_session.remove_node: out of range";
+  if k = t.root then invalid_arg "Link_session.remove_node: cannot remove the root";
+  (* rev out-links of k (forward links *into* k) can carry other nodes'
+     root-side paths; capture them before detaching. *)
+  let rev_out = Digraph.out_links t.rev k in
+  Digraph.detach_node t.g k;
+  Digraph.detach_node t.rev k;
+  mark_edit t;
+  t.avoid.(k) <- None;
+  Array.iteri
+    (fun j entry ->
+      match entry with
+      | Some d when j <> k ->
+        let dk = d.(k) in
+        let keeps =
+          dk = infinity
+          || Array.for_all
+               (fun (x, w) -> x = j || d.(x) < dk +. w)
+               rev_out
+        in
+        if keeps then d.(k) <- infinity (* k is now isolated *)
+        else t.avoid.(j) <- None
+      | _ -> ())
+    t.avoid
+
+let grow_scratches t nn =
+  if nn > Dijkstra.scratch_capacity t.scratches.(0) then
+    t.scratches <-
+      Array.init (Wnet_par.size t.pool) (fun _ ->
+          Dijkstra.make_scratch (max nn (2 * Dijkstra.scratch_capacity t.scratches.(0))))
+
+let apply_links t id ~out ~inn =
+  List.iter
+    (fun (v, w) ->
+      if w < infinity then begin
+        Digraph.set_weight t.g id v w;
+        Digraph.set_weight t.rev v id w
+      end)
+    out;
+  List.iter
+    (fun (u, w) ->
+      if w < infinity then begin
+        Digraph.set_weight t.g u id w;
+        Digraph.set_weight t.rev id u w
+      end)
+    inn
+
+(* [id]'s links are freshly in place and every surviving cache currently
+   holds [d.(id) = infinity] (extended row, or a node isolated by
+   {!remove_node}).  [id]'s avoidance distance is one Bellman step over
+   its rev in-links (= forward out-links): all new links are incident to
+   [id], so the best root-side path ends with one of them and an
+   untouched prefix.  A cache survives iff [id]'s rev out-links improve
+   nobody (ties keep the minimum's bit pattern, so [<=] is exact). *)
+let patch_attached t id =
+  let rev_in = Digraph.out_links t.g id (* (v, w): rev-link v -> id *) in
+  let rev_out = Digraph.out_links t.rev id (* (u, w): rev-link id -> u *) in
+  Array.iteri
+    (fun j entry ->
+      match entry with
+      | Some d when j <> id ->
+        let dy =
+          Array.fold_left
+            (fun acc (v, w) -> Float.min acc (d.(v) +. w))
+            infinity rev_in
+        in
+        let keeps =
+          dy = infinity
+          || Array.for_all (fun (u, w) -> u = j || d.(u) <= dy +. w) rev_out
+        in
+        if keeps then d.(id) <- dy else t.avoid.(j) <- None
+      | _ -> ())
+    t.avoid
+
+let check_attach_link ~what ~n ~self (x, w) =
+  if x < 0 || x >= n || x = self then
+    invalid_arg (what ^ ": link endpoint out of range");
+  if Float.is_nan w || w < 0.0 then
+    invalid_arg (what ^ ": weight must be non-negative")
+
+let add_node t ~out ~inn =
+  let old_n = n t in
+  List.iter (check_attach_link ~what:"Link_session.add_node" ~n:old_n ~self:(-1)) out;
+  List.iter (check_attach_link ~what:"Link_session.add_node" ~n:old_n ~self:(-1)) inn;
+  let id = Digraph.add_node t.g in
+  let id' = Digraph.add_node t.rev in
+  assert (id = id');
+  apply_links t id ~out ~inn;
+  mark_edit t;
+  grow_scratches t (id + 1);
+  let avoid = Array.make (id + 1) None in
+  Array.iteri
+    (fun j entry ->
+      match entry with
+      | Some d ->
+        let d' = Array.make (id + 1) infinity in
+        Array.blit d 0 d' 0 old_n;
+        avoid.(j) <- Some d'
+      | None -> ())
+    t.avoid;
+  t.avoid <- avoid;
+  patch_attached t id;
+  id
+
+let rejoin_node t k ~out ~inn =
+  let nn = n t in
+  if k < 0 || k >= nn then invalid_arg "Link_session.rejoin_node: out of range";
+  if k = t.root then invalid_arg "Link_session.rejoin_node: cannot rejoin the root";
+  if
+    Array.length (Digraph.out_links t.g k) > 0
+    || Array.length (Digraph.out_links t.rev k) > 0
+  then invalid_arg "Link_session.rejoin_node: node is not isolated";
+  List.iter (check_attach_link ~what:"Link_session.rejoin_node" ~n:nn ~self:k) out;
+  List.iter (check_attach_link ~what:"Link_session.rejoin_node" ~n:nn ~self:k) inn;
+  apply_links t k ~out ~inn;
+  mark_edit t;
+  (* Surviving caches hold d.(k) = infinity — exactly the add_node
+     situation, minus the array extension. *)
+  t.avoid.(k) <- None;
+  patch_attached t k
+
+(* ------------------------------------------------------------------ *)
+(* The batch, assembled from caches.                                    *)
+
+let relay_array is_relay =
+  let l = ref [] in
+  for k = Array.length is_relay - 1 downto 0 do
+    if is_relay.(k) then l := k :: !l
+  done;
+  Array.of_list !l
+
+let shared_tree t =
+  match t.tree with
+  | Some tree when t.tree_version = version t -> tree
+  | _ ->
+    let tree = Dijkstra.link_weighted t.rev t.root in
+    t.tree <- Some tree;
+    t.tree_version <- version t;
+    t.spt_runs <- t.spt_runs + 1;
+    tree
+
+let payments t =
+  match t.last with
+  | Some (v, batch) when v = version t -> batch
+  | _ ->
+    let nn = n t in
+    let tree = shared_tree t in
+    let next_hop v = tree.Dijkstra.parent.(v) in
+    (* Relays: internal nodes of the reversed shortest-path tree. *)
+    let is_relay = Array.make nn false in
+    for v = 0 to nn - 1 do
+      if v <> t.root && Dijkstra.reachable tree v then begin
+        let h = next_hop v in
+        if h <> t.root && h >= 0 then is_relay.(h) <- true
+      end
+    done;
+    let relays = relay_array is_relay in
+    let missing =
+      relay_array (Array.init nn (fun k -> is_relay.(k) && t.avoid.(k) = None))
+    in
+    let dists =
+      Wnet_par.map_array_pooled t.pool ~states:t.scratches
+        (fun scratch k ->
+          Dijkstra.link_weighted_dist scratch ~forbidden:(fun v -> v = k)
+            t.rev t.root)
+        missing
+    in
+    Array.iteri (fun i k -> t.avoid.(k) <- Some dists.(i)) missing;
+    t.avoid_runs <- t.avoid_runs + Array.length missing;
+    t.avoid_reused <-
+      t.avoid_reused + (Array.length relays - Array.length missing);
+    let cut = Array.make nn false in
+    let results =
+      Array.init nn (fun src ->
+          if src = t.root || not (Dijkstra.reachable tree src) then None
+          else begin
+            let rec chain v acc =
+              if v = t.root then List.rev (t.root :: acc)
+              else chain (next_hop v) (v :: acc)
+            in
+            let path = Array.of_list (chain src []) in
+            let lcp_cost = Dijkstra.dist tree src in
+            let len = Array.length path in
+            let payments = Array.make nn 0.0 in
+            for l = 1 to len - 2 do
+              let k = path.(l) in
+              let used_link = Digraph.weight t.g k path.(l + 1) in
+              let avoid_k =
+                match t.avoid.(k) with
+                | Some d -> d.(src)
+                | None -> assert false (* every internal node is a relay *)
+              in
+              let delta = avoid_k -. lcp_cost in
+              payments.(k) <- used_link +. delta;
+              if avoid_k = infinity then cut.(k) <- true
+            done;
+            let first_link =
+              if len >= 2 then Digraph.weight t.g path.(0) path.(1) else 0.0
+            in
+            Some
+              {
+                src;
+                path;
+                lcp_cost;
+                relay_cost = lcp_cost -. first_link;
+                payments;
+              }
+          end)
+    in
+    t.unbounded <- Array.to_list (relay_array cut);
+    let batch =
+      { root = t.root; to_root_dist = Array.copy tree.Dijkstra.dist; results }
+    in
+    t.last <- Some (version t, batch);
+    batch

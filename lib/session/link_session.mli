@@ -1,0 +1,127 @@
+(** Incremental all-to-access-point payment sessions, link-cost model
+    (Sec. III-F).
+
+    An access point in the paper's model does not face one-shot
+    instances: declared costs drift, nodes join and leave, and each
+    topology delta invalidates only a sliver of the previous batch's
+    work.  A session owns the mutable topology and every cache the
+    batch payment engine builds from it:
+
+    - the shared reversed-graph shortest-path tree (one Dijkstra),
+    - the per-relay avoidance-distance arrays (one Dijkstra per relay —
+      the expensive part),
+    - a {!Wnet_par} domain pool and one Dijkstra scratch per domain,
+      alive across requests.
+
+    The delta API ({!set_cost}, {!add_node}, {!remove_node}) updates
+    the graph in place and invalidates {e selectively}: a cached
+    [k]-avoiding distance array survives an edit whenever a constant- or
+    degree-time slack test proves the edited links cannot lie on any
+    root-side shortest path of that avoidance search.  A node join or
+    leave therefore costs one shared-tree Dijkstra plus only the
+    avoidance reruns that are provably necessary — not a full batch.
+
+    {b Determinism contract:} after any edit sequence, {!payments} is
+    bit-identical ([Float.equal], including [infinity] payments for
+    cut-vertex relays and identical paths) to a from-scratch batch on
+    the edited graph — the zero-copy
+    [Wnet_core.Link_cost.all_to_root] path, which is itself a one-shot
+    session.  The qcheck suite drives random edit sequences against
+    that oracle. *)
+
+type t
+
+type outcome = {
+  src : int;
+  path : Wnet_graph.Path.t;  (** [src; ...; root] *)
+  lcp_cost : float;  (** full directed path cost *)
+  relay_cost : float;  (** [lcp_cost] minus the source's first link *)
+  payments : float array;
+      (** per node; [infinity] marks a cut-vertex (monopoly) relay *)
+}
+
+type batch = {
+  root : int;
+  to_root_dist : float array;
+  results : outcome option array;
+      (** per source; [None] for the root and disconnected nodes *)
+}
+
+type stats = {
+  edits : int;  (** delta operations applied *)
+  spt_runs : int;  (** shared-tree Dijkstras *)
+  avoid_runs : int;  (** avoidance Dijkstras actually run *)
+  avoid_reused : int;  (** relay results served from cache *)
+}
+
+val create : ?pool:Wnet_par.t -> ?copy:bool -> Wnet_graph.Digraph.t -> root:int -> t
+(** [create g ~root] opens a session on [g].  With [~copy:true] (the
+    default) the session deep-copies [g] and later edits never touch the
+    caller's graph; [~copy:false] borrows it — the caller must neither
+    mutate nor rely on it afterwards (used by the one-shot wrappers).
+    [?pool] (default {!Wnet_par.sequential}) fans avoidance Dijkstras
+    out over domains; every pool size yields bit-identical payments.
+    @raise Invalid_argument if [root] is out of range. *)
+
+val n : t -> int
+val root : t -> int
+
+val cost : t -> int -> int -> float
+(** Current declared cost of a link, [infinity] when absent. *)
+
+val version : t -> int
+(** The underlying graph's version stamp; bumps on every edit. *)
+
+val snapshot : t -> Wnet_graph.Digraph.t
+(** A fresh immutable copy of the current topology — what a
+    from-scratch oracle should be run on. *)
+
+val set_cost : t -> int -> int -> float -> unit
+(** [set_cost s u v w] sets the declared cost of link [u -> v]:
+    update, insert, or remove ([w = infinity]).  Invalidates the shared
+    tree (recomputed lazily at the next {!payments}) and only the
+    avoidance caches the slack test cannot clear.
+    @raise Invalid_argument as {!Wnet_graph.Digraph.set_weight}. *)
+
+val add_node :
+  t -> out:(int * float) list -> inn:(int * float) list -> int
+(** [add_node s ~out ~inn] joins a new node with declared out-links
+    [out = (target, cost)] and in-links [inn = (source, cost)], and
+    returns its identifier.  Surviving avoidance caches are patched
+    with the newcomer's distance (a Bellman step over [out]) instead of
+    being recomputed.
+    @raise Invalid_argument on invalid endpoints or weights. *)
+
+val remove_node : t -> int -> unit
+(** [remove_node s v] detaches every link incident to [v] — the paper's
+    node-leave.  The identifier remains valid (isolated), so ids are
+    stable; the node may rejoin via {!rejoin_node}.
+    @raise Invalid_argument when [v] is the root or out of range. *)
+
+val rejoin_node :
+  t -> int -> out:(int * float) list -> inn:(int * float) list -> unit
+(** [rejoin_node s v ~out ~inn] re-attaches an isolated node (one that
+    {!remove_node} detached, or that joined linkless) under its existing
+    identifier — the node-rejoin half of churn.  Surviving caches are
+    patched with the rejoiner's Bellman-step distance exactly as in
+    {!add_node}; inserting the links one by one through {!set_cost}
+    would instead invalidate every cache, because each insert makes the
+    node's own distance change from [infinity].
+    @raise Invalid_argument when [v] is the root, out of range, or not
+    isolated, or on invalid endpoints or weights. *)
+
+val payments : t -> batch
+(** The all-to-root batch for the current topology.  Recomputes the
+    shared tree if any edit occurred, runs avoidance Dijkstras only for
+    relays whose cache is missing or invalidated (fanned out over the
+    pool, through the session's per-domain scratches), and memoizes the
+    batch until the next edit. *)
+
+val unbounded_relays : t -> int list
+(** Cut-vertex relays as of the last {!payments} call: relays whose
+    removal disconnects some served source from the root, making their
+    VCG payment unbounded (Sec. III-G).  Tracked from the cached
+    avoidance arrays — no extra graph traversal.  Sorted ascending. *)
+
+val stats : t -> stats
+(** Cumulative work counters — the incremental-vs-batch ledger. *)

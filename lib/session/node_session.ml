@@ -1,0 +1,199 @@
+open Wnet_graph
+
+type outcome = {
+  src : int;
+  path : Path.t;
+  lcp_cost : float;
+  payments : float array;
+}
+
+type stats = {
+  edits : int;
+  spt_runs : int;
+  avoid_runs : int;
+  avoid_reused : int;
+}
+
+type t = {
+  root : int;
+  pool : Wnet_par.t;
+  mutable g : Graph.t;  (* adjacency shared; cost vector swapped per edit *)
+  mutable gver : int;  (* session-managed version stamp *)
+  mutable tree : Dijkstra.tree option;
+  mutable tree_version : int;
+  mutable avoid : float array option array;
+  scratches : Dijkstra.scratch array;
+  mutable unbounded : int list;
+  mutable last : (int * outcome option array) option;
+  mutable edits : int;
+  mutable spt_runs : int;
+  mutable avoid_runs : int;
+  mutable avoid_reused : int;
+}
+
+let create ?(pool = Wnet_par.sequential) g ~root =
+  let n = Graph.n g in
+  if root < 0 || root >= n then invalid_arg "Node_session.create: root out of range";
+  {
+    root;
+    pool;
+    g;
+    gver = 0;
+    tree = None;
+    tree_version = -1;
+    avoid = Array.make n None;
+    scratches =
+      Array.init (Wnet_par.size pool) (fun _ -> Dijkstra.make_scratch n);
+    unbounded = [];
+    last = None;
+    edits = 0;
+    spt_runs = 0;
+    avoid_runs = 0;
+    avoid_reused = 0;
+  }
+
+let n t = Graph.n t.g
+let root t = t.root
+let cost t v = Graph.cost t.g v
+let graph t = t.g
+let version t = t.gver
+let stats t =
+  { edits = t.edits; spt_runs = t.spt_runs; avoid_runs = t.avoid_runs;
+    avoid_reused = t.avoid_reused }
+let unbounded_relays t = t.unbounded
+
+let mark_edit t =
+  t.gver <- t.gver + 1;
+  t.edits <- t.edits + 1;
+  t.last <- None
+
+(* Node [x]'s cost changed from [c0] to [c1] (removal: [c1 = infinity],
+   which kills every relaxation out of [x]).  A cached [j]-avoiding
+   array [d] survives iff no root-side shortest path of that search can
+   be touched: relaxations out of [x] offer each neighbour [w] the
+   candidate [d.(x) +. cost x] (node-weighted Dijkstra charges the
+   relay cost on *leaving* [x]), so the cache is exact as long as no
+   such candidate improves — or was tight for — its target.  The float
+   comparisons mirror the relaxation arithmetic bit for bit. *)
+let cost_edit_keeps d ~nbrs ~j ~x ~c0 ~c1 =
+  let dx = d.(x) in
+  dx = infinity
+  || Array.for_all
+       (fun w ->
+         w = j
+         || (if c1 < c0 then d.(w) <= dx +. c1 else d.(w) < dx +. c0))
+       nbrs
+
+let set_cost t x c =
+  if x < 0 || x >= n t then invalid_arg "Node_session.set_cost: out of range";
+  let c0 = Graph.cost t.g x in
+  if not (Float.equal c0 c) then begin
+    t.g <- Graph.with_cost t.g x c;
+    mark_edit t;
+    (* The root's relay cost never enters a from-root search (leaving
+       the source is free) nor any payment, so every cache survives. *)
+    if x <> t.root then begin
+      let nbrs = Graph.neighbors t.g x in
+      Array.iteri
+        (fun j entry ->
+          match entry with
+          | Some d when j <> x ->
+            if not (cost_edit_keeps d ~nbrs ~j ~x ~c0 ~c1:c) then
+              t.avoid.(j) <- None
+          | _ -> ())
+        t.avoid
+    end
+  end
+
+let remove_node t x =
+  if x < 0 || x >= n t then invalid_arg "Node_session.remove_node: out of range";
+  if x = t.root then invalid_arg "Node_session.remove_node: cannot remove the root";
+  let nbrs = Graph.neighbors t.g x in
+  let c0 = Graph.cost t.g x in
+  t.g <- Graph.remove_node t.g x;
+  mark_edit t;
+  t.avoid.(x) <- None;
+  Array.iteri
+    (fun j entry ->
+      match entry with
+      | Some d when j <> x ->
+        if cost_edit_keeps d ~nbrs ~j ~x ~c0 ~c1:infinity then
+          d.(x) <- infinity (* x is now isolated *)
+        else t.avoid.(j) <- None
+      | _ -> ())
+    t.avoid
+
+let relay_array is_relay =
+  let l = ref [] in
+  for k = Array.length is_relay - 1 downto 0 do
+    if is_relay.(k) then l := k :: !l
+  done;
+  Array.of_list !l
+
+let shared_tree t =
+  match t.tree with
+  | Some tree when t.tree_version = t.gver -> tree
+  | _ ->
+    let tree = Dijkstra.node_weighted t.g ~source:t.root in
+    t.tree <- Some tree;
+    t.tree_version <- t.gver;
+    t.spt_runs <- t.spt_runs + 1;
+    tree
+
+let payments t =
+  match t.last with
+  | Some (v, results) when v = t.gver -> results
+  | _ ->
+    let nn = n t in
+    let tree = shared_tree t in
+    let next_hop v = tree.Dijkstra.parent.(v) in
+    let is_relay = Array.make nn false in
+    for v = 0 to nn - 1 do
+      if v <> t.root && Dijkstra.reachable tree v then begin
+        let h = next_hop v in
+        if h >= 0 && h <> t.root then is_relay.(h) <- true
+      end
+    done;
+    let relays = relay_array is_relay in
+    let missing =
+      relay_array (Array.init nn (fun k -> is_relay.(k) && t.avoid.(k) = None))
+    in
+    let dists =
+      Wnet_par.map_array_pooled t.pool ~states:t.scratches
+        (fun scratch k ->
+          Dijkstra.node_weighted_dist scratch ~forbidden:(fun v -> v = k) t.g
+            ~source:t.root)
+        missing
+    in
+    Array.iteri (fun i k -> t.avoid.(k) <- Some dists.(i)) missing;
+    t.avoid_runs <- t.avoid_runs + Array.length missing;
+    t.avoid_reused <-
+      t.avoid_reused + (Array.length relays - Array.length missing);
+    let cut = Array.make nn false in
+    let results =
+      Array.init nn (fun src ->
+          if src = t.root || not (Dijkstra.reachable tree src) then None
+          else begin
+            let rec chain v acc =
+              if v = t.root then List.rev (t.root :: acc)
+              else chain (next_hop v) (v :: acc)
+            in
+            let path = Array.of_list (chain src []) in
+            let lcp_cost = Dijkstra.dist tree src in
+            let payments = Array.make nn 0.0 in
+            Array.iter
+              (fun k ->
+                let avoid_k =
+                  match t.avoid.(k) with
+                  | Some d -> d.(src)
+                  | None -> assert false
+                in
+                payments.(k) <- Graph.cost t.g k +. avoid_k -. lcp_cost;
+                if avoid_k = infinity then cut.(k) <- true)
+              (Path.relays path);
+            Some { src; path; lcp_cost; payments }
+          end)
+    in
+    t.unbounded <- Array.to_list (relay_array cut);
+    t.last <- Some (t.gver, results);
+    results

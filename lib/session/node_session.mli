@@ -1,0 +1,74 @@
+(** Incremental all-to-access-point payment sessions, node-cost model
+    (Sec. II — the paper's primary model).
+
+    The node-model sibling of {!Link_session}: a session owns the
+    graph, the shared node-weighted shortest-path tree from the access
+    point (node-weighted distances are symmetric, so from-root trees
+    serve to-root queries), the per-relay avoidance-distance cache, a
+    {!Wnet_par} pool and per-domain Dijkstra scratches.  Deltas are a
+    node's declared cost changing ({!set_cost}) and a node leaving
+    ({!remove_node}); each invalidates a cached [k]-avoiding array only
+    when a degree-time slack test over the edited node's relaxations
+    fails to prove it untouched.
+
+    {b Determinism contract:} {!payments} after any edit sequence is
+    bit-identical ([Float.equal], identical paths) to a from-scratch
+    [Wnet_core.Unicast.all_to_root] on the edited graph — which is
+    itself a one-shot session. *)
+
+type t
+
+type outcome = {
+  src : int;
+  path : Wnet_graph.Path.t;  (** [src; ...; root] *)
+  lcp_cost : float;  (** relay cost of the path *)
+  payments : float array;
+      (** per node; [infinity] marks a monopoly (cut-vertex) relay *)
+}
+
+type stats = {
+  edits : int;
+  spt_runs : int;
+  avoid_runs : int;
+  avoid_reused : int;
+}
+
+val create : ?pool:Wnet_par.t -> Wnet_graph.Graph.t -> root:int -> t
+(** [create g ~root] opens a session on [g].  [Graph.t] is immutable,
+    so the session shares the adjacency structure and swaps cost
+    vectors; the caller's graph is never affected.
+    @raise Invalid_argument if [root] is out of range. *)
+
+val n : t -> int
+val root : t -> int
+
+val cost : t -> int -> float
+(** Current declared relay cost of a node. *)
+
+val graph : t -> Wnet_graph.Graph.t
+(** The current topology (immutable value; safe to keep). *)
+
+val version : t -> int
+(** Bumps on every effective edit. *)
+
+val set_cost : t -> int -> float -> unit
+(** [set_cost s v c] re-declares node [v]'s relay cost.
+    @raise Invalid_argument on a negative or non-finite cost. *)
+
+val remove_node : t -> int -> unit
+(** [remove_node s v] isolates [v] (node leave; the identifier stays
+    valid so ids are stable).
+    @raise Invalid_argument when [v] is the root or out of range. *)
+
+val payments : t -> outcome option array
+(** The all-to-root batch on the current topology: entry [src] is
+    [None] for the root and disconnected sources.  Shared tree
+    recomputed only after an edit; avoidance Dijkstras run only for
+    relays whose cache is missing or invalidated, over the session's
+    pool and per-domain scratches; memoized until the next edit. *)
+
+val unbounded_relays : t -> int list
+(** Monopoly relays as of the last {!payments}: sorted, derived from
+    the cached avoidance arrays. *)
+
+val stats : t -> stats

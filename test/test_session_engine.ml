@@ -1,0 +1,393 @@
+(* The session engine's determinism contract (ISSUE: incremental payment
+   sessions): after ANY sequence of topology deltas, the incrementally
+   maintained batch must be bit-identical — [Float.equal], including
+   [infinity] payments at cut vertices — to a from-scratch batch on the
+   edited graph, at every pool size.  The link-model oracle is
+   [Link_cost.all_to_root ~strategy:Copy_graph], the original
+   clone-per-relay implementation that shares no code with the session;
+   the node-model oracle is a fresh one-shot [Unicast.all_to_root]. *)
+
+open Wnet_graph
+module LS = Wnet_session.Link_session
+module NS = Wnet_session.Node_session
+module LC = Wnet_core.Link_cost
+module U = Wnet_core.Unicast
+module Par = Wnet_par
+module Rng = Wnet_prng.Rng
+
+let float_exact =
+  Alcotest.testable (fun ppf x -> Format.fprintf ppf "%h" x) Float.equal
+
+let check_exact = Alcotest.check float_exact
+
+let floats_equal a b =
+  Array.length a = Array.length b && Array.for_all2 Float.equal a b
+
+(* ---------------- link model: batch comparators ---------------- *)
+
+let link_outcome_matches (x : LS.outcome) (y : LC.t) =
+  x.LS.src = y.LC.src
+  && x.LS.path = y.LC.path
+  && Float.equal x.LS.lcp_cost y.LC.lcp_cost
+  && Float.equal x.LS.relay_cost y.LC.relay_cost
+  && floats_equal x.LS.payments y.LC.payments
+
+let link_matches_oracle (b : LS.batch) (o : LC.batch) =
+  b.LS.root = o.LC.root
+  && floats_equal b.LS.to_root_dist o.LC.to_root_dist
+  && Array.length b.LS.results = Array.length o.LC.results
+  && Array.for_all2
+       (fun x y ->
+         match (x, y) with
+         | None, None -> true
+         | Some x, Some y -> link_outcome_matches x y
+         | _ -> false)
+       b.LS.results o.LC.results
+
+let link_batches_equal (a : LS.batch) (b : LS.batch) =
+  a.LS.root = b.LS.root
+  && floats_equal a.LS.to_root_dist b.LS.to_root_dist
+  && Array.length a.LS.results = Array.length b.LS.results
+  && Array.for_all2
+       (fun x y ->
+         match (x, y) with
+         | None, None -> true
+         | Some (x : LS.outcome), Some (y : LS.outcome) ->
+           x.LS.src = y.LS.src && x.LS.path = y.LS.path
+           && Float.equal x.LS.lcp_cost y.LS.lcp_cost
+           && Float.equal x.LS.relay_cost y.LS.relay_cost
+           && floats_equal x.LS.payments y.LS.payments
+         | _ -> false)
+       a.LS.results b.LS.results
+
+(* Relays the oracle charges [infinity] for — what [unbounded_relays]
+   must report. *)
+let oracle_unbounded (o : LC.batch) =
+  let nn = Array.length o.LC.results in
+  let cut = Array.make nn false in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (r : LC.t) ->
+        Array.iteri (fun k p -> if p = infinity then cut.(k) <- true) r.LC.payments)
+    o.LC.results;
+  List.filter (fun k -> cut.(k)) (List.init nn Fun.id)
+
+(* ---------------- link model: random instances and edits ---------------- *)
+
+(* Sparse random digraph: expected out-degree ~2.5, so cut vertices,
+   disconnected sources, and unbounded payments all occur. *)
+let random_digraph rng ~n =
+  let links = ref [] in
+  let p = 2.5 /. float_of_int n in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Rng.bernoulli rng p then
+        links := (u, v, Rng.float_range rng 0.5 10.0) :: !links
+    done
+  done;
+  Digraph.create ~n ~links:!links
+
+let random_links rng ~n ~self =
+  let deg = 1 + Rng.int rng 3 in
+  List.filter_map
+    (fun _ ->
+      let x = Rng.int rng n in
+      if x = self then None else Some (x, Rng.float_range rng 0.5 10.0))
+    (List.init deg Fun.id)
+
+(* One random delta through the session API.  Replayed from identically
+   seeded rngs against two sessions, so every draw must depend only on
+   the rng and on session state both replicas share. *)
+let apply_random_op rng s =
+  let nn = LS.n s in
+  match Rng.int rng 6 with
+  | 0 | 1 | 2 ->
+    (* cost change, link insert, or link delete (w = infinity) *)
+    let u = Rng.int rng nn and v = Rng.int rng nn in
+    if u <> v then
+      let w =
+        if Rng.bernoulli rng 0.2 then infinity
+        else Rng.float_range rng 0.5 10.0
+      in
+      LS.set_cost s u v w
+  | 3 ->
+    (* node leave (never the root, which is 0 here) *)
+    LS.remove_node s (1 + Rng.int rng (nn - 1))
+  | 4 ->
+    (* rejoin the lowest-id isolated node, when one exists *)
+    let snap = LS.snapshot s in
+    let in_deg = Array.make nn 0 in
+    List.iter (fun (_, v, _) -> in_deg.(v) <- in_deg.(v) + 1) (Digraph.links snap);
+    let iso = ref None in
+    for k = nn - 1 downto 1 do
+      if Digraph.out_degree snap k = 0 && in_deg.(k) = 0 then iso := Some k
+    done;
+    (match !iso with
+    | None -> ()
+    | Some k ->
+      LS.rejoin_node s k
+        ~out:(random_links rng ~n:nn ~self:k)
+        ~inn:(random_links rng ~n:nn ~self:k))
+  | _ ->
+    ignore
+      (LS.add_node s
+         ~out:(random_links rng ~n:nn ~self:(-1))
+         ~inn:(random_links rng ~n:nn ~self:(-1)))
+
+let link_equiv_prop seed =
+  let rng = Rng.create seed in
+  let n = 8 + Rng.int rng 21 in
+  let g = random_digraph rng ~n in
+  let nops = 4 + Rng.int rng 7 in
+  let oseed = seed lxor 0x2545f49 in
+  Par.with_pool ~domains:3 (fun pool ->
+      let s_seq = LS.create g ~root:0 in
+      let s_par = LS.create ~pool g ~root:0 in
+      let check label =
+        let b_seq = LS.payments s_seq in
+        let b_par = LS.payments s_par in
+        if not (link_batches_equal b_seq b_par) then
+          QCheck2.Test.fail_reportf "%s: pooled batch differs from sequential"
+            label;
+        let oracle =
+          LC.all_to_root ~strategy:LC.Copy_graph (LS.snapshot s_seq) ~root:0
+        in
+        if not (link_matches_oracle b_seq oracle) then
+          QCheck2.Test.fail_reportf
+            "%s: incremental batch differs from from-scratch Copy_graph oracle"
+            label;
+        if LS.unbounded_relays s_seq <> oracle_unbounded oracle then
+          QCheck2.Test.fail_reportf "%s: unbounded relay set differs" label
+      in
+      check "initial";
+      let r_seq = Rng.create oseed and r_par = Rng.create oseed in
+      for i = 1 to nops do
+        apply_random_op r_seq s_seq;
+        apply_random_op r_par s_par;
+        check (Printf.sprintf "after op %d" i)
+      done;
+      true)
+
+(* ---------------- node model: oracle comparison ---------------- *)
+
+let node_matches (x : NS.outcome option array) (y : U.t option array) =
+  Array.length x = Array.length y
+  && Array.for_all2
+       (fun a b ->
+         match (a, b) with
+         | None, None -> true
+         | Some (a : NS.outcome), Some (b : U.t) ->
+           a.NS.src = b.U.src && a.NS.path = b.U.path
+           && Float.equal a.NS.lcp_cost b.U.lcp_cost
+           && floats_equal a.NS.payments b.U.payments
+         | _ -> false)
+       x y
+
+let node_sessions_equal (x : NS.outcome option array) (y : NS.outcome option array)
+    =
+  Array.length x = Array.length y
+  && Array.for_all2
+       (fun a b ->
+         match (a, b) with
+         | None, None -> true
+         | Some (a : NS.outcome), Some (b : NS.outcome) ->
+           a.NS.src = b.NS.src && a.NS.path = b.NS.path
+           && Float.equal a.NS.lcp_cost b.NS.lcp_cost
+           && floats_equal a.NS.payments b.NS.payments
+         | _ -> false)
+       x y
+
+let node_oracle_unbounded (y : U.t option array) =
+  let nn = Array.length y in
+  let cut = Array.make nn false in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (r : U.t) ->
+        Array.iteri (fun k p -> if p = infinity then cut.(k) <- true) r.U.payments)
+    y;
+  List.filter (fun k -> cut.(k)) (List.init nn Fun.id)
+
+let apply_random_node_op rng s =
+  let nn = NS.n s in
+  if Rng.bernoulli rng 0.7 then
+    (* any node, including the root: the root's declared cost must not
+       disturb payments or caches *)
+    NS.set_cost s (Rng.int rng nn) (Rng.float_range rng 0.05 8.0)
+  else
+    let k = Rng.int rng nn in
+    if k <> NS.root s then NS.remove_node s k
+
+let node_equiv_prop seed =
+  let rng = Rng.create seed in
+  let g =
+    if Rng.bernoulli rng 0.5 then Test_util.random_ring_graph rng
+    else Test_util.random_sparse_graph rng
+  in
+  let nops = 4 + Rng.int rng 7 in
+  let oseed = seed lxor 0x51ed270b in
+  Par.with_pool ~domains:3 (fun pool ->
+      let s_seq = NS.create g ~root:0 in
+      let s_par = NS.create ~pool g ~root:0 in
+      let check label =
+        let a = NS.payments s_seq in
+        let b = NS.payments s_par in
+        if not (node_sessions_equal a b) then
+          QCheck2.Test.fail_reportf "%s: pooled batch differs from sequential"
+            label;
+        let oracle = U.all_to_root (NS.graph s_seq) ~root:0 in
+        if not (node_matches a oracle) then
+          QCheck2.Test.fail_reportf
+            "%s: incremental batch differs from fresh all_to_root" label;
+        if NS.unbounded_relays s_seq <> node_oracle_unbounded oracle then
+          QCheck2.Test.fail_reportf "%s: unbounded relay set differs" label
+      in
+      check "initial";
+      let r_seq = Rng.create oseed and r_par = Rng.create oseed in
+      for i = 1 to nops do
+        apply_random_node_op r_seq s_seq;
+        apply_random_node_op r_par s_par;
+        check (Printf.sprintf "after op %d" i)
+      done;
+      true)
+
+(* ---------------- in-place digraph mutation ---------------- *)
+
+let test_digraph_mutation () =
+  let g = Digraph.create ~n:3 ~links:[ (0, 1, 2.0); (1, 2, 3.0) ] in
+  Alcotest.(check int) "fresh graph at version 0" 0 (Digraph.version g);
+  Digraph.set_weight g 0 1 5.0;
+  check_exact "update in place" 5.0 (Digraph.weight g 0 1);
+  Digraph.set_weight g 2 0 1.5;
+  check_exact "insert in place" 1.5 (Digraph.weight g 2 0);
+  Alcotest.(check int) "m counts the insert" 3 (Digraph.m g);
+  Digraph.set_weight g 1 2 infinity;
+  check_exact "infinity removes" infinity (Digraph.weight g 1 2);
+  Alcotest.(check int) "m counts the removal" 2 (Digraph.m g);
+  Alcotest.(check int) "every mutation bumps the version" 3 (Digraph.version g);
+  let c = Digraph.copy g in
+  Alcotest.(check int) "copy restarts history" 0 (Digraph.version c);
+  Digraph.set_weight c 0 1 9.0;
+  check_exact "copies are independent" 5.0 (Digraph.weight g 0 1);
+  let id = Digraph.add_node g in
+  Alcotest.(check int) "dense new id" 3 id;
+  Digraph.set_weight g 3 0 1.0;
+  Digraph.detach_node g 0;
+  Alcotest.(check int) "detach drops out-links" 0 (Digraph.out_degree g 0);
+  check_exact "detach drops in-links" infinity (Digraph.weight g 3 0)
+
+(* ---------------- selective invalidation, observably ---------------- *)
+
+(* Chain 3 -> 2 -> 1 -> 0 plus a pendant 4 -> 0 and a slack link 4 -> 1
+   that no shortest path (avoidance or not) ever uses: editing it must
+   keep every cache, and a repeat batch must be memoized. *)
+let test_selective_invalidation () =
+  let g =
+    Digraph.create ~n:5
+      ~links:[ (1, 0, 1.0); (2, 1, 1.0); (3, 2, 1.0); (4, 0, 1.0); (4, 1, 50.0) ]
+  in
+  let s = LS.create g ~root:0 in
+  ignore (LS.payments s);
+  let st1 = LS.stats s in
+  Alcotest.(check int) "two relays computed" 2 st1.LS.avoid_runs;
+  LS.set_cost s 4 1 45.0;
+  let b = LS.payments s in
+  let st2 = LS.stats s in
+  Alcotest.(check int) "slack edit reruns no avoidance Dijkstra"
+    st1.LS.avoid_runs st2.LS.avoid_runs;
+  Alcotest.(check int) "slack edit serves both relays from cache"
+    (st1.LS.avoid_reused + 2) st2.LS.avoid_reused;
+  Alcotest.(check int) "shared tree recomputed once" (st1.LS.spt_runs + 1)
+    st2.LS.spt_runs;
+  Alcotest.(check bool) "repeat batch is memoized" true (b == LS.payments s);
+  Alcotest.(check int) "memoized batch does no work" st2.LS.avoid_reused
+    (LS.stats s).LS.avoid_reused;
+  (* the incremental answer is still the from-scratch answer *)
+  let oracle = LC.all_to_root ~strategy:LC.Copy_graph (LS.snapshot s) ~root:0 in
+  Alcotest.(check bool) "still matches the oracle" true
+    (link_matches_oracle b oracle)
+
+(* Chain 2 -> 1 -> 0: relay 1 is a monopoly (cut vertex), so its payment
+   is unbounded — until an alternate route appears. *)
+let test_cut_vertex_tracking () =
+  let g = Digraph.create ~n:3 ~links:[ (2, 1, 1.0); (1, 0, 1.0) ] in
+  let s = LS.create g ~root:0 in
+  let b = LS.payments s in
+  (match b.LS.results.(2) with
+  | Some o -> check_exact "monopoly relay is paid infinity" infinity o.LS.payments.(1)
+  | None -> Alcotest.fail "source 2 should be served");
+  Alcotest.(check (list int)) "relay 1 reported unbounded" [ 1 ]
+    (LS.unbounded_relays s);
+  LS.set_cost s 2 0 10.0;
+  let b = LS.payments s in
+  (match b.LS.results.(2) with
+  | Some o ->
+    (* used link 1 + (avoidance 10 - lcp 2) *)
+    check_exact "alternate route bounds the payment" 9.0 o.LS.payments.(1)
+  | None -> Alcotest.fail "source 2 should be served");
+  Alcotest.(check (list int)) "no unbounded relays left" []
+    (LS.unbounded_relays s)
+
+(* Leave + rejoin with the same links must restore the original batch
+   bit for bit — and [rejoin_node] must enforce its preconditions. *)
+let test_leave_rejoin_roundtrip () =
+  let g =
+    Digraph.create ~n:5
+      ~links:[ (1, 0, 1.0); (2, 1, 1.0); (3, 2, 1.0); (4, 0, 1.0); (4, 1, 50.0) ]
+  in
+  let s = LS.create g ~root:0 in
+  let before = LS.payments s in
+  LS.remove_node s 3;
+  let gone = LS.payments s in
+  Alcotest.(check bool) "left node unserved" true (gone.LS.results.(3) = None);
+  LS.rejoin_node s 3 ~out:[ (2, 1.0) ] ~inn:[];
+  let after = LS.payments s in
+  Alcotest.(check bool) "rejoin restores the batch bitwise" true
+    (link_batches_equal before after);
+  Alcotest.check_raises "rejoining a connected node is refused"
+    (Invalid_argument "Link_session.rejoin_node: node is not isolated")
+    (fun () -> LS.rejoin_node s 3 ~out:[ (2, 1.0) ] ~inn:[]);
+  Alcotest.check_raises "rejoining the root is refused"
+    (Invalid_argument "Link_session.rejoin_node: cannot rejoin the root")
+    (fun () -> LS.rejoin_node s 0 ~out:[] ~inn:[]);
+  Alcotest.check_raises "out-of-range id is refused"
+    (Invalid_argument "Link_session.rejoin_node: out of range") (fun () ->
+      LS.rejoin_node s 9 ~out:[] ~inn:[])
+
+(* ---------------- pool plumbing the sessions rely on ---------------- *)
+
+let test_map_array_pooled () =
+  Par.with_pool ~domains:3 (fun pool ->
+      let a = Array.init 90 (fun i -> i) in
+      let expect = Array.map (fun x -> 2 * x) a in
+      let states = Array.init (Par.size pool) (fun _ -> ref 0) in
+      let got = Par.map_array_pooled pool ~states (fun st x -> incr st; 2 * x) a in
+      Alcotest.(check bool) "pooled states give the plain map" true
+        (got = expect);
+      Alcotest.(check int) "every element touched exactly once" 90
+        (Array.fold_left (fun acc st -> acc + !st) 0 states);
+      Alcotest.check_raises "too few states are refused"
+        (Invalid_argument
+           "Wnet_par.map_array_pooled: need one state per participant")
+        (fun () ->
+          ignore (Par.map_array_pooled pool ~states:[| ref 0 |] (fun _ x -> x) a)))
+
+let suite =
+  [
+    Alcotest.test_case "digraph in-place mutation" `Quick test_digraph_mutation;
+    Alcotest.test_case "slack edit keeps caches + memoization" `Quick
+      test_selective_invalidation;
+    Alcotest.test_case "cut-vertex tracking across edits" `Quick
+      test_cut_vertex_tracking;
+    Alcotest.test_case "leave/rejoin round-trip is bitwise" `Quick
+      test_leave_rejoin_roundtrip;
+    Alcotest.test_case "map_array_pooled caller-owned states" `Quick
+      test_map_array_pooled;
+    Test_util.qcheck_case ~count:60
+      "link session: random edit sequences = Copy_graph oracle (bits)"
+      Test_util.seed_gen link_equiv_prop;
+    Test_util.qcheck_case ~count:60
+      "node session: random edit sequences = fresh batch (bits)"
+      Test_util.seed_gen node_equiv_prop;
+  ]
