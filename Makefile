@@ -1,4 +1,4 @@
-.PHONY: all test bench check experiments full clean
+.PHONY: all test bench smoke check experiments full clean
 
 all:
 	dune build @all
@@ -8,16 +8,24 @@ test:
 
 # Times the batch payment engine (sequential vs WNET_DOMAINS-sized domain
 # pool, graph-copy vs zero-copy avoidance), the incremental session
-# engine against from-scratch batches, plus the Bechamel micro-benches,
-# and leaves the machine-readable trajectory in
-# bench/results/BENCH_latest.json (+ a timestamped copy).  The gate
-# compares the fresh headline (batch + session) wall-clocks against the
-# previous BENCH_latest.json and fails on any >20% slowdown.
+# engine against from-scratch batches, the server coalesced-burst vs
+# eager-flush rows, plus the Bechamel micro-benches, and leaves the
+# machine-readable trajectory in bench/results/BENCH_latest.json (+ a
+# timestamped copy).  The gate compares the fresh headline wall-clocks
+# against the previous BENCH_latest.json and fails on any >20% slowdown
+# (baselines normalised by a machine-speed canary; suspect rows get one
+# re-measurement before they can fail the run).
 bench:
 	dune exec bench/main.exe -- micro --json --gate
 
-# The whole bar: build, tier-1 tests, then the gated benchmark run.
-check: all test bench
+# End-to-end socket front-end check: real `unicast listen` process on a
+# Unix-domain socket, driven through `unicast client`, then SIGINT drain.
+smoke:
+	sh scripts/smoke_server.sh
+
+# The whole bar: build, tier-1 tests, socket smoke, then the gated
+# benchmark run.
+check: all test smoke bench
 
 experiments:
 	dune exec bench/main.exe -- experiments

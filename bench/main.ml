@@ -5,6 +5,7 @@
      dune exec bench/main.exe -- micro --json micro + batch + session, JSON telemetry
      dune exec bench/main.exe -- batch        batch payment engine: seq vs parallel
      dune exec bench/main.exe -- session      incremental session vs full batch
+     dune exec bench/main.exe -- server       coalesced delta bursts vs eager flushes
      dune exec bench/main.exe -- experiments  every Figure 3 panel + studies
      dune exec bench/main.exe -- full         paper-scale experiments (100 instances)
 
@@ -14,13 +15,19 @@
    payment engines — sequential vs Wnet_par domain pool, graph-copy vs
    zero-copy avoidance — at n in {100, 200, 400, 800}.  The session suite
    times single-edit incremental recomputes against from-scratch batches
-   at the same sizes.  With [--json] (what [make bench] runs) results
-   land in bench/results/BENCH_latest.json plus a timestamped copy, the
+   at the same sizes; the server suite times a coalesced k-edit burst
+   (one invalidation pass) against k eager single-edit flushes.  With
+   [--json] (what [make bench] runs) results land in
+   bench/results/BENCH_latest.json plus a timestamped copy, the
    machine-readable perf trajectory; with [--gate] the run first stashes
-   the previous BENCH_latest.json and fails if any headline (batch or
-   session) metric slowed down by more than 20%.  The
-   experiment mode regenerates every panel of Figure 3 and the worked
-   examples; EXPERIMENTS.md records a full run. *)
+   the previous BENCH_latest.json and fails if any headline (batch,
+   session, or server) metric slowed down by more than 20%.  Two
+   defences keep the gate honest on a noisy shared box: baselines are
+   scaled by a machine-speed canary (a fixed kernel timed with every
+   run, stored in the file), and any row that still looks regressed is
+   re-measured once with a doubled budget before it can fail the run.
+   The experiment mode regenerates every panel of Figure 3 and the
+   worked examples; EXPERIMENTS.md records a full run. *)
 
 open Bechamel
 open Toolkit
@@ -207,33 +214,78 @@ let time_best ?(budget = 0.6) ?(min_reps = 3) ?(max_reps = 40) f =
   done;
   (!best, !reps)
 
-let run_batch () =
+let gate_tolerance = 1.20
+
+(* Machine-speed canary: a fixed, library-independent kernel (float
+   arithmetic over a fresh boxed array, so CPU clocks and minor-GC cost
+   both register) timed alongside every JSON run and stored in the
+   file.  The gate divides the fresh canary time by the baseline's to
+   estimate how much of an apparent slowdown is the shared box itself
+   (frequency scaling, co-tenants) rather than the code, and scales the
+   baselines by that factor — clamped to [1.0, 2.5] so a faster box
+   never tightens the gate and a hosed box still fails loudly. *)
+let canary_work () =
+  let a =
+    Array.init 32768 (fun i -> 1.0 +. (float_of_int (i land 511) /. 512.0))
+  in
+  let acc = ref 0.0 in
+  for k = 1 to 40 do
+    let f = float_of_int k in
+    Array.iter (fun x -> acc := !acc +. ((x *. f) /. (x +. f))) a
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let measure_canary () = fst (time_best ~budget:0.3 canary_work)
+
+let canary_factor ~canary_now ~canary_old =
+  match canary_old with
+  | Some c when c > 0.0 -> Float.min 2.5 (Float.max 1.0 (canary_now /. c))
+  | _ -> 1.0
+
+(* A best-of-k minimum on a busy shared box is still occasionally
+   polluted for a whole budget window (a co-tenant burst outlives every
+   rep).  When a freshly measured row looks more than [gate_tolerance]
+   slower than the previous baseline, measure it once more with a
+   doubled budget and keep the better minimum: a genuine regression
+   reproduces, a noise spike does not. *)
+let retime ~previous key (t, runs) f =
+  match previous with
+  | None -> (t, runs)
+  | Some rows -> (
+    match List.assoc_opt key rows with
+    | Some t_old when t_old > 0.0 && t > t_old *. gate_tolerance ->
+      let t2, r2 = time_best ~budget:1.2 ~max_reps:80 f in
+      let b, n, d = key in
+      Printf.printf "  (re-measured %s n=%d domains=%d: %.3f ms -> %.3f ms)\n%!"
+        b n d (t *. 1e3)
+        (Float.min t t2 *. 1e3);
+      (Float.min t t2, runs + r2)
+    | _ -> (t, runs))
+
+let run_batch ?previous () =
   let pool_domains = max 4 (Wnet_par.default_domains ()) in
   Wnet_par.with_pool ~domains:pool_domains (fun pool ->
       let samples = ref [] in
-      let record bench bn domains (time_s, runs) =
+      let record bench bn domains f =
+        let time_s, runs = retime ~previous (bench, bn, domains) (time_best f) f in
         samples := { bench; bn; domains; time_s; runs } :: !samples
       in
       List.iter
         (fun n ->
           let gn = udg_instance 7 ~n in
           let dg = digraph_instance 9 ~n in
-          record "unicast-batch/seq" n 1
-            (time_best (fun () -> Wnet_core.Unicast.all_to_root gn ~root:0));
-          record "unicast-batch/par" n pool_domains
-            (time_best (fun () ->
-                 Wnet_core.Unicast.all_to_root ~pool gn ~root:0));
-          record "linkcost-batch/copy/seq" n 1
-            (time_best (fun () ->
-                 Wnet_core.Link_cost.all_to_root
-                   ~strategy:Wnet_core.Link_cost.Copy_graph dg ~root:0));
-          record "linkcost-batch/zerocopy/seq" n 1
-            (time_best (fun () ->
-                 Wnet_core.Link_cost.all_to_root
-                   ~strategy:Wnet_core.Link_cost.Zero_copy dg ~root:0));
-          record "linkcost-batch/zerocopy/par" n pool_domains
-            (time_best (fun () ->
-                 Wnet_core.Link_cost.all_to_root ~pool dg ~root:0)))
+          record "unicast-batch/seq" n 1 (fun () ->
+              Wnet_core.Unicast.all_to_root gn ~root:0);
+          record "unicast-batch/par" n pool_domains (fun () ->
+              Wnet_core.Unicast.all_to_root ~pool gn ~root:0);
+          record "linkcost-batch/copy/seq" n 1 (fun () ->
+              Wnet_core.Link_cost.all_to_root
+                ~strategy:Wnet_core.Link_cost.Copy_graph dg ~root:0);
+          record "linkcost-batch/zerocopy/seq" n 1 (fun () ->
+              Wnet_core.Link_cost.all_to_root
+                ~strategy:Wnet_core.Link_cost.Zero_copy dg ~root:0);
+          record "linkcost-batch/zerocopy/par" n pool_domains (fun () ->
+              Wnet_core.Link_cost.all_to_root ~pool dg ~root:0))
         batch_ns;
       (pool_domains, List.rev !samples))
 
@@ -364,14 +416,15 @@ let session_targets dg =
   | Some sl, Some c, Some (_, leaf) -> Some (sl, c, leaf)
   | _ -> None
 
-let run_session () =
+let run_session ?previous () =
   let module S = Wnet_session.Link_session in
   (* The incremental workloads are small (ms); heap garbage left by the
      batch + Bechamel suites otherwise charges them a major-GC tax that
      the standalone [session] mode never pays. *)
   Gc.compact ();
   let samples = ref [] in
-  let record bench bn (time_s, runs) =
+  let record bench bn f =
+    let time_s, runs = retime ~previous (bench, bn, 1) (time_best f) f in
     samples := { bench; bn; domains = 1; time_s; runs } :: !samples
   in
   List.iter
@@ -380,10 +433,9 @@ let run_session () =
       match session_targets dg with
       | None -> ()
       | Some ((su, sv), (cu, cv), leaf) ->
-        record "session/full-batch/seq" n
-          (time_best (fun () ->
-               Wnet_core.Link_cost.all_to_root
-                 ~strategy:Wnet_core.Link_cost.Zero_copy dg ~root:0));
+        record "session/full-batch/seq" n (fun () ->
+            Wnet_core.Link_cost.all_to_root
+              ~strategy:Wnet_core.Link_cost.Zero_copy dg ~root:0);
         let s = S.create dg ~root:0 in
         ignore (S.payments s);
         (* alternate between two weights so every repetition is a real
@@ -396,8 +448,8 @@ let run_session () =
             S.set_cost s u v w;
             S.payments s
         in
-        record "session/cost-change/seq" n (time_best (toggle su sv));
-        record "session/cost-change-critical/seq" n (time_best (toggle cu cv));
+        record "session/cost-change/seq" n (toggle su sv);
+        record "session/cost-change-critical/seq" n (toggle cu cv);
         (* churn round-trip: leave, payments; rejoin with the old links,
            payments — two single-edit recomputes per call *)
         let snap = S.snapshot s in
@@ -406,14 +458,108 @@ let run_session () =
           Array.to_list
             (Wnet_graph.Digraph.out_links (Wnet_graph.Digraph.reverse snap) leaf)
         in
-        record "session/leave-rejoin/seq" n
-          (time_best (fun () ->
-               S.remove_node s leaf;
-               ignore (S.payments s);
-               S.rejoin_node s leaf ~out:out_links ~inn:in_links;
-               S.payments s)))
+        record "session/leave-rejoin/seq" n (fun () ->
+            S.remove_node s leaf;
+            ignore (S.payments s);
+            S.rejoin_node s leaf ~out:out_links ~inn:in_links;
+            S.payments s))
     batch_ns;
   List.rev !samples
+
+(* ------------------------------------------------------------------ *)
+(* Server workload: coalesced delta bursts vs one-at-a-time flushes     *)
+
+(* The socket server folds a burst of k cost edits — from one client or
+   interleaved across several — into ONE invalidation pass over the
+   avoidance-cache array at the next flush.  These rows time exactly
+   that fold against the pre-coalescing behaviour (an eager pass after
+   every edit), on a session whose caches were populated by one
+   payments run.  No payments call inside the timed region: the rows
+   isolate the invalidation-pass cost the coalescing removes. *)
+
+let server_burst = 16
+
+let run_server ?previous () =
+  let module S = Wnet_session.Link_session in
+  Gc.compact ();
+  let samples = ref [] in
+  let record bench bn f =
+    let time_s, runs = retime ~previous (bench, bn, 1) (time_best f) f in
+    samples := { bench; bn; domains = 1; time_s; runs } :: !samples
+  in
+  List.iter
+    (fun n ->
+      let dg = digraph_instance 9 ~n in
+      let links = Array.of_list (Wnet_graph.Digraph.links dg) in
+      let k = server_burst in
+      if Array.length links >= k then begin
+        let step = Array.length links / k in
+        let chosen = Array.init k (fun i -> links.(i * step)) in
+        let s = S.create dg ~root:0 in
+        ignore (S.payments s);
+        (* alternate the whole burst between the original weights and a
+           5% bump so every repetition nets k real edits *)
+        let flip = ref false in
+        let factor () =
+          let f = if !flip then 1.05 else 1.0 in
+          flip := not !flip;
+          f
+        in
+        record "server/coalesce-burst/seq" n (fun () ->
+            let f = factor () in
+            Array.iter (fun (u, v, w) -> S.set_cost s u v (w *. f)) chosen;
+            S.flush s);
+        record "server/coalesce-eager/seq" n (fun () ->
+            let f = factor () in
+            Array.iter
+              (fun (u, v, w) ->
+                S.set_cost s u v (w *. f);
+                S.flush s)
+              chosen)
+      end)
+    batch_ns;
+  List.rev !samples
+
+let server_speedups samples =
+  let find bench n =
+    List.find_opt (fun s -> s.bench = bench && s.bn = n) samples
+  in
+  List.filter_map
+    (fun n ->
+      match
+        (find "server/coalesce-burst/seq" n, find "server/coalesce-eager/seq" n)
+      with
+      | Some burst, Some eager when burst.time_s > 0.0 ->
+        Some (n, eager.time_s /. burst.time_s)
+      | _ -> None)
+    batch_ns
+
+let print_server samples =
+  Printf.printf
+    "== Server delta coalescing (%d-edit burst: one folded invalidation \
+     pass vs a pass per edit) ==\n"
+    server_burst;
+  let table =
+    Wnet_stats.Table.make ~headers:[ "workload"; "n"; "time"; "runs" ]
+  in
+  List.iter
+    (fun s ->
+      Wnet_stats.Table.add_row table
+        [
+          s.bench;
+          string_of_int s.bn;
+          (if s.time_s >= 1.0 then Printf.sprintf "%.3f s" s.time_s
+           else Printf.sprintf "%.3f ms" (s.time_s *. 1e3));
+          string_of_int s.runs;
+        ])
+    samples;
+  Wnet_stats.Table.print table;
+  print_newline ();
+  List.iter
+    (fun (n, x) ->
+      Printf.printf "n=%4d  coalesced burst vs eager flushes: %.2fx\n" n x)
+    (server_speedups samples);
+  print_newline ()
 
 let session_speedups samples =
   let find bench n =
@@ -484,7 +630,7 @@ let json_float x =
 
 let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
 
-let write_json ~micro ~session (pool_domains, samples) =
+let write_json ~canary ~micro ~session ~server (pool_domains, samples) =
   let now = Unix.gmtime (Unix.time ()) in
   let stamp =
     Printf.sprintf "%04d%02d%02dT%02d%02d%02dZ" (now.Unix.tm_year + 1900)
@@ -498,7 +644,7 @@ let write_json ~micro ~session (pool_domains, samples) =
   in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"wnet-bench/2\",\n";
+  Buffer.add_string b "  \"schema\": \"wnet-bench/3\",\n";
   Buffer.add_string b (Printf.sprintf "  \"generated_at\": \"%s\",\n" iso);
   Buffer.add_string b
     (Printf.sprintf "  \"ocaml\": \"%s\",\n" (json_escape Sys.ocaml_version));
@@ -506,6 +652,8 @@ let write_json ~micro ~session (pool_domains, samples) =
     (Printf.sprintf "  \"cores_online\": %d,\n"
        (Domain.recommended_domain_count ()));
   Buffer.add_string b (Printf.sprintf "  \"pool_domains\": %d,\n" pool_domains);
+  Buffer.add_string b
+    (Printf.sprintf "  \"canary_s\": %s,\n" (json_float canary));
   Buffer.add_string b "  \"batch\": [\n";
   List.iteri
     (fun i s ->
@@ -569,6 +717,27 @@ let write_json ~micro ~session (pool_domains, samples) =
   in
   Buffer.add_string b (String.concat ",\n" session_rows);
   Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"server\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"bench\": \"%s\", \"n\": %d, \"domains\": %d, \"time_s\": \
+            %s, \"runs\": %d}%s\n"
+           (json_escape s.bench) s.bn s.domains (json_float s.time_s) s.runs
+           (if i = List.length server - 1 then "" else ",")))
+    server;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"server_speedups\": [\n";
+  let server_rows =
+    List.map
+      (fun (n, x) ->
+        Printf.sprintf "    {\"n\": %d, \"burst_vs_eager\": %s}" n
+          (json_float x))
+      (server_speedups server)
+  in
+  Buffer.add_string b (String.concat ",\n" server_rows);
+  Buffer.add_string b "\n  ],\n";
   Buffer.add_string b "  \"micro\": [\n";
   let micro_rows =
     List.map
@@ -623,13 +792,29 @@ let read_headline_rows path =
      with End_of_file -> close_in ic);
     Some !rows
 
-let gate_tolerance = 1.20
+(* The previous run's machine canary, if the file is new enough to
+   carry one (absent in wnet-bench/2 files: the factor degrades to 1). *)
+let read_canary path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let found = ref None in
+    (try
+       while !found = None do
+         let line = String.trim (input_line ic) in
+         try
+           Scanf.sscanf line "\"canary_s\": %f" (fun c -> found := Some c)
+         with Scanf.Scan_failure _ | Failure _ -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !found
 
 (* Compares the freshly measured rows against the previous run and fails
    (exit 1) when any headline metric slowed down by more than 20%.  Rows
    without a counterpart (renamed benches, first run, schema changes)
    pass silently. *)
-let run_gate ~previous (_, batch_samples) session_samples =
+let run_gate ~previous (_, batch_samples) headline_samples =
   match previous with
   | None ->
     print_endline "bench gate: no previous BENCH_latest.json, baseline run"
@@ -637,7 +822,7 @@ let run_gate ~previous (_, batch_samples) session_samples =
     let current =
       List.map
         (fun s -> ((s.bench, s.bn, s.domains), s.time_s))
-        (batch_samples @ session_samples)
+        (batch_samples @ headline_samples)
     in
     let regressions =
       List.filter_map
@@ -812,29 +997,49 @@ let () =
     | m :: _ -> m
   in
   let json_run () =
+    let baseline = "bench/results/BENCH_latest.json" in
+    let canary_now = measure_canary () in
     let previous =
-      if gate then read_headline_rows "bench/results/BENCH_latest.json"
-      else None
+      if not gate then None
+      else
+        match read_headline_rows baseline with
+        | None -> None
+        | Some rows ->
+          let canary_old = read_canary baseline in
+          let factor = canary_factor ~canary_now ~canary_old in
+          if factor > 1.0 then
+            Printf.printf
+              "bench gate: machine canary %.3f ms (baseline %.3f ms) — \
+               normalising baselines by %.2fx\n%!"
+              (canary_now *. 1e3)
+              (Option.value ~default:0.0 canary_old *. 1e3)
+              factor;
+          Some (List.map (fun (k, t) -> (k, t *. factor)) rows)
     in
     (* Wall-clock suites first, Bechamel last: its thousands of forced
        major collections bank so much GC pacing credit that the major
        collector all but stops for the next ~600 MB of allocation,
        inflating any timing taken afterwards by up to 10x. *)
-    let batch = run_batch () in
+    let batch = run_batch ?previous () in
     print_batch batch;
-    let session = run_session () in
+    let session = run_session ?previous () in
     print_session session;
+    let server = run_server ?previous () in
+    print_server server;
     let micro = run_micro () in
-    write_json ~micro ~session batch;
-    if gate then run_gate ~previous batch session
+    write_json ~canary:canary_now ~micro ~session ~server batch;
+    if gate then run_gate ~previous batch (session @ server)
   in
   match mode with
   | "micro" -> if json then json_run () else ignore (run_micro ())
   | "batch" ->
     let batch = run_batch () in
     print_batch batch;
-    if json then write_json ~micro:[] ~session:[] batch
+    if json then
+      write_json ~canary:(measure_canary ()) ~micro:[] ~session:[] ~server:[]
+        batch
   | "session" -> print_session (run_session ())
+  | "server" -> print_server (run_server ())
   | "experiments" ->
     run_experiments ~instances:10 ~hop_instances:10 ~distributed_instances:3 ()
   | "full" ->
@@ -845,6 +1050,7 @@ let () =
     run_experiments ~instances:5 ~hop_instances:5 ~distributed_instances:2 ()
   | other ->
     Printf.eprintf
-      "unknown mode %s (use: micro | batch | session | experiments | full)\n"
+      "unknown mode %s (use: micro | batch | session | server | experiments | \
+       full)\n"
       other;
     exit 2

@@ -7,6 +7,8 @@
    unicast distributed GRAPH [--root R] [--verify]
    unicast experiment NAME [--instances K] [--seed S] [--domains K]
    unicast serve GRAPH [--root R] [--model node|link] [--domains K]
+   unicast listen GRAPH (--socket PATH | --port N) [--model node|link] ...
+   unicast client (--socket PATH | --port N [--host H])
 
    GRAPH is a text file in the Graph_io format (see `unicast format`).
    Batch payments and the Figure 3 sweeps run on a Wnet_par domain pool
@@ -347,158 +349,185 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Topology statistics of a graph file.")
     Term.(const run $ graph_arg)
 
-(* -- serve -- *)
+(* -- serve / listen / client -- *)
 
-(* Line-oriented session protocol over stdin/stdout.  One incremental
-   payment session stays alive across commands, so an access point can
-   absorb cost drift and churn without re-running full batches: each
-   `pay` reuses every avoidance Dijkstra the edits since the previous
-   `pay` could not have touched. *)
+(* The Wnet_proto line protocol over stdin/stdout or a socket.  One
+   incremental payment session stays alive across requests, so an
+   access point can absorb cost drift and churn without re-running full
+   batches: each `pay` reuses every avoidance Dijkstra the edits since
+   the previous `pay` could not have touched, and a burst of edits
+   folds into a single cache-invalidation pass. *)
 
-let serve_loop handle =
+let root_arg =
+  Arg.(value & opt int 0 & info [ "root" ] ~docv:"NODE" ~doc:"Access point.")
+
+let model_arg =
+  Arg.(value & opt string "node"
+       & info [ "model" ] ~docv:"MODEL"
+           ~doc:"$(b,node) (Sec. II node costs: cost k c / leave k / pay) or \
+                 $(b,link) (Sec. III-F directed link costs: cost u v w / \
+                 join v:w .. -- u:w .. / leave k / pay).")
+
+let load_session ~model ~pool ~root path =
+  match model with
+  | "node" -> Wnet_session.make ~pool ~root (`Node (read_graph path))
+  | "link" ->
+    Wnet_session.make ~pool ~root
+      (`Link (Wnet_graph.Graph_io.parse_digraph_file path))
+  | other -> failwith ("unknown model " ^ other)
+
+let print_responses rs =
+  List.iter (fun r -> print_endline (Wnet_proto.print_response r)) rs;
+  flush stdout
+
+let serve_stdin session =
+  print_responses [ Wnet_proto.greeting session ];
   let rec loop () =
     match In_channel.input_line In_channel.stdin with
     | None -> ()
-    | Some line ->
-      let words =
-        String.split_on_char ' ' (String.trim line)
-        |> List.filter (fun s -> s <> "")
-      in
-      (match words with
-      | [] -> loop ()
-      | [ "quit" ] | [ "exit" ] -> ()
-      | w ->
-        (try handle w with
-        | Failure m | Invalid_argument m -> Format.printf "err %s@." m);
-        loop ())
+    | Some line -> (
+      match Wnet_proto.handle_line session line with
+      | `Empty -> loop ()
+      | `Reply rs ->
+        print_responses rs;
+        loop ()
+      | `Quit rs -> print_responses rs)
   in
   loop ()
 
-let serve_pay_summary ~served ~unbounded ~charged =
-  Format.printf "ok served=%d unbounded=%d total=%g@." served unbounded charged
-
-let serve_node ~pool ~root g =
-  let module S = Wnet_session.Node_session in
-  let s = S.create ~pool g ~root in
-  Format.printf "ready model=node n=%d root=%d domains=%d@." (S.n s) root
-    (Wnet_par.size pool);
-  serve_loop (fun words ->
-      match words with
-      | [ "cost"; k; c ] ->
-        S.set_cost s (int_of_string k) (float_of_string c);
-        Format.printf "ok version=%d@." (S.version s)
-      | [ "leave"; k ] ->
-        S.remove_node s (int_of_string k);
-        Format.printf "ok version=%d@." (S.version s)
-      | [ "pay" ] ->
-        let results = S.payments s in
-        let served = ref 0 and unbounded = ref 0 and charged = ref 0.0 in
-        Array.iteri
-          (fun src outcome ->
-            match outcome with
-            | None -> ()
-            | Some (o : S.outcome) ->
-              incr served;
-              let p = Array.fold_left ( +. ) 0.0 o.S.payments in
-              if p < infinity then charged := !charged +. p else incr unbounded;
-              Format.printf "src %d: path %a, charge %g@." src
-                Wnet_graph.Path.pp o.S.path p)
-          results;
-        serve_pay_summary ~served:!served ~unbounded:!unbounded ~charged:!charged
-      | [ "stats" ] ->
-        let st = S.stats s in
-        Format.printf "ok edits=%d spt_runs=%d avoid_runs=%d avoid_reused=%d@."
-          st.S.edits st.S.spt_runs st.S.avoid_runs st.S.avoid_reused
-      | w -> Format.printf "err unknown command: %s@." (String.concat " " w))
-
-let serve_link ~pool ~root g =
-  let module S = Wnet_session.Link_session in
-  let s = S.create ~pool g ~root in
-  let parse_link tok =
-    match String.split_on_char ':' tok with
-    | [ v; w ] -> (int_of_string v, float_of_string w)
-    | _ -> failwith ("bad link " ^ tok ^ " (want node:weight)")
-  in
-  Format.printf "ready model=link n=%d root=%d domains=%d@." (S.n s) root
-    (Wnet_par.size pool);
-  serve_loop (fun words ->
-      match words with
-      | [ "cost"; u; v; w ] ->
-        S.set_cost s (int_of_string u) (int_of_string v) (float_of_string w);
-        Format.printf "ok version=%d@." (S.version s)
-      | "join" :: rest ->
-        (* join v:w ... -- u:w ...   (out-links, then in-links) *)
-        let rec split acc = function
-          | [] -> (List.rev acc, [])
-          | "--" :: tl -> (List.rev acc, tl)
-          | hd :: tl -> split (hd :: acc) tl
-        in
-        let out, inn = split [] rest in
-        let id =
-          S.add_node s ~out:(List.map parse_link out)
-            ~inn:(List.map parse_link inn)
-        in
-        Format.printf "ok node=%d version=%d@." id (S.version s)
-      | "rejoin" :: k :: rest ->
-        (* rejoin K v:w ... -- u:w ...   (a node [leave]d earlier returns) *)
-        let rec split acc = function
-          | [] -> (List.rev acc, [])
-          | "--" :: tl -> (List.rev acc, tl)
-          | hd :: tl -> split (hd :: acc) tl
-        in
-        let out, inn = split [] rest in
-        S.rejoin_node s (int_of_string k) ~out:(List.map parse_link out)
-          ~inn:(List.map parse_link inn);
-        Format.printf "ok version=%d@." (S.version s)
-      | [ "leave"; k ] ->
-        S.remove_node s (int_of_string k);
-        Format.printf "ok version=%d@." (S.version s)
-      | [ "pay" ] ->
-        let batch = S.payments s in
-        let served = ref 0 and unbounded = ref 0 and charged = ref 0.0 in
-        Array.iteri
-          (fun src outcome ->
-            match outcome with
-            | None -> ()
-            | Some (o : S.outcome) ->
-              incr served;
-              let p = Array.fold_left ( +. ) 0.0 o.S.payments in
-              if p < infinity then charged := !charged +. p else incr unbounded;
-              Format.printf "src %d: path %a, charge %g@." src
-                Wnet_graph.Path.pp o.S.path p)
-          batch.S.results;
-        serve_pay_summary ~served:!served ~unbounded:!unbounded ~charged:!charged
-      | [ "stats" ] ->
-        let st = S.stats s in
-        Format.printf "ok edits=%d spt_runs=%d avoid_runs=%d avoid_reused=%d@."
-          st.S.edits st.S.spt_runs st.S.avoid_runs st.S.avoid_reused
-      | w -> Format.printf "err unknown command: %s@." (String.concat " " w))
-
 let serve_cmd =
-  let root =
-    Arg.(value & opt int 0 & info [ "root" ] ~docv:"NODE" ~doc:"Access point.")
-  in
-  let model =
-    Arg.(value & opt string "node"
-         & info [ "model" ] ~docv:"MODEL"
-             ~doc:"$(b,node) (Sec. II node costs: cost k c / leave k / pay) or \
-                   $(b,link) (Sec. III-F directed link costs: cost u v w / \
-                   join v:w .. -- u:w .. / leave k / pay).")
-  in
   let run path root model domains =
     Wnet_par.with_pool ?domains (fun pool ->
-        match model with
-        | "node" -> serve_node ~pool ~root (read_graph path)
-        | "link" ->
-          serve_link ~pool ~root (Wnet_graph.Graph_io.parse_digraph_file path)
-        | other -> failwith ("unknown model " ^ other));
+        serve_stdin (load_session ~model ~pool ~root path));
     0
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Incremental payment session over stdin/stdout: apply cost \
              changes and churn, re-collect payments without full batches.")
-    Term.(const run $ graph_arg $ root $ model $ domains_arg)
+    Term.(const run $ graph_arg $ root_arg $ model_arg $ domains_arg)
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "port" ] ~docv:"PORT"
+           ~doc:"TCP port ($(b,0) picks one; printed on startup).")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~docv:"HOST" ~doc:"TCP host (default 127.0.0.1).")
+
+let parse_addr socket port host =
+  match (socket, port) with
+  | Some path, None -> Wnet_server.Unix_path path
+  | None, Some port -> Wnet_server.Tcp { host; port }
+  | Some _, Some _ -> failwith "--socket and --port are mutually exclusive"
+  | None, None -> failwith "want --socket PATH or --port PORT"
+
+let listen_cmd =
+  let idle =
+    Arg.(value & opt (some float) None
+         & info [ "idle-timeout" ] ~docv:"SECONDS"
+             ~doc:"Disconnect a client after this long without a complete \
+                   request (default: never).")
+  in
+  let run path root model domains socket port host idle_timeout =
+    let addr = parse_addr socket port host in
+    Wnet_par.with_pool ?domains (fun pool ->
+        let session = load_session ~model ~pool ~root path in
+        let server = Wnet_server.create ?idle_timeout addr session in
+        Wnet_server.install_signals server;
+        (match Wnet_server.addr server with
+        | Wnet_server.Unix_path p -> Format.printf "listening on %s@." p
+        | Wnet_server.Tcp { host; port } ->
+          Format.printf "listening on %s:%d@." host port);
+        Format.print_flush ();
+        Wnet_server.serve server;
+        let c = Wnet_server.counters server in
+        Format.printf
+          "served %d client(s), %d request(s), %d bytes in, %d bytes out@."
+          c.Wnet_server.clients_served c.Wnet_server.requests
+          c.Wnet_server.bytes_in c.Wnet_server.bytes_out);
+    0
+  in
+  Cmd.v
+    (Cmd.info "listen"
+       ~doc:"Serve one incremental payment session to many concurrent \
+             clients over a TCP or Unix-domain socket.  Requests from all \
+             clients interleave into one deterministic edit stream; SIGINT \
+             or SIGTERM drains in-flight work and exits cleanly.")
+    Term.(const run $ graph_arg $ root_arg $ model_arg $ domains_arg
+          $ socket_arg $ port_arg $ host_arg $ idle)
+
+let client_cmd =
+  let run socket port host =
+    let addr = parse_addr socket port host in
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let fd =
+      match addr with
+      | Wnet_server.Unix_path path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+      | Wnet_server.Tcp { host; port } ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        let ip =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        Unix.connect fd (Unix.ADDR_INET (ip, port));
+        fd
+    in
+    let rec write_all b off len =
+      if len > 0 then begin
+        let n = Unix.write fd b off len in
+        write_all b (off + n) (len - n)
+      end
+    in
+    (* Shuttle stdin -> socket and socket -> stdout until the server
+       closes (it does after `quit`, on idle timeout, and on shutdown).
+       Stdin EOF half-closes, so pending replies still arrive. *)
+    let buf = Bytes.create 4096 in
+    let rec loop stdin_open =
+      let rs = if stdin_open then [ Unix.stdin; fd ] else [ fd ] in
+      match Unix.select rs [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop stdin_open
+      | readable, _, _ ->
+        let server_open =
+          if List.mem fd readable then (
+            match Unix.read fd buf 0 4096 with
+            | 0 -> false
+            | n ->
+              print_string (Bytes.sub_string buf 0 n);
+              flush stdout;
+              true
+            | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+              -> false)
+          else true
+        in
+        if server_open then
+          if stdin_open && List.mem Unix.stdin readable then (
+            match Unix.read Unix.stdin buf 0 4096 with
+            | 0 ->
+              Unix.shutdown fd Unix.SHUTDOWN_SEND;
+              loop false
+            | n ->
+              write_all buf 0 n;
+              loop true)
+          else loop stdin_open
+    in
+    loop true;
+    Unix.close fd;
+    0
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Connect to a $(b,unicast listen) server and shuttle \
+             stdin/stdout over the socket (a scriptable netcat).")
+    Term.(const run $ socket_arg $ port_arg $ host_arg)
 
 (* -- format -- *)
 
@@ -525,4 +554,5 @@ let () =
           [
             lcp_cmd; pay_cmd; batch_cmd; check_cmd; distributed_cmd; experiment_cmd;
             report_cmd; generate_cmd; stats_cmd; format_cmd; serve_cmd;
+            listen_cmd; client_cmd;
           ]))

@@ -1,0 +1,117 @@
+(** The versioned line protocol every session front-end speaks.
+
+    One request per line, one or more single-line responses per request
+    — the same grammar whether the session is driven over stdin
+    ([unicast serve]), over a socket ([unicast listen] /
+    {!Wnet_server}), or in-process (the tests' oracle replays).  Parsing
+    and printing live here so no front-end ever re-implements them; the
+    qcheck suite pins [parse ∘ print = id] on both directions.
+
+    {2 Grammar (protocol version 1)}
+
+    Requests (tokens separated by spaces; blank lines and [#] comments
+    are ignored):
+    {v
+    cost K C                      re-declare node K's relay cost (node model)
+    cost U V W                    re-declare link U -> V's cost (link model;
+                                  W = inf removes the link)
+    join  v:w ... -- u:w ...      a new node joins: out-links, --, in-links
+    rejoin K v:w ... -- u:w ...   an isolated node returns under id K
+    leave K                       node K departs (its id stays valid)
+    pay                           all-to-root payments for the current topology
+    stats                         work counters
+    quit | exit                   close the session
+    v}
+
+    Responses (first token discriminates):
+    {v
+    ready proto=1 model=node n=12 root=0 domains=4
+    ok version=5                  delta applied
+    ok node=13 version=6          join applied, node id assigned
+    src 3: path 3 -> 2 -> 0, charge 4.5        (one per served source)
+    ok served=11 unbounded=1 total=33.25       (ends a pay reply)
+    ok edits=4 coalesced=4 inval_passes=1 spt_runs=2 avoid_runs=5 avoid_reused=9
+    server clients=2 requests=10 edits=4 coalesced=4 cache_hits=9 cache_misses=5 bytes_in=120 bytes_out=456
+    conn requests=3 bytes_in=40 bytes_out=152
+    bye
+    err <reason>
+    v}
+
+    Floats print in the shortest decimal form that parses back to the
+    identical bit pattern ([inf] for infinity), so replies round-trip
+    exactly — the socket integration test compares charges received as
+    text against an in-process oracle with [Float.equal]. *)
+
+val version : int
+(** Protocol version, announced in the [ready] banner.  Bump on any
+    grammar change. *)
+
+type request =
+  | Cost_node of { node : int; cost : float }
+  | Cost_link of { u : int; v : int; w : float }
+  | Join of { out : (int * float) list; inn : (int * float) list }
+  | Rejoin of { node : int; out : (int * float) list; inn : (int * float) list }
+  | Leave of { node : int }
+  | Pay
+  | Stats
+  | Quit
+
+type response =
+  | Ready of {
+      proto : int;
+      model : Wnet_session.model;
+      n : int;
+      root : int;
+      domains : int;
+    }
+  | Ack of { version : int; node : int option }
+  | Served of { src : int; path : int list; charge : float }
+  | Paid of { served : int; unbounded : int; total : float }
+  | Session_stats of Wnet_session.stats
+  | Server_stats of {
+      clients : int;
+      requests : int;
+      edits : int;
+      coalesced : int;
+      cache_hits : int;
+      cache_misses : int;
+      bytes_in : int;
+      bytes_out : int;
+    }
+  | Conn_stats of { requests : int; bytes_in : int; bytes_out : int }
+  | Bye
+  | Err of string
+
+val float_to_string : float -> string
+(** Shortest decimal form that [float_of_string]s back to the identical
+    value; ["inf"]/["-inf"]/["nan"] for the non-finite values. *)
+
+val parse_request : string -> (request option, string) result
+(** [Ok None] for blank lines and [#] comments; [Error reason] on a
+    malformed or unknown request — the explicit error channel front-ends
+    must answer with [err reason] instead of silently skipping. *)
+
+val print_request : request -> string
+(** Canonical wire form; [parse_request (print_request r) = Ok (Some r)]
+    (floats compared with [Float.equal]). *)
+
+val parse_response : string -> (response, string) result
+val print_response : response -> string
+(** Canonical wire form; [parse_response (print_response r) = Ok r]. *)
+
+val greeting : (module Wnet_session.S) -> response
+(** The [ready] banner a front-end sends when a session opens. *)
+
+val handle : (module Wnet_session.S) -> request -> response list
+(** The generic serve step shared by the stdin loop and the socket
+    server: apply the request to the session and produce the reply
+    lines.  [Pay] yields one [Served] per source plus a closing [Paid];
+    engine errors ([Failure], [Invalid_argument]) surface as [Err];
+    [Quit] yields [Bye] (closing the transport is the caller's job). *)
+
+val handle_line :
+  (module Wnet_session.S) ->
+  string ->
+  [ `Empty | `Reply of response list | `Quit of response list ]
+(** {!parse_request} + {!handle}: one input line to its reply lines,
+    with [`Quit] telling the caller to close after sending. *)

@@ -1,0 +1,332 @@
+type addr = Unix_path of string | Tcp of { host : string; port : int }
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable inbuf : string;  (* partial line, no '\n' yet *)
+  mutable out : string;  (* rendered replies not yet written *)
+  mutable last_active : float;
+  mutable requests : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable closing : bool;  (* close once [out] drains *)
+}
+
+type t = {
+  session : (module Wnet_session.S);
+  listen_fd : Unix.file_descr;
+  bound : addr;
+  idle_timeout : float option;
+  pipe_r : Unix.file_descr;  (* self-pipe: wakes select on shutdown *)
+  pipe_w : Unix.file_descr;
+  mutable stopping : bool;
+  mutable conns : conn list;
+  mutable clients_served : int;
+  mutable requests : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+}
+
+type counters = {
+  clients : int;
+  clients_served : int;
+  requests : int;
+  bytes_in : int;
+  bytes_out : int;
+}
+
+let counters t =
+  {
+    clients = List.length t.conns;
+    clients_served = t.clients_served;
+    requests = t.requests;
+    bytes_in = t.bytes_in;
+    bytes_out = t.bytes_out;
+  }
+
+let addr t = t.bound
+
+let create ?(backlog = 16) ?idle_timeout bound session =
+  let fd, resolved =
+    match bound with
+    | Unix_path path ->
+      if Sys.file_exists path then Unix.unlink path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      (fd, bound)
+    | Tcp { host; port } ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.bind fd (Unix.ADDR_INET (ip, port));
+      let resolved =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, port) -> Tcp { host; port }
+        | _ -> bound
+      in
+      (fd, resolved)
+  in
+  Unix.listen fd backlog;
+  Unix.set_nonblock fd;
+  let pipe_r, pipe_w = Unix.pipe () in
+  {
+    session;
+    listen_fd = fd;
+    bound = resolved;
+    idle_timeout;
+    pipe_r;
+    pipe_w;
+    stopping = false;
+    conns = [];
+    clients_served = 0;
+    requests = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+  }
+
+let shutdown t =
+  t.stopping <- true;
+  (* Wake a select blocked in another thread; ignore a full or closed
+     pipe — the flag alone suffices once the loop runs. *)
+  try ignore (Unix.write_substring t.pipe_w "x" 0 1) with _ -> ()
+
+let install_signals t =
+  let h = Sys.Signal_handle (fun _ -> shutdown t) in
+  Sys.set_signal Sys.sigint h;
+  Sys.set_signal Sys.sigterm h
+
+let render rs =
+  String.concat "" (List.map (fun r -> Wnet_proto.print_response r ^ "\n") rs)
+
+let server_stats (t : t) =
+  let module S = (val t.session : Wnet_session.S) in
+  let st = S.stats () in
+  Wnet_proto.Server_stats
+    {
+      clients = List.length t.conns;
+      requests = t.requests;
+      edits = st.edits;
+      coalesced = st.coalesced_edits;
+      cache_hits = st.avoid_reused;
+      cache_misses = st.avoid_runs;
+      bytes_in = t.bytes_in;
+      bytes_out = t.bytes_out;
+    }
+
+let conn_stats (c : conn) =
+  Wnet_proto.Conn_stats
+    { requests = c.requests; bytes_in = c.bytes_in; bytes_out = c.bytes_out }
+
+(* One complete request line -> reply lines.  The protocol handler does
+   the work; the server only layers its own stats onto [stats] replies
+   and latches the close on [quit]. *)
+let respond (t : t) (c : conn) line =
+  match Wnet_proto.parse_request line with
+  | Ok None -> []
+  | Error m ->
+    c.requests <- c.requests + 1;
+    t.requests <- t.requests + 1;
+    [ Wnet_proto.Err m ]
+  | Ok (Some req) ->
+    c.requests <- c.requests + 1;
+    t.requests <- t.requests + 1;
+    let rs = Wnet_proto.handle t.session req in
+    (match req with
+    | Wnet_proto.Stats -> rs @ [ server_stats t; conn_stats c ]
+    | Wnet_proto.Quit ->
+      c.closing <- true;
+      rs
+    | _ -> rs)
+
+let queue (c : conn) rs = if rs <> [] then c.out <- c.out ^ render rs
+
+let close_conn (t : t) (c : conn) =
+  (try Unix.close c.fd with Unix.Unix_error _ -> ());
+  t.conns <- List.filter (fun c' -> c' != c) t.conns
+
+(* Write as much pending output as the socket accepts right now. *)
+let flush_some (t : t) (c : conn) =
+  let len = String.length c.out in
+  if len > 0 then
+    match Unix.write_substring c.fd c.out 0 len with
+    | n ->
+      c.out <- String.sub c.out n (len - n);
+      c.bytes_out <- c.bytes_out + n;
+      t.bytes_out <- t.bytes_out + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      close_conn t c
+
+(* Split off every complete line; the tail (no '\n' yet) stays buffered. *)
+let complete_lines (c : conn) data =
+  let buf = c.inbuf ^ data in
+  let rec go start acc =
+    match String.index_from_opt buf start '\n' with
+    | None ->
+      c.inbuf <- String.sub buf start (String.length buf - start);
+      List.rev acc
+    | Some i ->
+      let line = String.sub buf start (i - start) in
+      let line =
+        if line <> "" && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      go (i + 1) (line :: acc)
+  in
+  go 0 []
+
+let handle_lines (t : t) (c : conn) lines =
+  List.iter
+    (fun line ->
+      if not c.closing then begin
+        c.last_active <- Unix.gettimeofday ();
+        queue c (respond t c line)
+      end)
+    lines
+
+let handle_readable (t : t) (c : conn) =
+  let bytes = Bytes.create 4096 in
+  match Unix.read c.fd bytes 0 4096 with
+  | 0 ->
+    (* Client half-closed: answer what is already buffered, then go. *)
+    let lines = complete_lines c "" in
+    handle_lines t c lines;
+    c.closing <- true;
+    flush_some t c;
+    if c.out = "" then close_conn t c
+  | n ->
+    c.bytes_in <- c.bytes_in + n;
+    t.bytes_in <- t.bytes_in + n;
+    handle_lines t c (complete_lines c (Bytes.sub_string bytes 0 n));
+    flush_some t c;
+    if c.closing && c.out = "" then close_conn t c
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+    close_conn t c
+
+let accept_ready (t : t) =
+  match Unix.accept t.listen_fd with
+  | fd, _ ->
+    Unix.set_nonblock fd;
+    let c =
+      {
+        fd;
+        inbuf = "";
+        out = "";
+        last_active = Unix.gettimeofday ();
+        requests = 0;
+        bytes_in = 0;
+        bytes_out = 0;
+        closing = false;
+      }
+    in
+    t.conns <- c :: t.conns;
+    t.clients_served <- t.clients_served + 1;
+    queue c [ Wnet_proto.greeting t.session ];
+    flush_some t c
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+let sweep_idle (t : t) now =
+  match t.idle_timeout with
+  | None -> ()
+  | Some limit ->
+    List.iter
+      (fun c ->
+        if (not c.closing) && now -. c.last_active > limit then begin
+          queue c [ Wnet_proto.Err "idle timeout"; Wnet_proto.Bye ];
+          c.closing <- true;
+          flush_some t c;
+          if c.out = "" then close_conn t c
+        end)
+      t.conns
+
+let next_timeout (t : t) now =
+  match t.idle_timeout with
+  | None -> -1.0
+  | Some limit ->
+    List.fold_left
+      (fun acc c ->
+        let left = (c.last_active +. limit) -. now in
+        let left = if left < 0.0 then 0.0 else left in
+        if acc < 0.0 || left < acc then left else acc)
+      (-1.0) t.conns
+
+(* Graceful drain: no new requests are read, but requests already
+   received in full are answered, every client gets [bye], and pending
+   output is flushed (bounded wait) before the sockets close. *)
+let drain (t : t) =
+  List.iter
+    (fun c ->
+      handle_lines t c (complete_lines c "");
+      if not c.closing then queue c [ Wnet_proto.Bye ];
+      c.closing <- true)
+    t.conns;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec flush_all () =
+    List.iter (fun c -> flush_some t c) t.conns;
+    t.conns <- List.filter (fun c -> c.out <> "" || (Unix.close c.fd; false))
+        t.conns;
+    if t.conns <> [] && Unix.gettimeofday () < deadline then begin
+      let ws = List.map (fun c -> c.fd) t.conns in
+      (match Unix.select [] ws [] 0.1 with
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      flush_all ()
+    end
+  in
+  flush_all ();
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+  t.conns <- []
+
+let serve (t : t) =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let rec loop () =
+    if not t.stopping then begin
+      let now = Unix.gettimeofday () in
+      sweep_idle t now;
+      let rs =
+        t.pipe_r :: t.listen_fd :: List.map (fun c -> c.fd) t.conns
+      in
+      let ws =
+        List.filter_map
+          (fun c -> if c.out <> "" then Some c.fd else None)
+          t.conns
+      in
+      match Unix.select rs ws [] (next_timeout t now) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | readable, writable, _ ->
+        if List.mem t.pipe_r readable then begin
+          let b = Bytes.create 16 in
+          try ignore (Unix.read t.pipe_r b 0 16) with Unix.Unix_error _ -> ()
+        end;
+        List.iter
+          (fun fd ->
+            match List.find_opt (fun c -> c.fd == fd) t.conns with
+            | Some c ->
+              flush_some t c;
+              if c.closing && c.out = "" then close_conn t c
+            | None -> ())
+          writable;
+        List.iter
+          (fun fd ->
+            if fd == t.listen_fd then accept_ready t
+            else if fd != t.pipe_r then
+              match List.find_opt (fun c -> c.fd == fd) t.conns with
+              | Some c when not c.closing -> handle_readable t c
+              | Some _ | None -> ())
+          readable;
+        loop ()
+    end
+  in
+  loop ();
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  drain t;
+  (match t.bound with
+  | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+  try Unix.close t.pipe_w with Unix.Unix_error _ -> ()

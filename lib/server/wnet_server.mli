@@ -1,0 +1,69 @@
+(** Socket front-end for an incremental payment session.
+
+    One server owns ONE {!Wnet_session.S} (the access point's session)
+    and serves many concurrent clients over a TCP or Unix-domain
+    socket, all speaking the {!Wnet_proto} line protocol.  The loop is
+    single-threaded ([Unix.select]): requests are applied to the
+    session in arrival order, so the socket path inherits the engine's
+    determinism contract — the payment stream is bit-identical to
+    feeding the same interleaving to a stdin session or to from-scratch
+    batches.
+
+    Edits coalesce across clients: a burst of [cost] requests — from
+    one client or interleaved across several — buffers in the session
+    and folds into a single invalidation pass at the next [pay]
+    (see {!Wnet_session.Link_session.flush}).
+
+    Shutdown is graceful: {!shutdown} (or SIGINT/SIGTERM after
+    {!install_signals}) finishes the request in flight — a [pay] is
+    never abandoned mid-batch — answers any complete requests already
+    buffered, sends [bye] to every client, flushes, closes, and
+    removes a Unix-domain socket path.  Idle clients are disconnected
+    (with [err idle timeout]) after [idle_timeout] seconds without a
+    complete request. *)
+
+type addr =
+  | Unix_path of string
+  | Tcp of { host : string; port : int }
+      (** [port = 0] picks an ephemeral port; see {!addr}. *)
+
+type t
+
+type counters = {
+  clients : int;  (** currently connected *)
+  clients_served : int;  (** connections accepted over the lifetime *)
+  requests : int;  (** parsed requests (including rejected ones) *)
+  bytes_in : int;
+  bytes_out : int;
+}
+
+val create :
+  ?backlog:int ->
+  ?idle_timeout:float ->
+  addr ->
+  (module Wnet_session.S) ->
+  t
+(** Bind and listen; the loop starts with {!serve}.  A stale socket
+    file at a [Unix_path] is unlinked first.  [idle_timeout] (seconds,
+    default none) bounds how long a client may sit without completing
+    a request.  [backlog] defaults to 16.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val addr : t -> addr
+(** The bound address — for [Tcp] with [port = 0], the actual port. *)
+
+val serve : t -> unit
+(** Run the accept/serve loop until {!shutdown}.  Ignores [SIGPIPE]
+    for the whole process (failed writes surface as [EPIPE] and close
+    the one connection). *)
+
+val shutdown : t -> unit
+(** Request graceful shutdown.  Safe from a signal handler or another
+    thread; {!serve} returns once the drain completes.  Idempotent. *)
+
+val install_signals : t -> unit
+(** Route SIGINT and SIGTERM to {!shutdown} of this server. *)
+
+val counters : t -> counters
+(** Snapshot of the server-level counters (the [server ...] stats line
+    additionally folds in the session's edit/cache counters). *)

@@ -16,6 +16,8 @@ type batch = {
 
 type stats = {
   edits : int;
+  coalesced_edits : int;
+  inval_passes : int;
   spt_runs : int;
   avoid_runs : int;
   avoid_reused : int;
@@ -35,7 +37,15 @@ type t = {
   mutable scratches : Dijkstra.scratch array;  (* one per pool participant *)
   mutable unbounded : int list;
   mutable last : (int * batch) option;  (* memoized batch, keyed by version *)
+  pending : (int * int, float) Hashtbl.t;
+      (* links cost-edited since the last flush, mapped to their weight
+         *before* the burst; the graph itself is mutated eagerly, only
+         the cache invalidation is deferred and coalesced *)
+  mutable pending_order : (int * int) list;  (* insertion order, reversed *)
+  mutable pending_edits : int;  (* set_cost calls buffered in this burst *)
   mutable edits : int;
+  mutable coalesced_edits : int;
+  mutable inval_passes : int;
   mutable spt_runs : int;
   mutable avoid_runs : int;
   mutable avoid_reused : int;
@@ -57,7 +67,12 @@ let create ?(pool = Wnet_par.sequential) ?(copy = true) g ~root =
       Array.init (Wnet_par.size pool) (fun _ -> Dijkstra.make_scratch n);
     unbounded = [];
     last = None;
+    pending = Hashtbl.create 16;
+    pending_order = [];
+    pending_edits = 0;
     edits = 0;
+    coalesced_edits = 0;
+    inval_passes = 0;
     spt_runs = 0;
     avoid_runs = 0;
     avoid_reused = 0;
@@ -69,8 +84,9 @@ let cost t u v = Digraph.weight t.g u v
 let version t = Digraph.version t.g
 let snapshot t = Digraph.copy t.g
 let stats t =
-  { edits = t.edits; spt_runs = t.spt_runs; avoid_runs = t.avoid_runs;
-    avoid_reused = t.avoid_reused }
+  { edits = t.edits; coalesced_edits = t.coalesced_edits;
+    inval_passes = t.inval_passes; spt_runs = t.spt_runs;
+    avoid_runs = t.avoid_runs; avoid_reused = t.avoid_reused }
 let unbounded_relays t = t.unbounded
 
 (* ------------------------------------------------------------------ *)
@@ -104,23 +120,66 @@ let link_edit_keeps d ~v ~u ~w0 ~w1 =
   dv = infinity
   || (if w1 < w0 then d.(u) <= dv +. w1 else d.(u) < dv +. w0)
 
+(* Cost edits mutate the graph eagerly but defer the cache scan: the
+   burst of edits accumulated since the last flush is folded into ONE
+   pass over the avoidance array, each surviving cache tested against
+   every *net* link change (first-recorded old weight vs. current
+   weight).  Folding to the net change is sound — and strictly keeps
+   more caches than per-edit scans: a kept drop means the new weight
+   improves nobody ([d.(u) <= d.(v) +. w1], so [d] stays a feasible
+   potential), a kept rise means the link was strictly slack at the old
+   weight (so no shortest path, not even a tie, ran through it), and an
+   edit reverted within the burst vanishes entirely. *)
+let flush t =
+  if t.pending_edits > 0 then begin
+    let net =
+      List.rev_map
+        (fun (u, v) ->
+          let w0 = Hashtbl.find t.pending (u, v) in
+          (u, v, w0, Digraph.weight t.g u v))
+        t.pending_order
+      |> List.filter (fun (_, _, w0, w1) -> not (Float.equal w0 w1))
+    in
+    t.coalesced_edits <- t.coalesced_edits + t.pending_edits;
+    Hashtbl.reset t.pending;
+    t.pending_order <- [];
+    t.pending_edits <- 0;
+    if net <> [] then begin
+      t.inval_passes <- t.inval_passes + 1;
+      Array.iteri
+        (fun j entry ->
+          match entry with
+          | Some d ->
+            if
+              not
+                (List.for_all
+                   (fun (u, v, w0, w1) ->
+                     (* the forward link u -> v is the rev-link v -> u;
+                        links incident to the forbidden node j are
+                        invisible to that search *)
+                     j = u || j = v || link_edit_keeps d ~v ~u ~w0 ~w1)
+                   net)
+            then t.avoid.(j) <- None
+          | None -> ())
+        t.avoid
+    end
+  end
+
 let set_cost t u v w =
   let w0 = Digraph.weight t.g u v in
   if not (Float.equal w0 w) then begin
     Digraph.set_weight t.g u v w;
     Digraph.set_weight t.rev v u w;
     mark_edit t;
-    (* The forward link u -> v is the rev-link v -> u. *)
-    Array.iteri
-      (fun j entry ->
-        match entry with
-        | Some d when j <> u && j <> v ->
-          if not (link_edit_keeps d ~v ~u ~w0 ~w1:w) then t.avoid.(j) <- None
-        | _ -> ())
-      t.avoid
+    t.pending_edits <- t.pending_edits + 1;
+    if not (Hashtbl.mem t.pending (u, v)) then begin
+      Hashtbl.add t.pending (u, v) w0;
+      t.pending_order <- (u, v) :: t.pending_order
+    end
   end
 
 let remove_node t k =
+  flush t;
   let nn = n t in
   if k < 0 || k >= nn then invalid_arg "Link_session.remove_node: out of range";
   if k = t.root then invalid_arg "Link_session.remove_node: cannot remove the root";
@@ -130,6 +189,7 @@ let remove_node t k =
   Digraph.detach_node t.g k;
   Digraph.detach_node t.rev k;
   mark_edit t;
+  t.inval_passes <- t.inval_passes + 1;
   t.avoid.(k) <- None;
   Array.iteri
     (fun j entry ->
@@ -179,6 +239,7 @@ let apply_links t id ~out ~inn =
 let patch_attached t id =
   let rev_in = Digraph.out_links t.g id (* (v, w): rev-link v -> id *) in
   let rev_out = Digraph.out_links t.rev id (* (u, w): rev-link id -> u *) in
+  t.inval_passes <- t.inval_passes + 1;
   Array.iteri
     (fun j entry ->
       match entry with
@@ -203,6 +264,7 @@ let check_attach_link ~what ~n ~self (x, w) =
     invalid_arg (what ^ ": weight must be non-negative")
 
 let add_node t ~out ~inn =
+  flush t;
   let old_n = n t in
   List.iter (check_attach_link ~what:"Link_session.add_node" ~n:old_n ~self:(-1)) out;
   List.iter (check_attach_link ~what:"Link_session.add_node" ~n:old_n ~self:(-1)) inn;
@@ -227,6 +289,7 @@ let add_node t ~out ~inn =
   id
 
 let rejoin_node t k ~out ~inn =
+  flush t;
   let nn = n t in
   if k < 0 || k >= nn then invalid_arg "Link_session.rejoin_node: out of range";
   if k = t.root then invalid_arg "Link_session.rejoin_node: cannot rejoin the root";
@@ -267,6 +330,7 @@ let payments t =
   match t.last with
   | Some (v, batch) when v = version t -> batch
   | _ ->
+    flush t;
     let nn = n t in
     let tree = shared_tree t in
     let next_hop v = tree.Dijkstra.parent.(v) in

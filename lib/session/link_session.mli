@@ -49,6 +49,13 @@ type batch = {
 
 type stats = {
   edits : int;  (** delta operations applied *)
+  coalesced_edits : int;
+      (** cost edits whose cache invalidation was deferred and folded
+          into a shared flush pass (every buffered edit counts, so a
+          [k]-edit burst adds [k] here and 1 to [inval_passes]) *)
+  inval_passes : int;
+      (** passes over the avoidance-cache array: one per {!flush} with a
+          non-empty net burst, one per join/leave/rejoin *)
   spt_runs : int;  (** shared-tree Dijkstras *)
   avoid_runs : int;  (** avoidance Dijkstras actually run *)
   avoid_reused : int;  (** relay results served from cache *)
@@ -78,10 +85,23 @@ val snapshot : t -> Wnet_graph.Digraph.t
 
 val set_cost : t -> int -> int -> float -> unit
 (** [set_cost s u v w] sets the declared cost of link [u -> v]:
-    update, insert, or remove ([w = infinity]).  Invalidates the shared
-    tree (recomputed lazily at the next {!payments}) and only the
-    avoidance caches the slack test cannot clear.
+    update, insert, or remove ([w = infinity]).  The graph mutates
+    immediately (and the shared tree is recomputed lazily at the next
+    {!payments}), but the avoidance-cache invalidation is {e deferred}:
+    a burst of cost edits arriving before the next {!payments} (or
+    structural delta) is coalesced into one {!flush} pass that tests
+    each surviving cache against the burst's net link changes — instead
+    of one slack scan per edit.  Edits reverted within a burst cancel
+    out entirely.
     @raise Invalid_argument as {!Wnet_graph.Digraph.set_weight}. *)
+
+val flush : t -> unit
+(** Fold the cost edits buffered since the last flush into one
+    invalidation pass over the avoidance caches, now.  Called
+    automatically by {!payments} and by the structural deltas
+    ({!add_node}, {!remove_node}, {!rejoin_node}); calling it after
+    every edit reproduces the old eager per-edit scans (what the bench's
+    one-at-a-time baseline does).  A no-op when nothing is buffered. *)
 
 val add_node :
   t -> out:(int * float) list -> inn:(int * float) list -> int

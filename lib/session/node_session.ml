@@ -9,6 +9,8 @@ type outcome = {
 
 type stats = {
   edits : int;
+  coalesced_edits : int;
+  inval_passes : int;
   spt_runs : int;
   avoid_runs : int;
   avoid_reused : int;
@@ -25,7 +27,14 @@ type t = {
   scratches : Dijkstra.scratch array;
   mutable unbounded : int list;
   mutable last : (int * outcome option array) option;
+  pending : (int, float) Hashtbl.t;
+      (* nodes cost-edited since the last flush, mapped to their cost
+         *before* the burst; invalidation is deferred and coalesced *)
+  mutable pending_order : int list;  (* insertion order, reversed *)
+  mutable pending_edits : int;
   mutable edits : int;
+  mutable coalesced_edits : int;
+  mutable inval_passes : int;
   mutable spt_runs : int;
   mutable avoid_runs : int;
   mutable avoid_reused : int;
@@ -46,7 +55,12 @@ let create ?(pool = Wnet_par.sequential) g ~root =
       Array.init (Wnet_par.size pool) (fun _ -> Dijkstra.make_scratch n);
     unbounded = [];
     last = None;
+    pending = Hashtbl.create 16;
+    pending_order = [];
+    pending_edits = 0;
     edits = 0;
+    coalesced_edits = 0;
+    inval_passes = 0;
     spt_runs = 0;
     avoid_runs = 0;
     avoid_reused = 0;
@@ -58,8 +72,9 @@ let cost t v = Graph.cost t.g v
 let graph t = t.g
 let version t = t.gver
 let stats t =
-  { edits = t.edits; spt_runs = t.spt_runs; avoid_runs = t.avoid_runs;
-    avoid_reused = t.avoid_reused }
+  { edits = t.edits; coalesced_edits = t.coalesced_edits;
+    inval_passes = t.inval_passes; spt_runs = t.spt_runs;
+    avoid_runs = t.avoid_runs; avoid_reused = t.avoid_reused }
 let unbounded_relays t = t.unbounded
 
 let mark_edit t =
@@ -84,6 +99,46 @@ let cost_edit_keeps d ~nbrs ~j ~x ~c0 ~c1 =
          || (if c1 < c0 then d.(w) <= dx +. c1 else d.(w) < dx +. c0))
        nbrs
 
+(* Deferred, coalesced invalidation: cost edits swap the cost vector
+   eagerly, the cache scan waits for the next flush and tests each
+   surviving cache against every *net* node-cost change in one pass
+   (same soundness argument as the link model: a kept decrease improves
+   no relaxation target, a kept increase was strictly slack, a reverted
+   edit vanishes).  Adjacency never changes between flushes — the
+   structural delta ({!remove_node}) flushes first — so neighbour sets
+   read at flush time are the ones every buffered edit saw. *)
+let flush t =
+  if t.pending_edits > 0 then begin
+    let net =
+      List.rev_map
+        (fun x ->
+          let c0 = Hashtbl.find t.pending x in
+          (x, Graph.neighbors t.g x, c0, Graph.cost t.g x))
+        t.pending_order
+      |> List.filter (fun (_, _, c0, c1) -> not (Float.equal c0 c1))
+    in
+    t.coalesced_edits <- t.coalesced_edits + t.pending_edits;
+    Hashtbl.reset t.pending;
+    t.pending_order <- [];
+    t.pending_edits <- 0;
+    if net <> [] then begin
+      t.inval_passes <- t.inval_passes + 1;
+      Array.iteri
+        (fun j entry ->
+          match entry with
+          | Some d ->
+            if
+              not
+                (List.for_all
+                   (fun (x, nbrs, c0, c1) ->
+                     j = x || cost_edit_keeps d ~nbrs ~j ~x ~c0 ~c1)
+                   net)
+            then t.avoid.(j) <- None
+          | None -> ())
+        t.avoid
+    end
+  end
+
 let set_cost t x c =
   if x < 0 || x >= n t then invalid_arg "Node_session.set_cost: out of range";
   let c0 = Graph.cost t.g x in
@@ -91,27 +146,26 @@ let set_cost t x c =
     t.g <- Graph.with_cost t.g x c;
     mark_edit t;
     (* The root's relay cost never enters a from-root search (leaving
-       the source is free) nor any payment, so every cache survives. *)
+       the source is free) nor any payment, so every cache survives and
+       there is nothing to buffer. *)
     if x <> t.root then begin
-      let nbrs = Graph.neighbors t.g x in
-      Array.iteri
-        (fun j entry ->
-          match entry with
-          | Some d when j <> x ->
-            if not (cost_edit_keeps d ~nbrs ~j ~x ~c0 ~c1:c) then
-              t.avoid.(j) <- None
-          | _ -> ())
-        t.avoid
+      t.pending_edits <- t.pending_edits + 1;
+      if not (Hashtbl.mem t.pending x) then begin
+        Hashtbl.add t.pending x c0;
+        t.pending_order <- x :: t.pending_order
+      end
     end
   end
 
 let remove_node t x =
   if x < 0 || x >= n t then invalid_arg "Node_session.remove_node: out of range";
   if x = t.root then invalid_arg "Node_session.remove_node: cannot remove the root";
+  flush t;
   let nbrs = Graph.neighbors t.g x in
   let c0 = Graph.cost t.g x in
   t.g <- Graph.remove_node t.g x;
   mark_edit t;
+  t.inval_passes <- t.inval_passes + 1;
   t.avoid.(x) <- None;
   Array.iteri
     (fun j entry ->
@@ -144,6 +198,7 @@ let payments t =
   match t.last with
   | Some (v, results) when v = t.gver -> results
   | _ ->
+    flush t;
     let nn = n t in
     let tree = shared_tree t in
     let next_hop v = tree.Dijkstra.parent.(v) in

@@ -28,6 +28,10 @@ type outcome = {
 
 type stats = {
   edits : int;
+  coalesced_edits : int;
+      (** cost edits folded into a shared deferred-invalidation flush *)
+  inval_passes : int;
+      (** passes over the avoidance-cache array (flushes + leaves) *)
   spt_runs : int;
   avoid_runs : int;
   avoid_reused : int;
@@ -52,8 +56,17 @@ val version : t -> int
 (** Bumps on every effective edit. *)
 
 val set_cost : t -> int -> float -> unit
-(** [set_cost s v c] re-declares node [v]'s relay cost.
+(** [set_cost s v c] re-declares node [v]'s relay cost.  The cost vector
+    swaps immediately; the avoidance-cache invalidation is deferred and
+    coalesced — a burst of cost edits before the next {!payments} (or
+    {!remove_node}) is folded into one {!flush} pass over the cache
+    array, testing each cache against the burst's net changes.
     @raise Invalid_argument on a negative or non-finite cost. *)
+
+val flush : t -> unit
+(** Apply the deferred invalidation for every buffered cost edit in one
+    pass, now.  Called automatically by {!payments} and
+    {!remove_node}; a no-op when nothing is buffered. *)
 
 val remove_node : t -> int -> unit
 (** [remove_node s v] isolates [v] (node leave; the identifier stays

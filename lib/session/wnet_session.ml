@@ -1,0 +1,134 @@
+module Link_session = Link_session
+module Node_session = Node_session
+
+type model = [ `Node | `Link ]
+
+type stats = Link_session.stats = {
+  edits : int;
+  coalesced_edits : int;
+  inval_passes : int;
+  spt_runs : int;
+  avoid_runs : int;
+  avoid_reused : int;
+}
+
+type delta =
+  | Set_node_cost of { node : int; cost : float }
+  | Set_link_cost of { u : int; v : int; w : float }
+  | Join of { out : (int * float) list; inn : (int * float) list }
+  | Rejoin of { node : int; out : (int * float) list; inn : (int * float) list }
+  | Leave of { node : int }
+
+type ack = { version : int; node : int option }
+
+type served = { src : int; path : int list; charge : float }
+type pay = { served : served list; unbounded : int; total : float }
+
+module type S = sig
+  val model : model
+  val root : int
+  val domains : int
+  val n : unit -> int
+  val version : unit -> int
+  val apply : delta -> ack
+  val pay : unit -> pay
+  val flush : unit -> unit
+  val stats : unit -> stats
+end
+
+(* Assemble the protocol-level pay summary from per-source outcomes: one
+   [served] line per reachable non-root source, a charge of [infinity]
+   marking a monopoly (cut-vertex) relay on its path. *)
+let collect_pay outcomes =
+  let served = ref [] and unbounded = ref 0 and total = ref 0.0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (src, path, charge) ->
+        if charge < infinity then total := !total +. charge
+        else incr unbounded;
+        served := { src; path = Array.to_list path; charge } :: !served)
+    outcomes;
+  { served = List.rev !served; unbounded = !unbounded; total = !total }
+
+let sum_payments p = Array.fold_left ( +. ) 0.0 p
+
+let make ?(pool = Wnet_par.sequential) ~root g =
+  match g with
+  | `Node g ->
+    let module NS = Node_session in
+    let s = NS.create ~pool g ~root in
+    (module struct
+      let model = `Node
+      let root = root
+      let domains = Wnet_par.size pool
+      let n () = NS.n s
+      let version () = NS.version s
+
+      let apply = function
+        | Set_node_cost { node; cost } ->
+          NS.set_cost s node cost;
+          { version = NS.version s; node = None }
+        | Set_link_cost _ ->
+          failwith "cost: node model takes `cost NODE COST'"
+        | Join _ -> failwith "join: link model only"
+        | Rejoin _ -> failwith "rejoin: link model only"
+        | Leave { node } ->
+          NS.remove_node s node;
+          { version = NS.version s; node = None }
+
+      let pay () =
+        collect_pay
+          (Array.map
+             (Option.map (fun (o : NS.outcome) ->
+                  (o.NS.src, o.NS.path, sum_payments o.NS.payments)))
+             (NS.payments s))
+
+      let flush () = NS.flush s
+
+      let stats () =
+        let st = NS.stats s in
+        {
+          edits = st.NS.edits;
+          coalesced_edits = st.NS.coalesced_edits;
+          inval_passes = st.NS.inval_passes;
+          spt_runs = st.NS.spt_runs;
+          avoid_runs = st.NS.avoid_runs;
+          avoid_reused = st.NS.avoid_reused;
+        }
+    end : S)
+  | `Link g ->
+    let module LS = Link_session in
+    let s = LS.create ~pool g ~root in
+    (module struct
+      let model = `Link
+      let root = root
+      let domains = Wnet_par.size pool
+      let n () = LS.n s
+      let version () = LS.version s
+
+      let apply = function
+        | Set_link_cost { u; v; w } ->
+          LS.set_cost s u v w;
+          { version = LS.version s; node = None }
+        | Set_node_cost _ -> failwith "cost: link model takes `cost U V W'"
+        | Join { out; inn } ->
+          let id = LS.add_node s ~out ~inn in
+          { version = LS.version s; node = Some id }
+        | Rejoin { node; out; inn } ->
+          LS.rejoin_node s node ~out ~inn;
+          { version = LS.version s; node = None }
+        | Leave { node } ->
+          LS.remove_node s node;
+          { version = LS.version s; node = None }
+
+      let pay () =
+        collect_pay
+          (Array.map
+             (Option.map (fun (o : LS.outcome) ->
+                  (o.LS.src, o.LS.path, sum_payments o.LS.payments)))
+             (LS.payments s).LS.results)
+
+      let flush () = LS.flush s
+      let stats () = LS.stats s
+    end : S)

@@ -1,0 +1,86 @@
+(** Incremental payment sessions, and the model-agnostic session API.
+
+    The two concrete engines ({!Link_session} for the Sec. III-F
+    link-cost model, {!Node_session} for the Sec. II node-cost model)
+    share one architecture — mutable topology, shared SPT, per-relay
+    avoidance caches, deferred coalesced invalidation, a {!Wnet_par}
+    pool — but expose model-specific graphs and deltas.  Every front-end
+    (the stdin line protocol, the socket server, the bench) used to
+    duplicate its serve loop per model; {!S} packages a running session
+    behind one first-class signature so a single generic loop drives
+    both.
+
+    {!make} opens a session on either graph kind and returns the
+    packaged instance.  All determinism contracts of the underlying
+    engines carry over: {!S.pay} is bit-identical to a from-scratch
+    batch on the edited topology, at every pool size. *)
+
+module Link_session = Link_session
+module Node_session = Node_session
+
+type model = [ `Node | `Link ]
+
+type stats = Link_session.stats = {
+  edits : int;
+  coalesced_edits : int;
+  inval_passes : int;
+  spt_runs : int;
+  avoid_runs : int;
+  avoid_reused : int;
+}
+(** The unified work ledger (the node engine's counters are converted
+    into the same record). *)
+
+(** A topology delta, covering both models.  [Set_node_cost] is valid
+    only on [`Node] sessions; [Set_link_cost], [Join] and [Rejoin] only
+    on [`Link] sessions; [Leave] on both. *)
+type delta =
+  | Set_node_cost of { node : int; cost : float }
+  | Set_link_cost of { u : int; v : int; w : float }
+  | Join of { out : (int * float) list; inn : (int * float) list }
+  | Rejoin of { node : int; out : (int * float) list; inn : (int * float) list }
+  | Leave of { node : int }
+
+type ack = { version : int; node : int option }
+(** Result of a delta: the session version after it, and the id
+    assigned by [Join]. *)
+
+type served = {
+  src : int;
+  path : int list;  (** [src; ...; root] *)
+  charge : float;  (** total payment; [infinity] = a monopoly relay *)
+}
+
+type pay = {
+  served : served list;  (** ascending [src]; unserved sources omitted *)
+  unbounded : int;  (** served sources whose charge is [infinity] *)
+  total : float;  (** sum of the finite charges *)
+}
+
+(** A running session, model-erased.  Operations raise [Failure] on a
+    delta the model does not support and [Invalid_argument] exactly as
+    the underlying engine. *)
+module type S = sig
+  val model : model
+  val root : int
+  val domains : int  (** pool size payments fan out over *)
+
+  val n : unit -> int
+  val version : unit -> int
+  val apply : delta -> ack
+  val pay : unit -> pay
+  val flush : unit -> unit
+  val stats : unit -> stats
+end
+
+val make :
+  ?pool:Wnet_par.t ->
+  root:int ->
+  [ `Node of Wnet_graph.Graph.t | `Link of Wnet_graph.Digraph.t ] ->
+  (module S)
+(** [make ~root (`Link g)] (resp. [`Node g]) opens an incremental
+    session on [g] and packages it behind {!S}.  The session never
+    aliases the caller's graph (the link engine deep-copies, the node
+    engine shares only immutable structure).  [?pool] defaults to
+    {!Wnet_par.sequential}.
+    @raise Invalid_argument if [root] is out of range. *)

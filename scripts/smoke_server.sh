@@ -1,0 +1,73 @@
+#!/bin/sh
+# Socket front-end smoke test: start `unicast listen` on a Unix-domain
+# socket, drive a short transcript through `unicast client`, check the
+# replies line-by-line, then SIGINT the server and verify it drains and
+# exits 0.  Run from the repo root (make smoke does this for you).
+set -eu
+
+UNICAST="dune exec --no-build bin/unicast.exe --"
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/wnet-smoke.XXXXXX")
+SOCK="$DIR/server.sock"
+GRAPH="$DIR/graph.txt"
+OUT="$DIR/transcript.txt"
+SERVER_LOG="$DIR/server.log"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "smoke_server: FAIL: $1" >&2
+  echo "--- transcript ---" >&2
+  cat "$OUT" >&2 || true
+  echo "--- server log ---" >&2
+  cat "$SERVER_LOG" >&2 || true
+  exit 1
+}
+
+dune build bin/unicast.exe
+
+$UNICAST generate --model gnp -n 16 --seed 7 > "$GRAPH"
+
+$UNICAST listen --socket "$SOCK" --model node "$GRAPH" > "$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the socket to appear.
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && fail "server socket never appeared"
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server died on startup"
+  sleep 0.05
+done
+
+# One client: bump a node's declared cost, collect payments twice (the
+# second run must reuse every cached tree), read the counters, quit.
+$UNICAST client --socket "$SOCK" > "$OUT" <<'EOF'
+cost 3 4.25
+pay
+pay
+stats
+quit
+EOF
+
+grep -q '^ready proto=1 model=node'        "$OUT" || fail "missing ready banner"
+grep -q '^ok version=1$'                   "$OUT" || fail "cost edit not acked"
+[ "$(grep -c '^ok served=' "$OUT")" = 2 ]         || fail "expected two pay summaries"
+grep -q '^ok served=0' "$OUT" && fail "no source was served (bad instance?)"
+grep -q '^ok edits=1 coalesced=1 inval_passes=1'  "$OUT" || fail "session counters wrong"
+grep -q '^server clients=1'                "$OUT" || fail "missing server counters"
+grep -q '^conn requests=4'                 "$OUT" || fail "missing conn counters"
+grep -q '^bye$'                            "$OUT" || fail "quit not answered with bye"
+
+# Graceful shutdown: SIGINT must drain and exit 0, removing the socket.
+kill -INT "$SERVER_PID"
+wait "$SERVER_PID" || fail "server did not exit cleanly on SIGINT"
+SERVER_PID=""
+[ ! -S "$SOCK" ] || fail "socket file left behind"
+grep -q '^served 1 client(s)' "$SERVER_LOG" || fail "final counters not printed"
+
+echo "smoke_server: OK"

@@ -1,0 +1,305 @@
+(* Wnet_proto round-trip properties: the canonical printer and parser
+   are mutual inverses — [parse (print x) = x] with floats compared by
+   [Float.equal], so exact down to the bit, including infinities —
+   plus the explicit error channel on malformed input, and the generic
+   [handle] driver on both session models. *)
+
+module P = Wnet_proto
+module W = Wnet_session
+open QCheck2
+
+(* ---------------- generators ---------------- *)
+
+let float_gen =
+  Gen.oneof
+    [
+      Gen.float;
+      Gen.map2 ( /. ) Gen.float (Gen.float_range 1e-3 1e3);
+      Gen.oneofl [ 0.0; -0.0; 1.0; 4.5; 1.0 /. 3.0; 1e-300; 3e300; infinity ];
+    ]
+
+let node_gen = Gen.int_range 0 9999
+let endpoint_gen = Gen.pair node_gen float_gen
+let endpoints_gen = Gen.list_size (Gen.int_range 0 4) endpoint_gen
+
+let request_gen =
+  Gen.oneof
+    [
+      Gen.map2 (fun node cost -> P.Cost_node { node; cost }) node_gen float_gen;
+      Gen.map3 (fun u v w -> P.Cost_link { u; v; w }) node_gen node_gen
+        float_gen;
+      Gen.map2 (fun out inn -> P.Join { out; inn }) endpoints_gen endpoints_gen;
+      Gen.map3
+        (fun node out inn -> P.Rejoin { node; out; inn })
+        node_gen endpoints_gen endpoints_gen;
+      Gen.map (fun node -> P.Leave { node }) node_gen;
+      Gen.oneofl [ P.Pay; P.Stats; P.Quit ];
+    ]
+
+(* Error messages travel as the rest of the line: any single-spaced
+   printable text without leading/trailing blanks round-trips. *)
+let message_gen =
+  let word =
+    Gen.string_size ~gen:(Gen.oneofl [ 'a'; 'z'; 'Q'; '0'; ':'; '_' ])
+      (Gen.int_range 1 8)
+  in
+  Gen.map (String.concat " ") (Gen.list_size (Gen.int_range 0 4) word)
+
+let path_gen = Gen.list_size (Gen.int_range 1 6) node_gen
+let count_gen = Gen.int_range 0 100000
+
+let stats_gen =
+  Gen.map3
+    (fun (edits, coalesced_edits) (inval_passes, spt_runs)
+         (avoid_runs, avoid_reused) ->
+      {
+        W.edits;
+        coalesced_edits;
+        inval_passes;
+        spt_runs;
+        avoid_runs;
+        avoid_reused;
+      })
+    (Gen.pair count_gen count_gen)
+    (Gen.pair count_gen count_gen)
+    (Gen.pair count_gen count_gen)
+
+let response_gen =
+  Gen.oneof
+    [
+      Gen.map3
+        (fun model n (root, domains) ->
+          P.Ready { proto = P.version; model; n; root; domains })
+        (Gen.oneofl [ `Node; `Link ])
+        count_gen
+        (Gen.pair node_gen (Gen.int_range 1 64));
+      Gen.map2
+        (fun version node -> P.Ack { version; node })
+        count_gen
+        (Gen.opt node_gen);
+      Gen.map3
+        (fun src path charge -> P.Served { src; path; charge })
+        node_gen path_gen float_gen;
+      Gen.map3
+        (fun served unbounded total -> P.Paid { served; unbounded; total })
+        count_gen count_gen float_gen;
+      Gen.map (fun st -> P.Session_stats st) stats_gen;
+      Gen.map3
+        (fun (clients, requests) (edits, coalesced)
+             ((cache_hits, cache_misses), (bytes_in, bytes_out)) ->
+          P.Server_stats
+            {
+              clients;
+              requests;
+              edits;
+              coalesced;
+              cache_hits;
+              cache_misses;
+              bytes_in;
+              bytes_out;
+            })
+        (Gen.pair count_gen count_gen)
+        (Gen.pair count_gen count_gen)
+        (Gen.pair (Gen.pair count_gen count_gen)
+           (Gen.pair count_gen count_gen));
+      Gen.map3
+        (fun requests bytes_in bytes_out ->
+          P.Conn_stats { requests; bytes_in; bytes_out })
+        count_gen count_gen count_gen;
+      Gen.return P.Bye;
+      Gen.map (fun m -> P.Err m) message_gen;
+    ]
+
+(* ---------------- structural equality, floats exact ---------------- *)
+
+let endpoints_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (v, w) (v', w') -> v = v' && Float.equal w w')
+       a b
+
+let request_equal a b =
+  match (a, b) with
+  | P.Cost_node { node; cost }, P.Cost_node { node = n'; cost = c' } ->
+    node = n' && Float.equal cost c'
+  | P.Cost_link { u; v; w }, P.Cost_link { u = u'; v = v'; w = w' } ->
+    u = u' && v = v' && Float.equal w w'
+  | P.Join { out; inn }, P.Join { out = o'; inn = i' } ->
+    endpoints_equal out o' && endpoints_equal inn i'
+  | ( P.Rejoin { node; out; inn },
+      P.Rejoin { node = n'; out = o'; inn = i' } ) ->
+    node = n' && endpoints_equal out o' && endpoints_equal inn i'
+  | P.Leave { node }, P.Leave { node = n' } -> node = n'
+  | P.Pay, P.Pay | P.Stats, P.Stats | P.Quit, P.Quit -> true
+  | _ -> false
+
+let response_equal a b =
+  match (a, b) with
+  | ( P.Ready { proto; model; n; root; domains },
+      P.Ready { proto = p'; model = m'; n = n'; root = r'; domains = d' } ) ->
+    proto = p' && model = m' && n = n' && root = r' && domains = d'
+  | P.Ack { version; node }, P.Ack { version = v'; node = n' } ->
+    version = v' && node = n'
+  | ( P.Served { src; path; charge },
+      P.Served { src = s'; path = p'; charge = c' } ) ->
+    src = s' && path = p' && Float.equal charge c'
+  | ( P.Paid { served; unbounded; total },
+      P.Paid { served = s'; unbounded = u'; total = t' } ) ->
+    served = s' && unbounded = u' && Float.equal total t'
+  | P.Session_stats a, P.Session_stats b -> a = b
+  | ( P.Server_stats
+        {
+          clients;
+          requests;
+          edits;
+          coalesced;
+          cache_hits;
+          cache_misses;
+          bytes_in;
+          bytes_out;
+        },
+      P.Server_stats
+        {
+          clients = c';
+          requests = r';
+          edits = e';
+          coalesced = co';
+          cache_hits = ch';
+          cache_misses = cm';
+          bytes_in = bi';
+          bytes_out = bo';
+        } ) ->
+    clients = c' && requests = r' && edits = e' && coalesced = co'
+    && cache_hits = ch' && cache_misses = cm' && bytes_in = bi'
+    && bytes_out = bo'
+  | ( P.Conn_stats { requests; bytes_in; bytes_out },
+      P.Conn_stats { requests = r'; bytes_in = bi'; bytes_out = bo' } ) ->
+    requests = r' && bytes_in = bi' && bytes_out = bo'
+  | P.Bye, P.Bye -> true
+  | P.Err a, P.Err b -> a = b
+  | _ -> false
+
+(* ---------------- properties ---------------- *)
+
+let float_roundtrip_prop f =
+  Float.equal (float_of_string (P.float_to_string f)) f
+
+let request_roundtrip_prop r =
+  match P.parse_request (P.print_request r) with
+  | Ok (Some r') when request_equal r r' -> true
+  | Ok (Some r') ->
+    Test.fail_reportf "request re-parsed differently: %s vs %s"
+      (P.print_request r) (P.print_request r')
+  | Ok None -> Test.fail_reportf "request parsed as blank: %s" (P.print_request r)
+  | Error m ->
+    Test.fail_reportf "request failed to re-parse: %s (%s)" (P.print_request r)
+      m
+
+let response_roundtrip_prop r =
+  match P.parse_response (P.print_response r) with
+  | Ok r' when response_equal r r' -> true
+  | Ok r' ->
+    Test.fail_reportf "response re-parsed differently: %s vs %s"
+      (P.print_response r) (P.print_response r')
+  | Error m ->
+    Test.fail_reportf "response failed to re-parse: %s (%s)"
+      (P.print_response r) m
+
+(* ---------------- units: blanks, errors, handle ---------------- *)
+
+let test_blank_and_comment () =
+  Alcotest.(check bool) "blank is silent" true (P.parse_request "" = Ok None);
+  Alcotest.(check bool) "spaces are silent" true
+    (P.parse_request "   " = Ok None);
+  Alcotest.(check bool) "comment is silent" true
+    (P.parse_request "# cost 1 2" = Ok None)
+
+let expect_error what line =
+  match P.parse_request line with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s should be rejected: %S" what line
+
+let test_malformed () =
+  expect_error "bare cost" "cost";
+  expect_error "cost arity" "cost 1 2 3 4";
+  expect_error "bad number" "cost 1 two";
+  expect_error "join without separator" "join 1:2.0";
+  expect_error "bad endpoint" "join 1 -- 2:3";
+  expect_error "unknown verb" "payments";
+  expect_error "bare rejoin" "rejoin"
+
+let test_parse_examples () =
+  Alcotest.(check bool) "node cost" true
+    (match P.parse_request "cost 3 4.5" with
+    | Ok (Some (P.Cost_node { node = 3; cost })) -> Float.equal cost 4.5
+    | _ -> false);
+  Alcotest.(check bool) "link removal via inf" true
+    (match P.parse_request "cost 1 2 inf" with
+    | Ok (Some (P.Cost_link { u = 1; v = 2; w })) -> w = infinity
+    | _ -> false);
+  Alcotest.(check bool) "exit aliases quit" true
+    (P.parse_request "exit" = Ok (Some P.Quit))
+
+let fig_digraph () =
+  Wnet_graph.Digraph.create ~n:3 ~links:[ (2, 1, 1.0); (1, 0, 1.0) ]
+
+let test_handle_drives_session () =
+  let session = W.make ~root:0 (`Link (fig_digraph ())) in
+  (match P.greeting session with
+  | P.Ready { proto; model = `Link; n = 3; root = 0; domains = 1 } ->
+    Alcotest.(check int) "greeting carries the protocol version" P.version
+      proto
+  | r -> Alcotest.failf "unexpected greeting %s" (P.print_response r));
+  (match P.handle session (P.Cost_link { u = 2; v = 0; w = 10.0 }) with
+  | [ P.Ack { version = 1; node = None } ] -> ()
+  | rs ->
+    Alcotest.failf "unexpected ack %s"
+      (String.concat "; " (List.map P.print_response rs)));
+  let module LC = Wnet_core.Link_cost in
+  let edited =
+    Wnet_graph.Digraph.create ~n:3
+      ~links:[ (2, 1, 1.0); (1, 0, 1.0); (2, 0, 10.0) ]
+  in
+  let oracle = LC.all_to_root ~strategy:LC.Copy_graph edited ~root:0 in
+  let expected src =
+    match oracle.LC.results.(src) with
+    | Some r -> Array.fold_left ( +. ) 0.0 r.LC.payments
+    | None -> Alcotest.failf "oracle must serve source %d" src
+  in
+  (match P.handle session P.Pay with
+  | [
+   P.Served { src = 1; path = [ 1; 0 ]; charge = c1 };
+   P.Served { src = 2; path = [ 2; 1; 0 ]; charge = c2 };
+   P.Paid { served = 2; _ };
+  ] ->
+    Alcotest.(check bool) "src 1 charge matches the from-scratch oracle" true
+      (Float.equal c1 (expected 1));
+    Alcotest.(check bool) "src 2 charge matches the from-scratch oracle" true
+      (Float.equal c2 (expected 2))
+  | rs ->
+    Alcotest.failf "unexpected pay reply %s"
+      (String.concat "; " (List.map P.print_response rs)));
+  (* model mismatch surfaces on the error channel, session survives *)
+  (match P.handle session (P.Cost_node { node = 1; cost = 2.0 }) with
+  | [ P.Err _ ] -> ()
+  | _ -> Alcotest.fail "node delta on a link session must err");
+  match P.handle_line session "quit" with
+  | `Quit [ P.Bye ] -> ()
+  | _ -> Alcotest.fail "quit must reply bye and close"
+
+let suite =
+  [
+    Alcotest.test_case "blank lines and comments are silent" `Quick
+      test_blank_and_comment;
+    Alcotest.test_case "malformed requests hit the error channel" `Quick
+      test_malformed;
+    Alcotest.test_case "worked parse examples" `Quick test_parse_examples;
+    Alcotest.test_case "handle drives a session end to end" `Quick
+      test_handle_drives_session;
+    Test_util.qcheck_case ~count:500 "float_to_string round-trips bitwise"
+      float_gen float_roundtrip_prop;
+    Test_util.qcheck_case ~count:500 "parse_request (print_request r) = r"
+      request_gen request_roundtrip_prop;
+    Test_util.qcheck_case ~count:500 "parse_response (print_response r) = r"
+      response_gen response_roundtrip_prop;
+  ]

@@ -1,0 +1,315 @@
+(* Wnet_server integration: a real Unix-domain socket server on a
+   background thread, driven by real client connections.
+
+   The load-bearing test interleaves edits from 4 concurrent clients
+   with payment collections and checks the socket replies three ways:
+   textually bit-identical to an in-process mirror session driven
+   through the same Wnet_proto.handle (the stdin path), bit-identical
+   ([Float.equal]) to the from-scratch Copy_graph oracle on a tracked
+   model digraph, and — via the stats counters — that every round's
+   4-edit burst folded into exactly ONE invalidation pass. *)
+
+module P = Wnet_proto
+module W = Wnet_session
+module LC = Wnet_core.Link_cost
+module Sv = Wnet_server
+open Wnet_graph
+
+let socket_path name =
+  let p =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wnet-%s-%d.sock" name (Unix.getpid ()))
+  in
+  (try Unix.unlink p with Unix.Unix_error _ -> ());
+  p
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let send oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let expect_eof ic what =
+  match input_line ic with
+  | exception End_of_file -> ()
+  | l -> Alcotest.failf "%s: expected EOF, got %S" what l
+
+let chain_digraph () = Digraph.create ~n:3 ~links:[ (2, 1, 1.0); (1, 0, 1.0) ]
+
+(* ---------------- smoke: one client, full request cycle ---------------- *)
+
+let test_smoke () =
+  let path = socket_path "smoke" in
+  let server = Sv.create (Sv.Unix_path path) (W.make ~root:0 (`Link (chain_digraph ()))) in
+  let th = Thread.create Sv.serve server in
+  let fd, ic, oc = connect path in
+  (match P.parse_response (input_line ic) with
+  | Ok (P.Ready { model = `Link; n = 3; root = 0; _ }) -> ()
+  | _ -> Alcotest.fail "greeting must be a ready banner");
+  send oc "pay";
+  let rec read_pay acc =
+    let l = input_line ic in
+    match P.parse_response l with
+    | Ok (P.Paid _) -> List.rev (l :: acc)
+    | Ok (P.Served _) -> read_pay (l :: acc)
+    | _ -> Alcotest.failf "unexpected pay line %S" l
+  in
+  Alcotest.(check int) "two served lines + summary" 3
+    (List.length (read_pay []));
+  send oc "quit";
+  Alcotest.(check string) "quit answered with bye" "bye" (input_line ic);
+  expect_eof ic "after bye";
+  Unix.close fd;
+  Sv.shutdown server;
+  Thread.join th;
+  Alcotest.(check bool) "socket file removed on shutdown" false
+    (Sys.file_exists path);
+  let cs = Sv.counters server in
+  Alcotest.(check int) "one client served" 1 cs.Sv.clients_served;
+  Alcotest.(check int) "two requests" 2 cs.Sv.requests
+
+(* ---------------- 4 concurrent clients, bit-identical ---------------- *)
+
+let nclients = 4
+let rounds = 5
+
+(* Reusable generation barrier. *)
+let barrier n =
+  let m = Mutex.create () and c = Condition.create () in
+  let count = ref 0 and gen = ref 0 in
+  fun () ->
+    Mutex.lock m;
+    let g = !gen in
+    incr count;
+    if !count = n then begin
+      count := 0;
+      incr gen;
+      Condition.broadcast c
+    end
+    else while !gen = g do Condition.wait c m done;
+    Mutex.unlock m
+
+(* Sparse-ish random digraph, dense enough that most sources are served. *)
+let random_digraph seed ~n =
+  let rng = Wnet_prng.Rng.create seed in
+  let links = ref [] in
+  let p = 3.5 /. float_of_int n in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Wnet_prng.Rng.bernoulli rng p then
+        links := (u, v, Wnet_prng.Rng.float_range rng 0.5 10.0) :: !links
+    done
+  done;
+  Digraph.create ~n ~links:!links
+
+let test_concurrent_clients () =
+  let n = 24 in
+  let dg = random_digraph 42 ~n in
+  let links = Array.of_list (Digraph.links dg) in
+  Alcotest.(check bool) "instance has enough links" true
+    (Array.length links >= nclients);
+  let step = Array.length links / nclients in
+  (* each client owns one link and re-declares it with absolute weights,
+     so the net topology per round is independent of arrival order *)
+  let owned =
+    Array.init nclients (fun i ->
+        let u, v, _ = links.(i * step) in
+        (u, v))
+  in
+  let weight i r = 1.0 +. (0.25 *. float_of_int i) +. (0.125 *. float_of_int r) in
+  let path = socket_path "conc" in
+  let server =
+    Sv.create (Sv.Unix_path path)
+      (W.make ~root:0 (`Link (Digraph.create ~n ~links:(Digraph.links dg))))
+  in
+  let th = Thread.create Sv.serve server in
+  let bar = barrier nclients in
+  let pay_rounds = Array.make rounds [] in
+  let stats_lines = ref [] in
+  let failures = ref [] in
+  let fail_mutex = Mutex.create () in
+  let client i () =
+    try
+      let fd, ic, oc = connect path in
+      ignore (input_line ic);
+      for r = 0 to rounds - 1 do
+        let u, v = owned.(i) in
+        send oc
+          (P.print_request (P.Cost_link { u; v; w = weight i r }));
+        (match P.parse_response (input_line ic) with
+        | Ok (P.Ack _) -> ()
+        | _ -> failwith "cost not acked");
+        bar ();
+        (* all 4 edits of the round are in: client 0 collects payments *)
+        if i = 0 then begin
+          send oc "pay";
+          let rec go acc =
+            let l = input_line ic in
+            match P.parse_response l with
+            | Ok (P.Paid _) -> List.rev (l :: acc)
+            | Ok (P.Served _) -> go (l :: acc)
+            | _ -> failwith ("unexpected pay line " ^ l)
+          in
+          pay_rounds.(r) <- go []
+        end;
+        bar ()
+      done;
+      if i = 0 then begin
+        send oc "stats";
+        let l1 = input_line ic in
+        let l2 = input_line ic in
+        let l3 = input_line ic in
+        stats_lines := [ l1; l2; l3 ]
+      end;
+      bar ();
+      send oc "quit";
+      let rec drain () =
+        match input_line ic with
+        | "bye" -> ()
+        | _ -> drain ()
+        | exception End_of_file -> ()
+      in
+      drain ();
+      Unix.close fd
+    with e ->
+      Mutex.lock fail_mutex;
+      failures := (i, Printexc.to_string e) :: !failures;
+      Mutex.unlock fail_mutex
+  in
+  let ths = List.init nclients (fun i -> Thread.create (client i) ()) in
+  List.iter Thread.join ths;
+  Sv.shutdown server;
+  Thread.join th;
+  Alcotest.(check (list (pair int string))) "no client thread failed" []
+    !failures;
+  (* replay the same net edit sequence on a tracked model (oracle input)
+     and on a mirror session driven through the stdin code path *)
+  let model = Digraph.create ~n ~links:(Digraph.links dg) in
+  let mirror =
+    W.make ~root:0 (`Link (Digraph.create ~n ~links:(Digraph.links dg)))
+  in
+  for r = 0 to rounds - 1 do
+    for i = 0 to nclients - 1 do
+      let u, v = owned.(i) in
+      Digraph.set_weight model u v (weight i r);
+      ignore (P.handle mirror (P.Cost_link { u; v; w = weight i r }))
+    done;
+    let mirror_lines = List.map P.print_response (P.handle mirror P.Pay) in
+    Alcotest.(check (list string))
+      (Printf.sprintf "round %d: socket pay = stdin-path pay, textually" r)
+      mirror_lines pay_rounds.(r);
+    let oracle = LC.all_to_root ~strategy:LC.Copy_graph model ~root:0 in
+    List.iter
+      (fun line ->
+        match P.parse_response line with
+        | Ok (P.Served { src; path; charge }) -> (
+          match oracle.LC.results.(src) with
+          | Some o ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "round %d src %d path" r src)
+              (Array.to_list o.LC.path) path;
+            Alcotest.(check bool)
+              (Printf.sprintf "round %d src %d charge bit-identical" r src)
+              true
+              (Float.equal charge
+                 (Array.fold_left ( +. ) 0.0 o.LC.payments))
+          | None -> Alcotest.failf "oracle does not serve source %d" src)
+        | Ok (P.Paid { served; _ }) ->
+          let oracle_served =
+            Array.fold_left
+              (fun acc -> function Some _ -> acc + 1 | None -> acc)
+              0 oracle.LC.results
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "round %d served count" r)
+            oracle_served served
+        | _ -> Alcotest.failf "unparseable pay line %S" line)
+      pay_rounds.(r)
+  done;
+  (match !stats_lines with
+  | [ a; b; c ] ->
+    (match P.parse_response a with
+    | Ok (P.Session_stats st) ->
+      Alcotest.(check int) "one invalidation pass per round" rounds
+        st.W.inval_passes;
+      Alcotest.(check int) "every edit from every client coalesced"
+        (nclients * rounds) st.W.coalesced_edits
+    | _ -> Alcotest.fail "first stats line must be session stats");
+    (match P.parse_response b with
+    | Ok (P.Server_stats { clients; _ }) ->
+      Alcotest.(check int) "all clients connected at stats time" nclients
+        clients
+    | _ -> Alcotest.fail "second stats line must be server stats");
+    (match P.parse_response c with
+    | Ok (P.Conn_stats { requests; _ }) ->
+      (* client 0: rounds edits + rounds pays + stats itself *)
+      Alcotest.(check int) "connection request counter" ((2 * rounds) + 1)
+        requests
+    | _ -> Alcotest.fail "third stats line must be conn stats")
+  | _ -> Alcotest.fail "stats reply must be three lines");
+  let cs = Sv.counters server in
+  Alcotest.(check int) "every client accepted" nclients cs.Sv.clients_served
+
+(* ---------------- idle disconnect ---------------- *)
+
+let test_idle_disconnect () =
+  let path = socket_path "idle" in
+  let server =
+    Sv.create ~idle_timeout:0.2 (Sv.Unix_path path)
+      (W.make ~root:0 (`Link (chain_digraph ())))
+  in
+  let th = Thread.create Sv.serve server in
+  let fd, ic, _ = connect path in
+  ignore (input_line ic);
+  Alcotest.(check string) "idle client told why" "err idle timeout"
+    (input_line ic);
+  Alcotest.(check string) "then dismissed" "bye" (input_line ic);
+  expect_eof ic "after idle bye";
+  Unix.close fd;
+  Sv.shutdown server;
+  Thread.join th
+
+(* ---------------- graceful shutdown says bye to everyone ------------- *)
+
+let test_shutdown_drains () =
+  let path = socket_path "drain" in
+  let server = Sv.create (Sv.Unix_path path) (W.make ~root:0 (`Link (chain_digraph ()))) in
+  let th = Thread.create Sv.serve server in
+  let c1 = connect path and c2 = connect path in
+  let greet (_, ic, _) = ignore (input_line ic) in
+  greet c1;
+  greet c2;
+  (* make sure one request went through before the shutdown *)
+  let _, ic1, oc1 = c1 in
+  send oc1 "pay";
+  let rec skip_pay () =
+    match P.parse_response (input_line ic1) with
+    | Ok (P.Paid _) -> ()
+    | _ -> skip_pay ()
+  in
+  skip_pay ();
+  Sv.shutdown server;
+  Thread.join th;
+  List.iter
+    (fun (fd, ic, _) ->
+      Alcotest.(check string) "shutdown says bye" "bye" (input_line ic);
+      expect_eof ic "after shutdown bye";
+      Unix.close fd)
+    [ c1; c2 ];
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
+
+let suite =
+  [
+    Alcotest.test_case "socket smoke: greet, pay, quit" `Quick test_smoke;
+    Alcotest.test_case "4 concurrent clients, bit-identical payments" `Quick
+      test_concurrent_clients;
+    Alcotest.test_case "idle clients are disconnected" `Quick
+      test_idle_disconnect;
+    Alcotest.test_case "graceful shutdown drains and says bye" `Quick
+      test_shutdown_drains;
+  ]

@@ -355,6 +355,91 @@ let test_leave_rejoin_roundtrip () =
     (Invalid_argument "Link_session.rejoin_node: out of range") (fun () ->
       LS.rejoin_node s 9 ~out:[] ~inn:[])
 
+(* ---------------- coalesced deferred invalidation ---------------- *)
+
+let burst_graph () =
+  Digraph.create ~n:5
+    ~links:[ (1, 0, 1.0); (2, 1, 1.0); (3, 2, 1.0); (4, 0, 1.0); (4, 1, 50.0) ]
+
+(* A burst of k cost edits before the next payments must fold into
+   EXACTLY one invalidation pass — the server's coalescing contract —
+   and still match the from-scratch oracle bit for bit. *)
+let test_coalesced_burst () =
+  let s = LS.create (burst_graph ()) ~root:0 in
+  ignore (LS.payments s);
+  let st0 = LS.stats s in
+  LS.set_cost s 4 1 45.0;
+  LS.set_cost s 4 1 40.0;
+  LS.set_cost s 3 2 1.5;
+  let st1 = LS.stats s in
+  Alcotest.(check int) "no pass while the burst buffers" st0.LS.inval_passes
+    st1.LS.inval_passes;
+  let b = LS.payments s in
+  let st2 = LS.stats s in
+  Alcotest.(check int) "3-edit burst = one invalidation pass"
+    (st0.LS.inval_passes + 1) st2.LS.inval_passes;
+  Alcotest.(check int) "every burst edit counted coalesced"
+    (st0.LS.coalesced_edits + 3) st2.LS.coalesced_edits;
+  let oracle = LC.all_to_root ~strategy:LC.Copy_graph (LS.snapshot s) ~root:0 in
+  Alcotest.(check bool) "coalesced burst still matches the oracle" true
+    (link_matches_oracle b oracle)
+
+(* A burst that nets out to nothing (edit then revert, [Float.equal])
+   must cost zero passes and leave the batch bit-identical. *)
+let test_reverted_burst () =
+  let s = LS.create (burst_graph ()) ~root:0 in
+  let before = LS.payments s in
+  let st0 = LS.stats s in
+  LS.set_cost s 4 1 45.0;
+  LS.set_cost s 4 1 50.0;
+  let after = LS.payments s in
+  let st1 = LS.stats s in
+  Alcotest.(check int) "reverted burst = zero invalidation passes"
+    st0.LS.inval_passes st1.LS.inval_passes;
+  Alcotest.(check int) "reverted edits still counted coalesced"
+    (st0.LS.coalesced_edits + 2) st1.LS.coalesced_edits;
+  Alcotest.(check bool) "reverted burst leaves the batch bitwise" true
+    (link_batches_equal before after)
+
+(* Explicit flush applies the pending pass immediately and is idempotent;
+   payments after it adds no second pass. *)
+let test_explicit_flush () =
+  let s = LS.create (burst_graph ()) ~root:0 in
+  ignore (LS.payments s);
+  let st0 = LS.stats s in
+  LS.set_cost s 4 1 45.0;
+  LS.flush s;
+  let st1 = LS.stats s in
+  Alcotest.(check int) "flush performs the pass now" (st0.LS.inval_passes + 1)
+    st1.LS.inval_passes;
+  LS.flush s;
+  ignore (LS.payments s);
+  let st2 = LS.stats s in
+  Alcotest.(check int) "empty flush and payments add no pass"
+    st1.LS.inval_passes st2.LS.inval_passes
+
+let test_node_coalesced_burst () =
+  let g =
+    Graph.create
+      ~costs:[| 1.0; 2.0; 3.0; 2.0; 1.0 |]
+      ~edges:[ (1, 0); (2, 1); (3, 2); (4, 0); (4, 1) ]
+  in
+  let s = NS.create g ~root:0 in
+  ignore (NS.payments s);
+  let st0 = NS.stats s in
+  NS.set_cost s 1 5.0;
+  NS.set_cost s 2 4.0;
+  NS.set_cost s 1 6.0;
+  let b = NS.payments s in
+  let st1 = NS.stats s in
+  Alcotest.(check int) "node burst = one invalidation pass"
+    (st0.NS.inval_passes + 1) st1.NS.inval_passes;
+  Alcotest.(check int) "node burst edits counted coalesced"
+    (st0.NS.coalesced_edits + 3) st1.NS.coalesced_edits;
+  let oracle = U.all_to_root (NS.graph s) ~root:0 in
+  Alcotest.(check bool) "node burst still matches the fresh batch" true
+    (node_matches b oracle)
+
 (* ---------------- pool plumbing the sessions rely on ---------------- *)
 
 let test_map_array_pooled () =
@@ -382,6 +467,14 @@ let suite =
       test_cut_vertex_tracking;
     Alcotest.test_case "leave/rejoin round-trip is bitwise" `Quick
       test_leave_rejoin_roundtrip;
+    Alcotest.test_case "coalesced burst = one invalidation pass" `Quick
+      test_coalesced_burst;
+    Alcotest.test_case "reverted burst = zero invalidation passes" `Quick
+      test_reverted_burst;
+    Alcotest.test_case "explicit flush is immediate and idempotent" `Quick
+      test_explicit_flush;
+    Alcotest.test_case "node model coalesces bursts too" `Quick
+      test_node_coalesced_burst;
     Alcotest.test_case "map_array_pooled caller-owned states" `Quick
       test_map_array_pooled;
     Test_util.qcheck_case ~count:60
