@@ -345,8 +345,11 @@ let print_batch (pool_domains, samples) =
      root-side shortest path moves, so only the shared tree reruns;
    - cost-change-critical: drift on a link the longest served path
      forwards on — the adversarial case; the nodes behind it change
-     distance in nearly every avoidance search, so caching cannot help
-     and the recompute degrades towards a full batch (kept for honesty);
+     distance in nearly every avoidance search.  The default session
+     patches those searches in place (dynamic SSSP repair, bounded
+     affected region); the `/recompute` twin runs the same toggle on a
+     `~dynamic:false` session — the PR 2 drop-everything path — so the
+     pair measures repair vs recompute directly;
    - leave-rejoin: a non-relay node leaves and rejoins — typical churn;
      two single-edit recomputes per call.
 
@@ -423,6 +426,7 @@ let run_session ?previous () =
      the standalone [session] mode never pays. *)
   Gc.compact ();
   let samples = ref [] in
+  let hists = ref [] in
   let record bench bn f =
     let time_s, runs = retime ~previous (bench, bn, 1) (time_best f) f in
     samples := { bench; bn; domains = 1; time_s; runs } :: !samples
@@ -440,7 +444,7 @@ let run_session ?previous () =
         ignore (S.payments s);
         (* alternate between two weights so every repetition is a real
            edit *)
-        let toggle u v =
+        let toggle s u v =
           let w0 = S.cost s u v in
           let w1 = w0 *. 1.05 in
           fun () ->
@@ -448,8 +452,14 @@ let run_session ?previous () =
             S.set_cost s u v w;
             S.payments s
         in
-        record "session/cost-change/seq" n (toggle su sv);
-        record "session/cost-change-critical/seq" n (toggle cu cv);
+        record "session/cost-change/seq" n (toggle s su sv);
+        record "session/cost-change-critical/seq" n (toggle s cu cv);
+        (* the same adversarial toggle with dynamic repair off: every
+           affected cache is dropped and rerun from scratch (the PR 2
+           baseline the repair path is gated against) *)
+        let s0 = S.create ~dynamic:false dg ~root:0 in
+        ignore (S.payments s0);
+        record "session/cost-change-critical/recompute" n (toggle s0 cu cv);
         (* churn round-trip: leave, payments; rejoin with the old links,
            payments — two single-edit recomputes per call *)
         let snap = S.snapshot s in
@@ -462,9 +472,12 @@ let run_session ?previous () =
             S.remove_node s leaf;
             ignore (S.payments s);
             S.rejoin_node s leaf ~out:out_links ~inn:in_links;
-            S.payments s))
+            S.payments s);
+        (* affected-region sizes every repair on [s] touched above: the
+           slack/critical toggles and the churn round-trips *)
+        hists := (n, S.region_histogram s) :: !hists)
     batch_ns;
-  List.rev !samples
+  (List.rev !samples, List.rev !hists)
 
 (* ------------------------------------------------------------------ *)
 (* Server workload: coalesced delta bursts vs one-at-a-time flushes     *)
@@ -475,7 +488,14 @@ let run_session ?previous () =
    that fold against the pre-coalescing behaviour (an eager pass after
    every edit), on a session whose caches were populated by one
    payments run.  No payments call inside the timed region: the rows
-   isolate the invalidation-pass cost the coalescing removes. *)
+   isolate the invalidation-pass cost the coalescing removes.
+
+   The plain rows run `~dynamic:false` so they keep measuring the
+   keep-test pass they always measured; the `-repair` twins run the
+   default dynamic session, whose flush *eagerly repairs* the shared
+   tree and every fresh avoidance entry — dearer per flush, repaid at
+   the next payments (see the session rows), and folding k edits into
+   one repair instead of k is exactly what coalescing buys there. *)
 
 let server_burst = 16
 
@@ -495,44 +515,56 @@ let run_server ?previous () =
       if Array.length links >= k then begin
         let step = Array.length links / k in
         let chosen = Array.init k (fun i -> links.(i * step)) in
-        let s = S.create dg ~root:0 in
-        ignore (S.payments s);
         (* alternate the whole burst between the original weights and a
            5% bump so every repetition nets k real edits *)
-        let flip = ref false in
-        let factor () =
-          let f = if !flip then 1.05 else 1.0 in
-          flip := not !flip;
-          f
+        let make_factor () =
+          let flip = ref false in
+          fun () ->
+            let f = if !flip then 1.05 else 1.0 in
+            flip := not !flip;
+            f
         in
-        record "server/coalesce-burst/seq" n (fun () ->
-            let f = factor () in
-            Array.iter (fun (u, v, w) -> S.set_cost s u v (w *. f)) chosen;
-            S.flush s);
-        record "server/coalesce-eager/seq" n (fun () ->
-            let f = factor () in
-            Array.iter
-              (fun (u, v, w) ->
-                S.set_cost s u v (w *. f);
-                S.flush s)
-              chosen)
+        let burst s factor () =
+          let f = factor () in
+          Array.iter (fun (u, v, w) -> S.set_cost s u v (w *. f)) chosen;
+          S.flush s
+        in
+        let eager s factor () =
+          let f = factor () in
+          Array.iter
+            (fun (u, v, w) ->
+              S.set_cost s u v (w *. f);
+              S.flush s)
+            chosen
+        in
+        let s = S.create ~dynamic:false dg ~root:0 in
+        ignore (S.payments s);
+        record "server/coalesce-burst/seq" n (burst s (make_factor ()));
+        record "server/coalesce-eager/seq" n (eager s (make_factor ()));
+        let sd = S.create dg ~root:0 in
+        ignore (S.payments sd);
+        record "server/coalesce-burst-repair/seq" n (burst sd (make_factor ()));
+        record "server/coalesce-eager-repair/seq" n (eager sd (make_factor ()))
       end)
     batch_ns;
   List.rev !samples
 
-let server_speedups samples =
+let server_speedups_of ~suffix samples =
   let find bench n =
     List.find_opt (fun s -> s.bench = bench && s.bn = n) samples
   in
   List.filter_map
     (fun n ->
       match
-        (find "server/coalesce-burst/seq" n, find "server/coalesce-eager/seq" n)
+        ( find ("server/coalesce-burst" ^ suffix ^ "/seq") n,
+          find ("server/coalesce-eager" ^ suffix ^ "/seq") n )
       with
       | Some burst, Some eager when burst.time_s > 0.0 ->
         Some (n, eager.time_s /. burst.time_s)
       | _ -> None)
     batch_ns
+
+let server_speedups samples = server_speedups_of ~suffix:"" samples
 
 let print_server samples =
   Printf.printf
@@ -559,6 +591,11 @@ let print_server samples =
     (fun (n, x) ->
       Printf.printf "n=%4d  coalesced burst vs eager flushes: %.2fx\n" n x)
     (server_speedups samples);
+  List.iter
+    (fun (n, x) ->
+      Printf.printf
+        "n=%4d  coalesced burst vs eager flushes (dynamic repair): %.2fx\n" n x)
+    (server_speedups_of ~suffix:"-repair" samples);
   print_newline ()
 
 let session_speedups samples =
@@ -581,7 +618,24 @@ let session_speedups samples =
       | _ -> None)
     batch_ns
 
-let print_session samples =
+(* Repair vs recompute on the adversarial on-tree toggle: the same edit
+   on the same instance, dynamic patching vs drop-everything. *)
+let repair_speedups samples =
+  let find bench n =
+    List.find_opt (fun s -> s.bench = bench && s.bn = n) samples
+  in
+  List.filter_map
+    (fun n ->
+      match
+        ( find "session/cost-change-critical/recompute" n,
+          find "session/cost-change-critical/seq" n )
+      with
+      | Some recompute, Some repair when repair.time_s > 0.0 ->
+        Some (n, recompute.time_s /. repair.time_s)
+      | _ -> None)
+    batch_ns
+
+let print_session (samples, hists) =
   print_endline
     "== Incremental session vs from-scratch batch (single edit + payments, \
      sequential) ==";
@@ -607,6 +661,17 @@ let print_session samples =
         "n=%4d  incremental vs batch: cost change %.2fx | leave/rejoin %.2fx\n"
         n cc lr)
     (session_speedups samples);
+  List.iter
+    (fun (n, x) ->
+      Printf.printf "n=%4d  on-tree edit, repair vs recompute: %.2fx\n" n x)
+    (repair_speedups samples);
+  print_newline ();
+  List.iter
+    (fun (n, hist) ->
+      Printf.printf "n=%4d  affected-region sizes:" n;
+      List.iter (fun (lo, c) -> Printf.printf " >=%d:%d" lo c) hist;
+      print_newline ())
+    hists;
   print_newline ()
 
 (* Hand-rolled JSON writer — names and numbers only, nothing to escape
@@ -630,7 +695,7 @@ let json_float x =
 
 let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
 
-let write_json ~canary ~micro ~session ~server (pool_domains, samples) =
+let write_json ~canary ~micro ~session ~hists ~server (pool_domains, samples) =
   let now = Unix.gmtime (Unix.time ()) in
   let stamp =
     Printf.sprintf "%04d%02d%02dT%02d%02d%02dZ" (now.Unix.tm_year + 1900)
@@ -644,7 +709,7 @@ let write_json ~canary ~micro ~session ~server (pool_domains, samples) =
   in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"wnet-bench/3\",\n";
+  Buffer.add_string b "  \"schema\": \"wnet-bench/4\",\n";
   Buffer.add_string b (Printf.sprintf "  \"generated_at\": \"%s\",\n" iso);
   Buffer.add_string b
     (Printf.sprintf "  \"ocaml\": \"%s\",\n" (json_escape Sys.ocaml_version));
@@ -717,6 +782,37 @@ let write_json ~canary ~micro ~session ~server (pool_domains, samples) =
   in
   Buffer.add_string b (String.concat ",\n" session_rows);
   Buffer.add_string b "\n  ],\n";
+  (* wnet-bench/4: dynamic-SSSP repair vs drop-everything recompute on
+     the adversarial on-tree toggle, plus the affected-region size
+     histogram the repairs produced (log2 classes: ge = class lower
+     bound, 0 = nothing to patch). *)
+  Buffer.add_string b "  \"repair\": {\n";
+  Buffer.add_string b "    \"speedups\": [\n";
+  let repair_rows =
+    List.map
+      (fun (n, x) ->
+        Printf.sprintf "      {\"n\": %d, \"repair_vs_recompute\": %s}" n
+          (json_float x))
+      (repair_speedups session)
+  in
+  Buffer.add_string b (String.concat ",\n" repair_rows);
+  Buffer.add_string b "\n    ],\n";
+  Buffer.add_string b "    \"region_histogram\": [\n";
+  let hist_rows =
+    List.map
+      (fun (n, hist) ->
+        let buckets =
+          List.map
+            (fun (lo, c) -> Printf.sprintf "{\"ge\": %d, \"count\": %d}" lo c)
+            hist
+        in
+        Printf.sprintf "      {\"n\": %d, \"buckets\": [%s]}" n
+          (String.concat ", " buckets))
+      hists
+  in
+  Buffer.add_string b (String.concat ",\n" hist_rows);
+  Buffer.add_string b "\n    ]\n";
+  Buffer.add_string b "  },\n";
   Buffer.add_string b "  \"server\": [\n";
   List.iteri
     (fun i s ->
@@ -730,10 +826,18 @@ let write_json ~canary ~micro ~session ~server (pool_domains, samples) =
   Buffer.add_string b "  ],\n";
   Buffer.add_string b "  \"server_speedups\": [\n";
   let server_rows =
+    let rep = server_speedups_of ~suffix:"-repair" server in
     List.map
       (fun (n, x) ->
-        Printf.sprintf "    {\"n\": %d, \"burst_vs_eager\": %s}" n
-          (json_float x))
+        match List.assoc_opt n rep with
+        | Some y ->
+          Printf.sprintf
+            "    {\"n\": %d, \"burst_vs_eager\": %s, \
+             \"burst_vs_eager_repair\": %s}"
+            n (json_float x) (json_float y)
+        | None ->
+          Printf.sprintf "    {\"n\": %d, \"burst_vs_eager\": %s}" n
+            (json_float x))
       (server_speedups server)
   in
   Buffer.add_string b (String.concat ",\n" server_rows);
@@ -1022,12 +1126,12 @@ let () =
        inflating any timing taken afterwards by up to 10x. *)
     let batch = run_batch ?previous () in
     print_batch batch;
-    let session = run_session ?previous () in
-    print_session session;
+    let session, hists = run_session ?previous () in
+    print_session (session, hists);
     let server = run_server ?previous () in
     print_server server;
     let micro = run_micro () in
-    write_json ~canary:canary_now ~micro ~session ~server batch;
+    write_json ~canary:canary_now ~micro ~session ~hists ~server batch;
     if gate then run_gate ~previous batch (session @ server)
   in
   match mode with
@@ -1036,8 +1140,8 @@ let () =
     let batch = run_batch () in
     print_batch batch;
     if json then
-      write_json ~canary:(measure_canary ()) ~micro:[] ~session:[] ~server:[]
-        batch
+      write_json ~canary:(measure_canary ()) ~micro:[] ~session:[] ~hists:[]
+        ~server:[] batch
   | "session" -> print_session (run_session ())
   | "server" -> print_server (run_server ())
   | "experiments" ->

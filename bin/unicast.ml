@@ -463,7 +463,17 @@ let listen_cmd =
           $ socket_arg $ port_arg $ host_arg $ idle)
 
 let client_cmd =
-  let run socket port host =
+  let batch =
+    Arg.(value & opt int 1
+         & info [ "batch" ] ~docv:"K"
+             ~doc:"Pack up to $(docv) consecutive edit lines ($(b,cost), \
+                   $(b,join), $(b,rejoin), $(b,leave)) into one socket \
+                   write, so the server coalesces them into a single \
+                   invalidation burst.  Any other line (e.g. $(b,pay)) \
+                   flushes the pending pack first.  Default 1: raw \
+                   pass-through.")
+  in
+  let run socket port host batch =
     let addr = parse_addr socket port host in
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let fd =
@@ -489,7 +499,61 @@ let client_cmd =
     in
     (* Shuttle stdin -> socket and socket -> stdout until the server
        closes (it does after `quit`, on idle timeout, and on shutdown).
-       Stdin EOF half-closes, so pending replies still arrive. *)
+       Stdin EOF half-closes, so pending replies still arrive.
+
+       With --batch K > 1, stdin is re-chunked on line boundaries: up to
+       K consecutive edit lines accumulate locally and leave in one
+       write, landing at the server inside one read so its session
+       coalesces them into a single invalidation pass.  A non-edit line
+       (pay, stats, quit, ...) must observe every edit before it, so it
+       flushes the pending pack first. *)
+    let send_str s = write_all (Bytes.of_string s) 0 (String.length s) in
+    let pack = Buffer.create 4096 in
+    let packed_edits = ref 0 in
+    let flush_pack () =
+      if Buffer.length pack > 0 then begin
+        send_str (Buffer.contents pack);
+        Buffer.clear pack;
+        packed_edits := 0
+      end
+    in
+    let is_edit line =
+      match String.split_on_char ' ' (String.trim line) with
+      | ("cost" | "join" | "rejoin" | "leave") :: _ -> true
+      | _ -> false
+    in
+    let feed_line line =
+      Buffer.add_string pack line;
+      Buffer.add_char pack '\n';
+      if is_edit line then begin
+        incr packed_edits;
+        if !packed_edits >= batch then flush_pack ()
+      end
+      else flush_pack ()
+    in
+    let partial = Buffer.create 256 in
+    let feed_chunk s =
+      Buffer.add_string partial s;
+      let text = Buffer.contents partial in
+      Buffer.clear partial;
+      let len = String.length text in
+      let start = ref 0 in
+      (try
+         while true do
+           let nl = String.index_from text !start '\n' in
+           feed_line (String.sub text !start (nl - !start));
+           start := nl + 1
+         done
+       with Not_found -> ());
+      if !start < len then Buffer.add_substring partial text !start (len - !start)
+    in
+    let feed_eof () =
+      if Buffer.length partial > 0 then begin
+        feed_line (Buffer.contents partial);
+        Buffer.clear partial
+      end;
+      flush_pack ()
+    in
     let buf = Bytes.create 4096 in
     let rec loop stdin_open =
       let rs = if stdin_open then [ Unix.stdin; fd ] else [ fd ] in
@@ -512,10 +576,12 @@ let client_cmd =
           if stdin_open && List.mem Unix.stdin readable then (
             match Unix.read Unix.stdin buf 0 4096 with
             | 0 ->
+              if batch > 1 then feed_eof ();
               Unix.shutdown fd Unix.SHUTDOWN_SEND;
               loop false
             | n ->
-              write_all buf 0 n;
+              if batch > 1 then feed_chunk (Bytes.sub_string buf 0 n)
+              else write_all buf 0 n;
               loop true)
           else loop stdin_open
     in
@@ -526,8 +592,10 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client"
        ~doc:"Connect to a $(b,unicast listen) server and shuttle \
-             stdin/stdout over the socket (a scriptable netcat).")
-    Term.(const run $ socket_arg $ port_arg $ host_arg)
+             stdin/stdout over the socket (a scriptable netcat).  With \
+             $(b,--batch) K, edit lines are packed K per write to drive \
+             the server's burst-coalescing path from the wire side.")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ batch)
 
 (* -- format -- *)
 

@@ -6,14 +6,16 @@ let validate_endpoints g ~src ~dst =
     invalid_arg "Avoid: endpoint out of range";
   if src = dst then invalid_arg "Avoid: src = dst"
 
-let avoiding_cost g ~src ~dst ~avoid =
+let avoiding_cost ?scratch g ~src ~dst ~avoid =
   validate_endpoints g ~src ~dst;
   if avoid = src || avoid = dst then
     invalid_arg "Avoid.avoiding_cost: cannot avoid an endpoint";
-  let t =
-    Dijkstra.node_weighted ~forbidden:(fun v -> v = avoid) g ~source:src
-  in
-  Dijkstra.dist t dst
+  let forbidden v = v = avoid in
+  match scratch with
+  | Some s -> (Dijkstra.node_weighted_dist s ~forbidden g ~source:src).(dst)
+  | None ->
+    let t = Dijkstra.node_weighted ~forbidden g ~source:src in
+    Dijkstra.dist t dst
 
 let replacement_costs_naive g ~src ~dst =
   validate_endpoints g ~src ~dst;
@@ -23,8 +25,9 @@ let replacement_costs_naive g ~src ~dst =
   | Some path ->
     let len = Array.length path in
     let replacement = Array.make len nan in
+    let scratch = Dijkstra.make_scratch (Graph.n g) in
     for l = 1 to len - 2 do
-      replacement.(l) <- avoiding_cost g ~src ~dst ~avoid:path.(l)
+      replacement.(l) <- avoiding_cost ~scratch g ~src ~dst ~avoid:path.(l)
     done;
     Some { path; lcp_cost = Dijkstra.dist t dst; replacement }
 

@@ -45,10 +45,14 @@ val replacement_costs_fast : Graph.t -> src:int -> dst:int -> result option
     @raise Invalid_argument additionally when some node cost is not
     strictly positive. *)
 
-val avoiding_cost : Graph.t -> src:int -> dst:int -> avoid:int -> float
+val avoiding_cost :
+  ?scratch:Dijkstra.scratch -> Graph.t -> src:int -> dst:int -> avoid:int -> float
 (** One-shot [||P_{-avoid}(src, dst)||] by removal + Dijkstra;
-    [infinity] when disconnected.
-    @raise Invalid_argument if [avoid] is [src] or [dst]. *)
+    [infinity] when disconnected.  With [?scratch] the search reuses the
+    caller's Dijkstra buffers (dist-only, no tree allocation) — pass one
+    when calling in a loop, as {!replacement_costs_naive} does.
+    @raise Invalid_argument if [avoid] is [src] or [dst], or the graph
+    exceeds the scratch capacity. *)
 
 val levels : Graph.t -> tree:Dijkstra.tree -> Path.t -> int array
 (** [levels g ~tree path] exposes the level labelling used by the fast

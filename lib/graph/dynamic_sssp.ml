@@ -1,0 +1,566 @@
+(* Incremental/decremental SSSP repair (Ramalingam–Reps style).
+
+   Shared shape of both repairs, for a burst of net link edits already
+   applied to the graph:
+
+   1. {e Closure}: collect the nodes whose old label could have been
+      realised through a risen/deleted link — transitively.  The tree
+      repair reads this off the old tree (the subtrees hanging under
+      risen tree links); the distance-only repair, having no parents,
+      chases realisation equalities [d.(x) +. w_old = d.(y)] instead
+      (a superset of the truly affected nodes, which is safe: they are
+      re-derived to the same values).
+   2. {e Wipe and reseed}: set the region's labels to [infinity], then
+      offer each region node its best candidate through its in-links
+      from the intact boundary (current weights), and seed every
+      dropped link whose tail kept its label.
+   3. {e Bounded frontier Dijkstra}: settle the region in label order,
+      relaxing out-links with current weights.  A label improved after
+      its node settled is simply re-settled (label-correcting), which
+      keeps mixed increase/decrease bursts exact.
+
+   The region counter is checked against a budget at every first
+   marking; exceeding it aborts into the caller's from-scratch path, so
+   the worst case stays one full Dijkstra plus a bounded probe.
+
+   Exactness: distances are minima of identical float sums however the
+   frontier is ordered, so distance-only repair is unconditionally
+   bit-identical to a fresh run.  Parents are only forced when the
+   minimising predecessor is unique; every relaxation or boundary scan
+   that observes a bit-for-bit tie which could let the from-scratch
+   settlement order pick a different parent raises [Tie] and the tree
+   is rebuilt from scratch instead. *)
+
+type edit = { u : int; v : int; w0 : float; w1 : float }
+
+let default_budget n = max 32 (n / 2)
+
+exception Overflow
+exception Tie
+
+(* ------------------------------------------------------------------ *)
+(* Distance-only repair                                                 *)
+
+type dist_scratch = {
+  mutable cap : int;
+  mutable mark : int array;  (* mark.(x) = epoch: x is in the region *)
+  mutable epoch : int;
+  mutable region : int array;  (* marked nodes, in marking order *)
+  mutable n_region : int;
+  mutable heap : Indexed_heap.t;
+}
+
+let make_dist_scratch cap =
+  if cap < 0 then invalid_arg "Dynamic_sssp.make_dist_scratch: negative capacity";
+  let c = max cap 1 in
+  {
+    cap;
+    mark = Array.make c 0;
+    epoch = 0;
+    region = Array.make c 0;
+    n_region = 0;
+    heap = Indexed_heap.create cap;
+  }
+
+let dist_scratch_capacity s = s.cap
+
+let begin_dist_run s n =
+  if n > s.cap then
+    invalid_arg "Dynamic_sssp: graph exceeds scratch capacity";
+  s.epoch <- s.epoch + 1;
+  s.n_region <- 0;
+  (* a completed repair leaves the heap empty; one aborted by Overflow
+     may not *)
+  while not (Indexed_heap.is_empty s.heap) do
+    ignore (Indexed_heap.pop_min s.heap)
+  done
+
+let smark s ~budget x =
+  if s.mark.(x) <> s.epoch then begin
+    if s.n_region >= budget then raise Overflow;
+    s.mark.(x) <- s.epoch;
+    s.region.(s.n_region) <- x;
+    s.n_region <- s.n_region + 1
+  end
+
+let repair_dist s ?budget ?(forbidden = -1) ~graph ~mirror ~source ~dist:d
+    edits =
+  let n = Digraph.n graph in
+  let budget = match budget with Some b -> b | None -> default_budget n in
+  if Array.length d < n then
+    invalid_arg "Dynamic_sssp.repair_dist: dist array shorter than the graph";
+  begin_dist_run s n;
+  let j = forbidden in
+  let edits =
+    List.filter
+      (fun e -> e.u <> j && e.v <> j && not (Float.equal e.w0 e.w1))
+      edits
+  in
+  let marked x = s.mark.(x) = s.epoch in
+  let edited x y = List.exists (fun e -> e.u = x && e.v = y) edits in
+  try
+    (* 1. increase-affected closure: nodes whose old label was realised
+       (possibly as a tie) through a risen link, transitively.  Old
+       weights apply: edited out-links are chased through the edit list
+       (deleted ones are no longer in the graph at all). *)
+    List.iter
+      (fun e ->
+        if
+          e.w1 > e.w0 && e.v <> source && d.(e.u) < infinity
+          && Float.equal (d.(e.u) +. e.w0) d.(e.v)
+        then smark s ~budget e.v)
+      edits;
+    let i = ref 0 in
+    while !i < s.n_region do
+      let x = s.region.(!i) in
+      incr i;
+      let dx = d.(x) in
+      if dx < infinity then begin
+        Array.iter
+          (fun (y, w) ->
+            if
+              y <> j && y <> source && (not (marked y)) && (not (edited x y))
+              && Float.equal (dx +. w) d.(y)
+            then smark s ~budget y)
+          (Digraph.out_links graph x);
+        List.iter
+          (fun e ->
+            if
+              e.u = x && e.w0 < infinity && e.v <> source
+              && (not (marked e.v))
+              && Float.equal (dx +. e.w0) d.(e.v)
+            then smark s ~budget e.v)
+          edits
+      end
+    done;
+    (* 2. wipe the region, then reseed each member from the boundary
+       through its in-links (current weights, via the mirror) *)
+    for k = 0 to s.n_region - 1 do
+      d.(s.region.(k)) <- infinity
+    done;
+    for k = 0 to s.n_region - 1 do
+      let x = s.region.(k) in
+      Array.iter
+        (fun (p, w) ->
+          if p <> j && not (marked p) then begin
+            let dp = d.(p) in
+            if dp < infinity then begin
+              let cand = dp +. w in
+              if cand < d.(x) then begin
+                d.(x) <- cand;
+                Indexed_heap.insert_or_decrease s.heap x cand
+              end
+            end
+          end)
+        (Digraph.out_links mirror x)
+    done;
+    (* 3. dropped links whose tail kept its label seed directly (a
+       marked tail relaxes when it settles) *)
+    List.iter
+      (fun e ->
+        if e.w1 < e.w0 && (not (marked e.u)) && d.(e.u) < infinity then begin
+          let cand = d.(e.u) +. e.w1 in
+          if cand < d.(e.v) then begin
+            d.(e.v) <- cand;
+            Indexed_heap.insert_or_decrease s.heap e.v cand
+          end
+        end)
+      edits;
+    (* 4. bounded-frontier Dijkstra over the region *)
+    while not (Indexed_heap.is_empty s.heap) do
+      let x, dx = Indexed_heap.pop_min s.heap in
+      if Float.equal dx d.(x) then begin
+        smark s ~budget x;
+        Array.iter
+          (fun (y, w) ->
+            if y <> j then begin
+              let cand = dx +. w in
+              if cand < d.(y) then begin
+                d.(y) <- cand;
+                Indexed_heap.insert_or_decrease s.heap y cand
+              end
+            end)
+          (Digraph.out_links graph x)
+      end
+    done;
+    `Patched s.n_region
+  with Overflow -> `Overflow
+
+(* Node-weighted variant: leaving [x] costs its relay cost (0 from the
+   source), adjacency is symmetric, and the edits are node-cost
+   changes.  A node's own label never depends on its own cost, so an
+   edit on [x] seeds [x]'s neighbours, not [x]. *)
+
+type node_edit = { x : int; nbrs : int array; c0 : float; c1 : float }
+
+let repair_node_dist s ?budget ?(forbidden = -1) ~graph ~source ~dist:d
+    edits =
+  let n = Graph.n graph in
+  let budget = match budget with Some b -> b | None -> default_budget n in
+  if Array.length d < n then
+    invalid_arg
+      "Dynamic_sssp.repair_node_dist: dist array shorter than the graph";
+  begin_dist_run s n;
+  let j = forbidden in
+  let edits =
+    List.filter
+      (fun e -> e.x <> j && e.x <> source && not (Float.equal e.c0 e.c1))
+      edits
+  in
+  let marked x = s.mark.(x) = s.epoch in
+  let old_cost x =
+    match List.find_opt (fun e -> e.x = x) edits with
+    | Some e -> e.c0
+    | None -> Graph.cost graph x
+  in
+  let leave_old x = if x = source then 0.0 else old_cost x in
+  let leave_cur x = if x = source then 0.0 else Graph.cost graph x in
+  try
+    List.iter
+      (fun e ->
+        if e.c1 > e.c0 && d.(e.x) < infinity then
+          Array.iter
+            (fun y ->
+              if
+                y <> j && y <> source && (not (marked y))
+                && Float.equal (d.(e.x) +. e.c0) d.(y)
+              then smark s ~budget y)
+            e.nbrs)
+      edits;
+    let i = ref 0 in
+    while !i < s.n_region do
+      let x = s.region.(!i) in
+      incr i;
+      let dx = d.(x) in
+      if dx < infinity then begin
+        let lo = leave_old x in
+        Array.iter
+          (fun y ->
+            if
+              y <> j && y <> source && (not (marked y))
+              && Float.equal (dx +. lo) d.(y)
+            then smark s ~budget y)
+          (Graph.neighbors graph x)
+      end
+    done;
+    for k = 0 to s.n_region - 1 do
+      d.(s.region.(k)) <- infinity
+    done;
+    for k = 0 to s.n_region - 1 do
+      let x = s.region.(k) in
+      Array.iter
+        (fun p ->
+          if p <> j && not (marked p) then begin
+            let dp = d.(p) in
+            if dp < infinity then begin
+              let cand = dp +. leave_cur p in
+              if cand < d.(x) then begin
+                d.(x) <- cand;
+                Indexed_heap.insert_or_decrease s.heap x cand
+              end
+            end
+          end)
+        (Graph.neighbors graph x)
+    done;
+    List.iter
+      (fun e ->
+        if e.c1 < e.c0 && (not (marked e.x)) && d.(e.x) < infinity then
+          Array.iter
+            (fun y ->
+              if y <> j then begin
+                let cand = d.(e.x) +. e.c1 in
+                if cand < d.(y) then begin
+                  d.(y) <- cand;
+                  Indexed_heap.insert_or_decrease s.heap y cand
+                end
+              end)
+            e.nbrs)
+      edits;
+    while not (Indexed_heap.is_empty s.heap) do
+      let x, dx = Indexed_heap.pop_min s.heap in
+      if Float.equal dx d.(x) then begin
+        smark s ~budget x;
+        let lc = leave_cur x in
+        Array.iter
+          (fun y ->
+            if y <> j then begin
+              let cand = dx +. lc in
+              if cand < d.(y) then begin
+                d.(y) <- cand;
+                Indexed_heap.insert_or_decrease s.heap y cand
+              end
+            end)
+          (Graph.neighbors graph x)
+      end
+    done;
+    `Patched s.n_region
+  with Overflow -> `Overflow
+
+(* ------------------------------------------------------------------ *)
+(* Tree repair                                                          *)
+
+type t = {
+  graph : Digraph.t;  (* the searched graph, aliased and caller-mutated *)
+  mirror : Digraph.t;  (* its reverse, kept in lockstep by the caller *)
+  src : int;
+  mutable tr : Dijkstra.tree;  (* arrays exactly [Digraph.n graph]-sized *)
+  (* children of the tree as doubly-linked sibling lists, for O(1)
+     reparenting and orphan-subtree walks without an O(n) scan *)
+  mutable cap : int;  (* capacity of the auxiliary arrays below *)
+  mutable first_child : int array;
+  mutable next_sib : int array;
+  mutable prev_sib : int array;
+  mutable mark : int array;
+  mutable epoch : int;
+  mutable region : int array;
+  mutable n_region : int;
+  mutable heap : Indexed_heap.t;
+}
+
+let source t = t.src
+let tree t = t.tr
+
+let build_children t =
+  let n = Array.length t.tr.Dijkstra.parent in
+  Array.fill t.first_child 0 t.cap (-1);
+  Array.fill t.next_sib 0 t.cap (-1);
+  Array.fill t.prev_sib 0 t.cap (-1);
+  for v = n - 1 downto 0 do
+    let p = t.tr.Dijkstra.parent.(v) in
+    if p >= 0 then begin
+      let h = t.first_child.(p) in
+      t.next_sib.(v) <- h;
+      if h >= 0 then t.prev_sib.(h) <- v;
+      t.first_child.(p) <- v
+    end
+  done
+
+let grow_aux t n =
+  if n > t.cap then begin
+    let c = max n (2 * t.cap) in
+    t.first_child <- Array.make c (-1);
+    t.next_sib <- Array.make c (-1);
+    t.prev_sib <- Array.make c (-1);
+    t.mark <- Array.make c 0;
+    t.epoch <- 0;
+    t.region <- Array.make c 0;
+    t.heap <- Indexed_heap.create c;
+    t.cap <- c
+  end
+
+let rebuild t =
+  t.tr <- Dijkstra.link_weighted t.graph t.src;
+  grow_aux t (Digraph.n t.graph);
+  build_children t
+
+let create ~graph ~mirror ~source =
+  let n = Digraph.n graph in
+  if Digraph.n mirror <> n then
+    invalid_arg "Dynamic_sssp.create: mirror size mismatch";
+  let tr = Dijkstra.link_weighted graph source in
+  let c = max n 1 in
+  let t =
+    {
+      graph;
+      mirror;
+      src = source;
+      tr;
+      cap = c;
+      first_child = Array.make c (-1);
+      next_sib = Array.make c (-1);
+      prev_sib = Array.make c (-1);
+      mark = Array.make c 0;
+      epoch = 0;
+      region = Array.make c 0;
+      n_region = 0;
+      heap = Indexed_heap.create c;
+    }
+  in
+  build_children t;
+  t
+
+(* Detach [x] from its parent's child list ([parent.(x)] still valid). *)
+let unlink t x =
+  let p = t.tr.Dijkstra.parent.(x) in
+  if p >= 0 then begin
+    let nx = t.next_sib.(x) and px = t.prev_sib.(x) in
+    if px >= 0 then t.next_sib.(px) <- nx else t.first_child.(p) <- nx;
+    if nx >= 0 then t.prev_sib.(nx) <- px;
+    t.next_sib.(x) <- -1;
+    t.prev_sib.(x) <- -1
+  end
+
+(* Set [parent.(x) <- p] and push [x] onto [p]'s child list ([x] must be
+   unlinked). *)
+let link_child t x p =
+  t.tr.Dijkstra.parent.(x) <- p;
+  if p >= 0 then begin
+    let h = t.first_child.(p) in
+    t.next_sib.(x) <- h;
+    t.prev_sib.(x) <- -1;
+    if h >= 0 then t.prev_sib.(h) <- x;
+    t.first_child.(p) <- x
+  end
+
+let reparent t x p =
+  unlink t x;
+  link_child t x p
+
+(* Node growth ([Digraph.add_node]): extend the tree arrays to exactly
+   the new node count (payment code copies [tree.dist] whole, so the
+   arrays must never be oversized). *)
+let grow_tree t n =
+  let old = Array.length t.tr.Dijkstra.dist in
+  if n > old then begin
+    let dist = Array.make n infinity and parent = Array.make n (-1) in
+    Array.blit t.tr.Dijkstra.dist 0 dist 0 old;
+    Array.blit t.tr.Dijkstra.parent 0 parent 0 old;
+    t.tr <- { Dijkstra.source = t.src; dist; parent };
+    let cap_before = t.cap in
+    grow_aux t n;
+    (* a capacity bump replaces the sibling arrays wholesale: re-derive
+       the child lists from the (unchanged) parent array *)
+    if t.cap <> cap_before then build_children t
+  end
+
+type outcome =
+  | Patched of { region : int }
+  | Rebuilt of { reason : [ `Region | `Tie ] }
+
+(* [y] keeps its label and its parent [x], which just re-derived it at a
+   bit-equal candidate.  The from-scratch parent only flips to another
+   predecessor [z] if [z] attains the same label AND settles before [x]
+   — possible only when [dist z] ties [dist x] bit for bit (pop order
+   respects distances strictly otherwise).  Region predecessors are
+   checked when they settle; intact ones are checked here. *)
+let check_attainer_tie t d x y =
+  let dy = d.(y) and dx = d.(x) in
+  Array.iter
+    (fun (z, w) ->
+      if
+        z <> x
+        && t.mark.(z) <> t.epoch
+        && d.(z) < infinity
+        && Float.equal (d.(z) +. w) dy
+        && Float.equal d.(z) dx
+      then raise Tie)
+    (Digraph.out_links t.mirror y)
+
+let apply ?budget t edits =
+  let n = Digraph.n t.graph in
+  grow_tree t n;
+  let budget = match budget with Some b -> b | None -> default_budget n in
+  let d = t.tr.Dijkstra.dist and par = t.tr.Dijkstra.parent in
+  t.epoch <- t.epoch + 1;
+  t.n_region <- 0;
+  while not (Indexed_heap.is_empty t.heap) do
+    ignore (Indexed_heap.pop_min t.heap)
+  done;
+  let edits = List.filter (fun e -> not (Float.equal e.w0 e.w1)) edits in
+  let marked x = t.mark.(x) = t.epoch in
+  let mark_node x =
+    if not (marked x) then begin
+      if t.n_region >= budget then raise Overflow;
+      t.mark.(x) <- t.epoch;
+      t.region.(t.n_region) <- x;
+      t.n_region <- t.n_region + 1
+    end
+  in
+  try
+    (* 1. orphan the subtree under every risen/deleted tree link *)
+    let stack = ref [] in
+    List.iter
+      (fun e ->
+        if e.w1 > e.w0 && par.(e.v) = e.u && not (marked e.v) then begin
+          stack := [ e.v ];
+          while !stack <> [] do
+            match !stack with
+            | [] -> ()
+            | x :: rest ->
+              stack := rest;
+              if not (marked x) then begin
+                mark_node x;
+                let c = ref t.first_child.(x) in
+                while !c >= 0 do
+                  stack := !c :: !stack;
+                  c := t.next_sib.(!c)
+                done
+              end
+          done
+        end)
+      edits;
+    let n_orphans = t.n_region in
+    for k = 0 to n_orphans - 1 do
+      let x = t.region.(k) in
+      unlink t x;
+      par.(x) <- -1;
+      d.(x) <- infinity
+    done;
+    (* 2. reseed each orphan from the intact boundary; two bit-equal
+       best candidates mean the from-scratch parent depends on
+       settlement order — fall back *)
+    for k = 0 to n_orphans - 1 do
+      let x = t.region.(k) in
+      let best = ref infinity and best_p = ref (-1) and tied = ref false in
+      Array.iter
+        (fun (p, w) ->
+          if not (marked p) then begin
+            let dp = d.(p) in
+            if dp < infinity then begin
+              let cand = dp +. w in
+              if cand < !best then begin
+                best := cand;
+                best_p := p;
+                tied := false
+              end
+              else if Float.equal cand !best then tied := true
+            end
+          end)
+        (Digraph.out_links t.mirror x);
+      if !best < infinity then begin
+        if !tied then raise Tie;
+        d.(x) <- !best;
+        link_child t x !best_p;
+        Indexed_heap.insert_or_decrease t.heap x !best
+      end
+    done;
+    (* 3. dropped links whose tail kept its label *)
+    List.iter
+      (fun e ->
+        if e.w1 < e.w0 && (not (marked e.u)) && d.(e.u) < infinity then begin
+          let cand = d.(e.u) +. e.w1 in
+          if cand < d.(e.v) then begin
+            d.(e.v) <- cand;
+            reparent t e.v e.u;
+            Indexed_heap.insert_or_decrease t.heap e.v cand
+          end
+          else if Float.equal cand d.(e.v) && par.(e.v) <> e.u then raise Tie
+        end)
+      edits;
+    (* 4. bounded-frontier Dijkstra with tie detection *)
+    while not (Indexed_heap.is_empty t.heap) do
+      let x, dx = Indexed_heap.pop_min t.heap in
+      if Float.equal dx d.(x) then begin
+        mark_node x;
+        Array.iter
+          (fun (y, w) ->
+            let cand = dx +. w in
+            if cand < d.(y) then begin
+              d.(y) <- cand;
+              reparent t y x;
+              Indexed_heap.insert_or_decrease t.heap y cand
+            end
+            else if Float.equal cand d.(y) then
+              if par.(y) <> x then raise Tie
+              else if not (marked y) then check_attainer_tie t d x y)
+          (Digraph.out_links t.graph x)
+      end
+    done;
+    Patched { region = t.n_region }
+  with
+  | Overflow ->
+    rebuild t;
+    Rebuilt { reason = `Region }
+  | Tie ->
+    rebuild t;
+    Rebuilt { reason = `Tie }

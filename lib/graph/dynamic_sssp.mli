@@ -1,0 +1,138 @@
+(** Incremental/decremental single-source shortest-path repair.
+
+    After a burst of link edits, the nodes whose distance (or tree
+    parent) actually changes — the {e affected region} — is typically
+    tiny compared to [n] (Ramalingam–Reps; Demetrescu–Italiano), so
+    patching the region beats rerunning Dijkstra from scratch.  This
+    module offers the two repairs the session engine needs:
+
+    - {!apply}: repair a full shortest-path {e tree} (distances and
+      parents) over a mutable {!Digraph} — the session's shared
+      reversed SPT;
+    - {!repair_dist}/{!repair_node_dist}: repair a caller-owned
+      distance-only array (no parents) — the session's per-relay
+      avoidance caches.
+
+    {b Exactness contract.}  A successful repair leaves the structure
+    {e bit-identical} ([Float.equal] on every distance, [=] on every
+    parent) to a from-scratch {!Dijkstra} run on the current graph.
+    Distance-only repair achieves this unconditionally: distances are
+    minima of the same float sums whichever path realises them.  Tree
+    repair additionally fixes parents, whose from-scratch values depend
+    on Dijkstra's settlement order when several predecessors tie
+    bit-for-bit; whenever such a tie could make the repaired parent
+    diverge, the repair {e detects it and falls back} to a from-scratch
+    run instead of guessing.  Both repairs also fall back (or report
+    {e overflow}) when the affected region exceeds a size budget, so the
+    worst case stays a single full Dijkstra.
+
+    {b Affected-region bound.}  A repair touches O(|R| + deg(R)·log|R|)
+    work where [R] is the affected region and [deg(R)] the total degree
+    of its nodes (each region node is scanned over its in-links once and
+    its out-links once per settlement).
+
+    All operations assume {e non-negative} weights, as {!Dijkstra}
+    does. *)
+
+type edit = { u : int; v : int; w0 : float; w1 : float }
+(** The link [u -> v] {e of the searched graph} changed from weight
+    [w0] to [w1] ([infinity] = absent, so insertions have
+    [w0 = infinity] and deletions [w1 = infinity]).  Edits must be
+    {e net} changes (already folded per link, [w0 <> w1] up to
+    [Float.equal]) and must describe mutations {e already applied} to
+    the graph (and its mirror). *)
+
+val default_budget : int -> int
+(** [default_budget n] is the region-size threshold used when [?budget]
+    is omitted: beyond it, repair falls back to a from-scratch run. *)
+
+(** {1 Tree repair} *)
+
+type t
+(** A repair state owning a shortest-path tree over a digraph it
+    {e aliases} (the caller keeps mutating the graph; the state patches
+    the tree to follow).  Single-owner, not thread-safe. *)
+
+val create : graph:Digraph.t -> mirror:Digraph.t -> source:int -> t
+(** [create ~graph ~mirror ~source] computes the initial tree with a
+    full Dijkstra over [graph] from [source].  [mirror] must be the
+    reverse of [graph] and must be kept in lockstep by the caller (the
+    repair scans in-links through it).
+    @raise Invalid_argument if [source] is out of range. *)
+
+val tree : t -> Dijkstra.tree
+(** The current tree.  Valid until the next {!apply}/{!rebuild}; treat
+    as read-only. *)
+
+val source : t -> int
+
+type outcome =
+  | Patched of { region : int }
+      (** Repair succeeded; [region] nodes were re-examined (0 when the
+          edits provably touched nothing). *)
+  | Rebuilt of { reason : [ `Region | `Tie ] }
+      (** Repair fell back to a full Dijkstra: the affected region
+          exceeded the budget, or a bit-for-bit tie made the repaired
+          parents potentially diverge from the from-scratch order. *)
+
+val apply : ?budget:int -> t -> edit list -> outcome
+(** [apply t edits] patches the tree after [edits] (already applied to
+    the graph and mirror by the caller).  Handles weight changes,
+    insertions, deletions, and node growth ([Digraph.add_node]: the
+    state resizes itself).  Postcondition either way: the tree equals
+    [Dijkstra.link_weighted graph source] bit for bit. *)
+
+val rebuild : t -> unit
+(** Unconditional from-scratch recompute (the fallback path, callable
+    directly — e.g. when the caller lost track of the deltas). *)
+
+(** {1 Distance-only repair} *)
+
+type dist_scratch
+(** Reusable workspace (heap, epoch marks, region log) for
+    {!repair_dist}/{!repair_node_dist}.  Single-owner: one concurrent
+    repair per scratch — give each {!Wnet_par} participant its own. *)
+
+val make_dist_scratch : int -> dist_scratch
+(** [make_dist_scratch cap] accepts graphs of at most [cap] nodes. *)
+
+val dist_scratch_capacity : dist_scratch -> int
+
+val repair_dist :
+  dist_scratch ->
+  ?budget:int ->
+  ?forbidden:int ->
+  graph:Digraph.t ->
+  mirror:Digraph.t ->
+  source:int ->
+  dist:float array ->
+  edit list ->
+  [ `Patched of int | `Overflow ]
+(** [repair_dist s ~graph ~mirror ~source ~dist edits] patches [dist] —
+    the distance array from [source] over [graph] with node [forbidden]
+    excluded from the search, exact {e before} the edits — so it is
+    exact {e after} them.  Links incident to [forbidden] are invisible,
+    matching [Dijkstra.link_weighted ~forbidden].  Returns [`Patched
+    region] on success.  On [`Overflow] (region exceeded the budget)
+    [dist] is {b left corrupted} and must be rebuilt from scratch.
+    @raise Invalid_argument if the graph exceeds the scratch capacity
+    or [dist] is shorter than the graph. *)
+
+type node_edit = { x : int; nbrs : int array; c0 : float; c1 : float }
+(** Node [x]'s relay cost changed from [c0] to [c1]; [nbrs] is [x]'s
+    adjacency at edit time (node-model bursts never change adjacency
+    between flushes, so the current neighbours serve). *)
+
+val repair_node_dist :
+  dist_scratch ->
+  ?budget:int ->
+  ?forbidden:int ->
+  graph:Graph.t ->
+  source:int ->
+  dist:float array ->
+  node_edit list ->
+  [ `Patched of int | `Overflow ]
+(** Node-weighted analogue of {!repair_dist}: [dist] is a
+    [Dijkstra.node_weighted ~forbidden] distance array from [source]
+    (leaving [source] is free, leaving any other node [x] costs its
+    relay cost).  Same contract and failure mode. *)

@@ -175,9 +175,9 @@ let print_response = function
   | Session_stats st ->
     Printf.sprintf
       "ok edits=%d coalesced=%d inval_passes=%d spt_runs=%d avoid_runs=%d \
-       avoid_reused=%d"
+       avoid_reused=%d repaired=%d fallbacks=%d"
       st.edits st.coalesced_edits st.inval_passes st.spt_runs st.avoid_runs
-      st.avoid_reused
+      st.avoid_reused st.repaired_entries st.fallback_recomputes
   | Server_stats
       {
         clients;
@@ -272,6 +272,7 @@ let parse_response line =
     let* total = float_tok "total" t in
     Ok (Paid { served; unbounded; total })
   | [ "ok"; a; b; c; d; e; f ] ->
+    (* pre-repair peers (wnet/1 servers) omit the repair counters *)
     let* edits = int_kv "edits" a in
     let* coalesced_edits = int_kv "coalesced" b in
     let* inval_passes = int_kv "inval_passes" c in
@@ -287,6 +288,29 @@ let parse_response line =
            spt_runs;
            avoid_runs;
            avoid_reused;
+           repaired_entries = 0;
+           fallback_recomputes = 0;
+         })
+  | [ "ok"; a; b; c; d; e; f; g; h ] ->
+    let* edits = int_kv "edits" a in
+    let* coalesced_edits = int_kv "coalesced" b in
+    let* inval_passes = int_kv "inval_passes" c in
+    let* spt_runs = int_kv "spt_runs" d in
+    let* avoid_runs = int_kv "avoid_runs" e in
+    let* avoid_reused = int_kv "avoid_reused" f in
+    let* repaired_entries = int_kv "repaired" g in
+    let* fallback_recomputes = int_kv "fallbacks" h in
+    Ok
+      (Session_stats
+         {
+           edits;
+           coalesced_edits;
+           inval_passes;
+           spt_runs;
+           avoid_runs;
+           avoid_reused;
+           repaired_entries;
+           fallback_recomputes;
          })
   | [ "server"; a; b; c; d; e; f; g; h ] ->
     let* clients = int_kv "clients" a in

@@ -21,26 +21,52 @@ type stats = {
   spt_runs : int;
   avoid_runs : int;
   avoid_reused : int;
+  repaired_entries : int;
+  fallback_recomputes : int;
 }
+
+(* Region-size histogram: bucket 0 holds empty regions, bucket [i >= 1]
+   holds sizes in [2^(i-1), 2^i). *)
+let hist_buckets = 24
+
+let hist_bucket r =
+  if r <= 0 then 0
+  else begin
+    let b = ref 1 and x = ref r in
+    while !x > 1 do
+      incr b;
+      x := !x lsr 1
+    done;
+    min !b (hist_buckets - 1)
+  end
 
 type t = {
   root : int;
   pool : Wnet_par.t;
+  dynamic : bool;
   g : Digraph.t;  (* forward topology, mutated in place *)
   rev : Digraph.t;  (* reversed mirror, kept in lockstep *)
-  mutable tree : Dijkstra.tree option;  (* shared SPT over [rev], from root *)
+  mutable dyn : Dynamic_sssp.t option;
+      (* dynamic mode: the shared SPT over [rev] as a patched structure;
+         exact for the current graph whenever the pending burst is empty *)
+  mutable tree : Dijkstra.tree option;  (* drop mode: live-or-die SPT *)
   mutable tree_version : int;
   mutable avoid : float array option array;
-      (* avoid.(k): root-side distances over [rev] with k forbidden, exact
-         for the *current* graph — every edit either proves an entry
-         unaffected (and patches it) or drops it. *)
-  mutable scratches : Dijkstra.scratch array;  (* one per pool participant *)
+      (* avoid.(k): root-side distances over [rev] with k forbidden.  In
+         drop mode an entry is either exact for the current graph or
+         [None].  In dynamic mode entries carry per-entry epochs: exact
+         iff [avoid_epoch.(k) = cache_epoch]; stale entries are kept but
+         never read (they are rebuilt from scratch on demand). *)
+  mutable avoid_epoch : int array;
+  mutable cache_epoch : int;  (* bumped once per invalidation pass *)
+  mutable scratches : Dijkstra.scratch array;  (* one per pool slot *)
+  mutable dscratches : Dynamic_sssp.dist_scratch array;  (* likewise *)
   mutable unbounded : int list;
   mutable last : (int * batch) option;  (* memoized batch, keyed by version *)
   pending : (int * int, float) Hashtbl.t;
       (* links cost-edited since the last flush, mapped to their weight
          *before* the burst; the graph itself is mutated eagerly, only
-         the cache invalidation is deferred and coalesced *)
+         the cache maintenance is deferred and coalesced *)
   mutable pending_order : (int * int) list;  (* insertion order, reversed *)
   mutable pending_edits : int;  (* set_cost calls buffered in this burst *)
   mutable edits : int;
@@ -49,22 +75,33 @@ type t = {
   mutable spt_runs : int;
   mutable avoid_runs : int;
   mutable avoid_reused : int;
+  mutable repaired_entries : int;
+  mutable fallback_recomputes : int;
+  region_hist : int array;
 }
 
-let create ?(pool = Wnet_par.sequential) ?(copy = true) g ~root =
+let create ?(pool = Wnet_par.sequential) ?(copy = true) ?(dynamic = true) g
+    ~root =
   let n = Digraph.n g in
   if root < 0 || root >= n then invalid_arg "Link_session.create: root out of range";
   let g = if copy then Digraph.copy g else g in
   {
     root;
     pool;
+    dynamic;
     g;
     rev = Digraph.reverse g;
+    dyn = None;
     tree = None;
     tree_version = -1;
     avoid = Array.make n None;
+    avoid_epoch = Array.make n (-1);
+    cache_epoch = 0;
     scratches =
       Array.init (Wnet_par.size pool) (fun _ -> Dijkstra.make_scratch n);
+    dscratches =
+      Array.init (Wnet_par.size pool) (fun _ ->
+          Dynamic_sssp.make_dist_scratch n);
     unbounded = [];
     last = None;
     pending = Hashtbl.create 16;
@@ -76,6 +113,9 @@ let create ?(pool = Wnet_par.sequential) ?(copy = true) g ~root =
     spt_runs = 0;
     avoid_runs = 0;
     avoid_reused = 0;
+    repaired_entries = 0;
+    fallback_recomputes = 0;
+    region_hist = Array.make hist_buckets 0;
   }
 
 let n t = Digraph.n t.g
@@ -86,16 +126,35 @@ let snapshot t = Digraph.copy t.g
 let stats t =
   { edits = t.edits; coalesced_edits = t.coalesced_edits;
     inval_passes = t.inval_passes; spt_runs = t.spt_runs;
-    avoid_runs = t.avoid_runs; avoid_reused = t.avoid_reused }
+    avoid_runs = t.avoid_runs; avoid_reused = t.avoid_reused;
+    repaired_entries = t.repaired_entries;
+    fallback_recomputes = t.fallback_recomputes }
 let unbounded_relays t = t.unbounded
 
+let region_histogram t =
+  let out = ref [] in
+  for b = hist_buckets - 1 downto 0 do
+    if t.region_hist.(b) > 0 then
+      let lo = if b = 0 then 0 else 1 lsl (b - 1) in
+      out := (lo, t.region_hist.(b)) :: !out
+  done;
+  !out
+
+let record_region t r =
+  t.region_hist.(hist_bucket r) <- t.region_hist.(hist_bucket r) + 1
+
 (* ------------------------------------------------------------------ *)
-(* Selective invalidation.
+(* Cache maintenance.
 
    Every cached array [d = avoid.(j)] is the distance-from-root array of
-   a Dijkstra over [rev] with [j] forbidden.  An edit keeps it exactly
-   valid when the edited links provably cannot lie on any root-side
-   shortest path of that search:
+   a Dijkstra over [rev] with [j] forbidden.  Dynamic mode hands the
+   burst's net link changes to {!Dynamic_sssp}, which patches each entry
+   in place (and the shared SPT, parents included) so it stays
+   bit-for-bit what a from-scratch run would produce; entries whose
+   affected region exceeds the budget go stale and are rebuilt from
+   scratch at the next {!payments}.  Drop mode (the PR 2/3 baseline,
+   [~dynamic:false]) instead tests each entry with a slack scan and
+   drops it whole on any possible contact:
 
    - for a rev-link [v -> u] whose weight drops to [w1], no distance
      changes iff the new relaxation does not improve [u]:
@@ -106,9 +165,9 @@ let unbounded_relays t = t.unbounded
    - links incident to the forbidden node [j], or leaving an unreachable
      tail ([d.(v) = infinity]), are invisible to the search.
 
-   The comparisons mirror the float arithmetic of the relaxation itself
+   Both modes mirror the float arithmetic of the relaxation itself
    ([d.(v) +. w]), so "unchanged" means bit-for-bit: the qcheck suite
-   holds these tests to [Float.equal] against a from-scratch oracle. *)
+   holds them to [Float.equal] against a from-scratch oracle. *)
 
 let mark_edit t =
   t.edits <- t.edits + 1;
@@ -120,16 +179,75 @@ let link_edit_keeps d ~v ~u ~w0 ~w1 =
   dv = infinity
   || (if w1 < w0 then d.(u) <= dv +. w1 else d.(u) < dv +. w0)
 
+(* Dynamic mode: patch the shared SPT after a burst of net rev-graph
+   edits.  A fallback (oversized region, or a bit-equal tie that could
+   flip a parent under from-scratch settlement order) costs one full
+   Dijkstra, same as drop mode's every on-tree edit. *)
+let repair_spt t redits =
+  match t.dyn with
+  | None -> ()  (* not built yet; the first payments call runs it fresh *)
+  | Some dy ->
+    (match Dynamic_sssp.apply dy redits with
+    | Dynamic_sssp.Patched { region } ->
+      t.repaired_entries <- t.repaired_entries + 1;
+      record_region t region
+    | Dynamic_sssp.Rebuilt _ ->
+      t.spt_runs <- t.spt_runs + 1;
+      t.fallback_recomputes <- t.fallback_recomputes + 1);
+    t.tree_version <- version t
+
+(* Dynamic mode: patch every currently-exact avoidance entry, fanned out
+   over the pool (disjoint entries, one repair scratch per slot).  An
+   [`Overflow] leaves the entry corrupted, so it is dropped and counted
+   as a fallback; everything else moves to the new epoch. *)
+let repair_avoid_entries t redits =
+  let fresh = ref [] in
+  Array.iteri
+    (fun j entry ->
+      match entry with
+      | Some _ when t.avoid_epoch.(j) = t.cache_epoch -> fresh := j :: !fresh
+      | _ -> ())
+    t.avoid;
+  let fresh = Array.of_list (List.rev !fresh) in
+  t.cache_epoch <- t.cache_epoch + 1;
+  let regions =
+    Wnet_par.map_array_pooled t.pool ~states:t.dscratches
+      (fun ds j ->
+        match t.avoid.(j) with
+        | Some d -> (
+          match
+            Dynamic_sssp.repair_dist ds ~forbidden:j ~graph:t.rev ~mirror:t.g
+              ~source:t.root ~dist:d redits
+          with
+          | `Patched r -> r
+          | `Overflow -> -1)
+        | None -> -1)
+      fresh
+  in
+  Array.iteri
+    (fun i j ->
+      let r = regions.(i) in
+      if r >= 0 then begin
+        t.avoid_epoch.(j) <- t.cache_epoch;
+        t.repaired_entries <- t.repaired_entries + 1;
+        record_region t r
+      end
+      else begin
+        t.avoid.(j) <- None;
+        t.fallback_recomputes <- t.fallback_recomputes + 1
+      end)
+    fresh
+
 (* Cost edits mutate the graph eagerly but defer the cache scan: the
    burst of edits accumulated since the last flush is folded into ONE
-   pass over the avoidance array, each surviving cache tested against
-   every *net* link change (first-recorded old weight vs. current
-   weight).  Folding to the net change is sound — and strictly keeps
-   more caches than per-edit scans: a kept drop means the new weight
-   improves nobody ([d.(u) <= d.(v) +. w1], so [d] stays a feasible
-   potential), a kept rise means the link was strictly slack at the old
-   weight (so no shortest path, not even a tie, ran through it), and an
-   edit reverted within the burst vanishes entirely. *)
+   pass over the avoidance array, each cache maintained against every
+   *net* link change (first-recorded old weight vs. current weight).
+   Folding to the net change is sound — and strictly keeps more caches
+   than per-edit passes: a kept drop means the new weight improves
+   nobody ([d.(u) <= d.(v) +. w1], so [d] stays a feasible potential), a
+   kept rise means the link was strictly slack at the old weight (so no
+   shortest path, not even a tie, ran through it), and an edit reverted
+   within the burst vanishes entirely. *)
 let flush t =
   if t.pending_edits > 0 then begin
     let net =
@@ -146,22 +264,32 @@ let flush t =
     t.pending_edits <- 0;
     if net <> [] then begin
       t.inval_passes <- t.inval_passes + 1;
-      Array.iteri
-        (fun j entry ->
-          match entry with
-          | Some d ->
-            if
-              not
-                (List.for_all
-                   (fun (u, v, w0, w1) ->
-                     (* the forward link u -> v is the rev-link v -> u;
-                        links incident to the forbidden node j are
-                        invisible to that search *)
-                     j = u || j = v || link_edit_keeps d ~v ~u ~w0 ~w1)
-                   net)
-            then t.avoid.(j) <- None
-          | None -> ())
-        t.avoid
+      if t.dynamic then begin
+        (* the forward link u -> v is the rev-link v -> u *)
+        let redits =
+          List.rev_map
+            (fun (u, v, w0, w1) -> { Dynamic_sssp.u = v; v = u; w0; w1 })
+            net
+        in
+        repair_spt t redits;
+        repair_avoid_entries t redits
+      end
+      else
+        Array.iteri
+          (fun j entry ->
+            match entry with
+            | Some d ->
+              if
+                not
+                  (List.for_all
+                     (fun (u, v, w0, w1) ->
+                       (* links incident to the forbidden node j are
+                          invisible to that search *)
+                       j = u || j = v || link_edit_keeps d ~v ~u ~w0 ~w1)
+                     net)
+              then t.avoid.(j) <- None
+            | None -> ())
+          t.avoid
     end
   end
 
@@ -186,32 +314,57 @@ let remove_node t k =
   (* rev out-links of k (forward links *into* k) can carry other nodes'
      root-side paths; capture them before detaching. *)
   let rev_out = Digraph.out_links t.rev k in
+  let fwd_out = if t.dynamic then Digraph.out_links t.g k else [||] in
   Digraph.detach_node t.g k;
   Digraph.detach_node t.rev k;
   mark_edit t;
   t.inval_passes <- t.inval_passes + 1;
-  t.avoid.(k) <- None;
-  Array.iteri
-    (fun j entry ->
-      match entry with
-      | Some d when j <> k ->
-        let dk = d.(k) in
-        let keeps =
-          dk = infinity
-          || Array.for_all
-               (fun (x, w) -> x = j || d.(x) < dk +. w)
-               rev_out
-        in
-        if keeps then d.(k) <- infinity (* k is now isolated *)
-        else t.avoid.(j) <- None
-      | _ -> ())
-    t.avoid
+  if t.dynamic then begin
+    (* every incident link deleted, expressed as rev-graph edits.  The
+       entry avoid.(k) itself survives untouched (and exact): links
+       incident to k are invisible to the k-forbidden search. *)
+    let redits =
+      Array.fold_left
+        (fun acc (u, w) ->
+          { Dynamic_sssp.u = k; v = u; w0 = w; w1 = infinity } :: acc)
+        [] rev_out
+    in
+    let redits =
+      Array.fold_left
+        (fun acc (y, w) ->
+          { Dynamic_sssp.u = y; v = k; w0 = w; w1 = infinity } :: acc)
+        redits fwd_out
+    in
+    repair_spt t redits;
+    repair_avoid_entries t redits
+  end
+  else begin
+    t.avoid.(k) <- None;
+    Array.iteri
+      (fun j entry ->
+        match entry with
+        | Some d when j <> k ->
+          let dk = d.(k) in
+          let keeps =
+            dk = infinity
+            || Array.for_all (fun (x, w) -> x = j || d.(x) < dk +. w) rev_out
+          in
+          if keeps then d.(k) <- infinity (* k is now isolated *)
+          else t.avoid.(j) <- None
+        | _ -> ())
+      t.avoid
+  end
 
 let grow_scratches t nn =
   if nn > Dijkstra.scratch_capacity t.scratches.(0) then
     t.scratches <-
       Array.init (Wnet_par.size t.pool) (fun _ ->
-          Dijkstra.make_scratch (max nn (2 * Dijkstra.scratch_capacity t.scratches.(0))))
+          Dijkstra.make_scratch (max nn (2 * Dijkstra.scratch_capacity t.scratches.(0))));
+  if nn > Dynamic_sssp.dist_scratch_capacity t.dscratches.(0) then
+    t.dscratches <-
+      Array.init (Wnet_par.size t.pool) (fun _ ->
+          Dynamic_sssp.make_dist_scratch
+            (max nn (2 * Dynamic_sssp.dist_scratch_capacity t.dscratches.(0))))
 
 let apply_links t id ~out ~inn =
   List.iter
@@ -229,17 +382,34 @@ let apply_links t id ~out ~inn =
       end)
     inn
 
-(* [id]'s links are freshly in place and every surviving cache currently
-   holds [d.(id) = infinity] (extended row, or a node isolated by
-   {!remove_node}).  [id]'s avoidance distance is one Bellman step over
-   its rev in-links (= forward out-links): all new links are incident to
-   [id], so the best root-side path ends with one of them and an
-   untouched prefix.  A cache survives iff [id]'s rev out-links improve
-   nobody (ties keep the minimum's bit pattern, so [<=] is exact). *)
+(* Dynamic mode: a freshly attached node's links, as rev-graph
+   insertions, read off the graph itself (so duplicates in the caller's
+   link lists fold away). *)
+let attach_redits t id =
+  let redits =
+    Array.fold_left
+      (fun acc (v, w) ->
+        { Dynamic_sssp.u = v; v = id; w0 = infinity; w1 = w } :: acc)
+      []
+      (Digraph.out_links t.g id)
+  in
+  Array.fold_left
+    (fun acc (u, w) ->
+      { Dynamic_sssp.u = id; v = u; w0 = infinity; w1 = w } :: acc)
+    redits
+    (Digraph.out_links t.rev id)
+
+(* Drop mode: [id]'s links are freshly in place and every surviving
+   cache currently holds [d.(id) = infinity] (extended row, or a node
+   isolated by {!remove_node}).  [id]'s avoidance distance is one
+   Bellman step over its rev in-links (= forward out-links): all new
+   links are incident to [id], so the best root-side path ends with one
+   of them and an untouched prefix.  A cache survives iff [id]'s rev
+   out-links improve nobody (ties keep the minimum's bit pattern, so
+   [<=] is exact). *)
 let patch_attached t id =
   let rev_in = Digraph.out_links t.g id (* (v, w): rev-link v -> id *) in
   let rev_out = Digraph.out_links t.rev id (* (u, w): rev-link id -> u *) in
-  t.inval_passes <- t.inval_passes + 1;
   Array.iteri
     (fun j entry ->
       match entry with
@@ -257,6 +427,15 @@ let patch_attached t id =
       | _ -> ())
     t.avoid
 
+let attach t id =
+  t.inval_passes <- t.inval_passes + 1;
+  if t.dynamic then begin
+    let redits = attach_redits t id in
+    repair_spt t redits;
+    repair_avoid_entries t redits
+  end
+  else patch_attached t id
+
 let check_attach_link ~what ~n ~self (x, w) =
   if x < 0 || x >= n || x = self then
     invalid_arg (what ^ ": link endpoint out of range");
@@ -271,21 +450,24 @@ let add_node t ~out ~inn =
   let id = Digraph.add_node t.g in
   let id' = Digraph.add_node t.rev in
   assert (id = id');
-  apply_links t id ~out ~inn;
-  mark_edit t;
   grow_scratches t (id + 1);
   let avoid = Array.make (id + 1) None in
+  let avoid_epoch = Array.make (id + 1) (-1) in
   Array.iteri
     (fun j entry ->
       match entry with
       | Some d ->
         let d' = Array.make (id + 1) infinity in
         Array.blit d 0 d' 0 old_n;
-        avoid.(j) <- Some d'
+        avoid.(j) <- Some d';
+        avoid_epoch.(j) <- t.avoid_epoch.(j)
       | None -> ())
     t.avoid;
   t.avoid <- avoid;
-  patch_attached t id;
+  t.avoid_epoch <- avoid_epoch;
+  apply_links t id ~out ~inn;
+  mark_edit t;
+  attach t id;
   id
 
 let rejoin_node t k ~out ~inn =
@@ -302,9 +484,12 @@ let rejoin_node t k ~out ~inn =
   apply_links t k ~out ~inn;
   mark_edit t;
   (* Surviving caches hold d.(k) = infinity — exactly the add_node
-     situation, minus the array extension. *)
-  t.avoid.(k) <- None;
-  patch_attached t k
+     situation, minus the array extension.  (Drop mode must forget
+     avoid.(k): the node's own entry was computed before it left.  It
+     is in fact still exact — k's links are invisible to the
+     k-forbidden search — which is why dynamic mode keeps it.) *)
+  if not t.dynamic then t.avoid.(k) <- None;
+  attach t k
 
 (* ------------------------------------------------------------------ *)
 (* The batch, assembled from caches.                                    *)
@@ -317,14 +502,39 @@ let relay_array is_relay =
   Array.of_list !l
 
 let shared_tree t =
-  match t.tree with
-  | Some tree when t.tree_version = version t -> tree
-  | _ ->
-    let tree = Dijkstra.link_weighted t.rev t.root in
-    t.tree <- Some tree;
-    t.tree_version <- version t;
-    t.spt_runs <- t.spt_runs + 1;
-    tree
+  if t.dynamic then begin
+    match t.dyn with
+    | Some dy ->
+      (* flush and the structural deltas keep the patched tree exact;
+         anything else would be a bookkeeping bug — recover loudly in
+         debug, silently in release *)
+      if t.tree_version <> version t then begin
+        Dynamic_sssp.rebuild dy;
+        t.spt_runs <- t.spt_runs + 1;
+        t.tree_version <- version t
+      end;
+      Dynamic_sssp.tree dy
+    | None ->
+      let dy = Dynamic_sssp.create ~graph:t.rev ~mirror:t.g ~source:t.root in
+      t.dyn <- Some dy;
+      t.tree_version <- version t;
+      t.spt_runs <- t.spt_runs + 1;
+      Dynamic_sssp.tree dy
+  end
+  else
+    match t.tree with
+    | Some tree when t.tree_version = version t -> tree
+    | _ ->
+      let tree = Dijkstra.link_weighted t.rev t.root in
+      t.tree <- Some tree;
+      t.tree_version <- version t;
+      t.spt_runs <- t.spt_runs + 1;
+      tree
+
+let entry_fresh t k =
+  match t.avoid.(k) with
+  | None -> false
+  | Some _ -> (not t.dynamic) || t.avoid_epoch.(k) = t.cache_epoch
 
 let payments t =
   match t.last with
@@ -344,7 +554,7 @@ let payments t =
     done;
     let relays = relay_array is_relay in
     let missing =
-      relay_array (Array.init nn (fun k -> is_relay.(k) && t.avoid.(k) = None))
+      relay_array (Array.init nn (fun k -> is_relay.(k) && not (entry_fresh t k)))
     in
     let dists =
       Wnet_par.map_array_pooled t.pool ~states:t.scratches
@@ -353,7 +563,11 @@ let payments t =
             t.rev t.root)
         missing
     in
-    Array.iteri (fun i k -> t.avoid.(k) <- Some dists.(i)) missing;
+    Array.iteri
+      (fun i k ->
+        t.avoid.(k) <- Some dists.(i);
+        t.avoid_epoch.(k) <- t.cache_epoch)
+      missing;
     t.avoid_runs <- t.avoid_runs + Array.length missing;
     t.avoid_reused <-
       t.avoid_reused + (Array.length relays - Array.length missing);

@@ -14,12 +14,17 @@
       alive across requests.
 
     The delta API ({!set_cost}, {!add_node}, {!remove_node}) updates
-    the graph in place and invalidates {e selectively}: a cached
-    [k]-avoiding distance array survives an edit whenever a constant- or
-    degree-time slack test proves the edited links cannot lie on any
-    root-side shortest path of that avoidance search.  A node join or
-    leave therefore costs one shared-tree Dijkstra plus only the
-    avoidance reruns that are provably necessary — not a full batch.
+    the graph in place and the caches follow by {e dynamic SSSP repair}
+    ({!Wnet_graph.Dynamic_sssp}): after each coalesced burst the shared
+    tree and every exact avoidance array are {e patched} over the
+    edit's affected region — typically a tiny bounded-frontier Dijkstra,
+    fanned out across the {!Wnet_par} pool — instead of being dropped
+    and recomputed whole.  Entries whose region exceeds the repair
+    budget (or whose parents hit a bit-equal tie, for the tree) fall
+    back to a from-scratch run, so the worst case never regresses past
+    the drop scheme.  [~dynamic:false] restores the PR 2/3 baseline:
+    per-entry slack tests that either prove an entry untouched or drop
+    it whole — the comparison row the bench keeps honest.
 
     {b Determinism contract:} after any edit sequence, {!payments} is
     bit-identical ([Float.equal], including [infinity] payments for
@@ -56,18 +61,34 @@ type stats = {
   inval_passes : int;
       (** passes over the avoidance-cache array: one per {!flush} with a
           non-empty net burst, one per join/leave/rejoin *)
-  spt_runs : int;  (** shared-tree Dijkstras *)
+  spt_runs : int;  (** shared-tree Dijkstras (initial build + fallbacks) *)
   avoid_runs : int;  (** avoidance Dijkstras actually run *)
   avoid_reused : int;  (** relay results served from cache *)
+  repaired_entries : int;
+      (** cache structures (shared tree or avoidance array) patched in
+          place by dynamic SSSP repair instead of recomputed *)
+  fallback_recomputes : int;
+      (** repair attempts that bailed to a from-scratch run: oversized
+          affected region, or a bit-equal tie that could flip a tree
+          parent *)
 }
 
-val create : ?pool:Wnet_par.t -> ?copy:bool -> Wnet_graph.Digraph.t -> root:int -> t
+val create :
+  ?pool:Wnet_par.t ->
+  ?copy:bool ->
+  ?dynamic:bool ->
+  Wnet_graph.Digraph.t ->
+  root:int ->
+  t
 (** [create g ~root] opens a session on [g].  With [~copy:true] (the
     default) the session deep-copies [g] and later edits never touch the
     caller's graph; [~copy:false] borrows it — the caller must neither
     mutate nor rely on it afterwards (used by the one-shot wrappers).
     [?pool] (default {!Wnet_par.sequential}) fans avoidance Dijkstras
     out over domains; every pool size yields bit-identical payments.
+    [~dynamic:false] (default [true]) disables dynamic SSSP repair and
+    restores drop-style invalidation — same payments, different cost
+    profile.
     @raise Invalid_argument if [root] is out of range. *)
 
 val n : t -> int
@@ -86,13 +107,13 @@ val snapshot : t -> Wnet_graph.Digraph.t
 val set_cost : t -> int -> int -> float -> unit
 (** [set_cost s u v w] sets the declared cost of link [u -> v]:
     update, insert, or remove ([w = infinity]).  The graph mutates
-    immediately (and the shared tree is recomputed lazily at the next
-    {!payments}), but the avoidance-cache invalidation is {e deferred}:
-    a burst of cost edits arriving before the next {!payments} (or
-    structural delta) is coalesced into one {!flush} pass that tests
-    each surviving cache against the burst's net link changes — instead
-    of one slack scan per edit.  Edits reverted within a burst cancel
-    out entirely.
+    immediately, but cache maintenance is {e deferred}: a burst of cost
+    edits arriving before the next {!payments} (or structural delta) is
+    coalesced into one {!flush} pass that repairs the shared tree and
+    each exact avoidance cache against the burst's net link changes —
+    one bounded repair per structure per burst, instead of one scan (or
+    recompute) per edit.  Edits reverted within a burst cancel out
+    entirely.
     @raise Invalid_argument as {!Wnet_graph.Digraph.set_weight}. *)
 
 val flush : t -> unit
@@ -145,3 +166,10 @@ val unbounded_relays : t -> int list
 
 val stats : t -> stats
 (** Cumulative work counters — the incremental-vs-batch ledger. *)
+
+val region_histogram : t -> (int * int) list
+(** Histogram of affected-region sizes over every successful repair
+    (shared tree and avoidance entries alike), as
+    [(class lower bound, count)] pairs with power-of-two size classes
+    [{0}, {1}, [2,4), [4,8), ...] — ascending, zero-count classes
+    omitted.  Empty under [~dynamic:false]. *)

@@ -14,17 +14,27 @@ type stats = {
   spt_runs : int;
   avoid_runs : int;
   avoid_reused : int;
+  repaired_entries : int;
+  fallback_recomputes : int;
 }
 
 type t = {
   root : int;
   pool : Wnet_par.t;
+  dynamic : bool;
   mutable g : Graph.t;  (* adjacency shared; cost vector swapped per edit *)
   mutable gver : int;  (* session-managed version stamp *)
   mutable tree : Dijkstra.tree option;
+      (* the node-weighted shared tree stays live-or-die in both modes:
+         Dynamic_sssp repairs link-weighted trees, and the node model's
+         tree is one Dijkstra per burst anyway — the per-relay avoidance
+         arrays are the expensive part, and those are patched *)
   mutable tree_version : int;
   mutable avoid : float array option array;
+  mutable avoid_epoch : int array;  (* dynamic mode: exact iff = cache_epoch *)
+  mutable cache_epoch : int;
   scratches : Dijkstra.scratch array;
+  dscratches : Dynamic_sssp.dist_scratch array;
   mutable unbounded : int list;
   mutable last : (int * outcome option array) option;
   pending : (int, float) Hashtbl.t;
@@ -38,21 +48,29 @@ type t = {
   mutable spt_runs : int;
   mutable avoid_runs : int;
   mutable avoid_reused : int;
+  mutable repaired_entries : int;
+  mutable fallback_recomputes : int;
 }
 
-let create ?(pool = Wnet_par.sequential) g ~root =
+let create ?(pool = Wnet_par.sequential) ?(dynamic = true) g ~root =
   let n = Graph.n g in
   if root < 0 || root >= n then invalid_arg "Node_session.create: root out of range";
   {
     root;
     pool;
+    dynamic;
     g;
     gver = 0;
     tree = None;
     tree_version = -1;
     avoid = Array.make n None;
+    avoid_epoch = Array.make n (-1);
+    cache_epoch = 0;
     scratches =
       Array.init (Wnet_par.size pool) (fun _ -> Dijkstra.make_scratch n);
+    dscratches =
+      Array.init (Wnet_par.size pool) (fun _ ->
+          Dynamic_sssp.make_dist_scratch n);
     unbounded = [];
     last = None;
     pending = Hashtbl.create 16;
@@ -64,6 +82,8 @@ let create ?(pool = Wnet_par.sequential) g ~root =
     spt_runs = 0;
     avoid_runs = 0;
     avoid_reused = 0;
+    repaired_entries = 0;
+    fallback_recomputes = 0;
   }
 
 let n t = Graph.n t.g
@@ -74,7 +94,9 @@ let version t = t.gver
 let stats t =
   { edits = t.edits; coalesced_edits = t.coalesced_edits;
     inval_passes = t.inval_passes; spt_runs = t.spt_runs;
-    avoid_runs = t.avoid_runs; avoid_reused = t.avoid_reused }
+    avoid_runs = t.avoid_runs; avoid_reused = t.avoid_reused;
+    repaired_entries = t.repaired_entries;
+    fallback_recomputes = t.fallback_recomputes }
 let unbounded_relays t = t.unbounded
 
 let mark_edit t =
@@ -99,14 +121,56 @@ let cost_edit_keeps d ~nbrs ~j ~x ~c0 ~c1 =
          || (if c1 < c0 then d.(w) <= dx +. c1 else d.(w) < dx +. c0))
        nbrs
 
-(* Deferred, coalesced invalidation: cost edits swap the cost vector
-   eagerly, the cache scan waits for the next flush and tests each
-   surviving cache against every *net* node-cost change in one pass
-   (same soundness argument as the link model: a kept decrease improves
-   no relaxation target, a kept increase was strictly slack, a reverted
-   edit vanishes).  Adjacency never changes between flushes — the
-   structural delta ({!remove_node}) flushes first — so neighbour sets
-   read at flush time are the ones every buffered edit saw. *)
+(* Dynamic mode: patch every currently-exact avoidance entry against the
+   burst's net node-cost edits, fanned out over the pool.  An
+   [`Overflow] leaves the entry corrupted: drop it and count a
+   fallback. *)
+let repair_avoid_entries t nedits =
+  let fresh = ref [] in
+  Array.iteri
+    (fun j entry ->
+      match entry with
+      | Some _ when t.avoid_epoch.(j) = t.cache_epoch -> fresh := j :: !fresh
+      | _ -> ())
+    t.avoid;
+  let fresh = Array.of_list (List.rev !fresh) in
+  t.cache_epoch <- t.cache_epoch + 1;
+  let regions =
+    Wnet_par.map_array_pooled t.pool ~states:t.dscratches
+      (fun ds j ->
+        match t.avoid.(j) with
+        | Some d -> (
+          match
+            Dynamic_sssp.repair_node_dist ds ~forbidden:j ~graph:t.g
+              ~source:t.root ~dist:d nedits
+          with
+          | `Patched r -> r
+          | `Overflow -> -1)
+        | None -> -1)
+      fresh
+  in
+  Array.iteri
+    (fun i j ->
+      if regions.(i) >= 0 then begin
+        t.avoid_epoch.(j) <- t.cache_epoch;
+        t.repaired_entries <- t.repaired_entries + 1
+      end
+      else begin
+        t.avoid.(j) <- None;
+        t.fallback_recomputes <- t.fallback_recomputes + 1
+      end)
+    fresh
+
+(* Deferred, coalesced maintenance: cost edits swap the cost vector
+   eagerly, the cache pass waits for the next flush and handles each
+   surviving cache against every *net* node-cost change in one go —
+   dynamic-repairing it in place, or (drop mode) testing the slack
+   conditions and dropping it whole (same soundness argument as the
+   link model: a kept decrease improves no relaxation target, a kept
+   increase was strictly slack, a reverted edit vanishes).  Adjacency
+   never changes between flushes — the structural delta
+   ({!remove_node}) flushes first — so neighbour sets read at flush
+   time are the ones every buffered edit saw. *)
 let flush t =
   if t.pending_edits > 0 then begin
     let net =
@@ -123,19 +187,25 @@ let flush t =
     t.pending_edits <- 0;
     if net <> [] then begin
       t.inval_passes <- t.inval_passes + 1;
-      Array.iteri
-        (fun j entry ->
-          match entry with
-          | Some d ->
-            if
-              not
-                (List.for_all
-                   (fun (x, nbrs, c0, c1) ->
-                     j = x || cost_edit_keeps d ~nbrs ~j ~x ~c0 ~c1)
-                   net)
-            then t.avoid.(j) <- None
-          | None -> ())
-        t.avoid
+      if t.dynamic then
+        repair_avoid_entries t
+          (List.map
+             (fun (x, nbrs, c0, c1) -> { Dynamic_sssp.x; nbrs; c0; c1 })
+             net)
+      else
+        Array.iteri
+          (fun j entry ->
+            match entry with
+            | Some d ->
+              if
+                not
+                  (List.for_all
+                     (fun (x, nbrs, c0, c1) ->
+                       j = x || cost_edit_keeps d ~nbrs ~j ~x ~c0 ~c1)
+                     net)
+              then t.avoid.(j) <- None
+            | None -> ())
+          t.avoid
     end
   end
 
@@ -166,16 +236,32 @@ let remove_node t x =
   t.g <- Graph.remove_node t.g x;
   mark_edit t;
   t.inval_passes <- t.inval_passes + 1;
-  t.avoid.(x) <- None;
-  Array.iteri
-    (fun j entry ->
-      match entry with
-      | Some d when j <> x ->
-        if cost_edit_keeps d ~nbrs ~j ~x ~c0 ~c1:infinity then
-          d.(x) <- infinity (* x is now isolated *)
-        else t.avoid.(j) <- None
-      | _ -> ())
-    t.avoid
+  if t.dynamic then begin
+    (* as a cost edit to infinity: no search relays x any more.  The
+       entry avoid.(x) itself stays exact (x is invisible to its own
+       search); the others are repaired, then x's now-adjacencyless
+       label is forced to the from-scratch value. *)
+    repair_avoid_entries t
+      [ { Dynamic_sssp.x; nbrs; c0; c1 = infinity } ];
+    Array.iteri
+      (fun j entry ->
+        match entry with
+        | Some d when t.avoid_epoch.(j) = t.cache_epoch -> d.(x) <- infinity
+        | _ -> ())
+      t.avoid
+  end
+  else begin
+    t.avoid.(x) <- None;
+    Array.iteri
+      (fun j entry ->
+        match entry with
+        | Some d when j <> x ->
+          if cost_edit_keeps d ~nbrs ~j ~x ~c0 ~c1:infinity then
+            d.(x) <- infinity (* x is now isolated *)
+          else t.avoid.(j) <- None
+        | _ -> ())
+      t.avoid
+  end
 
 let relay_array is_relay =
   let l = ref [] in
@@ -194,6 +280,11 @@ let shared_tree t =
     t.spt_runs <- t.spt_runs + 1;
     tree
 
+let entry_fresh t k =
+  match t.avoid.(k) with
+  | None -> false
+  | Some _ -> (not t.dynamic) || t.avoid_epoch.(k) = t.cache_epoch
+
 let payments t =
   match t.last with
   | Some (v, results) when v = t.gver -> results
@@ -211,7 +302,7 @@ let payments t =
     done;
     let relays = relay_array is_relay in
     let missing =
-      relay_array (Array.init nn (fun k -> is_relay.(k) && t.avoid.(k) = None))
+      relay_array (Array.init nn (fun k -> is_relay.(k) && not (entry_fresh t k)))
     in
     let dists =
       Wnet_par.map_array_pooled t.pool ~states:t.scratches
@@ -220,7 +311,11 @@ let payments t =
             ~source:t.root)
         missing
     in
-    Array.iteri (fun i k -> t.avoid.(k) <- Some dists.(i)) missing;
+    Array.iteri
+      (fun i k ->
+        t.avoid.(k) <- Some dists.(i);
+        t.avoid_epoch.(k) <- t.cache_epoch)
+      missing;
     t.avoid_runs <- t.avoid_runs + Array.length missing;
     t.avoid_reused <-
       t.avoid_reused + (Array.length relays - Array.length missing);

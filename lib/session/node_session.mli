@@ -7,9 +7,13 @@
     serve to-root queries), the per-relay avoidance-distance cache, a
     {!Wnet_par} pool and per-domain Dijkstra scratches.  Deltas are a
     node's declared cost changing ({!set_cost}) and a node leaving
-    ({!remove_node}); each invalidates a cached [k]-avoiding array only
-    when a degree-time slack test over the edited node's relaxations
-    fails to prove it untouched.
+    ({!remove_node}); each coalesced burst {e repairs} every exact
+    [k]-avoiding array in place over its affected region
+    ({!Wnet_graph.Dynamic_sssp.repair_node_dist}), falling back to a
+    from-scratch rerun when the region exceeds the budget.  The shared
+    node-weighted tree stays live-or-die (it is one Dijkstra per burst;
+    the per-relay arrays are the expensive part).  [~dynamic:false]
+    restores the drop-style slack tests of PR 3.
 
     {b Determinism contract:} {!payments} after any edit sequence is
     bit-identical ([Float.equal], identical paths) to a from-scratch
@@ -35,12 +39,19 @@ type stats = {
   spt_runs : int;
   avoid_runs : int;
   avoid_reused : int;
+  repaired_entries : int;
+      (** avoidance arrays patched in place by dynamic SSSP repair *)
+  fallback_recomputes : int;
+      (** repair attempts that bailed (oversized affected region) *)
 }
 
-val create : ?pool:Wnet_par.t -> Wnet_graph.Graph.t -> root:int -> t
+val create :
+  ?pool:Wnet_par.t -> ?dynamic:bool -> Wnet_graph.Graph.t -> root:int -> t
 (** [create g ~root] opens a session on [g].  [Graph.t] is immutable,
     so the session shares the adjacency structure and swaps cost
-    vectors; the caller's graph is never affected.
+    vectors; the caller's graph is never affected.  [~dynamic:false]
+    (default [true]) disables in-place cache repair in favour of
+    drop-style invalidation.
     @raise Invalid_argument if [root] is out of range. *)
 
 val n : t -> int

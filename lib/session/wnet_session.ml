@@ -10,6 +10,8 @@ type stats = Link_session.stats = {
   spt_runs : int;
   avoid_runs : int;
   avoid_reused : int;
+  repaired_entries : int;
+  fallback_recomputes : int;
 }
 
 type delta =
@@ -95,6 +97,8 @@ let make ?(pool = Wnet_par.sequential) ~root g =
           spt_runs = st.NS.spt_runs;
           avoid_runs = st.NS.avoid_runs;
           avoid_reused = st.NS.avoid_reused;
+          repaired_entries = st.NS.repaired_entries;
+          fallback_recomputes = st.NS.fallback_recomputes;
         }
     end : S)
   | `Link g ->

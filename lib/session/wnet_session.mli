@@ -27,6 +27,8 @@ type stats = Link_session.stats = {
   spt_runs : int;
   avoid_runs : int;
   avoid_reused : int;
+  repaired_entries : int;
+  fallback_recomputes : int;
 }
 (** The unified work ledger (the node engine's counters are converted
     into the same record). *)

@@ -63,11 +63,28 @@ grep -q '^server clients=1'                "$OUT" || fail "missing server counte
 grep -q '^conn requests=4'                 "$OUT" || fail "missing conn counters"
 grep -q '^bye$'                            "$OUT" || fail "quit not answered with bye"
 
+# A second client packs its edits with --batch: four cost lines leave in
+# one socket write, land at the server inside one read, and must
+# coalesce into a single invalidation pass (inval_passes 1 -> 2).
+$UNICAST client --socket "$SOCK" --batch 8 > "$OUT.batch" <<'EOF'
+cost 3 5.0
+cost 5 2.5
+cost 7 8.0
+cost 9 1.25
+pay
+stats
+quit
+EOF
+
+grep -q '^ok edits=5 coalesced=5 inval_passes=2' "$OUT.batch" \
+  || fail "--batch edits did not coalesce into one invalidation pass"
+grep -q '^bye$' "$OUT.batch" || fail "batch client quit not answered"
+
 # Graceful shutdown: SIGINT must drain and exit 0, removing the socket.
 kill -INT "$SERVER_PID"
 wait "$SERVER_PID" || fail "server did not exit cleanly on SIGINT"
 SERVER_PID=""
 [ ! -S "$SOCK" ] || fail "socket file left behind"
-grep -q '^served 1 client(s)' "$SERVER_LOG" || fail "final counters not printed"
+grep -q '^served 2 client(s)' "$SERVER_LOG" || fail "final counters not printed"
 
 echo "smoke_server: OK"

@@ -51,7 +51,7 @@ let count_gen = Gen.int_range 0 100000
 let stats_gen =
   Gen.map3
     (fun (edits, coalesced_edits) (inval_passes, spt_runs)
-         (avoid_runs, avoid_reused) ->
+         ((avoid_runs, avoid_reused), (repaired_entries, fallback_recomputes)) ->
       {
         W.edits;
         coalesced_edits;
@@ -59,10 +59,12 @@ let stats_gen =
         spt_runs;
         avoid_runs;
         avoid_reused;
+        repaired_entries;
+        fallback_recomputes;
       })
     (Gen.pair count_gen count_gen)
     (Gen.pair count_gen count_gen)
-    (Gen.pair count_gen count_gen)
+    (Gen.pair (Gen.pair count_gen count_gen) (Gen.pair count_gen count_gen))
 
 let response_gen =
   Gen.oneof

@@ -144,11 +144,17 @@ let link_equiv_prop seed =
   Par.with_pool ~domains:3 (fun pool ->
       let s_seq = LS.create g ~root:0 in
       let s_par = LS.create ~pool g ~root:0 in
+      let s_drop = LS.create ~pool ~dynamic:false g ~root:0 in
       let check label =
         let b_seq = LS.payments s_seq in
         let b_par = LS.payments s_par in
+        let b_drop = LS.payments s_drop in
         if not (link_batches_equal b_seq b_par) then
           QCheck2.Test.fail_reportf "%s: pooled batch differs from sequential"
+            label;
+        if not (link_batches_equal b_seq b_drop) then
+          QCheck2.Test.fail_reportf
+            "%s: dynamic-repair batch differs from drop-invalidation batch"
             label;
         let oracle =
           LC.all_to_root ~strategy:LC.Copy_graph (LS.snapshot s_seq) ~root:0
@@ -161,10 +167,13 @@ let link_equiv_prop seed =
           QCheck2.Test.fail_reportf "%s: unbounded relay set differs" label
       in
       check "initial";
-      let r_seq = Rng.create oseed and r_par = Rng.create oseed in
+      let r_seq = Rng.create oseed
+      and r_par = Rng.create oseed
+      and r_drop = Rng.create oseed in
       for i = 1 to nops do
         apply_random_op r_seq s_seq;
         apply_random_op r_par s_par;
+        apply_random_op r_drop s_drop;
         check (Printf.sprintf "after op %d" i)
       done;
       true)
@@ -230,11 +239,17 @@ let node_equiv_prop seed =
   Par.with_pool ~domains:3 (fun pool ->
       let s_seq = NS.create g ~root:0 in
       let s_par = NS.create ~pool g ~root:0 in
+      let s_drop = NS.create ~pool ~dynamic:false g ~root:0 in
       let check label =
         let a = NS.payments s_seq in
         let b = NS.payments s_par in
+        let c = NS.payments s_drop in
         if not (node_sessions_equal a b) then
           QCheck2.Test.fail_reportf "%s: pooled batch differs from sequential"
+            label;
+        if not (node_sessions_equal a c) then
+          QCheck2.Test.fail_reportf
+            "%s: dynamic-repair batch differs from drop-invalidation batch"
             label;
         let oracle = U.all_to_root (NS.graph s_seq) ~root:0 in
         if not (node_matches a oracle) then
@@ -244,10 +259,13 @@ let node_equiv_prop seed =
           QCheck2.Test.fail_reportf "%s: unbounded relay set differs" label
       in
       check "initial";
-      let r_seq = Rng.create oseed and r_par = Rng.create oseed in
+      let r_seq = Rng.create oseed
+      and r_par = Rng.create oseed
+      and r_drop = Rng.create oseed in
       for i = 1 to nops do
         apply_random_node_op r_seq s_seq;
         apply_random_node_op r_par s_par;
+        apply_random_node_op r_drop s_drop;
         check (Printf.sprintf "after op %d" i)
       done;
       true)
@@ -298,14 +316,41 @@ let test_selective_invalidation () =
     st1.LS.avoid_runs st2.LS.avoid_runs;
   Alcotest.(check int) "slack edit serves both relays from cache"
     (st1.LS.avoid_reused + 2) st2.LS.avoid_reused;
-  Alcotest.(check int) "shared tree recomputed once" (st1.LS.spt_runs + 1)
+  Alcotest.(check int) "shared tree patched, not recomputed" st1.LS.spt_runs
     st2.LS.spt_runs;
+  Alcotest.(check int) "tree and both caches repaired in place"
+    (st1.LS.repaired_entries + 3) st2.LS.repaired_entries;
+  Alcotest.(check int) "no repair fell back" st1.LS.fallback_recomputes
+    st2.LS.fallback_recomputes;
   Alcotest.(check bool) "repeat batch is memoized" true (b == LS.payments s);
   Alcotest.(check int) "memoized batch does no work" st2.LS.avoid_reused
     (LS.stats s).LS.avoid_reused;
   (* the incremental answer is still the from-scratch answer *)
   let oracle = LC.all_to_root ~strategy:LC.Copy_graph (LS.snapshot s) ~root:0 in
   Alcotest.(check bool) "still matches the oracle" true
+    (link_matches_oracle b oracle)
+
+(* Inserting forward link 3 -> 2 gives node 3 a second root-side path of
+   bit-identical cost 2.0 with a different next hop: from-scratch
+   settlement order decides the tree parent, so the repair must detect
+   the tie and fall back to a full Dijkstra — and the payments must
+   still match the oracle. *)
+let test_tie_triggers_fallback () =
+  let g =
+    Digraph.create ~n:4 ~links:[ (1, 0, 1.0); (3, 1, 1.0); (2, 0, 1.0) ]
+  in
+  let s = LS.create g ~root:0 in
+  ignore (LS.payments s);
+  let st1 = LS.stats s in
+  LS.set_cost s 3 2 1.0;
+  let b = LS.payments s in
+  let st2 = LS.stats s in
+  Alcotest.(check int) "tie detected: one repair fell back"
+    (st1.LS.fallback_recomputes + 1) st2.LS.fallback_recomputes;
+  Alcotest.(check int) "the fallback recomputed the shared tree"
+    (st1.LS.spt_runs + 1) st2.LS.spt_runs;
+  let oracle = LC.all_to_root ~strategy:LC.Copy_graph (LS.snapshot s) ~root:0 in
+  Alcotest.(check bool) "payments still match the oracle after fallback" true
     (link_matches_oracle b oracle)
 
 (* Chain 2 -> 1 -> 0: relay 1 is a monopoly (cut vertex), so its payment
@@ -463,6 +508,8 @@ let suite =
     Alcotest.test_case "digraph in-place mutation" `Quick test_digraph_mutation;
     Alcotest.test_case "slack edit keeps caches + memoization" `Quick
       test_selective_invalidation;
+    Alcotest.test_case "bit-equal tie triggers repair fallback" `Quick
+      test_tie_triggers_fallback;
     Alcotest.test_case "cut-vertex tracking across edits" `Quick
       test_cut_vertex_tracking;
     Alcotest.test_case "leave/rejoin round-trip is bitwise" `Quick
