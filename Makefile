@@ -1,4 +1,4 @@
-.PHONY: all test bench smoke check experiments full clean
+.PHONY: all test bench smoke check check-quick experiments full clean
 
 all:
 	dune build @all
@@ -26,6 +26,12 @@ smoke:
 # The whole bar: build, tier-1 tests, socket smoke, then the gated
 # benchmark run.
 check: all test smoke bench
+
+# The fast bar for CI and pre-push: build, tier-1 tests, and the socket
+# smoke — everything deterministic, nothing wall-clock-gated.  The
+# timing-sensitive `bench` gate stays out: it needs a quiet machine and
+# a previous BENCH_latest.json to compare against.
+check-quick: all test smoke
 
 experiments:
 	dune exec bench/main.exe -- experiments

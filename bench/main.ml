@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- batch        batch payment engine: seq vs parallel
      dune exec bench/main.exe -- session      incremental session vs full batch
      dune exec bench/main.exe -- server       coalesced delta bursts vs eager flushes
+     dune exec bench/main.exe -- secondpath   Yen gap study: seq vs stolen spur tasks
      dune exec bench/main.exe -- experiments  every Figure 3 panel + studies
      dune exec bench/main.exe -- full         paper-scale experiments (100 instances)
 
@@ -16,7 +17,10 @@
    zero-copy avoidance — at n in {100, 200, 400, 800}.  The session suite
    times single-edit incremental recomputes against from-scratch batches
    at the same sizes; the server suite times a coalesced k-edit burst
-   (one invalidation pass) against k eager single-edit flushes.  With
+   (one invalidation pass) against k eager single-edit flushes; the
+   second-path suite times the Yen-dominated gap study sequentially vs
+   with spur tasks fanned out through the work-stealing scheduler, and
+   records the steal ratio its pool observed.  With
    [--json] (what [make bench] runs) results land in
    bench/results/BENCH_latest.json plus a timestamped copy, the
    machine-readable perf trajectory; with [--gate] the run first stashes
@@ -549,6 +553,104 @@ let run_server ?previous () =
     batch_ns;
   List.rev !samples
 
+(* ------------------------------------------------------------------ *)
+(* Second-path gap study: sequential Yen vs work-stealing spur fan-out  *)
+
+(* The Figure 3(d) mechanism study is Yen-dominated: per source, one
+   shortest-path Dijkstra plus one spur Dijkstra per hop of the best
+   path.  The parallel rows run the same study with the per-instance
+   tasks AND each Yen round's spur searches fanned out through the
+   work-stealing scheduler; the output is bit-identical to the
+   sequential run (see test/test_ksp.ml), so the rows measure pure
+   scheduling overhead or speedup.  A run at n=800 costs seconds, so
+   these rows use a reduced rep budget; the steal ratio (stolen tasks /
+   tasks executed, over the parallel rows) lands in the JSON next to
+   the timings. *)
+
+type second_path_result = {
+  sp_domains : int;
+  sp_samples : batch_sample list;
+  sp_executed : int;
+  sp_stolen : int;
+}
+
+let run_second_path ?previous () =
+  let pool_domains = max 2 (Wnet_par.default_domains ()) in
+  Wnet_par.with_pool ~domains:pool_domains (fun pool ->
+      Gc.compact ();
+      let samples = ref [] in
+      let record bench bn domains f =
+        let time_s, runs =
+          retime ~previous (bench, bn, domains)
+            (time_best ~budget:0.3 ~min_reps:1 ~max_reps:8 f)
+            f
+        in
+        samples := { bench; bn; domains; time_s; runs } :: !samples
+      in
+      let before = Wnet_par.stats pool in
+      List.iter
+        (fun n ->
+          record "second-path/seq" n 1 (fun () ->
+              Wnet_experiments.Second_path_exp.study ~n ~instances:1 ~seed:117
+                ());
+          record "second-path/par" n pool_domains (fun () ->
+              Wnet_experiments.Second_path_exp.study ~n ~instances:1 ~pool
+                ~seed:117 ()))
+        batch_ns;
+      let after = Wnet_par.stats pool in
+      {
+        sp_domains = pool_domains;
+        sp_samples = List.rev !samples;
+        sp_executed =
+          after.Wnet_par.tasks_executed - before.Wnet_par.tasks_executed;
+        sp_stolen = after.Wnet_par.tasks_stolen - before.Wnet_par.tasks_stolen;
+      })
+
+let second_path_speedups samples =
+  let find bench n =
+    List.find_opt (fun s -> s.bench = bench && s.bn = n) samples
+  in
+  List.filter_map
+    (fun n ->
+      match (find "second-path/seq" n, find "second-path/par" n) with
+      | Some sq, Some pr when pr.time_s > 0.0 -> Some (n, sq.time_s /. pr.time_s)
+      | _ -> None)
+    batch_ns
+
+let steal_ratio r =
+  float_of_int r.sp_stolen /. float_of_int (max 1 r.sp_executed)
+
+let print_second_path r =
+  Printf.printf
+    "== Second-path gap study (Yen): sequential vs stolen spur tasks (pool = \
+     %d domains) ==\n"
+    r.sp_domains;
+  let table =
+    Wnet_stats.Table.make ~headers:[ "workload"; "n"; "domains"; "time"; "runs" ]
+  in
+  List.iter
+    (fun s ->
+      Wnet_stats.Table.add_row table
+        [
+          s.bench;
+          string_of_int s.bn;
+          string_of_int s.domains;
+          (if s.time_s >= 1.0 then Printf.sprintf "%.3f s" s.time_s
+           else Printf.sprintf "%.3f ms" (s.time_s *. 1e3));
+          string_of_int s.runs;
+        ])
+    r.sp_samples;
+  Wnet_stats.Table.print table;
+  print_newline ();
+  List.iter
+    (fun (n, x) ->
+      Printf.printf "n=%4d  second-path par/seq speedup: %.2fx\n" n x)
+    (second_path_speedups r.sp_samples);
+  Printf.printf
+    "scheduler: %d task(s) executed on the par rows, %d stolen (ratio %.3f)\n"
+    r.sp_executed r.sp_stolen (steal_ratio r);
+  print_newline ()
+
 let server_speedups_of ~suffix samples =
   let find bench n =
     List.find_opt (fun s -> s.bench = bench && s.bn = n) samples
@@ -695,7 +797,8 @@ let json_float x =
 
 let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
 
-let write_json ~canary ~micro ~session ~hists ~server (pool_domains, samples) =
+let write_json ~canary ~micro ~session ~hists ~server ~second_path
+    (pool_domains, samples) =
   let now = Unix.gmtime (Unix.time ()) in
   let stamp =
     Printf.sprintf "%04d%02d%02dT%02d%02d%02dZ" (now.Unix.tm_year + 1900)
@@ -709,7 +812,7 @@ let write_json ~canary ~micro ~session ~hists ~server (pool_domains, samples) =
   in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"wnet-bench/4\",\n";
+  Buffer.add_string b "  \"schema\": \"wnet-bench/5\",\n";
   Buffer.add_string b (Printf.sprintf "  \"generated_at\": \"%s\",\n" iso);
   Buffer.add_string b
     (Printf.sprintf "  \"ocaml\": \"%s\",\n" (json_escape Sys.ocaml_version));
@@ -842,6 +945,40 @@ let write_json ~canary ~micro ~session ~hists ~server (pool_domains, samples) =
   in
   Buffer.add_string b (String.concat ",\n" server_rows);
   Buffer.add_string b "\n  ],\n";
+  (* wnet-bench/5: the Yen-dominated second-path study, sequential vs
+     work-stealing spur fan-out, plus the scheduler telemetry of the
+     parallel rows (steal_ratio = tasks_stolen / tasks_executed). *)
+  Buffer.add_string b "  \"second_path\": {\n";
+  Buffer.add_string b
+    (Printf.sprintf "    \"pool_domains\": %d,\n" second_path.sp_domains);
+  Buffer.add_string b
+    (Printf.sprintf "    \"tasks_executed\": %d,\n" second_path.sp_executed);
+  Buffer.add_string b
+    (Printf.sprintf "    \"tasks_stolen\": %d,\n" second_path.sp_stolen);
+  Buffer.add_string b
+    (Printf.sprintf "    \"steal_ratio\": %s,\n"
+       (json_float (steal_ratio second_path)));
+  Buffer.add_string b "    \"rows\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"bench\": \"%s\", \"n\": %d, \"domains\": %d, \"time_s\": \
+            %s, \"runs\": %d}%s\n"
+           (json_escape s.bench) s.bn s.domains (json_float s.time_s) s.runs
+           (if i = List.length second_path.sp_samples - 1 then "" else ",")))
+    second_path.sp_samples;
+  Buffer.add_string b "    ],\n";
+  Buffer.add_string b "    \"speedups\": [\n";
+  let sp_rows =
+    List.map
+      (fun (n, x) ->
+        Printf.sprintf "      {\"n\": %d, \"par_vs_seq\": %s}" n (json_float x))
+      (second_path_speedups second_path.sp_samples)
+  in
+  Buffer.add_string b (String.concat ",\n" sp_rows);
+  Buffer.add_string b "\n    ]\n";
+  Buffer.add_string b "  },\n";
   Buffer.add_string b "  \"micro\": [\n";
   let micro_rows =
     List.map
@@ -1130,9 +1267,13 @@ let () =
     print_session (session, hists);
     let server = run_server ?previous () in
     print_server server;
+    let second_path = run_second_path ?previous () in
+    print_second_path second_path;
     let micro = run_micro () in
-    write_json ~canary:canary_now ~micro ~session ~hists ~server batch;
-    if gate then run_gate ~previous batch (session @ server)
+    write_json ~canary:canary_now ~micro ~session ~hists ~server ~second_path
+      batch;
+    if gate then
+      run_gate ~previous batch (session @ server @ second_path.sp_samples)
   in
   match mode with
   | "micro" -> if json then json_run () else ignore (run_micro ())
@@ -1141,9 +1282,13 @@ let () =
     print_batch batch;
     if json then
       write_json ~canary:(measure_canary ()) ~micro:[] ~session:[] ~hists:[]
-        ~server:[] batch
+        ~server:[]
+        ~second_path:
+          { sp_domains = 0; sp_samples = []; sp_executed = 0; sp_stolen = 0 }
+        batch
   | "session" -> print_session (run_session ())
   | "server" -> print_server (run_server ())
+  | "secondpath" -> print_second_path (run_second_path ())
   | "experiments" ->
     run_experiments ~instances:10 ~hop_instances:10 ~distributed_instances:3 ()
   | "full" ->
@@ -1154,7 +1299,7 @@ let () =
     run_experiments ~instances:5 ~hop_instances:5 ~distributed_instances:2 ()
   | other ->
     Printf.eprintf
-      "unknown mode %s (use: micro | batch | session | server | experiments | \
-       full)\n"
+      "unknown mode %s (use: micro | batch | session | server | secondpath | \
+       experiments | full)\n"
       other;
     exit 2

@@ -473,7 +473,16 @@ let client_cmd =
                    flushes the pending pack first.  Default 1: raw \
                    pass-through.")
   in
-  let run socket port host batch =
+  let verify =
+    Arg.(value & flag
+         & info [ "verify-responses" ]
+             ~doc:"Parse every server line with the $(b,Wnet_proto) \
+                   grammar and check it reprints byte-identically \
+                   (guards wire-format compatibility, e.g. the stats \
+                   counter layout).  Output still passes through; exits \
+                   nonzero if any line fails the round-trip.")
+  in
+  let run socket port host batch verify =
     let addr = parse_addr socket port host in
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let fd =
@@ -554,6 +563,44 @@ let client_cmd =
       end;
       flush_pack ()
     in
+    (* --verify-responses: re-assemble the server byte stream into
+       lines and hold each to the print/parse round-trip.  A canonical
+       server emits exactly [print_response r] per line, so
+       [parse_response] followed by [print_response] must reproduce the
+       input bytes. *)
+    let verify_ok = ref true in
+    let server_partial = Buffer.create 256 in
+    let verify_line line =
+      let complaint =
+        match Wnet_proto.parse_response line with
+        | Error m -> Some m
+        | Ok r ->
+          let printed = Wnet_proto.print_response r in
+          if String.equal printed line then None
+          else Some (Printf.sprintf "reprints as %S" printed)
+      in
+      match complaint with
+      | None -> ()
+      | Some m ->
+        verify_ok := false;
+        Printf.eprintf "verify-responses: %S: %s\n%!" line m
+    in
+    let verify_chunk s =
+      Buffer.add_string server_partial s;
+      let text = Buffer.contents server_partial in
+      Buffer.clear server_partial;
+      let len = String.length text in
+      let start = ref 0 in
+      (try
+         while true do
+           let nl = String.index_from text !start '\n' in
+           verify_line (String.sub text !start (nl - !start));
+           start := nl + 1
+         done
+       with Not_found -> ());
+      if !start < len then
+        Buffer.add_substring server_partial text !start (len - !start)
+    in
     let buf = Bytes.create 4096 in
     let rec loop stdin_open =
       let rs = if stdin_open then [ Unix.stdin; fd ] else [ fd ] in
@@ -565,7 +612,9 @@ let client_cmd =
             match Unix.read fd buf 0 4096 with
             | 0 -> false
             | n ->
-              print_string (Bytes.sub_string buf 0 n);
+              let s = Bytes.sub_string buf 0 n in
+              if verify then verify_chunk s;
+              print_string s;
               flush stdout;
               true
             | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
@@ -587,7 +636,9 @@ let client_cmd =
     in
     loop true;
     Unix.close fd;
-    0
+    if verify && Buffer.length server_partial > 0 then
+      verify_line (Buffer.contents server_partial);
+    if !verify_ok then 0 else 1
   in
   Cmd.v
     (Cmd.info "client"
@@ -595,7 +646,7 @@ let client_cmd =
              stdin/stdout over the socket (a scriptable netcat).  With \
              $(b,--batch) K, edit lines are packed K per write to drive \
              the server's burst-coalescing path from the wire side.")
-    Term.(const run $ socket_arg $ port_arg $ host_arg $ batch)
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ batch $ verify)
 
 (* -- format -- *)
 

@@ -38,7 +38,39 @@ let dijkstra g ~source ~forbidden_node ~forbidden_edge =
 
 let prefix p i = Array.sub p 0 (i + 1)
 
-let k_shortest_paths g ~src ~dst ~k =
+(* The spur from position [i] of [prev]: ban the root nodes and every
+   first-edge out of the spur node that a known path sharing the root
+   prefix already uses, then search for the cheapest deviation.  [known]
+   is the round-start snapshot of accepted ∪ candidate paths — frozen,
+   so every spur of a round is independent of the others and the round
+   can fan out over the pool.  (Banning a candidate's first-edge is
+   Lawler's optimisation: the path it hides is already in the candidate
+   list, and deviations beyond position [i] are found by that path's own
+   spur scan once it is accepted, so a one-round-stale ban set costs
+   only duplicates — which [seen] drops — never a missed path.) *)
+let spur_search g ~dst ~known ~prev i =
+  let root = prefix prev i in
+  let spur = prev.(i) in
+  let banned_edges = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      if Array.length p > i + 1 && prefix p i = root then begin
+        Hashtbl.replace banned_edges (p.(i), p.(i + 1)) ();
+        Hashtbl.replace banned_edges (p.(i + 1), p.(i)) ()
+      end)
+    known;
+  let root_nodes = Hashtbl.create 8 in
+  Array.iteri (fun j v -> if j < i then Hashtbl.replace root_nodes v ()) root;
+  match
+    dijkstra g ~source:spur
+      ~forbidden_node:(fun v -> Hashtbl.mem root_nodes v)
+      ~forbidden_edge:(fun u w -> Hashtbl.mem banned_edges (u, w))
+      dst
+  with
+  | None -> None
+  | Some sp -> Some (Array.append root (Array.sub sp 1 (Array.length sp - 1)))
+
+let k_shortest_paths ?(pool = Wnet_par.sequential) g ~src ~dst ~k =
   if k <= 0 then invalid_arg "Ksp: k must be positive";
   let n = Graph.n g in
   if src < 0 || src >= n || dst < 0 || dst >= n then
@@ -66,37 +98,20 @@ let k_shortest_paths g ~src ~dst ~k =
     (try
        for _ = 2 to k do
          let prev = List.hd !accepted in
-         (* Spur from every position on the previously accepted path. *)
-         for i = 0 to Array.length prev - 2 do
-           let root = prefix prev i in
-           let spur = prev.(i) in
-           (* Edges leaving the spur node that previously-found paths with
-              this root prefix used are banned; so are root nodes. *)
-           let banned_edges = Hashtbl.create 8 in
-           List.iter
-             (fun p ->
-               if
-                 Array.length p > i + 1
-                 && prefix p i = root
-               then begin
-                 Hashtbl.replace banned_edges (p.(i), p.(i + 1)) ();
-                 Hashtbl.replace banned_edges (p.(i + 1), p.(i)) ()
-               end)
-             (!accepted @ List.map snd !candidates);
-           let root_nodes = Hashtbl.create 8 in
-           Array.iteri (fun j v -> if j < i then Hashtbl.replace root_nodes v ()) root;
-           let spur_path =
-             dijkstra g ~source:spur
-               ~forbidden_node:(fun v -> Hashtbl.mem root_nodes v)
-               ~forbidden_edge:(fun u w -> Hashtbl.mem banned_edges (u, w))
-               dst
-           in
-           match spur_path with
-           | None -> ()
-           | Some sp ->
-             let total = Array.append root (Array.sub sp 1 (Array.length sp - 1)) in
-             add_candidate total
-         done;
+         (* Every spur of the round reads the same frozen [known]
+            snapshot, so the per-spur searches are independent tasks;
+            stealing only reorders their execution.  Results are merged
+            in spur-index order, and selection sorts the deduplicated
+            candidate *set* by (cost, path) — both independent of
+            execution order, so the output is identical at every pool
+            size. *)
+         let known = !accepted @ List.map snd !candidates in
+         let spurs =
+           Wnet_par.map_array_stealing pool
+             (spur_search g ~dst ~known ~prev)
+             (Array.init (Array.length prev - 1) Fun.id)
+         in
+         Array.iter (Option.iter add_candidate) spurs;
          match List.sort compare !candidates with
          | [] -> raise Exit
          | (_, best) :: rest ->
@@ -106,7 +121,7 @@ let k_shortest_paths g ~src ~dst ~k =
      with Exit -> ());
     List.rev !accepted
 
-let second_best_gap g ~src ~dst =
-  match k_shortest_paths g ~src ~dst ~k:2 with
+let second_best_gap ?pool g ~src ~dst =
+  match k_shortest_paths ?pool g ~src ~dst ~k:2 with
   | [ a; b ] -> Some (Path.relay_cost g b -. Path.relay_cost g a)
   | _ -> None

@@ -1,10 +1,11 @@
-(* A fixed-size domain pool with static chunking.
+(* A fixed-size domain pool with static chunking, plus a work-stealing
+   layer for irregular workloads.
 
-   Work distribution is deliberately dumb: a job is a function of the
-   participant slot, each slot processes one contiguous chunk, and the
-   caller is participant 0.  No work stealing, no task queue — the
-   workloads here (one avoidance Dijkstra per relay, one mechanism run
-   per instance) are uniform enough that static chunks keep every domain
+   Work distribution in the base combinators is deliberately dumb: a job
+   is a function of the participant slot, each slot processes one
+   contiguous chunk, and the caller is participant 0.  The workloads
+   they serve (one avoidance Dijkstra per relay, one mechanism run per
+   instance) are uniform enough that static chunks keep every domain
    busy, and the fixed assignment is what makes results reproducible
    regardless of scheduling.
 
@@ -12,7 +13,92 @@
    generation counter tells workers a new job is posted; the pending
    counter tells the caller every worker chunk has finished.  The first
    exception raised by any chunk is stored and re-raised in the caller
-   once the job has fully drained (workers never die on a job failure). *)
+   once the job has fully drained (workers never die on a job failure).
+
+   The stealing layer ([submit]/[await], [map_array_stealing*]) keeps
+   the same determinism contract — results land by index, so only the
+   *execution* order is scheduling-dependent — but lets an oversized
+   element (one huge avoidance repair, one long Yen spur round) be
+   backfilled by whichever domains finish early.  Each participant owns
+   a bounded Chase–Lev deque: the owner pushes and pops at the bottom
+   (LIFO, so nested tasks run close to their data), thieves CAS the top.
+   A full deque never blocks — the owner just runs the task inline. *)
+
+module Deque = struct
+  (* Bounded Chase–Lev deque.  Every shared word is an [Atomic.t], so
+     the usual C11 fence placement collapses onto OCaml's sequentially
+     consistent atomics; [top] is monotone, which rules out ABA.  A cell
+     can only be recycled by a [push] after [top] has moved past it, and
+     any thief still looking at the old value then fails its CAS, so a
+     stale read is never returned. *)
+  type 'a t = {
+    mask : int;
+    cells : 'a option Atomic.t array;
+    top : int Atomic.t;  (* thieves' end *)
+    bottom : int Atomic.t;  (* owner's end *)
+  }
+
+  let create capacity =
+    assert (capacity > 0 && capacity land (capacity - 1) = 0);
+    {
+      mask = capacity - 1;
+      cells = Array.init capacity (fun _ -> Atomic.make None);
+      top = Atomic.make 0;
+      bottom = Atomic.make 0;
+    }
+
+  (* Owner only.  [false] means full: the caller must run [x] inline
+     (never spin — the deque may only drain through this same thread). *)
+  let push q x =
+    let b = Atomic.get q.bottom in
+    let t = Atomic.get q.top in
+    if b - t > q.mask then false
+    else begin
+      Atomic.set q.cells.(b land q.mask) (Some x);
+      Atomic.set q.bottom (b + 1);
+      true
+    end
+
+  (* Owner only.  Takes the most recently pushed task.  Publishing the
+     decremented [bottom] *before* reading [top] is what makes the
+     two-or-more case safe without a CAS: a thief that could reach this
+     cell must have read [bottom] after we wrote it, and then fails its
+     own range check. *)
+  let pop q =
+    let b = Atomic.get q.bottom - 1 in
+    Atomic.set q.bottom b;
+    let t = Atomic.get q.top in
+    if t < b then begin
+      let cell = q.cells.(b land q.mask) in
+      let x = Atomic.get cell in
+      Atomic.set cell None;
+      x
+    end
+    else if t = b then begin
+      (* last element: race any thief for it via the CAS on [top] *)
+      let x = Atomic.get q.cells.(b land q.mask) in
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then x else None
+    end
+    else begin
+      Atomic.set q.bottom (b + 1);
+      None
+    end
+
+  (* Any domain.  A lost CAS (another thief, or the owner taking the
+     last element) is reported as [None]; callers just move on. *)
+  let steal q =
+    let t = Atomic.get q.top in
+    let b = Atomic.get q.bottom in
+    if t >= b then None
+    else begin
+      let x = Atomic.get q.cells.(t land q.mask) in
+      if Atomic.compare_and_set q.top t (t + 1) then x else None
+    end
+end
+
+let deque_capacity = 4096
 
 type t = {
   size : int;
@@ -25,6 +111,11 @@ type t = {
   mutable failure : exn option;
   mutable stop : bool;
   mutable domains : unit Domain.t array;
+  deques : (int -> unit) Deque.t array;
+      (* one per participant; thunks take the *executing* slot so a
+         stolen task still picks up the thief's scratch state *)
+  exec_count : int Atomic.t;
+  steal_count : int Atomic.t;
 }
 
 let size t = t.size
@@ -49,6 +140,11 @@ let make ~size =
     failure = None;
     stop = false;
     domains = [||];
+    deques =
+      (if size > 1 then Array.init size (fun _ -> Deque.create deque_capacity)
+       else [||]);
+    exec_count = Atomic.make 0;
+    steal_count = Atomic.make 0;
   }
 
 let sequential = make ~size:1
@@ -212,6 +308,227 @@ let map_array_pooled pool ~states f a =
                 res.(i) <- f s a.(i)
               done
             end);
+    res
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Work-stealing layer.                                                *)
+
+type stats = { tasks_executed : int; tasks_stolen : int }
+
+let stats pool =
+  {
+    tasks_executed = Atomic.get pool.exec_count;
+    tasks_stolen = Atomic.get pool.steal_count;
+  }
+
+(* Which (pool, slot) is this domain currently a participant of?  Set
+   for the duration of a stealing job; [submit] and the nested case of
+   [map_array_stealing] key off it. *)
+let tl_slot : (t * int) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let slot_of pool =
+  match Domain.DLS.get tl_slot with
+  | Some (p, s) when p == pool -> Some s
+  | _ -> None
+
+let run_thunk pool ~stolen slot th =
+  Atomic.incr pool.exec_count;
+  if stolen then Atomic.incr pool.steal_count;
+  th slot
+
+(* Round-robin over the other participants' deques. *)
+let try_steal pool slot =
+  let n = pool.size in
+  let rec go k =
+    if k = n then None
+    else
+      match Deque.steal pool.deques.((slot + k) mod n) with
+      | Some _ as r -> r
+      | None -> go (k + 1)
+  in
+  go 1
+
+(* Out-of-work wait policy: spin briefly (a steal usually lands within
+   microseconds on a genuinely parallel box), then sleep in short
+   slices.  Pure [cpu_relax] spinning is catastrophic when domains
+   outnumber cores — most visibly on one core, where an idle domain
+   burns its whole scheduler quantum while the domain actually holding
+   the work waits for the CPU; a 20 µs nanosleep hands the core over
+   instead, for at most a few tens of µs of added fan-in latency. *)
+let idle_backoff spins =
+  if spins < 64 then Domain.cpu_relax () else Unix.sleepf 20e-6
+
+(* One scheduling step for a participant that is out of local work:
+   pop own deque, else steal, else yield the core.  Returns [false]
+   when nothing ran. *)
+let help_once pool slot =
+  match Deque.pop pool.deques.(slot) with
+  | Some th ->
+    run_thunk pool ~stolen:false slot th;
+    true
+  | None -> (
+    match try_steal pool slot with
+    | Some th ->
+      run_thunk pool ~stolen:true slot th;
+      true
+    | None -> false)
+
+type 'a task = 'a task_state Atomic.t
+and 'a task_state = Todo | Done of 'a | Failed of exn
+
+let submit pool f =
+  let tk = Atomic.make Todo in
+  let run _slot =
+    let st = try Done (f ()) with e -> Failed e in
+    Atomic.set tk st
+  in
+  (match slot_of pool with
+  | Some s when pool.size > 1 ->
+    if not (Deque.push pool.deques.(s) run) then
+      run_thunk pool ~stolen:false s run
+  | _ ->
+    (* outside any stealing job (or a size-1 pool): eager, in
+       submission order — the degenerate deterministic schedule *)
+    Atomic.incr pool.exec_count;
+    run 0);
+  tk
+
+let await pool tk =
+  let rec go spins =
+    match Atomic.get tk with
+    | Done v -> v
+    | Failed e -> raise e
+    | Todo ->
+      let ran =
+        match slot_of pool with
+        | Some s when pool.size > 1 -> help_once pool s
+        | _ -> false
+      in
+      if ran then go 0
+      else begin
+        idle_backoff spins;
+        go (spins + 1)
+      end
+  in
+  go 0
+
+(* Shared scaffolding for the two stealing maps.  Element 0 seeds the
+   result array in the initiator (with its own state), the rest become
+   one task each; tasks record the first failure in [fail] and always
+   bump their completion signal, so scheduling can never deadlock on an
+   exception.  Results land by index and each state is only ever used
+   by the domain currently running the task, so the output is identical
+   to the sequential loop whenever [f]'s result does not depend on the
+   state's prior contents — the same contract as [map_array_pooled]. *)
+let stealing_run pool ~state_of f a res fail =
+  let n = Array.length a in
+  match slot_of pool with
+  | Some s ->
+    (* Nested: we are already a participant of a running job on this
+       pool.  Push one task per element onto our own deque (in reverse,
+       so our own pops execute in ascending order) and help until every
+       flag is up; idle siblings steal from the top. *)
+    let dq = pool.deques.(s) in
+    let flags = Array.init (n - 1) (fun _ -> Atomic.make false) in
+    for j = n - 2 downto 0 do
+      let i = j + 1 in
+      let th slot =
+        (try res.(i) <- f (state_of slot) a.(i)
+         with e -> ignore (Atomic.compare_and_set fail None (Some e)));
+        Atomic.set flags.(j) true
+      in
+      if not (Deque.push dq th) then run_thunk pool ~stolen:false s th
+    done;
+    for j = 0 to n - 2 do
+      let spins = ref 0 in
+      while not (Atomic.get flags.(j)) do
+        if help_once pool s then spins := 0
+        else begin
+          idle_backoff !spins;
+          incr spins
+        end
+      done
+    done
+  | None ->
+    (* Top level: post a job; every participant seeds its deque with its
+       static chunk (stealing only kicks in on imbalance, so the common
+       uniform case keeps the chunked locality), then drains until the
+       whole call is done. *)
+    let remaining = Atomic.make (n - 1) in
+    run_job pool (fun slot ->
+        let saved = Domain.DLS.get tl_slot in
+        Domain.DLS.set tl_slot (Some (pool, slot));
+        Fun.protect
+          ~finally:(fun () -> Domain.DLS.set tl_slot saved)
+          (fun () ->
+            let dq = pool.deques.(slot) in
+            let lo, hi = chunk ~lo:1 ~hi:n pool.size slot in
+            for i = hi - 1 downto lo do
+              let th slot' =
+                (try res.(i) <- f (state_of slot') a.(i)
+                 with e -> ignore (Atomic.compare_and_set fail None (Some e)));
+                Atomic.decr remaining
+              in
+              if not (Deque.push dq th) then run_thunk pool ~stolen:false slot th
+            done;
+            let spins = ref 0 in
+            while Atomic.get remaining > 0 do
+              if help_once pool slot then spins := 0
+              else begin
+                idle_backoff !spins;
+                incr spins
+              end
+            done))
+
+let map_array_stealing_pooled pool ~states f a =
+  if Array.length states < pool.size then
+    invalid_arg "Wnet_par.map_array_stealing_pooled: need one state per participant";
+  let n = Array.length a in
+  if n = 0 then [||]
+  else if pool.size = 1 then begin
+    let s0 = states.(0) in
+    let res = Array.make n (f s0 a.(0)) in
+    for i = 1 to n - 1 do
+      res.(i) <- f s0 a.(i)
+    done;
+    ignore (Atomic.fetch_and_add pool.exec_count n);
+    res
+  end
+  else begin
+    let res = Array.make n (f states.(0) a.(0)) in
+    Atomic.incr pool.exec_count;
+    if n > 1 then begin
+      let fail = Atomic.make None in
+      stealing_run pool ~state_of:(fun slot -> states.(slot)) f a res fail;
+      match Atomic.get fail with Some e -> raise e | None -> ()
+    end;
+    res
+  end
+
+let map_array_stealing pool f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else if pool.size = 1 then begin
+    let res = Array.make n (f a.(0)) in
+    for i = 1 to n - 1 do
+      res.(i) <- f a.(i)
+    done;
+    ignore (Atomic.fetch_and_add pool.exec_count n);
+    res
+  end
+  else begin
+    let res = Array.make n (f a.(0)) in
+    Atomic.incr pool.exec_count;
+    if n > 1 then begin
+      let fail = Atomic.make None in
+      stealing_run pool
+        ~state_of:(fun _ -> ())
+        (fun () x -> f x)
+        a res fail;
+      match Atomic.get fail with Some e -> raise e | None -> ()
+    end;
     res
   end
 

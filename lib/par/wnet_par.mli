@@ -16,10 +16,13 @@
     A pool of size 1 spawns no domains and runs everything inline in the
     caller, so sequential code pays nothing for the abstraction.
 
-    Pools are {e single-owner}: only one job may be in flight at a time,
-    and jobs must not themselves submit jobs to the same pool.  Nested
-    parallelism should use distinct pools (or, simpler, a sequential
-    inner pool). *)
+    Pools are {e single-owner}: only one {e top-level} call may be in
+    flight at a time.  Nested parallelism on the same pool is supported
+    through the work-stealing layer ({!submit}/{!await},
+    {!map_array_stealing}): a task running inside a stealing call may
+    itself fan out on the same pool, and idle participants backfill by
+    stealing.  The static-chunk combinators ([parallel_for],
+    [map_array*], [map_reduce]) must still not be nested. *)
 
 type t
 (** A pool of [size t] participants: the calling domain plus
@@ -85,6 +88,63 @@ val map_array_pooled :
     time.
     @raise Invalid_argument when fewer states than participants are
     supplied. *)
+
+(** {1 Work stealing}
+
+    The combinators above assign elements to participants statically,
+    which wastes domains when element costs are wildly uneven (one huge
+    avoidance repair, one long Yen spur round).  The stealing layer
+    keeps the determinism contract — results land by index; only the
+    {e execution} order (and which scratch state computes which
+    element) is scheduling-dependent — while letting idle participants
+    steal queued tasks from busy ones.  Each participant owns a bounded
+    Chase–Lev deque (owner pushes/pops LIFO at the bottom, thieves CAS
+    the top); a full deque runs the task inline instead of blocking. *)
+
+type 'a task
+(** A handle to a unit of work scheduled with {!submit}. *)
+
+val submit : t -> (unit -> 'a) -> 'a task
+(** [submit pool f] schedules [f] for execution.  Inside a stealing
+    call on [pool], the task goes on the calling participant's deque
+    (stealable by idle participants); anywhere else — including size-1
+    pools — it runs inline immediately, the degenerate deterministic
+    schedule.  Exceptions raised by [f] are captured in the handle and
+    re-raised by {!await}. *)
+
+val await : t -> 'a task -> 'a
+(** [await pool tk] returns [tk]'s result, helping with queued work
+    (own deque first, then stealing) while it waits.
+    @raise exn whatever the task's function raised. *)
+
+val map_array_stealing : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array_stealing pool f a] is {!map_array} scheduled as one
+    stolen task per element: every participant seeds its deque with its
+    static chunk, so the uniform case keeps chunked locality, and
+    stealing only redistributes the stragglers.  May be called from
+    inside another stealing call on the same pool (the nested fan-out
+    is pushed onto the caller's own deque).  Results land by index:
+    output is identical for every pool size when [f] is
+    deterministic. *)
+
+val map_array_stealing_pooled :
+  t -> states:'s array -> ('s -> 'a -> 'b) -> 'a array -> 'b array
+(** [map_array_stealing_pooled pool ~states f a] is
+    {!map_array_stealing} with caller-owned per-participant states, as
+    in {!map_array_pooled}.  A stolen task uses the {e executing}
+    participant's state, so which state computes which element is
+    scheduling-dependent: [f]'s result must not depend on the state's
+    prior contents (same contract as {!map_array_pooled}).
+    @raise Invalid_argument when fewer states than participants are
+    supplied. *)
+
+type stats = { tasks_executed : int; tasks_stolen : int }
+(** Scheduler counters, cumulative over the pool's lifetime:
+    [tasks_executed] counts every task run through the stealing layer
+    (inline fallbacks included), [tasks_stolen] the subset executed by
+    a participant other than the one that queued them. *)
+
+val stats : t -> stats
 
 val map_reduce :
   t -> map:('a -> 'b) -> combine:('b -> 'b -> 'b) -> init:'b -> 'a array -> 'b

@@ -175,9 +175,10 @@ let print_response = function
   | Session_stats st ->
     Printf.sprintf
       "ok edits=%d coalesced=%d inval_passes=%d spt_runs=%d avoid_runs=%d \
-       avoid_reused=%d repaired=%d fallbacks=%d"
+       avoid_reused=%d repaired=%d fallbacks=%d tasks=%d stolen=%d"
       st.edits st.coalesced_edits st.inval_passes st.spt_runs st.avoid_runs
       st.avoid_reused st.repaired_entries st.fallback_recomputes
+      st.tasks_executed st.tasks_stolen
   | Server_stats
       {
         clients;
@@ -290,8 +291,11 @@ let parse_response line =
            avoid_reused;
            repaired_entries = 0;
            fallback_recomputes = 0;
+           tasks_executed = 0;
+           tasks_stolen = 0;
          })
   | [ "ok"; a; b; c; d; e; f; g; h ] ->
+    (* pre-scheduler peers (wnet-bench/4 era) omit the task counters *)
     let* edits = int_kv "edits" a in
     let* coalesced_edits = int_kv "coalesced" b in
     let* inval_passes = int_kv "inval_passes" c in
@@ -311,6 +315,33 @@ let parse_response line =
            avoid_reused;
            repaired_entries;
            fallback_recomputes;
+           tasks_executed = 0;
+           tasks_stolen = 0;
+         })
+  | [ "ok"; a; b; c; d; e; f; g; h; i; j ] ->
+    let* edits = int_kv "edits" a in
+    let* coalesced_edits = int_kv "coalesced" b in
+    let* inval_passes = int_kv "inval_passes" c in
+    let* spt_runs = int_kv "spt_runs" d in
+    let* avoid_runs = int_kv "avoid_runs" e in
+    let* avoid_reused = int_kv "avoid_reused" f in
+    let* repaired_entries = int_kv "repaired" g in
+    let* fallback_recomputes = int_kv "fallbacks" h in
+    let* tasks_executed = int_kv "tasks" i in
+    let* tasks_stolen = int_kv "stolen" j in
+    Ok
+      (Session_stats
+         {
+           edits;
+           coalesced_edits;
+           inval_passes;
+           spt_runs;
+           avoid_runs;
+           avoid_reused;
+           repaired_entries;
+           fallback_recomputes;
+           tasks_executed;
+           tasks_stolen;
          })
   | [ "server"; a; b; c; d; e; f; g; h ] ->
     let* clients = int_kv "clients" a in

@@ -23,6 +23,8 @@ type stats = {
   avoid_reused : int;
   repaired_entries : int;
   fallback_recomputes : int;
+  tasks_executed : int;
+  tasks_stolen : int;
 }
 
 (* Region-size histogram: bucket 0 holds empty regions, bucket [i >= 1]
@@ -77,6 +79,8 @@ type t = {
   mutable avoid_reused : int;
   mutable repaired_entries : int;
   mutable fallback_recomputes : int;
+  mutable tasks_executed : int;
+  mutable tasks_stolen : int;
   region_hist : int array;
 }
 
@@ -115,6 +119,8 @@ let create ?(pool = Wnet_par.sequential) ?(copy = true) ?(dynamic = true) g
     avoid_reused = 0;
     repaired_entries = 0;
     fallback_recomputes = 0;
+    tasks_executed = 0;
+    tasks_stolen = 0;
     region_hist = Array.make hist_buckets 0;
   }
 
@@ -128,8 +134,24 @@ let stats t =
     inval_passes = t.inval_passes; spt_runs = t.spt_runs;
     avoid_runs = t.avoid_runs; avoid_reused = t.avoid_reused;
     repaired_entries = t.repaired_entries;
-    fallback_recomputes = t.fallback_recomputes }
+    fallback_recomputes = t.fallback_recomputes;
+    tasks_executed = t.tasks_executed; tasks_stolen = t.tasks_stolen }
 let unbounded_relays t = t.unbounded
+
+(* Fan [f] out over the pool's work-stealing layer (one task per
+   element, idle domains backfill) and fold the scheduler's counter
+   deltas into the session ledger.  Calls never overlap on a session's
+   pool, so the before/after delta is exactly this call's tasks. *)
+let steal_map t ~states f a =
+  let before = Wnet_par.stats t.pool in
+  let r = Wnet_par.map_array_stealing_pooled t.pool ~states f a in
+  let after = Wnet_par.stats t.pool in
+  t.tasks_executed <-
+    t.tasks_executed + after.Wnet_par.tasks_executed
+    - before.Wnet_par.tasks_executed;
+  t.tasks_stolen <-
+    t.tasks_stolen + after.Wnet_par.tasks_stolen - before.Wnet_par.tasks_stolen;
+  r
 
 let region_histogram t =
   let out = ref [] in
@@ -211,7 +233,7 @@ let repair_avoid_entries t redits =
   let fresh = Array.of_list (List.rev !fresh) in
   t.cache_epoch <- t.cache_epoch + 1;
   let regions =
-    Wnet_par.map_array_pooled t.pool ~states:t.dscratches
+    steal_map t ~states:t.dscratches
       (fun ds j ->
         match t.avoid.(j) with
         | Some d -> (
@@ -557,7 +579,7 @@ let payments t =
       relay_array (Array.init nn (fun k -> is_relay.(k) && not (entry_fresh t k)))
     in
     let dists =
-      Wnet_par.map_array_pooled t.pool ~states:t.scratches
+      steal_map t ~states:t.scratches
         (fun scratch k ->
           Dijkstra.link_weighted_dist scratch ~forbidden:(fun v -> v = k)
             t.rev t.root)

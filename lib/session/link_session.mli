@@ -71,6 +71,13 @@ type stats = {
       (** repair attempts that bailed to a from-scratch run: oversized
           affected region, or a bit-equal tie that could flip a tree
           parent *)
+  tasks_executed : int;
+      (** units of work run through the pool's work-stealing scheduler
+          (avoidance Dijkstras and in-place repairs, inline fallbacks
+          included) *)
+  tasks_stolen : int;
+      (** the subset executed by a domain other than the one that queued
+          them — nonzero only when stealing actually rebalanced load *)
 }
 
 val create :

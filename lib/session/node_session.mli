@@ -43,6 +43,13 @@ type stats = {
       (** avoidance arrays patched in place by dynamic SSSP repair *)
   fallback_recomputes : int;
       (** repair attempts that bailed (oversized affected region) *)
+  tasks_executed : int;
+      (** units of work run through the pool's work-stealing scheduler
+          (avoidance Dijkstras and in-place repairs, inline fallbacks
+          included) *)
+  tasks_stolen : int;
+      (** the subset executed by a domain other than the one that queued
+          them — nonzero only when stealing actually rebalanced load *)
 }
 
 val create :

@@ -12,6 +12,8 @@ type stats = Link_session.stats = {
   avoid_reused : int;
   repaired_entries : int;
   fallback_recomputes : int;
+  tasks_executed : int;
+  tasks_stolen : int;
 }
 
 type delta =
@@ -99,6 +101,8 @@ let make ?(pool = Wnet_par.sequential) ~root g =
           avoid_reused = st.NS.avoid_reused;
           repaired_entries = st.NS.repaired_entries;
           fallback_recomputes = st.NS.fallback_recomputes;
+          tasks_executed = st.NS.tasks_executed;
+          tasks_stolen = st.NS.tasks_stolen;
         }
     end : S)
   | `Link g ->

@@ -29,6 +29,8 @@ type stats = Link_session.stats = {
   avoid_reused : int;
   repaired_entries : int;
   fallback_recomputes : int;
+  tasks_executed : int;
+  tasks_stolen : int;
 }
 (** The unified work ledger (the node engine's counters are converted
     into the same record). *)

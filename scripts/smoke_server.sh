@@ -46,7 +46,10 @@ done
 
 # One client: bump a node's declared cost, collect payments twice (the
 # second run must reuse every cached tree), read the counters, quit.
-$UNICAST client --socket "$SOCK" > "$OUT" <<'EOF'
+# --verify-responses makes the client re-parse and re-print every server
+# line and exit 1 unless each round-trips byte-identically — the wire
+# grammar check, covering the stats line's task counters.
+$UNICAST client --socket "$SOCK" --verify-responses > "$OUT" <<'EOF'
 cost 3 4.25
 pay
 pay
@@ -59,6 +62,8 @@ grep -q '^ok version=1$'                   "$OUT" || fail "cost edit not acked"
 [ "$(grep -c '^ok served=' "$OUT")" = 2 ]         || fail "expected two pay summaries"
 grep -q '^ok served=0' "$OUT" && fail "no source was served (bad instance?)"
 grep -q '^ok edits=1 coalesced=1 inval_passes=1'  "$OUT" || fail "session counters wrong"
+grep -Eq '^ok edits=1 .* tasks=[0-9]+ stolen=[0-9]+$' "$OUT" \
+  || fail "stats line missing the scheduler task counters"
 grep -q '^server clients=1'                "$OUT" || fail "missing server counters"
 grep -q '^conn requests=4'                 "$OUT" || fail "missing conn counters"
 grep -q '^bye$'                            "$OUT" || fail "quit not answered with bye"
@@ -66,7 +71,7 @@ grep -q '^bye$'                            "$OUT" || fail "quit not answered wit
 # A second client packs its edits with --batch: four cost lines leave in
 # one socket write, land at the server inside one read, and must
 # coalesce into a single invalidation pass (inval_passes 1 -> 2).
-$UNICAST client --socket "$SOCK" --batch 8 > "$OUT.batch" <<'EOF'
+$UNICAST client --socket "$SOCK" --batch 8 --verify-responses > "$OUT.batch" <<'EOF'
 cost 3 5.0
 cost 5 2.5
 cost 7 8.0

@@ -91,6 +91,47 @@ let prop_ordered_and_simple =
       && List.for_all (Path.is_valid g) paths
       && List.length (List.sort_uniq compare paths) = List.length paths)
 
+(* The work-stealing spur fan-out must be invisible: at every pool size
+   the parallel Yen returns the sequential answer bit for bit —
+   Float.equal costs and identical node arrays.  Half the generated
+   graphs use small integer costs, so spur candidates tie exactly: the
+   regime where a schedule-dependent candidate merge would show up. *)
+let tied_cost_graph r =
+  let n = 5 + Wnet_prng.Rng.int r 8 in
+  let costs =
+    Array.init n (fun _ -> float_of_int (1 + Wnet_prng.Rng.int r 3))
+  in
+  let edges = ref (List.init n (fun v -> (v, (v + 1) mod n))) in
+  for _ = 1 to Wnet_prng.Rng.int r (2 * n) do
+    let u = Wnet_prng.Rng.int r n and v = Wnet_prng.Rng.int r n in
+    if u <> v then edges := (u, v) :: !edges
+  done;
+  Graph.create ~costs ~edges:!edges
+
+let prop_parallel_matches_sequential =
+  Test_util.qcheck_case ~count:30 "parallel Yen = sequential Yen (bits)"
+    Test_util.seed_gen (fun seed ->
+      let r = Test_util.rng seed in
+      let g =
+        if seed land 1 = 0 then Test_util.random_ring_graph ~min_n:5 ~max_n:12 r
+        else tied_cost_graph r
+      in
+      let n = Graph.n g in
+      let src = Wnet_prng.Rng.int r n in
+      let dst = (src + 1 + Wnet_prng.Rng.int r (n - 1)) mod n in
+      let seq = Ksp.k_shortest_paths g ~src ~dst ~k:4 in
+      List.for_all
+        (fun domains ->
+          Wnet_par.with_pool ~domains (fun pool ->
+              let par = Ksp.k_shortest_paths ~pool g ~src ~dst ~k:4 in
+              List.length par = List.length seq
+              && List.for_all2
+                   (fun a b ->
+                     a = b
+                     && Float.equal (Path.relay_cost g a) (Path.relay_cost g b))
+                   par seq))
+        [ 1; 3 ])
+
 let test_second_path_experiment_decays () =
   let buckets = Wnet_experiments.Second_path_exp.study ~n:100 ~instances:2 ~seed:11 () in
   Alcotest.(check bool) "several buckets" true (List.length buckets >= 3);
@@ -106,6 +147,18 @@ let test_second_path_experiment_decays () =
     Alcotest.(check bool) "gap decays with hops" true (mean near > 2.0 *. mean far)
   | _ -> ()
 
+let test_second_path_study_parallel_identical () =
+  (* End to end through the experiment: instance fan-out AND nested spur
+     fan-out on one pool vs the sequential run, structurally equal
+     (floats bitwise — no NaNs arise here). *)
+  let seq = Wnet_experiments.Second_path_exp.study ~n:60 ~instances:2 ~seed:5 () in
+  Wnet_par.with_pool ~domains:3 (fun pool ->
+      let par =
+        Wnet_experiments.Second_path_exp.study ~n:60 ~instances:2 ~pool ~seed:5
+          ()
+      in
+      Alcotest.(check bool) "study bit-identical" true (seq = par))
+
 let suite =
   [
     Alcotest.test_case "ranks on theta" `Quick test_ranks_on_theta;
@@ -116,5 +169,8 @@ let suite =
     Alcotest.test_case "validation" `Quick test_validation;
     prop_matches_bruteforce;
     prop_ordered_and_simple;
+    prop_parallel_matches_sequential;
     Alcotest.test_case "second-path experiment decays" `Quick test_second_path_experiment_decays;
+    Alcotest.test_case "second-path study parallel = sequential" `Quick
+      test_second_path_study_parallel_identical;
   ]

@@ -86,6 +86,98 @@ let test_exception_propagates () =
       Alcotest.(check bool) "pool usable after failure" true
         (Par.map_array pool (fun x -> x + 1) [| 1; 2; 3 |] = [| 2; 3; 4 |]))
 
+(* ---------------- work-stealing layer ---------------- *)
+
+let test_map_array_stealing_pool_sizes () =
+  let a = Array.init 311 (fun i -> i) in
+  let f x =
+    (sqrt (float_of_int (x + 1)) *. 2.3) +. (1.0 /. float_of_int (x + 3))
+  in
+  let expect = Array.map f a in
+  List.iter
+    (fun domains ->
+      Par.with_pool ~domains (fun pool ->
+          let got = Par.map_array_stealing pool f a in
+          Alcotest.(check bool)
+            (Printf.sprintf "map_array_stealing identical at pool size %d"
+               domains)
+            true (got = expect)))
+    [ 1; 2; 4 ]
+
+let test_map_array_stealing_pooled_states () =
+  (* The state is pure scratch: the result must not depend on which
+     slot's state a stolen task lands on. *)
+  List.iter
+    (fun domains ->
+      Par.with_pool ~domains (fun pool ->
+          let states = Array.init domains (fun _ -> ref 0) in
+          let got =
+            Par.map_array_stealing_pooled pool ~states
+              (fun r x ->
+                r := x + 1;
+                !r * 3)
+              (Array.init 97 Fun.id)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "stolen scratch states identical at pool size %d"
+               domains)
+            true
+            (got = Array.init 97 (fun i -> (i + 1) * 3))))
+    [ 1; 2; 4 ]
+
+let test_nested_stealing () =
+  (* A stealing map whose tasks re-enter the same pool: the inner calls
+     push to the running participant's own deque instead of deadlocking
+     on a nested job post. *)
+  Par.with_pool ~domains:4 (fun pool ->
+      let got =
+        Par.map_array_stealing pool
+          (fun i ->
+            Array.fold_left ( + ) 0
+              (Par.map_array_stealing pool
+                 (fun j -> i * j)
+                 (Array.init 20 Fun.id)))
+          (Array.init 30 Fun.id)
+      in
+      Alcotest.(check bool) "nested stealing identical" true
+        (got = Array.init 30 (fun i -> i * 190)))
+
+let test_stealing_counters () =
+  Par.with_pool ~domains:3 (fun pool ->
+      let before = Par.stats pool in
+      let n = 128 in
+      ignore (Par.map_array_stealing pool (fun x -> x * x) (Array.init n Fun.id));
+      let after = Par.stats pool in
+      Alcotest.(check int) "every element counted as one task" n
+        (after.Par.tasks_executed - before.Par.tasks_executed);
+      let stolen = after.Par.tasks_stolen - before.Par.tasks_stolen in
+      Alcotest.(check bool) "stolen is a subset of executed" true
+        (stolen >= 0 && stolen <= n))
+
+let test_submit_await () =
+  List.iter
+    (fun domains ->
+      Par.with_pool ~domains (fun pool ->
+          let t1 = Par.submit pool (fun () -> 21 * 2) in
+          let t2 = Par.submit pool (fun () -> "ok") in
+          Alcotest.(check int) "awaited value" 42 (Par.await pool t1);
+          Alcotest.(check string) "second task" "ok" (Par.await pool t2);
+          Alcotest.(check int) "await is idempotent" 42 (Par.await pool t1)))
+    [ 1; 3 ]
+
+let test_stealing_exception_propagates () =
+  Par.with_pool ~domains:4 (fun pool ->
+      Alcotest.check_raises "raised in caller" Boom (fun () ->
+          ignore
+            (Par.map_array_stealing pool
+               (fun x -> if x = 50 then raise Boom else x)
+               (Array.init 100 Fun.id)));
+      Alcotest.(check bool) "pool usable after stealing failure" true
+        (Par.map_array_stealing pool (fun x -> x + 1) [| 1; 2 |] = [| 2; 3 |]);
+      let t = Par.submit pool (fun () -> raise Boom) in
+      Alcotest.check_raises "submit failure surfaces at await" Boom (fun () ->
+          ignore (Par.await pool t)))
+
 (* ---------------- batch payment engines ---------------- *)
 
 let udg_node_graph seed ~n =
@@ -261,6 +353,17 @@ let suite =
       test_map_array_with_states;
     Alcotest.test_case "exceptions propagate, pool survives" `Quick
       test_exception_propagates;
+    Alcotest.test_case "map_array_stealing pool sizes 1/2/4" `Quick
+      test_map_array_stealing_pool_sizes;
+    Alcotest.test_case "map_array_stealing_pooled scratch states" `Quick
+      test_map_array_stealing_pooled_states;
+    Alcotest.test_case "nested stealing re-enters the pool" `Quick
+      test_nested_stealing;
+    Alcotest.test_case "task counters: executed = n, stolen <= n" `Quick
+      test_stealing_counters;
+    Alcotest.test_case "submit/await round-trip" `Quick test_submit_await;
+    Alcotest.test_case "stealing exceptions propagate, pool survives" `Quick
+      test_stealing_exception_propagates;
     Alcotest.test_case "unicast batch: parallel = sequential (bits)" `Quick
       test_unicast_batch_parallel_identical;
     Alcotest.test_case "unicast batch vs per-source Fast" `Quick

@@ -50,7 +50,7 @@ let count_gen = Gen.int_range 0 100000
 
 let stats_gen =
   Gen.map3
-    (fun (edits, coalesced_edits) (inval_passes, spt_runs)
+    (fun (edits, coalesced_edits) ((inval_passes, spt_runs), (tasks_executed, tasks_stolen))
          ((avoid_runs, avoid_reused), (repaired_entries, fallback_recomputes)) ->
       {
         W.edits;
@@ -61,9 +61,11 @@ let stats_gen =
         avoid_reused;
         repaired_entries;
         fallback_recomputes;
+        tasks_executed;
+        tasks_stolen;
       })
     (Gen.pair count_gen count_gen)
-    (Gen.pair count_gen count_gen)
+    (Gen.pair (Gen.pair count_gen count_gen) (Gen.pair count_gen count_gen))
     (Gen.pair (Gen.pair count_gen count_gen) (Gen.pair count_gen count_gen))
 
 let response_gen =
@@ -242,6 +244,41 @@ let test_parse_examples () =
   Alcotest.(check bool) "exit aliases quit" true
     (P.parse_request "exit" = Ok (Some P.Quit))
 
+let test_stats_line_compat () =
+  (* Pin the wire form of the 10-counter stats line, and the parser's
+     acceptance of the 8-counter line older peers still send (task
+     counters default to 0 there). *)
+  (match
+     P.parse_response
+       "ok edits=1 coalesced=2 inval_passes=3 spt_runs=4 avoid_runs=5 \
+        avoid_reused=6 repaired=7 fallbacks=8 tasks=9 stolen=2"
+   with
+  | Ok (P.Session_stats st) ->
+    Alcotest.(check bool) "10-token stats line parses exactly" true
+      (st
+      = {
+          W.edits = 1;
+          coalesced_edits = 2;
+          inval_passes = 3;
+          spt_runs = 4;
+          avoid_runs = 5;
+          avoid_reused = 6;
+          repaired_entries = 7;
+          fallback_recomputes = 8;
+          tasks_executed = 9;
+          tasks_stolen = 2;
+        })
+  | _ -> Alcotest.fail "full stats line must parse");
+  match
+    P.parse_response
+      "ok edits=1 coalesced=2 inval_passes=3 spt_runs=4 avoid_runs=5 \
+       avoid_reused=6 repaired=7 fallbacks=8"
+  with
+  | Ok (P.Session_stats st) ->
+    Alcotest.(check bool) "8-token line defaults the task counters" true
+      (st.W.tasks_executed = 0 && st.W.tasks_stolen = 0)
+  | _ -> Alcotest.fail "8-token stats line must parse"
+
 let fig_digraph () =
   Wnet_graph.Digraph.create ~n:3 ~links:[ (2, 1, 1.0); (1, 0, 1.0) ]
 
@@ -296,6 +333,8 @@ let suite =
     Alcotest.test_case "malformed requests hit the error channel" `Quick
       test_malformed;
     Alcotest.test_case "worked parse examples" `Quick test_parse_examples;
+    Alcotest.test_case "stats line: 10-token form + 8-token compat" `Quick
+      test_stats_line_compat;
     Alcotest.test_case "handle drives a session end to end" `Quick
       test_handle_drives_session;
     Test_util.qcheck_case ~count:500 "float_to_string round-trips bitwise"
