@@ -1,4 +1,5 @@
-.PHONY: all test bench smoke check check-quick experiments full clean
+.PHONY: all test bench microbench microbench-smoke smoke check check-quick \
+	experiments full clean
 
 all:
 	dune build @all
@@ -15,8 +16,32 @@ test:
 # against the previous BENCH_latest.json and fails on any >20% slowdown
 # (baselines normalised by a machine-speed canary; suspect rows get one
 # re-measurement before they can fail the run).
-bench:
+bench: microbench
 	dune exec bench/main.exe -- micro --json --gate
+
+# Per-primitive micro suite: one exe per primitive family under
+# bench/micro/ (proto encode, proto decode, deque, heap, repair), each
+# printing an ns/op table and hard-asserting ZERO minor-heap words per
+# operation on the steady-state codec paths (native builds).  `make
+# bench` runs these first so an allocation regression fails fast,
+# before the wall-clock suites spend minutes; the same primitives also
+# land as gated "micro/..." rows in BENCH_latest.json.
+MICRO_BENCHES = bench_proto_encode bench_proto_decode bench_deque \
+	bench_heap bench_repair
+
+microbench:
+	dune build bench/micro
+	@for b in $(MICRO_BENCHES); do \
+	  dune exec --no-build bench/micro/$$b.exe || exit 1; \
+	done
+
+# CI variant: a single timed rep per primitive, no timing to gate on —
+# but the zero-allocation assertions still run and still fail the build.
+microbench-smoke:
+	dune build bench/micro
+	@for b in $(MICRO_BENCHES); do \
+	  dune exec --no-build bench/micro/$$b.exe -- --smoke || exit 1; \
+	done
 
 # End-to-end socket front-end check: real `unicast listen` process on a
 # Unix-domain socket, driven through `unicast client`, then SIGINT drain.
@@ -27,11 +52,12 @@ smoke:
 # benchmark run.
 check: all test smoke bench
 
-# The fast bar for CI and pre-push: build, tier-1 tests, and the socket
-# smoke — everything deterministic, nothing wall-clock-gated.  The
+# The fast bar for CI and pre-push: build, tier-1 tests, the socket
+# smoke, and the micro-suite smoke (allocation assertions, no timing) —
+# everything deterministic, nothing wall-clock-gated.  The
 # timing-sensitive `bench` gate stays out: it needs a quiet machine and
 # a previous BENCH_latest.json to compare against.
-check-quick: all test smoke
+check-quick: all test smoke microbench-smoke
 
 experiments:
 	dune exec bench/main.exe -- experiments

@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- session      incremental session vs full batch
      dune exec bench/main.exe -- server       coalesced delta bursts vs eager flushes
      dune exec bench/main.exe -- secondpath   Yen gap study: seq vs stolen spur tasks
+     dune exec bench/main.exe -- microprims   per-primitive suite (bench/micro/) inline
      dune exec bench/main.exe -- experiments  every Figure 3 panel + studies
      dune exec bench/main.exe -- full         paper-scale experiments (100 instances)
 
@@ -651,6 +652,129 @@ let print_second_path r =
     r.sp_executed r.sp_stolen (steal_ratio r);
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* Per-primitive micro rows (bench/micro/)                              *)
+
+(* The same primitives the one-exe-per-primitive suite runs
+   (bench/micro/bench_proto_encode & co.), timed with this harness's
+   best-of-k + canary + retime machinery and emitted as headline-shaped
+   rows ("micro/<family>/<prim>", n = ops per run), so the 20% gate
+   covers the codec and scheduler primitives like any other wall-clock
+   metric.  The allocation discipline is measured here too (words/op
+   lands in the JSON) but only *asserted* by the standalone exes —
+   a bench run should not die on an allocation regression, the gate
+   and CI smoke report it. *)
+
+module M = Wnet_microbench
+
+type micro_prim_sample = {
+  mp_row : batch_sample;
+  mp_ns_per_op : float;
+  mp_words_per_op : float option;  (* None on bytecode *)
+  mp_alloc_free : bool;
+}
+
+let microprim_families () =
+  [
+    ("proto-encode", M.proto_encode ());
+    ("proto-decode", M.proto_decode ());
+    ("deque", M.deque ());
+    ("heap", M.heap ());
+    ("repair", M.repair ());
+  ]
+
+let run_microprims ?previous () =
+  let samples = ref [] in
+  List.iter
+    (fun (family, prims) ->
+      List.iter
+        (fun (p : M.prim) ->
+          let bench = Printf.sprintf "micro/%s/%s" family p.M.name in
+          let time_s, runs =
+            retime ~previous (bench, p.M.ops, 1)
+              (time_best ~budget:0.2 p.M.run)
+              p.M.run
+          in
+          let words =
+            if Sys.backend_type = Sys.Native then
+              Some (M.alloc_words_per_op ~reps:8 p)
+            else None
+          in
+          samples :=
+            {
+              mp_row = { bench; bn = p.M.ops; domains = 1; time_s; runs };
+              mp_ns_per_op = time_s /. float_of_int p.M.ops *. 1e9;
+              mp_words_per_op = words;
+              mp_alloc_free = p.M.alloc_free;
+            }
+            :: !samples)
+        prims)
+    (microprim_families ());
+  List.rev !samples
+
+(* Binary codec vs the text codec on the same message, per direction:
+   the headline claim of the proto=2 work. *)
+let proto_codec_speedups mps =
+  let find bench =
+    List.find_opt (fun s -> s.mp_row.bench = bench) mps
+  in
+  List.filter_map
+    (fun (name, bin, text) ->
+      match (find bin, find text) with
+      | Some b, Some t when b.mp_ns_per_op > 0.0 ->
+        Some (name, b.mp_ns_per_op, t.mp_ns_per_op)
+      | _ -> None)
+    [
+      ( "encode/cost-link",
+        "micro/proto-encode/bin/cost-link",
+        "micro/proto-encode/text/cost-link" );
+      ( "decode/cost-link",
+        "micro/proto-decode/bin/view/cost-link",
+        "micro/proto-decode/text/cost-link" );
+    ]
+
+let print_microprims mps =
+  print_endline
+    "== Per-primitive micro suite (bench/micro/): ns/op, minor words/op ==";
+  let table =
+    Wnet_stats.Table.make
+      ~headers:[ "primitive"; "ns/op"; "words/op"; "runs" ]
+  in
+  List.iter
+    (fun s ->
+      Wnet_stats.Table.add_row table
+        [
+          s.mp_row.bench;
+          Printf.sprintf "%.1f" s.mp_ns_per_op;
+          (match s.mp_words_per_op with
+          | Some w -> Printf.sprintf "%.3f" w
+          | None -> "n/a");
+          string_of_int s.mp_row.runs;
+        ])
+    mps;
+  Wnet_stats.Table.print table;
+  print_newline ();
+  List.iter
+    (fun (name, bin_ns, text_ns) ->
+      Printf.printf "proto %s: binary %.1f ns/op vs text %.1f ns/op (%.1fx)\n"
+        name bin_ns text_ns (text_ns /. bin_ns))
+    (proto_codec_speedups mps);
+  (match
+     List.find_opt
+       (fun s ->
+         s.mp_alloc_free
+         && match s.mp_words_per_op with Some w -> w > 0.01 | None -> false)
+       mps
+   with
+  | Some s ->
+    Printf.printf
+      "WARNING: %s allocates %.3f minor words/op on a path declared \
+       allocation-free (bench/micro exe will fail)\n"
+      s.mp_row.bench
+      (Option.value ~default:0.0 s.mp_words_per_op)
+  | None -> ());
+  print_newline ()
+
 let server_speedups_of ~suffix samples =
   let find bench n =
     List.find_opt (fun s -> s.bench = bench && s.bn = n) samples
@@ -797,7 +921,7 @@ let json_float x =
 
 let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
 
-let write_json ~canary ~micro ~session ~hists ~server ~second_path
+let write_json ~canary ~micro ~microprims ~session ~hists ~server ~second_path
     (pool_domains, samples) =
   let now = Unix.gmtime (Unix.time ()) in
   let stamp =
@@ -812,7 +936,7 @@ let write_json ~canary ~micro ~session ~hists ~server ~second_path
   in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"wnet-bench/5\",\n";
+  Buffer.add_string b "  \"schema\": \"wnet-bench/6\",\n";
   Buffer.add_string b (Printf.sprintf "  \"generated_at\": \"%s\",\n" iso);
   Buffer.add_string b
     (Printf.sprintf "  \"ocaml\": \"%s\",\n" (json_escape Sys.ocaml_version));
@@ -979,6 +1103,53 @@ let write_json ~canary ~micro ~session ~hists ~server ~second_path
   Buffer.add_string b (String.concat ",\n" sp_rows);
   Buffer.add_string b "\n    ]\n";
   Buffer.add_string b "  },\n";
+  (* wnet-bench/6: per-primitive micro rows (bench/micro/).  The
+     "micro_prims" rows use the headline object shape so the gate's
+     line scanner picks them up; "micro_prims_ns" carries the derived
+     ns/op, the measured minor words/op, and the allocation contract;
+     "proto_speedups" is the binary-vs-text codec headline. *)
+  Buffer.add_string b "  \"micro_prims\": [\n";
+  List.iteri
+    (fun i s ->
+      let r = s.mp_row in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"bench\": \"%s\", \"n\": %d, \"domains\": %d, \"time_s\": \
+            %s, \"runs\": %d}%s\n"
+           (json_escape r.bench) r.bn r.domains (json_float r.time_s) r.runs
+           (if i = List.length microprims - 1 then "" else ",")))
+    microprims;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"micro_prims_ns\": [\n";
+  let mp_rows =
+    List.map
+      (fun s ->
+        Printf.sprintf
+          "    {\"name\": \"%s\", \"ns_per_op\": %s, \"words_per_op\": %s, \
+           \"alloc_free\": %b}"
+          (json_escape s.mp_row.bench)
+          (json_float s.mp_ns_per_op)
+          (match s.mp_words_per_op with
+          | Some w -> json_float w
+          | None -> "null")
+          s.mp_alloc_free)
+      microprims
+  in
+  Buffer.add_string b (String.concat ",\n" mp_rows);
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"proto_speedups\": [\n";
+  let ps_rows =
+    List.map
+      (fun (name, bin_ns, text_ns) ->
+        Printf.sprintf
+          "    {\"name\": \"%s\", \"bin_ns_per_op\": %s, \"text_ns_per_op\": \
+           %s, \"bin_vs_text\": %s}"
+          (json_escape name) (json_float bin_ns) (json_float text_ns)
+          (json_float (text_ns /. bin_ns)))
+      (proto_codec_speedups microprims)
+  in
+  Buffer.add_string b (String.concat ",\n" ps_rows);
+  Buffer.add_string b "\n  ],\n";
   Buffer.add_string b "  \"micro\": [\n";
   let micro_rows =
     List.map
@@ -1269,11 +1440,15 @@ let () =
     print_server server;
     let second_path = run_second_path ?previous () in
     print_second_path second_path;
+    let microprims = run_microprims ?previous () in
+    print_microprims microprims;
     let micro = run_micro () in
-    write_json ~canary:canary_now ~micro ~session ~hists ~server ~second_path
-      batch;
+    write_json ~canary:canary_now ~micro ~microprims ~session ~hists ~server
+      ~second_path batch;
     if gate then
-      run_gate ~previous batch (session @ server @ second_path.sp_samples)
+      run_gate ~previous batch
+        (session @ server @ second_path.sp_samples
+        @ List.map (fun s -> s.mp_row) microprims)
   in
   match mode with
   | "micro" -> if json then json_run () else ignore (run_micro ())
@@ -1281,14 +1456,15 @@ let () =
     let batch = run_batch () in
     print_batch batch;
     if json then
-      write_json ~canary:(measure_canary ()) ~micro:[] ~session:[] ~hists:[]
-        ~server:[]
+      write_json ~canary:(measure_canary ()) ~micro:[] ~microprims:[]
+        ~session:[] ~hists:[] ~server:[]
         ~second_path:
           { sp_domains = 0; sp_samples = []; sp_executed = 0; sp_stolen = 0 }
         batch
   | "session" -> print_session (run_session ())
   | "server" -> print_server (run_server ())
   | "secondpath" -> print_second_path (run_second_path ())
+  | "microprims" -> print_microprims (run_microprims ())
   | "experiments" ->
     run_experiments ~instances:10 ~hop_instances:10 ~distributed_instances:3 ()
   | "full" ->
@@ -1299,7 +1475,7 @@ let () =
     run_experiments ~instances:5 ~hop_instances:5 ~distributed_instances:2 ()
   | other ->
     Printf.eprintf
-      "unknown mode %s (use: micro | batch | session | server | secondpath | \
+      "unknown mode %s (use: micro | batch | session | server | secondpath | microprims | \
        experiments | full)\n"
       other;
     exit 2

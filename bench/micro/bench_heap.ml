@@ -1,0 +1,1 @@
+let () = Wnet_microbench.run_family "heap" (Wnet_microbench.heap ())

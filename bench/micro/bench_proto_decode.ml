@@ -1,0 +1,1 @@
+let () = Wnet_microbench.run_family "proto-decode" (Wnet_microbench.proto_decode ())

@@ -1,0 +1,1 @@
+let () = Wnet_microbench.run_family "proto-encode" (Wnet_microbench.proto_encode ())

@@ -1,0 +1,381 @@
+(* Per-primitive microbenchmarks: one family per hot-path building
+   block (wire codecs, work-stealing deque, heaps, dynamic-SSSP
+   repair), each primitive a closed loop of [ops] steady-state
+   operations over preallocated state.
+
+   Two consumers share these definitions:
+
+   - the one-exe-per-primitive suite ([bench_proto_encode] & co., via
+     {!run_family}): human-readable ns/op plus a hard assertion that
+     every [alloc_free] primitive allocates ZERO minor-heap words per
+     operation (native code only — bytecode boxes freely and is
+     exempt).  [--smoke] runs a single timed rep with no timing gate
+     but keeps the allocation assertion: that is what CI runs.
+   - bench/main.ml embeds the same primitives as "micro/..." headline
+     rows of BENCH_latest.json, where the 20% regression gate and the
+     machine canary apply to them like to any other wall-clock row.
+
+   Primitives must not allocate in their [run] when [alloc_free] —
+   measurement overhead ([Gc.minor_words] boxes its float result) is
+   amortised over [reps * ops] operations, so the threshold below
+   tolerates a few words per *run*, none per op. *)
+
+module P = Wnet_proto
+module B = Wnet_proto_bin
+
+type prim = {
+  name : string;  (** e.g. "bin/cost-link" — unique within a family *)
+  ops : int;  (** operations performed by one [run ()] call *)
+  run : unit -> unit;
+  alloc_free : bool;
+      (** steady-state contract: 0 minor words per operation *)
+}
+
+let inner_ops = 256
+
+(* ---------------- proto encode ---------------- *)
+
+let proto_encode () =
+  let enc = B.enc_create () in
+  let cost = P.Cost_link { u = 17; v = 23; w = 4.625 } in
+  let drain () = B.enc_consume enc (B.enc_pending enc) in
+  let edit_batch = List.init 16 (fun i -> P.Cost_link { u = i; v = i + 1; w = 0.5 +. float_of_int i }) in
+  let served =
+    P.Served { src = 41; path = [ 41; 17; 3; 0 ]; charge = 12.125 }
+  in
+  [
+    {
+      name = "bin/cost-link";
+      ops = inner_ops;
+      alloc_free = true;
+      run =
+        (fun () ->
+          for _ = 1 to inner_ops do
+            B.encode_request enc cost;
+            drain ()
+          done);
+    };
+    {
+      name = "bin/pay";
+      ops = inner_ops;
+      alloc_free = true;
+      run =
+        (fun () ->
+          for _ = 1 to inner_ops do
+            B.encode_request enc P.Pay;
+            drain ()
+          done);
+    };
+    {
+      name = "bin/batch-16-edits";
+      ops = inner_ops;
+      alloc_free = true;
+      run =
+        (fun () ->
+          (* 16 messages per frame, inner_ops/16 frames *)
+          for _ = 1 to inner_ops / 16 do
+            B.encode_requests enc edit_batch;
+            drain ()
+          done);
+    };
+    {
+      name = "bin/served";
+      ops = inner_ops;
+      alloc_free = false (* path list is walked, frame grows per hop *);
+      run =
+        (fun () ->
+          for _ = 1 to inner_ops do
+            B.encode_response enc served;
+            drain ()
+          done);
+    };
+    {
+      name = "text/cost-link";
+      ops = inner_ops;
+      alloc_free = false (* Printf builds a fresh string per line *);
+      run =
+        (fun () ->
+          for _ = 1 to inner_ops do
+            ignore (Sys.opaque_identity (P.print_request cost))
+          done);
+    };
+    {
+      name = "text/pay";
+      ops = inner_ops;
+      alloc_free = false;
+      run =
+        (fun () ->
+          for _ = 1 to inner_ops do
+            ignore (Sys.opaque_identity (P.print_request P.Pay))
+          done);
+    };
+  ]
+
+(* ---------------- proto decode ---------------- *)
+
+let frame_of_requests rs =
+  let e = B.enc_create () in
+  B.encode_requests e rs;
+  Bytes.sub (B.enc_buffer e) (B.enc_offset e) (B.enc_pending e)
+
+let proto_decode () =
+  let cost = P.Cost_link { u = 17; v = 23; w = 4.625 } in
+  let cost_frame = frame_of_requests [ cost ] in
+  let batch_frame =
+    frame_of_requests
+      (List.init 16 (fun i -> P.Cost_link { u = i; v = i + 1; w = 0.5 +. float_of_int i }))
+  in
+  let cost_line = P.print_request cost in
+  let dec = B.dec_create () in
+  let view = B.make_view () in
+  let sink = ref 0 in
+  let decode_frame frame k =
+    B.dec_feed dec frame 0 (Bytes.length frame);
+    for _ = 1 to k do
+      match B.decode_next dec view with
+      | `Msg -> sink := !sink + view.B.i0 + view.B.i1
+      | `Need_more | `Corrupt _ -> failwith "microbench: bad frame"
+    done
+  in
+  [
+    {
+      name = "bin/view/cost-link";
+      ops = inner_ops;
+      alloc_free = true;
+      run =
+        (fun () ->
+          for _ = 1 to inner_ops do
+            decode_frame cost_frame 1
+          done);
+    };
+    {
+      name = "bin/view/batch-16-edits";
+      ops = inner_ops;
+      alloc_free = true;
+      run =
+        (fun () ->
+          for _ = 1 to inner_ops / 16 do
+            decode_frame batch_frame 16
+          done);
+    };
+    {
+      name = "bin/materialize/cost-link";
+      ops = inner_ops;
+      alloc_free = false (* builds the Wnet_proto.request value *);
+      run =
+        (fun () ->
+          for _ = 1 to inner_ops do
+            B.dec_feed dec cost_frame 0 (Bytes.length cost_frame);
+            match B.decode_request dec view with
+            | `Req _ -> ()
+            | `Need_more | `Corrupt _ -> failwith "microbench: bad frame"
+          done);
+    };
+    {
+      name = "text/cost-link";
+      ops = inner_ops;
+      alloc_free = false;
+      run =
+        (fun () ->
+          for _ = 1 to inner_ops do
+            match P.parse_request cost_line with
+            | Ok _ -> ()
+            | Error _ -> failwith "microbench: bad line"
+          done);
+    };
+  ]
+
+(* ---------------- work-stealing deque ---------------- *)
+
+let deque () =
+  let q = Wnet_par.Deque.create 4096 in
+  [
+    {
+      name = "push-pop";
+      ops = inner_ops * 2;
+      alloc_free = false (* each push boxes its cell *);
+      run =
+        (fun () ->
+          for i = 1 to inner_ops do
+            ignore (Wnet_par.Deque.push q i)
+          done;
+          for _ = 1 to inner_ops do
+            ignore (Sys.opaque_identity (Wnet_par.Deque.pop q))
+          done);
+    };
+    {
+      name = "push-steal";
+      ops = inner_ops * 2;
+      alloc_free = false;
+      run =
+        (fun () ->
+          for i = 1 to inner_ops do
+            ignore (Wnet_par.Deque.push q i)
+          done;
+          for _ = 1 to inner_ops do
+            ignore (Sys.opaque_identity (Wnet_par.Deque.steal q))
+          done);
+    };
+  ]
+
+(* ---------------- heaps ---------------- *)
+
+let heap () =
+  let pri = Array.init inner_ops (fun i -> float_of_int ((i * 7919) mod 1009)) in
+  let bh = Wnet_graph.Binheap.create () in
+  let ih = Wnet_graph.Indexed_heap.create inner_ops in
+  [
+    {
+      name = "binheap/push-pop";
+      ops = inner_ops * 2;
+      alloc_free = false (* float keys are boxed in the heap cells *);
+      run =
+        (fun () ->
+          for i = 0 to inner_ops - 1 do
+            Wnet_graph.Binheap.push bh pri.(i) i
+          done;
+          for _ = 1 to inner_ops do
+            ignore (Sys.opaque_identity (Wnet_graph.Binheap.pop_min bh))
+          done);
+    };
+    {
+      name = "indexed-heap/insert-pop";
+      ops = inner_ops * 2;
+      alloc_free = false (* storage is flat, but pop_min returns a tuple *);
+      run =
+        (fun () ->
+          for i = 0 to inner_ops - 1 do
+            Wnet_graph.Indexed_heap.insert ih i pri.(i)
+          done;
+          for _ = 1 to inner_ops do
+            ignore (Wnet_graph.Indexed_heap.pop_min ih)
+          done);
+    };
+  ]
+
+(* ---------------- dynamic-SSSP distance repair ---------------- *)
+
+let repair () =
+  let n = 200 in
+  let rng = Wnet_prng.Rng.create 9 in
+  let links = ref [] in
+  let p = 4.0 /. float_of_int n in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Wnet_prng.Rng.bernoulli rng p then
+        links := (u, v, Wnet_prng.Rng.float_range rng 1.0 10.0) :: !links
+    done
+  done;
+  let g = Wnet_graph.Digraph.create ~n ~links:!links in
+  let mirror = Wnet_graph.Digraph.reverse g in
+  let source = 0 in
+  let tree = Wnet_graph.Dijkstra.link_weighted g source in
+  let dist = Array.copy tree.Wnet_graph.Dijkstra.dist in
+  (* toggle the first link out of the source: on the tree frontier, so
+     every repair has a real (small) region to patch *)
+  let u, (v, w0) =
+    (source, (Wnet_graph.Digraph.out_links g source).(0))
+  in
+  let scratch = Wnet_graph.Dynamic_sssp.make_dist_scratch n in
+  let flip = ref false in
+  let toggle () =
+    let wa, wb = (w0, w0 *. 2.0) in
+    let old_w = if !flip then wb else wa in
+    let new_w = if !flip then wa else wb in
+    flip := not !flip;
+    Wnet_graph.Digraph.set_weight g u v new_w;
+    Wnet_graph.Digraph.set_weight mirror v u new_w;
+    match
+      Wnet_graph.Dynamic_sssp.repair_dist scratch ~graph:g ~mirror ~source
+        ~dist
+        [ { Wnet_graph.Dynamic_sssp.u; v; w0 = old_w; w1 = new_w } ]
+    with
+    | `Patched _ -> ()
+    | `Overflow ->
+      let t = Wnet_graph.Dijkstra.link_weighted g source in
+      Array.blit t.Wnet_graph.Dijkstra.dist 0 dist 0 n
+  in
+  let reps = 32 in
+  [
+    {
+      name = Printf.sprintf "repair-dist/toggle-link/n=%d" n;
+      ops = reps;
+      alloc_free = false (* edit record + region bookkeeping allocate *);
+      run =
+        (fun () ->
+          for _ = 1 to reps do
+            toggle ()
+          done);
+    };
+  ]
+
+(* ---------------- measurement & driver ---------------- *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let time_best ?(budget = 0.25) ?(min_reps = 3) ?(max_reps = 200) f =
+  f ();
+  let best = ref infinity and total = ref 0.0 and reps = ref 0 in
+  while !reps < min_reps || (!total < budget && !reps < max_reps) do
+    let t = time_once f in
+    if t < !best then best := t;
+    total := !total +. t;
+    incr reps
+  done;
+  (!best, !reps)
+
+(* Minor words per operation.  [Gc.minor_words] itself allocates its
+   boxed float result, so the overhead is bounded by a handful of words
+   per *batch* of [reps * ops] operations — the 0.01 threshold in
+   {!check_alloc} leaves room for that and nothing else. *)
+let alloc_words_per_op ?(reps = 64) p =
+  p.run ();
+  let w0 = Gc.minor_words () in
+  for _ = 1 to reps do
+    p.run ()
+  done;
+  let w1 = Gc.minor_words () in
+  (w1 -. w0) /. float_of_int (reps * p.ops)
+
+let native = Sys.backend_type = Sys.Native
+
+let check_alloc family p =
+  if p.alloc_free && native then begin
+    let w = alloc_words_per_op p in
+    if w > 0.01 then begin
+      Printf.eprintf
+        "%s/%s: allocation regression — %.3f minor words/op on the \
+         steady-state path (want 0)\n"
+        family p.name w;
+      exit 1
+    end
+  end
+
+let run_family family prims =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  Printf.printf "== %s microbench%s ==\n" family
+    (if smoke then " (smoke)" else "");
+  let table =
+    Wnet_stats.Table.make
+      ~headers:[ "primitive"; "ns/op"; "words/op"; "runs" ]
+  in
+  List.iter
+    (fun p ->
+      check_alloc family p;
+      let words =
+        if native then Printf.sprintf "%.3f" (alloc_words_per_op ~reps:8 p)
+        else "n/a"
+      in
+      let time_s, runs =
+        if smoke then (time_once p.run, 1) else time_best p.run
+      in
+      let ns = time_s /. float_of_int p.ops *. 1e9 in
+      Wnet_stats.Table.add_row table
+        [ p.name; Printf.sprintf "%.1f" ns; words; string_of_int runs ])
+    prims;
+  Wnet_stats.Table.print table;
+  if not native then
+    print_endline "(bytecode build: allocation assertions skipped)"

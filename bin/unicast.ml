@@ -468,21 +468,34 @@ let client_cmd =
          & info [ "batch" ] ~docv:"K"
              ~doc:"Pack up to $(docv) consecutive edit lines ($(b,cost), \
                    $(b,join), $(b,rejoin), $(b,leave)) into one socket \
-                   write, so the server coalesces them into a single \
-                   invalidation burst.  Any other line (e.g. $(b,pay)) \
-                   flushes the pending pack first.  Default 1: raw \
-                   pass-through.")
+                   write — one batch frame with $(b,--proto) 2 — so the \
+                   server coalesces them into a single invalidation \
+                   burst.  Any other line (e.g. $(b,pay)) flushes the \
+                   pending pack first.  Default 1: raw pass-through.")
   in
   let verify =
     Arg.(value & flag
          & info [ "verify-responses" ]
-             ~doc:"Parse every server line with the $(b,Wnet_proto) \
-                   grammar and check it reprints byte-identically \
-                   (guards wire-format compatibility, e.g. the stats \
-                   counter layout).  Output still passes through; exits \
-                   nonzero if any line fails the round-trip.")
+             ~doc:"Check every server response against the \
+                   $(b,Wnet_proto) grammar: text lines must reprint \
+                   byte-identically, decoded proto=2 frames must survive \
+                   the text print/parse round-trip (guards wire-format \
+                   compatibility, e.g. the stats counter layout).  \
+                   Output still passes through; exits nonzero if any \
+                   response fails.")
   in
-  let run socket port host batch verify =
+  let proto =
+    Arg.(value & opt int 1
+         & info [ "proto" ] ~docv:"N"
+             ~doc:"Wire protocol: $(b,1) (text lines, default) or \
+                   $(b,2) (binary frames — the client negotiates the \
+                   upgrade, encodes stdin requests as frames and prints \
+                   decoded responses as the equivalent text lines; \
+                   needs a proto=2-capable server).")
+  in
+  let run socket port host batch verify proto =
+    if proto <> 1 && proto <> 2 then
+      failwith "unsupported --proto (want 1 or 2)";
     let addr = parse_addr socket port host in
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let fd =
@@ -500,6 +513,7 @@ let client_cmd =
         Unix.connect fd (Unix.ADDR_INET (ip, port));
         fd
     in
+    let module B = Wnet_proto_bin in
     let rec write_all b off len =
       if len > 0 then begin
         let n = Unix.write fd b off len in
@@ -512,10 +526,13 @@ let client_cmd =
 
        With --batch K > 1, stdin is re-chunked on line boundaries: up to
        K consecutive edit lines accumulate locally and leave in one
-       write, landing at the server inside one read so its session
-       coalesces them into a single invalidation pass.  A non-edit line
-       (pay, stats, quit, ...) must observe every edit before it, so it
-       flushes the pending pack first. *)
+       write — one proto=2 batch frame — landing at the server inside
+       one read so its session coalesces them into a single
+       invalidation pass.  A non-edit line (pay, stats, quit, ...) must
+       observe every edit before it, so it flushes the pending pack
+       first.  A trailing pack that never meets a non-edit line is
+       flushed on stdin EOF and, as a last resort, when the server says
+       bye — it must never be dropped silently. *)
     let send_str s = write_all (Bytes.of_string s) 0 (String.length s) in
     let pack = Buffer.create 4096 in
     let packed_edits = ref 0 in
@@ -540,6 +557,58 @@ let client_cmd =
       end
       else flush_pack ()
     in
+    (* --proto 2: stdin lines are parsed and shipped as binary frames;
+       edits accumulate into one batch frame per --batch K. *)
+    let benc = B.enc_create () in
+    let bdec = B.dec_create () in
+    let bview = B.make_view () in
+    let pending = ref [] (* reversed pending edit requests *) in
+    let npending = ref 0 in
+    let flush_benc () =
+      let n = B.enc_pending benc in
+      if n > 0 then begin
+        write_all (B.enc_buffer benc) (B.enc_offset benc) n;
+        B.enc_consume benc n
+      end
+    in
+    let encode_pending () =
+      if !npending > 0 then begin
+        B.encode_requests benc (List.rev !pending);
+        pending := [];
+        npending := 0
+      end
+    in
+    let bin_send_req r =
+      let edit =
+        match r with
+        | Wnet_proto.Cost_node _ | Wnet_proto.Cost_link _ | Wnet_proto.Join _
+        | Wnet_proto.Rejoin _ | Wnet_proto.Leave _ ->
+          true
+        | _ -> false
+      in
+      if edit && batch > 1 then begin
+        pending := r :: !pending;
+        incr npending;
+        if !npending >= batch then begin
+          encode_pending ();
+          flush_benc ()
+        end
+      end
+      else begin
+        encode_pending ();
+        B.encode_request benc r;
+        flush_benc ()
+      end
+    in
+    let bin_feed_line line =
+      match Wnet_proto.parse_request line with
+      | Ok None -> ()
+      | Error m ->
+        (* what a server would answer; no point shipping garbage *)
+        print_endline (Wnet_proto.print_response (Wnet_proto.Err m))
+      | Ok (Some r) -> bin_send_req r
+    in
+    let line_sink = if proto = 2 then bin_feed_line else feed_line in
     let partial = Buffer.create 256 in
     let feed_chunk s =
       Buffer.add_string partial s;
@@ -550,7 +619,7 @@ let client_cmd =
       (try
          while true do
            let nl = String.index_from text !start '\n' in
-           feed_line (String.sub text !start (nl - !start));
+           line_sink (String.sub text !start (nl - !start));
            start := nl + 1
          done
        with Not_found -> ());
@@ -558,16 +627,33 @@ let client_cmd =
     in
     let feed_eof () =
       if Buffer.length partial > 0 then begin
-        feed_line (Buffer.contents partial);
+        line_sink (Buffer.contents partial);
         Buffer.clear partial
       end;
-      flush_pack ()
+      if proto = 2 then begin
+        encode_pending ();
+        flush_benc ()
+      end
+      else flush_pack ()
     in
-    (* --verify-responses: re-assemble the server byte stream into
-       lines and hold each to the print/parse round-trip.  A canonical
-       server emits exactly [print_response r] per line, so
-       [parse_response] followed by [print_response] must reproduce the
-       input bytes. *)
+    (* The satellite of the pack machinery: on ANY path out of the
+       shuttle loop, push complete packed edits out before giving up —
+       the peer may already be gone, which is fine, but the pack must
+       not evaporate locally. *)
+    let flush_trailing () =
+      try
+        if proto = 2 then begin
+          encode_pending ();
+          flush_benc ()
+        end
+        else flush_pack ()
+      with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+    in
+    (* --verify-responses: hold every server response to the
+       print/parse round-trip.  A canonical text server emits exactly
+       [print_response r] per line, so [parse_response] followed by
+       [print_response] must reproduce the input bytes; a decoded
+       proto=2 frame must survive the same text round-trip. *)
     let verify_ok = ref true in
     let server_partial = Buffer.create 256 in
     let verify_line line =
@@ -601,6 +687,72 @@ let client_cmd =
       if !start < len then
         Buffer.add_substring server_partial text !start (len - !start)
     in
+    (* Server -> stdout.  proto=1 passes bytes through; proto=2 reads
+       text lines until the server acks the upgrade with a
+       `ready proto=2' banner, then decodes frames and prints each
+       response as its text line — downstream consumers see the same
+       transcript either way. *)
+    let bin_ready = ref false in
+    let stream_ok = ref true in
+    let rec drain_frames () =
+      match B.decode_response bdec bview with
+      | `Resp r ->
+        let line = Wnet_proto.print_response r in
+        print_endline line;
+        flush stdout;
+        if verify then verify_line line;
+        drain_frames ()
+      | `Need_more -> true
+      | `Corrupt m ->
+        Printf.eprintf "client: corrupt frame from server: %s\n%!" m;
+        stream_ok := false;
+        false
+    in
+    let in_partial = Buffer.create 256 in
+    let rec on_text_chunk text start len =
+      if start >= len then true
+      else if !bin_ready then begin
+        B.dec_feed_string bdec text start (len - start);
+        drain_frames ()
+      end
+      else
+        match String.index_from_opt text start '\n' with
+        | None ->
+          Buffer.add_substring in_partial text start (len - start);
+          true
+        | Some nl ->
+          let line = String.sub text start (nl - start) in
+          print_endline line;
+          flush stdout;
+          if verify then verify_line line;
+          (match Wnet_proto.parse_response line with
+          | Ok (Wnet_proto.Ready { proto = p; _ }) when p = B.version ->
+            bin_ready := true
+          | _ -> ());
+          on_text_chunk text (nl + 1) len
+    in
+    let on_server_chunk s =
+      if proto = 1 then begin
+        if verify then verify_chunk s;
+        print_string s;
+        flush stdout;
+        true
+      end
+      else if !bin_ready then begin
+        B.dec_feed_string bdec s 0 (String.length s);
+        drain_frames ()
+      end
+      else begin
+        Buffer.add_string in_partial s;
+        let text = Buffer.contents in_partial in
+        Buffer.clear in_partial;
+        on_text_chunk text 0 (String.length text)
+      end
+    in
+    (* pipeline the upgrade: the server answers the text request first,
+       then decodes everything behind it as frames *)
+    if proto = 2 then
+      send_str (Wnet_proto.print_request (Wnet_proto.Proto { proto = 2 }) ^ "\n");
     let buf = Bytes.create 4096 in
     let rec loop stdin_open =
       let rs = if stdin_open then [ Unix.stdin; fd ] else [ fd ] in
@@ -611,12 +763,7 @@ let client_cmd =
           if List.mem fd readable then (
             match Unix.read fd buf 0 4096 with
             | 0 -> false
-            | n ->
-              let s = Bytes.sub_string buf 0 n in
-              if verify then verify_chunk s;
-              print_string s;
-              flush stdout;
-              true
+            | n -> on_server_chunk (Bytes.sub_string buf 0 n)
             | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
               -> false)
           else true
@@ -625,28 +772,37 @@ let client_cmd =
           if stdin_open && List.mem Unix.stdin readable then (
             match Unix.read Unix.stdin buf 0 4096 with
             | 0 ->
-              if batch > 1 then feed_eof ();
+              if batch > 1 || proto = 2 then feed_eof ();
               Unix.shutdown fd Unix.SHUTDOWN_SEND;
               loop false
             | n ->
-              if batch > 1 then feed_chunk (Bytes.sub_string buf 0 n)
+              if batch > 1 || proto = 2 then
+                feed_chunk (Bytes.sub_string buf 0 n)
               else write_all buf 0 n;
               loop true)
           else loop stdin_open
+        else flush_trailing ()
     in
-    loop true;
+    (try loop true
+     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+       (* server went away mid-write; its remaining replies are gone *)
+       ());
     Unix.close fd;
     if verify && Buffer.length server_partial > 0 then
       verify_line (Buffer.contents server_partial);
-    if !verify_ok then 0 else 1
+    if !verify_ok && !stream_ok then 0 else 1
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Connect to a $(b,unicast listen) server and shuttle \
              stdin/stdout over the socket (a scriptable netcat).  With \
              $(b,--batch) K, edit lines are packed K per write to drive \
-             the server's burst-coalescing path from the wire side.")
-    Term.(const run $ socket_arg $ port_arg $ host_arg $ batch $ verify)
+             the server's burst-coalescing path from the wire side; \
+             with $(b,--proto) 2 the connection is upgraded to the \
+             binary frame codec and the pack travels as one batch \
+             frame.")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ batch $ verify
+          $ proto)
 
 (* -- format -- *)
 

@@ -101,6 +101,27 @@ val map_array_pooled :
     Chase–Lev deque (owner pushes/pops LIFO at the bottom, thieves CAS
     the top); a full deque runs the task inline instead of blocking. *)
 
+(** The bounded Chase–Lev deque under the stealing layer, exposed for
+    the per-primitive microbench suite ([bench/micro/bench_deque]) and
+    anyone who wants the raw structure.  The scheduler's own usage
+    contract applies: {!Deque.push}/{!Deque.pop} from the owning domain
+    only, {!Deque.steal} from anywhere. *)
+module Deque : sig
+  type 'a t
+
+  val create : int -> 'a t
+  (** [create capacity] with [capacity] a power of two. *)
+
+  val push : 'a t -> 'a -> bool
+  (** Owner only.  [false] means full — run the element inline. *)
+
+  val pop : 'a t -> 'a option
+  (** Owner only.  Most recently pushed element (LIFO). *)
+
+  val steal : 'a t -> 'a option
+  (** Any domain.  Oldest element (FIFO); [None] on a lost race. *)
+end
+
 type 'a task
 (** A handle to a unit of work scheduled with {!submit}. *)
 

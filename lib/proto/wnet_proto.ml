@@ -8,6 +8,7 @@ type request =
   | Leave of { node : int }
   | Pay
   | Stats
+  | Proto of { proto : int }
   | Quit
 
 type response =
@@ -32,7 +33,12 @@ type response =
       bytes_in : int;
       bytes_out : int;
     }
-  | Conn_stats of { requests : int; bytes_in : int; bytes_out : int }
+  | Conn_stats of {
+      requests : int;
+      bytes_in : int;
+      bytes_out : int;
+      proto : int;
+    }
   | Bye
   | Err of string
 
@@ -125,6 +131,10 @@ let parse_request line =
       | "leave" :: _ -> Error "leave: want `leave NODE'"
       | [ "pay" ] -> Ok Pay
       | [ "stats" ] -> Ok Stats
+      | [ "proto"; p ] ->
+        let* proto = int_tok "proto" p in
+        Ok (Proto { proto })
+      | "proto" :: _ -> Error "proto: want `proto N'"
       | [ "quit" ] | [ "exit" ] -> Ok Quit
       | t :: _ -> Error (Printf.sprintf "unknown request %S" t)
       | [] -> Error "empty request"
@@ -149,6 +159,7 @@ let print_request = function
   | Leave { node } -> Printf.sprintf "leave %d" node
   | Pay -> "pay"
   | Stats -> "stats"
+  | Proto { proto } -> Printf.sprintf "proto %d" proto
   | Quit -> "quit"
 
 let model_str = function `Node -> "node" | `Link -> "link"
@@ -195,9 +206,9 @@ let print_response = function
        cache_misses=%d bytes_in=%d bytes_out=%d"
       clients requests edits coalesced cache_hits cache_misses bytes_in
       bytes_out
-  | Conn_stats { requests; bytes_in; bytes_out } ->
-    Printf.sprintf "conn requests=%d bytes_in=%d bytes_out=%d" requests
-      bytes_in bytes_out
+  | Conn_stats { requests; bytes_in; bytes_out; proto } ->
+    Printf.sprintf "conn requests=%d bytes_in=%d bytes_out=%d proto=%d"
+      requests bytes_in bytes_out proto
   | Bye -> "bye"
   | Err "" -> "err"
   | Err m -> "err " ^ m
@@ -248,6 +259,47 @@ let parse_served line =
     | None -> bad ())
   | _ -> bad ()
 
+(* The session counters in wire order.  Older peers end the line early —
+   a wnet/1 server stops after [avoid_reused], a wnet-bench/4 one after
+   [fallbacks] — so any even-length prefix of at least 6 keys parses,
+   with the omitted trailing counters read as 0. *)
+let session_counter_keys =
+  [|
+    "edits"; "coalesced"; "inval_passes"; "spt_runs"; "avoid_runs";
+    "avoid_reused"; "repaired"; "fallbacks"; "tasks"; "stolen";
+  |]
+
+let parse_session_stats line toks =
+  let nkeys = Array.length session_counter_keys in
+  let k = List.length toks in
+  if k < 6 || k > nkeys || k mod 2 <> 0 then
+    Error (Printf.sprintf "bad stats line %S" line)
+  else begin
+    let c = Array.make nkeys 0 in
+    let rec go i = function
+      | [] ->
+        Ok
+          (Session_stats
+             {
+               edits = c.(0);
+               coalesced_edits = c.(1);
+               inval_passes = c.(2);
+               spt_runs = c.(3);
+               avoid_runs = c.(4);
+               avoid_reused = c.(5);
+               repaired_entries = c.(6);
+               fallback_recomputes = c.(7);
+               tasks_executed = c.(8);
+               tasks_stolen = c.(9);
+             })
+      | t :: rest ->
+        let* v = int_kv session_counter_keys.(i) t in
+        c.(i) <- v;
+        go (i + 1) rest
+    in
+    go 0 toks
+  end
+
 let parse_response line =
   let line = String.trim line in
   match tokens line with
@@ -272,77 +324,8 @@ let parse_response line =
     let* t = kv "total" c in
     let* total = float_tok "total" t in
     Ok (Paid { served; unbounded; total })
-  | [ "ok"; a; b; c; d; e; f ] ->
-    (* pre-repair peers (wnet/1 servers) omit the repair counters *)
-    let* edits = int_kv "edits" a in
-    let* coalesced_edits = int_kv "coalesced" b in
-    let* inval_passes = int_kv "inval_passes" c in
-    let* spt_runs = int_kv "spt_runs" d in
-    let* avoid_runs = int_kv "avoid_runs" e in
-    let* avoid_reused = int_kv "avoid_reused" f in
-    Ok
-      (Session_stats
-         {
-           edits;
-           coalesced_edits;
-           inval_passes;
-           spt_runs;
-           avoid_runs;
-           avoid_reused;
-           repaired_entries = 0;
-           fallback_recomputes = 0;
-           tasks_executed = 0;
-           tasks_stolen = 0;
-         })
-  | [ "ok"; a; b; c; d; e; f; g; h ] ->
-    (* pre-scheduler peers (wnet-bench/4 era) omit the task counters *)
-    let* edits = int_kv "edits" a in
-    let* coalesced_edits = int_kv "coalesced" b in
-    let* inval_passes = int_kv "inval_passes" c in
-    let* spt_runs = int_kv "spt_runs" d in
-    let* avoid_runs = int_kv "avoid_runs" e in
-    let* avoid_reused = int_kv "avoid_reused" f in
-    let* repaired_entries = int_kv "repaired" g in
-    let* fallback_recomputes = int_kv "fallbacks" h in
-    Ok
-      (Session_stats
-         {
-           edits;
-           coalesced_edits;
-           inval_passes;
-           spt_runs;
-           avoid_runs;
-           avoid_reused;
-           repaired_entries;
-           fallback_recomputes;
-           tasks_executed = 0;
-           tasks_stolen = 0;
-         })
-  | [ "ok"; a; b; c; d; e; f; g; h; i; j ] ->
-    let* edits = int_kv "edits" a in
-    let* coalesced_edits = int_kv "coalesced" b in
-    let* inval_passes = int_kv "inval_passes" c in
-    let* spt_runs = int_kv "spt_runs" d in
-    let* avoid_runs = int_kv "avoid_runs" e in
-    let* avoid_reused = int_kv "avoid_reused" f in
-    let* repaired_entries = int_kv "repaired" g in
-    let* fallback_recomputes = int_kv "fallbacks" h in
-    let* tasks_executed = int_kv "tasks" i in
-    let* tasks_stolen = int_kv "stolen" j in
-    Ok
-      (Session_stats
-         {
-           edits;
-           coalesced_edits;
-           inval_passes;
-           spt_runs;
-           avoid_runs;
-           avoid_reused;
-           repaired_entries;
-           fallback_recomputes;
-           tasks_executed;
-           tasks_stolen;
-         })
+  | "ok" :: (_ :: _ :: _ :: _ :: _ :: _ :: _ as toks) ->
+    parse_session_stats line toks
   | [ "server"; a; b; c; d; e; f; g; h ] ->
     let* clients = int_kv "clients" a in
     let* requests = int_kv "requests" b in
@@ -364,11 +347,18 @@ let parse_response line =
            bytes_in;
            bytes_out;
          })
-  | [ "conn"; a; b; c ] ->
+  | "conn" :: a :: b :: c :: rest ->
     let* requests = int_kv "requests" a in
     let* bytes_in = int_kv "bytes_in" b in
     let* bytes_out = int_kv "bytes_out" c in
-    Ok (Conn_stats { requests; bytes_in; bytes_out })
+    (* pre-binary peers (wnet-bench/5 era) omit the proto token *)
+    let* proto =
+      match rest with
+      | [] -> Ok version
+      | [ p ] -> int_kv "proto" p
+      | _ -> Error (Printf.sprintf "bad conn line %S" line)
+    in
+    Ok (Conn_stats { requests; bytes_in; bytes_out; proto })
   | [ "bye" ] -> Ok Bye
   | [ "err" ] -> Ok (Err "")
   | "err" :: _ -> (
@@ -378,9 +368,9 @@ let parse_response line =
   | "src" :: _ -> parse_served line
   | _ -> Error (Printf.sprintf "unknown response %S" line)
 
-let greeting (module S : Wnet_session.S) =
+let greeting ?(proto = version) (module S : Wnet_session.S) =
   Ready
-    { proto = version; model = S.model; n = S.n (); root = S.root;
+    { proto; model = S.model; n = S.n (); root = S.root;
       domains = S.domains }
 
 let ack (a : Wnet_session.ack) = Ack { version = a.version; node = a.node }
@@ -411,6 +401,10 @@ let handle (module S : Wnet_session.S) req =
             };
         ]
     | Stats -> [ Session_stats (S.stats ()) ]
+    | Proto _ ->
+      (* Codec switching is transport-level; only framed front-ends
+         (the socket server) can honour it. *)
+      [ Err "proto: negotiation needs a socket transport" ]
     | Quit -> [ Bye ]
   with
   | Failure m | Invalid_argument m -> [ Err m ]

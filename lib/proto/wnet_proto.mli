@@ -20,6 +20,8 @@
     leave K                       node K departs (its id stays valid)
     pay                           all-to-root payments for the current topology
     stats                         work counters
+    proto N                       switch this connection's wire codec
+                                  (N = 2 selects {!Wnet_proto_bin} framing)
     quit | exit                   close the session
     v}
 
@@ -32,10 +34,14 @@
     ok served=11 unbounded=1 total=33.25       (ends a pay reply)
     ok edits=4 coalesced=4 inval_passes=1 spt_runs=2 avoid_runs=5 avoid_reused=9
     server clients=2 requests=10 edits=4 coalesced=4 cache_hits=9 cache_misses=5 bytes_in=120 bytes_out=456
-    conn requests=3 bytes_in=40 bytes_out=152
+    conn requests=3 bytes_in=40 bytes_out=152 proto=1
     bye
     err <reason>
     v}
+
+    The session-stats [ok] line and the [conn] line both parse with
+    trailing counters omitted (older peers printed fewer), the missing
+    values reading as 0 (resp. [proto=1]).
 
     Floats print in the shortest decimal form that parses back to the
     identical bit pattern ([inf] for infinity), so replies round-trip
@@ -54,6 +60,7 @@ type request =
   | Leave of { node : int }
   | Pay
   | Stats
+  | Proto of { proto : int }
   | Quit
 
 type response =
@@ -78,7 +85,12 @@ type response =
       bytes_in : int;
       bytes_out : int;
     }
-  | Conn_stats of { requests : int; bytes_in : int; bytes_out : int }
+  | Conn_stats of {
+      requests : int;
+      bytes_in : int;
+      bytes_out : int;
+      proto : int;  (** wire codec the connection currently speaks *)
+    }
   | Bye
   | Err of string
 
@@ -99,8 +111,10 @@ val parse_response : string -> (response, string) result
 val print_response : response -> string
 (** Canonical wire form; [parse_response (print_response r) = Ok r]. *)
 
-val greeting : (module Wnet_session.S) -> response
-(** The [ready] banner a front-end sends when a session opens. *)
+val greeting : ?proto:int -> (module Wnet_session.S) -> response
+(** The [ready] banner a front-end sends when a session opens.
+    [?proto] (default {!version}) lets the socket server acknowledge a
+    codec upgrade with a [ready proto=2 ...] banner. *)
 
 val handle : (module Wnet_session.S) -> request -> response list
 (** The generic serve step shared by the stdin loop and the socket

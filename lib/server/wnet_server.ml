@@ -1,14 +1,27 @@
+module B = Wnet_proto_bin
+
 type addr = Unix_path of string | Tcp of { host : string; port : int }
 
+(* Each connection owns both codecs: the line codec it opens with
+   ([inbuf]/[out]) and a preallocated binary codec ([bdec]/[benc],
+   scratch reused for the connection's lifetime) it switches to when
+   the client negotiates [proto 2].  Text output always drains before
+   binary output — the only moment both are pending is right after the
+   upgrade, when the text [ready proto=2] banner precedes the first
+   frame. *)
 type conn = {
   fd : Unix.file_descr;
+  mutable proto : int;  (* 1 = lines, 2 = binary frames *)
   mutable inbuf : string;  (* partial line, no '\n' yet *)
-  mutable out : string;  (* rendered replies not yet written *)
+  mutable out : string;  (* rendered text replies not yet written *)
+  benc : B.enc;  (* encoded frames not yet written *)
+  bdec : B.dec;
+  bview : B.view;
   mutable last_active : float;
   mutable requests : int;
   mutable bytes_in : int;
   mutable bytes_out : int;
-  mutable closing : bool;  (* close once [out] drains *)
+  mutable closing : bool;  (* close once pending output drains *)
 }
 
 type t = {
@@ -117,92 +130,147 @@ let server_stats (t : t) =
 
 let conn_stats (c : conn) =
   Wnet_proto.Conn_stats
-    { requests = c.requests; bytes_in = c.bytes_in; bytes_out = c.bytes_out }
+    {
+      requests = c.requests;
+      bytes_in = c.bytes_in;
+      bytes_out = c.bytes_out;
+      proto = c.proto;
+    }
 
-(* One complete request line -> reply lines.  The protocol handler does
-   the work; the server only layers its own stats onto [stats] replies
-   and latches the close on [quit]. *)
-let respond (t : t) (c : conn) line =
-  match Wnet_proto.parse_request line with
-  | Ok None -> []
-  | Error m ->
-    c.requests <- c.requests + 1;
-    t.requests <- t.requests + 1;
-    [ Wnet_proto.Err m ]
-  | Ok (Some req) ->
-    c.requests <- c.requests + 1;
-    t.requests <- t.requests + 1;
-    let rs = Wnet_proto.handle t.session req in
-    (match req with
-    | Wnet_proto.Stats -> rs @ [ server_stats t; conn_stats c ]
-    | Wnet_proto.Quit ->
-      c.closing <- true;
-      rs
-    | _ -> rs)
+let queue (c : conn) rs =
+  if rs <> [] then
+    if c.proto = 2 then B.encode_responses c.benc rs
+    else c.out <- c.out ^ render rs
 
-let queue (c : conn) rs = if rs <> [] then c.out <- c.out ^ render rs
+let pending_out (c : conn) = String.length c.out + B.enc_pending c.benc
 
 let close_conn (t : t) (c : conn) =
   (try Unix.close c.fd with Unix.Unix_error _ -> ());
   t.conns <- List.filter (fun c' -> c' != c) t.conns
 
-(* Write as much pending output as the socket accepts right now. *)
+(* Write as much pending output as the socket accepts right now; text
+   before frames (see the [conn] invariant). *)
 let flush_some (t : t) (c : conn) =
-  let len = String.length c.out in
-  if len > 0 then
-    match Unix.write_substring c.fd c.out 0 len with
-    | n ->
-      c.out <- String.sub c.out n (len - n);
-      c.bytes_out <- c.bytes_out + n;
-      t.bytes_out <- t.bytes_out + n
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-      close_conn t c
-
-(* Split off every complete line; the tail (no '\n' yet) stays buffered. *)
-let complete_lines (c : conn) data =
-  let buf = c.inbuf ^ data in
-  let rec go start acc =
-    match String.index_from_opt buf start '\n' with
-    | None ->
-      c.inbuf <- String.sub buf start (String.length buf - start);
-      List.rev acc
-    | Some i ->
-      let line = String.sub buf start (i - start) in
-      let line =
-        if line <> "" && line.[String.length line - 1] = '\r' then
-          String.sub line 0 (String.length line - 1)
-        else line
-      in
-      go (i + 1) (line :: acc)
+  let account n =
+    c.bytes_out <- c.bytes_out + n;
+    t.bytes_out <- t.bytes_out + n
   in
-  go 0 []
+  try
+    let len = String.length c.out in
+    if len > 0 then begin
+      let n = Unix.write_substring c.fd c.out 0 len in
+      c.out <- String.sub c.out n (len - n);
+      account n
+    end;
+    let blen = B.enc_pending c.benc in
+    if c.out = "" && blen > 0 then begin
+      let n = Unix.write c.fd (B.enc_buffer c.benc) (B.enc_offset c.benc) blen in
+      B.enc_consume c.benc n;
+      account n
+    end
+  with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> close_conn t c
 
-let handle_lines (t : t) (c : conn) lines =
-  List.iter
-    (fun line ->
-      if not c.closing then begin
-        c.last_active <- Unix.gettimeofday ();
-        queue c (respond t c line)
-      end)
-    lines
+(* Split off the first complete line; the tail stays buffered. *)
+let next_line (c : conn) =
+  match String.index_opt c.inbuf '\n' with
+  | None -> None
+  | Some i ->
+    let line = String.sub c.inbuf 0 i in
+    let line =
+      if line <> "" && line.[String.length line - 1] = '\r' then
+        String.sub line 0 (String.length line - 1)
+      else line
+    in
+    c.inbuf <- String.sub c.inbuf (i + 1) (String.length c.inbuf - i - 1);
+    Some line
+
+(* One parsed request -> queued replies.  The protocol handler does the
+   work; the server layers its own stats onto [stats] replies, latches
+   the close on [quit], and owns codec negotiation ([proto N]) because
+   switching is transport state, not session state. *)
+let process (t : t) (c : conn) parsed =
+  c.last_active <- Unix.gettimeofday ();
+  match parsed with
+  | Ok None -> ()
+  | Error m ->
+    c.requests <- c.requests + 1;
+    t.requests <- t.requests + 1;
+    queue c [ Wnet_proto.Err m ]
+  | Ok (Some req) -> (
+    c.requests <- c.requests + 1;
+    t.requests <- t.requests + 1;
+    match req with
+    | Wnet_proto.Proto { proto = p } ->
+      if p = B.version then begin
+        (* Acknowledge in the current codec, then switch both
+           directions.  Bytes already buffered behind the request are
+           re-fed to the frame decoder. *)
+        queue c [ Wnet_proto.greeting ~proto:B.version t.session ];
+        if c.proto <> B.version then begin
+          c.proto <- B.version;
+          if c.inbuf <> "" then begin
+            B.dec_feed_string c.bdec c.inbuf 0 (String.length c.inbuf);
+            c.inbuf <- ""
+          end
+        end
+      end
+      else if p = Wnet_proto.version && c.proto = Wnet_proto.version then
+        queue c [ Wnet_proto.greeting t.session ]
+      else if p = Wnet_proto.version then
+        queue c [ Wnet_proto.Err "proto: downgrade unsupported" ]
+      else
+        queue c
+          [ Wnet_proto.Err (Printf.sprintf "proto: unsupported version %d" p) ]
+    | Wnet_proto.Stats ->
+      queue c
+        (Wnet_proto.handle t.session req @ [ server_stats t; conn_stats c ])
+    | Wnet_proto.Quit ->
+      queue c (Wnet_proto.handle t.session req);
+      c.closing <- true
+    | _ -> queue c (Wnet_proto.handle t.session req))
+
+(* Answer every complete request already buffered, one at a time — the
+   request may switch the codec for the bytes behind it. *)
+let rec drain_input (t : t) (c : conn) =
+  if not c.closing then
+    if c.proto = 2 then
+      match B.decode_request c.bdec c.bview with
+      | `Req req ->
+        process t c (Ok (Some req));
+        drain_input t c
+      | `Need_more -> ()
+      | `Corrupt m ->
+        (* Framing is lost for good: report, dismiss, close. *)
+        c.requests <- c.requests + 1;
+        t.requests <- t.requests + 1;
+        queue c [ Wnet_proto.Err ("proto: " ^ m); Wnet_proto.Bye ];
+        c.closing <- true
+    else
+      match next_line c with
+      | Some line ->
+        process t c (Wnet_proto.parse_request line);
+        drain_input t c
+      | None -> ()
 
 let handle_readable (t : t) (c : conn) =
   let bytes = Bytes.create 4096 in
   match Unix.read c.fd bytes 0 4096 with
   | 0 ->
     (* Client half-closed: answer what is already buffered, then go. *)
-    let lines = complete_lines c "" in
-    handle_lines t c lines;
+    drain_input t c;
     c.closing <- true;
     flush_some t c;
-    if c.out = "" then close_conn t c
+    if pending_out c = 0 then close_conn t c
   | n ->
     c.bytes_in <- c.bytes_in + n;
     t.bytes_in <- t.bytes_in + n;
-    handle_lines t c (complete_lines c (Bytes.sub_string bytes 0 n));
+    if c.proto = 2 then B.dec_feed c.bdec bytes 0 n
+    else c.inbuf <- c.inbuf ^ Bytes.sub_string bytes 0 n;
+    drain_input t c;
     flush_some t c;
-    if c.closing && c.out = "" then close_conn t c
+    if c.closing && pending_out c = 0 then close_conn t c
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
     close_conn t c
@@ -214,8 +282,12 @@ let accept_ready (t : t) =
     let c =
       {
         fd;
+        proto = Wnet_proto.version;
         inbuf = "";
         out = "";
+        benc = B.enc_create ();
+        bdec = B.dec_create ();
+        bview = B.make_view ();
         last_active = Unix.gettimeofday ();
         requests = 0;
         bytes_in = 0;
@@ -239,7 +311,7 @@ let sweep_idle (t : t) now =
           queue c [ Wnet_proto.Err "idle timeout"; Wnet_proto.Bye ];
           c.closing <- true;
           flush_some t c;
-          if c.out = "" then close_conn t c
+          if pending_out c = 0 then close_conn t c
         end)
       t.conns
 
@@ -260,14 +332,16 @@ let next_timeout (t : t) now =
 let drain (t : t) =
   List.iter
     (fun c ->
-      handle_lines t c (complete_lines c "");
+      drain_input t c;
       if not c.closing then queue c [ Wnet_proto.Bye ];
       c.closing <- true)
     t.conns;
   let deadline = Unix.gettimeofday () +. 5.0 in
   let rec flush_all () =
     List.iter (fun c -> flush_some t c) t.conns;
-    t.conns <- List.filter (fun c -> c.out <> "" || (Unix.close c.fd; false))
+    t.conns <-
+      List.filter
+        (fun c -> pending_out c <> 0 || (Unix.close c.fd; false))
         t.conns;
     if t.conns <> [] && Unix.gettimeofday () < deadline then begin
       let ws = List.map (fun c -> c.fd) t.conns in
@@ -293,7 +367,7 @@ let serve (t : t) =
       in
       let ws =
         List.filter_map
-          (fun c -> if c.out <> "" then Some c.fd else None)
+          (fun c -> if pending_out c <> 0 then Some c.fd else None)
           t.conns
       in
       match Unix.select rs ws [] (next_timeout t now) with
@@ -308,7 +382,7 @@ let serve (t : t) =
             match List.find_opt (fun c -> c.fd == fd) t.conns with
             | Some c ->
               flush_some t c;
-              if c.closing && c.out = "" then close_conn t c
+              if c.closing && pending_out c = 0 then close_conn t c
             | None -> ())
           writable;
         List.iter

@@ -2,7 +2,14 @@
 
     One server owns ONE {!Wnet_session.S} (the access point's session)
     and serves many concurrent clients over a TCP or Unix-domain
-    socket, all speaking the {!Wnet_proto} line protocol.  The loop is
+    socket, all speaking the {!Wnet_proto} grammar.  Every connection
+    opens in the proto=1 line codec; a client may switch its own
+    connection to the {!Wnet_proto_bin} frame codec with [proto 2]
+    (acknowledged by a text [ready proto=2 ...] banner, after which
+    both directions of that connection speak binary frames — other
+    connections are unaffected, and a corrupt frame is answered with
+    [err]+[bye] and a close, since binary framing cannot resync).
+    The loop is
     single-threaded ([Unix.select]): requests are applied to the
     session in arrival order, so the socket path inherits the engine's
     determinism contract — the payment stream is bit-identical to

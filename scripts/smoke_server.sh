@@ -85,11 +85,32 @@ grep -q '^ok edits=5 coalesced=5 inval_passes=2' "$OUT.batch" \
   || fail "--batch edits did not coalesce into one invalidation pass"
 grep -q '^bye$' "$OUT.batch" || fail "batch client quit not answered"
 
+# A third client upgrades to the binary frame protocol (proto=2): the
+# same request lines leave as length-prefixed binary frames (--batch
+# packs the edit burst into ONE batch frame), the replies come back as
+# binary frames and are printed as the same text lines a proto=1 client
+# would show — plus the extra `ready proto=2` upgrade banner.
+$UNICAST client --socket "$SOCK" --proto 2 --batch 8 --verify-responses > "$OUT.bin" <<'EOF'
+cost 3 6.5
+cost 5 3.75
+pay
+stats
+quit
+EOF
+
+grep -q '^ready proto=1 model=node' "$OUT.bin" || fail "binary client missed the text banner"
+grep -q '^ready proto=2 model=node' "$OUT.bin" || fail "proto=2 upgrade not acked"
+grep -q '^ok edits=7 coalesced=7 inval_passes=3' "$OUT.bin" \
+  || fail "binary batch edits did not coalesce into one invalidation pass"
+grep -Eq '^conn requests=[0-9]+ bytes_in=[0-9]+ bytes_out=[0-9]+ proto=2$' "$OUT.bin" \
+  || fail "conn stats must report proto=2"
+grep -q '^bye$' "$OUT.bin" || fail "binary client quit not answered"
+
 # Graceful shutdown: SIGINT must drain and exit 0, removing the socket.
 kill -INT "$SERVER_PID"
 wait "$SERVER_PID" || fail "server did not exit cleanly on SIGINT"
 SERVER_PID=""
 [ ! -S "$SOCK" ] || fail "socket file left behind"
-grep -q '^served 2 client(s)' "$SERVER_LOG" || fail "final counters not printed"
+grep -q '^served 3 client(s)' "$SERVER_LOG" || fail "final counters not printed"
 
 echo "smoke_server: OK"

@@ -33,6 +33,7 @@ let request_gen =
         (fun node out inn -> P.Rejoin { node; out; inn })
         node_gen endpoints_gen endpoints_gen;
       Gen.map (fun node -> P.Leave { node }) node_gen;
+      Gen.map (fun proto -> P.Proto { proto }) (Gen.int_range 0 255);
       Gen.oneofl [ P.Pay; P.Stats; P.Quit ];
     ]
 
@@ -107,9 +108,10 @@ let response_gen =
         (Gen.pair (Gen.pair count_gen count_gen)
            (Gen.pair count_gen count_gen));
       Gen.map3
-        (fun requests bytes_in bytes_out ->
-          P.Conn_stats { requests; bytes_in; bytes_out })
-        count_gen count_gen count_gen;
+        (fun requests bytes_in (bytes_out, proto) ->
+          P.Conn_stats { requests; bytes_in; bytes_out; proto })
+        count_gen count_gen
+        (Gen.pair count_gen (Gen.int_range 1 255));
       Gen.return P.Bye;
       Gen.map (fun m -> P.Err m) message_gen;
     ]
@@ -134,6 +136,7 @@ let request_equal a b =
       P.Rejoin { node = n'; out = o'; inn = i' } ) ->
     node = n' && endpoints_equal out o' && endpoints_equal inn i'
   | P.Leave { node }, P.Leave { node = n' } -> node = n'
+  | P.Proto { proto }, P.Proto { proto = p' } -> proto = p'
   | P.Pay, P.Pay | P.Stats, P.Stats | P.Quit, P.Quit -> true
   | _ -> false
 
@@ -176,9 +179,10 @@ let response_equal a b =
     clients = c' && requests = r' && edits = e' && coalesced = co'
     && cache_hits = ch' && cache_misses = cm' && bytes_in = bi'
     && bytes_out = bo'
-  | ( P.Conn_stats { requests; bytes_in; bytes_out },
-      P.Conn_stats { requests = r'; bytes_in = bi'; bytes_out = bo' } ) ->
-    requests = r' && bytes_in = bi' && bytes_out = bo'
+  | ( P.Conn_stats { requests; bytes_in; bytes_out; proto },
+      P.Conn_stats
+        { requests = r'; bytes_in = bi'; bytes_out = bo'; proto = p' } ) ->
+    requests = r' && bytes_in = bi' && bytes_out = bo' && proto = p'
   | P.Bye, P.Bye -> true
   | P.Err a, P.Err b -> a = b
   | _ -> false
@@ -244,6 +248,47 @@ let test_parse_examples () =
   Alcotest.(check bool) "exit aliases quit" true
     (P.parse_request "exit" = Ok (Some P.Quit))
 
+(* The counter keys of the session stats line, in wire order — the
+   table the consolidated parser is driven by. *)
+let stats_keys =
+  [|
+    "edits"; "coalesced"; "inval_passes"; "spt_runs"; "avoid_runs";
+    "avoid_reused"; "repaired"; "fallbacks"; "tasks"; "stolen";
+  |]
+
+(* One property covering every accepted arity: a 6-, 8- or 10-token
+   stats line parses, with the omitted trailing counters read as 0. *)
+let stats_arity_gen =
+  Gen.pair (Gen.oneofl [ 6; 8; 10 ])
+    (Gen.array_size (Gen.return 10) count_gen)
+
+let stats_arity_prop (arity, counts) =
+  let line =
+    "ok "
+    ^ String.concat " "
+        (List.init arity (fun i ->
+             Printf.sprintf "%s=%d" stats_keys.(i) counts.(i)))
+  in
+  let expect i = if i < arity then counts.(i) else 0 in
+  match P.parse_response line with
+  | Ok (P.Session_stats st) ->
+    st
+    = {
+        W.edits = expect 0;
+        coalesced_edits = expect 1;
+        inval_passes = expect 2;
+        spt_runs = expect 3;
+        avoid_runs = expect 4;
+        avoid_reused = expect 5;
+        repaired_entries = expect 6;
+        fallback_recomputes = expect 7;
+        tasks_executed = expect 8;
+        tasks_stolen = expect 9;
+      }
+    || Test.fail_reportf "stats line parsed with wrong counters: %s" line
+  | Ok _ -> Test.fail_reportf "stats line parsed as something else: %s" line
+  | Error m -> Test.fail_reportf "stats line rejected: %s (%s)" line m
+
 let test_stats_line_compat () =
   (* Pin the wire form of the 10-counter stats line, and the parser's
      acceptance of the 8-counter line older peers still send (task
@@ -269,15 +314,30 @@ let test_stats_line_compat () =
           tasks_stolen = 2;
         })
   | _ -> Alcotest.fail "full stats line must parse");
-  match
-    P.parse_response
-      "ok edits=1 coalesced=2 inval_passes=3 spt_runs=4 avoid_runs=5 \
-       avoid_reused=6 repaired=7 fallbacks=8"
-  with
+  (match
+     P.parse_response
+       "ok edits=1 coalesced=2 inval_passes=3 spt_runs=4 avoid_runs=5 \
+        avoid_reused=6 repaired=7 fallbacks=8"
+   with
   | Ok (P.Session_stats st) ->
     Alcotest.(check bool) "8-token line defaults the task counters" true
       (st.W.tasks_executed = 0 && st.W.tasks_stolen = 0)
-  | _ -> Alcotest.fail "8-token stats line must parse"
+  | _ -> Alcotest.fail "8-token stats line must parse");
+  (* an odd arity is not a stats line *)
+  (match
+     P.parse_response
+       "ok edits=1 coalesced=2 inval_passes=3 spt_runs=4 avoid_runs=5 \
+        avoid_reused=6 repaired=7"
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "7-token ok line must be rejected");
+  (* the conn line parses with and without the trailing proto token *)
+  (match P.parse_response "conn requests=3 bytes_in=40 bytes_out=152" with
+  | Ok (P.Conn_stats { proto = 1; requests = 3; _ }) -> ()
+  | _ -> Alcotest.fail "3-token conn line must parse with proto=1");
+  match P.parse_response "conn requests=3 bytes_in=40 bytes_out=152 proto=2" with
+  | Ok (P.Conn_stats { proto = 2; _ }) -> ()
+  | _ -> Alcotest.fail "4-token conn line must carry its proto"
 
 let fig_digraph () =
   Wnet_graph.Digraph.create ~n:3 ~links:[ (2, 1, 1.0); (1, 0, 1.0) ]
@@ -343,4 +403,7 @@ let suite =
       request_gen request_roundtrip_prop;
     Test_util.qcheck_case ~count:500 "parse_response (print_response r) = r"
       response_gen response_roundtrip_prop;
+    Test_util.qcheck_case ~count:500
+      "stats line parses at every arity (6/8/10 tokens)" stats_arity_gen
+      stats_arity_prop;
   ]

@@ -1,0 +1,331 @@
+(* Wnet_proto_bin round-trips: the binary codec must be an exact
+   inverse pair on the same message types the text codec covers —
+   but bitwise by construction (IEEE bit patterns on the wire), so the
+   properties include the floats the text printer has to work for:
+   NaN, infinities, negative zero, subnormal-ish magnitudes.
+
+   Also pins the frame grammar itself: a golden frame for the hottest
+   message, header/truncation behaviour under byte-at-a-time feeding,
+   batch frames up to the 65535-message cap, and the sticky corrupt
+   channel. *)
+
+module P = Wnet_proto
+module B = Wnet_proto_bin
+open QCheck2
+
+(* ---------------- generators (bit-pattern floats included) -------- *)
+
+let float_gen =
+  Gen.oneof
+    [
+      Gen.float;
+      Gen.map2 ( /. ) Gen.float (Gen.float_range 1e-3 1e3);
+      Gen.oneofl
+        [
+          0.0; -0.0; 1.0; 4.5; 1.0 /. 3.0; 1e-300; 3e300; infinity;
+          neg_infinity; nan; Float.min_float; epsilon_float;
+        ];
+    ]
+
+let node_gen = Gen.int_range 0 9999
+let endpoint_gen = Gen.pair node_gen float_gen
+let endpoints_gen = Gen.list_size (Gen.int_range 0 4) endpoint_gen
+
+let request_gen =
+  Gen.oneof
+    [
+      Gen.map2 (fun node cost -> P.Cost_node { node; cost }) node_gen float_gen;
+      Gen.map3 (fun u v w -> P.Cost_link { u; v; w }) node_gen node_gen
+        float_gen;
+      Gen.map2 (fun out inn -> P.Join { out; inn }) endpoints_gen endpoints_gen;
+      Gen.map3
+        (fun node out inn -> P.Rejoin { node; out; inn })
+        node_gen endpoints_gen endpoints_gen;
+      Gen.map (fun node -> P.Leave { node }) node_gen;
+      Gen.map (fun proto -> P.Proto { proto }) (Gen.int_range 0 255);
+      Gen.oneofl [ P.Pay; P.Stats; P.Quit ];
+    ]
+
+let count_gen = Gen.int_range 0 100000
+let path_gen = Gen.list_size (Gen.int_range 0 6) node_gen
+
+let stats_gen = Test_proto.stats_gen
+
+let response_gen =
+  Gen.oneof
+    [
+      Gen.map3
+        (fun model n (root, domains) ->
+          P.Ready { proto = B.version; model; n; root; domains })
+        (Gen.oneofl [ `Node; `Link ])
+        count_gen
+        (Gen.pair node_gen (Gen.int_range 1 64));
+      Gen.map2
+        (fun version node -> P.Ack { version; node })
+        count_gen
+        (Gen.opt node_gen);
+      Gen.map3
+        (fun src path charge -> P.Served { src; path; charge })
+        node_gen path_gen float_gen;
+      Gen.map3
+        (fun served unbounded total -> P.Paid { served; unbounded; total })
+        count_gen count_gen float_gen;
+      Gen.map (fun st -> P.Session_stats st) stats_gen;
+      Gen.map3
+        (fun (clients, requests) (edits, coalesced)
+             ((cache_hits, cache_misses), (bytes_in, bytes_out)) ->
+          P.Server_stats
+            {
+              clients;
+              requests;
+              edits;
+              coalesced;
+              cache_hits;
+              cache_misses;
+              bytes_in;
+              bytes_out;
+            })
+        (Gen.pair count_gen count_gen)
+        (Gen.pair count_gen count_gen)
+        (Gen.pair (Gen.pair count_gen count_gen) (Gen.pair count_gen count_gen));
+      Gen.map3
+        (fun requests bytes_in (bytes_out, proto) ->
+          P.Conn_stats { requests; bytes_in; bytes_out; proto })
+        count_gen count_gen
+        (Gen.pair count_gen (Gen.int_range 1 255));
+      Gen.return P.Bye;
+      Gen.map (fun m -> P.Err m) Gen.string_printable;
+    ]
+
+(* ---------------- helpers ---------------- *)
+
+let frame_of (encode : B.enc -> 'a -> unit) (x : 'a) =
+  let e = B.enc_create () in
+  encode e x;
+  Bytes.sub (B.enc_buffer e) (B.enc_offset e) (B.enc_pending e)
+
+let feed_all d b = B.dec_feed d b 0 (Bytes.length b)
+
+let decode_one_request b =
+  let d = B.dec_create () in
+  let v = B.make_view () in
+  feed_all d b;
+  B.decode_request d v
+
+let decode_one_response b =
+  let d = B.dec_create () in
+  let v = B.make_view () in
+  feed_all d b;
+  B.decode_response d v
+
+(* ---------------- round-trip properties ---------------- *)
+
+let request_roundtrip_prop r =
+  match decode_one_request (frame_of B.encode_request r) with
+  | `Req r' when Test_proto.request_equal r r' -> true
+  | `Req r' ->
+    Test.fail_reportf "request decoded differently: %s vs %s"
+      (P.print_request r) (P.print_request r')
+  | `Need_more -> Test.fail_reportf "decoder starved: %s" (P.print_request r)
+  | `Corrupt m ->
+    Test.fail_reportf "decode failed: %s (%s)" (P.print_request r) m
+
+let response_roundtrip_prop r =
+  match decode_one_response (frame_of B.encode_response r) with
+  | `Resp r' when Test_proto.response_equal r r' -> true
+  | `Resp r' ->
+    Test.fail_reportf "response decoded differently: %s vs %s"
+      (P.print_response r) (P.print_response r')
+  | `Need_more -> Test.fail_reportf "decoder starved: %s" (P.print_response r)
+  | `Corrupt m ->
+    Test.fail_reportf "decode failed: %s (%s)" (P.print_response r) m
+
+(* a batch frame yields every request back, in order *)
+let batch_gen = Gen.list_size (Gen.int_range 1 50) request_gen
+
+let batch_roundtrip_prop rs =
+  let d = B.dec_create () in
+  let v = B.make_view () in
+  feed_all d (frame_of B.encode_requests rs);
+  let ok =
+    List.for_all
+      (fun r ->
+        match B.decode_request d v with
+        | `Req r' -> Test_proto.request_equal r r'
+        | `Need_more | `Corrupt _ -> false)
+      rs
+  in
+  ok
+  && (match B.decode_request d v with `Need_more -> true | _ -> false)
+  || Test.fail_reportf "batch of %d did not round-trip in order"
+       (List.length rs)
+
+(* chunked delivery: any byte-level split yields the same messages *)
+let chunked_prop (rs, seed) =
+  let frame = frame_of B.encode_requests rs in
+  let rng = Wnet_prng.Rng.create seed in
+  let d = B.dec_create () in
+  let v = B.make_view () in
+  let got = ref [] in
+  let pos = ref 0 in
+  let len = Bytes.length frame in
+  let drain () =
+    let rec go () =
+      match B.decode_request d v with
+      | `Req r ->
+        got := r :: !got;
+        go ()
+      | `Need_more -> ()
+      | `Corrupt m -> Test.fail_reportf "corrupt during chunked feed: %s" m
+    in
+    go ()
+  in
+  while !pos < len do
+    let n = 1 + Wnet_prng.Rng.int rng (min 7 (len - !pos)) in
+    B.dec_feed d frame !pos n;
+    pos := !pos + n;
+    drain ()
+  done;
+  let got = List.rev !got in
+  List.length got = List.length rs
+  && List.for_all2 Test_proto.request_equal rs got
+  || Test.fail_reportf "chunked feed lost or reordered messages"
+
+(* ---------------- units ---------------- *)
+
+let test_golden_frame () =
+  (* Pin the wire layout of the hottest message so the format cannot
+     drift silently: cost 1 2 1.5 = one 19-byte payload. *)
+  let frame = frame_of B.encode_request (P.Cost_link { u = 1; v = 2; w = 1.5 }) in
+  let hex =
+    String.concat ""
+      (List.init (Bytes.length frame) (fun i ->
+           Printf.sprintf "%02x" (Char.code (Bytes.get frame i))))
+  in
+  Alcotest.(check string) "golden cost-link frame"
+    ("13000000" (* payload length 19 *)
+    ^ "0100" (* count 1 *)
+    ^ "02" (* tag cost_link *)
+    ^ "01000000" (* u = 1 *)
+    ^ "02000000" (* v = 2 *)
+    ^ "000000000000f83f" (* 1.5 as IEEE-754 LE *))
+    hex
+
+let test_byte_at_a_time () =
+  let frame = frame_of B.encode_request P.Pay in
+  let d = B.dec_create () in
+  let v = B.make_view () in
+  let n = Bytes.length frame in
+  for i = 0 to n - 2 do
+    B.dec_feed d frame i 1;
+    match B.decode_request d v with
+    | `Need_more -> ()
+    | `Req _ -> Alcotest.failf "message yielded %d bytes early" (n - 1 - i)
+    | `Corrupt m -> Alcotest.failf "corrupt mid-frame: %s" m
+  done;
+  B.dec_feed d frame (n - 1) 1;
+  (match B.decode_request d v with
+  | `Req P.Pay -> ()
+  | _ -> Alcotest.fail "complete frame must decode");
+  match B.decode_request d v with
+  | `Need_more -> ()
+  | _ -> Alcotest.fail "decoder must be empty after the frame"
+
+let test_max_batch () =
+  let rs = List.init B.max_batch (fun _ -> P.Pay) in
+  let d = B.dec_create () in
+  let v = B.make_view () in
+  feed_all d (frame_of B.encode_requests rs);
+  let decoded = ref 0 in
+  let rec go () =
+    match B.decode_request d v with
+    | `Req P.Pay ->
+      incr decoded;
+      go ()
+    | `Req _ -> Alcotest.fail "unexpected message in max batch"
+    | `Need_more -> ()
+    | `Corrupt m -> Alcotest.failf "max batch corrupt: %s" m
+  in
+  go ();
+  Alcotest.(check int) "all 65535 messages decode" B.max_batch !decoded;
+  (match frame_of B.encode_requests (P.Pay :: rs) with
+  | _ -> Alcotest.fail "batch over max_batch must be rejected"
+  | exception Invalid_argument _ -> ());
+  match frame_of B.encode_requests [] with
+  | _ -> Alcotest.fail "empty batch must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let expect_corrupt what frame =
+  let d = B.dec_create () in
+  let v = B.make_view () in
+  feed_all d frame;
+  match B.decode_request d v with
+  | `Corrupt _ -> (
+    (* and it must be sticky *)
+    match B.decode_request d v with
+    | `Corrupt _ -> ()
+    | _ -> Alcotest.failf "%s: corruption must be sticky" what)
+  | `Req _ -> Alcotest.failf "%s: decoded garbage" what
+  | `Need_more -> Alcotest.failf "%s: starved instead of corrupt" what
+
+let test_corrupt_frames () =
+  (* unknown tag *)
+  let bad_tag = Bytes.of_string "\x03\x00\x00\x00\x01\x00\xff" in
+  expect_corrupt "unknown tag" bad_tag;
+  (* oversize length claim *)
+  let oversize = Bytes.create 8 in
+  Bytes.set_int32_le oversize 0 (Int32.of_int (B.max_frame + 1));
+  expect_corrupt "oversize frame" oversize;
+  (* zero-count frame *)
+  let empty = Bytes.of_string "\x03\x00\x00\x00\x00\x00\x06" in
+  expect_corrupt "empty frame" empty;
+  (* count says 1 but bytes remain after the message *)
+  let trailing = Bytes.of_string "\x04\x00\x00\x00\x01\x00\x06\x00" in
+  expect_corrupt "trailing bytes" trailing;
+  (* a response tag is not a request *)
+  expect_corrupt "response tag as request" (frame_of B.encode_response P.Bye)
+
+let test_partial_consume () =
+  let e = B.enc_create () in
+  B.encode_request e P.Pay;
+  B.encode_request e P.Stats;
+  let total = B.enc_pending e in
+  (* drain in two uneven steps, as a short socket write would *)
+  let d = B.dec_create () in
+  let v = B.make_view () in
+  let step n =
+    B.dec_feed d (B.enc_buffer e) (B.enc_offset e) n;
+    B.enc_consume e n
+  in
+  step 3;
+  step (total - 3);
+  Alcotest.(check int) "scratch drained" 0 (B.enc_pending e);
+  (match B.decode_request d v with
+  | `Req P.Pay -> ()
+  | _ -> Alcotest.fail "first frame");
+  match B.decode_request d v with
+  | `Req P.Stats -> ()
+  | _ -> Alcotest.fail "second frame"
+
+let suite =
+  [
+    Alcotest.test_case "golden frame: cost-link wire layout" `Quick
+      test_golden_frame;
+    Alcotest.test_case "byte-at-a-time feeding never yields early" `Quick
+      test_byte_at_a_time;
+    Alcotest.test_case "max-size batch frame (65535 messages)" `Quick
+      test_max_batch;
+    Alcotest.test_case "corrupt frames are rejected and sticky" `Quick
+      test_corrupt_frames;
+    Alcotest.test_case "partial socket writes via enc_consume" `Quick
+      test_partial_consume;
+    Test_util.qcheck_case ~count:500 "decode (encode r) = r bitwise, requests"
+      request_gen request_roundtrip_prop;
+    Test_util.qcheck_case ~count:500 "decode (encode r) = r bitwise, responses"
+      response_gen response_roundtrip_prop;
+    Test_util.qcheck_case ~count:500 "batch frames round-trip in order"
+      batch_gen batch_roundtrip_prop;
+    Test_util.qcheck_case ~count:200 "any chunking decodes identically"
+      (Gen.pair batch_gen (Gen.int_range 1 1000000))
+      chunked_prop;
+  ]

@@ -255,6 +255,320 @@ let test_concurrent_clients () =
   let cs = Sv.counters server in
   Alcotest.(check int) "every client accepted" nclients cs.Sv.clients_served
 
+(* ---------------- mixed proto=1 / proto=2 clients ---------------- *)
+
+module B = Wnet_proto_bin
+
+let write_all fd b off len =
+  let rec go off len =
+    if len > 0 then
+      let n = Unix.write fd b off len in
+      go (off + n) (len - n)
+  in
+  go off len
+
+let bin_flush fd enc =
+  write_all fd (B.enc_buffer enc) (B.enc_offset enc) (B.enc_pending enc);
+  B.enc_consume enc (B.enc_pending enc)
+
+(* Byte-at-a-time line read on the raw fd: must not over-read, because
+   everything after the [ready proto=2] ack is binary frames. *)
+let read_line_fd fd =
+  let buf = Buffer.create 64 in
+  let b = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd b 0 1 with
+    | 0 -> Alcotest.failf "eof inside line %S" (Buffer.contents buf)
+    | _ ->
+      if Bytes.get b 0 = '\n' then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Bytes.get b 0);
+        go ()
+      end
+  in
+  go ()
+
+let bin_client path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (match P.parse_response (read_line_fd fd) with
+  | Ok (P.Ready { proto = 1; _ }) -> ()
+  | _ -> Alcotest.fail "binary client: greeting must be a proto=1 banner");
+  let up = P.print_request (P.Proto { proto = B.version }) ^ "\n" in
+  write_all fd (Bytes.of_string up) 0 (String.length up);
+  (match P.parse_response (read_line_fd fd) with
+  | Ok (P.Ready { proto = 2; _ }) -> ()
+  | _ -> Alcotest.fail "upgrade must be acked with a proto=2 banner");
+  (fd, B.enc_create (), B.dec_create (), B.make_view ())
+
+let bin_recv fd dec view =
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match B.decode_response dec view with
+    | `Resp r -> r
+    | `Corrupt m -> Alcotest.failf "binary client: corrupt frame: %s" m
+    | `Need_more ->
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n = 0 then Alcotest.fail "binary client: eof mid-frame";
+      B.dec_feed dec chunk 0 n;
+      go ()
+  in
+  go ()
+
+let expect_eof_fd fd what =
+  let b = Bytes.create 1 in
+  match Unix.read fd b 0 1 with
+  | 0 -> ()
+  | _ -> Alcotest.failf "%s: expected EOF" what
+
+(* One session, one text client and one binary client: the payment
+   stream must be bit-identical across codecs, and identical to the
+   stdin code path fed the same edit order. *)
+let test_mixed_proto () =
+  let path = socket_path "mixed" in
+  let server =
+    Sv.create (Sv.Unix_path path) (W.make ~root:0 (`Link (chain_digraph ())))
+  in
+  let th = Thread.create Sv.serve server in
+  let fda, ica, oca = connect path in
+  (match P.parse_response (input_line ica) with
+  | Ok (P.Ready { proto = 1; _ }) -> ()
+  | _ -> Alcotest.fail "text client greeting");
+  let fdb, enc, dec, view = bin_client path in
+  (* binary burst: two edits packed into ONE batch frame *)
+  let edits =
+    [
+      P.Cost_link { u = 2; v = 1; w = 4.5 };
+      P.Cost_link { u = 1; v = 0; w = 2.25 };
+    ]
+  in
+  B.encode_requests enc edits;
+  bin_flush fdb enc;
+  (match bin_recv fdb dec view with
+  | P.Ack { version = 1; _ } -> ()
+  | r -> Alcotest.failf "first binary ack, got %s" (P.print_response r));
+  (match bin_recv fdb dec view with
+  | P.Ack { version = 2; _ } -> ()
+  | r -> Alcotest.failf "second binary ack, got %s" (P.print_response r));
+  (* a text edit on the same session *)
+  let text_edit = P.Cost_link { u = 2; v = 0; w = 9.0 } in
+  send oca (P.print_request text_edit);
+  (match P.parse_response (input_line ica) with
+  | Ok (P.Ack { version = 3; _ }) -> ()
+  | _ -> Alcotest.fail "text ack");
+  (* binary pay *)
+  B.encode_request enc P.Pay;
+  bin_flush fdb enc;
+  let rec collect_bin acc =
+    match bin_recv fdb dec view with
+    | P.Served _ as r -> collect_bin (r :: acc)
+    | P.Paid _ as r -> List.rev (r :: acc)
+    | r -> Alcotest.failf "unexpected binary pay frame %s" (P.print_response r)
+  in
+  let bin_pay = collect_bin [] in
+  (* text pay over the same (already flushed) session *)
+  send oca "pay";
+  let rec collect_text acc =
+    let l = input_line ica in
+    match P.parse_response l with
+    | Ok (P.Paid _ as r) -> List.rev (r :: acc)
+    | Ok (P.Served _ as r) -> collect_text (r :: acc)
+    | _ -> Alcotest.failf "unexpected text pay line %S" l
+  in
+  let text_pay = collect_text [] in
+  Alcotest.(check int) "both codecs serve the same sources"
+    (List.length text_pay) (List.length bin_pay);
+  List.iter2
+    (fun b t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bit-identical across codecs: %s" (P.print_response b))
+        true
+        (Test_proto.response_equal b t))
+    bin_pay text_pay;
+  (* and identical to the stdin code path fed the same edit order *)
+  let mirror = W.make ~root:0 (`Link (chain_digraph ())) in
+  List.iter
+    (fun r -> ignore (P.handle mirror r))
+    (edits @ [ text_edit ]);
+  let mirror_pay = P.handle mirror P.Pay in
+  List.iter2
+    (fun b m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "binary = stdin path: %s" (P.print_response m))
+        true
+        (Test_proto.response_equal b m))
+    bin_pay mirror_pay;
+  (* stats through the binary codec *)
+  B.encode_request enc P.Stats;
+  bin_flush fdb enc;
+  (match bin_recv fdb dec view with
+  | P.Session_stats st ->
+    Alcotest.(check int) "three edits" 3 st.W.edits;
+    Alcotest.(check int) "all coalesced" 3 st.W.coalesced_edits;
+    Alcotest.(check int) "one invalidation pass for the mixed burst" 1
+      st.W.inval_passes
+  | r -> Alcotest.failf "want session stats, got %s" (P.print_response r));
+  (match bin_recv fdb dec view with
+  | P.Server_stats { clients = 2; _ } -> ()
+  | r -> Alcotest.failf "want server stats with 2 clients, got %s"
+           (P.print_response r));
+  (match bin_recv fdb dec view with
+  | P.Conn_stats { proto = 2; requests; _ } ->
+    (* proto upgrade + 2 edits + pay + stats *)
+    Alcotest.(check int) "binary conn request counter" 5 requests
+  | r -> Alcotest.failf "want proto=2 conn stats, got %s" (P.print_response r));
+  (* text conn still reports proto=1 *)
+  send oca "stats";
+  ignore (input_line ica);
+  ignore (input_line ica);
+  (match P.parse_response (input_line ica) with
+  | Ok (P.Conn_stats { proto = 1; requests = 3; _ }) -> ()
+  | _ -> Alcotest.fail "text conn stats must report proto=1, 3 requests");
+  (* goodbyes in both codecs *)
+  B.encode_request enc P.Quit;
+  bin_flush fdb enc;
+  (match bin_recv fdb dec view with
+  | P.Bye -> ()
+  | r -> Alcotest.failf "binary quit answered %s" (P.print_response r));
+  expect_eof_fd fdb "after binary bye";
+  Unix.close fdb;
+  send oca "quit";
+  Alcotest.(check string) "text bye" "bye" (input_line ica);
+  expect_eof ica "after text bye";
+  Unix.close fda;
+  Sv.shutdown server;
+  Thread.join th
+
+(* a corrupt binary frame is answered with err+bye and a close *)
+let test_corrupt_frame_closes () =
+  let path = socket_path "corrupt" in
+  let server =
+    Sv.create (Sv.Unix_path path) (W.make ~root:0 (`Link (chain_digraph ())))
+  in
+  let th = Thread.create Sv.serve server in
+  let fd, _, dec, view = bin_client path in
+  (* frame with an unknown tag *)
+  let bad = Bytes.of_string "\x03\x00\x00\x00\x01\x00\xff" in
+  write_all fd bad 0 (Bytes.length bad);
+  (match bin_recv fd dec view with
+  | P.Err m ->
+    Alcotest.(check bool) "error names the proto layer" true
+      (String.length m >= 6 && String.sub m 0 6 = "proto:")
+  | r -> Alcotest.failf "want err, got %s" (P.print_response r));
+  (match bin_recv fd dec view with
+  | P.Bye -> ()
+  | r -> Alcotest.failf "want bye, got %s" (P.print_response r));
+  expect_eof_fd fd "after corrupt-frame bye";
+  Unix.close fd;
+  Sv.shutdown server;
+  Thread.join th
+
+(* ---------------- real client exe: --batch flush on EOF -------------- *)
+
+let client_exe () =
+  List.find_opt Sys.file_exists
+    [ "../bin/unicast.exe"; "_build/default/bin/unicast.exe" ]
+
+let run_client_exe exe args input_lines =
+  let in_r, in_w = Unix.pipe () and out_r, out_w = Unix.pipe () in
+  Unix.set_close_on_exec in_w;
+  Unix.set_close_on_exec out_r;
+  let pid =
+    Unix.create_process exe
+      (Array.of_list (exe :: args))
+      in_r out_w Unix.stderr
+  in
+  Unix.close in_r;
+  Unix.close out_w;
+  let oc = Unix.out_channel_of_descr in_w in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    input_lines;
+  close_out oc;
+  let ic = Unix.in_channel_of_descr out_r in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let _, status = Unix.waitpid [] pid in
+  (List.rev !lines, status)
+
+(* Regression: a trailing pack smaller than the batch threshold must
+   still reach the server when stdin closes — in both codecs.  The
+   session counters prove each 3-edit burst arrived (and coalesced). *)
+let test_client_batch_eof () =
+  match client_exe () with
+  | None -> Alcotest.fail "client exe not built (expected ../bin/unicast.exe)"
+  | Some exe ->
+    let path = socket_path "batcheof" in
+    let server =
+      Sv.create (Sv.Unix_path path) (W.make ~root:0 (`Link (chain_digraph ())))
+    in
+    let th = Thread.create Sv.serve server in
+    (* the legs must declare DIFFERENT weights: a same-weight re-declare
+       is a no-op edit (no version bump), which would mask a lost pack *)
+    let check_leg what args edits first_version =
+      let lines, status = run_client_exe exe args edits in
+      (match status with
+      | Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.failf "%s: client exited non-zero" what);
+      let acks =
+        List.filter_map
+          (fun l ->
+            match P.parse_response l with
+            | Ok (P.Ack { version; _ }) -> Some version
+            | Ok (P.Ready _) -> None
+            | _ -> Alcotest.failf "%s: unexpected client line %S" what l)
+          lines
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s: trailing pack acked at EOF" what)
+        [ first_version; first_version + 1; first_version + 2 ]
+        acks
+    in
+    check_leg "text batch"
+      [ "client"; "--socket"; path; "--batch"; "8" ]
+      [ "cost 2 1 7.5"; "cost 1 0 6.25"; "cost 2 0 9.0" ]
+      1;
+    check_leg "binary batch"
+      [ "client"; "--socket"; path; "--proto"; "2"; "--batch"; "8" ]
+      [ "cost 2 1 3.5"; "cost 1 0 2.75"; "cost 2 0 1.5" ]
+      4;
+    (* both bursts reached the session; one pay folds all six edits *)
+    let fd, ic, oc = connect path in
+    ignore (input_line ic);
+    send oc "pay";
+    let rec to_paid () =
+      match P.parse_response (input_line ic) with
+      | Ok (P.Paid _) -> ()
+      | _ -> to_paid ()
+    in
+    to_paid ();
+    send oc "stats";
+    (match P.parse_response (input_line ic) with
+    | Ok (P.Session_stats st) ->
+      Alcotest.(check int) "six edits arrived" 6 st.W.edits;
+      Alcotest.(check int) "all six coalesced" 6 st.W.coalesced_edits;
+      Alcotest.(check int) "single invalidation pass" 1 st.W.inval_passes
+    | _ -> Alcotest.fail "want session stats");
+    ignore (input_line ic);
+    ignore (input_line ic);
+    send oc "quit";
+    let rec drain () =
+      match input_line ic with
+      | exception End_of_file -> ()
+      | _ -> drain ()
+    in
+    drain ();
+    Unix.close fd;
+    Sv.shutdown server;
+    Thread.join th
+
 (* ---------------- idle disconnect ---------------- *)
 
 let test_idle_disconnect () =
@@ -308,6 +622,12 @@ let suite =
     Alcotest.test_case "socket smoke: greet, pay, quit" `Quick test_smoke;
     Alcotest.test_case "4 concurrent clients, bit-identical payments" `Quick
       test_concurrent_clients;
+    Alcotest.test_case "mixed proto=1/proto=2 clients, bit-identical" `Quick
+      test_mixed_proto;
+    Alcotest.test_case "corrupt binary frame answered err+bye" `Quick
+      test_corrupt_frame_closes;
+    Alcotest.test_case "client --batch flushes trailing pack on EOF" `Quick
+      test_client_batch_eof;
     Alcotest.test_case "idle clients are disconnected" `Quick
       test_idle_disconnect;
     Alcotest.test_case "graceful shutdown drains and says bye" `Quick
