@@ -1,5 +1,5 @@
-.PHONY: all test bench microbench microbench-smoke smoke check check-quick \
-	experiments full clean
+.PHONY: all test bench microbench microbench-smoke smoke dsim-smoke check \
+	check-quick experiments full clean
 
 all:
 	dune build @all
@@ -48,16 +48,27 @@ microbench-smoke:
 smoke:
 	sh scripts/smoke_server.sh
 
+# Distributed-simulation smoke: small-n sync and async runs of both dsim
+# scenarios with the --oracle cross-check against the centralized
+# references — nonzero exit on any fixed-point mismatch.
+dsim-smoke:
+	dune build bin/unicast.exe
+	dune exec --no-build bin/unicast.exe -- dsim -n 200 --seed 7 --oracle
+	dune exec --no-build bin/unicast.exe -- dsim -n 200 --seed 7 --mode async --oracle
+	dune exec --no-build bin/unicast.exe -- dsim -n 200 --seed 7 --scenario costshare --oracle
+	dune exec --no-build bin/unicast.exe -- dsim -n 200 --seed 7 --scenario costshare --mode async --oracle
+
 # The whole bar: build, tier-1 tests, socket smoke, then the gated
 # benchmark run.
 check: all test smoke bench
 
 # The fast bar for CI and pre-push: build, tier-1 tests, the socket
-# smoke, and the micro-suite smoke (allocation assertions, no timing) —
-# everything deterministic, nothing wall-clock-gated.  The
-# timing-sensitive `bench` gate stays out: it needs a quiet machine and
-# a previous BENCH_latest.json to compare against.
-check-quick: all test smoke microbench-smoke
+# smoke, the micro-suite smoke (allocation assertions, no timing), and
+# the dsim oracle smoke — everything deterministic, nothing
+# wall-clock-gated.  The timing-sensitive `bench` gate stays out: it
+# needs a quiet machine and a previous BENCH_latest.json to compare
+# against.
+check-quick: all test smoke microbench-smoke dsim-smoke
 
 experiments:
 	dune exec bench/main.exe -- experiments

@@ -172,6 +172,124 @@ let distributed_cmd =
   Cmd.v (Cmd.info "distributed" ~doc:"Run the distributed protocols on an instance.")
     Term.(const run $ graph_arg $ root $ verify)
 
+(* -- dsim -- *)
+
+let dsim_cmd =
+  let graph_opt =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"GRAPH"
+             ~doc:"Graph file (default: a sparse random connected $(b,gnp) \
+                   instance of $(b,--n) nodes).")
+  in
+  let nodes =
+    Arg.(value & opt int 1000
+         & info [ "n" ] ~docv:"N" ~doc:"Node count of the generated instance.")
+  in
+  let root =
+    Arg.(value & opt int 0 & info [ "root" ] ~docv:"NODE" ~doc:"Access point.")
+  in
+  let scenario =
+    Arg.(value & opt string "payment"
+         & info [ "scenario" ] ~docv:"S"
+             ~doc:"$(b,payment) (stage-2 VCG payments) or $(b,costshare) \
+                   (budgeted cost-sharing connectivity).")
+  in
+  let mode =
+    Arg.(value & opt string "sync"
+         & info [ "mode" ] ~docv:"M"
+             ~doc:"$(b,sync) (deterministic parallel rounds) or $(b,async) \
+                   (random per-message delays).")
+  in
+  let oracle =
+    Arg.(value & flag
+         & info [ "oracle" ]
+             ~doc:"Cross-check the fixed point against the centralized \
+                   session oracle; nonzero exit on mismatch.")
+  in
+  let run path n root scenario mode oracle domains seed =
+    let g =
+      match path with
+      | Some p -> read_graph p
+      | None ->
+        let rng = Wnet_prng.Rng.create seed in
+        Wnet_topology.Gnp.connected_graph rng ~n
+          ~p:(6.0 /. float_of_int (max n 2))
+          ~cost_lo:1.0 ~cost_hi:10.0
+    in
+    let n = Wnet_graph.Graph.n g in
+    let rng = Wnet_prng.Rng.create (seed + 1) in
+    let row ~domains ~oracle_ok (stats : Wnet_dsim.Engine.stats) =
+      Format.printf
+        "dsim scenario=%s mode=%s n=%d domains=%d rounds=%d broadcasts=%d \
+         directs=%d deliveries=%d converged=%b tasks=%d/%d oracle=%s@."
+        scenario mode n domains stats.Wnet_dsim.Engine.rounds
+        stats.Wnet_dsim.Engine.broadcasts stats.Wnet_dsim.Engine.directs
+        stats.Wnet_dsim.Engine.deliveries stats.Wnet_dsim.Engine.converged
+        stats.Wnet_dsim.Engine.tasks_executed
+        stats.Wnet_dsim.Engine.tasks_stolen
+        (match oracle_ok with
+        | None -> "skipped"
+        | Some true -> "ok"
+        | Some false -> "MISMATCH");
+      match oracle_ok with Some false -> 1 | _ -> 0
+    in
+    match (scenario, mode) with
+    | "payment", "sync" ->
+      Wnet_par.with_pool ?domains (fun pool ->
+          let o = Wnet_dsim.Payment_protocol.run ~pool g ~root in
+          let ok =
+            if not oracle then None
+            else
+              Some (Wnet_dsim.Payment_protocol.agrees_with_centralized o g)
+          in
+          row ~domains:(Wnet_par.size pool) ~oracle_ok:ok
+            o.Wnet_dsim.Payment_protocol.stats)
+    | "payment", "async" ->
+      let (_, _), astats = Wnet_dsim.Payment_protocol.run_async ~rng g ~root in
+      let o = Wnet_dsim.Payment_protocol.run g ~root in
+      let ok =
+        if not oracle then None
+        else Some (Wnet_dsim.Payment_protocol.agrees_with_centralized o g)
+      in
+      row ~domains:1 ~oracle_ok:ok
+        {
+          o.Wnet_dsim.Payment_protocol.stats with
+          Wnet_dsim.Engine.rounds = 0;
+          deliveries = astats.Wnet_dsim.Async_engine.deliveries;
+          converged = astats.Wnet_dsim.Async_engine.converged;
+        }
+    | "costshare", m ->
+      let subscriber v = v <> root in
+      let budget _ = infinity in
+      let parent = Wnet_dsim.Costshare_protocol.tree_parents g ~root in
+      let o =
+        match m with
+        | "sync" ->
+          Wnet_par.with_pool ?domains (fun pool ->
+              Wnet_dsim.Costshare_protocol.run ~pool ~parents:parent
+                ~subscriber ~budget g ~root)
+        | "async" ->
+          Wnet_dsim.Costshare_protocol.run_async ~parents:parent ~rng
+            ~subscriber ~budget g ~root
+        | other -> failwith ("unknown mode " ^ other)
+      in
+      let ok =
+        if not oracle then None
+        else
+          Some
+            (Wnet_dsim.Costshare_protocol.matches_centralized o g ~parent
+               ~subscriber ~budget)
+      in
+      row ~domains:(Option.value domains ~default:1)
+        ~oracle_ok:ok o.Wnet_dsim.Costshare_protocol.stats
+    | s, m -> failwith (Printf.sprintf "unknown scenario/mode %s/%s" s m)
+  in
+  Cmd.v
+    (Cmd.info "dsim"
+       ~doc:"Run a distributed-simulation scenario and print one stats row.")
+    Term.(const run $ graph_opt $ nodes $ root $ scenario $ mode $ oracle
+          $ domains_arg $ seed_arg)
+
 (* -- experiment -- *)
 
 let experiments ~instances ~seed ~csv ~pool name =
@@ -827,7 +945,8 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            lcp_cmd; pay_cmd; batch_cmd; check_cmd; distributed_cmd; experiment_cmd;
+            lcp_cmd; pay_cmd; batch_cmd; check_cmd; distributed_cmd; dsim_cmd;
+            experiment_cmd;
             report_cmd; generate_cmd; stats_cmd; format_cmd; serve_cmd;
             listen_cmd; client_cmd;
           ]))

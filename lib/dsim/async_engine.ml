@@ -17,29 +17,55 @@ let run ?max_events ?(min_delay = 0.5) ?(max_delay = 1.5) ~rng g
   let queue : 'msg event Wnet_graph.Binheap.t = Wnet_graph.Binheap.create () in
   let deliveries = ref 0 and steps = ref 0 and now = ref 0.0 in
   let delay () = Wnet_prng.Rng.float_range rng min_delay max_delay in
-  let send time outputs ~sender =
-    List.iter
-      (fun out ->
-        match out with
-        | Engine.Broadcast payload ->
-          Array.iter
-            (fun target ->
-              Wnet_graph.Binheap.push queue (time +. delay ())
-                { target; sender; payload })
-            (Wnet_graph.Graph.neighbors g sender)
-        | Engine.Direct (target, payload) ->
-          if not (Wnet_graph.Graph.mem_edge g sender target) then
-            invalid_arg "Async_engine: direct message to a non-neighbour";
-          Wnet_graph.Binheap.push queue (time +. delay ()) { target; sender; payload })
-      outputs
+  (* One reusable outbox: the stepping node and the send time are
+     whatever [sender]/[now] hold when the step runs. *)
+  let sender = ref (-1) in
+  (* Channels are reliable FIFO: two messages on the same directed edge
+     are never reordered.  Independent random delays alone would violate
+     that (a later, shorter-delayed message could overtake an earlier
+     one), which breaks every last-write-wins protocol — so each send is
+     clamped to strictly after the channel's previous delivery time.
+     [Float.succ] keeps the perturbation below any delay granularity,
+     and the heap breaks exact ties arbitrarily only across distinct
+     channels, where order is unconstrained anyway. *)
+  let channel_last : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let schedule target payload =
+    let key = (!sender * n) + target in
+    let t = !now +. delay () in
+    let t =
+      match Hashtbl.find_opt channel_last key with
+      | Some prev when t <= prev -> Float.succ prev
+      | _ -> t
+    in
+    Hashtbl.replace channel_last key t;
+    Wnet_graph.Binheap.push queue t { target; sender = !sender; payload }
   in
+  let outbox =
+    Engine.make_outbox
+      ~on_broadcast:(fun payload ->
+        Array.iter
+          (fun target -> schedule target payload)
+          (Wnet_graph.Graph.neighbors g !sender))
+      ~on_direct:(fun target payload ->
+        if not (Wnet_graph.Graph.mem_edge g !sender target) then
+          invalid_arg "Async_engine: direct message to a non-neighbour";
+        schedule target payload)
+  in
+  (* One reusable single-message inbox view; its payload cell is
+     allocated at the first delivery (polymorphic arrays need a seed). *)
+  let ib = Engine.make_inbox () in
+  let one_sender = [| -1 |] in
+  let one_payload = ref [||] in
   (* Time 0: everyone fires once with an empty inbox, as in the
      synchronous engine's round 0. *)
   for v = 0 to n - 1 do
     incr steps;
-    let state, outputs = spec.Engine.step ~node:v ~round:0 ~inbox:[] states.(v) in
-    states.(v) <- state;
-    send 0.0 outputs ~sender:v
+    sender := v;
+    Engine.fill_inbox ib ~senders:one_sender ~payloads:!one_payload ~off:0
+      ~cnt:0;
+    states.(v) <-
+      spec.Engine.step ~node:v ~round:0 ~event:(-1) ~inbox:ib ~outbox
+        states.(v)
   done;
   let events = ref 0 in
   let exception Capped in
@@ -53,13 +79,20 @@ let run ?max_events ?(min_delay = 0.5) ?(max_delay = 1.5) ~rng g
          now := time;
          incr deliveries;
          incr steps;
-         let state, outputs =
-           spec.Engine.step ~node:ev.target ~round:!steps
-             ~inbox:[ (ev.sender, ev.payload) ]
-             states.(ev.target)
-         in
-         states.(ev.target) <- state;
-         send time outputs ~sender:ev.target;
+         if Array.length !one_payload = 0 then
+           one_payload := Array.make 1 ev.payload
+         else !one_payload.(0) <- ev.payload;
+         one_sender.(0) <- ev.sender;
+         Engine.fill_inbox ib ~senders:one_sender ~payloads:!one_payload
+           ~off:0 ~cnt:1;
+         sender := ev.target;
+         (* [round] carries only the seed/steady-state distinction (0 /
+            1) — there are no global rounds here; the delivery-event
+            index goes in [event], 0-based. *)
+         states.(ev.target) <-
+           spec.Engine.step ~node:ev.target ~round:1
+             ~event:(!events - 1)
+             ~inbox:ib ~outbox states.(ev.target);
          loop ()
      in
      loop ()

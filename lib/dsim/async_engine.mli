@@ -6,7 +6,19 @@
     message is delivered at [send_time + delay] with an independent
     random delay in [\[min_delay, max_delay)], and a node steps once per
     {e delivery} (inbox of size 1, in timestamp order with deterministic
-    tie-breaking).
+    tie-breaking).  Channels are reliable {e FIFO}: two messages sent on
+    the same directed edge are delivered in send order (each send is
+    clamped to strictly after the channel's previous delivery time), the
+    standard asynchronous message-passing model — last-write-wins
+    protocols like {!Costshare_protocol}'s subtree counts depend on it.
+
+    There are no global rounds here, so the spec's [round] argument
+    carries only the seed/steady-state distinction: [0] for the time-0
+    seeding steps (empty inbox), [1] for every delivery.  What a
+    delivery step {e does} get is the global 0-based delivery-event
+    index, in its [event] argument ([-1] during seeding) — protocols
+    that want a notion of progress under async schedules must read
+    [event], never [round].
 
     Distance-vector protocols like the paper's Sec. III-C stages are
     self-stabilizing: they must converge to the same fixed point under

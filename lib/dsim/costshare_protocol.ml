@@ -1,0 +1,254 @@
+open Wnet_graph
+
+(* Budgeted cost-sharing connectivity over the shared SPT (after Zhang,
+   Zhao, Zhang & Gu, "Cost Sharing for Connectivity with Budget").
+
+   A set of subscribers wants connectivity to the access point over the
+   established shortest-path tree; each relay's declared cost is split
+   egalitarianly among the subscribers routing through it, and every
+   subscriber has a budget.  Charges are computed by two message waves
+   on the tree — subscriber counts up, cumulative per-subscriber charges
+   down — and a subscriber whose charge exceeds its budget drops out,
+   permanently.  Dropping only shrinks the sharing pools above it, so
+   the remaining charges are monotone non-decreasing; the iterated-drop
+   process therefore has a unique fixed point regardless of drop order,
+   which is what lets the asynchronous schedule, every pool size, and
+   the centralized reference all land on bit-identical shares. *)
+
+type msg =
+  | Count of int  (* child -> parent: subscribers in my subtree *)
+  | Share of float  (* parent -> child: charge for the path down to you *)
+
+type node_state = {
+  subscribed : bool;  (* still in (never true for the root) *)
+  share : float;  (* down(parent): my own charge; nan until heard *)
+  down : float;  (* down(v): charge relayed to my children; nan until known *)
+  users : int;  (* subscribed strict descendants (my sharing pool) *)
+  subtree : int;  (* users + self if subscribed *)
+}
+
+type outcome = {
+  root : int;
+  funded : bool array;
+  shares : float array;  (* per funded subscriber; nan otherwise *)
+  users : int array;
+  stats : Engine.stats;
+}
+
+let make_spec g ~root ~parent ~subscriber ~budget =
+  let n = Graph.n g in
+  if root < 0 || root >= n then invalid_arg "Costshare_protocol: bad root";
+  if Array.length parent <> n then
+    invalid_arg "Costshare_protocol: parent array size mismatch";
+  (* The tree is a stage-1 product every node already knows its edge of
+     (its first hop); handing the spec the full parent array lets each
+     node derive its children locally, so counts are only aggregated
+     once complete — an undercounted pool would overcharge and cause
+     spurious drops. *)
+  let children = Array.make n [||] in
+  let () =
+    let kids = Array.make n [] in
+    for v = n - 1 downto 0 do
+      let p = parent.(v) in
+      if v <> root && p >= 0 then begin
+        if not (Graph.mem_edge g v p) then
+          invalid_arg "Costshare_protocol: parent is not a neighbour";
+        kids.(p) <- v :: kids.(p)
+      end
+    done;
+    Array.iteri (fun v l -> children.(v) <- Array.of_list l) kids
+  in
+  (* Per-node side tables, each slot touched only by its own node's
+     step: received child counts, how many children are still unheard,
+     and the last subtree count sent up (-1 = never sent). *)
+  let counts = Array.map (fun ch -> Array.make (Array.length ch) (-1)) children in
+  let missing = Array.map Array.length children in
+  let sent_subtree = Array.make n (-1) in
+  let child_index v j =
+    let ch = children.(v) in
+    let rec go i =
+      if i >= Array.length ch then -1 else if ch.(i) = j then i else go (i + 1)
+    in
+    go 0
+  in
+  let reachable v = v = root || parent.(v) >= 0 in
+  let init v =
+    let sub = v <> root && reachable v && subscriber v in
+    {
+      subscribed = sub;
+      share = nan;
+      down = nan;
+      users = 0;
+      subtree = (if sub then 1 else 0);
+    }
+  in
+  let step ~node:v ~round:_ ~event:_ ~inbox ~outbox st =
+    if not (reachable v) then st
+    else begin
+      let st = ref st in
+      Engine.inbox_iter inbox (fun j m ->
+          match m with
+          | Count k ->
+            let i = child_index v j in
+            if i >= 0 then begin
+              if counts.(v).(i) < 0 then missing.(v) <- missing.(v) - 1;
+              counts.(v).(i) <- k
+            end
+          | Share d ->
+            if not (Float.equal d !st.share) then st := { !st with share = d });
+      (* Permanent drop: charges only rise as subscribers leave, so an
+         over-budget subscriber can never become affordable again. *)
+      if
+        !st.subscribed
+        && (not (Float.is_nan !st.share))
+        && !st.share > budget v
+      then st := { !st with subscribed = false };
+      if missing.(v) = 0 then begin
+        let u = Array.fold_left ( + ) 0 counts.(v) in
+        let t = u + if !st.subscribed then 1 else 0 in
+        st := { !st with users = u; subtree = t };
+        if v <> root && sent_subtree.(v) <> t then begin
+          sent_subtree.(v) <- t;
+          Engine.direct outbox ~target:parent.(v) (Count t)
+        end;
+        if v = root || not (Float.is_nan !st.share) then begin
+          (* down(v) = down(parent) + c_v / users(v): the expression the
+             centralized reference reproduces verbatim for bit-identical
+             shares.  No subscribed descendants -> nothing to share. *)
+          let d =
+            if v = root then 0.0
+            else if u > 0 then !st.share +. (Graph.cost g v /. float_of_int u)
+            else nan
+          in
+          if not (Float.equal d !st.down) then begin
+            st := { !st with down = d };
+            if not (Float.is_nan d) then
+              Array.iteri
+                (fun i c ->
+                  if c > 0 then
+                    Engine.direct outbox ~target:children.(v).(i) (Share d))
+                counts.(v)
+          end
+        end
+      end;
+      !st
+    end
+  in
+  { Engine.init; step }
+
+let finalize ~root states stats =
+  let n = Array.length states in
+  {
+    root;
+    funded = Array.map (fun s -> s.subscribed) states;
+    shares =
+      Array.init n (fun v ->
+          if states.(v).subscribed then states.(v).share else nan);
+    users = Array.map (fun (s : node_state) -> s.users) states;
+    stats;
+  }
+
+let tree_parents g ~root =
+  let tree = Dijkstra.node_weighted g ~source:root in
+  Array.init (Graph.n g) (fun v ->
+      if v = root || not (Dijkstra.reachable tree v) then -1
+      else tree.Dijkstra.parent.(v))
+
+let run ?max_rounds ?pool ?parents ~subscriber ~budget g ~root =
+  let parent =
+    match parents with Some p -> p | None -> tree_parents g ~root
+  in
+  let spec = make_spec g ~root ~parent ~subscriber ~budget in
+  let states, stats = Engine.run ?max_rounds ?pool g spec in
+  finalize ~root states stats
+
+let run_async ?max_events ?parents ~rng ~subscriber ~budget g ~root =
+  let parent =
+    match parents with Some p -> p | None -> tree_parents g ~root
+  in
+  let spec = make_spec g ~root ~parent ~subscriber ~budget in
+  let states, astats = Async_engine.run ?max_events ~rng g spec in
+  let stats =
+    {
+      Engine.rounds = 0;
+      broadcasts = 0;
+      directs = astats.Async_engine.deliveries;
+      deliveries = astats.Async_engine.deliveries;
+      converged = astats.Async_engine.converged;
+      tasks_executed = 0;
+      tasks_stolen = 0;
+    }
+  in
+  finalize ~root states stats
+
+(* The centralized iterated-drop reference: recompute pools and charges
+   from scratch, drop every over-budget subscriber, repeat to the fixed
+   point.  The charge expression mirrors the distributed one operation
+   for operation, so (drop order being irrelevant) the results are
+   Float.equal-identical. *)
+let centralized g ~root ~parent ~subscriber ~budget =
+  let n = Graph.n g in
+  let reachable v = v = root || parent.(v) >= 0 in
+  let children = Array.make n [] in
+  for v = n - 1 downto 0 do
+    if v <> root && parent.(v) >= 0 then children.(parent.(v)) <- v :: children.(parent.(v))
+  done;
+  (* root-first order along parent pointers (iterative: the tree can be
+     deep on large instances) — any parents-before-children order does *)
+  let order = Array.make n (-1) in
+  let len = ref 0 in
+  let stack = ref [ root ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+      stack := List.rev_append children.(v) rest;
+      order.(!len) <- v;
+      incr len
+  done;
+  let funded =
+    Array.init n (fun v -> v <> root && reachable v && subscriber v)
+  in
+  let users = Array.make n 0 in
+  let shares = Array.make n nan in
+  let down = Array.make n nan in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* subscriber counts, leaves up *)
+    let subtree = Array.make n 0 in
+    for i = !len - 1 downto 0 do
+      let v = order.(i) in
+      let u = List.fold_left (fun acc c -> acc + subtree.(c)) 0 children.(v) in
+      users.(v) <- u;
+      subtree.(v) <- u + if funded.(v) then 1 else 0
+    done;
+    (* charges, root down, with the distributed expression verbatim *)
+    Array.fill down 0 n nan;
+    Array.fill shares 0 n nan;
+    down.(root) <- 0.0;
+    for i = 1 to !len - 1 do
+      let v = order.(i) in
+      shares.(v) <- down.(parent.(v));
+      if users.(v) > 0 then
+        down.(v) <- shares.(v) +. (Graph.cost g v /. float_of_int users.(v))
+    done;
+    for v = 0 to n - 1 do
+      if funded.(v) && shares.(v) > budget v then begin
+        funded.(v) <- false;
+        changed := true
+      end
+    done
+  done;
+  let shares =
+    Array.init n (fun v -> if funded.(v) then shares.(v) else nan)
+  in
+  (funded, shares, users)
+
+let matches_centralized o g ~parent ~subscriber ~budget =
+  let funded, shares, users =
+    centralized g ~root:o.root ~parent ~subscriber ~budget
+  in
+  funded = o.funded
+  && users = o.users
+  && Array.for_all2 Float.equal shares o.shares

@@ -1,0 +1,98 @@
+(** Budgeted cost-sharing connectivity as a dsim scenario (after Zhang,
+    Zhao, Zhang & Gu, {e Cost Sharing for Connectivity with Budget}).
+
+    A set of {e subscribers} wants connectivity to the access point over
+    the established shortest-path tree.  Each relay's declared cost is
+    split egalitarianly among the subscribers whose path uses it, and
+    every subscriber carries a budget: a subscriber whose total charge
+    exceeds its budget drops out, {e permanently}.  Because a drop only
+    shrinks the sharing pools on its root path, the surviving charges
+    are monotone non-decreasing, the iterated-drop process has a unique
+    fixed point regardless of drop order — and the distributed runs
+    (synchronous, asynchronous, any pool size) land on shares that are
+    [Float.equal]-identical to the centralized reference.
+
+    The protocol is two message waves on the tree, both over the
+    {!Engine.direct} channel: subscriber counts flow up (each node knows
+    its children from the stage-1 parent array, so pools are only ever
+    aggregated from complete information), cumulative per-subscriber
+    charges flow down.  Charge of a subscriber [s] is
+    [down(parent s)] where [down(root) = 0] and
+    [down(v) = down(parent v) + c_v / users(v)]. *)
+
+type msg =
+  | Count of int  (** child → parent: subscribers in my subtree *)
+  | Share of float  (** parent → child: charge for the path down to you *)
+
+type node_state = {
+  subscribed : bool;  (** still funded (never true for the root) *)
+  share : float;  (** this node's own charge; [nan] until heard *)
+  down : float;  (** charge relayed to children; [nan] until computable *)
+  users : int;  (** subscribed strict descendants (this node's pool) *)
+  subtree : int;  (** [users] plus self if subscribed *)
+}
+
+type outcome = {
+  root : int;
+  funded : bool array;  (** subscribers still in at the fixed point *)
+  shares : float array;  (** per funded subscriber; [nan] otherwise *)
+  users : int array;
+  stats : Engine.stats;
+}
+
+val make_spec :
+  Wnet_graph.Graph.t ->
+  root:int ->
+  parent:int array ->
+  subscriber:(int -> bool) ->
+  budget:(int -> float) ->
+  (node_state, msg) Engine.spec
+(** [parent.(v)] is [v]'s first hop toward the root ([-1] for the root
+    and unreachable nodes) — a stage-1 product ({!Spt_protocol.first_hops}
+    or {!tree_parents}).
+    @raise Invalid_argument if [root] or the parent array is invalid. *)
+
+val tree_parents : Wnet_graph.Graph.t -> root:int -> int array
+(** Stage-1 shortcut: first hops of the centralized node-weighted SPT. *)
+
+val run :
+  ?max_rounds:int ->
+  ?pool:Wnet_par.t ->
+  ?parents:int array ->
+  subscriber:(int -> bool) ->
+  budget:(int -> float) ->
+  Wnet_graph.Graph.t ->
+  root:int ->
+  outcome
+(** [parents] defaults to {!tree_parents}. *)
+
+val run_async :
+  ?max_events:int ->
+  ?parents:int array ->
+  rng:Wnet_prng.Rng.t ->
+  subscriber:(int -> bool) ->
+  budget:(int -> float) ->
+  Wnet_graph.Graph.t ->
+  root:int ->
+  outcome
+(** Same fixed point under the event-queue schedule; the synthesized
+    stats carry the delivery count and convergence flag only. *)
+
+val centralized :
+  Wnet_graph.Graph.t ->
+  root:int ->
+  parent:int array ->
+  subscriber:(int -> bool) ->
+  budget:(int -> float) ->
+  bool array * float array * int array
+(** The iterated-drop reference: [(funded, shares, users)], computed
+    with the distributed charge expression operation for operation, so
+    agreement is exact ([Float.equal]), not approximate. *)
+
+val matches_centralized :
+  outcome ->
+  Wnet_graph.Graph.t ->
+  parent:int array ->
+  subscriber:(int -> bool) ->
+  budget:(int -> float) ->
+  bool

@@ -5,7 +5,7 @@ type node_state = {
 
 type msg = { origin : int; cost : float }
 
-let run ?declared ?max_rounds g =
+let run ?declared ?max_rounds ?pool g =
   let n = Wnet_graph.Graph.n g in
   let declared =
     match declared with
@@ -17,24 +17,24 @@ let run ?declared ?max_rounds g =
     known.(v) <- declared v;
     { known; complete = n <= 1 }
   in
-  let completeness known = Array.for_all (fun x -> not (Float.is_nan x)) known in
-  let step ~node:v ~round ~inbox st =
-    let fresh = ref [] in
-    List.iter
-      (fun (_, m) ->
-        if Float.is_nan st.known.(m.origin) then begin
-          st.known.(m.origin) <- m.cost;
-          fresh := m :: !fresh
-        end)
-      inbox;
-    let outputs =
-      if round = 0 then
-        [ Engine.Broadcast { origin = v; cost = declared v } ]
-      else List.rev_map (fun m -> Engine.Broadcast m) !fresh
-    in
-    ({ st with complete = completeness st.known }, outputs)
+  (* Live count of still-unheard origins per node: completeness is a
+     zero check instead of an O(n) rescan of [known] every step.  Only
+     slot [v] is touched by [v]'s step, so the side array is safe under
+     the engine's parallel fan-out. *)
+  let missing = Array.make n (n - 1) in
+  let step ~node:v ~round ~event:_ ~inbox ~outbox st =
+    if round = 0 then
+      Engine.broadcast outbox { origin = v; cost = declared v }
+    else
+      Engine.inbox_iter inbox (fun _ m ->
+          if Float.is_nan st.known.(m.origin) then begin
+            st.known.(m.origin) <- m.cost;
+            missing.(v) <- missing.(v) - 1;
+            Engine.broadcast outbox m
+          end);
+    { st with complete = missing.(v) = 0 }
   in
-  Engine.run ?max_rounds g { init; step }
+  Engine.run ?max_rounds ?pool g { Engine.init; step }
 
 let consensus_profile states =
   match Array.length states with

@@ -24,6 +24,7 @@ type node_state = {
 val run :
   ?declared:(int -> float) ->
   ?max_rounds:int ->
+  ?pool:Wnet_par.t ->
   Wnet_graph.Graph.t ->
   node_state array * Engine.stats
 (** [run g] floods declarations; [declared] defaults to each node's cost

@@ -1,4 +1,4 @@
-(** Synchronous message-passing engine.
+(** Synchronous message-passing engine over flat mailbox arenas.
 
     The distributed algorithms of Sec. III-C/D are round-based neighbour
     gossip: in every round each node consumes the messages delivered at
@@ -10,23 +10,75 @@
     The engine is event-driven: a node is stepped only when its inbox is
     non-empty (round 0 steps everyone once, with an empty inbox, so
     protocols can send their initial broadcasts).  Execution stops when
-    no messages are in flight, or when [max_rounds] is hit. *)
+    no messages are in flight, or when [max_rounds] is hit.
 
-type 'msg output =
-  | Broadcast of 'msg  (** deliver to every neighbour next round *)
-  | Direct of int * 'msg
-      (** deliver to one specific neighbour — the "contact directly
-          using a reliable and secure connection" channel of
-          Algorithm 2.
-          @raise Invalid_argument at runtime if the target is not a
-          neighbour. *)
+    {b Storage.}  Inboxes are not per-node lists but two flat {e mailbox
+    arenas} (a sender array and a payload array, plus per-node
+    offset/count), double-buffered across rounds: one arena holds the
+    frozen inboxes of the current round while the other collects next
+    round's deliveries.  Steady-state execution allocates nothing on the
+    minor heap beyond what the protocol's own messages and states need —
+    views, output buffers and arenas are all reused.
+
+    {b Parallelism.}  When given a pool, the node steps of each round
+    fan out as {!Wnet_par} stolen tasks.  Each task reads the frozen
+    round-start arena and writes only node-indexed slots (its state and
+    its output buffer), and the delivery pass then lands every message
+    sequentially in canonical [(sender, seq)] order — ascending sender,
+    emission order within a sender.  Results are therefore bit-for-bit
+    identical at every pool size, including 1. *)
+
+type 'msg inbox
+(** A read-only view of one node's messages for the current step: a
+    window into the round's frozen mailbox arena.  Valid only for the
+    duration of the [step] call it is passed to — do not stash it. *)
+
+val inbox_length : 'msg inbox -> int
+val inbox_is_empty : 'msg inbox -> bool
+
+val inbox_sender : 'msg inbox -> int -> int
+(** [inbox_sender ib i] is the sender of the [i]-th message, in
+    canonical delivery order: ascending sender id, each sender's
+    messages in emission order.
+    @raise Invalid_argument if [i] is out of bounds. *)
+
+val inbox_payload : 'msg inbox -> int -> 'msg
+(** @raise Invalid_argument if [i] is out of bounds. *)
+
+val inbox_iter : 'msg inbox -> (int -> 'msg -> unit) -> unit
+(** [inbox_iter ib f] calls [f sender payload] on every message, in
+    canonical delivery order. *)
+
+type 'msg outbox
+(** Where a step deposits its emissions.  Like the inbox view, valid
+    only for the duration of the [step] call. *)
+
+val broadcast : 'msg outbox -> 'msg -> unit
+(** Deliver to every neighbour next round. *)
+
+val direct : 'msg outbox -> target:int -> 'msg -> unit
+(** Deliver to one specific neighbour — the "contact directly using a
+    reliable and secure connection" channel of Algorithm 2.
+    @raise Invalid_argument if the target is not a neighbour. *)
 
 type ('state, 'msg) spec = {
   init : int -> 'state;
   step :
-    node:int -> round:int -> inbox:(int * 'msg) list -> 'state ->
-    'state * 'msg output list;
-      (** [inbox] pairs each message with its sender, in sender order. *)
+    node:int ->
+    round:int ->
+    event:int ->
+    inbox:'msg inbox ->
+    outbox:'msg outbox ->
+    'state ->
+    'state;
+      (** [round] is the synchronous round number ([0] = the seeding
+          step with an empty inbox).  Under {!Async_engine} there are no
+          global rounds: [round] is [0] for the seed steps and [1] for
+          every delivery, and [event] carries the global delivery-event
+          index instead.  This engine always passes [event = -1].
+          The step function may be run from any pool domain; it must
+          touch only state owned by [node] (node-indexed slots of side
+          tables are fine, shared accumulators are not). *)
 }
 
 type stats = {
@@ -35,12 +87,40 @@ type stats = {
   directs : int;
   deliveries : int;  (** point-to-point deliveries, all channels *)
   converged : bool;  (** stopped because the network went quiet *)
+  tasks_executed : int;  (** scheduler tasks run on behalf of this execution *)
+  tasks_stolen : int;  (** subset executed by a non-queueing participant *)
 }
 
 val run :
   ?max_rounds:int ->
+  ?pool:Wnet_par.t ->
   Wnet_graph.Graph.t ->
   ('state, 'msg) spec ->
   'state array * stats
 (** [run g spec] executes until quiescence (default [max_rounds] =
-    [4 * n + 16]). *)
+    [4 * n + 16]).  [pool] (default {!Wnet_par.sequential}) fans the
+    node steps of each round out as stolen tasks; every pool size
+    produces bit-identical states and stats. *)
+
+(** {2 Engine-implementor interface}
+
+    Used by {!Async_engine} to feed the same protocol specs from an
+    event queue.  Protocol code has no business here. *)
+
+val make_inbox : unit -> 'msg inbox
+(** A fresh, empty, refillable view. *)
+
+val fill_inbox :
+  'msg inbox ->
+  senders:int array ->
+  payloads:'msg array ->
+  off:int ->
+  cnt:int ->
+  unit
+(** Point the view at [cnt] messages starting at [off] of the given
+    backing arrays. *)
+
+val make_outbox :
+  on_broadcast:('msg -> unit) -> on_direct:(int -> 'msg -> unit) -> 'msg outbox
+(** An outbox that forwards {!broadcast} and {!direct} to the given
+    hooks; {!direct}'s neighbour check is the hooks' responsibility. *)

@@ -4,6 +4,8 @@ type adversary = Honest | Deflate_entries of float
 
 type entry = { value : float; trigger : int }
 
+type entry_snap = { relay : int; snap_value : float; snap_trigger : int }
+
 type node_state = {
   table : (int, entry) Hashtbl.t;  (* relay -> current entry *)
   mutable accusations : (int * int) list;  (* (accuser = self, accused) *)
@@ -12,7 +14,7 @@ type node_state = {
 type msg = {
   d : float;  (* sender's D(j) *)
   c : float;  (* sender's declared cost *)
-  entries : (int * float * int) list;  (* relay, value, trigger *)
+  entries : entry_snap array;  (* the sender's table at broadcast time *)
 }
 
 type outcome = {
@@ -24,6 +26,14 @@ type outcome = {
 
 let eps = 1e-9
 
+let find_snap entries k =
+  let rec go i =
+    if i >= Array.length entries then None
+    else if entries.(i).relay = k then Some entries.(i).snap_value
+    else go (i + 1)
+  in
+  go 0
+
 let make_spec ~adversaries ~verify ~dist_to_root ~relays_of g ~root =
   let n = Graph.n g in
   if root < 0 || root >= n then invalid_arg "Payment_protocol.run: bad root";
@@ -33,22 +43,24 @@ let make_spec ~adversaries ~verify ~dist_to_root ~relays_of g ~root =
     | Deflate_entries f -> if Float.is_finite x then x *. f else x
   in
   let snapshot v (st : node_state) =
-    {
-      d = dist_to_root.(v);
-      c = Graph.cost g v;
-      entries =
-        Hashtbl.fold
-          (fun k e acc -> (k, deflate v e.value, e.trigger) :: acc)
-          st.table [];
-    }
+    let entries = Array.make (Hashtbl.length st.table) { relay = -1; snap_value = nan; snap_trigger = -1 } in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun k e ->
+        entries.(!i) <-
+          { relay = k; snap_value = deflate v e.value; snap_trigger = e.trigger };
+        incr i)
+      st.table;
+    { d = dist_to_root.(v); c = Graph.cost g v; entries }
   in
   (* Last broadcast of every node, for the verification cross-check.
-     Indexed access is fine: the engine steps nodes sequentially. *)
+     Slot [v] is only read and written by [v]'s own step, so the side
+     array stays safe under the engine's parallel fan-out. *)
   let last_broadcast = Array.make n None in
-  let broadcast v st =
+  let broadcast v st outbox =
     let m = snapshot v st in
     last_broadcast.(v) <- Some m;
-    [ Engine.Broadcast m ]
+    Engine.broadcast outbox m
   in
   let init v =
     let table = Hashtbl.create 8 in
@@ -57,26 +69,22 @@ let make_spec ~adversaries ~verify ~dist_to_root ~relays_of g ~root =
       relays_of.(v);
     { table; accusations = [] }
   in
-  let step ~node:v ~round ~inbox st =
-    if v = root || dist_to_root.(v) = infinity then
-      (st, if round = 0 then broadcast v st else [])
+  let step ~node:v ~round ~event:_ ~inbox ~outbox st =
+    if v = root || dist_to_root.(v) = infinity then begin
+      if round = 0 then broadcast v st outbox;
+      st
+    end
     else begin
       let d_v = dist_to_root.(v) in
       let changed = ref false in
-      List.iter
-        (fun (j, (m : msg)) ->
+      Engine.inbox_iter inbox (fun j (m : msg) ->
           (* Relaxation: route for v that detours through neighbour j. *)
           let delta = m.c +. m.d -. d_v in
-          let assoc k =
-            List.find_map
-              (fun (k', value, _) -> if k' = k then Some value else None)
-              m.entries
-          in
           Hashtbl.iter
             (fun k e ->
               if k <> j then begin
                 let cand =
-                  match assoc k with
+                  match find_snap m.entries k with
                   | Some p -> p +. delta
                   | None -> Graph.cost g k +. delta
                 in
@@ -95,15 +103,11 @@ let make_spec ~adversaries ~verify ~dist_to_root ~relays_of g ~root =
             | None -> ()
             | Some mine ->
               let my_delta = mine.c +. mine.d -. m.d in
-              List.iter
-                (fun (k, value, trigger) ->
+              Array.iter
+                (fun { relay = k; snap_value = value; snap_trigger = trigger } ->
                   if trigger = v && k <> v then begin
                     let from_mine =
-                      match
-                        List.find_map
-                          (fun (k', p, _) -> if k' = k then Some p else None)
-                          mine.entries
-                      with
+                      match find_snap mine.entries k with
                       | Some p -> p +. my_delta
                       | None -> Graph.cost g k +. my_delta
                     in
@@ -111,9 +115,9 @@ let make_spec ~adversaries ~verify ~dist_to_root ~relays_of g ~root =
                     then st.accusations <- (v, j) :: st.accusations
                   end)
                 m.entries)
-        inbox;
-      let outputs = if round = 0 || !changed then broadcast v st else [] in
-      (st, outputs)
+        ;
+      if round = 0 || !changed then broadcast v st outbox;
+      st
     end
   in
   let finalize states =
@@ -173,36 +177,39 @@ let stage1_of_spt (states : Spt_protocol.node_state array) ~root =
   in
   (dist_to_root, relays_of)
 
-let run ?(adversaries = fun _ -> Honest) ?(verify = false) ?max_rounds g ~root =
+let run ?(adversaries = fun _ -> Honest) ?(verify = false) ?max_rounds ?pool g
+    ~root =
   let dist_to_root, relays_of = centralized_stage1 g ~root in
-  let spec, finalize = make_spec ~adversaries ~verify ~dist_to_root ~relays_of g ~root in
-  let states, stats = Engine.run ?max_rounds g spec in
+  let spec, finalize =
+    make_spec ~adversaries ~verify ~dist_to_root ~relays_of g ~root
+  in
+  let states, stats = Engine.run ?max_rounds ?pool g spec in
   let payments, accusations = finalize states in
   { root; payments; accusations; stats }
 
 let run_async ?(adversaries = fun _ -> Honest) ?(verify = false) ?max_events ~rng
     g ~root =
   let dist_to_root, relays_of = centralized_stage1 g ~root in
-  let spec, finalize = make_spec ~adversaries ~verify ~dist_to_root ~relays_of g ~root in
+  let spec, finalize =
+    make_spec ~adversaries ~verify ~dist_to_root ~relays_of g ~root
+  in
   let states, stats = Async_engine.run ?max_events ~rng g spec in
   let payments, accusations = finalize states in
   ((payments, accusations), stats)
 
-let run_full ?(verify = false) ?max_rounds g ~root =
+let run_full ?(verify = false) ?max_rounds ?pool g ~root =
   (* Declaration flood first (its consensus is what "declared costs"
      means operationally), then the distributed SPT, then the payment
      relaxation seeded by the SPT's own outputs: no centralized step. *)
-  let decl_states, decl_stats = Declaration.run ?max_rounds g in
+  let decl_states, decl_stats = Declaration.run ?max_rounds ?pool g in
   ignore (Declaration.consensus_profile decl_states);
-  let spt = Spt_protocol.run ~verified:verify ?max_rounds g ~root in
-  let dist_to_root, relays_of =
-    stage1_of_spt spt.Spt_protocol.states ~root
-  in
+  let spt = Spt_protocol.run ~verified:verify ?max_rounds ?pool g ~root in
+  let dist_to_root, relays_of = stage1_of_spt spt.Spt_protocol.states ~root in
   let spec, finalize =
     make_spec ~adversaries:(fun _ -> Honest) ~verify ~dist_to_root ~relays_of g
       ~root
   in
-  let states, stats = Engine.run ?max_rounds g spec in
+  let states, stats = Engine.run ?max_rounds ?pool g spec in
   let payments, accusations = finalize states in
   let total_stats =
     {
@@ -226,6 +233,14 @@ let run_full ?(verify = false) ?max_rounds g ~root =
         decl_stats.Engine.converged
         && spt.Spt_protocol.stats.Engine.converged
         && stats.Engine.converged;
+      tasks_executed =
+        decl_stats.Engine.tasks_executed
+        + spt.Spt_protocol.stats.Engine.tasks_executed
+        + stats.Engine.tasks_executed;
+      tasks_stolen =
+        decl_stats.Engine.tasks_stolen
+        + spt.Spt_protocol.stats.Engine.tasks_stolen
+        + stats.Engine.tasks_stolen;
     }
   in
   { root; payments; accusations; stats = total_stats }

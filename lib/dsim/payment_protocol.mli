@@ -45,6 +45,7 @@ val run :
   ?adversaries:(int -> adversary) ->
   ?verify:bool ->
   ?max_rounds:int ->
+  ?pool:Wnet_par.t ->
   Wnet_graph.Graph.t ->
   root:int ->
   outcome
@@ -56,6 +57,7 @@ val run :
 val run_full :
   ?verify:bool ->
   ?max_rounds:int ->
+  ?pool:Wnet_par.t ->
   Wnet_graph.Graph.t ->
   root:int ->
   outcome

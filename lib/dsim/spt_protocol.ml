@@ -40,7 +40,8 @@ let make_spec ~behaviours ~verified g ~root =
     | Inflate_distance _ | Honest | Hide_neighbours _ -> 0.0
   in
   let init v =
-    if v = root then { dist = 0.0; first_hop = -1; corrections = 0; advertised = 0.0 }
+    if v = root then
+      { dist = 0.0; first_hop = -1; corrections = 0; advertised = 0.0 }
     else { dist = infinity; first_hop = -1; corrections = 0; advertised = infinity }
   in
   (* What [v] would offer a neighbour as a route: D(v) + c_v, or 0 when
@@ -52,10 +53,11 @@ let make_spec ~behaviours ~verified g ~root =
   (* Remembered latest advertisements, for the Algorithm 2 consistency
      check: a neighbour's stale distance must be re-examined whenever our
      own offer improves, not only at arrival time.  Entries are dropped
-     once corrected so each advert is corrected at most once.  (The
-     engine steps nodes sequentially, so a shared side table is safe.) *)
+     once corrected so each advert is corrected at most once.  (Slot [v]
+     is only ever touched by [v]'s own step, so the side table stays
+     safe under the engine's parallel fan-out.) *)
   let heard = Array.init n (fun _ -> Hashtbl.create 8) in
-  let step ~node:v ~round ~inbox st =
+  let step ~node:v ~round ~event:_ ~inbox ~outbox st =
     let st = ref st in
     let changed = ref false in
     let apply_route d fh =
@@ -64,8 +66,7 @@ let make_spec ~behaviours ~verified g ~root =
         changed := true
       end
     in
-    List.iter
-      (fun (j, m) ->
+    Engine.inbox_iter inbox (fun j m ->
         match m with
         | Correct { dist; first_hop } ->
           (* The sender proved it can offer [dist].  Being corrected below
@@ -80,9 +81,7 @@ let make_spec ~behaviours ~verified g ~root =
             let via = if j = root then 0.0 else dj +. cj in
             apply_route via j;
             if verified then Hashtbl.replace heard.(v) j (dj, fhj)
-          end)
-      inbox;
-    let outputs = ref [] in
+          end);
     if verified then begin
       let o = offer v !st +. inflation v !st in
       let to_correct =
@@ -96,30 +95,26 @@ let make_spec ~behaviours ~verified g ~root =
       List.iter
         (fun j ->
           Hashtbl.remove heard.(v) j;
-          outputs :=
-            Engine.Direct (j, Correct { dist = o; first_hop = v }) :: !outputs)
+          Engine.direct outbox ~target:j (Correct { dist = o; first_hop = v }))
         to_correct
     end;
-    let outputs =
-      if v <> root && (round = 0 || !changed) then begin
-        let adv = !st.dist +. inflation v !st in
-        st := { !st with advertised = adv };
-        Engine.Broadcast
-          (Advert { dist = adv; first_hop = !st.first_hop; cost = Graph.cost g v })
-        :: !outputs
-      end
-      else if v = root && round = 0 then
-        Engine.Broadcast (Advert { dist = 0.0; first_hop = -1; cost = Graph.cost g v })
-        :: !outputs
-      else !outputs
-    in
-    (!st, outputs)
+    if v <> root && (round = 0 || !changed) then begin
+      let adv = !st.dist +. inflation v !st in
+      st := { !st with advertised = adv };
+      Engine.broadcast outbox
+        (Advert { dist = adv; first_hop = !st.first_hop; cost = Graph.cost g v })
+    end
+    else if v = root && round = 0 then
+      Engine.broadcast outbox
+        (Advert { dist = 0.0; first_hop = -1; cost = Graph.cost g v });
+    !st
   in
   { Engine.init; step }
 
-let run ?(behaviours = fun _ -> Honest) ?(verified = false) ?max_rounds g ~root =
+let run ?(behaviours = fun _ -> Honest) ?(verified = false) ?max_rounds ?pool g
+    ~root =
   let spec = make_spec ~behaviours ~verified g ~root in
-  let states, stats = Engine.run ?max_rounds g spec in
+  let states, stats = Engine.run ?max_rounds ?pool g spec in
   { states; stats }
 
 let run_async ?(behaviours = fun _ -> Honest) ?(verified = false) ?max_events ~rng

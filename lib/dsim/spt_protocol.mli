@@ -48,6 +48,7 @@ val run :
   ?behaviours:(int -> behaviour) ->
   ?verified:bool ->
   ?max_rounds:int ->
+  ?pool:Wnet_par.t ->
   Wnet_graph.Graph.t ->
   root:int ->
   result

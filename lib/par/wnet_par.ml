@@ -532,6 +532,79 @@ let map_array_stealing pool f a =
     res
   end
 
+(* Index-space variant of the stealing maps: one stolen task per index,
+   no result array.  The body writes wherever it likes (disjoint
+   locations per index, as with [parallel_for]); the point over
+   [parallel_for] is that an oversized index is backfilled by whichever
+   participants finish their chunks early.  Reuses the same seeding
+   discipline as [stealing_run]: each participant queues its static
+   chunk in reverse so its own pops run in ascending order. *)
+let iter_stealing pool ~lo ~hi body =
+  let n = hi - lo in
+  if n <= 0 then ()
+  else if pool.size = 1 then begin
+    for i = lo to hi - 1 do
+      body i
+    done;
+    ignore (Atomic.fetch_and_add pool.exec_count n)
+  end
+  else begin
+    let fail = Atomic.make None in
+    (match slot_of pool with
+    | Some s ->
+      (* Nested inside a running stealing job: push every index onto our
+         own deque and help until each one's flag is up. *)
+      let dq = pool.deques.(s) in
+      let flags = Array.init n (fun _ -> Atomic.make false) in
+      for j = n - 1 downto 0 do
+        let i = lo + j in
+        let th _slot =
+          (try body i
+           with e -> ignore (Atomic.compare_and_set fail None (Some e)));
+          Atomic.set flags.(j) true
+        in
+        if not (Deque.push dq th) then run_thunk pool ~stolen:false s th
+      done;
+      for j = 0 to n - 1 do
+        let spins = ref 0 in
+        while not (Atomic.get flags.(j)) do
+          if help_once pool s then spins := 0
+          else begin
+            idle_backoff !spins;
+            incr spins
+          end
+        done
+      done
+    | None ->
+      let remaining = Atomic.make n in
+      run_job pool (fun slot ->
+          let saved = Domain.DLS.get tl_slot in
+          Domain.DLS.set tl_slot (Some (pool, slot));
+          Fun.protect
+            ~finally:(fun () -> Domain.DLS.set tl_slot saved)
+            (fun () ->
+              let dq = pool.deques.(slot) in
+              let clo, chi = chunk ~lo ~hi pool.size slot in
+              for i = chi - 1 downto clo do
+                let th _slot =
+                  (try body i
+                   with e -> ignore (Atomic.compare_and_set fail None (Some e)));
+                  Atomic.decr remaining
+                in
+                if not (Deque.push dq th) then
+                  run_thunk pool ~stolen:false slot th
+              done;
+              let spins = ref 0 in
+              while Atomic.get remaining > 0 do
+                if help_once pool slot then spins := 0
+                else begin
+                  idle_backoff !spins;
+                  incr spins
+                end
+              done)));
+    match Atomic.get fail with Some e -> raise e | None -> ()
+  end
+
 let map_reduce pool ~map ~combine ~init a =
   let n = Array.length a in
   if n = 0 then init

@@ -159,6 +159,17 @@ val map_array_stealing_pooled :
     @raise Invalid_argument when fewer states than participants are
     supplied. *)
 
+val iter_stealing : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [iter_stealing pool ~lo ~hi body] runs [body i] for every
+    [i ∈ \[lo, hi)] as one stolen task per index: {!parallel_for}'s
+    contract (independent iterations writing to disjoint locations) with
+    {!map_array_stealing}'s scheduling (static chunks seed the deques,
+    idle participants backfill stragglers).  This is what drives the
+    per-round node fan-out of the distributed simulation engine, where
+    a few hub nodes can carry most of a round's inbox traffic.  May be
+    nested inside another stealing call on the same pool.  If any [body]
+    raises, one exception is re-raised after all indices finish. *)
+
 type stats = { tasks_executed : int; tasks_stolen : int }
 (** Scheduler counters, cumulative over the pool's lifetime:
     [tasks_executed] counts every task run through the stealing layer

@@ -366,3 +366,18 @@ let payments t =
     t.unbounded <- Array.to_list (relay_array cut);
     t.last <- Some (t.gver, results);
     results
+
+(* The payments table reshaped the way the distributed protocols report
+   it: per source, a (relay, payment) assoc sorted by relay id.  Used as
+   the oracle side of the dsim cross-check. *)
+let relay_tables t =
+  let results = payments t in
+  Array.map
+    (fun o ->
+      match o with
+      | None -> []
+      | Some o ->
+        Path.relays o.path |> Array.to_list
+        |> List.map (fun k -> (k, o.payments.(k)))
+        |> List.sort compare)
+    results

@@ -98,6 +98,14 @@ val payments : t -> outcome option array
     relays whose cache is missing or invalidated, over the session's
     pool and per-domain scratches; memoized until the next edit. *)
 
+val relay_tables : t -> (int * float) list array
+(** {!payments} reshaped the way the distributed stage-2 protocol
+    reports it: entry [src] is the [(relay, payment)] table of [src]'s
+    unicast, sorted by relay id; empty for the root, for sources
+    adjacent to it and for disconnected sources.  This is the oracle
+    side of the dsim cross-check ([Wnet_dsim.Payment_protocol]
+    outcomes compare against it entry for entry). *)
+
 val unbounded_relays : t -> int list
 (** Monopoly relays as of the last {!payments}: sorted, derived from
     the cached avoidance arrays. *)

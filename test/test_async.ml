@@ -101,7 +101,7 @@ let test_async_delay_validation () =
          Async_engine.run ~min_delay:0.0 ~rng:(Test_util.rng 1) g
            {
              Engine.init = (fun _ -> ());
-             step = (fun ~node:_ ~round:_ ~inbox:_ s -> (s, []));
+             step = (fun ~node:_ ~round:_ ~event:_ ~inbox:_ ~outbox:_ s -> s);
            }))
 
 let test_async_event_cap () =
@@ -109,13 +109,54 @@ let test_async_event_cap () =
   let spec =
     {
       Engine.init = (fun _ -> ());
-      step = (fun ~node:_ ~round:_ ~inbox:_ s -> (s, [ Engine.Broadcast () ]));
+      step =
+        (fun ~node:_ ~round:_ ~event:_ ~inbox:_ ~outbox s ->
+          Engine.broadcast outbox ();
+          s);
     }
   in
   let g = Wnet_topology.Fixtures.ring ~costs:(Array.make 4 1.0) in
   let _, stats = Async_engine.run ~max_events:500 ~rng:(Test_util.rng 2) g spec in
   Alcotest.(check bool) "not converged" false stats.Async_engine.converged;
   Alcotest.(check bool) "stopped promptly" true (stats.Async_engine.deliveries <= 501)
+
+let test_async_event_index () =
+  (* Pinned: the async engine reports an explicit per-delivery event
+     index, not the round counter it once conflated with step count.
+     Seed steps see round 0 / event -1; delivery steps see round 1 and
+     events 0, 1, 2, ... in schedule order, ending at deliveries - 1. *)
+  let seed_obs = ref [] in
+  let delivery_rounds = ref [] in
+  let events = ref [] in
+  let spec =
+    {
+      Engine.init = (fun _ -> ());
+      step =
+        (fun ~node:_ ~round ~event ~inbox ~outbox s ->
+          if Engine.inbox_is_empty inbox then begin
+            seed_obs := (round, event) :: !seed_obs;
+            Engine.broadcast outbox ()
+          end
+          else begin
+            delivery_rounds := round :: !delivery_rounds;
+            events := event :: !events
+          end;
+          s);
+    }
+  in
+  let g = Wnet_topology.Fixtures.ring ~costs:(Array.make 4 1.0) in
+  let _, stats = Async_engine.run ~rng:(Test_util.rng 3) g spec in
+  Alcotest.(check (list (pair int int)))
+    "seed steps: round 0, event -1"
+    [ (0, -1); (0, -1); (0, -1); (0, -1) ]
+    !seed_obs;
+  List.iter
+    (fun r -> Alcotest.(check int) "delivery steps: round 1" 1 r)
+    !delivery_rounds;
+  Alcotest.(check (list int))
+    "event indices count every delivery in order"
+    (List.init stats.Async_engine.deliveries (fun i -> i))
+    (List.rev !events)
 
 let suite =
   [
@@ -125,4 +166,5 @@ let suite =
     Alcotest.test_case "determinism & schedule obliviousness" `Quick test_async_determinism;
     Alcotest.test_case "delay validation" `Quick test_async_delay_validation;
     Alcotest.test_case "event cap" `Quick test_async_event_cap;
+    Alcotest.test_case "explicit event index" `Quick test_async_event_index;
   ]

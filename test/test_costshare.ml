@@ -1,0 +1,133 @@
+open Wnet_dsim
+
+(* Budgeted cost-sharing connectivity: the two-wave tree protocol must
+   reach the centralized iterated-drop fixed point with Float.equal
+   shares — under synchronous rounds at every pool size and under the
+   asynchronous event queue. *)
+
+let all_subscribe _ = true
+let unlimited _ = infinity
+
+let test_no_budget_pressure () =
+  (* Everyone subscribes with infinite budget: nobody drops, every
+     subscriber's share is the sum of c_v / users(v) down its path. *)
+  let g =
+    Wnet_graph.Graph.create
+      ~costs:[| 0.0; 2.0; 4.0; 1.0 |]
+      ~edges:[ (0, 1); (1, 2); (1, 3) ]
+  in
+  let o =
+    Costshare_protocol.run ~subscriber:all_subscribe ~budget:unlimited g ~root:0
+  in
+  Alcotest.(check bool) "converged" true o.Costshare_protocol.stats.Engine.converged;
+  Alcotest.(check (array bool)) "all funded"
+    [| false; true; true; true |]
+    o.Costshare_protocol.funded;
+  (* node 1 relays for 2 and 3: pool of 2 strict descendants *)
+  Alcotest.(check int) "node 1 pool" 2 o.Costshare_protocol.users.(1);
+  Test_util.check_float "leaf 2 share" 1.0 o.Costshare_protocol.shares.(2);
+  Test_util.check_float "leaf 3 share" 1.0 o.Costshare_protocol.shares.(3);
+  Test_util.check_float "node 1 share (root is free)" 0.0
+    o.Costshare_protocol.shares.(1)
+
+let test_budget_drop_cascades () =
+  (* Same tree, but leaf 3 can only afford 0.6: it drops, leaving leaf 2
+     alone in node 1's pool at charge 2.0. *)
+  let g =
+    Wnet_graph.Graph.create
+      ~costs:[| 0.0; 2.0; 4.0; 1.0 |]
+      ~edges:[ (0, 1); (1, 2); (1, 3) ]
+  in
+  let budget v = if v = 3 then 0.6 else infinity in
+  let o =
+    Costshare_protocol.run ~subscriber:all_subscribe ~budget g ~root:0
+  in
+  Alcotest.(check (array bool)) "leaf 3 dropped"
+    [| false; true; true; false |]
+    o.Costshare_protocol.funded;
+  Test_util.check_float "leaf 2 now pays alone" 2.0
+    o.Costshare_protocol.shares.(2);
+  Alcotest.(check bool) "dropped share is nan" true
+    (Float.is_nan o.Costshare_protocol.shares.(3));
+  let parent = Costshare_protocol.tree_parents g ~root:0 in
+  Alcotest.(check bool) "matches centralized" true
+    (Costshare_protocol.matches_centralized o g ~parent
+       ~subscriber:all_subscribe ~budget)
+
+let random_instance r =
+  let n = 5 + Wnet_prng.Rng.int r 25 in
+  let g =
+    Wnet_topology.Gnp.connected_graph r ~n ~p:0.25 ~cost_lo:0.5 ~cost_hi:5.0
+  in
+  let sub_mask =
+    Array.init n (fun v -> v <> 0 && Wnet_prng.Rng.int r 3 > 0)
+  in
+  let budgets =
+    Array.init n (fun _ -> 0.5 +. Wnet_prng.Rng.float r 6.0)
+  in
+  (g, (fun v -> sub_mask.(v)), fun v -> budgets.(v))
+
+let prop_matches_centralized =
+  Test_util.qcheck_case ~count:100 "sync fixed point = centralized (bits)"
+    Test_util.seed_gen (fun seed ->
+      let r = Test_util.rng seed in
+      let g, subscriber, budget = random_instance r in
+      let o = Costshare_protocol.run ~subscriber ~budget g ~root:0 in
+      let parent = Costshare_protocol.tree_parents g ~root:0 in
+      o.Costshare_protocol.stats.Engine.converged
+      && Costshare_protocol.matches_centralized o g ~parent ~subscriber ~budget)
+
+let prop_async_matches_centralized =
+  Test_util.qcheck_case ~count:60 "async fixed point = centralized (bits)"
+    Test_util.seed_gen (fun seed ->
+      let r = Test_util.rng seed in
+      let g, subscriber, budget = random_instance r in
+      let o =
+        Costshare_protocol.run_async ~rng:(Wnet_prng.Rng.split r) ~subscriber
+          ~budget g ~root:0
+      in
+      let parent = Costshare_protocol.tree_parents g ~root:0 in
+      o.Costshare_protocol.stats.Engine.converged
+      && Costshare_protocol.matches_centralized o g ~parent ~subscriber ~budget)
+
+let test_pool_sizes_bit_identical () =
+  let r = Test_util.rng 911 in
+  Wnet_par.with_pool ~domains:3 (fun pool ->
+      for _ = 1 to 10 do
+        let g, subscriber, budget = random_instance r in
+        let seq = Costshare_protocol.run ~subscriber ~budget g ~root:0 in
+        let par = Costshare_protocol.run ~pool ~subscriber ~budget g ~root:0 in
+        Alcotest.(check (array bool)) "same funded set"
+          seq.Costshare_protocol.funded par.Costshare_protocol.funded;
+        Alcotest.(check bool) "shares bit-identical" true
+          (Array.for_all2 Float.equal seq.Costshare_protocol.shares
+             par.Costshare_protocol.shares);
+        Alcotest.(check int) "same rounds"
+          seq.Costshare_protocol.stats.Engine.rounds
+          par.Costshare_protocol.stats.Engine.rounds
+      done)
+
+let test_bad_inputs_rejected () =
+  let g = Wnet_topology.Fixtures.ring ~costs:(Array.make 4 1.0) in
+  Alcotest.check_raises "bad root"
+    (Invalid_argument "Costshare_protocol: bad root") (fun () ->
+      ignore
+        (Costshare_protocol.make_spec g ~root:9 ~parent:(Array.make 4 (-1))
+           ~subscriber:all_subscribe ~budget:unlimited));
+  Alcotest.check_raises "parent not a neighbour"
+    (Invalid_argument "Costshare_protocol: parent is not a neighbour")
+    (fun () ->
+      ignore
+        (Costshare_protocol.make_spec g ~root:0 ~parent:[| -1; 3; 0; 2 |]
+           ~subscriber:all_subscribe ~budget:unlimited))
+
+let suite =
+  [
+    Alcotest.test_case "no budget pressure" `Quick test_no_budget_pressure;
+    Alcotest.test_case "budget drop cascades" `Quick test_budget_drop_cascades;
+    prop_matches_centralized;
+    prop_async_matches_centralized;
+    Alcotest.test_case "pool sizes 1/3 bit-identical" `Quick
+      test_pool_sizes_bit_identical;
+    Alcotest.test_case "bad inputs rejected" `Quick test_bad_inputs_rejected;
+  ]

@@ -1,0 +1,129 @@
+open Wnet_dsim
+
+(* Cross-verification of the distributed payment protocol against the
+   session layer: the dsim fixed point must match Node_session's cached
+   all-to-root batch (the "oracle"), and the dsim configurations among
+   themselves must agree bit for bit.
+
+   Two different equalities on purpose: sync rounds, async schedules and
+   every pool size relax over the same candidate set (one candidate per
+   route, each summed in path order), so their fixed points are
+   Float.equal-identical.  The centralized oracle associates its sums
+   differently, so it is compared with 1e-6 relative tolerance. *)
+
+let random_graph r =
+  let n = 5 + Wnet_prng.Rng.int r 21 in
+  Wnet_topology.Gnp.connected_graph r ~n ~p:0.25 ~cost_lo:0.5 ~cost_hi:5.0
+
+let tables_bit_identical a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun ta tb ->
+         List.length ta = List.length tb
+         && List.for_all2
+              (fun (k1, p1) (k2, p2) -> k1 = k2 && Float.equal p1 p2)
+              ta tb)
+       a b
+
+let tables_approx a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun ta tb ->
+         List.length ta = List.length tb
+         && List.for_all2
+              (fun (k1, p1) (k2, p2) ->
+                k1 = k2 && Test_util.approx ~eps:1e-6 p1 p2)
+              ta tb)
+       a b
+
+let prop_sync_equals_async =
+  Test_util.qcheck_case ~count:100 "sync payments = async payments (bits)"
+    Test_util.seed_gen (fun seed ->
+      let r = Test_util.rng seed in
+      let g = random_graph r in
+      let sync = Payment_protocol.run g ~root:0 in
+      let (async_payments, accusations), astats =
+        Payment_protocol.run_async ~rng:(Wnet_prng.Rng.split r) g ~root:0
+      in
+      sync.Payment_protocol.stats.Engine.converged
+      && astats.Async_engine.converged
+      && accusations = []
+      && tables_bit_identical sync.Payment_protocol.payments async_payments)
+
+let test_pool_sizes_bit_identical () =
+  let r = Test_util.rng 901 in
+  Wnet_par.with_pool ~domains:3 (fun pool ->
+      for _ = 1 to 10 do
+        let g = random_graph r in
+        let seq = Payment_protocol.run g ~root:0 in
+        let par = Payment_protocol.run ~pool g ~root:0 in
+        Alcotest.(check bool) "pool 3 converged" true
+          par.Payment_protocol.stats.Engine.converged;
+        Alcotest.(check bool) "pool 1 = pool 3 (bits)" true
+          (tables_bit_identical seq.Payment_protocol.payments
+             par.Payment_protocol.payments);
+        Alcotest.(check int) "same rounds"
+          seq.Payment_protocol.stats.Engine.rounds
+          par.Payment_protocol.stats.Engine.rounds;
+        Alcotest.(check int) "same deliveries"
+          seq.Payment_protocol.stats.Engine.deliveries
+          par.Payment_protocol.stats.Engine.deliveries
+      done)
+
+let test_sync_matches_session_oracle () =
+  let r = Test_util.rng 902 in
+  Wnet_par.with_pool ~domains:3 (fun pool ->
+      for _ = 1 to 10 do
+        let g = random_graph r in
+        let session = Wnet_session.Node_session.create g ~root:0 in
+        let oracle = Wnet_session.Node_session.relay_tables session in
+        let seq = Payment_protocol.run g ~root:0 in
+        let par = Payment_protocol.run ~pool g ~root:0 in
+        Alcotest.(check bool) "sync pool 1 = oracle" true
+          (tables_approx oracle seq.Payment_protocol.payments);
+        Alcotest.(check bool) "sync pool 3 = oracle" true
+          (tables_approx oracle par.Payment_protocol.payments)
+      done)
+
+let test_async_matches_session_oracle () =
+  let r = Test_util.rng 903 in
+  for _ = 1 to 10 do
+    let g = random_graph r in
+    let session = Wnet_session.Node_session.create g ~root:0 in
+    let oracle = Wnet_session.Node_session.relay_tables session in
+    let (payments, _), astats =
+      Payment_protocol.run_async ~rng:(Wnet_prng.Rng.split r) g ~root:0
+    in
+    Alcotest.(check bool) "async converged" true astats.Async_engine.converged;
+    Alcotest.(check bool) "async = oracle" true (tables_approx oracle payments)
+  done
+
+let test_oracle_marks_monopolies_infinity () =
+  (* A path graph makes every interior relay a cut vertex: the session
+     oracle reports infinity payments and dsim must agree exactly. *)
+  let g =
+    Wnet_graph.Graph.create
+      ~costs:[| 1.0; 2.0; 3.0; 4.0 |]
+      ~edges:[ (0, 1); (1, 2); (2, 3) ]
+  in
+  let session = Wnet_session.Node_session.create g ~root:0 in
+  let oracle = Wnet_session.Node_session.relay_tables session in
+  let sync = Payment_protocol.run g ~root:0 in
+  Alcotest.(check bool) "path graph: dsim = oracle" true
+    (tables_approx oracle sync.Payment_protocol.payments);
+  List.iter
+    (fun (_, p) -> Alcotest.(check bool) "monopoly = infinity" true (p = infinity))
+    sync.Payment_protocol.payments.(3)
+
+let suite =
+  [
+    prop_sync_equals_async;
+    Alcotest.test_case "pool sizes 1/3 bit-identical" `Quick
+      test_pool_sizes_bit_identical;
+    Alcotest.test_case "sync payments = session oracle" `Quick
+      test_sync_matches_session_oracle;
+    Alcotest.test_case "async payments = session oracle" `Quick
+      test_async_matches_session_oracle;
+    Alcotest.test_case "monopoly relays = infinity, both sides" `Quick
+      test_oracle_marks_monopolies_infinity;
+  ]

@@ -9,10 +9,16 @@ let flood_spec =
   {
     Engine.init = (fun v -> v = 0);
     step =
-      (fun ~node:_ ~round:_ ~inbox state ->
-        if state then (state, if inbox = [] then [ Engine.Broadcast () ] else [])
-        else if inbox <> [] then (true, [ Engine.Broadcast () ])
-        else (state, []));
+      (fun ~node:_ ~round:_ ~event:_ ~inbox ~outbox state ->
+        if state then begin
+          if Engine.inbox_is_empty inbox then Engine.broadcast outbox ();
+          state
+        end
+        else if not (Engine.inbox_is_empty inbox) then begin
+          Engine.broadcast outbox ();
+          true
+        end
+        else state);
   }
 
 let test_flood_reaches_everyone () =
@@ -37,9 +43,12 @@ let test_direct_messages () =
     {
       Engine.init = (fun _ -> 0);
       step =
-        (fun ~node ~round ~inbox state ->
-          if node = 0 && round = 0 then (state, [ Engine.Direct (1, ()) ])
-          else (state + List.length inbox, []));
+        (fun ~node ~round ~event:_ ~inbox ~outbox state ->
+          if node = 0 && round = 0 then begin
+            Engine.direct outbox ~target:1 ();
+            state
+          end
+          else state + Engine.inbox_length inbox);
     }
   in
   let g = ring 4 in
@@ -53,9 +62,9 @@ let test_direct_to_non_neighbour_rejected () =
     {
       Engine.init = (fun _ -> ());
       step =
-        (fun ~node ~round ~inbox:_ state ->
-          if node = 0 && round = 0 then (state, [ Engine.Direct (2, ()) ])
-          else (state, []));
+        (fun ~node ~round ~event:_ ~inbox:_ ~outbox state ->
+          if node = 0 && round = 0 then Engine.direct outbox ~target:2 ();
+          state);
     }
   in
   Alcotest.check_raises "non-neighbour"
@@ -67,7 +76,10 @@ let test_max_rounds_cutoff () =
   let chatty =
     {
       Engine.init = (fun _ -> ());
-      step = (fun ~node:_ ~round:_ ~inbox:_ state -> (state, [ Engine.Broadcast () ]));
+      step =
+        (fun ~node:_ ~round:_ ~event:_ ~inbox:_ ~outbox state ->
+          Engine.broadcast outbox ();
+          state);
     }
   in
   let _, stats = Engine.run ~max_rounds:7 (ring 4) chatty in
@@ -80,21 +92,137 @@ let test_inbox_pairs_sender () =
     {
       Engine.init = (fun _ -> ());
       step =
-        (fun ~node ~round ~inbox state ->
-          if round = 0 then (state, [ Engine.Broadcast node ])
-          else begin
-            if node = 0 then
-              got := List.map (fun (s, p) -> (s, p)) inbox @ !got;
-            (state, [])
-          end);
+        (fun ~node ~round ~event:_ ~inbox ~outbox state ->
+          if round = 0 then Engine.broadcast outbox node
+          else if node = 0 then
+            Engine.inbox_iter inbox (fun s p -> got := (s, p) :: !got);
+          state);
     }
   in
   ignore (Engine.run (ring 4) spec);
   let senders = List.sort compare (List.map fst !got) in
   Alcotest.(check (list int)) "heard both neighbours" [ 1; 3 ] senders;
-  List.iter
-    (fun (s, p) -> Alcotest.(check int) "payload = sender id" s p)
-    !got
+  List.iter (fun (s, p) -> Alcotest.(check int) "payload = sender id" s p) !got
+
+let test_inbox_canonical_order () =
+  (* Every delivery is canonicalised by (sender, emission seq): node 0's
+     inbox must list neighbour 1's two messages before neighbour 3's,
+     each pair in emission order, and random access must agree with
+     iteration. *)
+  let got = ref [] in
+  let spec =
+    {
+      Engine.init = (fun _ -> ());
+      step =
+        (fun ~node ~round ~event:_ ~inbox ~outbox state ->
+          if round = 0 then begin
+            Engine.broadcast outbox (10 * node);
+            Engine.broadcast outbox ((10 * node) + 1)
+          end
+          else if node = 0 && not (Engine.inbox_is_empty inbox) then begin
+            for i = 0 to Engine.inbox_length inbox - 1 do
+              got :=
+                (Engine.inbox_sender inbox i, Engine.inbox_payload inbox i)
+                :: !got
+            done
+          end;
+          state);
+    }
+  in
+  ignore (Engine.run (ring 4) spec);
+  Alcotest.(check (list (pair int int)))
+    "(sender, seq) canonical order"
+    [ (1, 10); (1, 11); (3, 30); (3, 31) ]
+    (List.rev !got)
+
+let test_round0_empty_inbox_contract () =
+  (* Pinned contract shared by both engines: every node is seeded exactly
+     once at round 0 with an empty inbox, before any delivery. *)
+  let record () =
+    let seen = ref [] in
+    let spec =
+      {
+        Engine.init = (fun _ -> ());
+        step =
+          (fun ~node ~round ~event:_ ~inbox ~outbox state ->
+            if round = 0 then begin
+              seen := (node, Engine.inbox_length inbox) :: !seen;
+              Engine.broadcast outbox ()
+            end;
+            state);
+      }
+    in
+    (spec, seen)
+  in
+  let g = ring 5 in
+  let spec, seen = record () in
+  ignore (Engine.run g spec);
+  Alcotest.(check (list (pair int int)))
+    "sync: each node seeded once, empty inbox"
+    [ (0, 0); (1, 0); (2, 0); (3, 0); (4, 0) ]
+    (List.sort compare !seen);
+  let spec, seen = record () in
+  ignore (Async_engine.run ~rng:(Test_util.rng 5) g spec);
+  Alcotest.(check (list (pair int int)))
+    "async: each node seeded once, empty inbox"
+    [ (0, 0); (1, 0); (2, 0); (3, 0); (4, 0) ]
+    (List.sort compare !seen)
+
+(* A deliberately irregular float protocol (fan-out depends on node id,
+   a few rounds of chatter) to exercise the parallel path: every pool
+   size must produce bit-identical states and stats. *)
+let irregular_spec g =
+  {
+    Engine.init = (fun v -> float_of_int v);
+    step =
+      (fun ~node ~round ~event:_ ~inbox ~outbox state ->
+        let acc = ref state in
+        Engine.inbox_iter inbox (fun s p ->
+            acc := !acc +. (p /. float_of_int (s + 1)));
+        if round < 3 && node mod 3 <> 2 then Engine.broadcast outbox !acc;
+        (if round = 1 && node mod 4 = 1 then
+           let nbrs = Wnet_graph.Graph.neighbors g node in
+           if Array.length nbrs > 0 then
+             Engine.direct outbox ~target:nbrs.(0) !acc);
+        !acc);
+  }
+
+let test_pool_sizes_bit_identical () =
+  let n = 40 in
+  let g =
+    Wnet_topology.Gnp.connected_graph (Test_util.rng 77) ~n ~p:0.15
+      ~cost_lo:0.5 ~cost_hi:5.0
+  in
+  let s1, t1 = Engine.run g (irregular_spec g) in
+  Wnet_par.with_pool ~domains:3 (fun pool ->
+      let s3, t3 = Engine.run ~pool g (irregular_spec g) in
+      Array.iteri
+        (fun i x ->
+          Alcotest.(check bool)
+            (Printf.sprintf "state %d bit-identical" i)
+            true
+            (Float.equal x s3.(i)))
+        s1;
+      Alcotest.(check int) "rounds" t1.Engine.rounds t3.Engine.rounds;
+      Alcotest.(check int) "broadcasts" t1.Engine.broadcasts t3.Engine.broadcasts;
+      Alcotest.(check int) "directs" t1.Engine.directs t3.Engine.directs;
+      Alcotest.(check int) "deliveries" t1.Engine.deliveries t3.Engine.deliveries;
+      Alcotest.(check bool) "converged" t1.Engine.converged t3.Engine.converged;
+      Alcotest.(check bool)
+        "tasks accounted" true
+        (t1.Engine.tasks_executed > 0
+        && t3.Engine.tasks_executed >= t1.Engine.tasks_executed))
+
+let test_live_counter_convergence_flag () =
+  (* Quiescence is tracked by a live non-empty-inbox counter, not an
+     O(n) scan; the convergence flag must behave identically in both
+     directions. *)
+  let g = ring 10 in
+  let _, stats = Engine.run g flood_spec in
+  Alcotest.(check bool) "flood converges" true stats.Engine.converged;
+  let _, stats = Engine.run ~max_rounds:3 g flood_spec in
+  Alcotest.(check bool) "cut short = not converged" false stats.Engine.converged;
+  Alcotest.(check int) "stopped at cutoff" 3 stats.Engine.rounds
 
 let suite =
   [
@@ -104,4 +232,8 @@ let suite =
     Alcotest.test_case "direct to non-neighbour rejected" `Quick test_direct_to_non_neighbour_rejected;
     Alcotest.test_case "max-rounds cutoff" `Quick test_max_rounds_cutoff;
     Alcotest.test_case "inbox pairs sender" `Quick test_inbox_pairs_sender;
+    Alcotest.test_case "inbox canonical (sender, seq) order" `Quick test_inbox_canonical_order;
+    Alcotest.test_case "round-0 empty-inbox contract" `Quick test_round0_empty_inbox_contract;
+    Alcotest.test_case "pool sizes bit-identical" `Quick test_pool_sizes_bit_identical;
+    Alcotest.test_case "live-counter convergence flag" `Quick test_live_counter_convergence_flag;
   ]

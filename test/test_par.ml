@@ -154,6 +154,51 @@ let test_stealing_counters () =
       Alcotest.(check bool) "stolen is a subset of executed" true
         (stolen >= 0 && stolen <= n))
 
+let test_iter_stealing_covers_all () =
+  List.iter
+    (fun domains ->
+      Par.with_pool ~domains (fun pool ->
+          let hits = Array.make 173 0 in
+          Par.iter_stealing pool ~lo:0 ~hi:173 (fun i ->
+              hits.(i) <- hits.(i) + 1);
+          Alcotest.(check bool)
+            (Printf.sprintf "each index once at pool size %d" domains)
+            true
+            (Array.for_all (fun c -> c = 1) hits);
+          (* sub-range and empty range *)
+          let sub = Array.make 173 0 in
+          Par.iter_stealing pool ~lo:40 ~hi:90 (fun i -> sub.(i) <- 1);
+          Alcotest.(check bool) "sub-range only" true
+            (Array.for_all2 (fun c i -> c = if i >= 40 && i < 90 then 1 else 0)
+               sub
+               (Array.init 173 Fun.id));
+          Par.iter_stealing pool ~lo:5 ~hi:5 (fun _ -> assert false)))
+    [ 1; 2; 4 ]
+
+let test_iter_stealing_nested () =
+  Par.with_pool ~domains:4 (fun pool ->
+      let acc = Array.make 30 0 in
+      Par.iter_stealing pool ~lo:0 ~hi:30 (fun i ->
+          let inner = Array.make 20 0 in
+          Par.iter_stealing pool ~lo:0 ~hi:20 (fun j -> inner.(j) <- i * j);
+          acc.(i) <- Array.fold_left ( + ) 0 inner);
+      Alcotest.(check bool) "nested iteration identical" true
+        (acc = Array.init 30 (fun i -> i * 190)))
+
+let test_iter_stealing_counters_and_exceptions () =
+  Par.with_pool ~domains:3 (fun pool ->
+      let before = Par.stats pool in
+      Par.iter_stealing pool ~lo:0 ~hi:64 (fun _ -> ());
+      let after = Par.stats pool in
+      Alcotest.(check int) "every index counted as one task" 64
+        (after.Par.tasks_executed - before.Par.tasks_executed);
+      Alcotest.check_raises "raised in caller" Boom (fun () ->
+          Par.iter_stealing pool ~lo:0 ~hi:100 (fun i ->
+              if i = 50 then raise Boom));
+      let hits = Atomic.make 0 in
+      Par.iter_stealing pool ~lo:0 ~hi:10 (fun _ -> Atomic.incr hits);
+      Alcotest.(check int) "pool usable after failure" 10 (Atomic.get hits))
+
 let test_submit_await () =
   List.iter
     (fun domains ->
@@ -361,6 +406,11 @@ let suite =
       test_nested_stealing;
     Alcotest.test_case "task counters: executed = n, stolen <= n" `Quick
       test_stealing_counters;
+    Alcotest.test_case "iter_stealing covers range" `Quick
+      test_iter_stealing_covers_all;
+    Alcotest.test_case "iter_stealing nests" `Quick test_iter_stealing_nested;
+    Alcotest.test_case "iter_stealing counters & exceptions" `Quick
+      test_iter_stealing_counters_and_exceptions;
     Alcotest.test_case "submit/await round-trip" `Quick test_submit_await;
     Alcotest.test_case "stealing exceptions propagate, pool survives" `Quick
       test_stealing_exception_propagates;
