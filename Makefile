@@ -1,5 +1,5 @@
-.PHONY: all test bench microbench microbench-smoke smoke dsim-smoke check \
-	check-quick experiments full clean
+.PHONY: all test bench microbench microbench-smoke smoke smoke-shard \
+	dsim-smoke check check-quick experiments full clean
 
 all:
 	dune build @all
@@ -48,6 +48,13 @@ microbench-smoke:
 smoke:
 	sh scripts/smoke_server.sh
 
+# Sharded-server check: the same client transcript against --shards 1
+# and --shards 2 must produce byte-identical payments, the per-shard
+# stats rows must sum to the server totals, and SIGINT must drain both
+# shards.
+smoke-shard:
+	sh scripts/smoke_shard.sh
+
 # Distributed-simulation smoke: small-n sync and async runs of both dsim
 # scenarios with the --oracle cross-check against the centralized
 # references — nonzero exit on any fixed-point mismatch.
@@ -60,7 +67,7 @@ dsim-smoke:
 
 # The whole bar: build, tier-1 tests, socket smoke, then the gated
 # benchmark run.
-check: all test smoke bench
+check: all test smoke smoke-shard bench
 
 # The fast bar for CI and pre-push: build, tier-1 tests, the socket
 # smoke, the micro-suite smoke (allocation assertions, no timing), and
@@ -68,7 +75,7 @@ check: all test smoke bench
 # wall-clock-gated.  The timing-sensitive `bench` gate stays out: it
 # needs a quiet machine and a previous BENCH_latest.json to compare
 # against.
-check-quick: all test smoke microbench-smoke dsim-smoke
+check-quick: all test smoke smoke-shard microbench-smoke dsim-smoke
 
 experiments:
 	dune exec bench/main.exe -- experiments

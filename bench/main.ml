@@ -556,6 +556,156 @@ let run_server ?previous () =
   List.rev !samples
 
 (* ------------------------------------------------------------------ *)
+(* Sharded socket server throughput (wnet-bench/8)                      *)
+
+(* End-to-end rounds through the real sharded server: 4 access-point
+   sessions pinned round-robin onto 1, 2 or 4 shards, one socket client
+   per session, and a timed round = every client sends one cost edit
+   plus a pay, then reads its acks and payment lines back.  The s1 row
+   is the fused single-threaded loop; s2/s4 put the same byte stream
+   through the listener/mailbox/shard path, so on a single-core box the
+   rows mostly price the handoff machinery (see EXPERIMENTS.md), while
+   on a multi-core box they show the per-shard scaling.  Payments stay
+   bit-identical at every shard count — that contract is pinned by the
+   test suite and scripts/smoke_shard.sh, not re-checked here. *)
+
+let shard_server_ns = [ 100; 400; 800 ]
+let shard_server_counts = [ 1; 2; 4 ]
+let shard_server_sessions = 4
+
+let run_shard_server ?previous () =
+  Gc.compact ();
+  let samples = ref [] in
+  let record bench bn domains f =
+    let time_s, runs = retime ~previous (bench, bn, domains) (time_best f) f in
+    samples := { bench; bn; domains; time_s; runs } :: !samples
+  in
+  List.iter
+    (fun n ->
+      let links = Wnet_graph.Digraph.links (digraph_instance 9 ~n) in
+      let u, v, w0 = List.hd links in
+      List.iter
+        (fun shards ->
+          let sessions =
+            Array.init shard_server_sessions (fun _ ->
+                Wnet_session.make ~root:0
+                  (`Link (Wnet_graph.Digraph.create ~n ~links)))
+          in
+          let router =
+            Wnet_server.Router.pin ~shards (fun k -> k mod shards)
+          in
+          let path =
+            Filename.concat
+              (Filename.get_temp_dir_name ())
+              (Printf.sprintf "wnet-bench-shard-%d-%d-%d.sock" (Unix.getpid ())
+                 n shards)
+          in
+          (try Unix.unlink path with Unix.Unix_error _ -> ());
+          let server =
+            Wnet_server.create ~shards ~router (Wnet_server.Unix_path path)
+              sessions
+          in
+          let th = Thread.create Wnet_server.serve server in
+          let conns =
+            Array.init shard_server_sessions (fun k ->
+                let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+                Unix.connect fd (Unix.ADDR_UNIX path);
+                let ic = Unix.in_channel_of_descr fd in
+                let oc = Unix.out_channel_of_descr fd in
+                ignore (input_line ic);
+                if k > 0 then begin
+                  output_string oc
+                    (Wnet_proto.print_request
+                       (Wnet_proto.Attach { session = k }));
+                  output_char oc '\n';
+                  flush oc;
+                  ignore (input_line ic)
+                end;
+                (fd, ic, oc))
+          in
+          (* toggle the edited weight so every round nets a real edit;
+             writes fan out to every shard before any reply is read *)
+          let flip = ref false in
+          let round () =
+            flip := not !flip;
+            let w = if !flip then w0 *. 1.05 else w0 in
+            let burst =
+              Wnet_proto.print_request (Wnet_proto.Cost_link { u; v; w })
+              ^ "\npay\n"
+            in
+            Array.iter
+              (fun (_, _, oc) ->
+                output_string oc burst;
+                flush oc)
+              conns;
+            Array.iter
+              (fun (_, ic, _) ->
+                let rec to_paid () =
+                  match Wnet_proto.parse_response (input_line ic) with
+                  | Ok (Wnet_proto.Paid _) -> ()
+                  | _ -> to_paid ()
+                in
+                to_paid ())
+              conns
+          in
+          record (Printf.sprintf "server/shard-rps/s%d" shards) n shards round;
+          Wnet_server.shutdown server;
+          Thread.join th;
+          Array.iter
+            (fun (fd, _, _) ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            conns)
+        shard_server_counts)
+    shard_server_ns;
+  List.rev !samples
+
+let shard_server_speedups samples =
+  let find shards n =
+    List.find_opt
+      (fun s ->
+        s.bench = Printf.sprintf "server/shard-rps/s%d" shards && s.bn = n)
+      samples
+  in
+  List.filter_map
+    (fun n ->
+      match (find 1 n, find 2 n, find 4 n) with
+      | Some s1, Some s2, Some s4 when s2.time_s > 0.0 && s4.time_s > 0.0 ->
+        Some (n, s1.time_s /. s2.time_s, s1.time_s /. s4.time_s)
+      | _ -> None)
+    shard_server_ns
+
+let print_shard_server samples =
+  Printf.printf
+    "== Sharded server throughput (%d sessions round-robin on 1/2/4 shards; \
+     round = one edit + one pay per client) ==\n"
+    shard_server_sessions;
+  let table =
+    Wnet_stats.Table.make
+      ~headers:[ "workload"; "n"; "shards"; "round"; "rounds/s"; "runs" ]
+  in
+  List.iter
+    (fun s ->
+      Wnet_stats.Table.add_row table
+        [
+          s.bench;
+          string_of_int s.bn;
+          string_of_int s.domains;
+          Printf.sprintf "%.3f ms" (s.time_s *. 1e3);
+          (if s.time_s > 0.0 then Printf.sprintf "%.0f" (1.0 /. s.time_s)
+           else "-");
+          string_of_int s.runs;
+        ])
+    samples;
+  Wnet_stats.Table.print table;
+  print_newline ();
+  List.iter
+    (fun (n, x2, x4) ->
+      Printf.printf "n=%4d  2 shards vs fused: %.2fx   4 shards vs fused: %.2fx\n"
+        n x2 x4)
+    (shard_server_speedups samples);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Second-path gap study: sequential Yen vs work-stealing spur fan-out  *)
 
 (* The Figure 3(d) mechanism study is Yen-dominated: per source, one
@@ -1061,7 +1211,7 @@ let write_json ~canary ~micro ~microprims ~session ~hists ~server ~second_path
   in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"wnet-bench/7\",\n";
+  Buffer.add_string b "  \"schema\": \"wnet-bench/8\",\n";
   Buffer.add_string b (Printf.sprintf "  \"generated_at\": \"%s\",\n" iso);
   Buffer.add_string b
     (Printf.sprintf "  \"ocaml\": \"%s\",\n" (json_escape Sys.ocaml_version));
@@ -1597,6 +1747,12 @@ let () =
     print_session (session, hists);
     let server = run_server ?previous () in
     print_server server;
+    (* wnet-bench/8: the sharded end-to-end rows ride in the "server"
+       JSON section (same headline object shape, so the gate covers
+       them). *)
+    let shard_server = run_shard_server ?previous () in
+    print_shard_server shard_server;
+    let server = server @ shard_server in
     let second_path = run_second_path ?previous () in
     print_second_path second_path;
     let dsim = run_dsim ?previous () in
@@ -1624,6 +1780,7 @@ let () =
         ~dsim:empty_dsim batch
   | "session" -> print_session (run_session ())
   | "server" -> print_server (run_server ())
+  | "shardserver" -> print_shard_server (run_shard_server ())
   | "secondpath" -> print_second_path (run_second_path ())
   | "dsim" -> print_dsim (run_dsim ())
   | "microprims" -> print_microprims (run_microprims ())
@@ -1637,7 +1794,7 @@ let () =
     run_experiments ~instances:5 ~hop_instances:5 ~distributed_instances:2 ()
   | other ->
     Printf.eprintf
-      "unknown mode %s (use: micro | batch | session | server | secondpath | dsim | \
-       microprims | experiments | full)\n"
+      "unknown mode %s (use: micro | batch | session | server | shardserver | \
+       secondpath | dsim | microprims | experiments | full)\n"
       other;
     exit 2

@@ -552,33 +552,85 @@ let listen_cmd =
              ~doc:"Disconnect a client after this long without a complete \
                    request (default: never).")
   in
-  let run path root model domains socket port host idle_timeout =
+  let shards_arg =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Serve on $(docv) shards, one domain per shard, each \
+                   owning a disjoint set of sessions.  Payments are \
+                   bit-identical at every shard count.  Default 1: the \
+                   fused single-threaded loop.")
+  in
+  let sessions_arg =
+    Arg.(value & opt int 1
+         & info [ "sessions" ] ~docv:"K"
+             ~doc:"Host $(docv) independent access-point sessions, each \
+                   opened on its own copy of GRAPH.  Clients start on \
+                   session 0 and move with the $(b,session N) request.  \
+                   Default 1.")
+  in
+  let run path root model domains socket port host idle_timeout shards
+      nsessions =
+    if shards < 1 then failwith "--shards must be at least 1";
+    if nsessions < 1 then failwith "--sessions must be at least 1";
     let addr = parse_addr socket port host in
-    Wnet_par.with_pool ?domains (fun pool ->
-        let session = load_session ~model ~pool ~root path in
-        let server = Wnet_server.create ?idle_timeout addr session in
-        Wnet_server.install_signals server;
-        (match Wnet_server.addr server with
-        | Wnet_server.Unix_path p -> Format.printf "listening on %s@." p
-        | Wnet_server.Tcp { host; port } ->
-          Format.printf "listening on %s:%d@." host port);
-        Format.print_flush ();
-        Wnet_server.serve server;
-        let c = Wnet_server.counters server in
-        Format.printf
-          "served %d client(s), %d request(s), %d bytes in, %d bytes out@."
-          c.Wnet_server.clients_served c.Wnet_server.requests
-          c.Wnet_server.bytes_in c.Wnet_server.bytes_out);
+    let report (s : Wnet_server.server_stats) =
+      Format.printf
+        "served %d client(s), %d request(s), %d bytes in, %d bytes out@."
+        s.Wnet_server.clients_served s.Wnet_server.requests
+        s.Wnet_server.bytes_in s.Wnet_server.bytes_out;
+      if Array.length s.Wnet_server.per_shard > 1 then
+        Array.iter
+          (fun (r : Wnet_server.shard_stats) ->
+            Format.printf
+              "shard %d: served %d client(s), %d request(s), %d bytes in, \
+               %d bytes out@."
+              r.Wnet_server.shard r.Wnet_server.served r.Wnet_server.requests
+              r.Wnet_server.bytes_in r.Wnet_server.bytes_out)
+          s.Wnet_server.per_shard
+    in
+    let on_listen server =
+      (match Wnet_server.addr server with
+      | Wnet_server.Unix_path p -> Format.printf "listening on %s@." p
+      | Wnet_server.Tcp { host; port } ->
+        Format.printf "listening on %s:%d@." host port);
+      Format.print_flush ()
+    in
+    if shards = 1 then
+      (* One shard serializes everything anyway, so every session can
+         share one work-stealing pool for its payment fan-out. *)
+      Wnet_par.with_pool ?domains (fun pool ->
+          let sessions =
+            Array.init nsessions (fun _ ->
+                load_session ~model ~pool ~root path)
+          in
+          report
+            (Wnet_server.run ?idle_timeout ~signals:true ~on_listen addr
+               sessions))
+    else begin
+      (* Wnet_par pools are single-owner, and sessions now live on
+         shard domains: each session runs its payments sequentially
+         (par ≡ seq bit-identically), parallelism comes from shards. *)
+      let sessions =
+        Array.init nsessions (fun _ ->
+            load_session ~model ~pool:Wnet_par.sequential ~root path)
+      in
+      report
+        (Wnet_server.run ?idle_timeout ~shards ~signals:true ~on_listen addr
+           sessions)
+    end;
     0
   in
   Cmd.v
     (Cmd.info "listen"
-       ~doc:"Serve one incremental payment session to many concurrent \
-             clients over a TCP or Unix-domain socket.  Requests from all \
-             clients interleave into one deterministic edit stream; SIGINT \
-             or SIGTERM drains in-flight work and exits cleanly.")
+       ~doc:"Serve incremental payment sessions to many concurrent \
+             clients over a TCP or Unix-domain socket, optionally sharded \
+             across domains ($(b,--shards)) with multiple access-point \
+             sessions ($(b,--sessions)).  Requests attached to one session \
+             interleave into one deterministic edit stream; SIGINT or \
+             SIGTERM drains every shard and exits cleanly.")
     Term.(const run $ graph_arg $ root_arg $ model_arg $ domains_arg
-          $ socket_arg $ port_arg $ host_arg $ idle)
+          $ socket_arg $ port_arg $ host_arg $ idle $ shards_arg
+          $ sessions_arg)
 
 let client_cmd =
   let batch =

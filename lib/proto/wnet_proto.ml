@@ -9,6 +9,7 @@ type request =
   | Pay
   | Stats
   | Proto of { proto : int }
+  | Attach of { session : int }
   | Quit
 
 type response =
@@ -30,6 +31,21 @@ type response =
       coalesced : int;
       cache_hits : int;
       cache_misses : int;
+      bytes_in : int;
+      bytes_out : int;
+    }
+  | Shard_stats of {
+      shard : int;
+      conns : int;
+      requests : int;
+      edits : int;
+      coalesced : int;
+      inval_passes : int;
+      cache_hits : int;
+      cache_misses : int;
+      repaired : int;
+      tasks : int;
+      stolen : int;
       bytes_in : int;
       bytes_out : int;
     }
@@ -135,6 +151,10 @@ let parse_request line =
         let* proto = int_tok "proto" p in
         Ok (Proto { proto })
       | "proto" :: _ -> Error "proto: want `proto N'"
+      | [ "session"; k ] ->
+        let* session = int_tok "session" k in
+        Ok (Attach { session })
+      | "session" :: _ -> Error "session: want `session N'"
       | [ "quit" ] | [ "exit" ] -> Ok Quit
       | t :: _ -> Error (Printf.sprintf "unknown request %S" t)
       | [] -> Error "empty request"
@@ -160,6 +180,7 @@ let print_request = function
   | Pay -> "pay"
   | Stats -> "stats"
   | Proto { proto } -> Printf.sprintf "proto %d" proto
+  | Attach { session } -> Printf.sprintf "session %d" session
   | Quit -> "quit"
 
 let model_str = function `Node -> "node" | `Link -> "link"
@@ -184,12 +205,14 @@ let print_response = function
     Printf.sprintf "ok served=%d unbounded=%d total=%s" served unbounded
       (float_to_string total)
   | Session_stats st ->
-    Printf.sprintf
-      "ok edits=%d coalesced=%d inval_passes=%d spt_runs=%d avoid_runs=%d \
-       avoid_reused=%d repaired=%d fallbacks=%d tasks=%d stolen=%d"
-      st.edits st.coalesced_edits st.inval_passes st.spt_runs st.avoid_runs
-      st.avoid_reused st.repaired_entries st.fallback_recomputes
-      st.tasks_executed st.tasks_stolen
+    (* Printed from the layout table, so a counter added to
+       [Wnet_session.stats_layout] appears here without touching the
+       printer; byte-identical to the historical printf form. *)
+    String.concat " "
+      ("ok"
+      :: List.map
+           (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+           (Wnet_session.to_fields st))
   | Server_stats
       {
         clients;
@@ -206,6 +229,28 @@ let print_response = function
        cache_misses=%d bytes_in=%d bytes_out=%d"
       clients requests edits coalesced cache_hits cache_misses bytes_in
       bytes_out
+  | Shard_stats
+      {
+        shard;
+        conns;
+        requests;
+        edits;
+        coalesced;
+        inval_passes;
+        cache_hits;
+        cache_misses;
+        repaired;
+        tasks;
+        stolen;
+        bytes_in;
+        bytes_out;
+      } ->
+    Printf.sprintf
+      "shard id=%d conns=%d requests=%d edits=%d coalesced=%d \
+       inval_passes=%d cache_hits=%d cache_misses=%d repaired=%d tasks=%d \
+       stolen=%d bytes_in=%d bytes_out=%d"
+      shard conns requests edits coalesced inval_passes cache_hits
+      cache_misses repaired tasks stolen bytes_in bytes_out
   | Conn_stats { requests; bytes_in; bytes_out; proto } ->
     Printf.sprintf "conn requests=%d bytes_in=%d bytes_out=%d proto=%d"
       requests bytes_in bytes_out proto
@@ -259,15 +304,12 @@ let parse_served line =
     | None -> bad ())
   | _ -> bad ()
 
-(* The session counters in wire order.  Older peers end the line early —
-   a wnet/1 server stops after [avoid_reused], a wnet-bench/4 one after
-   [fallbacks] — so any even-length prefix of at least 6 keys parses,
-   with the omitted trailing counters read as 0. *)
-let session_counter_keys =
-  [|
-    "edits"; "coalesced"; "inval_passes"; "spt_runs"; "avoid_runs";
-    "avoid_reused"; "repaired"; "fallbacks"; "tasks"; "stolen";
-  |]
+(* The session counters in wire order, straight from the layout table.
+   Older peers end the line early — a wnet/1 server stops after
+   [avoid_reused], a wnet-bench/4 one after [fallbacks] — so any
+   even-length prefix of at least 6 keys parses, with the omitted
+   trailing counters read as 0 by [Wnet_session.of_fields]. *)
+let session_counter_keys = Wnet_session.stats_field_names
 
 let parse_session_stats line toks =
   let nkeys = Array.length session_counter_keys in
@@ -275,29 +317,16 @@ let parse_session_stats line toks =
   if k < 6 || k > nkeys || k mod 2 <> 0 then
     Error (Printf.sprintf "bad stats line %S" line)
   else begin
-    let c = Array.make nkeys 0 in
-    let rec go i = function
-      | [] ->
-        Ok
-          (Session_stats
-             {
-               edits = c.(0);
-               coalesced_edits = c.(1);
-               inval_passes = c.(2);
-               spt_runs = c.(3);
-               avoid_runs = c.(4);
-               avoid_reused = c.(5);
-               repaired_entries = c.(6);
-               fallback_recomputes = c.(7);
-               tasks_executed = c.(8);
-               tasks_stolen = c.(9);
-             })
+    let rec go i acc = function
+      | [] -> (
+        match Wnet_session.of_fields (List.rev acc) with
+        | Ok st -> Ok (Session_stats st)
+        | Error m -> Error m)
       | t :: rest ->
         let* v = int_kv session_counter_keys.(i) t in
-        c.(i) <- v;
-        go (i + 1) rest
+        go (i + 1) ((session_counter_keys.(i), v) :: acc) rest
     in
-    go 0 toks
+    go 0 [] toks
   end
 
 let parse_response line =
@@ -344,6 +373,37 @@ let parse_response line =
            coalesced;
            cache_hits;
            cache_misses;
+           bytes_in;
+           bytes_out;
+         })
+  | [ "shard"; a; b; c; d; e; f; g; h; i; j; k; l; m ] ->
+    let* shard = int_kv "id" a in
+    let* conns = int_kv "conns" b in
+    let* requests = int_kv "requests" c in
+    let* edits = int_kv "edits" d in
+    let* coalesced = int_kv "coalesced" e in
+    let* inval_passes = int_kv "inval_passes" f in
+    let* cache_hits = int_kv "cache_hits" g in
+    let* cache_misses = int_kv "cache_misses" h in
+    let* repaired = int_kv "repaired" i in
+    let* tasks = int_kv "tasks" j in
+    let* stolen = int_kv "stolen" k in
+    let* bytes_in = int_kv "bytes_in" l in
+    let* bytes_out = int_kv "bytes_out" m in
+    Ok
+      (Shard_stats
+         {
+           shard;
+           conns;
+           requests;
+           edits;
+           coalesced;
+           inval_passes;
+           cache_hits;
+           cache_misses;
+           repaired;
+           tasks;
+           stolen;
            bytes_in;
            bytes_out;
          })
@@ -405,6 +465,10 @@ let handle (module S : Wnet_session.S) req =
       (* Codec switching is transport-level; only framed front-ends
          (the socket server) can honour it. *)
       [ Err "proto: negotiation needs a socket transport" ]
+    | Attach _ ->
+      (* Session placement is a server concern; the stdin loop and the
+         oracle replays host exactly one session. *)
+      [ Err "session: attach needs a socket transport" ]
     | Quit -> [ Bye ]
   with
   | Failure m | Invalid_argument m -> [ Err m ]

@@ -22,6 +22,9 @@
     stats                         work counters
     proto N                       switch this connection's wire codec
                                   (N = 2 selects {!Wnet_proto_bin} framing)
+    session N                     attach this connection to server session N
+                                  (socket server only; re-greets with the
+                                  target session's ready banner)
     quit | exit                   close the session
     v}
 
@@ -34,6 +37,7 @@
     ok served=11 unbounded=1 total=33.25       (ends a pay reply)
     ok edits=4 coalesced=4 inval_passes=1 spt_runs=2 avoid_runs=5 avoid_reused=9
     server clients=2 requests=10 edits=4 coalesced=4 cache_hits=9 cache_misses=5 bytes_in=120 bytes_out=456
+    shard id=0 conns=1 requests=5 edits=2 coalesced=2 inval_passes=1 cache_hits=4 cache_misses=2 repaired=0 tasks=8 stolen=0 bytes_in=60 bytes_out=228
     conn requests=3 bytes_in=40 bytes_out=152 proto=1
     bye
     err <reason>
@@ -61,6 +65,10 @@ type request =
   | Pay
   | Stats
   | Proto of { proto : int }
+  | Attach of { session : int }
+      (** [session N] — move this connection onto server session [N]
+          (a sharded server migrates the connection to the owning
+          shard).  Transport-level, like {!Proto}. *)
   | Quit
 
 type response =
@@ -85,6 +93,25 @@ type response =
       bytes_in : int;
       bytes_out : int;
     }
+  | Shard_stats of {
+      shard : int;
+      conns : int;
+      requests : int;
+      edits : int;
+      coalesced : int;
+      inval_passes : int;
+      cache_hits : int;
+      cache_misses : int;
+      repaired : int;
+      tasks : int;
+      stolen : int;
+      bytes_in : int;
+      bytes_out : int;
+    }
+      (** One per-shard breakdown row of a sharded server's [stats]
+          reply; only emitted when the server runs more than one
+          shard, so single-shard transcripts stay byte-identical to
+          the pre-shard wire format. *)
   | Conn_stats of {
       requests : int;
       bytes_in : int;

@@ -29,6 +29,7 @@ let tag_pay = 0x06
 let tag_stats = 0x07
 let tag_quit = 0x08
 let tag_proto = 0x09
+let tag_attach = 0x0a
 let tag_ready = 0x41
 let tag_ack = 0x42
 let tag_served = 0x43
@@ -38,6 +39,7 @@ let tag_server_stats = 0x46
 let tag_conn_stats = 0x47
 let tag_bye = 0x48
 let tag_err = 0x49
+let tag_shard_stats = 0x4a
 
 let check_u32 what v =
   if v < 0 || v > 0xffff_ffff then
@@ -179,6 +181,10 @@ let put_request e (r : Wnet_proto.request) =
     check_u8 "proto" proto;
     put_u8 e tag_proto;
     put_u8 e proto
+  | Attach { session } ->
+    check_u32 "session" session;
+    put_u8 e tag_attach;
+    put_u32 e session
   | Quit -> put_u8 e tag_quit
 
 let put_response e (r : Wnet_proto.response) =
@@ -253,6 +259,37 @@ let put_response e (r : Wnet_proto.response) =
     put_i64 e coalesced;
     put_i64 e cache_hits;
     put_i64 e cache_misses;
+    put_i64 e bytes_in;
+    put_i64 e bytes_out
+  | Shard_stats
+      {
+        shard;
+        conns;
+        requests;
+        edits;
+        coalesced;
+        inval_passes;
+        cache_hits;
+        cache_misses;
+        repaired;
+        tasks;
+        stolen;
+        bytes_in;
+        bytes_out;
+      } ->
+    check_u16 "shard" shard;
+    put_u8 e tag_shard_stats;
+    put_u16 e shard;
+    put_i64 e conns;
+    put_i64 e requests;
+    put_i64 e edits;
+    put_i64 e coalesced;
+    put_i64 e inval_passes;
+    put_i64 e cache_hits;
+    put_i64 e cache_misses;
+    put_i64 e repaired;
+    put_i64 e tasks;
+    put_i64 e stolen;
     put_i64 e bytes_in;
     put_i64 e bytes_out
   | Conn_stats { requests; bytes_in; bytes_out; proto } ->
@@ -376,7 +413,7 @@ type view = {
   mutable i0 : int;
   mutable i1 : int;
   fl : float array;  (* length 1: the message's float slot *)
-  counters : int array;  (* length 10: stats counter slots *)
+  counters : int array;  (* length 12: stats counter slots *)
   mutable path : int list;
   mutable out_eps : (int * float) list;
   mutable inn_eps : (int * float) list;
@@ -389,7 +426,7 @@ let make_view () =
     i0 = 0;
     i1 = 0;
     fl = Array.make 1 0.0;
-    counters = Array.make 10 0;
+    counters = Array.make 12 0;
     path = [];
     out_eps = [];
     inn_eps = [];
@@ -504,6 +541,10 @@ let decode_msg d (v : view) =
     v.inn_eps <- get_endpoints d nin
   end
   else if tag = tag_proto then v.i0 <- get_u8 d
+  else if tag = tag_attach then begin
+    need d 4;
+    v.i0 <- get_u32 d
+  end
   else if tag = tag_ready then begin
     need d 14;
     v.i0 <- get_u8 d;
@@ -521,6 +562,13 @@ let decode_msg d (v : view) =
   else if tag = tag_server_stats then begin
     need d 64;
     for i = 0 to 7 do
+      v.counters.(i) <- get_i64 d
+    done
+  end
+  else if tag = tag_shard_stats then begin
+    need d 98;
+    v.i0 <- get_u16 d;
+    for i = 0 to 11 do
       v.counters.(i) <- get_i64 d
     done
   end
@@ -583,6 +631,7 @@ let request_of_view (v : view) : (Wnet_proto.request, string) result =
   else if t = tag_pay then Ok Pay
   else if t = tag_stats then Ok Stats
   else if t = tag_proto then Ok (Proto { proto = v.i0 })
+  else if t = tag_attach then Ok (Attach { session = v.i0 })
   else if t = tag_quit then Ok Quit
   else Error (Printf.sprintf "not a request tag 0x%02x" t)
 
@@ -640,6 +689,25 @@ let response_of_view (v : view) : (Wnet_proto.response, string) result =
            cache_misses = c.(5);
            bytes_in = c.(6);
            bytes_out = c.(7);
+         })
+  else if t = tag_shard_stats then
+    let c = v.counters in
+    Ok
+      (Shard_stats
+         {
+           shard = v.i0;
+           conns = c.(0);
+           requests = c.(1);
+           edits = c.(2);
+           coalesced = c.(3);
+           inval_passes = c.(4);
+           cache_hits = c.(5);
+           cache_misses = c.(6);
+           repaired = c.(7);
+           tasks = c.(8);
+           stolen = c.(9);
+           bytes_in = c.(10);
+           bytes_out = c.(11);
          })
   else if t = tag_conn_stats then
     Ok

@@ -112,7 +112,7 @@ type view = {
   mutable i0 : int;
   mutable i1 : int;
   fl : float array;  (** length 1: the message's float slot *)
-  counters : int array;  (** length 10: stats counter slots *)
+  counters : int array;  (** length 12: stats counter slots *)
   mutable path : int list;
   mutable out_eps : (int * float) list;
   mutable inn_eps : (int * float) list;

@@ -1,0 +1,83 @@
+(* The accept loop: bind, listen, route.
+
+   A listener owns only the listening socket.  It never reads, writes
+   or greets an accepted connection — it wraps the fresh fd and hands
+   it straight to the shard the router placed the default session on
+   (via {!Shard.route_new}), so the owning shard is the socket's one
+   and only writer from the first byte.  In fused (single-shard) mode
+   {!run} is not used at all: the one shard selects the listening fd
+   inside its own loop. *)
+
+type addr = Unix_path of string | Tcp of { host : string; port : int }
+
+type t = {
+  fd : Unix.file_descr;
+  bound : addr;
+}
+
+let bind ?(backlog = 16) bound =
+  let fd, resolved =
+    match bound with
+    | Unix_path path ->
+      if Sys.file_exists path then Unix.unlink path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      (fd, bound)
+    | Tcp { host; port } ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.bind fd (Unix.ADDR_INET (ip, port));
+      let resolved =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, port) -> Tcp { host; port }
+        | _ -> bound
+      in
+      (fd, resolved)
+  in
+  Unix.listen fd backlog;
+  Unix.set_nonblock fd;
+  { fd; bound = resolved }
+
+let addr t = t.bound
+let fd t = t.fd
+
+(* Accept until the backlog is dry, routing every fresh connection. *)
+let accept_burst t sh =
+  let rec go () =
+    match Unix.accept t.fd with
+    | fd, _ ->
+      Shard.route_new sh fd;
+      go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  go ()
+
+(* The multi-shard accept loop; runs in the calling thread until
+   {!Shard.stop}.  The stop pipe wakes the select. *)
+let run t sh =
+  let stop_fd = Shard.lstop_fd sh in
+  let rec loop () =
+    if not (Shard.stopping sh) then begin
+      match Unix.select [ t.fd; stop_fd ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | readable, _, _ ->
+        if List.mem stop_fd readable then begin
+          let b = Bytes.create 64 in
+          try ignore (Unix.read stop_fd b 0 64) with Unix.Unix_error _ -> ()
+        end;
+        if List.exists (fun r -> r == t.fd) readable then accept_burst t sh;
+        loop ()
+    end
+  in
+  loop ()
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let unlink t =
+  match t.bound with
+  | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()

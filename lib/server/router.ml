@@ -1,0 +1,35 @@
+(* Session-id -> shard placement.
+
+   The router decides, once and up front, which shard's domain owns
+   each session; every connection attached to a session is served by
+   that one shard, which is the whole determinism argument of the
+   sharded server (a session's edit stream is applied by exactly one
+   domain, in arrival order).  The default placement hashes the session
+   id; [pin] is the explicit hook for callers that want to lay sessions
+   out by hand (the bench pins round-robin so every shard carries load
+   at any session count). *)
+
+type t = {
+  shards : int;
+  place : int -> int;
+}
+
+let shards t = t.shards
+
+let place t session =
+  let s = t.place session in
+  if s < 0 || s >= t.shards then
+    invalid_arg
+      (Printf.sprintf "Router.place: session %d pinned to shard %d of %d"
+         session s t.shards);
+  s
+
+(* Session ids are small dense ints, so the identity hash modulo the
+   shard count spreads them evenly and deterministically. *)
+let hash ~shards =
+  if shards < 1 then invalid_arg "Router.hash: shards < 1";
+  { shards; place = (fun session -> session land max_int mod shards) }
+
+let pin ~shards place =
+  if shards < 1 then invalid_arg "Router.pin: shards < 1";
+  { shards; place }

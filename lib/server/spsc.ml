@@ -1,0 +1,51 @@
+(* Bounded single-producer / single-consumer ring.
+
+   One producer domain pushes, one consumer domain pops — the sharded
+   server allocates one ring per (producer, consumer) pair, so no slot
+   is ever contended.  Publication is the classic two-counter scheme:
+   the producer writes the slot, then advances [tail] (an Atomic.set,
+   which is a release); the consumer observes the new [tail] (acquire),
+   reads the slot, then advances [head].  Under the OCaml memory model
+   the slot accesses are therefore ordered by the atomic counters and
+   race-free.  Slots are cleared on pop so the ring never pins dead
+   payloads against the GC. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mask : int;  (* capacity - 1; capacity is a power of two *)
+  head : int Atomic.t;  (* next slot to pop; advanced by the consumer *)
+  tail : int Atomic.t;  (* next slot to push; advanced by the producer *)
+}
+
+let create cap =
+  if cap < 1 then invalid_arg "Spsc.create: capacity < 1";
+  let c = ref 1 in
+  while !c < cap do
+    c := !c * 2
+  done;
+  { buf = Array.make !c None; mask = !c - 1; head = Atomic.make 0;
+    tail = Atomic.make 0 }
+
+let capacity q = q.mask + 1
+
+(* Producer side.  [false] = ring full (nothing written). *)
+let push q x =
+  let tl = Atomic.get q.tail in
+  if tl - Atomic.get q.head > q.mask then false
+  else begin
+    q.buf.(tl land q.mask) <- Some x;
+    Atomic.set q.tail (tl + 1);
+    true
+  end
+
+(* Consumer side. *)
+let pop q =
+  let hd = Atomic.get q.head in
+  if hd = Atomic.get q.tail then None
+  else begin
+    let i = hd land q.mask in
+    let x = q.buf.(i) in
+    q.buf.(i) <- None;
+    Atomic.set q.head (hd + 1);
+    x
+  end

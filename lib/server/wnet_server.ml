@@ -1,42 +1,49 @@
-module B = Wnet_proto_bin
+(* The sharded socket server: Listener (accept) -> Router (place) ->
+   Shard (serve).  This module is the assembly: it wires the three
+   composable pieces together and keeps the one-call [run] entry for
+   front-ends that just want "serve these sessions on this address".
 
-type addr = Unix_path of string | Tcp of { host : string; port : int }
+   The structure per shard count:
+   - shards = 1 (fused): the single shard's loop also selects the
+     listening fd and accepts inline — one thread, one loop, exactly
+     the historical single-threaded server.
+   - shards > 1: one domain per shard runs {!Shard.run}; the calling
+     thread runs the {!Listener.run} accept loop, handing fresh
+     connections to the owning shard over SPSC mailboxes. *)
 
-(* Each connection owns both codecs: the line codec it opens with
-   ([inbuf]/[out]) and a preallocated binary codec ([bdec]/[benc],
-   scratch reused for the connection's lifetime) it switches to when
-   the client negotiates [proto 2].  Text output always drains before
-   binary output — the only moment both are pending is right after the
-   upgrade, when the text [ready proto=2] banner precedes the first
-   frame. *)
-type conn = {
-  fd : Unix.file_descr;
-  mutable proto : int;  (* 1 = lines, 2 = binary frames *)
-  mutable inbuf : string;  (* partial line, no '\n' yet *)
-  mutable out : string;  (* rendered text replies not yet written *)
-  benc : B.enc;  (* encoded frames not yet written *)
-  bdec : B.dec;
-  bview : B.view;
-  mutable last_active : float;
-  mutable requests : int;
-  mutable bytes_in : int;
-  mutable bytes_out : int;
-  mutable closing : bool;  (* close once pending output drains *)
+module Spsc = Spsc
+module Router = Router
+module Shard = Shard
+module Listener = Listener
+
+type addr = Listener.addr =
+  | Unix_path of string
+  | Tcp of { host : string; port : int }
+
+type shard_stats = Shard.stats = {
+  shard : int;
+  conns : int;
+  served : int;
+  requests : int;
+  edits : int;
+  coalesced : int;
+  inval_passes : int;
+  cache_hits : int;
+  cache_misses : int;
+  repaired : int;
+  tasks : int;
+  stolen : int;
+  bytes_in : int;
+  bytes_out : int;
 }
 
-type t = {
-  session : (module Wnet_session.S);
-  listen_fd : Unix.file_descr;
-  bound : addr;
-  idle_timeout : float option;
-  pipe_r : Unix.file_descr;  (* self-pipe: wakes select on shutdown *)
-  pipe_w : Unix.file_descr;
-  mutable stopping : bool;
-  mutable conns : conn list;
-  mutable clients_served : int;
-  mutable requests : int;
-  mutable bytes_in : int;
-  mutable bytes_out : int;
+type server_stats = {
+  clients : int;
+  clients_served : int;
+  requests : int;
+  bytes_in : int;
+  bytes_out : int;
+  per_shard : shard_stats array;
 }
 
 type counters = {
@@ -47,360 +54,90 @@ type counters = {
   bytes_out : int;
 }
 
-let counters t =
-  {
-    clients = List.length t.conns;
-    clients_served = t.clients_served;
-    requests = t.requests;
-    bytes_in = t.bytes_in;
-    bytes_out = t.bytes_out;
-  }
+type t = {
+  sh : Shard.shared;
+  listener : Listener.t;
+}
 
-let addr t = t.bound
-
-let create ?(backlog = 16) ?idle_timeout bound session =
-  let fd, resolved =
-    match bound with
-    | Unix_path path ->
-      if Sys.file_exists path then Unix.unlink path;
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Unix.bind fd (Unix.ADDR_UNIX path);
-      (fd, bound)
-    | Tcp { host; port } ->
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      Unix.setsockopt fd Unix.SO_REUSEADDR true;
-      let ip =
-        try Unix.inet_addr_of_string host
-        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
-      in
-      Unix.bind fd (Unix.ADDR_INET (ip, port));
-      let resolved =
-        match Unix.getsockname fd with
-        | Unix.ADDR_INET (_, port) -> Tcp { host; port }
-        | _ -> bound
-      in
-      (fd, resolved)
+let create ?(backlog = 16) ?idle_timeout ?(shards = 1) ?router bound sessions
+    =
+  let router =
+    match router with
+    | None -> Router.hash ~shards
+    | Some r ->
+      if Router.shards r <> shards then
+        invalid_arg "Wnet_server.create: router sized for a different shard \
+                     count";
+      r
   in
-  Unix.listen fd backlog;
-  Unix.set_nonblock fd;
-  let pipe_r, pipe_w = Unix.pipe () in
-  {
-    session;
-    listen_fd = fd;
-    bound = resolved;
-    idle_timeout;
-    pipe_r;
-    pipe_w;
-    stopping = false;
-    conns = [];
-    clients_served = 0;
-    requests = 0;
-    bytes_in = 0;
-    bytes_out = 0;
-  }
+  let listener = Listener.bind ~backlog bound in
+  let sh =
+    try Shard.make_shared ~nshards:shards ~router ~idle_timeout ~sessions
+    with e ->
+      Listener.close listener;
+      Listener.unlink listener;
+      raise e
+  in
+  { sh; listener }
 
-let shutdown t =
-  t.stopping <- true;
-  (* Wake a select blocked in another thread; ignore a full or closed
-     pipe — the flag alone suffices once the loop runs. *)
-  try ignore (Unix.write_substring t.pipe_w "x" 0 1) with _ -> ()
+let addr t = Listener.addr t.listener
+let shutdown t = Shard.stop t.sh
 
 let install_signals t =
   let h = Sys.Signal_handle (fun _ -> shutdown t) in
   Sys.set_signal Sys.sigint h;
   Sys.set_signal Sys.sigterm h
 
-let render rs =
-  String.concat "" (List.map (fun r -> Wnet_proto.print_response r ^ "\n") rs)
+let stats t : server_stats =
+  let rows = Shard.snapshot t.sh in
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 rows in
+  {
+    clients = sum (fun (r : shard_stats) -> r.conns);
+    clients_served = sum (fun (r : shard_stats) -> r.served);
+    requests = sum (fun (r : shard_stats) -> r.requests);
+    bytes_in = sum (fun (r : shard_stats) -> r.bytes_in);
+    bytes_out = sum (fun (r : shard_stats) -> r.bytes_out);
+    per_shard = rows;
+  }
 
-let server_stats (t : t) =
-  let module S = (val t.session : Wnet_session.S) in
-  let st = S.stats () in
-  Wnet_proto.Server_stats
-    {
-      clients = List.length t.conns;
-      requests = t.requests;
-      edits = st.edits;
-      coalesced = st.coalesced_edits;
-      cache_hits = st.avoid_reused;
-      cache_misses = st.avoid_runs;
-      bytes_in = t.bytes_in;
-      bytes_out = t.bytes_out;
-    }
+let counters t : counters =
+  let s = stats t in
+  {
+    clients = s.clients;
+    clients_served = s.clients_served;
+    requests = s.requests;
+    bytes_in = s.bytes_in;
+    bytes_out = s.bytes_out;
+  }
 
-let conn_stats (c : conn) =
-  Wnet_proto.Conn_stats
-    {
-      requests = c.requests;
-      bytes_in = c.bytes_in;
-      bytes_out = c.bytes_out;
-      proto = c.proto;
-    }
-
-let queue (c : conn) rs =
-  if rs <> [] then
-    if c.proto = 2 then B.encode_responses c.benc rs
-    else c.out <- c.out ^ render rs
-
-let pending_out (c : conn) = String.length c.out + B.enc_pending c.benc
-
-let close_conn (t : t) (c : conn) =
-  (try Unix.close c.fd with Unix.Unix_error _ -> ());
-  t.conns <- List.filter (fun c' -> c' != c) t.conns
-
-(* Write as much pending output as the socket accepts right now; text
-   before frames (see the [conn] invariant). *)
-let flush_some (t : t) (c : conn) =
-  let account n =
-    c.bytes_out <- c.bytes_out + n;
-    t.bytes_out <- t.bytes_out + n
-  in
-  try
-    let len = String.length c.out in
-    if len > 0 then begin
-      let n = Unix.write_substring c.fd c.out 0 len in
-      c.out <- String.sub c.out n (len - n);
-      account n
-    end;
-    let blen = B.enc_pending c.benc in
-    if c.out = "" && blen > 0 then begin
-      let n = Unix.write c.fd (B.enc_buffer c.benc) (B.enc_offset c.benc) blen in
-      B.enc_consume c.benc n;
-      account n
-    end
-  with
-  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> close_conn t c
-
-(* Split off the first complete line; the tail stays buffered. *)
-let next_line (c : conn) =
-  match String.index_opt c.inbuf '\n' with
-  | None -> None
-  | Some i ->
-    let line = String.sub c.inbuf 0 i in
-    let line =
-      if line <> "" && line.[String.length line - 1] = '\r' then
-        String.sub line 0 (String.length line - 1)
-      else line
-    in
-    c.inbuf <- String.sub c.inbuf (i + 1) (String.length c.inbuf - i - 1);
-    Some line
-
-(* One parsed request -> queued replies.  The protocol handler does the
-   work; the server layers its own stats onto [stats] replies, latches
-   the close on [quit], and owns codec negotiation ([proto N]) because
-   switching is transport state, not session state. *)
-let process (t : t) (c : conn) parsed =
-  c.last_active <- Unix.gettimeofday ();
-  match parsed with
-  | Ok None -> ()
-  | Error m ->
-    c.requests <- c.requests + 1;
-    t.requests <- t.requests + 1;
-    queue c [ Wnet_proto.Err m ]
-  | Ok (Some req) -> (
-    c.requests <- c.requests + 1;
-    t.requests <- t.requests + 1;
-    match req with
-    | Wnet_proto.Proto { proto = p } ->
-      if p = B.version then begin
-        (* Acknowledge in the current codec, then switch both
-           directions.  Bytes already buffered behind the request are
-           re-fed to the frame decoder. *)
-        queue c [ Wnet_proto.greeting ~proto:B.version t.session ];
-        if c.proto <> B.version then begin
-          c.proto <- B.version;
-          if c.inbuf <> "" then begin
-            B.dec_feed_string c.bdec c.inbuf 0 (String.length c.inbuf);
-            c.inbuf <- ""
-          end
-        end
-      end
-      else if p = Wnet_proto.version && c.proto = Wnet_proto.version then
-        queue c [ Wnet_proto.greeting t.session ]
-      else if p = Wnet_proto.version then
-        queue c [ Wnet_proto.Err "proto: downgrade unsupported" ]
-      else
-        queue c
-          [ Wnet_proto.Err (Printf.sprintf "proto: unsupported version %d" p) ]
-    | Wnet_proto.Stats ->
-      queue c
-        (Wnet_proto.handle t.session req @ [ server_stats t; conn_stats c ])
-    | Wnet_proto.Quit ->
-      queue c (Wnet_proto.handle t.session req);
-      c.closing <- true
-    | _ -> queue c (Wnet_proto.handle t.session req))
-
-(* Answer every complete request already buffered, one at a time — the
-   request may switch the codec for the bytes behind it. *)
-let rec drain_input (t : t) (c : conn) =
-  if not c.closing then
-    if c.proto = 2 then
-      match B.decode_request c.bdec c.bview with
-      | `Req req ->
-        process t c (Ok (Some req));
-        drain_input t c
-      | `Need_more -> ()
-      | `Corrupt m ->
-        (* Framing is lost for good: report, dismiss, close. *)
-        c.requests <- c.requests + 1;
-        t.requests <- t.requests + 1;
-        queue c [ Wnet_proto.Err ("proto: " ^ m); Wnet_proto.Bye ];
-        c.closing <- true
-    else
-      match next_line c with
-      | Some line ->
-        process t c (Wnet_proto.parse_request line);
-        drain_input t c
-      | None -> ()
-
-let handle_readable (t : t) (c : conn) =
-  let bytes = Bytes.create 4096 in
-  match Unix.read c.fd bytes 0 4096 with
-  | 0 ->
-    (* Client half-closed: answer what is already buffered, then go. *)
-    drain_input t c;
-    c.closing <- true;
-    flush_some t c;
-    if pending_out c = 0 then close_conn t c
-  | n ->
-    c.bytes_in <- c.bytes_in + n;
-    t.bytes_in <- t.bytes_in + n;
-    if c.proto = 2 then B.dec_feed c.bdec bytes 0 n
-    else c.inbuf <- c.inbuf ^ Bytes.sub_string bytes 0 n;
-    drain_input t c;
-    flush_some t c;
-    if c.closing && pending_out c = 0 then close_conn t c
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
-    close_conn t c
-
-let accept_ready (t : t) =
-  match Unix.accept t.listen_fd with
-  | fd, _ ->
-    Unix.set_nonblock fd;
-    let c =
-      {
-        fd;
-        proto = Wnet_proto.version;
-        inbuf = "";
-        out = "";
-        benc = B.enc_create ();
-        bdec = B.dec_create ();
-        bview = B.make_view ();
-        last_active = Unix.gettimeofday ();
-        requests = 0;
-        bytes_in = 0;
-        bytes_out = 0;
-        closing = false;
-      }
-    in
-    t.conns <- c :: t.conns;
-    t.clients_served <- t.clients_served + 1;
-    queue c [ Wnet_proto.greeting t.session ];
-    flush_some t c
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-
-let sweep_idle (t : t) now =
-  match t.idle_timeout with
-  | None -> ()
-  | Some limit ->
-    List.iter
-      (fun c ->
-        if (not c.closing) && now -. c.last_active > limit then begin
-          queue c [ Wnet_proto.Err "idle timeout"; Wnet_proto.Bye ];
-          c.closing <- true;
-          flush_some t c;
-          if pending_out c = 0 then close_conn t c
-        end)
-      t.conns
-
-let next_timeout (t : t) now =
-  match t.idle_timeout with
-  | None -> -1.0
-  | Some limit ->
-    List.fold_left
-      (fun acc c ->
-        let left = (c.last_active +. limit) -. now in
-        let left = if left < 0.0 then 0.0 else left in
-        if acc < 0.0 || left < acc then left else acc)
-      (-1.0) t.conns
-
-(* Graceful drain: no new requests are read, but requests already
-   received in full are answered, every client gets [bye], and pending
-   output is flushed (bounded wait) before the sockets close. *)
-let drain (t : t) =
-  List.iter
-    (fun c ->
-      drain_input t c;
-      if not c.closing then queue c [ Wnet_proto.Bye ];
-      c.closing <- true)
-    t.conns;
-  let deadline = Unix.gettimeofday () +. 5.0 in
-  let rec flush_all () =
-    List.iter (fun c -> flush_some t c) t.conns;
-    t.conns <-
-      List.filter
-        (fun c -> pending_out c <> 0 || (Unix.close c.fd; false))
-        t.conns;
-    if t.conns <> [] && Unix.gettimeofday () < deadline then begin
-      let ws = List.map (fun c -> c.fd) t.conns in
-      (match Unix.select [] ws [] 0.1 with
-      | _ -> ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      flush_all ()
-    end
-  in
-  flush_all ();
-  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
-  t.conns <- []
-
-let serve (t : t) =
+let serve t =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  let rec loop () =
-    if not t.stopping then begin
-      let now = Unix.gettimeofday () in
-      sweep_idle t now;
-      let rs =
-        t.pipe_r :: t.listen_fd :: List.map (fun c -> c.fd) t.conns
-      in
-      let ws =
-        List.filter_map
-          (fun c -> if pending_out c <> 0 then Some c.fd else None)
-          t.conns
-      in
-      match Unix.select rs ws [] (next_timeout t now) with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | readable, writable, _ ->
-        if List.mem t.pipe_r readable then begin
-          let b = Bytes.create 16 in
-          try ignore (Unix.read t.pipe_r b 0 16) with Unix.Unix_error _ -> ()
-        end;
-        List.iter
-          (fun fd ->
-            match List.find_opt (fun c -> c.fd == fd) t.conns with
-            | Some c ->
-              flush_some t c;
-              if c.closing && pending_out c = 0 then close_conn t c
-            | None -> ())
-          writable;
-        List.iter
-          (fun fd ->
-            if fd == t.listen_fd then accept_ready t
-            else if fd != t.pipe_r then
-              match List.find_opt (fun c -> c.fd == fd) t.conns with
-              | Some c when not c.closing -> handle_readable t c
-              | Some _ | None -> ())
-          readable;
-        loop ()
-    end
-  in
-  loop ();
-  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  drain t;
-  (match t.bound with
-  | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-  | Tcp _ -> ());
-  (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
-  try Unix.close t.pipe_w with Unix.Unix_error _ -> ()
+  if Shard.nshards t.sh = 1 then begin
+    (* Fused: no separate accept loop to wait for. *)
+    Shard.listener_done t.sh;
+    Shard.run ~listen_fd:(Listener.fd t.listener) t.sh 0;
+    Listener.close t.listener
+  end
+  else begin
+    let domains =
+      List.init (Shard.nshards t.sh) (fun i ->
+          Domain.spawn (fun () -> Shard.run t.sh i))
+    in
+    Listener.run t.listener t.sh;
+    Listener.close t.listener;
+    (* Shards keep looping until the listener is known to have stopped
+       handing connections off, then drain. *)
+    Shard.listener_done t.sh;
+    List.iter Domain.join domains
+  end;
+  Listener.unlink t.listener;
+  Shard.close_shared t.sh
+
+let run ?backlog ?idle_timeout ?(shards = 1) ?router ?(signals = false)
+    ?on_listen bound sessions =
+  let t = create ?backlog ?idle_timeout ~shards ?router bound sessions in
+  if signals then install_signals t;
+  (match on_listen with None -> () | Some f -> f t);
+  serve t;
+  stats t

@@ -16,6 +16,76 @@ type stats = Link_session.stats = {
   tasks_stolen : int;
 }
 
+(* The stats wire layout, one row per counter: key, getter, setter.
+   Both directions of the text protocol derive from this table
+   (Wnet_proto prints `ok k=v ...` from [to_fields] and rebuilds the
+   record through [of_fields]), so adding a counter is one row here —
+   not an arity case in every parser.  Rows are in wire order; older
+   layouts are prefixes (v1 = 6 counters, v2 = 8, v3 = all 10). *)
+let stats_layout :
+    (string * (stats -> int) * (stats -> int -> stats)) array =
+  [|
+    ("edits", (fun s -> s.edits), fun s v -> { s with edits = v });
+    ( "coalesced",
+      (fun s -> s.coalesced_edits),
+      fun s v -> { s with coalesced_edits = v } );
+    ( "inval_passes",
+      (fun s -> s.inval_passes),
+      fun s v -> { s with inval_passes = v } );
+    ("spt_runs", (fun s -> s.spt_runs), fun s v -> { s with spt_runs = v });
+    ( "avoid_runs",
+      (fun s -> s.avoid_runs),
+      fun s v -> { s with avoid_runs = v } );
+    ( "avoid_reused",
+      (fun s -> s.avoid_reused),
+      fun s v -> { s with avoid_reused = v } );
+    ( "repaired",
+      (fun s -> s.repaired_entries),
+      fun s v -> { s with repaired_entries = v } );
+    ( "fallbacks",
+      (fun s -> s.fallback_recomputes),
+      fun s v -> { s with fallback_recomputes = v } );
+    ( "tasks",
+      (fun s -> s.tasks_executed),
+      fun s v -> { s with tasks_executed = v } );
+    ( "stolen",
+      (fun s -> s.tasks_stolen),
+      fun s v -> { s with tasks_stolen = v } );
+  |]
+
+let stats_version = 3
+
+let zero_stats =
+  {
+    edits = 0;
+    coalesced_edits = 0;
+    inval_passes = 0;
+    spt_runs = 0;
+    avoid_runs = 0;
+    avoid_reused = 0;
+    repaired_entries = 0;
+    fallback_recomputes = 0;
+    tasks_executed = 0;
+    tasks_stolen = 0;
+  }
+
+let stats_field_names = Array.map (fun (k, _, _) -> k) stats_layout
+
+let to_fields st =
+  Array.to_list (Array.map (fun (k, get, _) -> (k, get st)) stats_layout)
+
+let of_fields fields =
+  let rec go acc = function
+    | [] -> Ok acc
+    | (k, v) :: rest -> (
+      match
+        Array.find_opt (fun (k', _, _) -> String.equal k k') stats_layout
+      with
+      | Some (_, _, set) -> go (set acc v) rest
+      | None -> Error (Printf.sprintf "unknown stats counter %S" k))
+  in
+  go zero_stats fields
+
 type delta =
   | Set_node_cost of { node : int; cost : float }
   | Set_link_cost of { u : int; v : int; w : float }
@@ -57,7 +127,26 @@ let collect_pay outcomes =
 
 let sum_payments p = Array.fold_left ( +. ) 0.0 p
 
+(* Shard-safe ownership: a session's mutable engine state (topology,
+   caches, pending-edit buffers) is single-owner by design.  The sharded
+   server relies on this — each session lives on exactly one shard
+   domain — so the packaged instance binds to the first domain that
+   mutates it and refuses edits, flushes and payment runs from any
+   other, turning a placement bug into an immediate failure instead of
+   a silent data race.  (Read-only accessors stay unguarded: the shard
+   roll-up may snapshot counters, and the greeting reads n/root.) *)
+let ownership_guard () =
+  let owner = ref None in
+  fun () ->
+    let me = Domain.self () in
+    match !owner with
+    | None -> owner := Some me
+    | Some d when d = me -> ()
+    | Some _ ->
+      failwith "session: used from a foreign domain (shard ownership violated)"
+
 let make ?(pool = Wnet_par.sequential) ~root g =
+  let own = ownership_guard () in
   match g with
   | `Node g ->
     let module NS = Node_session in
@@ -69,7 +158,7 @@ let make ?(pool = Wnet_par.sequential) ~root g =
       let n () = NS.n s
       let version () = NS.version s
 
-      let apply = function
+      let apply_delta = function
         | Set_node_cost { node; cost } ->
           NS.set_cost s node cost;
           { version = NS.version s; node = None }
@@ -81,14 +170,21 @@ let make ?(pool = Wnet_par.sequential) ~root g =
           NS.remove_node s node;
           { version = NS.version s; node = None }
 
+      let apply d =
+        own ();
+        apply_delta d
+
       let pay () =
+        own ();
         collect_pay
           (Array.map
              (Option.map (fun (o : NS.outcome) ->
                   (o.NS.src, o.NS.path, sum_payments o.NS.payments)))
              (NS.payments s))
 
-      let flush () = NS.flush s
+      let flush () =
+        own ();
+        NS.flush s
 
       let stats () =
         let st = NS.stats s in
@@ -115,7 +211,7 @@ let make ?(pool = Wnet_par.sequential) ~root g =
       let n () = LS.n s
       let version () = LS.version s
 
-      let apply = function
+      let apply_delta = function
         | Set_link_cost { u; v; w } ->
           LS.set_cost s u v w;
           { version = LS.version s; node = None }
@@ -130,13 +226,20 @@ let make ?(pool = Wnet_par.sequential) ~root g =
           LS.remove_node s node;
           { version = LS.version s; node = None }
 
+      let apply d =
+        own ();
+        apply_delta d
+
       let pay () =
+        own ();
         collect_pay
           (Array.map
              (Option.map (fun (o : LS.outcome) ->
                   (o.LS.src, o.LS.path, sum_payments o.LS.payments)))
              (LS.payments s).LS.results)
 
-      let flush () = LS.flush s
+      let flush () =
+        own ();
+        LS.flush s
       let stats () = LS.stats s
     end : S)

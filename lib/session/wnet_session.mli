@@ -35,6 +35,30 @@ type stats = Link_session.stats = {
 (** The unified work ledger (the node engine's counters are converted
     into the same record). *)
 
+val stats_version : int
+(** Version of the stats wire layout: 1 = the first 6 counters, 2 = the
+    first 8, 3 = all 10.  Older layouts are strict prefixes of newer
+    ones, which is what lets {!Wnet_proto} keep parsing every legacy
+    arity through one table. *)
+
+val zero_stats : stats
+(** All counters zero — the [of_fields] default for omitted trailing
+    counters on short legacy lines. *)
+
+val stats_field_names : string array
+(** The counter keys in wire order ([edits], [coalesced], ...,
+    [stolen]); index [i] names the [i]-th token of the stats line. *)
+
+val to_fields : stats -> (string * int) list
+(** The record as [(key, value)] pairs in wire order.  The text
+    protocol prints the stats line from this — adding a counter to the
+    layout table updates printing, parsing and the key list at once. *)
+
+val of_fields : (string * int) list -> (stats, string) result
+(** Rebuild a record from [(key, value)] pairs; keys may be any subset
+    (missing counters default to zero, as on legacy wire forms),
+    unknown keys are an [Error]. *)
+
 (** A topology delta, covering both models.  [Set_node_cost] is valid
     only on [`Node] sessions; [Set_link_cost], [Join] and [Rejoin] only
     on [`Link] sessions; [Leave] on both. *)
@@ -63,7 +87,15 @@ type pay = {
 
 (** A running session, model-erased.  Operations raise [Failure] on a
     delta the model does not support and [Invalid_argument] exactly as
-    the underlying engine. *)
+    the underlying engine.
+
+    Sessions are {e single-owner}: the instance binds to the first
+    domain that calls {!S.apply}, {!S.pay} or {!S.flush} and raises
+    [Failure] if another domain mutates it afterwards — the sharded
+    socket server places each session on exactly one shard domain, and
+    this guard turns a placement bug into a loud failure instead of a
+    data race.  Read-only accessors ([n], [version], [stats], ...) stay
+    unguarded so cross-shard counter roll-ups can snapshot them. *)
 module type S = sig
   val model : model
   val root : int

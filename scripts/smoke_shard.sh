@@ -1,0 +1,115 @@
+#!/bin/sh
+# Sharded-server smoke test: the same client transcript is driven
+# against `unicast listen --shards 1` and `--shards 2` (two sessions,
+# the client moving to session 1 mid-stream), and the payment lines
+# must be byte-identical — the multi-core determinism contract, checked
+# end to end through real processes.  On the 2-shard server the stats
+# reply must carry one `shard id=...` row per shard, the rows must sum
+# to the `server ...` totals, and SIGINT must drain both shards and
+# print the per-shard breakdown.  Run from the repo root (make
+# smoke-shard does this for you).
+set -eu
+
+UNICAST="dune exec --no-build bin/unicast.exe --"
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/wnet-shard-smoke.XXXXXX")
+GRAPH="$DIR/graph.txt"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "smoke_shard: FAIL: $1" >&2
+  for f in "$DIR"/*.out "$DIR"/*.log; do
+    [ -f "$f" ] || continue
+    echo "--- $f ---" >&2
+    cat "$f" >&2
+  done
+  exit 1
+}
+
+dune build bin/unicast.exe
+
+$UNICAST generate --model gnp -n 16 --seed 7 > "$GRAPH"
+
+start_server() { # $1 = shard count, $2 = socket path, $3 = log path
+  $UNICAST listen --socket "$2" --model node --shards "$1" --sessions 2 \
+    "$GRAPH" > "$3" 2>&1 &
+  SERVER_PID=$!
+  i=0
+  while [ ! -S "$2" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "server (shards=$1) socket never appeared"
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server (shards=$1) died on startup"
+    sleep 0.05
+  done
+}
+
+stop_server() { # $1 = shard count, $2 = socket path
+  kill -INT "$SERVER_PID"
+  wait "$SERVER_PID" || fail "server (shards=$1) did not exit cleanly on SIGINT"
+  SERVER_PID=""
+  [ ! -S "$2" ] || fail "server (shards=$1) left its socket file behind"
+}
+
+# The transcript: edit session 0, move to session 1 (a cross-shard
+# attach at shards=2), edit and collect payments there, and read the
+# stats tail.  --verify-responses holds every reply — the per-shard
+# rows included — to the print/parse round-trip.
+drive() { # $1 = socket path, $2 = transcript path
+  $UNICAST client --socket "$1" --verify-responses > "$2" <<'EOF'
+cost 3 4.25
+session 1
+cost 5 2.5
+pay
+stats
+quit
+EOF
+}
+
+# ---- shards=1 reference run ----
+start_server 1 "$DIR/s1.sock" "$DIR/s1.log"
+drive "$DIR/s1.sock" "$DIR/s1.out"
+stop_server 1 "$DIR/s1.sock"
+
+# ---- shards=2 run, same transcript ----
+start_server 2 "$DIR/s2.sock" "$DIR/s2.log"
+drive "$DIR/s2.sock" "$DIR/s2.out"
+
+# Two ready banners: the session-0 greeting and the session-1 attach ack.
+[ "$(grep -c '^ready proto=1 model=node' "$DIR/s2.out")" = 2 ] \
+  || fail "expected the greeting plus the attach banner"
+
+# Payment lines byte-identical across shard counts.
+grep '^src \|^ok served=' "$DIR/s1.out" > "$DIR/s1.pay"
+grep '^src \|^ok served=' "$DIR/s2.out" > "$DIR/s2.pay"
+grep -q '^ok served=' "$DIR/s1.pay" || fail "reference run collected no payments"
+diff -u "$DIR/s1.pay" "$DIR/s2.pay" > /dev/null \
+  || fail "payments differ between shards=1 and shards=2"
+
+# The 2-shard stats reply: one row per shard, rows summing to the totals.
+grep -q '^shard id=0 ' "$DIR/s2.out" || fail "missing shard 0 stats row"
+grep -q '^shard id=1 ' "$DIR/s2.out" || fail "missing shard 1 stats row"
+grep -q '^shard id=' "$DIR/s1.out" && fail "single-shard reply must not carry shard rows"
+awk '
+  function kv(tok) { sub(/^[a-z_]*=/, "", tok); return tok + 0 }
+  /^server /   { sreq = kv($3); sbi = kv($8); sbo = kv($9) }
+  /^shard id=/ { req += kv($4); bi += kv($13); bo += kv($14); rows++ }
+  END {
+    if (rows != 2) { print "want 2 shard rows, got " rows; exit 1 }
+    if (req != sreq) { print "requests: rows " req " != server " sreq; exit 1 }
+    if (bi != sbi) { print "bytes_in: rows " bi " != server " sbi; exit 1 }
+    if (bo != sbo) { print "bytes_out: rows " bo " != server " sbo; exit 1 }
+  }' "$DIR/s2.out" || fail "shard rows do not sum to the server totals"
+
+stop_server 2 "$DIR/s2.sock"
+
+# The final report carries the per-shard breakdown.
+grep -q '^served 1 client(s)' "$DIR/s2.log" || fail "final counters not printed"
+grep -q '^shard 0: served '   "$DIR/s2.log" || fail "missing shard 0 in the final report"
+grep -q '^shard 1: served '   "$DIR/s2.log" || fail "missing shard 1 in the final report"
+
+echo "smoke_shard: OK"

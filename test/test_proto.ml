@@ -34,6 +34,7 @@ let request_gen =
         node_gen endpoints_gen endpoints_gen;
       Gen.map (fun node -> P.Leave { node }) node_gen;
       Gen.map (fun proto -> P.Proto { proto }) (Gen.int_range 0 255);
+      Gen.map (fun session -> P.Attach { session }) (Gen.int_range 0 9999);
       Gen.oneofl [ P.Pay; P.Stats; P.Quit ];
     ]
 
@@ -108,6 +109,33 @@ let response_gen =
         (Gen.pair (Gen.pair count_gen count_gen)
            (Gen.pair count_gen count_gen));
       Gen.map3
+        (fun (shard, conns) ((requests, edits), (coalesced, inval_passes))
+             ( ((cache_hits, cache_misses), (repaired, tasks)),
+               (stolen, (bytes_in, bytes_out)) ) ->
+          P.Shard_stats
+            {
+              shard;
+              conns;
+              requests;
+              edits;
+              coalesced;
+              inval_passes;
+              cache_hits;
+              cache_misses;
+              repaired;
+              tasks;
+              stolen;
+              bytes_in;
+              bytes_out;
+            })
+        (Gen.pair (Gen.int_range 0 9999) count_gen)
+        (Gen.pair (Gen.pair count_gen count_gen)
+           (Gen.pair count_gen count_gen))
+        (Gen.pair
+           (Gen.pair (Gen.pair count_gen count_gen)
+              (Gen.pair count_gen count_gen))
+           (Gen.pair count_gen (Gen.pair count_gen count_gen)));
+      Gen.map3
         (fun requests bytes_in (bytes_out, proto) ->
           P.Conn_stats { requests; bytes_in; bytes_out; proto })
         count_gen count_gen
@@ -137,6 +165,7 @@ let request_equal a b =
     node = n' && endpoints_equal out o' && endpoints_equal inn i'
   | P.Leave { node }, P.Leave { node = n' } -> node = n'
   | P.Proto { proto }, P.Proto { proto = p' } -> proto = p'
+  | P.Attach { session }, P.Attach { session = s' } -> session = s'
   | P.Pay, P.Pay | P.Stats, P.Stats | P.Quit, P.Quit -> true
   | _ -> false
 
@@ -179,6 +208,42 @@ let response_equal a b =
     clients = c' && requests = r' && edits = e' && coalesced = co'
     && cache_hits = ch' && cache_misses = cm' && bytes_in = bi'
     && bytes_out = bo'
+  | ( P.Shard_stats
+        {
+          shard;
+          conns;
+          requests;
+          edits;
+          coalesced;
+          inval_passes;
+          cache_hits;
+          cache_misses;
+          repaired;
+          tasks;
+          stolen;
+          bytes_in;
+          bytes_out;
+        },
+      P.Shard_stats
+        {
+          shard = s';
+          conns = c';
+          requests = r';
+          edits = e';
+          coalesced = co';
+          inval_passes = ip';
+          cache_hits = ch';
+          cache_misses = cm';
+          repaired = rp';
+          tasks = t';
+          stolen = st';
+          bytes_in = bi';
+          bytes_out = bo';
+        } ) ->
+    shard = s' && conns = c' && requests = r' && edits = e'
+    && coalesced = co' && inval_passes = ip' && cache_hits = ch'
+    && cache_misses = cm' && repaired = rp' && tasks = t' && stolen = st'
+    && bytes_in = bi' && bytes_out = bo'
   | ( P.Conn_stats { requests; bytes_in; bytes_out; proto },
       P.Conn_stats
         { requests = r'; bytes_in = bi'; bytes_out = bo'; proto = p' } ) ->
@@ -339,6 +404,52 @@ let test_stats_line_compat () =
   | Ok (P.Conn_stats { proto = 2; _ }) -> ()
   | _ -> Alcotest.fail "4-token conn line must carry its proto"
 
+(* The sharded-server wire additions: the [session N] attach request,
+   the per-shard stats row, and the stats-key table staying in lock
+   step with Wnet_session's versioned record layout (the printer is
+   table-driven off the record, the legacy arities are parse-only). *)
+let test_shard_wire () =
+  Alcotest.(check (array string)) "stats keys = session record layout"
+    stats_keys W.stats_field_names;
+  Alcotest.(check bool) "session N parses as an attach" true
+    (P.parse_request "session 3" = Ok (Some (P.Attach { session = 3 })));
+  Alcotest.(check string) "attach prints as session N" "session 3"
+    (P.print_request (P.Attach { session = 3 }));
+  let row =
+    P.Shard_stats
+      {
+        shard = 1;
+        conns = 2;
+        requests = 3;
+        edits = 4;
+        coalesced = 5;
+        inval_passes = 6;
+        cache_hits = 7;
+        cache_misses = 8;
+        repaired = 9;
+        tasks = 10;
+        stolen = 11;
+        bytes_in = 12;
+        bytes_out = 13;
+      }
+  in
+  Alcotest.(check string) "shard row wire form"
+    "shard id=1 conns=2 requests=3 edits=4 coalesced=5 inval_passes=6 \
+     cache_hits=7 cache_misses=8 repaired=9 tasks=10 stolen=11 bytes_in=12 \
+     bytes_out=13"
+    (P.print_response row);
+  (match P.parse_response (P.print_response row) with
+  | Ok r ->
+    Alcotest.(check bool) "shard row reparses" true (response_equal row r)
+  | Error m -> Alcotest.failf "shard row rejected: %s" m);
+  Alcotest.(check string) "session stats print through the record"
+    ("ok "
+    ^ String.concat " "
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+           (W.to_fields W.zero_stats)))
+    (P.print_response (P.Session_stats W.zero_stats))
+
 let fig_digraph () =
   Wnet_graph.Digraph.create ~n:3 ~links:[ (2, 1, 1.0); (1, 0, 1.0) ]
 
@@ -395,6 +506,8 @@ let suite =
     Alcotest.test_case "worked parse examples" `Quick test_parse_examples;
     Alcotest.test_case "stats line: 10-token form + 8-token compat" `Quick
       test_stats_line_compat;
+    Alcotest.test_case "shard wire: session attach + per-shard stats row"
+      `Quick test_shard_wire;
     Alcotest.test_case "handle drives a session end to end" `Quick
       test_handle_drives_session;
     Test_util.qcheck_case ~count:500 "float_to_string round-trips bitwise"

@@ -45,7 +45,9 @@ let chain_digraph () = Digraph.create ~n:3 ~links:[ (2, 1, 1.0); (1, 0, 1.0) ]
 
 let test_smoke () =
   let path = socket_path "smoke" in
-  let server = Sv.create (Sv.Unix_path path) (W.make ~root:0 (`Link (chain_digraph ()))) in
+  let server =
+    Sv.create (Sv.Unix_path path) [| W.make ~root:0 (`Link (chain_digraph ())) |]
+  in
   let th = Thread.create Sv.serve server in
   let fd, ic, oc = connect path in
   (match P.parse_response (input_line ic) with
@@ -69,9 +71,10 @@ let test_smoke () =
   Thread.join th;
   Alcotest.(check bool) "socket file removed on shutdown" false
     (Sys.file_exists path);
-  let cs = Sv.counters server in
+  let cs = Sv.stats server in
   Alcotest.(check int) "one client served" 1 cs.Sv.clients_served;
-  Alcotest.(check int) "two requests" 2 cs.Sv.requests
+  Alcotest.(check int) "two requests" 2 cs.Sv.requests;
+  Alcotest.(check int) "single shard" 1 (Array.length cs.Sv.per_shard)
 
 (* ---------------- 4 concurrent clients, bit-identical ---------------- *)
 
@@ -125,7 +128,7 @@ let test_concurrent_clients () =
   let path = socket_path "conc" in
   let server =
     Sv.create (Sv.Unix_path path)
-      (W.make ~root:0 (`Link (Digraph.create ~n ~links:(Digraph.links dg))))
+      [| W.make ~root:0 (`Link (Digraph.create ~n ~links:(Digraph.links dg))) |]
   in
   let th = Thread.create Sv.serve server in
   let bar = barrier nclients in
@@ -252,7 +255,7 @@ let test_concurrent_clients () =
         requests
     | _ -> Alcotest.fail "third stats line must be conn stats")
   | _ -> Alcotest.fail "stats reply must be three lines");
-  let cs = Sv.counters server in
+  let cs = Sv.stats server in
   Alcotest.(check int) "every client accepted" nclients cs.Sv.clients_served
 
 (* ---------------- mixed proto=1 / proto=2 clients ---------------- *)
@@ -327,7 +330,7 @@ let expect_eof_fd fd what =
 let test_mixed_proto () =
   let path = socket_path "mixed" in
   let server =
-    Sv.create (Sv.Unix_path path) (W.make ~root:0 (`Link (chain_digraph ())))
+    Sv.create (Sv.Unix_path path) [| W.make ~root:0 (`Link (chain_digraph ())) |]
   in
   let th = Thread.create Sv.serve server in
   let fda, ica, oca = connect path in
@@ -443,7 +446,7 @@ let test_mixed_proto () =
 let test_corrupt_frame_closes () =
   let path = socket_path "corrupt" in
   let server =
-    Sv.create (Sv.Unix_path path) (W.make ~root:0 (`Link (chain_digraph ())))
+    Sv.create (Sv.Unix_path path) [| W.make ~root:0 (`Link (chain_digraph ())) |]
   in
   let th = Thread.create Sv.serve server in
   let fd, _, dec, view = bin_client path in
@@ -507,7 +510,8 @@ let test_client_batch_eof () =
   | Some exe ->
     let path = socket_path "batcheof" in
     let server =
-      Sv.create (Sv.Unix_path path) (W.make ~root:0 (`Link (chain_digraph ())))
+      Sv.create (Sv.Unix_path path)
+        [| W.make ~root:0 (`Link (chain_digraph ())) |]
     in
     let th = Thread.create Sv.serve server in
     (* the legs must declare DIFFERENT weights: a same-weight re-declare
@@ -575,7 +579,7 @@ let test_idle_disconnect () =
   let path = socket_path "idle" in
   let server =
     Sv.create ~idle_timeout:0.2 (Sv.Unix_path path)
-      (W.make ~root:0 (`Link (chain_digraph ())))
+      [| W.make ~root:0 (`Link (chain_digraph ())) |]
   in
   let th = Thread.create Sv.serve server in
   let fd, ic, _ = connect path in
@@ -592,7 +596,9 @@ let test_idle_disconnect () =
 
 let test_shutdown_drains () =
   let path = socket_path "drain" in
-  let server = Sv.create (Sv.Unix_path path) (W.make ~root:0 (`Link (chain_digraph ()))) in
+  let server =
+    Sv.create (Sv.Unix_path path) [| W.make ~root:0 (`Link (chain_digraph ())) |]
+  in
   let th = Thread.create Sv.serve server in
   let c1 = connect path and c2 = connect path in
   let greet (_, ic, _) = ignore (input_line ic) in
@@ -617,6 +623,457 @@ let test_shutdown_drains () =
     [ c1; c2 ];
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
 
+(* ---------------- multi-shard determinism ---------------- *)
+
+(* Two access-point sessions on different random digraphs, two clients
+   per session, across shard counts 1, 2 and 4.  The payment stream of
+   each session must be bit-identical at every shard count (and to the
+   stdin code path), and the per-shard stats rows must sum to the
+   server totals on the same wire reply. *)
+
+let shard_specs = [| (42, 24); (77, 18) |]
+let shard_rounds = 4
+
+let shard_owned =
+  Array.map
+    (fun (seed, n) ->
+      let links = Array.of_list (Digraph.links (random_digraph seed ~n)) in
+      let step = Array.length links / 2 in
+      Array.init 2 (fun j ->
+          let u, v, _ = links.(j * step) in
+          (u, v)))
+    shard_specs
+
+(* client i edits session (i mod 2); absolute weights keep the net
+   round state independent of arrival order *)
+let shard_weight i r =
+  2.0 +. (0.5 *. float_of_int i) +. (0.125 *. float_of_int r)
+
+let run_sharded shards =
+  let path = socket_path (Printf.sprintf "det%d" shards) in
+  let sessions =
+    Array.map
+      (fun (seed, n) -> W.make ~root:0 (`Link (random_digraph seed ~n)))
+      shard_specs
+  in
+  let server = Sv.create ~shards (Sv.Unix_path path) sessions in
+  let th = Thread.create Sv.serve server in
+  let bar = barrier 4 in
+  let pays = Array.map (fun _ -> Array.make shard_rounds []) shard_specs in
+  let stats_box = ref [] in
+  let failures = ref [] in
+  let fail_mutex = Mutex.create () in
+  let client i () =
+    try
+      let k = i mod 2 and j = i / 2 in
+      let fd, ic, oc = connect path in
+      (match P.parse_response (input_line ic) with
+      | Ok (P.Ready _) -> ()
+      | _ -> failwith "greeting not a ready banner");
+      send oc (P.print_request (P.Attach { session = k }));
+      let _, n = shard_specs.(k) in
+      (match P.parse_response (input_line ic) with
+      | Ok (P.Ready { n = n'; _ }) when n' = n -> ()
+      | Ok r ->
+        failwith ("attach not acked with the target banner: "
+                  ^ P.print_response r)
+      | _ -> failwith "attach ack unparseable");
+      for r = 0 to shard_rounds - 1 do
+        let u, v = shard_owned.(k).(j) in
+        send oc (P.print_request (P.Cost_link { u; v; w = shard_weight i r }));
+        (match P.parse_response (input_line ic) with
+        | Ok (P.Ack _) -> ()
+        | _ -> failwith "cost not acked");
+        bar ();
+        (* both edits of the session are in: its first client pays *)
+        if j = 0 then begin
+          send oc "pay";
+          let rec go acc =
+            let l = input_line ic in
+            match P.parse_response l with
+            | Ok (P.Paid _) -> List.rev (l :: acc)
+            | Ok (P.Served _) -> go (l :: acc)
+            | _ -> failwith ("unexpected pay line " ^ l)
+          in
+          pays.(k).(r) <- go []
+        end;
+        bar ()
+      done;
+      if i = 0 then begin
+        send oc "stats";
+        let nlines = 2 + (if shards > 1 then shards else 0) + 1 in
+        let rec read_n acc m =
+          if m = 0 then List.rev acc else read_n (input_line ic :: acc) (m - 1)
+        in
+        stats_box := read_n [] nlines
+      end;
+      bar ();
+      send oc "quit";
+      let rec drain () =
+        match input_line ic with
+        | "bye" -> ()
+        | _ -> drain ()
+        | exception End_of_file -> ()
+      in
+      drain ();
+      Unix.close fd
+    with e ->
+      Mutex.lock fail_mutex;
+      failures := (i, Printexc.to_string e) :: !failures;
+      Mutex.unlock fail_mutex
+  in
+  let ths = List.init 4 (fun i -> Thread.create (client i) ()) in
+  List.iter Thread.join ths;
+  Sv.shutdown server;
+  Thread.join th;
+  Alcotest.(check (list (pair int string)))
+    (Printf.sprintf "shards=%d: no client thread failed" shards)
+    [] !failures;
+  (* the wire stats reply: session line, server totals, one row per
+     shard (only when shards > 1), conn line — rows sum to totals *)
+  (match !stats_box with
+  | session_line :: server_line :: tail ->
+    (match P.parse_response session_line with
+    | Ok (P.Session_stats _) -> ()
+    | _ -> Alcotest.failf "first stats line not session stats: %S" session_line);
+    let rec split_rows acc = function
+      | [ last ] -> (List.rev acc, last)
+      | x :: tl -> split_rows (x :: acc) tl
+      | [] -> Alcotest.fail "stats reply too short"
+    in
+    let row_lines, conn_line = split_rows [] tail in
+    (match P.parse_response conn_line with
+    | Ok (P.Conn_stats _) -> ()
+    | _ -> Alcotest.failf "last stats line not conn stats: %S" conn_line);
+    if shards = 1 then
+      Alcotest.(check int) "no shard rows on a single-shard reply" 0
+        (List.length row_lines)
+    else begin
+      Alcotest.(check int)
+        (Printf.sprintf "shards=%d: one breakdown row per shard" shards)
+        shards (List.length row_lines);
+      let row_sums =
+        List.fold_left
+          (fun (a1, a2, a3, a4, a5, a6, a7, a8) l ->
+            match P.parse_response l with
+            | Ok
+                (P.Shard_stats
+                  {
+                    conns;
+                    requests;
+                    edits;
+                    coalesced;
+                    cache_hits;
+                    cache_misses;
+                    bytes_in;
+                    bytes_out;
+                    _;
+                  }) ->
+              ( a1 + conns,
+                a2 + requests,
+                a3 + edits,
+                a4 + coalesced,
+                a5 + cache_hits,
+                a6 + cache_misses,
+                a7 + bytes_in,
+                a8 + bytes_out )
+            | _ -> Alcotest.failf "not a shard row: %S" l)
+          (0, 0, 0, 0, 0, 0, 0, 0) row_lines
+      in
+      match P.parse_response server_line with
+      | Ok
+          (P.Server_stats
+            {
+              clients;
+              requests;
+              edits;
+              coalesced;
+              cache_hits;
+              cache_misses;
+              bytes_in;
+              bytes_out;
+            }) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "shards=%d: shard rows sum to the server totals"
+             shards)
+          true
+          (row_sums
+          = ( clients,
+              requests,
+              edits,
+              coalesced,
+              cache_hits,
+              cache_misses,
+              bytes_in,
+              bytes_out ))
+      | _ -> Alcotest.failf "second stats line not server stats: %S" server_line
+    end
+  | _ -> Alcotest.fail "stats reply missing");
+  let cs = Sv.stats server in
+  Alcotest.(check int)
+    (Printf.sprintf "shards=%d: one counter row per shard" shards)
+    shards
+    (Array.length cs.Sv.per_shard);
+  Alcotest.(check int)
+    (Printf.sprintf "shards=%d: four clients served" shards)
+    4 cs.Sv.clients_served;
+  pays
+
+let test_multi_shard_determinism () =
+  let base = run_sharded 1 in
+  (* the single-shard transcripts are themselves checked against the
+     stdin code path fed the same absolute edits *)
+  Array.iteri
+    (fun k (seed, n) ->
+      let mirror = W.make ~root:0 (`Link (random_digraph seed ~n)) in
+      for r = 0 to shard_rounds - 1 do
+        for j = 0 to 1 do
+          let u, v = shard_owned.(k).(j) in
+          ignore
+            (P.handle mirror
+               (P.Cost_link { u; v; w = shard_weight ((2 * j) + k) r }))
+        done;
+        let want = List.map P.print_response (P.handle mirror P.Pay) in
+        Alcotest.(check (list string))
+          (Printf.sprintf "session %d round %d: socket pay = stdin path" k r)
+          want
+          base.(k).(r)
+      done)
+    shard_specs;
+  List.iter
+    (fun shards ->
+      let pays = run_sharded shards in
+      Array.iteri
+        (fun k _ ->
+          for r = 0 to shard_rounds - 1 do
+            Alcotest.(check (list string))
+              (Printf.sprintf
+                 "shards=%d session %d round %d bit-identical to shards=1"
+                 shards k r)
+              base.(k).(r)
+              pays.(k).(r)
+          done)
+        shard_specs)
+    [ 2; 4 ]
+
+(* ---------------- attach migration carries buffered input ------------- *)
+
+let four_chain_links = [ (3, 2, 1.0); (2, 1, 1.0); (1, 0, 1.0) ]
+
+(* One write carries [session 1] AND the requests behind it: the bytes
+   buffered past the attach must migrate with the connection and be
+   answered by the adopting shard, in order. *)
+let test_attach_pipelining () =
+  let path = socket_path "pipeline" in
+  let server =
+    Sv.create ~shards:2 (Sv.Unix_path path)
+      [|
+        W.make ~root:0 (`Link (chain_digraph ()));
+        W.make ~root:0 (`Link (Digraph.create ~n:4 ~links:four_chain_links));
+      |]
+  in
+  let th = Thread.create Sv.serve server in
+  let fd, ic, oc = connect path in
+  (match P.parse_response (input_line ic) with
+  | Ok (P.Ready { n = 3; _ }) -> ()
+  | _ -> Alcotest.fail "first banner must be session 0's");
+  send oc "session 1\ncost 3 2 4.5\npay";
+  (match P.parse_response (input_line ic) with
+  | Ok (P.Ready { n = 4; _ }) -> ()
+  | _ -> Alcotest.fail "attach must be acked with session 1's banner");
+  (match P.parse_response (input_line ic) with
+  | Ok (P.Ack { version = 1; _ }) -> ()
+  | _ -> Alcotest.fail "pipelined edit must be acked by the adopting shard");
+  let rec read_pay acc =
+    let l = input_line ic in
+    match P.parse_response l with
+    | Ok (P.Paid _) -> List.rev (l :: acc)
+    | Ok (P.Served _) -> read_pay (l :: acc)
+    | _ -> Alcotest.failf "unexpected pay line %S" l
+  in
+  let got = read_pay [] in
+  let mirror =
+    W.make ~root:0 (`Link (Digraph.create ~n:4 ~links:four_chain_links))
+  in
+  ignore (P.handle mirror (P.Cost_link { u = 3; v = 2; w = 4.5 }));
+  let want = List.map P.print_response (P.handle mirror P.Pay) in
+  Alcotest.(check (list string)) "migrated pipeline served bit-identically"
+    want got;
+  (* an out-of-range attach is an error, not a close *)
+  send oc "session 9";
+  (match P.parse_response (input_line ic) with
+  | Ok (P.Err m) ->
+    Alcotest.(check string) "out-of-range attach names the bounds"
+      "session: no session 9 (server hosts 2)" m
+  | _ -> Alcotest.fail "out-of-range attach must answer err");
+  send oc "quit";
+  Alcotest.(check string) "bye" "bye" (input_line ic);
+  expect_eof ic "after bye";
+  Unix.close fd;
+  Sv.shutdown server;
+  Thread.join th
+
+(* ---------------- shutdown drains every shard ---------------- *)
+
+let test_shard_shutdown_drains () =
+  let nsh = 4 in
+  let path = socket_path "sharddrain" in
+  let sessions =
+    Array.init nsh (fun _ -> W.make ~root:0 (`Link (chain_digraph ())))
+  in
+  let server = Sv.create ~shards:nsh (Sv.Unix_path path) sessions in
+  let th = Thread.create Sv.serve server in
+  (* park one client on every shard (hash placement: session k -> shard k) *)
+  let clients =
+    List.init nsh (fun k ->
+        let fd, ic, oc = connect path in
+        ignore (input_line ic);
+        send oc (P.print_request (P.Attach { session = k }));
+        (match P.parse_response (input_line ic) with
+        | Ok (P.Ready _) -> ()
+        | _ -> Alcotest.failf "client %d: attach not acked" k);
+        (fd, ic, oc))
+  in
+  Sv.shutdown server;
+  Thread.join th;
+  List.iter
+    (fun (fd, ic, _) ->
+      Alcotest.(check string) "every shard says bye on shutdown" "bye"
+        (input_line ic);
+      expect_eof ic "after shard bye";
+      Unix.close fd)
+    clients;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
+
+(* ------- real client exe: --batch --verify-responses vs 2 shards ------- *)
+
+(* Regression for the interleave bug: a batching, verifying client on
+   session 1 runs against a 2-shard server while a second client
+   hammers session 0 the whole time.  The batch client's stdout must be
+   exactly its own session-1 transcript (the sessions have different
+   sizes, so any foreign line would break the textual comparison), and
+   the per-shard stats rows must survive the real exe's
+   --verify-responses print/parse round-trip. *)
+let test_client_batch_verify_sharded () =
+  match client_exe () with
+  | None -> Alcotest.fail "client exe not built (expected ../bin/unicast.exe)"
+  | Some exe ->
+    let path = socket_path "vsharded" in
+    let server =
+      Sv.create ~shards:2 (Sv.Unix_path path)
+        [|
+          W.make ~root:0 (`Link (chain_digraph ()));
+          W.make ~root:0 (`Link (Digraph.create ~n:4 ~links:four_chain_links));
+        |]
+    in
+    let th = Thread.create Sv.serve server in
+    let stop = Atomic.make false in
+    let noise =
+      Thread.create
+        (fun () ->
+          let fd, ic, oc = connect path in
+          ignore (input_line ic);
+          let r = ref 0 in
+          while not (Atomic.get stop) do
+            incr r;
+            send oc
+              (P.print_request
+                 (P.Cost_link
+                    { u = 2; v = 1; w = 1.0 +. (0.001 *. float_of_int !r) }));
+            (match P.parse_response (input_line ic) with
+            | Ok (P.Ack _) -> ()
+            | _ -> failwith "noise: cost not acked");
+            send oc "pay";
+            let rec to_paid () =
+              match P.parse_response (input_line ic) with
+              | Ok (P.Paid _) -> ()
+              | Ok (P.Served _) -> to_paid ()
+              | _ -> failwith "noise: bad pay line"
+            in
+            to_paid ()
+          done;
+          send oc "quit";
+          let rec drain () =
+            match input_line ic with
+            | exception End_of_file -> ()
+            | _ -> drain ()
+          in
+          drain ();
+          Unix.close fd)
+        ()
+    in
+    let lines, status =
+      run_client_exe exe
+        [ "client"; "--socket"; path; "--batch"; "4"; "--verify-responses" ]
+        [
+          "session 1";
+          "cost 3 2 7.5";
+          "cost 2 1 6.25";
+          "cost 1 0 5.5";
+          "pay";
+          "stats";
+          "quit";
+        ]
+    in
+    Atomic.set stop true;
+    Thread.join noise;
+    Sv.shutdown server;
+    Thread.join th;
+    (match status with
+    | Unix.WEXITED 0 -> ()
+    | _ ->
+      Alcotest.fail
+        "verifying batch client exited non-zero (a response failed the \
+         round-trip)");
+    let is_stats l =
+      match P.parse_response l with
+      | Ok
+          ( P.Session_stats _ | P.Server_stats _ | P.Shard_stats _
+          | P.Conn_stats _ ) ->
+        true
+      | _ -> false
+    in
+    let shard_rows =
+      List.filter_map
+        (fun l ->
+          match P.parse_response l with
+          | Ok (P.Shard_stats { shard; _ }) -> Some shard
+          | _ -> None)
+        lines
+    in
+    Alcotest.(check (list int)) "both shard rows reached the real client"
+      [ 0; 1 ] shard_rows;
+    (* the stats reply depends on the noise client's timing; everything
+       else must be the batch client's own transcript, bit-identical to
+       the stdin path *)
+    let own = List.filter (fun l -> not (is_stats l)) lines in
+    let mirror0 = W.make ~root:0 (`Link (chain_digraph ())) in
+    let mirror1 =
+      W.make ~root:0 (`Link (Digraph.create ~n:4 ~links:four_chain_links))
+    in
+    (* evaluation order matters: each handle bumps the version *)
+    let ack1 = P.handle mirror1 (P.Cost_link { u = 3; v = 2; w = 7.5 }) in
+    let ack2 = P.handle mirror1 (P.Cost_link { u = 2; v = 1; w = 6.25 }) in
+    let ack3 = P.handle mirror1 (P.Cost_link { u = 1; v = 0; w = 5.5 }) in
+    let pay = P.handle mirror1 P.Pay in
+    let bye = P.handle mirror1 P.Quit in
+    let expected =
+      List.concat_map
+        (List.map P.print_response)
+        [
+          [ P.greeting mirror0 ];
+          [ P.greeting mirror1 ];
+          ack1;
+          ack2;
+          ack3;
+          pay;
+          bye;
+        ]
+    in
+    Alcotest.(check (list string))
+      "no foreign session's bytes interleave the batch transcript" expected
+      own
+
 let suite =
   [
     Alcotest.test_case "socket smoke: greet, pay, quit" `Quick test_smoke;
@@ -632,4 +1089,12 @@ let suite =
       test_idle_disconnect;
     Alcotest.test_case "graceful shutdown drains and says bye" `Quick
       test_shutdown_drains;
+    Alcotest.test_case "multi-shard payments bit-identical at 1/2/4 shards"
+      `Quick test_multi_shard_determinism;
+    Alcotest.test_case "cross-shard attach carries buffered requests" `Quick
+      test_attach_pipelining;
+    Alcotest.test_case "shutdown drains every shard" `Quick
+      test_shard_shutdown_drains;
+    Alcotest.test_case "batch --verify-responses client vs 2-shard server"
+      `Quick test_client_batch_verify_sharded;
   ]
