@@ -27,7 +27,7 @@ bench: microbench
 # before the wall-clock suites spend minutes; the same primitives also
 # land as gated "micro/..." rows in BENCH_latest.json.
 MICRO_BENCHES = bench_proto_encode bench_proto_decode bench_deque \
-	bench_heap bench_repair
+	bench_heap bench_repair bench_dijkstra bench_avoid
 
 microbench:
 	dune build bench/micro

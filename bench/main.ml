@@ -282,6 +282,8 @@ let run_batch ?previous () =
           let dg = digraph_instance 9 ~n in
           record "unicast-batch/seq" n 1 (fun () ->
               Wnet_core.Unicast.all_to_root gn ~root:0);
+          record "unicast-batch/boxed/seq" n 1 (fun () ->
+              Wnet_core.Unicast.all_to_root ~kernel:`Boxed gn ~root:0);
           record "unicast-batch/par" n pool_domains (fun () ->
               Wnet_core.Unicast.all_to_root ~pool gn ~root:0);
           record "linkcost-batch/copy/seq" n 1 (fun () ->
@@ -290,6 +292,10 @@ let run_batch ?previous () =
           record "linkcost-batch/zerocopy/seq" n 1 (fun () ->
               Wnet_core.Link_cost.all_to_root
                 ~strategy:Wnet_core.Link_cost.Zero_copy dg ~root:0);
+          record "linkcost-batch/boxed/seq" n 1 (fun () ->
+              Wnet_core.Link_cost.all_to_root
+                ~strategy:Wnet_core.Link_cost.Zero_copy ~kernel:`Boxed dg
+                ~root:0);
           record "linkcost-batch/zerocopy/par" n pool_domains (fun () ->
               Wnet_core.Link_cost.all_to_root ~pool dg ~root:0))
         batch_ns;
@@ -336,6 +342,20 @@ let print_batch (pool_domains, samples) =
            %.2fx (seq) | par vs copy baseline %.2fx\n"
           n (us.time_s /. up.time_s) (lc.time_s /. lz.time_s)
           (lc.time_s /. lp.time_s)
+      | _ -> ())
+    batch_ns;
+  List.iter
+    (fun n ->
+      match
+        ( find "unicast-batch/seq" n,
+          find "unicast-batch/boxed/seq" n,
+          find "linkcost-batch/zerocopy/seq" n,
+          find "linkcost-batch/boxed/seq" n )
+      with
+      | Some uc, Some ub, Some lc, Some lb ->
+        Printf.printf
+          "n=%4d  CSR kernels vs boxed (seq): unicast %.2fx | link-cost %.2fx\n"
+          n (ub.time_s /. uc.time_s) (lb.time_s /. lc.time_s)
       | _ -> ())
     batch_ns;
   print_newline ()
@@ -832,6 +852,8 @@ let microprim_families () =
     ("deque", M.deque ());
     ("heap", M.heap ());
     ("repair", M.repair ());
+    ("dijkstra", M.dijkstra ());
+    ("avoid", M.avoid ());
   ]
 
 let run_microprims ?previous () =
@@ -1211,7 +1233,7 @@ let write_json ~canary ~micro ~microprims ~session ~hists ~server ~second_path
   in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"wnet-bench/8\",\n";
+  Buffer.add_string b "  \"schema\": \"wnet-bench/9\",\n";
   Buffer.add_string b (Printf.sprintf "  \"generated_at\": \"%s\",\n" iso);
   Buffer.add_string b
     (Printf.sprintf "  \"ocaml\": \"%s\",\n" (json_escape Sys.ocaml_version));
@@ -1260,6 +1282,31 @@ let write_json ~canary ~micro ~microprims ~session ~hists ~server ~second_path
       batch_ns
   in
   Buffer.add_string b (String.concat ",\n" speedup_rows);
+  Buffer.add_string b "\n  ],\n";
+  (* wnet-bench/9: flat-CSR kernels vs the boxed-adjacency oracle, both
+     sequential and zero-copy, so the only variable is the kernel. *)
+  Buffer.add_string b "  \"csr_speedups\": [\n";
+  let csr_rows =
+    List.filter_map
+      (fun n ->
+        match
+          ( find "unicast-batch/seq" n,
+            find "unicast-batch/boxed/seq" n,
+            find "linkcost-batch/zerocopy/seq" n,
+            find "linkcost-batch/boxed/seq" n )
+        with
+        | Some uc, Some ub, Some lc, Some lb ->
+          Some
+            (Printf.sprintf
+               "    {\"n\": %d, \"unicast_csr_vs_boxed_seq\": %s, \
+                \"linkcost_csr_vs_boxed_seq\": %s}"
+               n
+               (json_float (ub.time_s /. uc.time_s))
+               (json_float (lb.time_s /. lc.time_s)))
+        | _ -> None)
+      batch_ns
+  in
+  Buffer.add_string b (String.concat ",\n" csr_rows);
   Buffer.add_string b "\n  ],\n";
   Buffer.add_string b "  \"session\": [\n";
   List.iteri

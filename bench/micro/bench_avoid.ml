@@ -1,0 +1,1 @@
+let () = Wnet_microbench.run_family "avoid" (Wnet_microbench.avoid ())

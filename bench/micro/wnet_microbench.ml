@@ -309,6 +309,133 @@ let repair () =
     };
   ]
 
+(* ---------------- CSR Dijkstra kernels ---------------- *)
+
+let bench_digraph ~n ~seed =
+  let rng = Wnet_prng.Rng.create seed in
+  let links = ref [] in
+  let p = 4.0 /. float_of_int n in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Wnet_prng.Rng.bernoulli rng p then
+        links := (u, v, Wnet_prng.Rng.float_range rng 1.0 10.0) :: !links
+    done
+  done;
+  Wnet_graph.Digraph.create ~n ~links:!links
+
+let bench_graph ~n ~seed =
+  let rng = Wnet_prng.Rng.create seed in
+  let costs = Array.init n (fun _ -> Wnet_prng.Rng.float_range rng 0.5 5.0) in
+  let edges = ref (List.init n (fun v -> (v, (v + 1) mod n))) in
+  for _ = 1 to 2 * n do
+    let u = Wnet_prng.Rng.int rng n and v = Wnet_prng.Rng.int rng n in
+    if u <> v then edges := (u, v) :: !edges
+  done;
+  Wnet_graph.Graph.create ~costs ~edges:!edges
+
+(* Full single-source runs: the CSR scratch kernels must be exactly
+   zero-allocation (ban-mask bytes, key-only pops, result left in the
+   scratch); the boxed closure oracles allocate their result array and
+   per-run closure, and are benched alongside for the ns/op contrast. *)
+let dijkstra () =
+  let n = 256 in
+  let dg = bench_digraph ~n ~seed:11 in
+  let ng = bench_graph ~n ~seed:12 in
+  let s = Wnet_graph.Dijkstra.make_scratch n in
+  (* materialize the cached view so run one isn't charged the build *)
+  ignore (Wnet_graph.Digraph.csr dg);
+  let reps = 32 in
+  [
+    {
+      name = Printf.sprintf "csr/link-scratch/n=%d" n;
+      ops = reps;
+      alloc_free = true;
+      run =
+        (fun () ->
+          for _ = 1 to reps do
+            ignore
+              (Sys.opaque_identity (Wnet_graph.Dijkstra.link_weighted_scratch s dg 0))
+          done);
+    };
+    {
+      name = Printf.sprintf "boxed/link-dist/n=%d" n;
+      ops = reps;
+      alloc_free = false (* copies the result array out of the scratch *);
+      run =
+        (fun () ->
+          for _ = 1 to reps do
+            ignore
+              (Sys.opaque_identity (Wnet_graph.Dijkstra.link_weighted_dist s dg 0))
+          done);
+    };
+    {
+      name = Printf.sprintf "csr/node-scratch/n=%d" n;
+      ops = reps;
+      alloc_free = true;
+      run =
+        (fun () ->
+          for _ = 1 to reps do
+            ignore
+              (Sys.opaque_identity
+                 (Wnet_graph.Dijkstra.node_weighted_scratch s ng ~source:0))
+          done);
+    };
+    {
+      name = Printf.sprintf "boxed/node-dist/n=%d" n;
+      ops = reps;
+      alloc_free = false;
+      run =
+        (fun () ->
+          for _ = 1 to reps do
+            ignore
+              (Sys.opaque_identity
+                 (Wnet_graph.Dijkstra.node_weighted_dist s ng ~source:0))
+          done);
+    };
+  ]
+
+(* ---------------- avoidance sweeps ---------------- *)
+
+(* The payments hot loop: one forbidden-node Dijkstra per relay.  The
+   CSR sweep sets one ban byte per run and clears it after; the boxed
+   sweep builds the [fun v -> v = k] closure the old path used. *)
+let avoid () =
+  let n = 256 in
+  let dg = bench_digraph ~n ~seed:13 in
+  let s = Wnet_graph.Dijkstra.make_scratch n in
+  ignore (Wnet_graph.Digraph.csr dg);
+  let ban = Wnet_graph.Dijkstra.ban_mask s in
+  let reps = 32 in
+  [
+    {
+      name = Printf.sprintf "csr/ban-mask-sweep/n=%d" n;
+      ops = reps;
+      alloc_free = true;
+      run =
+        (fun () ->
+          for k = 1 to reps do
+            Bytes.set ban k '\001';
+            ignore
+              (Sys.opaque_identity (Wnet_graph.Dijkstra.link_weighted_scratch s dg 0));
+            Bytes.set ban k '\000'
+          done);
+    };
+    {
+      name = Printf.sprintf "boxed/closure-sweep/n=%d" n;
+      ops = reps;
+      alloc_free = false (* per-relay closure + result array *);
+      run =
+        (fun () ->
+          for k = 1 to reps do
+            ignore
+              (Sys.opaque_identity
+                 (Wnet_graph.Dijkstra.link_weighted_dist s
+                    ~forbidden:(fun v -> v = k)
+                    dg 0))
+          done);
+    };
+  ]
+
 (* ---------------- measurement & driver ---------------- *)
 
 let time_once f =

@@ -61,7 +61,8 @@ let relay_array is_relay =
   done;
   Array.of_list !l
 
-let all_to_root ?(strategy = Zero_copy) ?(pool = Wnet_par.sequential) g ~root =
+let all_to_root ?(strategy = Zero_copy) ?(pool = Wnet_par.sequential)
+    ?(kernel = `Csr) g ~root =
   let n = Digraph.n g in
   if root < 0 || root >= n then invalid_arg "Link_cost.all_to_root";
   match strategy with
@@ -71,7 +72,7 @@ let all_to_root ?(strategy = Zero_copy) ?(pool = Wnet_par.sequential) g ~root =
        delegated to the incremental engine, opened on a borrowed graph
        (no edits ever happen, so borrowing is safe). *)
     let module S = Wnet_session.Link_session in
-    let s = S.create ~pool ~copy:false g ~root in
+    let s = S.create ~pool ~copy:false ~kernel g ~root in
     let b = S.payments s in
     {
       root = b.S.root;

@@ -54,8 +54,8 @@ type strategy =
           whole batch.  Identical output. *)
 
 val all_to_root :
-  ?strategy:strategy -> ?pool:Wnet_par.t -> Wnet_graph.Digraph.t ->
-  root:int -> batch
+  ?strategy:strategy -> ?pool:Wnet_par.t -> ?kernel:[ `Csr | `Boxed ] ->
+  Wnet_graph.Digraph.t -> root:int -> batch
 (** Every node's unicast to the access point at once — the workload of
     the paper's simulations.  Runs one reverse Dijkstra for the shared
     shortest-path tree plus one per distinct relay for the avoidance
@@ -64,7 +64,9 @@ val all_to_root :
 
     [?pool] (default {!Wnet_par.sequential}) fans the per-relay
     avoidance Dijkstras out over domains with positional merging: the
-    batch is bit-identical for every pool size and strategy. *)
+    batch is bit-identical for every pool size and strategy.  [?kernel]
+    (Zero_copy only) picks the avoidance kernel, [`Csr] flat ban-mask
+    (default) or [`Boxed] closure oracle — likewise bit-identical. *)
 
 val ic_spot_check :
   Wnet_prng.Rng.t ->

@@ -201,6 +201,10 @@ let run ?max_rounds ?(pool = Wnet_par.sequential) g spec =
         })
   in
   let views = Array.init n (fun _ -> make_inbox ()) in
+  (* Flat adjacency for the broadcast fan-outs below — delivery is the
+     engine's hottest loop, and the CSR rows iterate without bounds
+     checks or a row-array load per neighbour. *)
+  let { Wnet_graph.Graph.row_off; col } = Wnet_graph.Graph.csr g in
   let cur = ref (make_arena n) and nxt = ref (make_arena n) in
   let fill = Array.make n 0 in
   let broadcasts = ref 0 and directs = ref 0 and deliveries = ref 0 in
@@ -230,9 +234,10 @@ let run ?max_rounds ?(pool = Wnet_par.sequential) g spec =
         let kind = ob.kinds.(k) in
         if kind < 0 then begin
           incr broadcasts;
-          let nbrs = Wnet_graph.Graph.neighbors g v in
-          deliveries := !deliveries + Array.length nbrs;
-          Array.iter bump nbrs
+          deliveries := !deliveries + (row_off.(v + 1) - row_off.(v));
+          for j = row_off.(v) to row_off.(v + 1) - 1 do
+            bump (Array.unsafe_get col j)
+          done
         end
         else begin
           incr directs;
@@ -273,7 +278,10 @@ let run ?max_rounds ?(pool = Wnet_par.sequential) g spec =
             b.senders.(pos) <- v;
             b.payloads.(pos) <- m
           in
-          if kind < 0 then Array.iter place (Wnet_graph.Graph.neighbors g v)
+          if kind < 0 then
+            for j = row_off.(v) to row_off.(v + 1) - 1 do
+              place (Array.unsafe_get col j)
+            done
           else place kind
         done;
         ob.olen <- 0

@@ -10,11 +10,18 @@ let avoiding_cost ?scratch g ~src ~dst ~avoid =
   validate_endpoints g ~src ~dst;
   if avoid = src || avoid = dst then
     invalid_arg "Avoid.avoiding_cost: cannot avoid an endpoint";
-  let forbidden v = v = avoid in
   match scratch with
-  | Some s -> (Dijkstra.node_weighted_dist s ~forbidden g ~source:src).(dst)
+  | Some s ->
+    (* Ban mask instead of a closure: set the one byte, run the CSR
+       kernel, read the answer out of the scratch, clear the byte.
+       Nothing is allocated. *)
+    let ban = Dijkstra.ban_mask s in
+    Bytes.set ban avoid '\001';
+    let d = (Dijkstra.node_weighted_scratch s g ~source:src).(dst) in
+    Bytes.set ban avoid '\000';
+    d
   | None ->
-    let t = Dijkstra.node_weighted ~forbidden g ~source:src in
+    let t = Dijkstra.node_weighted ~forbidden:(fun v -> v = avoid) g ~source:src in
     Dijkstra.dist t dst
 
 let replacement_costs_naive g ~src ~dst =
@@ -72,6 +79,8 @@ let replacement_costs_fast g ~src ~dst =
     if s <= 1 then Some { path; lcp_cost; replacement }
     else begin
       let n = Graph.n g in
+      let { Graph.row_off; col } = Graph.csr g in
+      let cost = Graph.costs_view g in
       let tree_j = Dijkstra.node_weighted g ~source:dst in
       let on_path = Array.make n (-1) in
       Array.iteri (fun a v -> on_path.(v) <- a) path;
@@ -105,26 +114,26 @@ let replacement_costs_fast g ~src ~dst =
           let heap = Indexed_heap.create n in
           List.iter
             (fun v ->
-              let base =
-                Array.fold_left
-                  (fun acc w ->
-                    if level.(w) >= 0 && right_exit l w then
-                      let via = if w = dst then 0.0 else Graph.cost g w +. rcost w in
-                      Float.min acc via
-                    else acc)
-                  infinity (Graph.neighbors g v)
-              in
-              Indexed_heap.insert heap v base)
+              let base = ref infinity in
+              for i = row_off.(v) to row_off.(v + 1) - 1 do
+                let w = Array.unsafe_get col i in
+                if level.(w) >= 0 && right_exit l w then begin
+                  let via = if w = dst then 0.0 else cost.(w) +. rcost w in
+                  if via < !base then base := via
+                end
+              done;
+              Indexed_heap.insert heap v !base)
             pocket;
           while not (Indexed_heap.is_empty heap) do
             let u, du = Indexed_heap.pop_min heap in
             if du < infinity then begin
               rminus.(u) <- du;
-              Array.iter
-                (fun w ->
-                  if Indexed_heap.mem heap w then
-                    Indexed_heap.insert_or_decrease heap w (Graph.cost g u +. du))
-                (Graph.neighbors g u)
+              let cand = cost.(u) +. du in
+              for i = row_off.(u) to row_off.(u + 1) - 1 do
+                let w = Array.unsafe_get col i in
+                if Indexed_heap.mem heap w then
+                  Indexed_heap.insert_or_decrease heap w cand
+              done
             end
           done
       done;
@@ -139,13 +148,14 @@ let replacement_costs_fast g ~src ~dst =
         List.iter
           (fun v ->
             if rminus.(v) < infinity then
-              Array.iter
-                (fun w ->
-                  if left_ok l w then begin
-                    let cand = wl w +. Graph.cost g v +. rminus.(v) in
-                    if cand < cminus.(l) then cminus.(l) <- cand
-                  end)
-                (Graph.neighbors g v))
+              for i = row_off.(v) to row_off.(v + 1) - 1 do
+                let w = Array.unsafe_get col i in
+                if left_ok l w then begin
+                  (* Same association order as the boxed loop. *)
+                  let cand = wl w +. cost.(v) +. rminus.(v) in
+                  if cand < cminus.(l) then cminus.(l) <- cand
+                end
+              done)
           bucket.(l)
       done;
       (* Step 5: lazy heap of crossing edges (u, w), level u < l < level w,

@@ -48,9 +48,11 @@ val replacement_costs_fast : Graph.t -> src:int -> dst:int -> result option
 val avoiding_cost :
   ?scratch:Dijkstra.scratch -> Graph.t -> src:int -> dst:int -> avoid:int -> float
 (** One-shot [||P_{-avoid}(src, dst)||] by removal + Dijkstra;
-    [infinity] when disconnected.  With [?scratch] the search reuses the
-    caller's Dijkstra buffers (dist-only, no tree allocation) — pass one
-    when calling in a loop, as {!replacement_costs_naive} does.
+    [infinity] when disconnected.  With [?scratch] the search runs the
+    allocation-free CSR kernel through the caller's buffers, banning
+    [avoid] via the scratch's {!Dijkstra.ban_mask} (set before the run,
+    cleared after) — pass one when calling in a loop, as
+    {!replacement_costs_naive} does.
     @raise Invalid_argument if [avoid] is [src] or [dst], or the graph
     exceeds the scratch capacity. *)
 

@@ -1,8 +1,22 @@
+(* Flat CSR mirror of [out_adj]: row [u] occupies slots
+   [row_off.(u) .. row_off.(u+1) - 1] of [col]/[wgt], sorted by target
+   like the boxed rows.  [wgt] is a plain [float array], so the kernels
+   read unboxed floats with no per-link tuple to chase. *)
+type csr = {
+  row_off : int array;  (* n + 1 entries *)
+  col : int array;  (* m entries: link targets *)
+  wgt : float array;  (* m entries: link weights, mutated in place *)
+}
+
 type t = {
   mutable out_adj : (int * float) array array; (* sorted by target *)
   mutable m : int;
   mutable version : int;
+  mutable csr_cache : csr;  (* valid iff [csr_version = version] *)
+  mutable csr_version : int;  (* -1: never built / structurally stale *)
 }
+
+let no_csr = { row_off = [||]; col = [||]; wgt = [||] }
 
 let create ~n ~links =
   if n < 0 then invalid_arg "Digraph.create: negative node count";
@@ -29,7 +43,13 @@ let create ~n ~links =
       fill.(u) <- fill.(u) + 1)
     best;
   Array.iter (fun l -> Array.sort compare l) out_adj;
-  { out_adj; m = Hashtbl.length best; version = 0 }
+  {
+    out_adj;
+    m = Hashtbl.length best;
+    version = 0;
+    csr_cache = no_csr;
+    csr_version = -1;
+  }
 
 let n g = Array.length g.out_adj
 
@@ -67,7 +87,13 @@ let silence_node g v =
   let out_adj = Array.copy g.out_adj in
   let removed = Array.length out_adj.(v) in
   out_adj.(v) <- [||];
-  { out_adj; m = g.m - removed; version = 0 }
+  {
+    out_adj;
+    m = g.m - removed;
+    version = 0;
+    csr_cache = no_csr;
+    csr_version = -1;
+  }
 
 let remove_node g v =
   if v < 0 || v >= n g then invalid_arg "Digraph.remove_node: out of range";
@@ -86,7 +112,7 @@ let remove_node g v =
         end)
       g.out_adj
   in
-  { out_adj; m = !m; version = 0 }
+  { out_adj; m = !m; version = 0; csr_cache = no_csr; csr_version = -1 }
 
 let remove_links_to g v =
   if v < 0 || v >= n g then invalid_arg "Digraph.remove_links_to: out of range";
@@ -102,7 +128,7 @@ let remove_links_to g v =
         else l)
       g.out_adj
   in
-  { out_adj; m = !m; version = 0 }
+  { out_adj; m = !m; version = 0; csr_cache = no_csr; csr_version = -1 }
 
 (* ------------------------------------------------------------------ *)
 (* In-place mutation.
@@ -117,7 +143,70 @@ let remove_links_to g v =
 let version g = g.version
 
 let copy g =
-  { out_adj = Array.map Array.copy g.out_adj; m = g.m; version = 0 }
+  (* The CSR cache never travels: [set_weight] writes its [wgt] in
+     place, so sharing it would couple the copies. *)
+  {
+    out_adj = Array.map Array.copy g.out_adj;
+    m = g.m;
+    version = 0;
+    csr_cache = no_csr;
+    csr_version = -1;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* CSR view.
+
+   Built lazily from [out_adj] and memoized against the version stamp.
+   [set_weight] on an existing link updates the cached [wgt] slot in
+   place and moves the stamp forward with the graph, so steady cost
+   drift — the session workload — never rebuilds; structural edits
+   (insert/delete/add_node/detach_node) drop the cache and the next
+   [csr] call pays one O(n + m) rebuild. *)
+
+let rebuild_csr g =
+  let n = Array.length g.out_adj in
+  let row_off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    row_off.(u + 1) <- row_off.(u) + Array.length g.out_adj.(u)
+  done;
+  let m = row_off.(n) in
+  let col = Array.make (max m 1) 0 in
+  let wgt = Array.make (max m 1) 0.0 in
+  for u = 0 to n - 1 do
+    let row = g.out_adj.(u) in
+    let base = row_off.(u) in
+    for i = 0 to Array.length row - 1 do
+      let v, w = row.(i) in
+      col.(base + i) <- v;
+      wgt.(base + i) <- w
+    done
+  done;
+  let c = { row_off; col; wgt } in
+  g.csr_cache <- c;
+  g.csr_version <- g.version;
+  c
+
+let csr g = if g.csr_version = g.version then g.csr_cache else rebuild_csr g
+
+let invalidate_csr g = g.csr_version <- -1
+
+(* Slot of link [u -> v] in the (valid) CSR, or -1: binary search of
+   [col] within row [u] — the link→slot index [set_weight] writes
+   through. *)
+let csr_slot c u v =
+  let lo = ref c.row_off.(u) and hi = ref c.row_off.(u + 1) in
+  let found = ref (-1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let t = c.col.(mid) in
+    if t = v then begin
+      found := mid;
+      lo := !hi
+    end
+    else if t < v then lo := mid + 1
+    else hi := mid
+  done;
+  !found
 
 let set_weight g u v w =
   let nn = n g in
@@ -143,9 +232,18 @@ let set_weight g u v w =
        Array.blit a 0 b 0 i;
        Array.blit a (i + 1) b i (len - 1 - i);
        g.out_adj.(u) <- b;
-       g.m <- g.m - 1
+       g.m <- g.m - 1;
+       invalidate_csr g
      end
-     else a.(i) <- (v, w)
+     else begin
+       a.(i) <- (v, w);
+       (* keep a valid CSR in lockstep: in-place weight write *)
+       if g.csr_version = g.version then begin
+         let s = csr_slot g.csr_cache u v in
+         g.csr_cache.wgt.(s) <- w;
+         g.csr_version <- g.version + 1
+       end
+     end
    end
    else if w < infinity then begin
      (* insert *)
@@ -153,7 +251,8 @@ let set_weight g u v w =
      Array.blit a 0 b 0 i;
      Array.blit a i b (i + 1) (len - i);
      g.out_adj.(u) <- b;
-     g.m <- g.m + 1
+     g.m <- g.m + 1;
+     invalidate_csr g
    end);
   g.version <- g.version + 1
 
@@ -162,6 +261,7 @@ let add_node g =
   let out_adj = Array.make (id + 1) [||] in
   Array.blit g.out_adj 0 out_adj 0 id;
   g.out_adj <- out_adj;
+  invalidate_csr g;
   g.version <- g.version + 1;
   id
 
@@ -179,6 +279,7 @@ let detach_node g v =
         g.out_adj.(u) <- kept
       end)
     g.out_adj;
+  invalidate_csr g;
   g.version <- g.version + 1
 
 let pp ppf g =

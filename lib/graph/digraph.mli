@@ -74,6 +74,28 @@ val version : t -> int
     construction.  Two observations of the same version denote an
     identical graph. *)
 
+(** {1 CSR view}
+
+    The flat adjacency the hot kernels iterate: row [u] is
+    [col.(row_off.(u)) .. col.(row_off.(u+1) - 1)] with matching
+    unboxed weights in [wgt], sorted by target exactly like
+    {!out_links}.  The view is cached against {!version}: pure weight
+    updates ({!set_weight} on an existing link) write the cached [wgt]
+    slot in place and keep the view valid, structural edits invalidate
+    it and the next {!csr} call rebuilds in O(n + m). *)
+
+type csr = {
+  row_off : int array;  (** [n + 1] row offsets *)
+  col : int array;  (** link targets, rows sorted by target *)
+  wgt : float array;  (** link weights (flat float array) *)
+}
+
+val csr : t -> csr
+(** [csr g] is the CSR view of [g] at its current version — do {e not}
+    mutate it.  The returned arrays are valid until the next structural
+    edit; weight edits mutate [wgt] in place, so a held view observes
+    them (same semantics as the shared {!out_links} rows). *)
+
 val copy : t -> t
 (** [copy g] is a deep copy (at version 0): mutating either graph never
     affects the other.  How a session takes ownership of its topology. *)

@@ -2,33 +2,38 @@ type tree = { source : int; dist : float array; parent : int array }
 
 let never _ = false
 
+(* Both tree solvers iterate the graph's flat CSR view (see {!Digraph.csr}
+   / {!Graph.csr}): row [u] is a slice of int/float arrays, so the inner
+   loop is monomorphic int indexing with no per-link tuple to chase.
+   Settling pops only the key — the indexed heap keeps priority =
+   distance for every live key, so the popped distance is read back from
+   the dist array without allocating the (key, prio) tuple. *)
+
 let node_weighted ?(forbidden = never) g ~source =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Dijkstra: source out of range";
   if forbidden source then invalid_arg "Dijkstra: source is forbidden";
+  let { Graph.row_off; col } = Graph.csr g in
+  let cost = Graph.costs_view g in
   let dist = Array.make n infinity in
   let parent = Array.make n (-1) in
   let heap = Indexed_heap.create n in
   dist.(source) <- 0.0;
   Indexed_heap.insert heap source 0.0;
   while not (Indexed_heap.is_empty heap) do
-    let u, du = Indexed_heap.pop_min heap in
-    if du <= dist.(u) then begin
-      (* Leaving [u] charges its relay cost, except from the source. *)
-      let leave = if u = source then 0.0 else Graph.cost g u in
-      let nbrs = Graph.neighbors g u in
-      Array.iter
-        (fun w ->
-          if not (forbidden w) then begin
-            let cand = du +. leave in
-            if cand < dist.(w) then begin
-              dist.(w) <- cand;
-              parent.(w) <- u;
-              Indexed_heap.insert_or_decrease heap w cand
-            end
-          end)
-        nbrs
-    end
+    let u = Indexed_heap.pop_min_key heap in
+    let du = dist.(u) in
+    (* Leaving [u] charges its relay cost, except from the source. *)
+    let cand = if u = source then du else du +. cost.(u) in
+    for i = row_off.(u) to row_off.(u + 1) - 1 do
+      let w = Array.unsafe_get col i in
+      if not (forbidden w) then
+        if cand < dist.(w) then begin
+          dist.(w) <- cand;
+          parent.(w) <- u;
+          Indexed_heap.insert_or_decrease heap w cand
+        end
+    done
   done;
   parent.(source) <- -1;
   { source; dist; parent }
@@ -37,25 +42,26 @@ let link_weighted ?(forbidden = never) g source =
   let n = Digraph.n g in
   if source < 0 || source >= n then invalid_arg "Dijkstra: source out of range";
   if forbidden source then invalid_arg "Dijkstra: source is forbidden";
+  let { Digraph.row_off; col; wgt } = Digraph.csr g in
   let dist = Array.make n infinity in
   let parent = Array.make n (-1) in
   let heap = Indexed_heap.create n in
   dist.(source) <- 0.0;
   Indexed_heap.insert heap source 0.0;
   while not (Indexed_heap.is_empty heap) do
-    let u, du = Indexed_heap.pop_min heap in
-    if du <= dist.(u) then
-      Array.iter
-        (fun (w, weight) ->
-          if not (forbidden w) then begin
-            let cand = du +. weight in
-            if cand < dist.(w) then begin
-              dist.(w) <- cand;
-              parent.(w) <- u;
-              Indexed_heap.insert_or_decrease heap w cand
-            end
-          end)
-        (Digraph.out_links g u)
+    let u = Indexed_heap.pop_min_key heap in
+    let du = dist.(u) in
+    for i = row_off.(u) to row_off.(u + 1) - 1 do
+      let w = Array.unsafe_get col i in
+      if not (forbidden w) then begin
+        let cand = du +. Array.unsafe_get wgt i in
+        if cand < dist.(w) then begin
+          dist.(w) <- cand;
+          parent.(w) <- u;
+          Indexed_heap.insert_or_decrease heap w cand
+        end
+      end
+    done
   done;
   parent.(source) <- -1;
   { source; dist; parent }
@@ -65,13 +71,18 @@ let link_weighted ?(forbidden = never) g source =
 
    Batch payment computation runs one avoidance Dijkstra per relay and
    only keeps the distance array of each run.  A scratch owns the dist
-   array and the heap across runs, maintaining the invariant that every
-   [sdist] entry is [infinity] between runs: a run logs each node it
-   touches and the next run resets exactly those entries, so the hot
-   relaxation loop reads and writes a single plain array (no epoch
-   indirection) while repeated runs neither reallocate nor re-fill
-   n-sized buffers.  The [*_dist] runs below also skip parent
-   bookkeeping entirely — avoidance runs never walk paths.
+   array, the heap, and a ban mask across runs, maintaining the
+   invariant that every [sdist] entry is [infinity] between runs: a run
+   logs each node it touches and the next run resets exactly those
+   entries, so the hot relaxation loop reads and writes a single plain
+   array (no epoch indirection) while repeated runs neither reallocate
+   nor re-fill n-sized buffers.  The [*_dist] runs below also skip
+   parent bookkeeping entirely — avoidance runs never walk paths.
+
+   The ban mask replaces the closure-typed [?forbidden] predicate on the
+   CSR paths: one byte per node, consulted with an unsafe load instead
+   of an indirect call (and no closure to allocate per run).  It is the
+   caller's steady-state: set the bytes you need, run, clear them.
 
    A scratch is single-owner state: one concurrent run per scratch (each
    pool participant gets its own via [Wnet_par.map_array_with]). *)
@@ -82,6 +93,7 @@ type scratch = {
   touched : int array;  (* nodes whose [sdist] entry is currently finite *)
   mutable n_touched : int;
   sheap : Indexed_heap.t;
+  sban : Bytes.t;  (* '\000' = allowed; caller-managed, all-zero between uses *)
 }
 
 let make_scratch cap =
@@ -92,21 +104,29 @@ let make_scratch cap =
     touched = Array.make (max cap 1) 0;
     n_touched = 0;
     sheap = Indexed_heap.create cap;
+    sban = Bytes.make (max cap 1) '\000';
   }
 
 let scratch_capacity s = s.cap
+
+let ban_mask s = s.sban
 
 let begin_run s n =
   if n > s.cap then invalid_arg "Dijkstra: graph exceeds scratch capacity";
   (* A completed run leaves the heap empty; one aborted by an exception
      may not, so drain defensively. *)
   while not (Indexed_heap.is_empty s.sheap) do
-    ignore (Indexed_heap.pop_min s.sheap)
+    ignore (Indexed_heap.pop_min_key s.sheap)
   done;
   for i = 0 to s.n_touched - 1 do
     s.sdist.(s.touched.(i)) <- infinity
   done;
   s.n_touched <- 0
+
+(* The boxed closure-predicate runs.  Retained verbatim over the boxed
+   adjacency as the differential oracle for the CSR kernels below (the
+   same role [Copy_graph] plays for the zero-copy batch): the qcheck
+   suites hold the pairs to [Float.equal]-identical outputs. *)
 
 let node_weighted_dist scratch ?(forbidden = never) g ~source =
   let n = Graph.n g in
@@ -172,6 +192,108 @@ let link_weighted_dist scratch ?(forbidden = never) g source =
           end)
         (Digraph.out_links g u)
   done;
+  Array.sub dist 0 n
+
+(* The CSR scratch kernels: flat rows, ban-mask bytes, key-only pops,
+   results left in the scratch — zero steady-state allocation (the
+   micro suite hard-asserts it).  Relaxation order matches the boxed
+   runs link for link (CSR rows preserve the sorted boxed rows), so
+   distances are bit-identical. *)
+
+let node_weighted_scratch scratch g ~source =
+  let n = Graph.n g in
+  if source < 0 || source >= n then invalid_arg "Dijkstra: source out of range";
+  if Bytes.get scratch.sban source <> '\000' then
+    invalid_arg "Dijkstra: source is forbidden";
+  begin_run scratch n;
+  let { Graph.row_off; col } = Graph.csr g in
+  let cost = Graph.costs_view g in
+  let heap = scratch.sheap in
+  let prio = Indexed_heap.prios heap in
+  let dist = scratch.sdist in
+  let touched = scratch.touched in
+  let ban = scratch.sban in
+  dist.(source) <- 0.0;
+  touched.(scratch.n_touched) <- source;
+  scratch.n_touched <- scratch.n_touched + 1;
+  (* Priorities go through [prios]+[touch] rather than [insert] /
+     [insert_or_decrease]: classic ocamlopt boxes float arguments at
+     those call boundaries, and this kernel must not allocate. *)
+  prio.(source) <- 0.0;
+  Indexed_heap.touch heap source;
+  while not (Indexed_heap.is_empty heap) do
+    let u = Indexed_heap.pop_min_key heap in
+    let du = Array.unsafe_get dist u in
+    let cand = if u = source then du else du +. Array.unsafe_get cost u in
+    for i = row_off.(u) to row_off.(u + 1) - 1 do
+      let w = Array.unsafe_get col i in
+      if Bytes.unsafe_get ban w = '\000' then begin
+        let dw = Array.unsafe_get dist w in
+        if cand < dw then begin
+          if dw = infinity then begin
+            Array.unsafe_set touched scratch.n_touched w;
+            scratch.n_touched <- scratch.n_touched + 1
+          end;
+          Array.unsafe_set dist w cand;
+          Array.unsafe_set prio w cand;
+          Indexed_heap.touch heap w
+        end
+      end
+    done
+  done;
+  dist
+
+let link_weighted_scratch scratch g source =
+  let n = Digraph.n g in
+  if source < 0 || source >= n then invalid_arg "Dijkstra: source out of range";
+  if Bytes.get scratch.sban source <> '\000' then
+    invalid_arg "Dijkstra: source is forbidden";
+  begin_run scratch n;
+  let { Digraph.row_off; col; wgt } = Digraph.csr g in
+  let heap = scratch.sheap in
+  let prio = Indexed_heap.prios heap in
+  let dist = scratch.sdist in
+  let touched = scratch.touched in
+  let ban = scratch.sban in
+  dist.(source) <- 0.0;
+  touched.(scratch.n_touched) <- source;
+  scratch.n_touched <- scratch.n_touched + 1;
+  prio.(source) <- 0.0;
+  Indexed_heap.touch heap source;
+  while not (Indexed_heap.is_empty heap) do
+    let u = Indexed_heap.pop_min_key heap in
+    let du = Array.unsafe_get dist u in
+    for i = row_off.(u) to row_off.(u + 1) - 1 do
+      let w = Array.unsafe_get col i in
+      if Bytes.unsafe_get ban w = '\000' then begin
+        let cand = du +. Array.unsafe_get wgt i in
+        let dw = Array.unsafe_get dist w in
+        if cand < dw then begin
+          if dw = infinity then begin
+            Array.unsafe_set touched scratch.n_touched w;
+            scratch.n_touched <- scratch.n_touched + 1
+          end;
+          Array.unsafe_set dist w cand;
+          Array.unsafe_set prio w cand;
+          Indexed_heap.touch heap w
+        end
+      end
+    done
+  done;
+  dist
+
+let node_weighted_dist_csr scratch ?(avoid = -1) g ~source =
+  let n = Graph.n g in
+  if avoid >= 0 then Bytes.set scratch.sban avoid '\001';
+  let dist = node_weighted_scratch scratch g ~source in
+  if avoid >= 0 then Bytes.set scratch.sban avoid '\000';
+  Array.sub dist 0 n
+
+let link_weighted_dist_csr scratch ?(avoid = -1) g source =
+  let n = Digraph.n g in
+  if avoid >= 0 then Bytes.set scratch.sban avoid '\001';
+  let dist = link_weighted_scratch scratch g source in
+  if avoid >= 0 then Bytes.set scratch.sban avoid '\000';
   Array.sub dist 0 n
 
 let dist t v = t.dist.(v)

@@ -57,6 +57,49 @@ val link_weighted_dist :
 (** [link_weighted_dist scratch g source] is
     [(link_weighted g source).dist], likewise. *)
 
+(** {1 CSR kernels}
+
+    The zero-allocation runs: flat {!Digraph.csr} / {!Graph.csr} rows, a
+    byte-per-node ban mask in place of the [?forbidden] closure, and the
+    result left {e in} the scratch.  Relaxation order matches the boxed
+    runs above link for link, so distances are [Float.equal]-identical;
+    the boxed closure runs are retained unchanged as the differential
+    oracle. *)
+
+val ban_mask : scratch -> Bytes.t
+(** The scratch's ban mask, one byte per node: ['\000'] allowed,
+    anything else banned.  Caller-managed steady state — set the bytes
+    you need before a [*_scratch] run and reset them after; runs never
+    clear it (an O(cap) wipe per run would defeat the touched-log
+    design).  All-zero when the scratch is created. *)
+
+val node_weighted_scratch : scratch -> Graph.t -> source:int -> float array
+(** [node_weighted_scratch scratch g ~source] is
+    [node_weighted_dist scratch g ~source] with the ban mask standing in
+    for [?forbidden], except the returned array is the scratch's
+    {e internal} distance array (length [scratch_capacity], entries
+    beyond [Graph.n g] are [infinity]): read what you need before the
+    next run on the same scratch overwrites it, and never mutate it.
+    Allocates nothing after scratch creation.
+    @raise Invalid_argument if [source] is out of range or banned, or if
+    the graph exceeds the scratch capacity. *)
+
+val link_weighted_scratch : scratch -> Digraph.t -> int -> float array
+(** [link_weighted_scratch scratch g source] is the link-weighted
+    analogue of {!node_weighted_scratch}. *)
+
+val node_weighted_dist_csr :
+  scratch -> ?avoid:int -> Graph.t -> source:int -> float array
+(** [node_weighted_dist_csr scratch ~avoid g ~source] runs the CSR
+    kernel with only [avoid] banned (in addition to any bytes the caller
+    already set) and returns a {e fresh} copy of the first [Graph.n g]
+    distances — the drop-in CSR counterpart of
+    [node_weighted_dist scratch ~forbidden:(fun v -> v = avoid)]. *)
+
+val link_weighted_dist_csr :
+  scratch -> ?avoid:int -> Digraph.t -> int -> float array
+(** Link-weighted analogue of {!node_weighted_dist_csr}. *)
+
 val path_to : tree -> int -> Path.t option
 (** [path_to t v] is the tree path [source; ...; v], or [None] when
     unreachable. *)

@@ -72,7 +72,7 @@ let begin_dist_run s n =
   (* a completed repair leaves the heap empty; one aborted by Overflow
      may not *)
   while not (Indexed_heap.is_empty s.heap) do
-    ignore (Indexed_heap.pop_min s.heap)
+    ignore (Indexed_heap.pop_min_key s.heap)
   done
 
 let smark s ~budget x =
@@ -90,6 +90,14 @@ let repair_dist s ?budget ?(forbidden = -1) ~graph ~mirror ~source ~dist:d
   if Array.length d < n then
     invalid_arg "Dynamic_sssp.repair_dist: dist array shorter than the graph";
   begin_dist_run s n;
+  (* Flat views of both orientations; [Digraph.set_weight] keeps them
+     live, so a weight-only edit burst pays no rebuild here. *)
+  let { Digraph.row_off = g_off; col = g_col; wgt = g_wgt } =
+    Digraph.csr graph
+  in
+  let { Digraph.row_off = m_off; col = m_col; wgt = m_wgt } =
+    Digraph.csr mirror
+  in
   let j = forbidden in
   let edits =
     List.filter
@@ -116,13 +124,13 @@ let repair_dist s ?budget ?(forbidden = -1) ~graph ~mirror ~source ~dist:d
       incr i;
       let dx = d.(x) in
       if dx < infinity then begin
-        Array.iter
-          (fun (y, w) ->
-            if
-              y <> j && y <> source && (not (marked y)) && (not (edited x y))
-              && Float.equal (dx +. w) d.(y)
-            then smark s ~budget y)
-          (Digraph.out_links graph x);
+        for i = g_off.(x) to g_off.(x + 1) - 1 do
+          let y = Array.unsafe_get g_col i in
+          if
+            y <> j && y <> source && (not (marked y)) && (not (edited x y))
+            && Float.equal (dx +. Array.unsafe_get g_wgt i) d.(y)
+          then smark s ~budget y
+        done;
         List.iter
           (fun e ->
             if
@@ -140,19 +148,19 @@ let repair_dist s ?budget ?(forbidden = -1) ~graph ~mirror ~source ~dist:d
     done;
     for k = 0 to s.n_region - 1 do
       let x = s.region.(k) in
-      Array.iter
-        (fun (p, w) ->
-          if p <> j && not (marked p) then begin
-            let dp = d.(p) in
-            if dp < infinity then begin
-              let cand = dp +. w in
-              if cand < d.(x) then begin
-                d.(x) <- cand;
-                Indexed_heap.insert_or_decrease s.heap x cand
-              end
+      for i = m_off.(x) to m_off.(x + 1) - 1 do
+        let p = Array.unsafe_get m_col i in
+        if p <> j && not (marked p) then begin
+          let dp = d.(p) in
+          if dp < infinity then begin
+            let cand = dp +. Array.unsafe_get m_wgt i in
+            if cand < d.(x) then begin
+              d.(x) <- cand;
+              Indexed_heap.insert_or_decrease s.heap x cand
             end
-          end)
-        (Digraph.out_links mirror x)
+          end
+        end
+      done
     done;
     (* 3. dropped links whose tail kept its label seed directly (a
        marked tail relaxes when it settles) *)
@@ -166,22 +174,24 @@ let repair_dist s ?budget ?(forbidden = -1) ~graph ~mirror ~source ~dist:d
           end
         end)
       edits;
-    (* 4. bounded-frontier Dijkstra over the region *)
+    (* 4. bounded-frontier Dijkstra over the region.  The popped
+       priority always equals the node's current label (every heap
+       update is paired with the label write of the same value), so the
+       key-only pop reads it back from [d]. *)
     while not (Indexed_heap.is_empty s.heap) do
-      let x, dx = Indexed_heap.pop_min s.heap in
-      if Float.equal dx d.(x) then begin
-        smark s ~budget x;
-        Array.iter
-          (fun (y, w) ->
-            if y <> j then begin
-              let cand = dx +. w in
-              if cand < d.(y) then begin
-                d.(y) <- cand;
-                Indexed_heap.insert_or_decrease s.heap y cand
-              end
-            end)
-          (Digraph.out_links graph x)
-      end
+      let x = Indexed_heap.pop_min_key s.heap in
+      let dx = d.(x) in
+      smark s ~budget x;
+      for i = g_off.(x) to g_off.(x + 1) - 1 do
+        let y = Array.unsafe_get g_col i in
+        if y <> j then begin
+          let cand = dx +. Array.unsafe_get g_wgt i in
+          if cand < d.(y) then begin
+            d.(y) <- cand;
+            Indexed_heap.insert_or_decrease s.heap y cand
+          end
+        end
+      done
     done;
     `Patched s.n_region
   with Overflow -> `Overflow
@@ -201,6 +211,7 @@ let repair_node_dist s ?budget ?(forbidden = -1) ~graph ~source ~dist:d
     invalid_arg
       "Dynamic_sssp.repair_node_dist: dist array shorter than the graph";
   begin_dist_run s n;
+  let { Graph.row_off; col } = Graph.csr graph in
   let j = forbidden in
   let edits =
     List.filter
@@ -234,13 +245,13 @@ let repair_node_dist s ?budget ?(forbidden = -1) ~graph ~source ~dist:d
       let dx = d.(x) in
       if dx < infinity then begin
         let lo = leave_old x in
-        Array.iter
-          (fun y ->
-            if
-              y <> j && y <> source && (not (marked y))
-              && Float.equal (dx +. lo) d.(y)
-            then smark s ~budget y)
-          (Graph.neighbors graph x)
+        for i = row_off.(x) to row_off.(x + 1) - 1 do
+          let y = Array.unsafe_get col i in
+          if
+            y <> j && y <> source && (not (marked y))
+            && Float.equal (dx +. lo) d.(y)
+          then smark s ~budget y
+        done
       end
     done;
     for k = 0 to s.n_region - 1 do
@@ -248,19 +259,19 @@ let repair_node_dist s ?budget ?(forbidden = -1) ~graph ~source ~dist:d
     done;
     for k = 0 to s.n_region - 1 do
       let x = s.region.(k) in
-      Array.iter
-        (fun p ->
-          if p <> j && not (marked p) then begin
-            let dp = d.(p) in
-            if dp < infinity then begin
-              let cand = dp +. leave_cur p in
-              if cand < d.(x) then begin
-                d.(x) <- cand;
-                Indexed_heap.insert_or_decrease s.heap x cand
-              end
+      for i = row_off.(x) to row_off.(x + 1) - 1 do
+        let p = Array.unsafe_get col i in
+        if p <> j && not (marked p) then begin
+          let dp = d.(p) in
+          if dp < infinity then begin
+            let cand = dp +. leave_cur p in
+            if cand < d.(x) then begin
+              d.(x) <- cand;
+              Indexed_heap.insert_or_decrease s.heap x cand
             end
-          end)
-        (Graph.neighbors graph x)
+          end
+        end
+      done
     done;
     List.iter
       (fun e ->
@@ -277,21 +288,18 @@ let repair_node_dist s ?budget ?(forbidden = -1) ~graph ~source ~dist:d
             e.nbrs)
       edits;
     while not (Indexed_heap.is_empty s.heap) do
-      let x, dx = Indexed_heap.pop_min s.heap in
-      if Float.equal dx d.(x) then begin
-        smark s ~budget x;
-        let lc = leave_cur x in
-        Array.iter
-          (fun y ->
-            if y <> j then begin
-              let cand = dx +. lc in
-              if cand < d.(y) then begin
-                d.(y) <- cand;
-                Indexed_heap.insert_or_decrease s.heap y cand
-              end
-            end)
-          (Graph.neighbors graph x)
-      end
+      let x = Indexed_heap.pop_min_key s.heap in
+      let dx = d.(x) in
+      smark s ~budget x;
+      let cand = dx +. leave_cur x in
+      for i = row_off.(x) to row_off.(x + 1) - 1 do
+        let y = Array.unsafe_get col i in
+        if y <> j then
+          if cand < d.(y) then begin
+            d.(y) <- cand;
+            Indexed_heap.insert_or_decrease s.heap y cand
+          end
+      done
     done;
     `Patched s.n_region
   with Overflow -> `Overflow
@@ -433,28 +441,33 @@ type outcome =
    — possible only when [dist z] ties [dist x] bit for bit (pop order
    respects distances strictly otherwise).  Region predecessors are
    checked when they settle; intact ones are checked here. *)
-let check_attainer_tie t d x y =
+let check_attainer_tie t mcsr d x y =
   let dy = d.(y) and dx = d.(x) in
-  Array.iter
-    (fun (z, w) ->
-      if
-        z <> x
-        && t.mark.(z) <> t.epoch
-        && d.(z) < infinity
-        && Float.equal (d.(z) +. w) dy
-        && Float.equal d.(z) dx
-      then raise Tie)
-    (Digraph.out_links t.mirror y)
+  let { Digraph.row_off; col; wgt } = mcsr in
+  for i = row_off.(y) to row_off.(y + 1) - 1 do
+    let z = Array.unsafe_get col i in
+    if
+      z <> x
+      && t.mark.(z) <> t.epoch
+      && d.(z) < infinity
+      && Float.equal (d.(z) +. Array.unsafe_get wgt i) dy
+      && Float.equal d.(z) dx
+    then raise Tie
+  done
 
 let apply ?budget t edits =
   let n = Digraph.n t.graph in
   grow_tree t n;
   let budget = match budget with Some b -> b | None -> default_budget n in
+  let gcsr = Digraph.csr t.graph in
+  let mcsr = Digraph.csr t.mirror in
+  let { Digraph.row_off = g_off; col = g_col; wgt = g_wgt } = gcsr in
+  let { Digraph.row_off = m_off; col = m_col; wgt = m_wgt } = mcsr in
   let d = t.tr.Dijkstra.dist and par = t.tr.Dijkstra.parent in
   t.epoch <- t.epoch + 1;
   t.n_region <- 0;
   while not (Indexed_heap.is_empty t.heap) do
-    ignore (Indexed_heap.pop_min t.heap)
+    ignore (Indexed_heap.pop_min_key t.heap)
   done;
   let edits = List.filter (fun e -> not (Float.equal e.w0 e.w1)) edits in
   let marked x = t.mark.(x) = t.epoch in
@@ -502,21 +515,21 @@ let apply ?budget t edits =
     for k = 0 to n_orphans - 1 do
       let x = t.region.(k) in
       let best = ref infinity and best_p = ref (-1) and tied = ref false in
-      Array.iter
-        (fun (p, w) ->
-          if not (marked p) then begin
-            let dp = d.(p) in
-            if dp < infinity then begin
-              let cand = dp +. w in
-              if cand < !best then begin
-                best := cand;
-                best_p := p;
-                tied := false
-              end
-              else if Float.equal cand !best then tied := true
+      for i = m_off.(x) to m_off.(x + 1) - 1 do
+        let p = Array.unsafe_get m_col i in
+        if not (marked p) then begin
+          let dp = d.(p) in
+          if dp < infinity then begin
+            let cand = dp +. Array.unsafe_get m_wgt i in
+            if cand < !best then begin
+              best := cand;
+              best_p := p;
+              tied := false
             end
-          end)
-        (Digraph.out_links t.mirror x);
+            else if Float.equal cand !best then tied := true
+          end
+        end
+      done;
       if !best < infinity then begin
         if !tied then raise Tie;
         d.(x) <- !best;
@@ -537,24 +550,25 @@ let apply ?budget t edits =
           else if Float.equal cand d.(e.v) && par.(e.v) <> e.u then raise Tie
         end)
       edits;
-    (* 4. bounded-frontier Dijkstra with tie detection *)
+    (* 4. bounded-frontier Dijkstra with tie detection.  As in the
+       distance-only repair, a live heap priority always equals the
+       node's current label, so the key-only pop reads it from [d]. *)
     while not (Indexed_heap.is_empty t.heap) do
-      let x, dx = Indexed_heap.pop_min t.heap in
-      if Float.equal dx d.(x) then begin
-        mark_node x;
-        Array.iter
-          (fun (y, w) ->
-            let cand = dx +. w in
-            if cand < d.(y) then begin
-              d.(y) <- cand;
-              reparent t y x;
-              Indexed_heap.insert_or_decrease t.heap y cand
-            end
-            else if Float.equal cand d.(y) then
-              if par.(y) <> x then raise Tie
-              else if not (marked y) then check_attainer_tie t d x y)
-          (Digraph.out_links t.graph x)
-      end
+      let x = Indexed_heap.pop_min_key t.heap in
+      let dx = d.(x) in
+      mark_node x;
+      for i = g_off.(x) to g_off.(x + 1) - 1 do
+        let y = Array.unsafe_get g_col i in
+        let cand = dx +. Array.unsafe_get g_wgt i in
+        if cand < d.(y) then begin
+          d.(y) <- cand;
+          reparent t y x;
+          Indexed_heap.insert_or_decrease t.heap y cand
+        end
+        else if Float.equal cand d.(y) then
+          if par.(y) <> x then raise Tie
+          else if not (marked y) then check_attainer_tie t mcsr d x y
+      done
     done;
     Patched { region = t.n_region }
   with

@@ -8,25 +8,31 @@ type result = {
 let dijkstra ?(forbidden_edge = -1) g ~source =
   let n = Egraph.n g in
   if source < 0 || source >= n then invalid_arg "Edge_avoid: source out of range";
+  let { Egraph.row_off; ncol; ecol } = Egraph.csr g in
+  let weights = Egraph.weights_view g in
   let dist = Array.make n infinity in
   let parent = Array.make n (-1) in
   let heap = Indexed_heap.create n in
+  let prio = Indexed_heap.prios heap in
   dist.(source) <- 0.0;
-  Indexed_heap.insert heap source 0.0;
+  prio.(source) <- 0.0;
+  Indexed_heap.touch heap source;
   while not (Indexed_heap.is_empty heap) do
-    let u, du = Indexed_heap.pop_min heap in
-    if du <= dist.(u) then
-      Array.iter
-        (fun (w, e) ->
-          if e <> forbidden_edge then begin
-            let cand = du +. Egraph.weight g e in
-            if cand < dist.(w) then begin
-              dist.(w) <- cand;
-              parent.(w) <- u;
-              Indexed_heap.insert_or_decrease heap w cand
-            end
-          end)
-        (Egraph.incident g u)
+    let u = Indexed_heap.pop_min_key heap in
+    let du = dist.(u) in
+    for i = row_off.(u) to row_off.(u + 1) - 1 do
+      let e = Array.unsafe_get ecol i in
+      if e <> forbidden_edge then begin
+        let w = Array.unsafe_get ncol i in
+        let cand = du +. Array.unsafe_get weights e in
+        if cand < dist.(w) then begin
+          dist.(w) <- cand;
+          parent.(w) <- u;
+          Array.unsafe_set prio w cand;
+          Indexed_heap.touch heap w
+        end
+      end
+    done
   done;
   { Dijkstra.source; dist; parent }
 

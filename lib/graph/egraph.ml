@@ -1,8 +1,37 @@
+(* Flat CSR mirror of [inc]: incidences of [v] occupy slots
+   [row_off.(v) .. row_off.(v+1) - 1] of [ncol] (neighbour) / [ecol]
+   (edge id), sorted by neighbour like the boxed rows.  Weights stay
+   per-edge-id in [w], so a kernel reads [w.(ecol.(i))] with no tuple
+   to chase.  Incidence is immutable after construction; weight swaps
+   ([with_weights]) share the view. *)
+type csr = { row_off : int array; ncol : int array; ecol : int array }
+
 type t = {
   ends : (int * int) array;  (* per edge id, smaller endpoint first *)
   w : float array;  (* per edge id *)
   inc : (int * int) array array;  (* per node: (neighbour, edge id), sorted *)
+  csr : csr;
 }
+
+let csr_of_inc inc =
+  let n = Array.length inc in
+  let row_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    row_off.(v + 1) <- row_off.(v) + Array.length inc.(v)
+  done;
+  let sz = max row_off.(n) 1 in
+  let ncol = Array.make sz 0 in
+  let ecol = Array.make sz 0 in
+  Array.iteri
+    (fun v row ->
+      let base = row_off.(v) in
+      Array.iteri
+        (fun i (nbr, e) ->
+          ncol.(base + i) <- nbr;
+          ecol.(base + i) <- e)
+        row)
+    inc;
+  { row_off; ncol; ecol }
 
 let create ~n ~edges =
   if n < 0 then invalid_arg "Egraph.create: negative node count";
@@ -46,7 +75,7 @@ let create ~n ~edges =
       fill.(v) <- fill.(v) + 1)
     ends;
   Array.iter (fun a -> Array.sort compare a) inc;
-  { ends; w; inc }
+  { ends; w; inc; csr = csr_of_inc inc }
 
 let n g = Array.length g.inc
 
@@ -64,6 +93,10 @@ let weight g e =
   g.w.(e)
 
 let weights g = Array.copy g.w
+
+let weights_view g = g.w
+
+let csr g = g.csr
 
 let check_weight w =
   if Float.is_nan w || w < 0.0 then

@@ -27,6 +27,27 @@ val weights : t -> float array
 (** Copy of the weight vector, indexed by edge id — an edge-agent
     profile. *)
 
+val weights_view : t -> float array
+(** The live weight vector itself — zero-copy, do {e not} mutate.  The
+    view the kernels hoist instead of paying {!weights}'s O(m) copy (or
+    a {!weight} call) per relaxation. *)
+
+(** {1 CSR view}
+
+    Flat incidence for the kernel loops: the incidences of [v] are
+    slots [row_off.(v) .. row_off.(v+1) - 1], neighbour in [ncol],
+    edge id in [ecol], sorted by neighbour like {!incident}.  Built
+    once (incidence is immutable); weight swaps share it. *)
+
+type csr = {
+  row_off : int array;  (** [n + 1] row offsets *)
+  ncol : int array;  (** neighbour ids *)
+  ecol : int array;  (** edge ids, parallel to [ncol] *)
+}
+
+val csr : t -> csr
+(** [csr g] is the shared CSR view — do {e not} mutate. *)
+
 val with_weights : t -> float array -> t
 (** Replace all weights (declared profile).
     @raise Invalid_argument on length mismatch or invalid weight. *)

@@ -1,8 +1,27 @@
+(* Flat CSR mirror of [adj] for the int-indexed kernel loops: row [v]
+   is [col.(row_off.(v)) .. col.(row_off.(v+1) - 1)], sorted like the
+   boxed rows.  Adjacency is immutable after construction, so the view
+   is built once and shared by every cost-vector swap. *)
+type csr = { row_off : int array; col : int array }
+
 type t = {
   cost : float array;
   adj : int array array; (* sorted neighbour lists *)
   m : int;
+  csr : csr;
 }
+
+let csr_of_adj adj =
+  let n = Array.length adj in
+  let row_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    row_off.(v + 1) <- row_off.(v) + Array.length adj.(v)
+  done;
+  let col = Array.make (max row_off.(n) 1) 0 in
+  Array.iteri
+    (fun v nbrs -> Array.blit nbrs 0 col row_off.(v) (Array.length nbrs))
+    adj;
+  { row_off; col }
 
 let check_cost c =
   if not (Float.is_finite c) || c < 0.0 then
@@ -46,7 +65,7 @@ let create ~costs ~edges =
   Array.iter check_cost costs;
   let n = Array.length costs in
   let adj, m = build_adjacency n edges in
-  { cost = Array.copy costs; adj; m }
+  { cost = Array.copy costs; adj; m; csr = csr_of_adj adj }
 
 let n g = Array.length g.cost
 
@@ -55,6 +74,10 @@ let m g = g.m
 let cost g v = g.cost.(v)
 
 let costs g = Array.copy g.cost
+
+let costs_view g = g.cost
+
+let csr g = g.csr
 
 let with_costs g c =
   if Array.length c <> Array.length g.cost then
@@ -120,7 +143,7 @@ let remove_nodes g vs =
      side; dead-to-dead edges disappear from both sides of [adj] without
      entering [removed], so recount edges directly. *)
   let m = Array.fold_left (fun acc nbrs -> acc + Array.length nbrs) 0 adj / 2 in
-  { g with adj; m }
+  { g with adj; m; csr = csr_of_adj adj }
 
 let remove_node g v = remove_nodes g [ v ]
 

@@ -30,6 +30,26 @@ val cost : t -> int -> float
 val costs : t -> float array
 (** A copy of the full cost vector. *)
 
+val costs_view : t -> float array
+(** The live cost vector itself — zero-copy, do {e not} mutate.  The
+    view variant the kernel loops hoist instead of calling {!cost} (or
+    copying via {!costs}) per relaxation. *)
+
+(** {1 CSR view}
+
+    Flat adjacency for the int-indexed kernel loops: neighbours of [v]
+    are [col.(row_off.(v)) .. col.(row_off.(v+1) - 1)], sorted like
+    {!neighbors}.  Built once at construction (adjacency is immutable)
+    and shared by {!with_costs}/{!with_cost}. *)
+
+type csr = {
+  row_off : int array;  (** [n + 1] row offsets *)
+  col : int array;  (** neighbour ids, rows sorted ascending *)
+}
+
+val csr : t -> csr
+(** [csr g] is the shared CSR view — do {e not} mutate. *)
+
 val with_costs : t -> float array -> t
 (** [with_costs g c] is [g] with its cost vector replaced — the typical
     way to evaluate a mechanism under a deviating declared profile without

@@ -82,10 +82,30 @@ let insert_or_decrease h k p =
   end
   else insert h k p
 
-let pop_min h =
+(* Int-only hot-path entry points.  Classic (non-flambda) ocamlopt refuses
+   to inline [insert]/[decrease] across modules (their bodies reference
+   structured constants — the [invalid_arg] strings), so every call boxes
+   the float priority argument: ~2 minor words per heap update, which is
+   fatal for the zero-allocation Dijkstra kernels.  [prios] hands the
+   caller the internal priority store; after writing [prios h].(k) the
+   caller re-establishes heap order with the all-int [touch]. *)
+
+let prios h = h.prio
+
+let touch h k =
+  let i = h.pos.(k) in
+  if i >= 0 then sift_up h i
+  else begin
+    let i = h.size in
+    h.size <- i + 1;
+    h.keys.(i) <- k;
+    h.pos.(k) <- i;
+    sift_up h i
+  end
+
+let pop_min_key h =
   if h.size = 0 then raise Not_found;
   let k = h.keys.(0) in
-  let p = h.prio.(k) in
   h.size <- h.size - 1;
   if h.size > 0 then begin
     let last = h.keys.(h.size) in
@@ -94,6 +114,12 @@ let pop_min h =
     sift_down h 0
   end;
   h.pos.(k) <- -1;
+  k
+
+let pop_min h =
+  if h.size = 0 then raise Not_found;
+  let p = h.prio.(h.keys.(0)) in
+  let k = pop_min_key h in
   (k, p)
 
 let peek_min h = if h.size = 0 then None else Some (h.keys.(0), h.prio.(h.keys.(0)))

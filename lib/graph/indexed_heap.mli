@@ -36,9 +36,31 @@ val insert_or_decrease : t -> int -> float -> unit
 (** [insert_or_decrease h k p] inserts [k] if absent, lowers its priority
     if [p] improves it, and does nothing otherwise. *)
 
+val prios : t -> float array
+(** [prios h] is the heap's internal priority store, exposed so that hot
+    loops can update priorities without a float crossing a function-call
+    boundary (classic ocamlopt boxes float arguments at non-inlined
+    calls).  Contract: after writing [(prios h).(k) <- p] the caller must
+    immediately call [touch h k], and [p] must not exceed the previous
+    priority of an in-heap [k].  Slots of absent keys are dead storage. *)
+
+val touch : t -> int -> unit
+(** [touch h k] re-establishes heap order after the caller wrote a new,
+    not-larger priority for [k] into [prios h]: inserts [k] if absent,
+    sifts it up otherwise.  All-int signature — the allocation-free
+    equivalent of [insert_or_decrease] for pre-written priorities.  [k]
+    must be in [\[0, capacity)]; this is not checked. *)
+
 val pop_min : t -> int * float
 (** [pop_min h] removes and returns the key with the smallest priority,
     breaking ties by smaller key for determinism.
+    @raise Not_found if the heap is empty. *)
+
+val pop_min_key : t -> int
+(** [pop_min_key h] is [fst (pop_min h)] without the tuple: the
+    allocation-free pop the CSR Dijkstra kernels settle with.  Callers
+    that need the priority read it from their own distance array — the
+    kernels maintain priority = distance for every live key.
     @raise Not_found if the heap is empty. *)
 
 val peek_min : t -> (int * float) option

@@ -46,6 +46,11 @@ type t = {
   root : int;
   pool : Wnet_par.t;
   dynamic : bool;
+  kernel : [ `Csr | `Boxed ];
+      (* which avoidance Dijkstra fills cache misses: the flat CSR
+         ban-mask kernel (default) or the boxed closure oracle.  Both
+         produce bit-identical distances; [`Boxed] exists for
+         differential testing and benchmarking. *)
   g : Digraph.t;  (* forward topology, mutated in place *)
   rev : Digraph.t;  (* reversed mirror, kept in lockstep *)
   mutable dyn : Dynamic_sssp.t option;
@@ -84,8 +89,8 @@ type t = {
   region_hist : int array;
 }
 
-let create ?(pool = Wnet_par.sequential) ?(copy = true) ?(dynamic = true) g
-    ~root =
+let create ?(pool = Wnet_par.sequential) ?(copy = true) ?(dynamic = true)
+    ?(kernel = `Csr) g ~root =
   let n = Digraph.n g in
   if root < 0 || root >= n then invalid_arg "Link_session.create: root out of range";
   let g = if copy then Digraph.copy g else g in
@@ -93,6 +98,7 @@ let create ?(pool = Wnet_par.sequential) ?(copy = true) ?(dynamic = true) g
     root;
     pool;
     dynamic;
+    kernel;
     g;
     rev = Digraph.reverse g;
     dyn = None;
@@ -580,9 +586,12 @@ let payments t =
     in
     let dists =
       steal_map t ~states:t.scratches
-        (fun scratch k ->
-          Dijkstra.link_weighted_dist scratch ~forbidden:(fun v -> v = k)
-            t.rev t.root)
+        (match t.kernel with
+        | `Csr -> fun scratch k -> Dijkstra.link_weighted_dist_csr scratch ~avoid:k t.rev t.root
+        | `Boxed ->
+          fun scratch k ->
+            Dijkstra.link_weighted_dist scratch ~forbidden:(fun v -> v = k)
+              t.rev t.root)
         missing
     in
     Array.iteri

@@ -84,6 +84,7 @@ val create :
   ?pool:Wnet_par.t ->
   ?copy:bool ->
   ?dynamic:bool ->
+  ?kernel:[ `Csr | `Boxed ] ->
   Wnet_graph.Digraph.t ->
   root:int ->
   t
@@ -96,6 +97,11 @@ val create :
     [~dynamic:false] (default [true]) disables dynamic SSSP repair and
     restores drop-style invalidation — same payments, different cost
     profile.
+    [?kernel] selects the avoidance Dijkstra that fills cache misses:
+    [`Csr] (default) is the flat zero-allocation ban-mask kernel,
+    [`Boxed] the original closure-predicate run over boxed adjacency,
+    kept as a differential oracle — payments are bit-identical either
+    way.
     @raise Invalid_argument if [root] is out of range. *)
 
 val n : t -> int

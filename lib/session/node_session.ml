@@ -24,6 +24,9 @@ type t = {
   root : int;
   pool : Wnet_par.t;
   dynamic : bool;
+  kernel : [ `Csr | `Boxed ];
+      (* avoidance kernel for cache misses: flat CSR ban-mask (default)
+         or the boxed closure oracle — bit-identical outputs *)
   mutable g : Graph.t;  (* adjacency shared; cost vector swapped per edit *)
   mutable gver : int;  (* session-managed version stamp *)
   mutable tree : Dijkstra.tree option;
@@ -56,13 +59,15 @@ type t = {
   mutable tasks_stolen : int;
 }
 
-let create ?(pool = Wnet_par.sequential) ?(dynamic = true) g ~root =
+let create ?(pool = Wnet_par.sequential) ?(dynamic = true) ?(kernel = `Csr) g
+    ~root =
   let n = Graph.n g in
   if root < 0 || root >= n then invalid_arg "Node_session.create: root out of range";
   {
     root;
     pool;
     dynamic;
+    kernel;
     g;
     gver = 0;
     tree = None;
@@ -325,9 +330,14 @@ let payments t =
     in
     let dists =
       steal_map t ~states:t.scratches
-        (fun scratch k ->
-          Dijkstra.node_weighted_dist scratch ~forbidden:(fun v -> v = k) t.g
-            ~source:t.root)
+        (match t.kernel with
+        | `Csr ->
+          fun scratch k ->
+            Dijkstra.node_weighted_dist_csr scratch ~avoid:k t.g ~source:t.root
+        | `Boxed ->
+          fun scratch k ->
+            Dijkstra.node_weighted_dist scratch ~forbidden:(fun v -> v = k) t.g
+              ~source:t.root)
         missing
     in
     Array.iteri

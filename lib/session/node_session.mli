@@ -53,12 +53,20 @@ type stats = {
 }
 
 val create :
-  ?pool:Wnet_par.t -> ?dynamic:bool -> Wnet_graph.Graph.t -> root:int -> t
+  ?pool:Wnet_par.t ->
+  ?dynamic:bool ->
+  ?kernel:[ `Csr | `Boxed ] ->
+  Wnet_graph.Graph.t ->
+  root:int ->
+  t
 (** [create g ~root] opens a session on [g].  [Graph.t] is immutable,
     so the session shares the adjacency structure and swaps cost
     vectors; the caller's graph is never affected.  [~dynamic:false]
     (default [true]) disables in-place cache repair in favour of
-    drop-style invalidation.
+    drop-style invalidation.  [?kernel] selects the avoidance Dijkstra
+    for cache misses — [`Csr] (default) the flat zero-allocation
+    ban-mask kernel, [`Boxed] the closure-predicate oracle; payments are
+    bit-identical either way.
     @raise Invalid_argument if [root] is out of range. *)
 
 val n : t -> int
