@@ -1,5 +1,5 @@
 .PHONY: all test bench microbench microbench-smoke smoke smoke-shard \
-	dsim-smoke check check-quick experiments full clean
+	dsim-smoke check check-quick experiments full clean clean-bench
 
 all:
 	dune build @all
@@ -27,7 +27,7 @@ bench: microbench
 # before the wall-clock suites spend minutes; the same primitives also
 # land as gated "micro/..." rows in BENCH_latest.json.
 MICRO_BENCHES = bench_proto_encode bench_proto_decode bench_deque \
-	bench_heap bench_repair bench_dijkstra bench_avoid
+	bench_heap bench_repair bench_dijkstra bench_avoid bench_avoid_region
 
 microbench:
 	dune build bench/micro
@@ -85,3 +85,8 @@ full:
 
 clean:
 	dune clean
+
+# Drop the dated bench snapshots that accumulate one per `make bench`
+# run; BENCH_latest.json (the regression-gate baseline) is kept.
+clean-bench:
+	rm -f bench/results/BENCH_2*.json

@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- batch        batch payment engine: seq vs parallel
      dune exec bench/main.exe -- session      incremental session vs full batch
      dune exec bench/main.exe -- server       coalesced delta bursts vs eager flushes
+     dune exec bench/main.exe -- avoid        subtree-bounded avoidance kernel vs full-CSR
      dune exec bench/main.exe -- secondpath   Yen gap study: seq vs stolen spur tasks
      dune exec bench/main.exe -- dsim         distributed rounds at scale (1k..20k nodes)
      dune exec bench/main.exe -- microprims   per-primitive suite (bench/micro/) inline
@@ -576,6 +577,155 @@ let run_server ?previous () =
   List.rev !samples
 
 (* ------------------------------------------------------------------ *)
+(* Subtree-bounded avoidance kernel vs full-CSR sweeps (wnet-bench/10)  *)
+
+(* The `CsrBounded kernel copies exterior distances off the shared tree
+   and re-settles only the silenced relay's SPT subtree; the `Csr twin
+   answers the same cache misses with one full-graph Dijkstra per
+   relay.  Two workloads per n, both sequential so the kernel is the
+   only variable:
+
+   - cold-start: a fresh session's first [payments] call — every relay
+     is a cache miss (session construction is inside the timed region,
+     identically on both sides);
+   - cache-miss fill: the adversarial on-tree toggle on a
+     [~dynamic:false] session — every flush drops the affected
+     avoidance entries and the next [payments] refills them through
+     the kernel under test.
+
+   A pooled bounded cold run per n rides along untimed to record the
+   work-stealing scheduler's behaviour over region tasks, and the
+   region-size histogram the drop-mode bounded session accumulated is
+   kept for the JSON file. *)
+
+type avoid_result = {
+  av_domains : int;
+  av_samples : batch_sample list;
+  av_hists : (int * (int * int) list) list;
+  av_tasks : int;
+  av_stolen : int;
+}
+
+let empty_avoid =
+  { av_domains = 0; av_samples = []; av_hists = []; av_tasks = 0; av_stolen = 0 }
+
+let run_avoid ?previous () =
+  let module S = Wnet_session.Link_session in
+  Gc.compact ();
+  let pool_domains = max 4 (Wnet_par.default_domains ()) in
+  Wnet_par.with_pool ~domains:pool_domains (fun pool ->
+      let samples = ref [] and hists = ref [] in
+      let tasks = ref 0 and stolen = ref 0 in
+      let record bench bn domains f =
+        let time_s, runs =
+          retime ~previous (bench, bn, domains) (time_best f) f
+        in
+        samples := { bench; bn; domains; time_s; runs } :: !samples
+      in
+      List.iter
+        (fun n ->
+          let dg = digraph_instance 9 ~n in
+          match session_targets dg with
+          | None -> ()
+          | Some (_, (cu, cv), _) ->
+            record "avoid/cold-start/bounded" n 1 (fun () ->
+                let s = S.create dg ~root:0 in
+                S.payments s);
+            record "avoid/cold-start/full" n 1 (fun () ->
+                let s = S.create ~kernel:`Csr dg ~root:0 in
+                S.payments s);
+            (* the same alternating toggle the session suite uses, so
+               every repetition nets one real edit and one refill *)
+            let fill s =
+              let w0 = S.cost s cu cv in
+              let w1 = w0 *. 1.05 in
+              fun () ->
+                let w = if Float.equal (S.cost s cu cv) w0 then w1 else w0 in
+                S.set_cost s cu cv w;
+                S.payments s
+            in
+            let sb = S.create ~dynamic:false dg ~root:0 in
+            ignore (S.payments sb);
+            let sf = S.create ~dynamic:false ~kernel:`Csr dg ~root:0 in
+            ignore (S.payments sf);
+            record "avoid/fill/bounded" n 1 (fill sb);
+            record "avoid/fill/full" n 1 (fill sf);
+            hists := (n, S.region_histogram sb) :: !hists;
+            (* pooled bounded cold run, once, for the steal telemetry *)
+            let sp = S.create ~pool dg ~root:0 in
+            ignore (S.payments sp);
+            let st = S.stats sp in
+            tasks := !tasks + st.S.tasks_executed;
+            stolen := !stolen + st.S.tasks_stolen)
+        batch_ns;
+      {
+        av_domains = pool_domains;
+        av_samples = List.rev !samples;
+        av_hists = List.rev !hists;
+        av_tasks = !tasks;
+        av_stolen = !stolen;
+      })
+
+let avoid_speedups samples =
+  let find bench n =
+    List.find_opt (fun s -> s.bench = bench && s.bn = n) samples
+  in
+  List.filter_map
+    (fun n ->
+      match
+        ( find "avoid/cold-start/bounded" n,
+          find "avoid/cold-start/full" n,
+          find "avoid/fill/bounded" n,
+          find "avoid/fill/full" n )
+      with
+      | Some cb, Some cf, Some fb, Some ff ->
+        Some (n, cf.time_s /. cb.time_s, ff.time_s /. fb.time_s)
+      | _ -> None)
+    batch_ns
+
+let avoid_steal_ratio r =
+  if r.av_tasks = 0 then 0.0
+  else float_of_int r.av_stolen /. float_of_int r.av_tasks
+
+let print_avoid r =
+  print_endline
+    "== Subtree-bounded avoidance kernel vs full-CSR (sequential) ==";
+  let table =
+    Wnet_stats.Table.make ~headers:[ "benchmark"; "n"; "domains"; "time"; "runs" ]
+  in
+  List.iter
+    (fun s ->
+      Wnet_stats.Table.add_row table
+        [
+          s.bench;
+          string_of_int s.bn;
+          string_of_int s.domains;
+          (if s.time_s >= 1.0 then Printf.sprintf "%.3f s" s.time_s
+           else Printf.sprintf "%.3f ms" (s.time_s *. 1e3));
+          string_of_int s.runs;
+        ])
+    r.av_samples;
+  Wnet_stats.Table.print table;
+  print_newline ();
+  List.iter
+    (fun (n, cold, fill) ->
+      Printf.printf
+        "n=%4d  bounded vs full-CSR: cold start %.2fx | cache-miss fill %.2fx\n"
+        n cold fill)
+    (avoid_speedups r.av_samples);
+  Printf.printf
+    "pooled bounded cold runs: tasks=%d stolen=%d steal ratio %.3f (%d domains)\n"
+    r.av_tasks r.av_stolen (avoid_steal_ratio r) r.av_domains;
+  List.iter
+    (fun (n, hist) ->
+      let total = List.fold_left (fun a (_, c) -> a + c) 0 hist in
+      Printf.printf "n=%4d  region sizes over %d bounded fills: %s\n" n total
+        (String.concat " "
+           (List.map (fun (lo, c) -> Printf.sprintf ">=%d:%d" lo c) hist)))
+    r.av_hists;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Sharded socket server throughput (wnet-bench/8)                      *)
 
 (* End-to-end rounds through the real sharded server: 4 access-point
@@ -854,6 +1004,7 @@ let microprim_families () =
     ("repair", M.repair ());
     ("dijkstra", M.dijkstra ());
     ("avoid", M.avoid ());
+    ("avoid-region", M.avoid_region ());
   ]
 
 let run_microprims ?previous () =
@@ -1218,8 +1369,8 @@ let json_float x =
 
 let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
 
-let write_json ~canary ~micro ~microprims ~session ~hists ~server ~second_path
-    ~dsim (pool_domains, samples) =
+let write_json ~canary ~micro ~microprims ~session ~hists ~server ~avoid
+    ~second_path ~dsim (pool_domains, samples) =
   let now = Unix.gmtime (Unix.time ()) in
   let stamp =
     Printf.sprintf "%04d%02d%02dT%02d%02d%02dZ" (now.Unix.tm_year + 1900)
@@ -1233,7 +1384,7 @@ let write_json ~canary ~micro ~microprims ~session ~hists ~server ~second_path
   in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"wnet-bench/9\",\n";
+  Buffer.add_string b "  \"schema\": \"wnet-bench/10\",\n";
   Buffer.add_string b (Printf.sprintf "  \"generated_at\": \"%s\",\n" iso);
   Buffer.add_string b
     (Printf.sprintf "  \"ocaml\": \"%s\",\n" (json_escape Sys.ocaml_version));
@@ -1360,6 +1511,61 @@ let write_json ~canary ~micro ~microprims ~session ~hists ~server ~second_path
       hists
   in
   Buffer.add_string b (String.concat ",\n" hist_rows);
+  Buffer.add_string b "\n    ]\n";
+  Buffer.add_string b "  },\n";
+  (* wnet-bench/10: the subtree-bounded avoidance kernel vs the
+     full-CSR oracle on cold starts and cache-miss fills ("rows" use
+     the headline object shape so the 20% gate covers them), the steal
+     telemetry of the pooled bounded cold runs, and the region-size
+     histogram of every bounded fill (same log2 classes as the repair
+     histogram). *)
+  Buffer.add_string b "  \"avoid\": {\n";
+  Buffer.add_string b
+    (Printf.sprintf "    \"pool_domains\": %d,\n" avoid.av_domains);
+  Buffer.add_string b
+    (Printf.sprintf "    \"tasks_executed\": %d,\n" avoid.av_tasks);
+  Buffer.add_string b
+    (Printf.sprintf "    \"tasks_stolen\": %d,\n" avoid.av_stolen);
+  Buffer.add_string b
+    (Printf.sprintf "    \"steal_ratio\": %s,\n"
+       (json_float (avoid_steal_ratio avoid)));
+  Buffer.add_string b "    \"rows\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"bench\": \"%s\", \"n\": %d, \"domains\": %d, \"time_s\": \
+            %s, \"runs\": %d}%s\n"
+           (json_escape s.bench) s.bn s.domains (json_float s.time_s) s.runs
+           (if i = List.length avoid.av_samples - 1 then "" else ",")))
+    avoid.av_samples;
+  Buffer.add_string b "    ],\n";
+  Buffer.add_string b "    \"speedups\": [\n";
+  let avoid_rows =
+    List.map
+      (fun (n, cold, fill) ->
+        Printf.sprintf
+          "      {\"n\": %d, \"cold_bounded_vs_full\": %s, \
+           \"fill_bounded_vs_full\": %s}"
+          n (json_float cold) (json_float fill))
+      (avoid_speedups avoid.av_samples)
+  in
+  Buffer.add_string b (String.concat ",\n" avoid_rows);
+  Buffer.add_string b "\n    ],\n";
+  Buffer.add_string b "    \"region_hist\": [\n";
+  let avoid_hist_rows =
+    List.map
+      (fun (n, hist) ->
+        let buckets =
+          List.map
+            (fun (lo, c) -> Printf.sprintf "{\"ge\": %d, \"count\": %d}" lo c)
+            hist
+        in
+        Printf.sprintf "      {\"n\": %d, \"buckets\": [%s]}" n
+          (String.concat ", " buckets))
+      avoid.av_hists
+  in
+  Buffer.add_string b (String.concat ",\n" avoid_hist_rows);
   Buffer.add_string b "\n    ]\n";
   Buffer.add_string b "  },\n";
   Buffer.add_string b "  \"server\": [\n";
@@ -1800,6 +2006,8 @@ let () =
     let shard_server = run_shard_server ?previous () in
     print_shard_server shard_server;
     let server = server @ shard_server in
+    let avoid = run_avoid ?previous () in
+    print_avoid avoid;
     let second_path = run_second_path ?previous () in
     print_second_path second_path;
     let dsim = run_dsim ?previous () in
@@ -1808,10 +2016,11 @@ let () =
     print_microprims microprims;
     let micro = run_micro () in
     write_json ~canary:canary_now ~micro ~microprims ~session ~hists ~server
-      ~second_path ~dsim batch;
+      ~avoid ~second_path ~dsim batch;
     if gate then
       run_gate ~previous batch
-        (session @ server @ second_path.sp_samples @ dsim.ds_samples
+        (session @ server @ avoid.av_samples @ second_path.sp_samples
+        @ dsim.ds_samples
         @ List.map (fun s -> s.mp_row) microprims)
   in
   match mode with
@@ -1821,12 +2030,13 @@ let () =
     print_batch batch;
     if json then
       write_json ~canary:(measure_canary ()) ~micro:[] ~microprims:[]
-        ~session:[] ~hists:[] ~server:[]
+        ~session:[] ~hists:[] ~server:[] ~avoid:empty_avoid
         ~second_path:
           { sp_domains = 0; sp_samples = []; sp_executed = 0; sp_stolen = 0 }
         ~dsim:empty_dsim batch
   | "session" -> print_session (run_session ())
   | "server" -> print_server (run_server ())
+  | "avoid" -> print_avoid (run_avoid ())
   | "shardserver" -> print_shard_server (run_shard_server ())
   | "secondpath" -> print_second_path (run_second_path ())
   | "dsim" -> print_dsim (run_dsim ())
@@ -1841,7 +2051,7 @@ let () =
     run_experiments ~instances:5 ~hop_instances:5 ~distributed_instances:2 ()
   | other ->
     Printf.eprintf
-      "unknown mode %s (use: micro | batch | session | server | shardserver | \
-       secondpath | dsim | microprims | experiments | full)\n"
+      "unknown mode %s (use: micro | batch | session | server | avoid | \
+       shardserver | secondpath | dsim | microprims | experiments | full)\n"
       other;
     exit 2

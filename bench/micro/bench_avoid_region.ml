@@ -1,0 +1,2 @@
+let () =
+  Wnet_microbench.run_family "avoid-region" (Wnet_microbench.avoid_region ())

@@ -436,6 +436,64 @@ let avoid () =
     };
   ]
 
+(* The subtree-bounded avoidance kernel against the full-graph sweep it
+   replaces: same relay set (internal nodes of the shared SPT), same
+   searched graph, preallocated index/scratch/dist.  The bounded path
+   is the session's per-relay hot loop and must allocate NOTHING — the
+   result is an immediate int and the caller owns the dist buffer. *)
+let avoid_region () =
+  let n = 256 in
+  let dg = bench_digraph ~n ~seed:13 in
+  let mirror = Wnet_graph.Digraph.reverse dg in
+  ignore (Wnet_graph.Digraph.csr dg);
+  ignore (Wnet_graph.Digraph.csr mirror);
+  let tree = Wnet_graph.Dijkstra.link_weighted dg 0 in
+  let idx = Wnet_graph.Avoid_region.make_index tree in
+  let ds = Wnet_graph.Dynamic_sssp.make_dist_scratch n in
+  let s = Wnet_graph.Dijkstra.make_scratch n in
+  let ban = Wnet_graph.Dijkstra.ban_mask s in
+  let d = Array.make n infinity in
+  let internal = Array.make n false in
+  Array.iteri
+    (fun _ p -> if p > 0 then internal.(p) <- true)
+    tree.Wnet_graph.Dijkstra.parent;
+  let relays =
+    Array.of_list
+      (List.filter (fun k -> internal.(k)) (List.init n (fun k -> k)))
+  in
+  let reps = min 32 (Array.length relays) in
+  [
+    {
+      name = Printf.sprintf "bounded/subtree-sweep/n=%d" n;
+      ops = reps;
+      alloc_free = true;
+      run =
+        (fun () ->
+          for i = 0 to reps - 1 do
+            let r =
+              Wnet_graph.Avoid_region.link_avoid ds ~budget:n idx ~graph:dg
+                ~mirror ~tree ~avoid:relays.(i) ~dist:d
+            in
+            assert (r >= 0)
+          done);
+    };
+    {
+      name = Printf.sprintf "full/ban-mask-sweep/n=%d" n;
+      ops = reps;
+      alloc_free = true;
+      run =
+        (fun () ->
+          for i = 0 to reps - 1 do
+            let k = relays.(i) in
+            Bytes.set ban k '\001';
+            ignore
+              (Sys.opaque_identity
+                 (Wnet_graph.Dijkstra.link_weighted_scratch s dg 0));
+            Bytes.set ban k '\000'
+          done);
+    };
+  ]
+
 (* ---------------- measurement & driver ---------------- *)
 
 let time_once f =

@@ -54,15 +54,23 @@ type batch = {
 
 type strategy = Copy_graph | Zero_copy
 
+(* Relay ids ascending, one counted pass — no intermediate list. *)
 let relay_array is_relay =
-  let l = ref [] in
-  for k = Array.length is_relay - 1 downto 0 do
-    if is_relay.(k) then l := k :: !l
-  done;
-  Array.of_list !l
+  let c = ref 0 in
+  Array.iter (fun b -> if b then incr c) is_relay;
+  let out = Array.make !c 0 in
+  let i = ref 0 in
+  Array.iteri
+    (fun k b ->
+      if b then begin
+        out.(!i) <- k;
+        incr i
+      end)
+    is_relay;
+  out
 
 let all_to_root ?(strategy = Zero_copy) ?(pool = Wnet_par.sequential)
-    ?(kernel = `Csr) g ~root =
+    ?(kernel = `CsrBounded) g ~root =
   let n = Digraph.n g in
   if root < 0 || root >= n then invalid_arg "Link_cost.all_to_root";
   match strategy with
@@ -91,7 +99,8 @@ let all_to_root ?(strategy = Zero_copy) ?(pool = Wnet_par.sequential)
           b.S.results;
     }
   | Copy_graph ->
-    (* Reference implementation: clone the reversed graph per relay.
+    (* Reference implementation: one shared reversal and one relay
+       sweep up front, then a clone of the reversed graph per relay.
        Produces distances identical to the session path; kept as the
        from-scratch oracle the equivalence suites check against. *)
     let rev = Digraph.reverse g in

@@ -54,7 +54,8 @@ type strategy =
           whole batch.  Identical output. *)
 
 val all_to_root :
-  ?strategy:strategy -> ?pool:Wnet_par.t -> ?kernel:[ `Csr | `Boxed ] ->
+  ?strategy:strategy -> ?pool:Wnet_par.t ->
+  ?kernel:[ `CsrBounded | `Csr | `Boxed ] ->
   Wnet_graph.Digraph.t -> root:int -> batch
 (** Every node's unicast to the access point at once — the workload of
     the paper's simulations.  Runs one reverse Dijkstra for the shared
@@ -65,8 +66,11 @@ val all_to_root :
     [?pool] (default {!Wnet_par.sequential}) fans the per-relay
     avoidance Dijkstras out over domains with positional merging: the
     batch is bit-identical for every pool size and strategy.  [?kernel]
-    (Zero_copy only) picks the avoidance kernel, [`Csr] flat ban-mask
-    (default) or [`Boxed] closure oracle — likewise bit-identical. *)
+    (Zero_copy only) picks the avoidance kernel: [`CsrBounded]
+    (default) recomputes only each relay's SPT subtree with exterior
+    distances copied from the shared tree, [`Csr] is the full-graph
+    flat ban-mask kernel, [`Boxed] the closure oracle — all
+    bit-identical. *)
 
 val ic_spot_check :
   Wnet_prng.Rng.t ->

@@ -55,7 +55,7 @@ let session_charge r ~packets =
   check_packets packets;
   float_of_int packets *. total_payment r
 
-let all_to_root ?(pool = Wnet_par.sequential) ?(kernel = `Csr) g ~root =
+let all_to_root ?(pool = Wnet_par.sequential) ?(kernel = `CsrBounded) g ~root =
   let n = Graph.n g in
   if root < 0 || root >= n then invalid_arg "Unicast.all_to_root";
   (* A one-shot session: the shared from-root tree, one avoidance

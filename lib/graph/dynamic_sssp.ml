@@ -83,6 +83,147 @@ let smark s ~budget x =
     s.n_region <- s.n_region + 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Region primitives.
+
+   Steps 2 (wipe + boundary reseed) and 4 (bounded-frontier settle) of
+   the repairs below, factored out so {!Avoid_region} can run the same
+   wipe/reseed/settle discipline over a subtree region it marked itself
+   ("silence node k" as a virtual edit).  The settle loops go through
+   [Indexed_heap.prios]/[touch] rather than [insert_or_decrease]:
+   classic ocamlopt boxes float arguments at those non-inlined call
+   boundaries, and the bounded avoidance kernel must not allocate. *)
+
+let region_begin = begin_dist_run
+
+let region_mark s ~budget x =
+  match smark s ~budget x with
+  | () -> true
+  | exception Overflow -> false
+
+let region_size s = s.n_region
+let region_nth s i = s.region.(i)
+
+let region_wipe s ~dist:d =
+  for k = 0 to s.n_region - 1 do
+    d.(s.region.(k)) <- infinity
+  done
+
+(* Offer each region node its best candidate through its in-links from
+   the unmarked boundary (current weights, read through the mirror);
+   [forbidden] is invisible. *)
+let reseed_link s ~j ~m_off ~m_col ~m_wgt d =
+  let heap = s.heap in
+  let prio = Indexed_heap.prios heap in
+  for k = 0 to s.n_region - 1 do
+    let x = s.region.(k) in
+    for i = m_off.(x) to m_off.(x + 1) - 1 do
+      let p = Array.unsafe_get m_col i in
+      if p <> j && s.mark.(p) <> s.epoch then begin
+        let dp = d.(p) in
+        if dp < infinity then begin
+          let cand = dp +. Array.unsafe_get m_wgt i in
+          if cand < d.(x) then begin
+            d.(x) <- cand;
+            prio.(x) <- cand;
+            Indexed_heap.touch heap x
+          end
+        end
+      end
+    done
+  done
+
+(* Settle the seeded frontier in label order (the popped priority always
+   equals the node's current label, so the key-only pop reads it back
+   from [d]).  Every settled node is marked against the budget: nodes
+   reached beyond the pre-marked region grow it. *)
+let settle_link s ~budget ~j ~g_off ~g_col ~g_wgt d =
+  let heap = s.heap in
+  let prio = Indexed_heap.prios heap in
+  while not (Indexed_heap.is_empty heap) do
+    let x = Indexed_heap.pop_min_key heap in
+    let dx = d.(x) in
+    smark s ~budget x;
+    for i = g_off.(x) to g_off.(x + 1) - 1 do
+      let y = Array.unsafe_get g_col i in
+      if y <> j then begin
+        let cand = dx +. Array.unsafe_get g_wgt i in
+        if cand < d.(y) then begin
+          d.(y) <- cand;
+          prio.(y) <- cand;
+          Indexed_heap.touch heap y
+        end
+      end
+    done
+  done
+
+(* Node-weighted twins: adjacency is symmetric (in-links = out-links =
+   the CSR row), and leaving node [x] costs its relay cost (0 from the
+   source). *)
+let reseed_node s ~j ~row_off ~col ~cost ~source d =
+  let heap = s.heap in
+  let prio = Indexed_heap.prios heap in
+  for k = 0 to s.n_region - 1 do
+    let x = s.region.(k) in
+    for i = row_off.(x) to row_off.(x + 1) - 1 do
+      let p = Array.unsafe_get col i in
+      if p <> j && s.mark.(p) <> s.epoch then begin
+        let dp = d.(p) in
+        if dp < infinity then begin
+          let leave = if p = source then 0.0 else Array.unsafe_get cost p in
+          let cand = dp +. leave in
+          if cand < d.(x) then begin
+            d.(x) <- cand;
+            prio.(x) <- cand;
+            Indexed_heap.touch heap x
+          end
+        end
+      end
+    done
+  done
+
+let settle_node s ~budget ~j ~row_off ~col ~cost ~source d =
+  let heap = s.heap in
+  let prio = Indexed_heap.prios heap in
+  while not (Indexed_heap.is_empty heap) do
+    let x = Indexed_heap.pop_min_key heap in
+    let dx = d.(x) in
+    smark s ~budget x;
+    let leave = if x = source then 0.0 else Array.unsafe_get cost x in
+    let cand = dx +. leave in
+    for i = row_off.(x) to row_off.(x + 1) - 1 do
+      let y = Array.unsafe_get col i in
+      if y <> j then
+        if cand < d.(y) then begin
+          d.(y) <- cand;
+          prio.(y) <- cand;
+          Indexed_heap.touch heap y
+        end
+    done
+  done
+
+let region_reseed_link s ~forbidden ~mirror ~dist =
+  let { Digraph.row_off; col; wgt } = Digraph.csr mirror in
+  reseed_link s ~j:forbidden ~m_off:row_off ~m_col:col ~m_wgt:wgt dist
+
+let region_settle_link s ~budget ~forbidden ~graph ~dist =
+  let { Digraph.row_off; col; wgt } = Digraph.csr graph in
+  match settle_link s ~budget ~j:forbidden ~g_off:row_off ~g_col:col ~g_wgt:wgt dist with
+  | () -> true
+  | exception Overflow -> false
+
+let region_reseed_node s ~forbidden ~graph ~source ~dist =
+  let { Graph.row_off; col } = Graph.csr graph in
+  let cost = Graph.costs_view graph in
+  reseed_node s ~j:forbidden ~row_off ~col ~cost ~source dist
+
+let region_settle_node s ~budget ~forbidden ~graph ~source ~dist =
+  let { Graph.row_off; col } = Graph.csr graph in
+  let cost = Graph.costs_view graph in
+  match settle_node s ~budget ~j:forbidden ~row_off ~col ~cost ~source dist with
+  | () -> true
+  | exception Overflow -> false
+
 let repair_dist s ?budget ?(forbidden = -1) ~graph ~mirror ~source ~dist:d
     edits =
   let n = Digraph.n graph in
@@ -143,56 +284,24 @@ let repair_dist s ?budget ?(forbidden = -1) ~graph ~mirror ~source ~dist:d
     done;
     (* 2. wipe the region, then reseed each member from the boundary
        through its in-links (current weights, via the mirror) *)
-    for k = 0 to s.n_region - 1 do
-      d.(s.region.(k)) <- infinity
-    done;
-    for k = 0 to s.n_region - 1 do
-      let x = s.region.(k) in
-      for i = m_off.(x) to m_off.(x + 1) - 1 do
-        let p = Array.unsafe_get m_col i in
-        if p <> j && not (marked p) then begin
-          let dp = d.(p) in
-          if dp < infinity then begin
-            let cand = dp +. Array.unsafe_get m_wgt i in
-            if cand < d.(x) then begin
-              d.(x) <- cand;
-              Indexed_heap.insert_or_decrease s.heap x cand
-            end
-          end
-        end
-      done
-    done;
+    region_wipe s ~dist:d;
+    reseed_link s ~j ~m_off ~m_col ~m_wgt d;
     (* 3. dropped links whose tail kept its label seed directly (a
        marked tail relaxes when it settles) *)
+    let prio = Indexed_heap.prios s.heap in
     List.iter
       (fun e ->
         if e.w1 < e.w0 && (not (marked e.u)) && d.(e.u) < infinity then begin
           let cand = d.(e.u) +. e.w1 in
           if cand < d.(e.v) then begin
             d.(e.v) <- cand;
-            Indexed_heap.insert_or_decrease s.heap e.v cand
+            prio.(e.v) <- cand;
+            Indexed_heap.touch s.heap e.v
           end
         end)
       edits;
-    (* 4. bounded-frontier Dijkstra over the region.  The popped
-       priority always equals the node's current label (every heap
-       update is paired with the label write of the same value), so the
-       key-only pop reads it back from [d]. *)
-    while not (Indexed_heap.is_empty s.heap) do
-      let x = Indexed_heap.pop_min_key s.heap in
-      let dx = d.(x) in
-      smark s ~budget x;
-      for i = g_off.(x) to g_off.(x + 1) - 1 do
-        let y = Array.unsafe_get g_col i in
-        if y <> j then begin
-          let cand = dx +. Array.unsafe_get g_wgt i in
-          if cand < d.(y) then begin
-            d.(y) <- cand;
-            Indexed_heap.insert_or_decrease s.heap y cand
-          end
-        end
-      done
-    done;
+    (* 4. bounded-frontier Dijkstra over the region *)
+    settle_link s ~budget ~j ~g_off ~g_col ~g_wgt d;
     `Patched s.n_region
   with Overflow -> `Overflow
 
@@ -225,7 +334,6 @@ let repair_node_dist s ?budget ?(forbidden = -1) ~graph ~source ~dist:d
     | None -> Graph.cost graph x
   in
   let leave_old x = if x = source then 0.0 else old_cost x in
-  let leave_cur x = if x = source then 0.0 else Graph.cost graph x in
   try
     List.iter
       (fun e ->
@@ -254,25 +362,10 @@ let repair_node_dist s ?budget ?(forbidden = -1) ~graph ~source ~dist:d
         done
       end
     done;
-    for k = 0 to s.n_region - 1 do
-      d.(s.region.(k)) <- infinity
-    done;
-    for k = 0 to s.n_region - 1 do
-      let x = s.region.(k) in
-      for i = row_off.(x) to row_off.(x + 1) - 1 do
-        let p = Array.unsafe_get col i in
-        if p <> j && not (marked p) then begin
-          let dp = d.(p) in
-          if dp < infinity then begin
-            let cand = dp +. leave_cur p in
-            if cand < d.(x) then begin
-              d.(x) <- cand;
-              Indexed_heap.insert_or_decrease s.heap x cand
-            end
-          end
-        end
-      done
-    done;
+    region_wipe s ~dist:d;
+    let cost = Graph.costs_view graph in
+    reseed_node s ~j ~row_off ~col ~cost ~source d;
+    let prio = Indexed_heap.prios s.heap in
     List.iter
       (fun e ->
         if e.c1 < e.c0 && (not (marked e.x)) && d.(e.x) < infinity then
@@ -282,25 +375,13 @@ let repair_node_dist s ?budget ?(forbidden = -1) ~graph ~source ~dist:d
                 let cand = d.(e.x) +. e.c1 in
                 if cand < d.(y) then begin
                   d.(y) <- cand;
-                  Indexed_heap.insert_or_decrease s.heap y cand
+                  prio.(y) <- cand;
+                  Indexed_heap.touch s.heap y
                 end
               end)
             e.nbrs)
       edits;
-    while not (Indexed_heap.is_empty s.heap) do
-      let x = Indexed_heap.pop_min_key s.heap in
-      let dx = d.(x) in
-      smark s ~budget x;
-      let cand = dx +. leave_cur x in
-      for i = row_off.(x) to row_off.(x + 1) - 1 do
-        let y = Array.unsafe_get col i in
-        if y <> j then
-          if cand < d.(y) then begin
-            d.(y) <- cand;
-            Indexed_heap.insert_or_decrease s.heap y cand
-          end
-      done
-    done;
+    settle_node s ~budget ~j ~row_off ~col ~cost ~source d;
     `Patched s.n_region
   with Overflow -> `Overflow
 

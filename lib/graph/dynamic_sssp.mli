@@ -136,3 +136,77 @@ val repair_node_dist :
     [Dijkstra.node_weighted ~forbidden] distance array from [source]
     (leaving [source] is free, leaving any other node [x] costs its
     relay cost).  Same contract and failure mode. *)
+
+(** {1 Region primitives}
+
+    The wipe / boundary-reseed / bounded-settle machinery of the
+    distance repairs, exposed piecewise so other kernels can run the
+    same discipline over a region they delimit themselves —
+    {!Avoid_region} marks a relay's SPT subtree and recomputes exactly
+    those labels, with everything outside the region serving as the
+    intact boundary.  Protocol, per run: {!region_begin}, then
+    {!region_mark} every region node, then {!region_wipe},
+    [region_reseed_*], optional direct seeds, and [region_settle_*].
+    All of it is allocation-free after scratch creation (the settle
+    loops go through [Indexed_heap.prios]/[touch]). *)
+
+val region_begin : dist_scratch -> int -> unit
+(** Open a fresh region epoch on a scratch (empty region, drained
+    heap) for a graph of [n] nodes.
+    @raise Invalid_argument if [n] exceeds the scratch capacity. *)
+
+val region_mark : dist_scratch -> budget:int -> int -> bool
+(** [region_mark s ~budget x] adds [x] to the region (idempotent).
+    Returns [false] — with [x] {e not} marked — when the region already
+    holds [budget] nodes: the caller must abandon the run and fall back
+    to a from-scratch computation. *)
+
+val region_size : dist_scratch -> int
+(** Nodes marked in the current epoch. *)
+
+val region_nth : dist_scratch -> int -> int
+(** [region_nth s i] is the [i]-th marked node, in marking order —
+    letting callers drive a breadth-first expansion by treating the
+    region log itself as the work queue. *)
+
+val region_wipe : dist_scratch -> dist:float array -> unit
+(** Set [dist] to [infinity] on every marked node. *)
+
+val region_reseed_link :
+  dist_scratch -> forbidden:int -> mirror:Digraph.t -> dist:float array -> unit
+(** Offer each marked node its best candidate through its in-links from
+    unmarked, finite-labelled boundary nodes (current weights, scanned
+    through [mirror]); links incident to [forbidden] are invisible.
+    Improvements enter the scratch's frontier heap. *)
+
+val region_settle_link :
+  dist_scratch ->
+  budget:int ->
+  forbidden:int ->
+  graph:Digraph.t ->
+  dist:float array ->
+  bool
+(** Settle the seeded frontier in label order, relaxing out-links over
+    [graph] (with [forbidden] invisible).  Settled nodes are marked
+    against [budget]; [false] means the region outgrew it and [dist] is
+    left corrupted. *)
+
+val region_reseed_node :
+  dist_scratch ->
+  forbidden:int ->
+  graph:Graph.t ->
+  source:int ->
+  dist:float array ->
+  unit
+(** Node-weighted {!region_reseed_link}: symmetric adjacency, leaving a
+    boundary node charges its relay cost (0 from [source]). *)
+
+val region_settle_node :
+  dist_scratch ->
+  budget:int ->
+  forbidden:int ->
+  graph:Graph.t ->
+  source:int ->
+  dist:float array ->
+  bool
+(** Node-weighted {!region_settle_link}. *)

@@ -240,7 +240,9 @@ let put_response e (r : Wnet_proto.response) =
     put_i64 e st.repaired_entries;
     put_i64 e st.fallback_recomputes;
     put_i64 e st.tasks_executed;
-    put_i64 e st.tasks_stolen
+    put_i64 e st.tasks_stolen;
+    put_i64 e st.avoid_bounded;
+    put_i64 e st.avoid_fallback
   | Server_stats
       {
         clients;
@@ -554,8 +556,8 @@ let decode_msg d (v : view) =
     v.counters.(2) <- get_u32 d
   end
   else if tag = tag_session_stats then begin
-    need d 80;
-    for i = 0 to 9 do
+    need d 96;
+    for i = 0 to 11 do
       v.counters.(i) <- get_i64 d
     done
   end
@@ -675,6 +677,8 @@ let response_of_view (v : view) : (Wnet_proto.response, string) result =
            fallback_recomputes = c.(7);
            tasks_executed = c.(8);
            tasks_stolen = c.(9);
+           avoid_bounded = c.(10);
+           avoid_fallback = c.(11);
          })
   else if t = tag_server_stats then
     let c = v.counters in

@@ -25,6 +25,8 @@ type stats = {
   fallback_recomputes : int;
   tasks_executed : int;
   tasks_stolen : int;
+  avoid_bounded : int;
+  avoid_fallback : int;
 }
 
 (* Region-size histogram: bucket 0 holds empty regions, bucket [i >= 1]
@@ -46,10 +48,12 @@ type t = {
   root : int;
   pool : Wnet_par.t;
   dynamic : bool;
-  kernel : [ `Csr | `Boxed ];
-      (* which avoidance Dijkstra fills cache misses: the flat CSR
-         ban-mask kernel (default) or the boxed closure oracle.  Both
-         produce bit-identical distances; [`Boxed] exists for
+  kernel : [ `CsrBounded | `Csr | `Boxed ];
+      (* which avoidance Dijkstra fills cache misses: the
+         subtree-bounded region kernel over the shared SPT (default,
+         falls back to full CSR on budget overflow), the flat CSR
+         ban-mask kernel, or the boxed closure oracle.  All three
+         produce bit-identical distances; [`Csr]/[`Boxed] exist for
          differential testing and benchmarking. *)
   g : Digraph.t;  (* forward topology, mutated in place *)
   rev : Digraph.t;  (* reversed mirror, kept in lockstep *)
@@ -86,11 +90,13 @@ type t = {
   mutable fallback_recomputes : int;
   mutable tasks_executed : int;
   mutable tasks_stolen : int;
+  mutable avoid_bounded : int;
+  mutable avoid_fallback : int;
   region_hist : int array;
 }
 
 let create ?(pool = Wnet_par.sequential) ?(copy = true) ?(dynamic = true)
-    ?(kernel = `Csr) g ~root =
+    ?(kernel = `CsrBounded) g ~root =
   let n = Digraph.n g in
   if root < 0 || root >= n then invalid_arg "Link_session.create: root out of range";
   let g = if copy then Digraph.copy g else g in
@@ -127,6 +133,8 @@ let create ?(pool = Wnet_par.sequential) ?(copy = true) ?(dynamic = true)
     fallback_recomputes = 0;
     tasks_executed = 0;
     tasks_stolen = 0;
+    avoid_bounded = 0;
+    avoid_fallback = 0;
     region_hist = Array.make hist_buckets 0;
   }
 
@@ -141,7 +149,8 @@ let stats t =
     avoid_runs = t.avoid_runs; avoid_reused = t.avoid_reused;
     repaired_entries = t.repaired_entries;
     fallback_recomputes = t.fallback_recomputes;
-    tasks_executed = t.tasks_executed; tasks_stolen = t.tasks_stolen }
+    tasks_executed = t.tasks_executed; tasks_stolen = t.tasks_stolen;
+    avoid_bounded = t.avoid_bounded; avoid_fallback = t.avoid_fallback }
 let unbounded_relays t = t.unbounded
 
 (* Fan [f] out over the pool's work-stealing layer (one task per
@@ -585,14 +594,54 @@ let payments t =
       relay_array (Array.init nn (fun k -> is_relay.(k) && not (entry_fresh t k)))
     in
     let dists =
-      steal_map t ~states:t.scratches
-        (match t.kernel with
-        | `Csr -> fun scratch k -> Dijkstra.link_weighted_dist_csr scratch ~avoid:k t.rev t.root
-        | `Boxed ->
-          fun scratch k ->
+      match t.kernel with
+      | `CsrBounded when Array.length missing > 0 ->
+        (* Per-relay fills bounded to the relay's SPT subtree: exterior
+           distances are copied bit-for-bit from the shared tree, only
+           the region is wiped/reseeded/settled.  Oversized subtrees
+           fall back to the full-graph CSR kernel.  Stolen tasks run on
+           other domains, so they only return (dist, region) pairs; the
+           counters and histogram are folded here on the main thread. *)
+        let idx = Avoid_region.make_index tree in
+        let states =
+          Array.init (Array.length t.scratches) (fun i ->
+              (t.scratches.(i), t.dscratches.(i)))
+        in
+        let pairs =
+          steal_map t ~states
+            (fun (scratch, ds) k ->
+              let d = Array.make nn infinity in
+              let r =
+                Avoid_region.link_avoid ds idx ~graph:t.rev ~mirror:t.g ~tree
+                  ~avoid:k ~dist:d
+              in
+              if r >= 0 then (d, r)
+              else
+                ( Dijkstra.link_weighted_dist_csr scratch ~avoid:k t.rev t.root,
+                  -1 ))
+            missing
+        in
+        Array.map
+          (fun (d, r) ->
+            if r >= 0 then begin
+              t.avoid_bounded <- t.avoid_bounded + 1;
+              record_region t r
+            end
+            else t.avoid_fallback <- t.avoid_fallback + 1;
+            d)
+          pairs
+      | `CsrBounded -> [||]
+      | `Csr ->
+        steal_map t ~states:t.scratches
+          (fun scratch k ->
+            Dijkstra.link_weighted_dist_csr scratch ~avoid:k t.rev t.root)
+          missing
+      | `Boxed ->
+        steal_map t ~states:t.scratches
+          (fun scratch k ->
             Dijkstra.link_weighted_dist scratch ~forbidden:(fun v -> v = k)
               t.rev t.root)
-        missing
+          missing
     in
     Array.iteri
       (fun i k ->

@@ -78,13 +78,20 @@ type stats = {
   tasks_stolen : int;
       (** the subset executed by a domain other than the one that queued
           them — nonzero only when stealing actually rebalanced load *)
+  avoid_bounded : int;
+      (** cache-miss fills served by the subtree-bounded region kernel
+          (exterior distances copied from the shared tree, only the
+          relay's SPT subtree recomputed) *)
+  avoid_fallback : int;
+      (** bounded fills whose region outgrew the budget and fell back to
+          a full-graph CSR Dijkstra *)
 }
 
 val create :
   ?pool:Wnet_par.t ->
   ?copy:bool ->
   ?dynamic:bool ->
-  ?kernel:[ `Csr | `Boxed ] ->
+  ?kernel:[ `CsrBounded | `Csr | `Boxed ] ->
   Wnet_graph.Digraph.t ->
   root:int ->
   t
@@ -98,10 +105,13 @@ val create :
     restores drop-style invalidation — same payments, different cost
     profile.
     [?kernel] selects the avoidance Dijkstra that fills cache misses:
-    [`Csr] (default) is the flat zero-allocation ban-mask kernel,
-    [`Boxed] the original closure-predicate run over boxed adjacency,
-    kept as a differential oracle — payments are bit-identical either
-    way.
+    [`CsrBounded] (default) copies exterior distances from the shared
+    SPT and recomputes only the relay's subtree region
+    ({!Wnet_graph.Avoid_region}), falling back to the full-graph CSR
+    kernel on budget overflow; [`Csr] is the flat zero-allocation
+    full-graph ban-mask kernel; [`Boxed] the original closure-predicate
+    run over boxed adjacency.  All three are kept as differential
+    oracles — payments are bit-identical whichever is selected.
     @raise Invalid_argument if [root] is out of range. *)
 
 val n : t -> int
@@ -181,8 +191,8 @@ val stats : t -> stats
 (** Cumulative work counters — the incremental-vs-batch ledger. *)
 
 val region_histogram : t -> (int * int) list
-(** Histogram of affected-region sizes over every successful repair
-    (shared tree and avoidance entries alike), as
-    [(class lower bound, count)] pairs with power-of-two size classes
-    [{0}, {1}, [2,4), [4,8), ...] — ascending, zero-count classes
-    omitted.  Empty under [~dynamic:false]. *)
+(** Histogram of bounded-region sizes over every successful repair
+    (shared tree and avoidance entries alike) and every
+    subtree-bounded cache-miss fill, as [(class lower bound, count)]
+    pairs with power-of-two size classes [{0}, {1}, [2,4), [4,8), ...]
+    — ascending, zero-count classes omitted. *)

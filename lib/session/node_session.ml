@@ -18,15 +18,33 @@ type stats = {
   fallback_recomputes : int;
   tasks_executed : int;
   tasks_stolen : int;
+  avoid_bounded : int;
+  avoid_fallback : int;
 }
+
+(* Region-size histogram, same classes as {!Link_session}. *)
+let hist_buckets = 24
+
+let hist_bucket r =
+  if r <= 0 then 0
+  else begin
+    let b = ref 1 and x = ref r in
+    while !x > 1 do
+      incr b;
+      x := !x lsr 1
+    done;
+    min !b (hist_buckets - 1)
+  end
 
 type t = {
   root : int;
   pool : Wnet_par.t;
   dynamic : bool;
-  kernel : [ `Csr | `Boxed ];
-      (* avoidance kernel for cache misses: flat CSR ban-mask (default)
-         or the boxed closure oracle — bit-identical outputs *)
+  kernel : [ `CsrBounded | `Csr | `Boxed ];
+      (* avoidance kernel for cache misses: subtree-bounded region
+         kernel over the shared SPT (default, full-CSR fallback on
+         budget overflow), flat CSR ban-mask, or the boxed closure
+         oracle — bit-identical outputs *)
   mutable g : Graph.t;  (* adjacency shared; cost vector swapped per edit *)
   mutable gver : int;  (* session-managed version stamp *)
   mutable tree : Dijkstra.tree option;
@@ -57,10 +75,13 @@ type t = {
   mutable fallback_recomputes : int;
   mutable tasks_executed : int;
   mutable tasks_stolen : int;
+  mutable avoid_bounded : int;
+  mutable avoid_fallback : int;
+  region_hist : int array;
 }
 
-let create ?(pool = Wnet_par.sequential) ?(dynamic = true) ?(kernel = `Csr) g
-    ~root =
+let create ?(pool = Wnet_par.sequential) ?(dynamic = true)
+    ?(kernel = `CsrBounded) g ~root =
   let n = Graph.n g in
   if root < 0 || root >= n then invalid_arg "Node_session.create: root out of range";
   {
@@ -95,6 +116,9 @@ let create ?(pool = Wnet_par.sequential) ?(dynamic = true) ?(kernel = `Csr) g
     fallback_recomputes = 0;
     tasks_executed = 0;
     tasks_stolen = 0;
+    avoid_bounded = 0;
+    avoid_fallback = 0;
+    region_hist = Array.make hist_buckets 0;
   }
 
 let n t = Graph.n t.g
@@ -108,8 +132,21 @@ let stats t =
     avoid_runs = t.avoid_runs; avoid_reused = t.avoid_reused;
     repaired_entries = t.repaired_entries;
     fallback_recomputes = t.fallback_recomputes;
-    tasks_executed = t.tasks_executed; tasks_stolen = t.tasks_stolen }
+    tasks_executed = t.tasks_executed; tasks_stolen = t.tasks_stolen;
+    avoid_bounded = t.avoid_bounded; avoid_fallback = t.avoid_fallback }
 let unbounded_relays t = t.unbounded
+
+let region_histogram t =
+  let out = ref [] in
+  for b = hist_buckets - 1 downto 0 do
+    if t.region_hist.(b) > 0 then
+      let lo = if b = 0 then 0 else 1 lsl (b - 1) in
+      out := (lo, t.region_hist.(b)) :: !out
+  done;
+  !out
+
+let record_region t r =
+  t.region_hist.(hist_bucket r) <- t.region_hist.(hist_bucket r) + 1
 
 (* See {!Link_session}: stealing fan-out plus counter-delta folding. *)
 let steal_map t ~states f a =
@@ -177,7 +214,8 @@ let repair_avoid_entries t nedits =
     (fun i j ->
       if regions.(i) >= 0 then begin
         t.avoid_epoch.(j) <- t.cache_epoch;
-        t.repaired_entries <- t.repaired_entries + 1
+        t.repaired_entries <- t.repaired_entries + 1;
+        record_region t regions.(i)
       end
       else begin
         t.avoid.(j) <- None;
@@ -329,16 +367,52 @@ let payments t =
       relay_array (Array.init nn (fun k -> is_relay.(k) && not (entry_fresh t k)))
     in
     let dists =
-      steal_map t ~states:t.scratches
-        (match t.kernel with
-        | `Csr ->
-          fun scratch k ->
-            Dijkstra.node_weighted_dist_csr scratch ~avoid:k t.g ~source:t.root
-        | `Boxed ->
-          fun scratch k ->
+      match t.kernel with
+      | `CsrBounded when Array.length missing > 0 ->
+        (* Subtree-bounded fills; see {!Link_session.payments}.  Stolen
+           tasks return (dist, region) pairs, counters fold here on the
+           main thread. *)
+        let idx = Avoid_region.make_index tree in
+        let states =
+          Array.init (Array.length t.scratches) (fun i ->
+              (t.scratches.(i), t.dscratches.(i)))
+        in
+        let pairs =
+          steal_map t ~states
+            (fun (scratch, ds) k ->
+              let d = Array.make nn infinity in
+              let r =
+                Avoid_region.node_avoid ds idx ~graph:t.g ~tree ~avoid:k
+                  ~dist:d
+              in
+              if r >= 0 then (d, r)
+              else
+                ( Dijkstra.node_weighted_dist_csr scratch ~avoid:k t.g
+                    ~source:t.root,
+                  -1 ))
+            missing
+        in
+        Array.map
+          (fun (d, r) ->
+            if r >= 0 then begin
+              t.avoid_bounded <- t.avoid_bounded + 1;
+              record_region t r
+            end
+            else t.avoid_fallback <- t.avoid_fallback + 1;
+            d)
+          pairs
+      | `CsrBounded -> [||]
+      | `Csr ->
+        steal_map t ~states:t.scratches
+          (fun scratch k ->
+            Dijkstra.node_weighted_dist_csr scratch ~avoid:k t.g ~source:t.root)
+          missing
+      | `Boxed ->
+        steal_map t ~states:t.scratches
+          (fun scratch k ->
             Dijkstra.node_weighted_dist scratch ~forbidden:(fun v -> v = k) t.g
               ~source:t.root)
-        missing
+          missing
     in
     Array.iteri
       (fun i k ->

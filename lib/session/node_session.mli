@@ -50,12 +50,17 @@ type stats = {
   tasks_stolen : int;
       (** the subset executed by a domain other than the one that queued
           them — nonzero only when stealing actually rebalanced load *)
+  avoid_bounded : int;
+      (** cache-miss fills served by the subtree-bounded region kernel *)
+  avoid_fallback : int;
+      (** bounded fills that outgrew the budget and fell back to a
+          full-graph CSR Dijkstra *)
 }
 
 val create :
   ?pool:Wnet_par.t ->
   ?dynamic:bool ->
-  ?kernel:[ `Csr | `Boxed ] ->
+  ?kernel:[ `CsrBounded | `Csr | `Boxed ] ->
   Wnet_graph.Graph.t ->
   root:int ->
   t
@@ -64,9 +69,12 @@ val create :
     vectors; the caller's graph is never affected.  [~dynamic:false]
     (default [true]) disables in-place cache repair in favour of
     drop-style invalidation.  [?kernel] selects the avoidance Dijkstra
-    for cache misses — [`Csr] (default) the flat zero-allocation
-    ban-mask kernel, [`Boxed] the closure-predicate oracle; payments are
-    bit-identical either way.
+    for cache misses — [`CsrBounded] (default) the subtree-bounded
+    region kernel over the shared SPT with full-CSR fallback on budget
+    overflow ({!Wnet_graph.Avoid_region}), [`Csr] the flat
+    zero-allocation full-graph ban-mask kernel, [`Boxed] the
+    closure-predicate oracle; payments are bit-identical whichever is
+    selected.
     @raise Invalid_argument if [root] is out of range. *)
 
 val n : t -> int
@@ -119,3 +127,8 @@ val unbounded_relays : t -> int list
     the cached avoidance arrays. *)
 
 val stats : t -> stats
+
+val region_histogram : t -> (int * int) list
+(** Histogram of bounded-region sizes (successful repairs and
+    subtree-bounded cache-miss fills), same power-of-two size classes
+    as {!Link_session.region_histogram}. *)

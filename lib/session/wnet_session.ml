@@ -14,6 +14,8 @@ type stats = Link_session.stats = {
   fallback_recomputes : int;
   tasks_executed : int;
   tasks_stolen : int;
+  avoid_bounded : int;
+  avoid_fallback : int;
 }
 
 (* The stats wire layout, one row per counter: key, getter, setter.
@@ -21,7 +23,8 @@ type stats = Link_session.stats = {
    (Wnet_proto prints `ok k=v ...` from [to_fields] and rebuilds the
    record through [of_fields]), so adding a counter is one row here —
    not an arity case in every parser.  Rows are in wire order; older
-   layouts are prefixes (v1 = 6 counters, v2 = 8, v3 = all 10). *)
+   layouts are prefixes (v1 = 6 counters, v2 = 8, v3 = 10, v4 = all
+   12). *)
 let stats_layout :
     (string * (stats -> int) * (stats -> int -> stats)) array =
   [|
@@ -51,9 +54,15 @@ let stats_layout :
     ( "stolen",
       (fun s -> s.tasks_stolen),
       fun s v -> { s with tasks_stolen = v } );
+    ( "avoid_bounded",
+      (fun s -> s.avoid_bounded),
+      fun s v -> { s with avoid_bounded = v } );
+    ( "avoid_fallback",
+      (fun s -> s.avoid_fallback),
+      fun s v -> { s with avoid_fallback = v } );
   |]
 
-let stats_version = 3
+let stats_version = 4
 
 let zero_stats =
   {
@@ -67,6 +76,8 @@ let zero_stats =
     fallback_recomputes = 0;
     tasks_executed = 0;
     tasks_stolen = 0;
+    avoid_bounded = 0;
+    avoid_fallback = 0;
   }
 
 let stats_field_names = Array.map (fun (k, _, _) -> k) stats_layout
@@ -199,6 +210,8 @@ let make ?(pool = Wnet_par.sequential) ~root g =
           fallback_recomputes = st.NS.fallback_recomputes;
           tasks_executed = st.NS.tasks_executed;
           tasks_stolen = st.NS.tasks_stolen;
+          avoid_bounded = st.NS.avoid_bounded;
+          avoid_fallback = st.NS.avoid_fallback;
         }
     end : S)
   | `Link g ->

@@ -31,15 +31,17 @@ type stats = Link_session.stats = {
   fallback_recomputes : int;
   tasks_executed : int;
   tasks_stolen : int;
+  avoid_bounded : int;
+  avoid_fallback : int;
 }
 (** The unified work ledger (the node engine's counters are converted
     into the same record). *)
 
 val stats_version : int
 (** Version of the stats wire layout: 1 = the first 6 counters, 2 = the
-    first 8, 3 = all 10.  Older layouts are strict prefixes of newer
-    ones, which is what lets {!Wnet_proto} keep parsing every legacy
-    arity through one table. *)
+    first 8, 3 = the first 10, 4 = all 12.  Older layouts are strict
+    prefixes of newer ones, which is what lets {!Wnet_proto} keep
+    parsing every legacy arity through one table. *)
 
 val zero_stats : stats
 (** All counters zero — the [of_fields] default for omitted trailing
@@ -47,7 +49,8 @@ val zero_stats : stats
 
 val stats_field_names : string array
 (** The counter keys in wire order ([edits], [coalesced], ...,
-    [stolen]); index [i] names the [i]-th token of the stats line. *)
+    [avoid_fallback]); index [i] names the [i]-th token of the stats
+    line. *)
 
 val to_fields : stats -> (string * int) list
 (** The record as [(key, value)] pairs in wire order.  The text

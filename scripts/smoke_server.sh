@@ -62,8 +62,12 @@ grep -q '^ok version=1$'                   "$OUT" || fail "cost edit not acked"
 [ "$(grep -c '^ok served=' "$OUT")" = 2 ]         || fail "expected two pay summaries"
 grep -q '^ok served=0' "$OUT" && fail "no source was served (bad instance?)"
 grep -q '^ok edits=1 coalesced=1 inval_passes=1'  "$OUT" || fail "session counters wrong"
-grep -Eq '^ok edits=1 .* tasks=[0-9]+ stolen=[0-9]+$' "$OUT" \
+grep -Eq '^ok edits=1 .* tasks=[0-9]+ stolen=[0-9]+' "$OUT" \
   || fail "stats line missing the scheduler task counters"
+grep -Eq '^ok edits=1 .* avoid_bounded=[0-9]+ avoid_fallback=[0-9]+$' "$OUT" \
+  || fail "stats line missing the bounded-kernel counters"
+grep -Eq '^ok edits=1 .* avoid_bounded=[1-9]' "$OUT" \
+  || fail "bounded kernel never served a cache-miss fill"
 grep -q '^server clients=1'                "$OUT" || fail "missing server counters"
 grep -q '^conn requests=4'                 "$OUT" || fail "missing conn counters"
 grep -q '^bye$'                            "$OUT" || fail "quit not answered with bye"

@@ -52,7 +52,8 @@ let count_gen = Gen.int_range 0 100000
 
 let stats_gen =
   Gen.map3
-    (fun (edits, coalesced_edits) ((inval_passes, spt_runs), (tasks_executed, tasks_stolen))
+    (fun ((edits, coalesced_edits), (avoid_bounded, avoid_fallback))
+         ((inval_passes, spt_runs), (tasks_executed, tasks_stolen))
          ((avoid_runs, avoid_reused), (repaired_entries, fallback_recomputes)) ->
       {
         W.edits;
@@ -65,8 +66,10 @@ let stats_gen =
         fallback_recomputes;
         tasks_executed;
         tasks_stolen;
+        avoid_bounded;
+        avoid_fallback;
       })
-    (Gen.pair count_gen count_gen)
+    (Gen.pair (Gen.pair count_gen count_gen) (Gen.pair count_gen count_gen))
     (Gen.pair (Gen.pair count_gen count_gen) (Gen.pair count_gen count_gen))
     (Gen.pair (Gen.pair count_gen count_gen) (Gen.pair count_gen count_gen))
 
@@ -319,13 +322,15 @@ let stats_keys =
   [|
     "edits"; "coalesced"; "inval_passes"; "spt_runs"; "avoid_runs";
     "avoid_reused"; "repaired"; "fallbacks"; "tasks"; "stolen";
+    "avoid_bounded"; "avoid_fallback";
   |]
 
-(* One property covering every accepted arity: a 6-, 8- or 10-token
-   stats line parses, with the omitted trailing counters read as 0. *)
+(* One property covering every accepted arity: a 6-, 8-, 10- or
+   12-token stats line parses, with the omitted trailing counters read
+   as 0. *)
 let stats_arity_gen =
-  Gen.pair (Gen.oneofl [ 6; 8; 10 ])
-    (Gen.array_size (Gen.return 10) count_gen)
+  Gen.pair (Gen.oneofl [ 6; 8; 10; 12 ])
+    (Gen.array_size (Gen.return 12) count_gen)
 
 let stats_arity_prop (arity, counts) =
   let line =
@@ -349,22 +354,25 @@ let stats_arity_prop (arity, counts) =
         fallback_recomputes = expect 7;
         tasks_executed = expect 8;
         tasks_stolen = expect 9;
+        avoid_bounded = expect 10;
+        avoid_fallback = expect 11;
       }
     || Test.fail_reportf "stats line parsed with wrong counters: %s" line
   | Ok _ -> Test.fail_reportf "stats line parsed as something else: %s" line
   | Error m -> Test.fail_reportf "stats line rejected: %s (%s)" line m
 
 let test_stats_line_compat () =
-  (* Pin the wire form of the 10-counter stats line, and the parser's
-     acceptance of the 8-counter line older peers still send (task
-     counters default to 0 there). *)
+  (* Pin the wire form of the 12-counter stats line, and the parser's
+     acceptance of the 10- and 8-counter lines older peers still send
+     (omitted trailing counters default to 0). *)
   (match
      P.parse_response
        "ok edits=1 coalesced=2 inval_passes=3 spt_runs=4 avoid_runs=5 \
-        avoid_reused=6 repaired=7 fallbacks=8 tasks=9 stolen=2"
+        avoid_reused=6 repaired=7 fallbacks=8 tasks=9 stolen=2 \
+        avoid_bounded=11 avoid_fallback=12"
    with
   | Ok (P.Session_stats st) ->
-    Alcotest.(check bool) "10-token stats line parses exactly" true
+    Alcotest.(check bool) "12-token stats line parses exactly" true
       (st
       = {
           W.edits = 1;
@@ -377,8 +385,21 @@ let test_stats_line_compat () =
           fallback_recomputes = 8;
           tasks_executed = 9;
           tasks_stolen = 2;
+          avoid_bounded = 11;
+          avoid_fallback = 12;
         })
   | _ -> Alcotest.fail "full stats line must parse");
+  (match
+     P.parse_response
+       "ok edits=1 coalesced=2 inval_passes=3 spt_runs=4 avoid_runs=5 \
+        avoid_reused=6 repaired=7 fallbacks=8 tasks=9 stolen=2"
+   with
+  | Ok (P.Session_stats st) ->
+    Alcotest.(check bool) "10-token line defaults the bounded counters"
+      true
+      (st.W.tasks_executed = 9 && st.W.avoid_bounded = 0
+     && st.W.avoid_fallback = 0)
+  | _ -> Alcotest.fail "10-token stats line must parse");
   (match
      P.parse_response
        "ok edits=1 coalesced=2 inval_passes=3 spt_runs=4 avoid_runs=5 \
@@ -517,6 +538,6 @@ let suite =
     Test_util.qcheck_case ~count:500 "parse_response (print_response r) = r"
       response_gen response_roundtrip_prop;
     Test_util.qcheck_case ~count:500
-      "stats line parses at every arity (6/8/10 tokens)" stats_arity_gen
+      "stats line parses at every arity (6/8/10/12 tokens)" stats_arity_gen
       stats_arity_prop;
   ]
